@@ -1,0 +1,139 @@
+//! MKL-class baseline: multithreaded blocked Householder QR on the host CPU
+//! (LAPACK `SGEQRF` linked against a tuned BLAS), plus the `SGESDD`-style
+//! SVD cost used by the Robust PCA comparison.
+//!
+//! Two paths are provided: [`model_mkl_geqrf_seconds`] is the pure cost
+//! model used by the figure sweeps; [`execute_geqrf`] really factors a
+//! matrix with `dense::blocked::geqrf` while charging the same model to a
+//! [`CpuMachine`] ledger, so tests can pin the two together.
+
+use crate::panel::{cpu_update_seconds, panel_flops, panel_seconds};
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use gpu_sim::{CpuMachine, CpuSpec};
+
+/// Panel width MKL-class `geqrf` uses.
+pub const MKL_NB: usize = 32;
+
+/// Modelled seconds for a multithreaded blocked-Householder `SGEQRF` of an
+/// `m x n` matrix on `cpu`.
+pub fn model_mkl_geqrf_seconds(cpu: &CpuSpec, m: usize, n: usize) -> f64 {
+    let k = m.min(n);
+    let mut t = 0.0;
+    let mut j = 0;
+    while j < k {
+        let jb = MKL_NB.min(k - j);
+        let mp = m - j;
+        t += panel_seconds(cpu, mp, jb);
+        t += cpu_update_seconds(cpu, mp, n - j - jb, jb);
+        j += jb;
+    }
+    t
+}
+
+/// Modelled `SGEQRF` GFLOP/s (the paper's reporting convention).
+pub fn model_mkl_geqrf_gflops(cpu: &CpuSpec, m: usize, n: usize) -> f64 {
+    dense::geqrf_flops(m, n) / model_mkl_geqrf_seconds(cpu, m, n) / 1.0e9
+}
+
+/// Really factor `a` with the blocked Householder algorithm while charging
+/// the cost model to `machine`'s ledger. Returns the `tau` array.
+pub fn execute_geqrf<T: Scalar>(machine: &CpuMachine, a: &mut Matrix<T>) -> Vec<T> {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut j = 0;
+    while j < k {
+        let jb = MKL_NB.min(k - j);
+        let mp = m - j;
+        machine.call("mkl_panel", panel_flops(mp, jb), 0.0, 1.0); // time overridden below
+        machine.idle(panel_seconds(machine.spec(), mp, jb));
+        machine.idle(cpu_update_seconds(machine.spec(), mp, n - j - jb, jb));
+        j += jb;
+    }
+    // The arithmetic itself (bit-exact with dense::blocked::geqrf).
+    dense::blocked::geqrf(a, MKL_NB)
+}
+
+/// Modelled seconds for a full tall-skinny `SGESDD`-style SVD (`m x n`,
+/// `m >> n`) on the CPU — the "MKL SVD" variant of Table II. Dominated by
+/// the BLAS2 bidiagonalization, which streams the matrix per column pair
+/// (same bandwidth cliff as the QR panel, but over the full width `n`),
+/// plus the back-transformation GEMMs.
+pub fn model_mkl_svd_seconds(cpu: &CpuSpec, m: usize, n: usize) -> f64 {
+    assert!(m >= n);
+    let bw = cpu.dram_bw_gbs * 1.0e9;
+    let matrix_bytes = 4.0 * m as f64 * n as f64;
+    // Bidiagonalization: 2n BLAS2 sweeps over the shrinking trailing matrix;
+    // a tall matrix never fits cache, so each sweep streams it (read+write).
+    let bidiag_traffic = if matrix_bytes <= cpu.cache_bytes as f64 {
+        2.0 * matrix_bytes
+    } else {
+        // sum_j 8 bytes * m * (n - j) ~= 4 m n^2 bytes, twice (left+right
+        // reflectors per column).
+        8.0 * m as f64 * (n * n) as f64 / 2.0 * 2.0
+    };
+    let bidiag_flops = 8.0 * m as f64 * (n * n) as f64 / 2.0;
+    let bidiag = (bidiag_traffic / bw).max(bidiag_flops / (cpu.blas2_cache_gflops * 1.0e9));
+    // Small n x n SVD of the bidiagonal core (QR iteration, ~ O(n^3)).
+    let core = 30.0 * (n * n * n) as f64 / (cpu.blas2_cache_gflops * 1.0e9);
+    // Back-transformation: U = A-sized GEMM.
+    let backtransform = {
+        let flops = 2.0 * m as f64 * (n * n) as f64;
+        let peak = cpu.peak_gflops() * 1.0e9 * cpu.gemm_efficiency;
+        (flops / peak).max(2.0 * matrix_bytes / bw)
+    };
+    bidiag + core + backtransform + 2.0 * n as f64 * cpu.call_overhead_us * 1.0e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkl_tall_skinny_matches_paper_scale() {
+        // Table I MKL row: 3.12 / 16.9 / 22.8 / 21.4 / 17.8 / 16.5 GFLOP/s.
+        let cpu = CpuSpec::nehalem_8core();
+        let g1m = model_mkl_geqrf_gflops(&cpu, 1_000_000, 192);
+        assert!(g1m > 8.0 && g1m < 40.0, "1M x 192 MKL modelled at {g1m}");
+        let g1k = model_mkl_geqrf_gflops(&cpu, 1_000, 192);
+        assert!(g1k < 15.0, "1k x 192 MKL is overhead-bound, got {g1k}");
+    }
+
+    #[test]
+    fn mkl_square_reaches_blas3_rates() {
+        // Figure 9's MKL curve: flat around 60-90 GFLOP/s for wide matrices.
+        let cpu = CpuSpec::nehalem_8core();
+        let g = model_mkl_geqrf_gflops(&cpu, 8192, 8192);
+        assert!(g > 40.0 && g < 95.0, "square MKL modelled at {g}");
+    }
+
+    #[test]
+    fn mkl_square_beats_tall_skinny_per_flop() {
+        let cpu = CpuSpec::nehalem_8core();
+        let square = model_mkl_geqrf_gflops(&cpu, 8192, 8192);
+        let skinny = model_mkl_geqrf_gflops(&cpu, 1_000_000, 192);
+        assert!(square > 1.5 * skinny, "{square} vs {skinny}");
+    }
+
+    #[test]
+    fn execute_matches_reference_factorization() {
+        let machine = CpuMachine::new(CpuSpec::nehalem_8core());
+        let a0 = dense::generate::uniform::<f64>(128, 24, 5);
+        let mut a = a0.clone();
+        let tau = execute_geqrf(&machine, &mut a);
+        let mut reference = a0.clone();
+        let tau_ref = dense::blocked::geqrf(&mut reference, MKL_NB);
+        assert_eq!(a, reference);
+        assert_eq!(tau, tau_ref);
+        assert!(machine.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn svd_slower_than_qr_for_same_matrix() {
+        // The whole point of the QR-first trick in Section VI-B.
+        let cpu = CpuSpec::corei7_4core();
+        let qr = model_mkl_geqrf_seconds(&cpu, 110_592, 100);
+        let svd = model_mkl_svd_seconds(&cpu, 110_592, 100);
+        assert!(svd > qr, "svd {svd} should exceed qr {qr}");
+    }
+}

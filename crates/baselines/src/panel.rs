@@ -1,0 +1,103 @@
+//! Cache-aware cost model for a CPU BLAS2 panel factorization — the
+//! building block every blocked-Householder baseline shares.
+//!
+//! An `m_p x nb` panel is factored with `nb` Householder steps, each a
+//! `gemv` plus a `ger` over the remaining panel. If the panel fits in the
+//! last-level cache it streams from DRAM once and the steps run at the
+//! machine's in-cache BLAS2 rate; if it does not (the tall-skinny case),
+//! every step re-streams the panel from DRAM. This cliff is the reason
+//! blocked Householder collapses on tall-skinny matrices and is exactly the
+//! memory traffic TSQR's cache-sized blocks avoid (Section II-B).
+
+use gpu_sim::CpuSpec;
+
+/// Flops of an `m x nb` panel factorization (unblocked Householder).
+pub fn panel_flops(m: usize, nb: usize) -> f64 {
+    // 2 m nb^2 - (2/3) nb^3, plus the nb norm computations.
+    let (m, nb) = (m as f64, nb as f64);
+    2.0 * m * nb * nb - 2.0 / 3.0 * nb * nb * nb + 3.0 * m * nb
+}
+
+/// Modelled seconds for factoring an `m x nb` panel on `cpu`.
+pub fn panel_seconds(cpu: &CpuSpec, m: usize, nb: usize) -> f64 {
+    let flops = panel_flops(m, nb);
+    let panel_bytes = 4.0 * m as f64 * nb as f64;
+    let bw = cpu.dram_bw_gbs * 1.0e9;
+    // Two BLAS calls (gemv + ger) per Householder step.
+    let overhead = 2.0 * nb as f64 * cpu.call_overhead_us * 1.0e-6;
+    if panel_bytes <= cpu.cache_bytes as f64 {
+        // Stream once, then compute in cache.
+        let stream = 2.0 * panel_bytes / bw;
+        let compute = flops / (cpu.blas2_cache_gflops * 1.0e9);
+        stream + compute + overhead
+    } else {
+        // Every step re-reads and re-writes the remaining panel:
+        // sum_i 2 * 4 * m * (nb - i) ~= 4 * m * nb^2 bytes.
+        let traffic = 4.0 * m as f64 * (nb * nb) as f64;
+        let compute = flops / (cpu.blas2_cache_gflops * 1.0e9);
+        (traffic / bw).max(compute) + overhead
+    }
+}
+
+/// Modelled seconds for the `larfb` trailing update on the CPU:
+/// `C -= V (T (V^T C))` with `C` being `m x nc`, `V` `m x nb` — three GEMMs
+/// at the machine's BLAS3 efficiency, DRAM-roofline limited.
+pub fn cpu_update_seconds(cpu: &CpuSpec, m: usize, nc: usize, nb: usize) -> f64 {
+    if nc == 0 {
+        return 0.0;
+    }
+    let flops = 4.0 * m as f64 * nc as f64 * nb as f64; // two big GEMMs dominate
+    let bytes = 4.0 * (2.0 * m as f64 * nc as f64 + 2.0 * m as f64 * nb as f64);
+    let peak = cpu.peak_gflops() * 1.0e9 * cpu.gemm_efficiency;
+    let compute = flops / peak;
+    let memory = bytes / (cpu.dram_bw_gbs * 1.0e9);
+    compute.max(memory) + 3.0 * cpu.call_overhead_us * 1.0e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_cliff_exists() {
+        // A DRAM-resident panel re-streams per reflector: its time must far
+        // exceed the single-stream lower bound (nb/2 extra passes), while a
+        // cache-resident panel stays within a small factor of it.
+        let cpu = CpuSpec::nehalem_8core();
+        let bw = cpu.dram_bw_gbs * 1.0e9;
+
+        let big_rows = 4_000_000; // 512 MB panel: DRAM resident
+        let big = panel_seconds(&cpu, big_rows, 32);
+        let one_stream_big = 2.0 * 4.0 * big_rows as f64 * 32.0 / bw;
+        assert!(big > 8.0 * one_stream_big, "no cliff: {big} vs {one_stream_big}");
+
+        let small_rows = 8192; // 1 MB panel: cache resident
+        let small = panel_seconds(&cpu, small_rows, 32);
+        let one_stream_small = 2.0 * 4.0 * small_rows as f64 * 32.0 / bw;
+        // Bounded by compute + call overheads, not repeated streaming.
+        let compute = panel_flops(small_rows, 32) / (cpu.blas2_cache_gflops * 1.0e9);
+        let overhead = 64.0 * cpu.call_overhead_us * 1.0e-6;
+        assert!(small <= one_stream_small + compute + overhead + 1e-9);
+    }
+
+    #[test]
+    fn panel_flops_matches_geqrf_shape() {
+        // For nb << m the count approaches 2 m nb^2.
+        let f = panel_flops(1_000_000, 32);
+        assert!((f / (2.0 * 1.0e6 * 1024.0) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn update_is_compute_bound_when_wide() {
+        let cpu = CpuSpec::nehalem_8core();
+        let t = cpu_update_seconds(&cpu, 4096, 4096, 64);
+        let gf = 4.0 * 4096.0 * 4096.0 * 64.0 / t / 1e9;
+        assert!(gf > 50.0, "wide update should run near BLAS3 rate, got {gf}");
+    }
+
+    #[test]
+    fn empty_update_is_free() {
+        let cpu = CpuSpec::nehalem_8core();
+        assert_eq!(cpu_update_seconds(&cpu, 1000, 0, 32), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion wall-clock benches of the real kernel arithmetic: the
+//! simulated GPU actually computes every factorization on the rayon pool,
+//! and these benches measure that execution (host wall-clock, not the
+//! modelled GPU time — the modelled numbers come from the harness binaries).
+
+use caqr::{BlockSize, CaqrOptions, ReductionStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{DeviceSpec, Gpu};
+use std::hint::black_box;
+
+fn bench_tsqr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsqr_factor");
+    group.sample_size(10);
+    for &m in &[4096usize, 16384, 65536] {
+        let a = dense::generate::uniform::<f32>(m, 16, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let gpu = Gpu::new(DeviceSpec::c2050());
+            b.iter(|| {
+                let f = caqr::tsqr(
+                    &gpu,
+                    a.clone(),
+                    BlockSize::c2050_best(),
+                    ReductionStrategy::RegisterSerialTransposed,
+                )
+                .unwrap();
+                black_box(f.r())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_caqr_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caqr_factor");
+    group.sample_size(10);
+    for &(m, n) in &[(4096usize, 64usize), (8192, 64), (8192, 128)] {
+        let a = dense::generate::uniform::<f32>(m, n, 2);
+        group.bench_with_input(BenchmarkId::new("sim_gpu", format!("{m}x{n}")), &m, |b, _| {
+            let gpu = Gpu::new(DeviceSpec::c2050());
+            b.iter(|| {
+                let f = caqr::caqr::caqr(&gpu, a.clone(), CaqrOptions::default()).unwrap();
+                black_box(f.r())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_qt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_qt");
+    group.sample_size(10);
+    let m = 16384;
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f32>(m, 16, 3);
+    let f = caqr::tsqr(
+        &gpu,
+        a,
+        BlockSize::c2050_best(),
+        ReductionStrategy::RegisterSerialTransposed,
+    )
+    .unwrap();
+    let c0 = dense::generate::uniform::<f32>(m, 16, 4);
+    group.bench_function("tsqr_qt_16k_x_16", |b| {
+        b.iter(|| {
+            let mut cm = c0.clone();
+            f.apply_qt(&gpu, &mut cm).unwrap();
+            black_box(cm)
+        });
+    });
+    group.finish();
+}
+
+fn bench_dense_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense");
+    group.sample_size(10);
+    let a = dense::generate::uniform::<f32>(512, 512, 5);
+    let b_m = dense::generate::uniform::<f32>(512, 512, 6);
+    group.bench_function("gemm_512", |bch| {
+        bch.iter(|| {
+            let mut out = dense::Matrix::<f32>::zeros(512, 512);
+            dense::blas3::gemm(
+                dense::blas3::Trans::No,
+                dense::blas3::Trans::No,
+                1.0,
+                a.as_ref(),
+                b_m.as_ref(),
+                0.0,
+                out.as_mut(),
+            );
+            black_box(out)
+        });
+    });
+    let tall = dense::generate::uniform::<f32>(8192, 32, 7);
+    group.bench_function("geqrf_8192x32", |bch| {
+        bch.iter(|| {
+            let mut f = tall.clone();
+            black_box(dense::blocked::geqrf(&mut f, 32))
+        });
+    });
+    let small = dense::generate::uniform::<f64>(100, 100, 8);
+    group.bench_function("jacobi_svd_100", |bch| {
+        bch.iter(|| black_box(dense::svd::svd(&small).sigma));
+    });
+    group.bench_function("golub_kahan_svd_100", |bch| {
+        bch.iter(|| black_box(dense::gk_svd::svd_golub_kahan(&small).sigma));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsqr, bench_caqr_factor, bench_apply_qt, bench_dense_primitives);
+criterion_main!(benches);

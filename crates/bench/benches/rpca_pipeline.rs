@@ -1,0 +1,42 @@
+//! Benches of the Robust PCA application path: the SVD-via-QR pipeline and
+//! a full solve of a small synthetic clip (real arithmetic end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{DeviceSpec, Gpu};
+use rpca::video::{generate, VideoConfig};
+use rpca::{rpca, svd_via_qr, CpuQrBackend, GpuCaqrBackend, RpcaParams};
+use std::hint::black_box;
+
+fn bench_svd_via_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_via_qr_4096x32");
+    group.sample_size(10);
+    let a = dense::generate::uniform::<f64>(4096, 32, 1);
+    group.bench_function("cpu_backend", |b| {
+        b.iter(|| black_box(svd_via_qr(&CpuQrBackend, &a).sigma));
+    });
+    group.bench_function("sim_gpu_caqr_backend", |b| {
+        let gpu = Gpu::new(DeviceSpec::gtx480());
+        let backend = GpuCaqrBackend {
+            gpu: &gpu,
+            opts: caqr::CaqrOptions::default(),
+        };
+        b.iter(|| black_box(svd_via_qr(&backend, &a).sigma));
+    });
+    group.finish();
+}
+
+fn bench_rpca_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpca_solve");
+    group.sample_size(10);
+    let video = generate::<f64>(&VideoConfig::tiny());
+    group.bench_function("tiny_clip_432x20", |b| {
+        b.iter(|| {
+            let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams::default());
+            black_box((r.iterations, r.rank))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd_via_qr, bench_rpca_solve);
+criterion_main!(benches);

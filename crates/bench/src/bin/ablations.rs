@@ -1,0 +1,192 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Reduction-tree shape** (§II-B): the GPU wants the highest-arity tree
+//!    the block size allows (fewest dependent launches); binomial trees —
+//!    the multicore choice — pay a launch per extra level.
+//! 2. **Kernel strategy on the full factorization** (§IV-E): the 55->388
+//!    GFLOPS kernel progression seen end-to-end.
+//! 3. **Communication volume** (the "communication-avoiding" in CAQR):
+//!    DRAM passes over the matrix for CAQR vs the BLAS2 QR, against the
+//!    read-once + write-once lower bound.
+//! 4. **Launch-overhead / bandwidth sensitivity**: which machine parameter
+//!    governs which regime of Table I.
+//!
+//! ```text
+//! cargo run -p caqr-bench --release --bin ablations [-- --csv]
+//! ```
+
+use caqr::model::{model_caqr_gflops, model_caqr_seconds};
+use caqr::{BlockSize, CaqrOptions, ReductionStrategy, TreeShape};
+use caqr_bench::{gf, Table};
+use gpu_sim::{DeviceSpec, Gpu};
+
+fn main() {
+    tree_shape();
+    strategy_end_to_end();
+    communication();
+    sensitivity();
+    mapping_options();
+}
+
+fn tree_shape() {
+    let shapes: [(&str, TreeShape); 4] = [
+        ("device (8-ary)", TreeShape::DeviceArity),
+        ("quad", TreeShape::Arity(4)),
+        ("binomial", TreeShape::Binomial),
+        ("flat", TreeShape::Flat),
+    ];
+    let mut table = Table::new(&["matrix", "device (8-ary)", "quad", "binomial", "flat"]);
+    for m in [10_000usize, 100_000, 1_000_000] {
+        let mut row = vec![format!("{m} x 192")];
+        for &(_, tree) in &shapes {
+            let gpu = Gpu::new(DeviceSpec::c2050());
+            let opts = CaqrOptions {
+                tree,
+                ..CaqrOptions::default()
+            };
+            match model_caqr_gflops(&gpu, m, 192, opts) {
+                Ok(g) => row.push(gf(g)),
+                Err(_) => row.push("launch fails".into()),
+            }
+        }
+        table.row(row);
+    }
+    table.emit("Ablation 1: reduction-tree shape (modelled SGEQRF GFLOP/s, C2050)");
+    println!(
+        "\nThe device-arity tree wins on the GPU (fewest dependent launches);\n\
+         binomial — the multicore choice of [10] — pays log2 vs log8 levels.\n\
+         The flat tree stacks every panel's R factors into one block whose\n\
+         staged U overflows shared memory — the launch fails, exactly the\n\
+         constraint that makes reduction trees necessary."
+    );
+}
+
+fn strategy_end_to_end() {
+    let mut table = Table::new(&["strategy", "kernel GFLOP/s", "full CAQR GFLOP/s (100k x 192)"]);
+    let spec = DeviceSpec::c2050();
+    for s in ReductionStrategy::ALL {
+        let kernel = caqr::microkernels::apply_qt_h_block_gflops(&spec, BlockSize::c2050_best(), s);
+        let gpu = Gpu::new(spec.clone());
+        let opts = CaqrOptions {
+            strategy: s,
+            ..CaqrOptions::default()
+        };
+        let full = model_caqr_gflops(&gpu, 100_000, 192, opts).unwrap();
+        table.row(vec![s.to_string(), gf(kernel), gf(full)]);
+    }
+    table.emit("Ablation 2: tuning strategy, kernel-level vs end-to-end");
+}
+
+fn communication() {
+    let mut table = Table::new(&[
+        "matrix",
+        "CAQR passes",
+        "BLAS2 QR passes",
+        "lower bound",
+        "CAQR/bound",
+    ]);
+    for m in [50_000usize, 200_000, 1_000_000] {
+        let n = 192usize;
+        let elem_bytes = 4.0 * m as f64 * n as f64;
+        // CAQR: read the modelled DRAM traffic off the ledger.
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        model_caqr_seconds(&gpu, m, n, CaqrOptions::default()).unwrap();
+        let caqr_passes = gpu.ledger().dram_bytes / elem_bytes;
+        // BLAS2 QR: three streams of the trailing matrix per reflector.
+        let mut blas2_bytes = 0.0;
+        for j in 0..n {
+            blas2_bytes += 4.0 * (m - j) as f64 * (n - j) as f64 * 3.0;
+        }
+        let blas2_passes = blas2_bytes / elem_bytes;
+        // Lower bound: read the input once, write the factors once.
+        let bound = 2.0;
+        table.row(vec![
+            format!("{m} x {n}"),
+            format!("{caqr_passes:.1}"),
+            format!("{blas2_passes:.1}"),
+            format!("{bound:.1}"),
+            format!("{:.1}x", caqr_passes / bound),
+        ]);
+    }
+    table.emit("Ablation 3: DRAM passes over the matrix (communication volume)");
+    println!(
+        "\nCAQR's traffic is shape-independent and an order of magnitude below\n\
+         the BLAS2 algorithm, which re-streams the trailing matrix per\n\
+         reflector (~3n/4 passes at n = 192). The remaining gap to the\n\
+         read+write bound is the per-panel trailing update inherent to a\n\
+         16-column panel (about n/w + const passes)."
+    );
+}
+
+fn mapping_options() {
+    // Section III: Option A (CPU TSQR panels + GPU trailing updates) vs
+    // Option B (everything on the GPU, the paper's choice).
+    use baselines::option_a::model_caqr_option_a_gflops;
+    use gpu_sim::{CpuSpec, PcieSpec};
+    let gpu = DeviceSpec::c2050();
+    let pcie = PcieSpec::gen2_x16();
+    let cpu = CpuSpec::nehalem_8core();
+    let bs = BlockSize::c2050_best();
+    let mut table = Table::new(&["matrix", "Option A (hybrid)", "Option B (all-GPU)", "B/A"]);
+    for (m, n) in [(1_000usize, 192usize), (110_592, 100), (1_000_000, 192), (8192, 4096)] {
+        let a = model_caqr_option_a_gflops(&gpu, &pcie, &cpu, m, n, bs);
+        let b = {
+            let g = Gpu::new(gpu.clone());
+            model_caqr_gflops(&g, m, n, CaqrOptions::default()).unwrap()
+        };
+        table.row(vec![
+            format!("{m} x {n}"),
+            gf(a),
+            gf(b),
+            format!("{:.2}x", b / a),
+        ]);
+    }
+    table.emit("Ablation 5: Section III mapping — CPU-panel hybrid vs all-GPU CAQR");
+    println!(
+        "\nOption B (the paper's choice) wins wherever panels are a large\n\
+         fraction of the work — exactly the tall-skinny regime; the PCIe\n\
+         round-trip per panel is the Option A tax."
+    );
+}
+
+fn sensitivity() {
+    let mut table = Table::new(&["variant", "1k x 192", "100k x 192", "1M x 192"]);
+    let variants: Vec<(&str, DeviceSpec)> = vec![
+        ("baseline C2050", DeviceSpec::c2050()),
+        ("launch overhead 5 us", {
+            let mut s = DeviceSpec::c2050();
+            s.launch_overhead_us = 5.0;
+            s
+        }),
+        ("launch overhead 100 us", {
+            let mut s = DeviceSpec::c2050();
+            s.launch_overhead_us = 100.0;
+            s
+        }),
+        ("2x DRAM bandwidth", {
+            let mut s = DeviceSpec::c2050();
+            s.dram_bw_gbs *= 2.0;
+            s
+        }),
+        ("2x SM count", {
+            let mut s = DeviceSpec::c2050();
+            s.sms *= 2;
+            s
+        }),
+    ];
+    for (name, spec) in variants {
+        let mut row = vec![name.to_string()];
+        for m in [1_000usize, 100_000, 1_000_000] {
+            let gpu = Gpu::new(spec.clone());
+            row.push(gf(model_caqr_gflops(&gpu, m, 192, CaqrOptions::default()).unwrap()));
+        }
+        table.row(row);
+    }
+    table.emit("Ablation 4: machine-parameter sensitivity of CAQR (GFLOP/s)");
+    println!(
+        "\nSmall matrices are launch-overhead-bound (the 1k column moves with\n\
+         overhead and barely with bandwidth); large matrices are compute-bound\n\
+         (they scale with SM count, not bandwidth) — the paper's compute-bound\n\
+         kernels claim."
+    );
+}

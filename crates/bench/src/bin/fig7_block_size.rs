@@ -1,0 +1,46 @@
+//! Figure 7: modelled `apply_qt_h` performance (single-precision GFLOP/s)
+//! for the block-size candidate grid on the C2050, using the shipping
+//! strategy (register-file serial reductions + pre-transposed panels).
+//!
+//! The paper reports the best shape as 128 x 16 at 388 GFLOPS.
+//!
+//! ```text
+//! cargo run -p caqr-bench --release --bin fig7_block_size [-- --csv]
+//! ```
+
+use caqr::microkernels::{apply_qt_h_block_gflops, ReductionStrategy};
+use caqr::tuning::{autotune, block_size_grid};
+use caqr_bench::{gf, Table};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let spec = DeviceSpec::c2050();
+    let strategy = ReductionStrategy::RegisterSerialTransposed;
+
+    // The surface, organized as heights x widths like the paper's figure.
+    let heights = [32usize, 64, 128, 256, 512];
+    let widths = [4usize, 8, 16, 32, 64];
+    let mut table = Table::new(&["height \\ width", "4", "8", "16", "32", "64"]);
+    for h in heights {
+        let mut row = vec![format!("{h}")];
+        for w in widths {
+            let bs = caqr::BlockSize { h, w };
+            if bs.validate().is_ok() {
+                row.push(gf(apply_qt_h_block_gflops(&spec, bs, strategy)));
+            } else {
+                row.push("-".into());
+            }
+        }
+        table.row(row);
+    }
+    table.emit("Figure 7: apply_qt_h GFLOP/s by block size (C2050, strategy 4)");
+
+    let best = autotune(&spec, strategy);
+    println!(
+        "\nautotuned best: {}x{} at {} GFLOP/s over {} candidates (paper: 128x16 at 388)",
+        best.bs.h,
+        best.bs.w,
+        gf(best.gflops),
+        block_size_grid().len()
+    );
+}

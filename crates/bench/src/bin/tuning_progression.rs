@@ -1,0 +1,30 @@
+//! Section IV-E / IV-G: the kernel-tuning progression on 128 x 16 blocks.
+//!
+//! The paper improves `apply_qt_h` from 55 GFLOPS (shared-memory parallel
+//! reductions) through 168 (shared-memory serial) and 194 (register-file
+//! serial) to 388 GFLOPS (register-file serial + pre-transposed panels).
+//!
+//! ```text
+//! cargo run -p caqr-bench --release --bin tuning_progression [-- --csv]
+//! ```
+
+use caqr::microkernels::{apply_qt_h_block_gflops, ReductionStrategy};
+use caqr::BlockSize;
+use caqr_bench::{gf, Table};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let spec = DeviceSpec::c2050();
+    let bs = BlockSize::c2050_best();
+    let paper = [55.0, 168.0, 194.0, 388.0];
+
+    let mut table = Table::new(&["strategy", "modelled GFLOP/s", "paper GFLOP/s"]);
+    for (s, p) in ReductionStrategy::ALL.into_iter().zip(paper) {
+        table.row(vec![
+            s.to_string(),
+            gf(apply_qt_h_block_gflops(&spec, bs, s)),
+            gf(p),
+        ]);
+    }
+    table.emit("Tuning progression: apply_qt_h on 128x16 blocks (C2050)");
+}

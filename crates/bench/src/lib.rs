@@ -1,0 +1,107 @@
+//! Shared output helpers for the figure/table harness binaries.
+//!
+//! Every harness prints a plain-text table mirroring the paper's rows or
+//! series, and can optionally append the same data as CSV (pass `--csv` as
+//! an argument) for plotting.
+
+#![warn(missing_docs)]
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, w) in cells.iter().zip(widths) {
+                out.push_str(&format!("{c:>width$}  ", width = w));
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table; with `--csv` in `std::env::args`, also print CSV.
+    pub fn emit(&self, title: &str) {
+        println!("\n== {title} ==\n");
+        print!("{}", self.render());
+        if std::env::args().any(|a| a == "--csv") {
+            println!("\n--- csv ---\n{}", self.csv());
+        }
+    }
+}
+
+/// Format a GFLOP/s value like the paper's tables.
+pub fn gf(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["size", "gflops"]);
+        t.row(vec!["1k x 192".into(), "39.6".into()]);
+        t.row(vec!["1M x 192".into(), "195".into()]);
+        let r = t.render();
+        assert!(r.contains("size"));
+        assert!(r.contains("1M x 192"));
+        let csv = t.csv();
+        assert!(csv.starts_with("size,gflops\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn gf_formatting() {
+        assert_eq!(gf(39.63), "39.6");
+        assert_eq!(gf(194.8), "195");
+    }
+}

@@ -1,0 +1,309 @@
+//! Block geometry: panel tiling and reduction-tree planning.
+//!
+//! TSQR splits a tall panel vertically into `h x w` blocks (Figure 2 of the
+//! paper); the per-block `R` factors are then reduced in a tree whose arity
+//! is `h / w` — "if the block size is 64 x 16 ... we reduce the height of the
+//! panel by a factor of 4 at each level and the reduction is a quad-tree"
+//! (Section IV-C). With the paper's best 128 x 16 blocks the tree is 8-ary.
+
+/// Block dimensions used by the GPU kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSize {
+    /// Block height (rows per thread-block tile).
+    pub h: usize,
+    /// Block width == panel width (columns factored per TSQR panel).
+    pub w: usize,
+}
+
+impl BlockSize {
+    /// The paper's tuned choice for the C2050: 128 x 16.
+    pub fn c2050_best() -> Self {
+        BlockSize { h: 128, w: 16 }
+    }
+
+    /// The example block size from Section IV-C (64 x 16, quad-tree).
+    pub fn quad_tree_example() -> Self {
+        BlockSize { h: 64, w: 16 }
+    }
+
+    /// Reduction-tree arity: how many stacked `w x w` R-triangles fit in one
+    /// `h x w` block, clamped to at least 2 so the tree always shrinks.
+    pub fn arity(&self) -> usize {
+        (self.h / self.w).max(2)
+    }
+
+    /// Threads per block (fixed at 64, matching the paper's kernels).
+    pub fn threads(&self) -> usize {
+        64
+    }
+
+    /// Sanity constraints: the tree must shrink (`h >= 2w`) and dimensions
+    /// must be positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.w == 0 || self.h == 0 {
+            return Err(format!("degenerate block size {}x{}", self.h, self.w));
+        }
+        if self.h < 2 * self.w {
+            return Err(format!(
+                "block height {} must be at least 2x the width {} for the reduction tree to shrink",
+                self.h, self.w
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One tile of a panel: `start` is the absolute row of its first element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Absolute first row.
+    pub start: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+/// Split `rows` panel rows beginning at absolute row `row0` into tiles of
+/// height `h`. A final remainder shorter than `w` is merged into the previous
+/// tile (a QR block must have at least as many rows as columns), so tile
+/// heights are in `[w, h + w)` except when the whole panel is shorter than
+/// `h` (then there is a single tile of `rows` rows).
+pub fn tile_panel(row0: usize, rows: usize, h: usize, w: usize) -> Vec<Tile> {
+    assert!(rows > 0, "empty panel");
+    if rows <= h {
+        return vec![Tile { start: row0, rows }];
+    }
+    let mut tiles = Vec::with_capacity(rows / h + 1);
+    let mut r = 0;
+    while r < rows {
+        let take = h.min(rows - r);
+        tiles.push(Tile { start: row0 + r, rows: take });
+        r += take;
+    }
+    // Merge an undersized trailing remainder into its predecessor.
+    if tiles.len() >= 2 && tiles[tiles.len() - 1].rows < w {
+        let last = tiles.pop().unwrap();
+        let prev = tiles.last_mut().unwrap();
+        prev.rows += last.rows;
+    }
+    tiles
+}
+
+/// Shape of the TSQR reduction tree (Section II-B: "this can be done using
+/// any tree shape. The optimal shape can differ depending on the
+/// characteristics of the architecture. For example, on multi-core machines
+/// a binomial tree reduction was used, whereas our GPU approach employs a
+/// quad-tree reduction").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Arity determined by the block geometry, `h / w` — the paper's GPU
+    /// choice (quad-tree for 64x16 blocks, 8-ary for 128x16).
+    DeviceArity,
+    /// Fixed arity (clamped to at least 2).
+    Arity(usize),
+    /// Pairwise binomial reduction — the multicore choice of the paper's
+    /// reference \[10\].
+    Binomial,
+    /// Single-level flat reduction: every surviving R is stacked into one
+    /// block. Communication-minimal in launches but serial and usually
+    /// infeasible on a real GPU (the stack overflows fast memory) — kept
+    /// for the tree-shape ablation.
+    Flat,
+}
+
+impl TreeShape {
+    /// Effective reduction arity for a block size.
+    pub fn arity(self, bs: BlockSize) -> usize {
+        match self {
+            TreeShape::DeviceArity => bs.arity(),
+            TreeShape::Arity(n) => n.max(2),
+            TreeShape::Binomial => 2,
+            TreeShape::Flat => usize::MAX,
+        }
+    }
+}
+
+/// A group of R-triangles reduced together by one `factor_tree` block.
+/// `members` are the absolute row offsets of the stacked `w x w` triangles;
+/// the group's output `R` is attributed to `members[0]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeGroup {
+    /// Row offsets of the participating triangles (2..=arity of them).
+    pub members: Vec<usize>,
+}
+
+/// The full reduction-tree plan for one panel: `levels[l]` lists the groups
+/// factored at level `l` (level 0 of the *tree*, i.e. the first reduction
+/// after the per-block factorization). Singleton carries (a leftover R that
+/// joins a group at a later level) do not appear as groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreePlan {
+    /// Groups per level.
+    pub levels: Vec<Vec<TreeGroup>>,
+}
+
+impl TreePlan {
+    /// Total number of `factor_tree` block launches implied by the plan.
+    pub fn total_groups(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+/// Plan the reduction tree over the per-tile R offsets.
+pub fn plan_tree(tile_starts: &[usize], arity: usize) -> TreePlan {
+    assert!(arity >= 2);
+    let mut current: Vec<usize> = tile_starts.to_vec();
+    let mut levels = Vec::new();
+    while current.len() > 1 {
+        let mut groups = Vec::new();
+        let mut next = Vec::with_capacity(current.len().div_ceil(arity));
+        for chunk in current.chunks(arity) {
+            next.push(chunk[0]);
+            if chunk.len() >= 2 {
+                groups.push(TreeGroup {
+                    members: chunk.to_vec(),
+                });
+            }
+            // A singleton chunk passes its R through to the next level
+            // unchanged (no kernel work).
+        }
+        // A level can be group-free only if the reduction stalled, which
+        // chunks(arity>=2) makes impossible while current.len() > 1.
+        debug_assert!(!groups.is_empty());
+        levels.push(groups);
+        current = next;
+    }
+    TreePlan { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quad_tree_example() {
+        // 64x16 blocks reduce 4 Rs per block: Figure 2's quad tree.
+        let bs = BlockSize::quad_tree_example();
+        assert_eq!(bs.arity(), 4);
+        bs.validate().unwrap();
+        // 16 tiles -> 4 groups -> 1 group.
+        let starts: Vec<usize> = (0..16).map(|i| i * 64).collect();
+        let plan = plan_tree(&starts, bs.arity());
+        assert_eq!(plan.levels.len(), 2);
+        assert_eq!(plan.levels[0].len(), 4);
+        assert_eq!(plan.levels[1].len(), 1);
+        assert_eq!(plan.levels[1][0].members, vec![0, 256, 512, 768]);
+    }
+
+    #[test]
+    fn best_block_is_8ary() {
+        assert_eq!(BlockSize::c2050_best().arity(), 8);
+    }
+
+    #[test]
+    fn tile_panel_exact_division() {
+        let t = tile_panel(0, 512, 128, 16);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|t| t.rows == 128));
+        assert_eq!(t[3].start, 384);
+    }
+
+    #[test]
+    fn tile_panel_merges_small_remainder() {
+        // 128*3 + 7 rows: the 7-row remainder (< w=16) merges into tile 2.
+        let t = tile_panel(10, 391, 128, 16);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].rows, 128 + 7);
+        assert_eq!(t[2].start, 10 + 256);
+        assert_eq!(t.iter().map(|t| t.rows).sum::<usize>(), 391);
+    }
+
+    #[test]
+    fn tile_panel_keeps_large_remainder() {
+        let t = tile_panel(0, 300, 128, 16);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].rows, 44);
+    }
+
+    #[test]
+    fn tile_panel_short_panel_single_tile() {
+        let t = tile_panel(5, 40, 128, 16);
+        assert_eq!(t, vec![Tile { start: 5, rows: 40 }]);
+        // Even shorter than w: still one tile (handled by small QR).
+        let t = tile_panel(5, 9, 128, 16);
+        assert_eq!(t[0].rows, 9);
+    }
+
+    #[test]
+    fn plan_tree_single_tile_is_empty() {
+        let plan = plan_tree(&[0], 4);
+        assert!(plan.levels.is_empty());
+        assert_eq!(plan.total_groups(), 0);
+    }
+
+    #[test]
+    fn plan_tree_with_singleton_carry() {
+        // 5 tiles, arity 4: level0 = [0,1,2,3] grouped + 4 carried;
+        // level1 = [0, 4].
+        let starts = [0, 100, 200, 300, 400];
+        let plan = plan_tree(&starts, 4);
+        assert_eq!(plan.levels.len(), 2);
+        assert_eq!(plan.levels[0].len(), 1);
+        assert_eq!(plan.levels[0][0].members, vec![0, 100, 200, 300]);
+        assert_eq!(plan.levels[1][0].members, vec![0, 400]);
+    }
+
+    #[test]
+    fn plan_tree_always_terminates_and_covers() {
+        for n in 1..200 {
+            for arity in [2, 4, 8] {
+                let starts: Vec<usize> = (0..n).map(|i| i * 7).collect();
+                let plan = plan_tree(&starts, arity);
+                // Each level shrinks the population; final population is 1.
+                let mut pop = n;
+                for level in &plan.levels {
+                    let grouped: usize = level.iter().map(|g| g.members.len()).sum();
+                    let singles = pop - grouped;
+                    pop = level.len() + singles;
+                }
+                assert_eq!(pop, 1, "n={n} arity={arity}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_shapes_resolve_to_arities() {
+        let bs = BlockSize { h: 128, w: 16 };
+        assert_eq!(TreeShape::DeviceArity.arity(bs), 8);
+        assert_eq!(TreeShape::Binomial.arity(bs), 2);
+        assert_eq!(TreeShape::Arity(4).arity(bs), 4);
+        assert_eq!(TreeShape::Arity(1).arity(bs), 2, "arity clamps to 2");
+        assert_eq!(TreeShape::Flat.arity(bs), usize::MAX);
+    }
+
+    #[test]
+    fn binomial_tree_is_deeper_than_device_tree() {
+        let starts: Vec<usize> = (0..64).map(|i| i * 128).collect();
+        let dev = plan_tree(&starts, 8);
+        let bin = plan_tree(&starts, 2);
+        assert_eq!(dev.levels.len(), 2); // 64 -> 8 -> 1
+        assert_eq!(bin.levels.len(), 6); // 64 -> 32 -> ... -> 1
+        // Binomial does more, smaller reductions overall.
+        assert!(bin.total_groups() > dev.total_groups());
+    }
+
+    #[test]
+    fn flat_tree_is_one_level() {
+        let starts: Vec<usize> = (0..50).map(|i| i * 64).collect();
+        let plan = plan_tree(&starts, usize::MAX);
+        assert_eq!(plan.levels.len(), 1);
+        assert_eq!(plan.levels[0].len(), 1);
+        assert_eq!(plan.levels[0][0].members.len(), 50);
+    }
+
+    #[test]
+    fn invalid_blocks_rejected() {
+        assert!(BlockSize { h: 16, w: 16 }.validate().is_err());
+        assert!(BlockSize { h: 0, w: 4 }.validate().is_err());
+        assert!(BlockSize { h: 128, w: 16 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,189 @@
+//! The strategy-independent *math* of the four kernels, shared between the
+//! simulated-GPU kernels ([`crate::kernels`]) and the host-multicore
+//! implementation ([`crate::multicore`]): factor a tile, factor a gathered
+//! triangle stack, apply tile reflectors, apply a tree node.
+//!
+//! All functions follow the [`dense::ptr::MatPtr`] disjoint-tile contract —
+//! the caller's parallel loop must hand each invocation a tile no other
+//! concurrent invocation touches.
+
+use crate::block::Tile;
+use crate::tsqr::TreeNode;
+use dense::householder::geqr2;
+use dense::matrix::{MatMut, MatRef, Matrix};
+use dense::scalar::Scalar;
+use dense::MatPtr;
+
+/// Factor one `tile.rows x width` tile of the panel in place; returns the
+/// `tau` scalars. (The `factor` kernel body.)
+pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usize) -> Vec<T> {
+    let mut buf = vec![T::ZERO; tile.rows * width];
+    // SAFETY: the caller assigns disjoint tiles to concurrent invocations.
+    unsafe {
+        a.load_tile(tile.start, col0, tile.rows, width, &mut buf);
+    }
+    let mut tau = vec![T::ZERO; tile.rows.min(width)];
+    geqr2(MatMut::from_parts(&mut buf, tile.rows, width, tile.rows), &mut tau);
+    // SAFETY: same tile.
+    unsafe {
+        a.store_tile(tile.start, col0, tile.rows, width, &buf);
+    }
+    tau
+}
+
+/// Gather the stacked R-triangles of one tree group, factor the stack, and
+/// write the surviving R back to the leader. (The `factor_tree` kernel body.)
+pub fn factor_tree_group<T: Scalar>(
+    a: MatPtr<T>,
+    members: &[usize],
+    col0: usize,
+    width: usize,
+) -> TreeNode<T> {
+    let w = width;
+    let t = members.len();
+    let rows = t * w;
+    let mut buf = vec![T::ZERO; rows * w];
+    for (ti, &r0) in members.iter().enumerate() {
+        for j in 0..w {
+            for i in 0..=j {
+                // SAFETY: this group's triangles belong to this invocation.
+                buf[j * rows + ti * w + i] = unsafe { a.get(r0 + i, col0 + j) };
+            }
+        }
+    }
+    let mut tau = vec![T::ZERO; w.min(rows)];
+    geqr2(MatMut::from_parts(&mut buf, rows, w, rows), &mut tau);
+    let r0 = members[0];
+    for j in 0..w {
+        for i in 0..=j {
+            // SAFETY: leader triangle belongs to this group.
+            unsafe { a.set(r0 + i, col0 + j, buf[j * rows + i]) };
+        }
+    }
+    TreeNode {
+        members: members.to_vec(),
+        u: Matrix::from_col_major(rows, w, buf),
+        tau,
+    }
+}
+
+/// Apply one tile's reflectors to one `tile.rows x wc` target tile at
+/// column `c0`. (The `apply_qt_h` kernel body.)
+#[allow(clippy::too_many_arguments)]
+pub fn apply_tile_reflectors<T: Scalar>(
+    v: MatPtr<T>,
+    c: MatPtr<T>,
+    tile: Tile,
+    col0: usize,
+    width: usize,
+    tau: &[T],
+    c0: usize,
+    wc: usize,
+    transpose: bool,
+) {
+    let rows = tile.rows;
+    let mut vbuf = vec![T::ZERO; rows * width];
+    // SAFETY: the panel region is read-only during the launch.
+    unsafe {
+        v.load_tile(tile.start, col0, rows, width, &mut vbuf);
+    }
+    let mut cbuf = vec![T::ZERO; rows * wc];
+    // SAFETY: target tiles are disjoint across invocations.
+    unsafe {
+        c.load_tile(tile.start, c0, rows, wc, &mut cbuf);
+    }
+    crate::microkernels::apply_block_reflectors(
+        MatRef::from_parts(&vbuf, rows, width, rows),
+        tau,
+        transpose,
+        MatMut::from_parts(&mut cbuf, rows, wc, rows),
+    );
+    // SAFETY: same disjoint tile.
+    unsafe {
+        c.store_tile(tile.start, c0, rows, wc, &cbuf);
+    }
+}
+
+/// Apply one tree node's reflectors to the stacked `width`-row strips of
+/// the target at columns `[c0, c0 + wc)`. (The `apply_qt_tree` kernel body.)
+pub fn apply_tree_node<T: Scalar>(
+    c: MatPtr<T>,
+    node: &TreeNode<T>,
+    width: usize,
+    c0: usize,
+    wc: usize,
+    transpose: bool,
+) {
+    let w = width;
+    let t = node.members.len();
+    let rows = t * w;
+    let mut cbuf = vec![T::ZERO; rows * wc];
+    for (si, &r0) in node.members.iter().enumerate() {
+        for j in 0..wc {
+            for i in 0..w {
+                // SAFETY: each (group, column-block) strip set is disjoint.
+                cbuf[j * rows + si * w + i] = unsafe { c.get(r0 + i, c0 + j) };
+            }
+        }
+    }
+    crate::microkernels::apply_block_reflectors(
+        node.u.as_ref(),
+        &node.tau,
+        transpose,
+        MatMut::from_parts(&mut cbuf, rows, wc, rows),
+    );
+    for (si, &r0) in node.members.iter().enumerate() {
+        for j in 0..wc {
+            for i in 0..w {
+                // SAFETY: same disjoint strips.
+                unsafe { c.set(r0 + i, c0 + j, cbuf[j * rows + si * w + i]) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::tile_panel;
+
+    #[test]
+    fn factor_tile_equals_geqr2() {
+        let mut a = dense::generate::uniform::<f64>(40, 6, 1);
+        let reference = a.clone();
+        let tile = Tile { start: 8, rows: 24 };
+        let tau = factor_tile(MatPtr::new(&mut a), tile, 0, 6);
+        let mut want = reference.extract(8, 0, 24, 6);
+        let mut tau_want = vec![0.0; 6];
+        dense::householder::geqr2(want.as_mut(), &mut tau_want);
+        assert_eq!(tau, tau_want);
+        assert_eq!(a.extract(8, 0, 24, 6), want);
+        // Rows outside the tile untouched.
+        for j in 0..6 {
+            for i in 0..8 {
+                assert_eq!(a[(i, j)], reference[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_round_trip_via_blockops() {
+        let mut panel = dense::generate::uniform::<f64>(64, 4, 2);
+        let tiles = tile_panel(0, 64, 32, 4);
+        let taus: Vec<Vec<f64>> = tiles
+            .iter()
+            .map(|&t| factor_tile(MatPtr::new(&mut panel), t, 0, 4))
+            .collect();
+        let c0m = dense::generate::uniform::<f64>(64, 3, 3);
+        let mut c = c0m.clone();
+        for (t, tau) in tiles.iter().zip(&taus) {
+            apply_tile_reflectors(MatPtr::new_readonly(&panel), MatPtr::new(&mut c), *t, 0, 4, tau, 0, 3, true);
+        }
+        for (t, tau) in tiles.iter().zip(&taus) {
+            apply_tile_reflectors(MatPtr::new_readonly(&panel), MatPtr::new(&mut c), *t, 0, 4, tau, 0, 3, false);
+        }
+        for (x, y) in c.as_slice().iter().zip(c0m.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

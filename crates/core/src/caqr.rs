@@ -1,0 +1,413 @@
+//! CAQR — Communication-Avoiding QR for general matrices (Section II-C),
+//! running entirely on the simulated GPU with the host pseudocode of
+//! Figure 4:
+//!
+//! ```text
+//! foreach panel
+//!     do small QRs in panel                  (factor)
+//!     foreach level in tree
+//!         do small QRs in tree               (factor_tree)
+//!     apply Q^T horizontally across trailing (apply_qt_h)
+//!     foreach level in tree
+//!         apply Q^T from the tree            (apply_qt_tree)
+//! ```
+//!
+//! After each panel the grid is redrawn `w` rows lower ("the trailing matrix
+//! becomes both shorter and narrower after each step").
+
+use crate::block::{BlockSize, TreeShape};
+use crate::error::CaqrError;
+use crate::kernels::{PretransposeKernel, THREADS};
+use crate::microkernels::ReductionStrategy;
+use crate::tsqr::{apply_panel_ptr, apply_panel_within, col_blocks, factor_panel_with_tree, PanelFactor};
+use dense::blas2::trsv_upper;
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::Gpu;
+
+/// Options for a CAQR factorization.
+#[derive(Clone, Copy, Debug)]
+pub struct CaqrOptions {
+    /// Block size (panel width = `bs.w`).
+    pub bs: BlockSize,
+    /// Kernel tuning strategy (affects modelled cost only).
+    pub strategy: ReductionStrategy,
+    /// Reduction-tree shape (the GPU default is the `h/w`-ary device tree).
+    pub tree: TreeShape,
+}
+
+impl Default for CaqrOptions {
+    /// The paper's shipping configuration: 128 x 16 blocks, register-file
+    /// serial reductions with pre-transposed panels.
+    fn default() -> Self {
+        CaqrOptions {
+            bs: BlockSize::c2050_best(),
+            strategy: ReductionStrategy::RegisterSerialTransposed,
+            tree: TreeShape::DeviceArity,
+        }
+    }
+}
+
+/// A completed CAQR factorization.
+pub struct Caqr<T: Scalar> {
+    /// The factored matrix: `R` in the upper triangle, per-panel Householder
+    /// tails below it.
+    pub a: Matrix<T>,
+    /// Per-panel TSQR factors, in factorization order.
+    pub panels: Vec<PanelFactor<T>>,
+    /// Options used.
+    pub opts: CaqrOptions,
+}
+
+/// Factor `a` with CAQR on the simulated GPU. Supports any shape (wide
+/// matrices factor the leading `min(m, n)` panels and update the rest).
+pub fn caqr<T: Scalar>(gpu: &Gpu, mut a: Matrix<T>, opts: CaqrOptions) -> Result<Caqr<T>, CaqrError> {
+    opts.bs.validate().map_err(CaqrError::BadShape)?;
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+    }
+    let w = opts.bs.w;
+    let k = m.min(n);
+
+    // Strategy 4's out-of-place preprocessing: transpose every panel from
+    // column-major to row-major so the register-file kernels coalesce.
+    if opts.strategy.needs_pretranspose() {
+        let tiles = m.div_ceil(opts.bs.h) * n.div_ceil(w);
+        let kernel = PretransposeKernel {
+            blocks: tiles,
+            tile_rows: opts.bs.h,
+            tile_cols: w,
+            spec: gpu.spec().clone(),
+        };
+        gpu.launch::<T>(&kernel)?;
+    }
+
+    let mut panels = Vec::with_capacity(k.div_ceil(w));
+    let mut c = 0;
+    while c < k {
+        let width = w.min(k - c);
+        // Grid redraw: panel p starts at row == its first column.
+        let pf = factor_panel_with_tree(gpu, &mut a, c, c, width, opts.bs, opts.strategy, opts.tree)?;
+        if c + width < n {
+            apply_panel_within(gpu, &mut a, &pf, c + width, n, true)?;
+        }
+        panels.push(pf);
+        c += width;
+    }
+
+    Ok(Caqr { a, panels, opts })
+}
+
+impl<T: Scalar> Caqr<T> {
+    /// The `min(m,n) x n` upper-triangular factor.
+    pub fn r(&self) -> Matrix<T> {
+        self.a.upper_triangular()
+    }
+
+    /// Apply `Q^T` to `c` (full row count) in place — panels in
+    /// factorization order.
+    pub fn apply_qt(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
+        assert_eq!(c.rows(), self.a.rows());
+        let cols = col_blocks(0, c.cols(), self.opts.bs.w);
+        let cp = MatPtr::new(c);
+        let vp = MatPtr::new_readonly(&self.a);
+        for pf in &self.panels {
+            apply_panel_ptr(gpu, vp, cp, pf, &cols, true)?;
+        }
+        Ok(())
+    }
+
+    /// Apply `Q` to `c` in place — panels in reverse order.
+    pub fn apply_q(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
+        assert_eq!(c.rows(), self.a.rows());
+        let cols = col_blocks(0, c.cols(), self.opts.bs.w);
+        let cp = MatPtr::new(c);
+        let vp = MatPtr::new_readonly(&self.a);
+        for pf in self.panels.iter().rev() {
+            apply_panel_ptr(gpu, vp, cp, pf, &cols, false)?;
+        }
+        Ok(())
+    }
+
+    /// Form the explicit `m x k` orthogonal factor (`SORGQR` analogue).
+    pub fn generate_q(&self, gpu: &Gpu, k: usize) -> Result<Matrix<T>, CaqrError> {
+        let m = self.a.rows();
+        assert!(k <= m, "cannot form more Q columns than rows");
+        let mut q = Matrix::<T>::eye(m, k);
+        self.apply_q(gpu, &mut q)?;
+        Ok(q)
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||` from this
+    /// factorization: `x = R^-1 (Q^T b)[0..n]`.
+    pub fn least_squares(&self, gpu: &Gpu, b: &[T]) -> Result<Vec<T>, CaqrError> {
+        let (m, n) = self.a.shape();
+        assert!(m >= n, "least squares needs a tall matrix");
+        assert_eq!(b.len(), m);
+        let mut c = Matrix::from_fn(m, 1, |i, _| b[i]);
+        self.apply_qt(gpu, &mut c)?;
+        let mut x: Vec<T> = (0..n).map(|i| c[(i, 0)]).collect();
+        trsv_upper(self.a.view(0, 0, n, n), &mut x);
+        Ok(x)
+    }
+
+    /// Solve `min ||A X - B||` column-wise for multiple right-hand sides:
+    /// one `Q^T` sweep over all columns of `B` (the apply kernels process
+    /// every column block in a single grid), then a triangular solve per
+    /// column. Returns the `n x nrhs` solution matrix.
+    pub fn least_squares_multi(&self, gpu: &Gpu, b: &Matrix<T>) -> Result<Matrix<T>, CaqrError> {
+        let (m, n) = self.a.shape();
+        assert!(m >= n, "least squares needs a tall matrix");
+        assert_eq!(b.rows(), m);
+        let mut c = b.clone();
+        self.apply_qt(gpu, &mut c)?;
+        let nrhs = b.cols();
+        let mut x = Matrix::<T>::zeros(n, nrhs);
+        for j in 0..nrhs {
+            let mut col: Vec<T> = (0..n).map(|i| c[(i, j)]).collect();
+            trsv_upper(self.a.view(0, 0, n, n), &mut col);
+            x.col_mut(j).copy_from_slice(&col);
+        }
+        Ok(x)
+    }
+
+    /// Total kernel launches a factorization of this shape issues — exposed
+    /// for the communication/launch accounting tests.
+    pub fn launches(&self) -> usize {
+        let mut n = 0;
+        for pf in &self.panels {
+            n += 1 + pf.levels.len(); // factor + factor_tree per level
+            n += if pf.col0 + pf.width < self.a.cols() {
+                1 + pf.levels.len() // apply_qt_h + apply_qt_tree per level
+            } else {
+                0
+            };
+        }
+        n + usize::from(self.opts.strategy.needs_pretranspose())
+    }
+}
+
+/// Convenience: factor and return `(Q, R)` explicitly (test/demo helper;
+/// production callers keep the implicit form).
+pub fn caqr_qr<T: Scalar>(
+    gpu: &Gpu,
+    a: Matrix<T>,
+    opts: CaqrOptions,
+) -> Result<(Matrix<T>, Matrix<T>), CaqrError> {
+    let k = a.rows().min(a.cols());
+    let f = caqr(gpu, a, opts)?;
+    let q = f.generate_q(gpu, k)?;
+    Ok((q, f.r()))
+}
+
+/// Hint for `THREADS`-related sizing reused by downstream crates.
+pub const fn threads_per_block() -> usize {
+    THREADS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::generate;
+    use dense::norms::{orthogonality_error, reconstruction_error};
+    use gpu_sim::DeviceSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::c2050())
+    }
+
+    fn opts_small() -> CaqrOptions {
+        CaqrOptions {
+            bs: BlockSize { h: 32, w: 8 },
+            strategy: ReductionStrategy::RegisterSerialTransposed,
+            tree: TreeShape::DeviceArity,
+        }
+    }
+
+    fn check_caqr(m: usize, n: usize, opts: CaqrOptions, seed: u64) {
+        let a = generate::uniform::<f64>(m, n, seed);
+        let g = gpu();
+        let (q, r) = caqr_qr(&g, a.clone(), opts).unwrap();
+        let rec = reconstruction_error(&a, &q, &r);
+        let ort = orthogonality_error(&q);
+        assert!(rec < 1e-12, "reconstruction {rec} for {m}x{n}");
+        assert!(ort < 1e-12, "orthogonality {ort} for {m}x{n}");
+        // R upper triangular.
+        for j in 0..r.cols() {
+            for i in j + 1..r.rows() {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn caqr_tall_multi_panel() {
+        check_caqr(256, 24, opts_small(), 21);
+    }
+
+    #[test]
+    fn caqr_square() {
+        check_caqr(64, 64, opts_small(), 22);
+    }
+
+    #[test]
+    fn caqr_ragged_everything() {
+        // Rows not a tile multiple, columns not a panel multiple.
+        check_caqr(213, 29, opts_small(), 23);
+    }
+
+    #[test]
+    fn caqr_wide_matrix() {
+        check_caqr(40, 70, opts_small(), 24);
+    }
+
+    #[test]
+    fn caqr_single_panel_degenerates_to_tsqr() {
+        check_caqr(200, 8, opts_small(), 25);
+    }
+
+    #[test]
+    fn caqr_paper_block_size() {
+        check_caqr(1024, 48, CaqrOptions::default(), 26);
+    }
+
+    #[test]
+    fn caqr_r_matches_blocked_householder_up_to_sign() {
+        let a = generate::uniform::<f64>(300, 40, 27);
+        let g = gpu();
+        let f = caqr(&g, a.clone(), opts_small()).unwrap();
+        let r = f.r();
+        let mut af = a.clone();
+        dense::blocked::geqrf(&mut af, 16);
+        for j in 0..40 {
+            for i in 0..=j {
+                assert!(
+                    (r[(i, j)].abs() - af[(i, j)].abs()).abs() < 1e-10,
+                    "|R| mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caqr_least_squares_recovers_planted_solution() {
+        let m = 180;
+        let n = 14;
+        let a = generate::uniform::<f64>(m, n, 28);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7) - 3.0).collect();
+        let mut b = vec![0.0; m];
+        for j in 0..n {
+            for i in 0..m {
+                b[i] += a[(i, j)] * x_true[j];
+            }
+        }
+        let g = gpu();
+        let f = caqr(&g, a, opts_small()).unwrap();
+        let x = f.least_squares(&g, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_least_squares_matches_single() {
+        let m = 120;
+        let n = 10;
+        let a = generate::uniform::<f64>(m, n, 55);
+        let b = generate::uniform::<f64>(m, 3, 56);
+        let g = gpu();
+        let f = caqr(&g, a, opts_small()).unwrap();
+        let x = f.least_squares_multi(&g, &b).unwrap();
+        for j in 0..3 {
+            let xj = f.least_squares(&g, b.col(j)).unwrap();
+            for i in 0..n {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_qt_q_round_trip() {
+        let a = generate::uniform::<f64>(150, 20, 29);
+        let g = gpu();
+        let f = caqr(&g, a, opts_small()).unwrap();
+        let c0 = generate::uniform::<f64>(150, 5, 30);
+        let mut c = c0.clone();
+        f.apply_qt(&g, &mut c).unwrap();
+        f.apply_q(&g, &mut c).unwrap();
+        for i in 0..150 {
+            for j in 0..5 {
+                assert!((c[(i, j)] - c0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn launch_count_matches_ledger() {
+        let g = gpu();
+        let a = generate::uniform::<f64>(256, 24, 31);
+        let f = caqr(&g, a, opts_small()).unwrap();
+        assert_eq!(f.launches() as u64, g.ledger().calls);
+    }
+
+    #[test]
+    fn tree_shape_does_not_change_the_factorization_quality() {
+        // Different tree shapes pick different Householder orderings, so R
+        // entries differ in sign/rounding — but reconstruction and
+        // orthogonality must be equally good, and |R| diagonals must agree
+        // (column norms are shape-invariant).
+        let a = generate::uniform::<f64>(640, 24, 33);
+        let mut diags: Vec<Vec<f64>> = Vec::new();
+        for tree in [TreeShape::DeviceArity, TreeShape::Binomial, TreeShape::Arity(3)] {
+            let g = gpu();
+            let o = CaqrOptions {
+                tree,
+                ..opts_small()
+            };
+            let (q, r) = caqr_qr(&g, a.clone(), o).unwrap();
+            assert!(reconstruction_error(&a, &q, &r) < 1e-12, "{tree:?}");
+            assert!(orthogonality_error(&q) < 1e-12, "{tree:?}");
+            diags.push((0..24).map(|d| r[(d, d)].abs()).collect());
+        }
+        for d in &diags[1..] {
+            for (x, y) in d.iter().zip(&diags[0]) {
+                assert!((x - y).abs() < 1e-10, "diagonal magnitude changed with tree shape");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_tree_issues_more_launches_than_device_tree() {
+        let a = generate::uniform::<f64>(2048, 16, 34);
+        let launches = |tree: TreeShape| {
+            let g = gpu();
+            let o = CaqrOptions {
+                bs: BlockSize { h: 64, w: 16 },
+                strategy: ReductionStrategy::RegisterSerialTransposed,
+                tree,
+            };
+            let _ = caqr(&g, a.clone(), o).unwrap();
+            g.ledger().calls
+        };
+        assert!(launches(TreeShape::Binomial) > launches(TreeShape::DeviceArity));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let g = gpu();
+        let a = Matrix::<f64>::zeros(0, 0);
+        assert!(caqr(&g, a, opts_small()).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_factors_cleanly() {
+        // All-zero input: R must be zero, Q orthogonal (identity-ish).
+        let g = gpu();
+        let a = Matrix::<f64>::zeros(96, 16);
+        let (q, r) = caqr_qr(&g, a, opts_small()).unwrap();
+        assert!(dense::norms::max_abs(&r) == 0.0);
+        assert!(orthogonality_error(&q) < 1e-13);
+    }
+}

@@ -1,0 +1,30 @@
+//! Error type for the CAQR drivers.
+
+use gpu_sim::LaunchError;
+
+/// Errors surfaced by the TSQR/CAQR drivers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CaqrError {
+    /// A kernel launch violated device limits (shared memory, threads,
+    /// registers) — the analogue of a CUDA launch failure.
+    Launch(LaunchError),
+    /// The requested factorization shape or block size is invalid.
+    BadShape(String),
+}
+
+impl From<LaunchError> for CaqrError {
+    fn from(e: LaunchError) -> Self {
+        CaqrError::Launch(e)
+    }
+}
+
+impl std::fmt::Display for CaqrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaqrError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            CaqrError::BadShape(s) => write!(f, "bad shape: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CaqrError {}

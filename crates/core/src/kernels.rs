@@ -1,0 +1,466 @@
+//! The four GPU kernels of Section IV-D — `factor`, `factor_tree`,
+//! `apply_qt_h`, `apply_qt_tree` — plus the out-of-place pre-transpose
+//! preprocessing pass of strategy 4.
+//!
+//! Each kernel performs its real arithmetic on the matrix (thread blocks run
+//! in parallel on the rayon pool, touching disjoint tiles per the
+//! [`dense::ptr::MatPtr`] contract) and charges the analytic per-block cost
+//! from the `*_block_cost` functions below. The model-only figure sweeps in
+//! [`crate::model`] charge the *same* functions, so executed and modelled
+//! timelines agree by construction (verified in the tests at the bottom).
+
+use crate::block::{Tile, TreeGroup};
+use crate::microkernels::{self as mk, ReductionStrategy};
+use crate::tsqr::TreeNode;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{BlockCost, BlockCtx, CostMeter, DeviceSpec, Kernel, LaunchConfig};
+use parking_lot::Mutex;
+
+/// Threads per block for every kernel (the paper's choice).
+pub const THREADS: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Analytic per-block costs (shared by execution and model-only paths).
+// ---------------------------------------------------------------------------
+
+/// Cost of one `factor` block: QR of a `rows x width` tile in fast memory.
+pub fn factor_block_cost(
+    spec: &DeviceSpec,
+    rows: usize,
+    width: usize,
+    strategy: ReductionStrategy,
+    elem_bytes: u64,
+) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    mk::charge_block_load(&mut m, rows, width, strategy, elem_bytes);
+    mk::charge_factor(&mut m, rows, width, THREADS, strategy, elem_bytes);
+    mk::charge_block_store(&mut m, rows, width, strategy, elem_bytes);
+    m.cost
+}
+
+/// Cost of one `factor_tree` block: gather `t` stacked `width x width`
+/// R-triangles, factor the stack, scatter the U components back and write
+/// the surviving R to the group leader.
+pub fn factor_tree_block_cost(
+    spec: &DeviceSpec,
+    t: usize,
+    width: usize,
+    strategy: ReductionStrategy,
+    elem_bytes: u64,
+) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    let tri_words = (t * width * (width + 1) / 2) as u64;
+    // Gathering distributed triangles is the "irregular, somewhat sparse"
+    // access pattern of Section II-C; short 16-element column segments still
+    // mostly coalesce on Fermi's 128-byte transactions.
+    m.gmem(tri_words, elem_bytes, true);
+    mk::charge_factor(&mut m, t * width, width, THREADS, strategy, elem_bytes);
+    m.gmem(tri_words, elem_bytes, true); // U overwrites the stacked triangles
+    m.gmem((width * (width + 1) / 2) as u64, elem_bytes, true); // leader's R
+    m.cost
+}
+
+/// Cost of one `apply_qt_h` block: apply a tile's `width` Householder
+/// vectors to a `rows x wc` tile of the trailing matrix.
+pub fn apply_qt_h_block_cost(
+    spec: &DeviceSpec,
+    rows: usize,
+    width: usize,
+    wc: usize,
+    strategy: ReductionStrategy,
+    elem_bytes: u64,
+) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    mk::charge_u_load(&mut m, rows, width, elem_bytes);
+    mk::charge_block_load(&mut m, rows, wc, strategy, elem_bytes);
+    mk::charge_apply_reflectors(&mut m, rows, width, wc, THREADS, strategy, elem_bytes);
+    mk::charge_block_store(&mut m, rows, wc, strategy, elem_bytes);
+    m.cost
+}
+
+/// Cost of one `apply_qt_tree` block: gather `t` distributed `width`-row
+/// strips of the trailing matrix, apply the tree-level reflectors, scatter.
+pub fn apply_qt_tree_block_cost(
+    spec: &DeviceSpec,
+    t: usize,
+    width: usize,
+    wc: usize,
+    strategy: ReductionStrategy,
+    elem_bytes: u64,
+) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    let rows = t * width;
+    // The stacked U has the triangular sparsity pattern; only its nonzeros
+    // are read.
+    m.gmem((t * width * (width + 1) / 2) as u64, elem_bytes, true);
+    m.smem((t * width * (width + 1) / 2) as u64);
+    mk::charge_block_load(&mut m, rows, wc, strategy, elem_bytes);
+    mk::charge_apply_reflectors(&mut m, rows, width, wc, THREADS, strategy, elem_bytes);
+    mk::charge_block_store(&mut m, rows, wc, strategy, elem_bytes);
+    m.cost
+}
+
+/// Cost of one block of the pre-transpose preprocessing pass (strategy 4):
+/// a shared-memory tiled transpose, read and write both coalesced.
+pub fn pretranspose_block_cost(spec: &DeviceSpec, rows: usize, cols: usize, elem_bytes: u64) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    let words = (rows * cols) as u64;
+    m.gmem(words, elem_bytes, true);
+    m.smem(2 * words);
+    m.sync();
+    m.gmem(words, elem_bytes, true);
+    m.cost
+}
+
+fn launch_smem_bytes<T: Scalar>(
+    max_rows: usize,
+    width: usize,
+    wc: usize,
+    strategy: ReductionStrategy,
+    stage_v: bool,
+) -> usize {
+    let eb = std::mem::size_of::<T>();
+    let mut bytes = mk::smem_bytes(max_rows, wc, THREADS, strategy, eb);
+    if stage_v {
+        bytes += max_rows * width * eb;
+    }
+    bytes
+}
+
+fn launch_regs(max_rows: usize, wc: usize, strategy: ReductionStrategy) -> usize {
+    mk::regs_per_thread(max_rows, wc, THREADS, strategy).min(mk::FERMI_MAX_REGS_PER_THREAD)
+}
+
+// ---------------------------------------------------------------------------
+// factor
+// ---------------------------------------------------------------------------
+
+/// `factor` (Section IV-D.1): each block QR-factors one `rows x width` tile
+/// of the panel in place, leaving R in the tile's upper triangle and the
+/// Householder tails below the diagonal; `tau` scalars go to the per-tile
+/// output slots.
+pub struct FactorKernel<'a, T: Scalar> {
+    /// Global-memory handle of the matrix being factored.
+    pub a: MatPtr<T>,
+    /// Panel tiles (disjoint row ranges — the grid contract).
+    pub tiles: &'a [Tile],
+    /// Panel's first column.
+    pub col0: usize,
+    /// Panel width.
+    pub width: usize,
+    /// Tuning strategy (cost only; the math is identical).
+    pub strategy: ReductionStrategy,
+    /// Device description for cost derivation.
+    pub spec: DeviceSpec,
+    /// Output `tau` slot per tile.
+    pub taus: &'a [Mutex<Vec<T>>],
+}
+
+impl<'a, T: Scalar> Kernel<T> for FactorKernel<'a, T> {
+    fn name(&self) -> &'static str {
+        "factor"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let max_rows = self.tiles.iter().map(|t| t.rows).max().unwrap_or(0);
+        LaunchConfig {
+            blocks: self.tiles.len(),
+            threads_per_block: THREADS,
+            shared_mem_bytes: launch_smem_bytes::<T>(max_rows, self.width, self.width, self.strategy, false),
+            regs_per_thread: launch_regs(max_rows, self.width, self.strategy),
+        }
+    }
+
+    fn run_block(&self, b: usize, ctx: &mut BlockCtx<T>) {
+        let tile = self.tiles[b];
+        *self.taus[b].lock() = crate::blockops::factor_tile(self.a, tile, self.col0, self.width);
+        ctx.meter.charge(&factor_block_cost(
+            &self.spec,
+            tile.rows,
+            self.width,
+            self.strategy,
+            T::BYTES,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// factor_tree
+// ---------------------------------------------------------------------------
+
+/// `factor_tree` (Section IV-D.2): each block gathers the stacked upper
+/// triangular Rs of one tree group, QR-factors the stack in fast memory,
+/// writes the surviving R back to the group leader's triangle, and emits
+/// the stacked Householder representation as a [`TreeNode`].
+pub struct FactorTreeKernel<'a, T: Scalar> {
+    /// Global-memory handle of the matrix being factored.
+    pub a: MatPtr<T>,
+    /// Groups at this tree level (disjoint member sets).
+    pub groups: &'a [TreeGroup],
+    /// Panel's first column.
+    pub col0: usize,
+    /// Panel width.
+    pub width: usize,
+    /// Tuning strategy.
+    pub strategy: ReductionStrategy,
+    /// Device description.
+    pub spec: DeviceSpec,
+    /// Output slot per group.
+    pub out: &'a [Mutex<Option<TreeNode<T>>>],
+}
+
+impl<'a, T: Scalar> Kernel<T> for FactorTreeKernel<'a, T> {
+    fn name(&self) -> &'static str {
+        "factor_tree"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let max_t = self.groups.iter().map(|g| g.members.len()).max().unwrap_or(2);
+        let rows = max_t * self.width;
+        LaunchConfig {
+            blocks: self.groups.len(),
+            threads_per_block: THREADS,
+            shared_mem_bytes: launch_smem_bytes::<T>(rows, self.width, self.width, self.strategy, false),
+            regs_per_thread: launch_regs(rows, self.width, self.strategy),
+        }
+    }
+
+    fn run_block(&self, g: usize, ctx: &mut BlockCtx<T>) {
+        let grp = &self.groups[g];
+        let t = grp.members.len();
+        *self.out[g].lock() = Some(crate::blockops::factor_tree_group(
+            self.a,
+            &grp.members,
+            self.col0,
+            self.width,
+        ));
+        ctx.meter
+            .charge(&factor_tree_block_cost(&self.spec, t, self.width, self.strategy, T::BYTES));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// apply_qt_h
+// ---------------------------------------------------------------------------
+
+/// `apply_qt_h` (Section IV-D.3): apply the level-0 Householder vectors of
+/// each panel tile horizontally across the trailing matrix. The grid is
+/// `tiles x column-blocks`; block `(ti, cb)` updates the `tiles[ti].rows x
+/// col_blocks[cb].1` tile of the target.
+pub struct ApplyQtHKernel<'a, T: Scalar> {
+    /// Matrix holding the panel's Householder tails (below its diagonal).
+    pub v: MatPtr<T>,
+    /// Target matrix being updated (may be the same allocation as `v` for
+    /// trailing-matrix updates; tiles never overlap the panel columns).
+    pub c: MatPtr<T>,
+    /// Panel tiles.
+    pub tiles: &'a [Tile],
+    /// Panel's first column in `v`.
+    pub col0: usize,
+    /// Panel width (number of reflectors per tile).
+    pub width: usize,
+    /// Per-tile `tau` arrays from the factor kernel.
+    pub taus: &'a [Vec<T>],
+    /// `(first_col, width)` of each target column block.
+    pub col_blocks: &'a [(usize, usize)],
+    /// Apply `Q^T` (true) or `Q` (false).
+    pub transpose: bool,
+    /// Tuning strategy.
+    pub strategy: ReductionStrategy,
+    /// Device description.
+    pub spec: DeviceSpec,
+}
+
+impl<'a, T: Scalar> Kernel<T> for ApplyQtHKernel<'a, T> {
+    fn name(&self) -> &'static str {
+        "apply_qt_h"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let max_rows = self.tiles.iter().map(|t| t.rows).max().unwrap_or(0);
+        let max_wc = self.col_blocks.iter().map(|c| c.1).max().unwrap_or(0);
+        LaunchConfig {
+            blocks: self.tiles.len() * self.col_blocks.len(),
+            threads_per_block: THREADS,
+            shared_mem_bytes: launch_smem_bytes::<T>(max_rows, self.width, max_wc, self.strategy, true),
+            regs_per_thread: launch_regs(max_rows, max_wc, self.strategy),
+        }
+    }
+
+    fn run_block(&self, b: usize, ctx: &mut BlockCtx<T>) {
+        let ti = b % self.tiles.len();
+        let cb = b / self.tiles.len();
+        let tile = self.tiles[ti];
+        let (c0, wc) = self.col_blocks[cb];
+        crate::blockops::apply_tile_reflectors(
+            self.v,
+            self.c,
+            tile,
+            self.col0,
+            self.width,
+            &self.taus[ti],
+            c0,
+            wc,
+            self.transpose,
+        );
+        ctx.meter.charge(&apply_qt_h_block_cost(
+            &self.spec,
+            tile.rows,
+            self.width.min(tile.rows),
+            wc,
+            self.strategy,
+            T::BYTES,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// apply_qt_tree
+// ---------------------------------------------------------------------------
+
+/// `apply_qt_tree` (Section IV-D.4): apply one tree level's Householder
+/// vectors to the trailing matrix. Block `(g, cb)` gathers the `width`-row
+/// strips of the target at each of group `g`'s member offsets, applies the
+/// stacked reflectors, and scatters the strips back — the "irregular and
+/// somewhat sparse" access pattern the paper calls out.
+pub struct ApplyQtTreeKernel<'a, T: Scalar> {
+    /// Target matrix being updated.
+    pub c: MatPtr<T>,
+    /// Tree nodes at this level (factored stacks + taus).
+    pub nodes: &'a [TreeNode<T>],
+    /// Panel width.
+    pub width: usize,
+    /// `(first_col, width)` of each target column block.
+    pub col_blocks: &'a [(usize, usize)],
+    /// Apply `Q^T` (true) or `Q` (false).
+    pub transpose: bool,
+    /// Tuning strategy.
+    pub strategy: ReductionStrategy,
+    /// Device description.
+    pub spec: DeviceSpec,
+}
+
+impl<'a, T: Scalar> Kernel<T> for ApplyQtTreeKernel<'a, T> {
+    fn name(&self) -> &'static str {
+        "apply_qt_tree"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        let max_t = self.nodes.iter().map(|n| n.members.len()).max().unwrap_or(2);
+        let rows = max_t * self.width;
+        let max_wc = self.col_blocks.iter().map(|c| c.1).max().unwrap_or(0);
+        LaunchConfig {
+            blocks: self.nodes.len() * self.col_blocks.len(),
+            threads_per_block: THREADS,
+            shared_mem_bytes: launch_smem_bytes::<T>(rows, self.width, max_wc, self.strategy, true),
+            regs_per_thread: launch_regs(rows, max_wc, self.strategy),
+        }
+    }
+
+    fn run_block(&self, b: usize, ctx: &mut BlockCtx<T>) {
+        let g = b % self.nodes.len();
+        let cb = b / self.nodes.len();
+        let node = &self.nodes[g];
+        let (c0, wc) = self.col_blocks[cb];
+        crate::blockops::apply_tree_node(self.c, node, self.width, c0, wc, self.transpose);
+        ctx.meter.charge(&apply_qt_tree_block_cost(
+            &self.spec,
+            node.members.len(),
+            self.width,
+            wc,
+            self.strategy,
+            T::BYTES,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pretranspose
+// ---------------------------------------------------------------------------
+
+/// The out-of-place panel-transpose preprocessing pass of strategy 4
+/// (Section IV-E.4). In the simulator the data stays column-major — the
+/// transposed layout only changes coalescing, which the cost model already
+/// credits — so this kernel is cost-only, but it is launched exactly where
+/// the real pipeline would launch it and its traffic is charged in full.
+pub struct PretransposeKernel {
+    /// Number of tiles (grid size).
+    pub blocks: usize,
+    /// Tile rows.
+    pub tile_rows: usize,
+    /// Tile columns.
+    pub tile_cols: usize,
+    /// Device description.
+    pub spec: DeviceSpec,
+}
+
+impl<T: Scalar> Kernel<T> for PretransposeKernel {
+    fn name(&self) -> &'static str {
+        "pretranspose"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        LaunchConfig {
+            blocks: self.blocks,
+            threads_per_block: THREADS,
+            shared_mem_bytes: self.tile_rows * self.tile_cols * std::mem::size_of::<f32>(),
+            regs_per_thread: 16,
+        }
+    }
+
+    fn run_block(&self, _b: usize, ctx: &mut BlockCtx<T>) {
+        ctx.meter
+            .charge(&pretranspose_block_cost(&self.spec, self.tile_rows, self.tile_cols, T::BYTES));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSize;
+
+    #[test]
+    fn block_costs_have_flops_and_traffic() {
+        let spec = DeviceSpec::c2050();
+        let s = ReductionStrategy::RegisterSerialTransposed;
+        let f = factor_block_cost(&spec, 128, 16, s, 4);
+        assert!(f.flops > 0 && f.gmem_bytes > 0.0 && f.issue_cycles > 0.0);
+        let t = factor_tree_block_cost(&spec, 8, 16, s, 4);
+        assert!(t.flops >= f.flops, "an 8x16-stack factor matches a 128-row tile factor");
+        let t2 = factor_tree_block_cost(&spec, 2, 16, s, 4);
+        assert!(t2.flops < t.flops, "smaller stacks cost less");
+        let a = apply_qt_h_block_cost(&spec, 128, 16, 16, s, 4);
+        assert!(a.flops > 0);
+        let at = apply_qt_tree_block_cost(&spec, 4, 16, 16, s, 4);
+        assert!(at.flops > 0);
+        let p = pretranspose_block_cost(&spec, 32, 32, 4);
+        assert_eq!(p.flops, 0, "transpose moves data, no flops");
+        assert!(p.gmem_bytes >= 2.0 * 32.0 * 32.0 * 4.0);
+    }
+
+    #[test]
+    fn apply_cost_is_compute_bound_for_best_strategy() {
+        // The headline claim: CAQR's kernels are compute-bound.
+        let spec = DeviceSpec::c2050();
+        let c = apply_qt_h_block_cost(&spec, 128, 16, 16, ReductionStrategy::RegisterSerialTransposed, 4);
+        let issue_t = c.issue_cycles * spec.cycle_seconds() / spec.sms as f64;
+        let dram_t = c.gmem_bytes / (spec.dram_bw_gbs * 1e9);
+        assert!(issue_t > dram_t, "apply_qt_h must be compute-bound: {issue_t} vs {dram_t}");
+    }
+
+    #[test]
+    fn launch_configs_fit_the_device() {
+        let spec = DeviceSpec::c2050();
+        let bs = BlockSize::c2050_best();
+        for strategy in ReductionStrategy::ALL {
+            let cfg = LaunchConfig {
+                blocks: 10,
+                threads_per_block: THREADS,
+                shared_mem_bytes: launch_smem_bytes::<f32>(bs.h + bs.w, bs.w, bs.w, strategy, true),
+                regs_per_thread: launch_regs(bs.h + bs.w, bs.w, strategy),
+            };
+            cfg.validate(&spec).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # caqr — Communication-Avoiding QR for (simulated) GPUs
+//!
+//! Reproduction of the primary contribution of *"Communication-Avoiding QR
+//! Decomposition for GPUs"* (Anderson, Ballard, Demmel, Keutzer; IPPS 2011):
+//!
+//! * [`tsqr`](mod@tsqr) — Tall-Skinny QR: per-tile Householder factorizations plus an
+//!   `h/w`-ary reduction tree over the R factors (Figure 2),
+//! * [`caqr`](mod@caqr) — the full factorization for arbitrary shapes: TSQR panels +
+//!   horizontal and tree trailing-matrix updates (Figures 3-4),
+//! * [`kernels`] — the four GPU kernels (`factor`, `factor_tree`,
+//!   `apply_qt_h`, `apply_qt_tree`) executing real arithmetic on the
+//!   simulated device from the `gpu-sim` crate,
+//! * [`microkernels`] — the matrix-vector/rank-1 core with the paper's four
+//!   tuning strategies (55 -> 388 GFLOPS, Section IV-E),
+//! * [`tuning`] — the block-size autotuner (Figure 7),
+//! * [`model`] — the model-only launch replay behind the large figure
+//!   sweeps, provably consistent with execution.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use caqr::{caqr, CaqrOptions};
+//! use gpu_sim::{DeviceSpec, Gpu};
+//!
+//! let gpu = Gpu::new(DeviceSpec::c2050());
+//! let a = dense::generate::uniform::<f32>(4096, 64, 1);
+//! let f = caqr::caqr(&gpu, a, CaqrOptions::default()).unwrap();
+//! let r = f.r();
+//! assert_eq!(r.cols(), 64);
+//! println!("modelled time: {:.3} ms", gpu.elapsed() * 1e3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod blockops;
+pub mod bounds;
+pub mod caqr;
+pub mod error;
+pub mod kernels;
+pub mod microkernels;
+pub mod model;
+pub mod multicore;
+pub mod tsqr;
+pub mod tuning;
+
+pub use block::{BlockSize, TreeShape};
+pub use caqr::{caqr_qr, Caqr, CaqrOptions};
+pub use error::CaqrError;
+pub use microkernels::ReductionStrategy;
+pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
+pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};

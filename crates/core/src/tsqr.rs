@@ -1,0 +1,469 @@
+//! TSQR — Tall-Skinny QR (Section II-B / Figure 2) — and the panel
+//! factor/apply drivers shared with the full CAQR.
+//!
+//! The host-side control flow mirrors the pseudocode of Figure 4: a
+//! `factor` launch over the panel tiles, then one `factor_tree` launch per
+//! reduction-tree level. The resulting [`PanelFactor`] holds everything
+//! needed to apply `Q`/`Q^T` later: the level-0 `tau`s (the Householder
+//! tails stay in the factored matrix) and the per-level [`TreeNode`]s.
+
+use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeShape};
+use crate::error::CaqrError;
+use crate::kernels::{ApplyQtHKernel, ApplyQtTreeKernel, FactorKernel, FactorTreeKernel};
+use crate::microkernels::ReductionStrategy;
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::Gpu;
+use parking_lot::Mutex;
+
+/// One factored reduction-tree group: the stacked `(t*w) x w` Householder
+/// factorization (`geqr2` layout) of `t` gathered R-triangles, plus the
+/// absolute row offsets the triangles came from.
+#[derive(Clone, Debug)]
+pub struct TreeNode<T: Scalar> {
+    /// Absolute row offsets of the stacked triangles (leader first).
+    pub members: Vec<usize>,
+    /// The factored stack: R on top, Householder tails below the diagonal.
+    pub u: Matrix<T>,
+    /// Scalar reflector factors.
+    pub tau: Vec<T>,
+}
+
+/// The complete TSQR factorization of one panel.
+#[derive(Clone, Debug)]
+pub struct PanelFactor<T: Scalar> {
+    /// Absolute first row of the panel.
+    pub row0: usize,
+    /// Absolute first column of the panel.
+    pub col0: usize,
+    /// Panel width (== number of reflectors per tile).
+    pub width: usize,
+    /// The level-0 tiles.
+    pub tiles: Vec<Tile>,
+    /// Per-tile `tau` arrays from the level-0 factorization (the Householder
+    /// tails live below the diagonal of each tile in the factored matrix).
+    pub taus0: Vec<Vec<T>>,
+    /// Reduction-tree levels, bottom-up.
+    pub levels: Vec<Vec<TreeNode<T>>>,
+    /// Block size used.
+    pub bs: BlockSize,
+    /// Strategy used (cost model only).
+    pub strategy: ReductionStrategy,
+}
+
+/// Split the columns `[from, to)` into blocks of width `w` (last may be
+/// narrower) — the trailing-matrix column grid.
+pub fn col_blocks(from: usize, to: usize, w: usize) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    let mut c = from;
+    while c < to {
+        let wc = w.min(to - c);
+        v.push((c, wc));
+        c += wc;
+    }
+    v
+}
+
+/// TSQR panel factorization on the simulated GPU: factor columns
+/// `[col0, col0 + width)` of `a` over rows `[row0, a.rows())` in place.
+pub fn factor_panel<T: Scalar>(
+    gpu: &Gpu,
+    a: &mut Matrix<T>,
+    row0: usize,
+    col0: usize,
+    width: usize,
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+) -> Result<PanelFactor<T>, CaqrError> {
+    factor_panel_with_tree(gpu, a, row0, col0, width, bs, strategy, TreeShape::DeviceArity)
+}
+
+/// [`factor_panel`] with an explicit reduction-tree shape (Section II-B's
+/// "any tree shape"; used by the tree-shape ablation).
+#[allow(clippy::too_many_arguments)]
+pub fn factor_panel_with_tree<T: Scalar>(
+    gpu: &Gpu,
+    a: &mut Matrix<T>,
+    row0: usize,
+    col0: usize,
+    width: usize,
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+    tree: TreeShape,
+) -> Result<PanelFactor<T>, CaqrError> {
+    let m = a.rows();
+    if row0 >= m || col0 + width > a.cols() || width == 0 {
+        return Err(CaqrError::BadShape(format!(
+            "panel (row0={row0}, col0={col0}, width={width}) out of {}x{}",
+            m,
+            a.cols()
+        )));
+    }
+    bs.validate().map_err(CaqrError::BadShape)?;
+    let tiles = tile_panel(row0, m - row0, bs.h, bs.w);
+    let spec = gpu.spec().clone();
+
+    // Level 0: factor every tile independently.
+    let taus_slots: Vec<Mutex<Vec<T>>> = tiles.iter().map(|_| Mutex::new(Vec::new())).collect();
+    {
+        let kernel = FactorKernel {
+            a: MatPtr::new(a),
+            tiles: &tiles,
+            col0,
+            width,
+            strategy,
+            spec: spec.clone(),
+            taus: &taus_slots,
+        };
+        gpu.launch(&kernel)?;
+    }
+    let taus0: Vec<Vec<T>> = taus_slots.into_iter().map(|m| m.into_inner()).collect();
+
+    // Reduction tree: one factor_tree launch per level.
+    let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+    let plan = plan_tree(&starts, tree.arity(bs));
+    let mut levels = Vec::with_capacity(plan.levels.len());
+    for level_groups in &plan.levels {
+        let out: Vec<Mutex<Option<TreeNode<T>>>> =
+            level_groups.iter().map(|_| Mutex::new(None)).collect();
+        {
+            let kernel = FactorTreeKernel {
+                a: MatPtr::new(a),
+                groups: level_groups,
+                col0,
+                width,
+                strategy,
+                spec: spec.clone(),
+                out: &out,
+            };
+            gpu.launch(&kernel)?;
+        }
+        let nodes: Vec<TreeNode<T>> = out
+            .into_iter()
+            .map(|m| m.into_inner().expect("factor_tree block did not produce a node"))
+            .collect();
+        levels.push(nodes);
+    }
+
+    Ok(PanelFactor {
+        row0,
+        col0,
+        width,
+        tiles,
+        taus0,
+        levels,
+        bs,
+        strategy,
+    })
+}
+
+/// Apply the panel's `Q^T` (`transpose == true`, reflectors in factorization
+/// order) or `Q` (reverse order) to the column blocks `cols` of the matrix
+/// behind `c`. `v` is the matrix holding the panel's Householder tails —
+/// the same allocation as `c` for trailing-matrix updates.
+///
+/// # Safety-by-contract
+/// `cols` must not overlap the panel columns when `v` and `c` alias.
+pub fn apply_panel_ptr<T: Scalar>(
+    gpu: &Gpu,
+    v: MatPtr<T>,
+    c: MatPtr<T>,
+    pf: &PanelFactor<T>,
+    cols: &[(usize, usize)],
+    transpose: bool,
+) -> Result<(), CaqrError> {
+    if cols.is_empty() {
+        return Ok(());
+    }
+    let spec = gpu.spec().clone();
+    let horizontal = |gpu: &Gpu| -> Result<(), CaqrError> {
+        let kernel = ApplyQtHKernel {
+            v,
+            c,
+            tiles: &pf.tiles,
+            col0: pf.col0,
+            width: pf.width,
+            taus: &pf.taus0,
+            col_blocks: cols,
+            transpose,
+            strategy: pf.strategy,
+            spec: spec.clone(),
+        };
+        gpu.launch(&kernel)?;
+        Ok(())
+    };
+    let tree_level = |gpu: &Gpu, nodes: &[TreeNode<T>]| -> Result<(), CaqrError> {
+        let kernel = ApplyQtTreeKernel {
+            c,
+            nodes,
+            width: pf.width,
+            col_blocks: cols,
+            transpose,
+            strategy: pf.strategy,
+            spec: spec.clone(),
+        };
+        gpu.launch(&kernel)?;
+        Ok(())
+    };
+
+    if transpose {
+        // Q^T = (tree_L ... tree_1 level0)^T applied left-to-right:
+        // level-0 first, then the tree levels bottom-up.
+        horizontal(gpu)?;
+        for nodes in &pf.levels {
+            tree_level(gpu, nodes)?;
+        }
+    } else {
+        // Q: tree levels top-down, then level-0.
+        for nodes in pf.levels.iter().rev() {
+            tree_level(gpu, nodes)?;
+        }
+        horizontal(gpu)?;
+    }
+    Ok(())
+}
+
+/// Trailing-matrix update inside one matrix: apply the panel's `Q^T` to the
+/// columns `[col_from, col_to)` of `a` (the matrix that was factored).
+pub fn apply_panel_within<T: Scalar>(
+    gpu: &Gpu,
+    a: &mut Matrix<T>,
+    pf: &PanelFactor<T>,
+    col_from: usize,
+    col_to: usize,
+    transpose: bool,
+) -> Result<(), CaqrError> {
+    assert!(
+        col_from >= pf.col0 + pf.width || col_to <= pf.col0,
+        "trailing columns must not overlap the panel"
+    );
+    let cols = col_blocks(col_from, col_to, pf.bs.w);
+    let p = MatPtr::new(a);
+    apply_panel_ptr(gpu, p, p, pf, &cols, transpose)
+}
+
+/// Apply the panel's `Q` or `Q^T` to a separate matrix `target`.
+pub fn apply_panel_to<T: Scalar>(
+    gpu: &Gpu,
+    a: &Matrix<T>,
+    pf: &PanelFactor<T>,
+    target: &mut Matrix<T>,
+    transpose: bool,
+) -> Result<(), CaqrError> {
+    assert_eq!(a.rows(), target.rows(), "row mismatch between factor and target");
+    let cols = col_blocks(0, target.cols(), pf.bs.w);
+    apply_panel_ptr(
+        gpu,
+        MatPtr::new_readonly(a),
+        MatPtr::new(target),
+        pf,
+        &cols,
+        transpose,
+    )
+}
+
+/// A standalone TSQR factorization of a tall-skinny matrix
+/// (width <= the block width).
+pub struct Tsqr<T: Scalar> {
+    /// The factored matrix (R in the top triangle, Householder tails in the
+    /// tiles).
+    pub factored: Matrix<T>,
+    /// The panel factor.
+    pub pf: PanelFactor<T>,
+}
+
+/// Factor a tall-skinny matrix (`cols <= bs.w`) with TSQR on the GPU.
+pub fn tsqr<T: Scalar>(
+    gpu: &Gpu,
+    mut a: Matrix<T>,
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+) -> Result<Tsqr<T>, CaqrError> {
+    let n = a.cols();
+    if n > bs.w {
+        return Err(CaqrError::BadShape(format!(
+            "TSQR panel width {n} exceeds block width {}; use CAQR",
+            bs.w
+        )));
+    }
+    if a.rows() < n {
+        return Err(CaqrError::BadShape(format!(
+            "TSQR requires rows >= cols (got {}x{n})",
+            a.rows()
+        )));
+    }
+    let pf = factor_panel(gpu, &mut a, 0, 0, n, bs, strategy)?;
+    Ok(Tsqr { factored: a, pf })
+}
+
+impl<T: Scalar> Tsqr<T> {
+    /// The `n x n` upper-triangular factor.
+    pub fn r(&self) -> Matrix<T> {
+        let n = self.pf.width;
+        Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                self.factored[(i, j)]
+            } else {
+                T::ZERO
+            }
+        })
+    }
+
+    /// Apply `Q^T` to `c` in place (`c` has the panel's full row count).
+    pub fn apply_qt(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
+        apply_panel_to(gpu, &self.factored, &self.pf, c, true)
+    }
+
+    /// Apply `Q` to `c` in place.
+    pub fn apply_q(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
+        apply_panel_to(gpu, &self.factored, &self.pf, c, false)
+    }
+
+    /// Form the explicit `m x n` orthogonal factor (the `SORGQR` analogue —
+    /// "retrieving Q explicitly using CAQR is just as efficient as factoring
+    /// the matrix", Section V-C).
+    pub fn generate_q(&self, gpu: &Gpu) -> Result<Matrix<T>, CaqrError> {
+        let m = self.factored.rows();
+        let n = self.pf.width;
+        let mut q = Matrix::<T>::eye(m, n);
+        self.apply_q(gpu, &mut q)?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::generate;
+    use dense::norms::{orthogonality_error, reconstruction_error};
+    use gpu_sim::DeviceSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::c2050())
+    }
+
+    fn check_tsqr(m: usize, n: usize, bs: BlockSize, seed: u64) {
+        let a = generate::uniform::<f64>(m, n, seed);
+        let g = gpu();
+        let f = tsqr(&g, a.clone(), bs, ReductionStrategy::RegisterSerialTransposed).unwrap();
+        let r = f.r();
+        let q = f.generate_q(&g).unwrap();
+        let rec = reconstruction_error(&a, &q, &r);
+        let ort = orthogonality_error(&q);
+        assert!(rec < 1e-13, "reconstruction {rec} for {m}x{n} bs {bs:?}");
+        assert!(ort < 1e-13, "orthogonality {ort} for {m}x{n} bs {bs:?}");
+    }
+
+    #[test]
+    fn tsqr_exact_tiles() {
+        check_tsqr(512, 16, BlockSize { h: 64, w: 16 }, 1);
+    }
+
+    #[test]
+    fn tsqr_ragged_tiles() {
+        // 500 rows: 7 tiles of 64 + 52-row remainder (kept, >= 16).
+        check_tsqr(500, 16, BlockSize { h: 64, w: 16 }, 2);
+        // 459 = 64*7 + 11: remainder merges into the last tile.
+        check_tsqr(459, 16, BlockSize { h: 64, w: 16 }, 3);
+    }
+
+    #[test]
+    fn tsqr_narrow_panel() {
+        check_tsqr(300, 5, BlockSize { h: 64, w: 16 }, 4);
+        check_tsqr(300, 1, BlockSize { h: 64, w: 16 }, 5);
+    }
+
+    #[test]
+    fn tsqr_single_tile() {
+        check_tsqr(50, 16, BlockSize { h: 64, w: 16 }, 6);
+    }
+
+    #[test]
+    fn tsqr_deep_tree() {
+        // 8-ary tree with 3 levels: 128 tiles -> 16 -> 2 -> 1.
+        check_tsqr(128 * 128, 16, BlockSize { h: 128, w: 16 }, 7);
+    }
+
+    #[test]
+    fn tsqr_r_matches_lapack_up_to_sign() {
+        let m = 640;
+        let n = 12;
+        let a = generate::uniform::<f64>(m, n, 8);
+        let g = gpu();
+        let f = tsqr(&g, a.clone(), BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
+            .unwrap();
+        let r_tsqr = f.r();
+        let mut af = a.clone();
+        let tau = dense::blocked::geqrf(&mut af, 8);
+        let _ = tau;
+        for j in 0..n {
+            for i in 0..=j {
+                assert!(
+                    (r_tsqr[(i, j)].abs() - af[(i, j)].abs()).abs() < 1e-10,
+                    "|R| mismatch at ({i},{j}): {} vs {}",
+                    r_tsqr[(i, j)],
+                    af[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_qt_then_q_is_identity() {
+        let a = generate::uniform::<f64>(400, 10, 9);
+        let g = gpu();
+        let f = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
+            .unwrap();
+        let c0 = generate::uniform::<f64>(400, 3, 10);
+        let mut c = c0.clone();
+        f.apply_qt(&g, &mut c).unwrap();
+        f.apply_q(&g, &mut c).unwrap();
+        for i in 0..400 {
+            for j in 0..3 {
+                assert!((c[(i, j)] - c0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qt_a_equals_r_stacked_with_zeros() {
+        let a = generate::uniform::<f64>(333, 8, 11);
+        let g = gpu();
+        let f = tsqr(&g, a.clone(), BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
+            .unwrap();
+        let mut c = a.clone();
+        f.apply_qt(&g, &mut c).unwrap();
+        let r = f.r();
+        // ||Q^T A - [R; 0]|| should be ~ machine epsilon relative to ||A||.
+        let mut err: f64 = 0.0;
+        for j in 0..8 {
+            for i in 0..333 {
+                let want = if i <= j { r[(i, j)] } else { 0.0 };
+                err = err.max((c[(i, j)] - want).abs());
+            }
+        }
+        assert!(err < 1e-12, "max deviation {err}");
+    }
+
+    #[test]
+    fn wide_panel_rejected() {
+        let g = gpu();
+        let a = generate::uniform::<f64>(100, 40, 12);
+        let e = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed);
+        assert!(matches!(e, Err(CaqrError::BadShape(_))));
+    }
+
+    #[test]
+    fn ledger_records_expected_kernel_mix() {
+        let g = gpu();
+        let a = generate::uniform::<f64>(4096, 16, 13);
+        let _f = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
+            .unwrap();
+        let l = g.ledger();
+        // 64 tiles, quad tree: levels of 16, 4, 1 -> 3 factor_tree launches.
+        assert_eq!(l.per_op["factor"].calls, 1);
+        assert_eq!(l.per_op["factor_tree"].calls, 3);
+        assert!(l.seconds > 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Level-2 BLAS: matrix-vector operations on views.
+//!
+//! `gemv`/`ger` are the two operations at the core of every kernel in the
+//! paper (Section IV-E: "all four kernels do the same two core computations:
+//! matrix-vector multiply and rank-1 update").
+
+use crate::matrix::{MatMut, MatRef};
+use crate::scalar::Scalar;
+
+/// Transposition selector for `gemv`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use `A` as stored.
+    No,
+    /// Use `A^T`.
+    Yes,
+}
+
+/// `y = alpha * op(A) * x + beta * y`.
+pub fn gemv<T: Scalar>(trans: Trans, alpha: T, a: MatRef<'_, T>, x: &[T], beta: T, y: &mut [T]) {
+    let (m, n) = (a.rows(), a.cols());
+    match trans {
+        Trans::No => {
+            debug_assert_eq!(x.len(), n);
+            debug_assert_eq!(y.len(), m);
+            if beta == T::ZERO {
+                y.fill(T::ZERO);
+            } else if beta != T::ONE {
+                for v in y.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            // Column-major: stream columns, axpy each.
+            for j in 0..n {
+                let axj = alpha * x[j];
+                if axj != T::ZERO {
+                    let col = a.col(j);
+                    for (yi, &aij) in y.iter_mut().zip(col) {
+                        *yi = axj.mul_add(aij, *yi);
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            debug_assert_eq!(x.len(), m);
+            debug_assert_eq!(y.len(), n);
+            for j in 0..n {
+                let mut acc = T::ZERO;
+                for (&aij, &xi) in a.col(j).iter().zip(x) {
+                    acc = aij.mul_add(xi, acc);
+                }
+                y[j] = if beta == T::ZERO {
+                    alpha * acc
+                } else {
+                    alpha.mul_add(acc, beta * y[j])
+                };
+            }
+        }
+    }
+}
+
+/// Rank-1 update `A += alpha * x * y^T`.
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], mut a: MatMut<'_, T>) {
+    let (m, n) = (a.rows(), a.cols());
+    debug_assert_eq!(x.len(), m);
+    debug_assert_eq!(y.len(), n);
+    for j in 0..n {
+        let ayj = alpha * y[j];
+        if ayj != T::ZERO {
+            let col = a.col_mut(j);
+            for (aij, &xi) in col.iter_mut().zip(x) {
+                *aij = ayj.mul_add(xi, *aij);
+            }
+        }
+    }
+}
+
+/// Triangular solve with a single right-hand side: `x = op(T)^-1 * x` where
+/// `T` is the upper-triangular part of `a` (unit = false). Used by least
+/// squares after QR.
+pub fn trsv_upper<T: Scalar>(a: MatRef<'_, T>, x: &mut [T]) {
+    let n = a.cols();
+    debug_assert!(a.rows() >= n);
+    debug_assert_eq!(x.len(), n);
+    for jr in (0..n).rev() {
+        let d = a.at(jr, jr);
+        assert!(d != T::ZERO, "singular triangular matrix in trsv (column {jr})");
+        x[jr] /= d;
+        let xj = x[jr];
+        for i in 0..jr {
+            x[i] = (-xj).mul_add(a.at(i, jr), x[i]);
+        }
+    }
+}
+
+/// Triangular matrix-vector product `x = U * x` with `U` the upper-triangular
+/// part of `a`.
+pub fn trmv_upper<T: Scalar>(a: MatRef<'_, T>, x: &mut [T]) {
+    let n = a.cols();
+    debug_assert!(a.rows() >= n);
+    debug_assert_eq!(x.len(), n);
+    for i in 0..n {
+        let mut acc = T::ZERO;
+        for j in i..n {
+            acc = a.at(i, j).mul_add(x[j], acc);
+        }
+        x[i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn gemv_no_trans() {
+        let a = Matrix::from_row_major(2, 3, &[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![1.0, 1.0];
+        gemv(Trans::No, 2.0, a.as_ref(), &[1.0, 0.0, 1.0], 3.0, &mut y);
+        // 2*A*[1,0,1] + 3*[1,1] = 2*[4,10] + [3,3] = [11, 23]
+        assert_eq!(y, vec![11.0, 23.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let a = Matrix::from_row_major(2, 3, &[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 3];
+        gemv(Trans::Yes, 1.0, a.as_ref(), &[1.0, 1.0], 0.0, &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemv_beta_zero_ignores_nan_style_garbage() {
+        let a = Matrix::<f64>::eye(2, 2);
+        let mut y = vec![999.0, -999.0];
+        gemv(Trans::No, 1.0, a.as_ref(), &[1.0, 2.0], 0.0, &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0], a.as_mut());
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 0)], 12.0);
+        assert_eq!(a[(0, 1)], 8.0);
+        assert_eq!(a[(1, 1)], 16.0);
+    }
+
+    #[test]
+    fn trsv_solves_upper_system() {
+        // U = [2 1; 0 4], b = [4, 8] -> x = [1, 2]... check: 2x0 + x1 = 4 -> x0 = 1.
+        let u = Matrix::from_row_major(2, 2, &[2.0f64, 1.0, 0.0, 4.0]);
+        let mut x = vec![4.0, 8.0];
+        trsv_upper(u.as_ref(), &mut x);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn trmv_inverts_trsv() {
+        let u = Matrix::from_row_major(3, 3, &[2.0f64, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 7.0]);
+        let mut x = vec![1.0, 2.0, 3.0];
+        let orig = x.clone();
+        trmv_upper(u.as_ref(), &mut x);
+        trsv_upper(u.as_ref(), &mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Level-3 BLAS: matrix-matrix operations.
+//!
+//! `gemm` is used by the blocked-Householder baselines (trailing-matrix
+//! updates via `larfb`) and by the Robust PCA application (`Q * U`). It is a
+//! cache-friendly column-streaming loop parallelized over column panels with
+//! rayon when the output is large enough to amortize the fork.
+
+use crate::matrix::{MatMut, MatRef};
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+pub use crate::blas2::Trans;
+
+/// Output columns per parallel task; also the serial fallback threshold.
+const PAR_COL_CHUNK: usize = 32;
+/// Minimum flops before gemm bothers forking.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+pub fn gemm<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match ta {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    match ta {
+        Trans::No => assert_eq!(a.rows(), m, "gemm: op(A) rows"),
+        Trans::Yes => assert_eq!(a.cols(), m, "gemm: op(A) rows"),
+    }
+    match tb {
+        Trans::No => assert_eq!((b.rows(), b.cols()), (k, n), "gemm: op(B) shape"),
+        Trans::Yes => assert_eq!((b.cols(), b.rows()), (k, n), "gemm: op(B) shape"),
+    }
+
+    let flops = 2 * m * n * k;
+    if flops < PAR_MIN_FLOPS || n <= PAR_COL_CHUNK {
+        gemm_serial(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+
+    // Split C into disjoint column panels and process them in parallel; each
+    // panel only needs the matching columns of op(B).
+    let mut panels: Vec<(usize, MatMut<'_, T>)> = Vec::new();
+    let mut rest = c.rb_mut();
+    let mut start = 0;
+    while start < n {
+        let w = PAR_COL_CHUNK.min(n - start);
+        let (head, tail) = rest.split_at_col(w);
+        panels.push((start, head));
+        rest = tail;
+        start += w;
+    }
+    panels.into_par_iter().for_each(|(c0, panel)| {
+        let w = panel.cols();
+        match tb {
+            Trans::No => {
+                let bsub = b.submatrix(0, c0, k, w);
+                gemm_serial(ta, Trans::No, alpha, a, bsub, beta, panel);
+            }
+            Trans::Yes => {
+                let bsub = b.submatrix(c0, 0, w, k);
+                gemm_serial(ta, Trans::Yes, alpha, a, bsub, beta, panel);
+            }
+        }
+    });
+}
+
+fn gemm_serial<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match ta {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
+    for j in 0..n {
+        // Scale / clear the output column first.
+        {
+            let cj = c.col_mut(j);
+            if beta == T::ZERO {
+                cj.fill(T::ZERO);
+            } else if beta != T::ONE {
+                for v in cj.iter_mut() {
+                    *v *= beta;
+                }
+            }
+        }
+        match (ta, tb) {
+            (Trans::No, Trans::No) => {
+                for l in 0..k {
+                    let blj = alpha * b.at(l, j);
+                    if blj != T::ZERO {
+                        let acol = a.col(l);
+                        let cj = c.col_mut(j);
+                        for (ci, &ail) in cj.iter_mut().zip(acol) {
+                            *ci = blj.mul_add(ail, *ci);
+                        }
+                    }
+                }
+            }
+            (Trans::No, Trans::Yes) => {
+                for l in 0..k {
+                    let blj = alpha * b.at(j, l);
+                    if blj != T::ZERO {
+                        let acol = a.col(l);
+                        let cj = c.col_mut(j);
+                        for (ci, &ail) in cj.iter_mut().zip(acol) {
+                            *ci = blj.mul_add(ail, *ci);
+                        }
+                    }
+                }
+            }
+            (Trans::Yes, Trans::No) => {
+                // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both columns contiguous.
+                let bj = b.col(j);
+                for i in 0..m {
+                    let ai = a.col(i);
+                    let mut acc = T::ZERO;
+                    for (&x, &y) in ai.iter().zip(bj) {
+                        acc = x.mul_add(y, acc);
+                    }
+                    *c.at_mut(i, j) = alpha.mul_add(acc, c.at(i, j));
+                }
+            }
+            (Trans::Yes, Trans::Yes) => {
+                for i in 0..m {
+                    let ai = a.col(i);
+                    let mut acc = T::ZERO;
+                    for (l, &x) in ai.iter().enumerate() {
+                        acc = x.mul_add(b.at(j, l), acc);
+                    }
+                    *c.at_mut(i, j) = alpha.mul_add(acc, c.at(i, j));
+                }
+            }
+        }
+    }
+}
+
+/// Side selector for triangular operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Triangular factor multiplies from the left.
+    Left,
+    /// Triangular factor multiplies from the right.
+    Right,
+}
+
+/// `B = U * B` (Side::Left) or `B = B * U` (Side::Right), where `U` is the
+/// upper-triangular part of `u` (non-unit diagonal).
+pub fn trmm_upper<T: Scalar>(side: Side, u: MatRef<'_, T>, mut b: MatMut<'_, T>) {
+    let n = u.cols();
+    debug_assert!(u.rows() >= n);
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                let col = b.col_mut(j);
+                crate::blas2::trmv_upper(u, col);
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            // B(:,j) = sum_{l <= j} B(:,l) * U(l,j), computed right-to-left.
+            for j in (0..n).rev() {
+                let ujj = u.at(j, j);
+                for i in 0..b.rows() {
+                    let mut acc = b.at(i, j) * ujj;
+                    for l in 0..j {
+                        acc = b.at(i, l).mul_add(u.at(l, j), acc);
+                    }
+                    b.set(i, j, acc);
+                }
+            }
+        }
+    }
+}
+
+/// Solve `U * X = B` in place (X overwrites B), `U` upper triangular.
+pub fn trsm_upper_left<T: Scalar>(u: MatRef<'_, T>, mut b: MatMut<'_, T>) {
+    let n = u.cols();
+    debug_assert!(u.rows() >= n);
+    assert_eq!(b.rows(), n);
+    for j in 0..b.cols() {
+        crate::blas2::trsv_upper(u, b.col_mut(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn naive_gemm(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        assert_eq!(b.rows(), k);
+        Matrix::from_fn(m, n, |i, j| (0..k).map(|l| a[(i, l)] * b[(l, j)]).sum())
+    }
+
+    #[test]
+    fn gemm_all_transpose_combos() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::from_fn(3, 5, |i, j| (2 * i + j) as f64);
+        let want = naive_gemm(&a, &b);
+
+        let combos: [(Trans, Matrix<f64>, Trans, Matrix<f64>); 4] = [
+            (Trans::No, a.clone(), Trans::No, b.clone()),
+            (Trans::Yes, a.transpose(), Trans::No, b.clone()),
+            (Trans::No, a.clone(), Trans::Yes, b.transpose()),
+            (Trans::Yes, a.transpose(), Trans::Yes, b.transpose()),
+        ];
+        for (ta, am, tb, bm) in combos {
+            let mut c = Matrix::<f64>::zeros(4, 5);
+            gemm(ta, tb, 1.0, am.as_ref(), bm.as_ref(), 0.0, c.as_mut());
+            for i in 0..4 {
+                for j in 0..5 {
+                    assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-12, "({ta:?},{tb:?}) at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::<f64>::eye(2, 2);
+        let b = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut c = Matrix::from_row_major(2, 2, &[10.0, 10.0, 10.0, 10.0]);
+        gemm(Trans::No, Trans::No, 2.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        assert_eq!(c[(0, 0)], 7.0); // 2*1 + 0.5*10
+        assert_eq!(c[(1, 1)], 13.0);
+    }
+
+    #[test]
+    fn gemm_parallel_path_matches_serial() {
+        // Big enough to trigger the rayon path.
+        let a = Matrix::from_fn(64, 48, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(48, 130, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let want = naive_gemm(&a, &b);
+        let mut c = Matrix::<f64>::zeros(64, 130);
+        gemm(Trans::No, Trans::No, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        for i in 0..64 {
+            for j in 0..130 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_left_matches_gemm_with_triangle() {
+        let u = Matrix::from_row_major(3, 3, &[2.0f64, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 7.0]);
+        let b = Matrix::from_fn(3, 2, |i, j| (i + j + 1) as f64);
+        let mut got = b.clone();
+        trmm_upper(Side::Left, u.as_ref(), got.as_mut());
+        let want = naive_gemm(&u, &b);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((got[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_right_matches_gemm_with_triangle() {
+        let u = Matrix::from_row_major(3, 3, &[2.0f64, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 7.0]);
+        let b = Matrix::from_fn(2, 3, |i, j| (2 * i + j + 1) as f64);
+        let mut got = b.clone();
+        trmm_upper(Side::Right, u.as_ref(), got.as_mut());
+        let want = naive_gemm(&b, &u);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert!((got[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_trmm() {
+        let u = Matrix::from_row_major(3, 3, &[2.0f64, 1.0, 3.0, 0.0, 4.0, 5.0, 0.0, 0.0, 7.0]);
+        let b = Matrix::from_fn(3, 4, |i, j| (i * 3 + j) as f64 - 4.0);
+        let mut x = b.clone();
+        trmm_upper(Side::Left, u.as_ref(), x.as_mut());
+        trsm_upper_left(u.as_ref(), x.as_mut());
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((x[(i, j)] - b[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

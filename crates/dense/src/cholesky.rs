@@ -1,0 +1,99 @@
+//! Cholesky factorization (LAPACK `potrf`, lower variant).
+//!
+//! Used by the CholeskyQR baseline — the method Section II of the paper
+//! dismisses as "not as numerically stable" — which we implement precisely to
+//! demonstrate that instability in tests.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Error from a failed Cholesky factorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Column at which a non-positive pivot appeared.
+    pub column: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at column {}", self.column)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower Cholesky factor `L` with `A = L * L^T`. `a` must be symmetric
+/// positive definite; only its lower triangle is read.
+pub fn potrf_lower<T: Scalar>(a: &Matrix<T>) -> Result<Matrix<T>, NotPositiveDefinite> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "potrf requires a square matrix");
+    let mut l = Matrix::<T>::zeros(n, n);
+    for j in 0..n {
+        // d = a_jj - sum_k l_jk^2
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d = (-l[(j, k)]).mul_add(l[(j, k)], d);
+        }
+        if d <= T::ZERO || !d.is_finite() {
+            return Err(NotPositiveDefinite { column: j });
+        }
+        let djj = d.sqrt();
+        l[(j, j)] = djj;
+        let inv = T::ONE / djj;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s = (-l[(i, k)]).mul_add(l[(j, k)], s);
+            }
+            l[(i, j)] = s * inv;
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+
+    #[test]
+    fn factor_reconstructs_spd() {
+        // A = B^T B + n*I is SPD.
+        let b = Matrix::from_fn(6, 6, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let mut a = Matrix::<f64>::zeros(6, 6);
+        gemm(Trans::Yes, Trans::No, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+        for d in 0..6 {
+            a[(d, d)] += 6.0;
+        }
+        let l = potrf_lower(&a).unwrap();
+        let mut llt = Matrix::<f64>::zeros(6, 6);
+        gemm(Trans::No, Trans::Yes, 1.0, l.as_ref(), l.as_ref(), 0.0, llt.as_mut());
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // L is lower triangular with positive diagonal.
+        for i in 0..6 {
+            assert!(l[(i, i)] > 0.0);
+            for j in i + 1..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = Matrix::<f64>::eye(3, 3);
+        a[(2, 2)] = -1.0;
+        let err = potrf_lower(&a).unwrap_err();
+        assert_eq!(err.column, 2);
+    }
+
+    #[test]
+    fn semidefinite_matrix_rejected() {
+        // Rank-1 PSD matrix fails at the second pivot.
+        let a = Matrix::from_fn(3, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        assert!(potrf_lower(&a).is_err());
+    }
+}

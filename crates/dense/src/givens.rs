@@ -1,0 +1,142 @@
+//! Givens rotations and a Givens-based QR.
+//!
+//! Section II lists Givens rotations as the other numerically stable QR
+//! family; we provide them both as a correctness cross-check for the
+//! Householder paths and because structured eliminations (like TSQR's
+//! triangle-on-triangle reductions) are classically described with them.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// A plane rotation `G = [c s; -s c]` with `c^2 + s^2 = 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Givens<T> {
+    /// Cosine component.
+    pub c: T,
+    /// Sine component.
+    pub s: T,
+}
+
+impl<T: Scalar> Givens<T> {
+    /// Compute the rotation zeroing `b` against `a`:
+    /// `G^T * [a; b] = [r; 0]` with `r = hypot(a, b)` (LAPACK `lartg` style,
+    /// without the sign refinements).
+    pub fn make(a: T, b: T) -> (Self, T) {
+        if b == T::ZERO {
+            return (Givens { c: T::ONE, s: T::ZERO }, a);
+        }
+        if a == T::ZERO {
+            return (Givens { c: T::ZERO, s: T::ONE }, b);
+        }
+        let r = a.hypot(b);
+        let r = if a < T::ZERO { -r } else { r };
+        (Givens { c: a / r, s: b / r }, r)
+    }
+
+    /// Apply to a coordinate pair: returns `(c*x + s*y, -s*x + c*y)`.
+    #[inline(always)]
+    pub fn apply(&self, x: T, y: T) -> (T, T) {
+        (
+            self.c.mul_add(x, self.s * y),
+            self.c.mul_add(y, -(self.s * x)),
+        )
+    }
+
+    /// Apply to two full rows `i` and `k` of a matrix, columns `from..`.
+    pub fn apply_rows(&self, m: &mut Matrix<T>, i: usize, k: usize, from: usize) {
+        for j in from..m.cols() {
+            let (x, y) = self.apply(m[(i, j)], m[(k, j)]);
+            m[(i, j)] = x;
+            m[(k, j)] = y;
+        }
+    }
+}
+
+/// QR factorization by Givens rotations. Returns `(Q, R)` with `Q` explicit
+/// `m x m`. Cubic cost with a large constant — a reference implementation,
+/// not a fast path.
+pub fn givens_qr<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let (m, n) = a.shape();
+    let mut r = a.clone();
+    let mut q = Matrix::<T>::eye(m, m);
+    for j in 0..n.min(m) {
+        for i in (j + 1..m).rev() {
+            let (g, _) = Givens::make(r[(j, j)], r[(i, j)]);
+            if g.s == T::ZERO && g.c == T::ONE {
+                continue;
+            }
+            g.apply_rows(&mut r, j, i, j);
+            r[(i, j)] = T::ZERO; // exact zero by construction
+            // Accumulate Q = Q * G (apply to columns j, i of Q).
+            for row in 0..m {
+                let x = q[(row, j)];
+                let y = q[(row, i)];
+                q[(row, j)] = g.c.mul_add(x, g.s * y);
+                q[(row, i)] = g.c.mul_add(y, -(g.s * x));
+            }
+        }
+    }
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+    use crate::norms::orthogonality_error;
+
+    #[test]
+    fn make_zeroes_second_component() {
+        let (g, r) = Givens::make(3.0f64, 4.0);
+        let (x, y) = g.apply(3.0, 4.0);
+        assert!((x - r).abs() < 1e-14);
+        assert!(y.abs() < 1e-14);
+        assert!((r.abs() - 5.0).abs() < 1e-14);
+        assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn make_handles_zeros() {
+        let (g, r) = Givens::make(2.0f64, 0.0);
+        assert_eq!((g.c, g.s, r), (1.0, 0.0, 2.0));
+        let (g, r) = Givens::make(0.0f64, 3.0);
+        assert_eq!((g.c, g.s, r), (0.0, 1.0, 3.0));
+    }
+
+    #[test]
+    fn givens_qr_reconstructs() {
+        let a = Matrix::from_fn(7, 4, |i, j| (((i * 11 + j * 5) % 13) as f64 - 6.0) / 3.0);
+        let (q, r) = givens_qr(&a);
+        assert!(orthogonality_error(&q) < 1e-13);
+        // R upper triangular (within the leading n columns).
+        for j in 0..4 {
+            for i in j + 1..7 {
+                assert!(r[(i, j)].abs() < 1e-13, "({i},{j}) = {}", r[(i, j)]);
+            }
+        }
+        let mut qr = Matrix::<f64>::zeros(7, 4);
+        gemm(Trans::No, Trans::No, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        for i in 0..7 {
+            for j in 0..4 {
+                assert!((qr[(i, j)] - a[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn givens_r_matches_householder_r_up_to_sign() {
+        let a = Matrix::from_fn(9, 5, |i, j| (((i * 7 + j * 3) % 11) as f64 - 5.0) / 2.0);
+        let (_, r_g) = givens_qr(&a);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; 5];
+        crate::householder::geqr2(f.as_mut(), &mut tau);
+        for j in 0..5 {
+            for i in 0..=j {
+                assert!(
+                    (r_g[(i, j)].abs() - f[(i, j)].abs()).abs() < 1e-12,
+                    "|R| mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Golub-Kahan SVD: Householder bidiagonalization (`gebrd`) followed by
+//! implicit-shift QR iteration on the bidiagonal (`bdsqr`) — the classical
+//! dense SVD that LAPACK's `gesvd` (and therefore the paper's "MKL SVD"
+//! baseline) implements. It complements the one-sided Jacobi SVD in
+//! [`crate::svd`]: the two are completely independent algorithms, which the
+//! test suites exploit to cross-validate each other.
+
+use crate::blas1::nrm2;
+use crate::householder::larfg;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::svd::Svd;
+
+/// Maximum QR iterations per singular value before giving up.
+const MAX_ITER_PER_VALUE: usize = 40;
+
+/// Householder bidiagonalization of a square `n x n` matrix: `A = U B V^T`
+/// with `B` upper bidiagonal. Returns `(u, d, e, v)` where `d` is the
+/// diagonal, `e` the superdiagonal, and `u`/`v` are explicit orthogonal
+/// accumulations.
+pub fn bidiagonalize<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Vec<T>, Vec<T>, Matrix<T>) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "bidiagonalize expects a square matrix (QR-reduce first)");
+    let mut b = a.clone();
+    let mut u = Matrix::<T>::eye(n, n);
+    let mut v = Matrix::<T>::eye(n, n);
+
+    for k in 0..n {
+        // Left reflector: zero column k below the diagonal.
+        if k + 1 < n {
+            let mut col: Vec<T> = (k..n).map(|i| b[(i, k)]).collect();
+            let tau = larfg(&mut col);
+            if tau != T::ZERO {
+                // v_house = [1, col[1..]]; apply to B[k.., k..] and U[:, k..].
+                let tail = &col[1..];
+                apply_left_reflector(&mut b, k, tail, tau);
+                apply_right_to_columns(&mut u, k, tail, tau);
+            }
+            b[(k, k)] = col[0];
+            for i in k + 1..n {
+                b[(i, k)] = T::ZERO;
+            }
+        }
+        // Right reflector: zero row k beyond the superdiagonal.
+        if k + 2 < n {
+            let mut row: Vec<T> = (k + 1..n).map(|j| b[(k, j)]).collect();
+            let tau = larfg(&mut row);
+            if tau != T::ZERO {
+                let tail = &row[1..];
+                apply_right_reflector(&mut b, k, tail, tau);
+                apply_right_to_columns(&mut v, k + 1, tail, tau);
+            }
+            b[(k, k + 1)] = row[0];
+            for j in k + 2..n {
+                b[(k, j)] = T::ZERO;
+            }
+        }
+    }
+
+    let d: Vec<T> = (0..n).map(|i| b[(i, i)]).collect();
+    let e: Vec<T> = (0..n.saturating_sub(1)).map(|i| b[(i, i + 1)]).collect();
+    (u, d, e, v)
+}
+
+/// Apply `H = I - tau w w^T` (with `w = [1, tail]` starting at row `k`) from
+/// the left to `B[k.., k..]`.
+fn apply_left_reflector<T: Scalar>(b: &mut Matrix<T>, k: usize, tail: &[T], tau: T) {
+    let n = b.cols();
+    for j in k..n {
+        let mut dot = b[(k, j)];
+        for (off, &w) in tail.iter().enumerate() {
+            dot = b[(k + 1 + off, j)].mul_add(w, dot);
+        }
+        let td = tau * dot;
+        b[(k, j)] -= td;
+        for (off, &w) in tail.iter().enumerate() {
+            let idx = (k + 1 + off, j);
+            b[idx] = (-td).mul_add(w, b[idx]);
+        }
+    }
+}
+
+/// Apply `H` (with `w = [1, tail]` starting at column `k+1`) from the right
+/// to `B[k.., k+1..]`.
+fn apply_right_reflector<T: Scalar>(b: &mut Matrix<T>, k: usize, tail: &[T], tau: T) {
+    let n = b.rows();
+    for i in k..n {
+        let mut dot = b[(i, k + 1)];
+        for (off, &w) in tail.iter().enumerate() {
+            dot = b[(i, k + 2 + off)].mul_add(w, dot);
+        }
+        let td = tau * dot;
+        b[(i, k + 1)] -= td;
+        for (off, &w) in tail.iter().enumerate() {
+            let idx = (i, k + 2 + off);
+            b[idx] = (-td).mul_add(w, b[idx]);
+        }
+    }
+}
+
+/// Accumulate a reflector into an orthogonal factor: `M = M * H` where `H`
+/// acts on columns `k..` with `w = [1, tail]`.
+fn apply_right_to_columns<T: Scalar>(m: &mut Matrix<T>, k: usize, tail: &[T], tau: T) {
+    let rows = m.rows();
+    for i in 0..rows {
+        let mut dot = m[(i, k)];
+        for (off, &w) in tail.iter().enumerate() {
+            dot = m[(i, k + 1 + off)].mul_add(w, dot);
+        }
+        let td = tau * dot;
+        m[(i, k)] -= td;
+        for (off, &w) in tail.iter().enumerate() {
+            let idx = (i, k + 1 + off);
+            m[idx] = (-td).mul_add(w, m[idx]);
+        }
+    }
+}
+
+#[inline]
+fn givens_cs<T: Scalar>(y: T, z: T) -> (T, T) {
+    if z == T::ZERO {
+        return (T::ONE, T::ZERO);
+    }
+    let r = y.hypot(z);
+    (y / r, z / r)
+}
+
+#[inline]
+fn rotate_cols<T: Scalar>(m: &mut Matrix<T>, j1: usize, j2: usize, c: T, s: T) {
+    for i in 0..m.rows() {
+        let a = m[(i, j1)];
+        let b = m[(i, j2)];
+        m[(i, j1)] = c.mul_add(a, s * b);
+        m[(i, j2)] = c.mul_add(b, -(s * a));
+    }
+}
+
+/// One implicit-shift Golub-Kahan QR step on the active block `[p, q)` of
+/// the bidiagonal `(d, e)`, accumulating the rotations into `u` and `v`.
+fn gk_step<T: Scalar>(d: &mut [T], e: &mut [T], p: usize, q: usize, u: &mut Matrix<T>, v: &mut Matrix<T>) {
+    // Wilkinson shift from the trailing 2x2 of B^T B.
+    let t11 = d[q - 2] * d[q - 2]
+        + if q >= p + 3 { e[q - 3] * e[q - 3] } else { T::ZERO };
+    let t12 = d[q - 2] * e[q - 2];
+    let t22 = d[q - 1] * d[q - 1] + e[q - 2] * e[q - 2];
+    let half = T::from_f64(0.5);
+    let delta = (t11 - t22) * half;
+    let mu = if t12 == T::ZERO {
+        t22
+    } else {
+        t22 - t12 * t12 / (delta + delta.sign() * delta.hypot(t12))
+    };
+
+    let mut y = d[p] * d[p] - mu;
+    let mut z = d[p] * e[p];
+    for k in p..q - 1 {
+        // Right rotation on columns (k, k+1): kills `z` against `y`
+        // (for k > p that pair is (e[k-1], bulge)).
+        let (c, s) = givens_cs(y, z);
+        if k > p {
+            e[k - 1] = c.mul_add(y, s * z);
+        }
+        let (dk, ek, dk1) = (d[k], e[k], d[k + 1]);
+        d[k] = c.mul_add(dk, s * ek);
+        e[k] = c.mul_add(ek, -(s * dk));
+        let bulge = s * dk1; // appears at B[k+1, k]
+        d[k + 1] = c * dk1;
+        rotate_cols(v, k, k + 1, c, s);
+
+        // Left rotation on rows (k, k+1): kills the bulge against d[k].
+        let (c2, s2) = givens_cs(d[k], bulge);
+        d[k] = d[k].hypot(bulge);
+        let (ek2, dk12) = (e[k], d[k + 1]);
+        e[k] = c2.mul_add(ek2, s2 * dk12);
+        d[k + 1] = c2.mul_add(dk12, -(s2 * ek2));
+        rotate_cols(u, k, k + 1, c2, s2);
+        if k + 2 < q {
+            let ek1 = e[k + 1];
+            let bulge2 = s2 * ek1; // appears at B[k, k+2]
+            e[k + 1] = c2 * ek1;
+            y = e[k];
+            z = bulge2;
+        }
+    }
+}
+
+/// When a diagonal entry of the active block vanishes, the superdiagonal
+/// next to it can be rotated away; this splits the block. `i` is the index
+/// of the (numerically) zero diagonal.
+fn deflate_zero_diagonal<T: Scalar>(d: &mut [T], e: &mut [T], i: usize, q: usize, u: &mut Matrix<T>) {
+    // Chase e[i] rightwards using left rotations against rows i, j.
+    d[i] = T::ZERO;
+    let mut f = e[i];
+    e[i] = T::ZERO;
+    for j in i + 1..q {
+        // Rotate rows (j, i) to kill the fill `f` at B[i, j] against d[j].
+        let (c, s) = givens_cs(d[j], f);
+        d[j] = d[j].hypot(f);
+        rotate_cols(u, j, i, c, s);
+        if j + 1 < q {
+            f = -(s * e[j]);
+            e[j] = c * e[j];
+        }
+    }
+}
+
+/// Full Golub-Kahan SVD of an `m x n` matrix with `m >= n`: QR reduction to
+/// `R`, bidiagonalization, implicit-shift QR iteration, then back-
+/// composition `U = Q * U_b`. Singular values are returned descending.
+pub fn svd_golub_kahan<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "svd_golub_kahan requires m >= n");
+    if n == 0 {
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            sigma: Vec::new(),
+            v: Matrix::zeros(0, 0),
+        };
+    }
+    if n == 1 {
+        let s = nrm2(a.col(0));
+        let mut u = Matrix::<T>::zeros(m, 1);
+        if s > T::ZERO {
+            for (ui, &ai) in u.col_mut(0).iter_mut().zip(a.col(0)) {
+                *ui = ai / s;
+            }
+        }
+        return Svd {
+            u,
+            sigma: vec![s],
+            v: Matrix::eye(1, 1),
+        };
+    }
+
+    // Reduce to the square case via QR.
+    let (q, r) = if m > n {
+        let mut f = a.clone();
+        let tau = crate::blocked::geqrf(&mut f, crate::blocked::DEFAULT_NB);
+        let q = crate::blocked::orgqr(&f, &tau, n, crate::blocked::DEFAULT_NB);
+        (Some(q), f.upper_triangular())
+    } else {
+        (None, a.clone())
+    };
+
+    let (mut u, mut d, mut e, mut v) = bidiagonalize(&r);
+
+    // Implicit-shift QR iteration with deflation.
+    let eps = T::epsilon();
+    let mut iters_left = MAX_ITER_PER_VALUE * n;
+    let mut q_end = n;
+    while q_end > 0 {
+        // Deflate converged superdiagonals.
+        for i in 0..q_end.saturating_sub(1) {
+            if e[i].abs() <= eps * (d[i].abs() + d[i + 1].abs()) {
+                e[i] = T::ZERO;
+            }
+        }
+        // Shrink the active block from the right.
+        if q_end == 1 || e[q_end - 2] == T::ZERO {
+            q_end -= 1;
+            continue;
+        }
+        // Find the start of the active block.
+        let mut p = q_end - 1;
+        while p > 0 && e[p - 1] != T::ZERO {
+            p -= 1;
+        }
+        // Zero diagonal inside the block: deflate it.
+        let mut deflated = false;
+        for i in p..q_end - 1 {
+            if d[i].abs() <= eps * (d.iter().fold(T::ZERO, |acc, x| acc.maximum(x.abs()))) {
+                deflate_zero_diagonal(&mut d, &mut e, i, q_end, &mut u);
+                deflated = true;
+                break;
+            }
+        }
+        if deflated {
+            continue;
+        }
+        assert!(iters_left > 0, "bdsqr failed to converge");
+        iters_left -= 1;
+        gk_step(&mut d, &mut e, p, q_end, &mut u, &mut v);
+    }
+
+    // Make singular values non-negative (flip the U column) and sort.
+    let nn = n;
+    let mut sigma: Vec<T> = d;
+    for i in 0..nn {
+        if sigma[i] < T::ZERO {
+            sigma[i] = -sigma[i];
+            for x in u.col_mut(i) {
+                *x = -*x;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..nn).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    let (u_old, v_old, s_old) = (u.clone(), v.clone(), sigma.clone());
+    for (dst, &src) in order.iter().enumerate() {
+        sigma[dst] = s_old[src];
+        u.col_mut(dst).copy_from_slice(u_old.col(src));
+        v.col_mut(dst).copy_from_slice(v_old.col(src));
+    }
+
+    // Compose U with the initial QR's Q when the input was tall.
+    let u_final = match q {
+        Some(qm) => {
+            let mut out = Matrix::<T>::zeros(m, nn);
+            crate::blas3::gemm(
+                crate::blas3::Trans::No,
+                crate::blas3::Trans::No,
+                T::ONE,
+                qm.as_ref(),
+                u.as_ref(),
+                T::ZERO,
+                out.as_mut(),
+            );
+            out
+        }
+        None => u,
+    };
+
+    Svd {
+        u: u_final,
+        sigma,
+        v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+    use crate::norms::orthogonality_error;
+
+    fn reconstruct(s: &Svd<f64>, m: usize, n: usize) -> Matrix<f64> {
+        let mut us = s.u.clone();
+        for j in 0..n {
+            let sj = s.sigma[j];
+            for v in us.col_mut(j) {
+                *v *= sj;
+            }
+        }
+        let mut out = Matrix::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::Yes, 1.0, us.as_ref(), s.v.as_ref(), 0.0, out.as_mut());
+        out
+    }
+
+    #[test]
+    fn bidiagonalization_preserves_the_matrix() {
+        let a = crate::generate::uniform::<f64>(8, 8, 1);
+        let (u, d, e, v) = bidiagonalize(&a);
+        assert!(orthogonality_error(&u) < 1e-12);
+        assert!(orthogonality_error(&v) < 1e-12);
+        // Rebuild B and check A == U B V^T.
+        let n = 8;
+        let mut b = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = d[i];
+            if i + 1 < n {
+                b[(i, i + 1)] = e[i];
+            }
+        }
+        let mut ub = Matrix::<f64>::zeros(n, n);
+        gemm(Trans::No, Trans::No, 1.0, u.as_ref(), b.as_ref(), 0.0, ub.as_mut());
+        let mut ubvt = Matrix::<f64>::zeros(n, n);
+        gemm(Trans::No, Trans::Yes, 1.0, ub.as_ref(), v.as_ref(), 0.0, ubvt.as_mut());
+        for i in 0..n {
+            for j in 0..n {
+                assert!((ubvt[(i, j)] - a[(i, j)]).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gk_svd_matches_jacobi_svd() {
+        for (m, n, seed) in [(6usize, 6usize, 2u64), (20, 8, 3), (40, 12, 4), (9, 9, 5)] {
+            let a = crate::generate::uniform::<f64>(m, n, seed);
+            let gk = svd_golub_kahan(&a);
+            let jac = crate::svd::svd(&a);
+            for (x, y) in gk.sigma.iter().zip(&jac.sigma) {
+                assert!((x - y).abs() < 1e-9 * (1.0 + y), "({m},{n}) sigma {x} vs {y}");
+            }
+            let r = reconstruct(&gk, m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9, "({m},{n}) at ({i},{j})");
+                }
+            }
+            assert!(orthogonality_error(&gk.u) < 1e-10);
+            assert!(orthogonality_error(&gk.v) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gk_svd_handles_graded_spectra() {
+        let a = crate::generate::graded::<f64>(30, 8, 0.1, 6);
+        let s = svd_golub_kahan(&a);
+        for (k, sv) in s.sigma.iter().enumerate() {
+            let want = 0.1f64.powi(k as i32);
+            assert!((sv / want - 1.0).abs() < 1e-6, "sigma_{k} = {sv}");
+        }
+    }
+
+    #[test]
+    fn gk_svd_rank_deficient() {
+        let a = crate::generate::low_rank::<f64>(24, 10, 3, 0.0, 7);
+        let s = svd_golub_kahan(&a);
+        assert!(s.sigma[2] > 1e-10);
+        assert!(s.sigma[3] < 1e-9 * s.sigma[0]);
+        let r = reconstruct(&s, 24, 10);
+        for i in 0..24 {
+            for j in 0..10 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gk_svd_tiny_shapes() {
+        // n = 1 and n = 2 paths.
+        let a1 = crate::generate::uniform::<f64>(5, 1, 8);
+        let s1 = svd_golub_kahan(&a1);
+        assert!((s1.sigma[0] - nrm2(a1.col(0))).abs() < 1e-12);
+        let a2 = crate::generate::uniform::<f64>(4, 2, 9);
+        let s2 = svd_golub_kahan(&a2);
+        let j2 = crate::svd::svd(&a2);
+        for (x, y) in s2.sigma.iter().zip(&j2.sigma) {
+            assert!((x - y).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn gk_svd_diagonal_input() {
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { (5 - i) as f64 } else { 0.0 });
+        let s = svd_golub_kahan(&a);
+        for (k, sv) in s.sigma.iter().enumerate() {
+            assert!((sv - (5 - k) as f64).abs() < 1e-12);
+        }
+    }
+}

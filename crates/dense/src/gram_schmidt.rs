@@ -1,0 +1,187 @@
+//! Gram-Schmidt and CholeskyQR factorizations.
+//!
+//! Section II of the paper: "Cholesky QR and the Gram-Schmidt process are
+//! not as numerically stable, so most general-purpose software for QR uses
+//! either Givens rotations or Householder reflectors." These baselines exist
+//! so the test suite can demonstrate exactly that loss of orthogonality on
+//! ill-conditioned inputs, and to provide a fast-but-unstable reference.
+
+use crate::blas1::{axpy, dot, nrm2, scal};
+use crate::blas3::{gemm, trsm_upper_left, Trans};
+use crate::cholesky::{potrf_lower, NotPositiveDefinite};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// QR by classical Gram-Schmidt: each column is orthogonalized against all
+/// previous `Q` columns using its *original* inner products (one pass).
+/// Fast but can lose orthogonality catastrophically.
+pub fn classical_gram_schmidt<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let (m, n) = a.shape();
+    assert!(m >= n);
+    let mut q = a.clone();
+    let mut r = Matrix::<T>::zeros(n, n);
+    for j in 0..n {
+        // r[0..j, j] = Q[:, 0..j]^T a_j   (classical: uses original a_j)
+        let coeffs: Vec<T> = (0..j).map(|i| dot(q.col(i), a.col(j))).collect();
+        for (i, &c) in coeffs.iter().enumerate() {
+            r[(i, j)] = c;
+        }
+        // q_j = a_j - sum c_i q_i
+        for i in 0..j {
+            let qi = q.col(i).to_vec();
+            axpy(-coeffs[i], &qi, q.col_mut(j));
+        }
+        let norm = nrm2(q.col(j));
+        r[(j, j)] = norm;
+        if norm > T::ZERO {
+            scal(T::ONE / norm, q.col_mut(j));
+        }
+    }
+    (q, r)
+}
+
+/// QR by modified Gram-Schmidt: inner products are recomputed against the
+/// *current* residual column. Much better orthogonality than CGS, still
+/// weaker than Householder for severely ill-conditioned matrices.
+pub fn modified_gram_schmidt<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let (m, n) = a.shape();
+    assert!(m >= n);
+    let mut q = a.clone();
+    let mut r = Matrix::<T>::zeros(n, n);
+    for j in 0..n {
+        for i in 0..j {
+            let c = dot(q.col(i), q.col(j));
+            r[(i, j)] = c;
+            let qi = q.col(i).to_vec();
+            axpy(-c, &qi, q.col_mut(j));
+        }
+        let norm = nrm2(q.col(j));
+        r[(j, j)] = norm;
+        if norm > T::ZERO {
+            scal(T::ONE / norm, q.col_mut(j));
+        }
+    }
+    (q, r)
+}
+
+/// CholeskyQR: `R = chol(A^T A)^T`, `Q = A R^-1`. One `gemm` + one small
+/// Cholesky — the communication-minimal but numerically fragile method
+/// (condition number is squared before factoring).
+pub fn cholesky_qr<T: Scalar>(a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>), NotPositiveDefinite> {
+    let (m, n) = a.shape();
+    assert!(m >= n);
+    // G = A^T A
+    let mut g = Matrix::<T>::zeros(n, n);
+    gemm(Trans::Yes, Trans::No, T::ONE, a.as_ref(), a.as_ref(), T::ZERO, g.as_mut());
+    let l = potrf_lower(&g)?;
+    // R = L^T (upper). Q solves Q R = A, i.e. R^T Q^T = A^T; equivalently
+    // solve X * R = A column-block-wise: Q^T = R^-T A^T. Simplest: transpose.
+    let r = l.transpose();
+    // Q = A * R^{-1}: solve R^T? Use: for each row of A? Column-major trick:
+    // Q^T = R^{-T} A^T; we instead solve R^T X = A^T with R^T lower... keep it
+    // simple: compute Q by forward-substituting columns of R.
+    // Q[:, j] = (A[:, j] - sum_{k<j} Q[:,k] R[k,j]) / R[j,j]
+    let mut q = a.clone();
+    for j in 0..n {
+        for k in 0..j {
+            let rkj = r[(k, j)];
+            let qk = q.col(k).to_vec();
+            axpy(-rkj, &qk, q.col_mut(j));
+        }
+        let d = r[(j, j)];
+        scal(T::ONE / d, q.col_mut(j));
+    }
+    Ok((q, r))
+}
+
+/// Solve `min ||A x - b||` with MGS QR (used as an independent check of the
+/// Householder least-squares path).
+pub fn mgs_least_squares<T: Scalar>(a: &Matrix<T>, b: &[T]) -> Vec<T> {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m);
+    let (q, r) = modified_gram_schmidt(a);
+    // x = R^-1 Q^T b
+    let mut x = vec![T::ZERO; n];
+    for j in 0..n {
+        x[j] = dot(q.col(j), b);
+    }
+    let mut xm = Matrix::from_fn(n, 1, |i, _| x[i]);
+    trsm_upper_left(r.as_ref(), xm.as_mut());
+    (0..n).map(|i| xm[(i, 0)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::{orthogonality_error, reconstruction_error};
+
+    fn well_conditioned(m: usize, n: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |i, j| {
+            (((i * 13 + j * 29 + 5) % 31) as f64 - 15.0) / 10.0 + if i == j { 2.0 } else { 0.0 }
+        })
+    }
+
+    /// Hilbert-like: condition number grows explosively with n.
+    fn ill_conditioned(m: usize, n: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |i, j| 1.0 / ((i + j + 1) as f64))
+    }
+
+    #[test]
+    fn cgs_mgs_chol_reconstruct_well_conditioned() {
+        let a = well_conditioned(20, 6);
+        for (name, (q, r)) in [
+            ("cgs", classical_gram_schmidt(&a)),
+            ("mgs", modified_gram_schmidt(&a)),
+            ("chol", cholesky_qr(&a).unwrap()),
+        ] {
+            assert!(reconstruction_error(&a, &q, &r) < 1e-12, "{name} reconstruction");
+            assert!(orthogonality_error(&q) < 1e-12, "{name} orthogonality");
+        }
+    }
+
+    #[test]
+    fn cgs_loses_orthogonality_where_householder_does_not() {
+        // The instability claim from Section II, demonstrated.
+        let a = ill_conditioned(64, 12);
+        let (q_cgs, _) = classical_gram_schmidt(&a);
+        let cgs_err = orthogonality_error(&q_cgs);
+
+        let mut f = a.clone();
+        let mut tau = vec![0.0; 12];
+        crate::householder::geqr2(f.as_mut(), &mut tau);
+        let q_hh = crate::householder::org2r(&f, &tau, 12);
+        let hh_err = orthogonality_error(&q_hh);
+
+        assert!(hh_err < 1e-12, "householder stays orthogonal: {hh_err}");
+        assert!(cgs_err > 1e-6, "cgs should visibly lose orthogonality: {cgs_err}");
+        assert!(cgs_err > hh_err * 1e4);
+    }
+
+    #[test]
+    fn mgs_better_than_cgs_on_ill_conditioned() {
+        let a = ill_conditioned(64, 10);
+        let (q_cgs, _) = classical_gram_schmidt(&a);
+        let (q_mgs, _) = modified_gram_schmidt(&a);
+        assert!(orthogonality_error(&q_mgs) <= orthogonality_error(&q_cgs));
+    }
+
+    #[test]
+    fn cholesky_qr_fails_on_extreme_conditioning() {
+        // cond^2 overflows the positive-definiteness of A^T A in f64 for a
+        // sufficiently ill-conditioned A; CholeskyQR must report the failure
+        // rather than return garbage.
+        let a = ill_conditioned(32, 16);
+        assert!(cholesky_qr(&a).is_err(), "Gram matrix should be numerically singular");
+    }
+
+    #[test]
+    fn mgs_least_squares_matches_householder() {
+        let a = well_conditioned(30, 5);
+        let b: Vec<f64> = (0..30).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let x1 = mgs_least_squares(&a, &b);
+        let x2 = crate::blocked::least_squares(a.clone(), &b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Elementary Householder reflectors and unblocked QR (LAPACK `larfg`,
+//! `larf`, `geqr2`, `org2r` analogues).
+//!
+//! These are the BLAS2 building blocks that the paper's `factor` and
+//! `factor_tree` kernels run inside fast memory, and that the blocked
+//! Householder baselines run per panel.
+
+use crate::blas1::nrm2;
+use crate::matrix::{MatMut, Matrix};
+use crate::scalar::Scalar;
+
+/// Generate an elementary reflector `H = I - tau * v * v^T` such that
+/// `H * x = (beta, 0, ..., 0)^T` with `|beta| = ||x||`.
+///
+/// On input `x` is the full vector (length >= 1). On output `x[0] = beta` and
+/// `x[1..]` holds the reflector tail `v[1..]` (`v[0] == 1` is implicit).
+/// Returns `tau` (zero when `x[1..]` is already zero, making `H = I`).
+pub fn larfg<T: Scalar>(x: &mut [T]) -> T {
+    let n = x.len();
+    assert!(n >= 1, "larfg needs a non-empty vector");
+    if n == 1 {
+        return T::ZERO;
+    }
+    let alpha = x[0];
+    let xnorm = nrm2(&x[1..]);
+    if xnorm == T::ZERO {
+        return T::ZERO;
+    }
+    // beta = -sign(alpha) * ||x||, the LAPACK choice that avoids cancellation.
+    let beta = -alpha.sign() * alpha.hypot(xnorm);
+    let tau = (beta - alpha) / beta;
+    let inv = T::ONE / (alpha - beta);
+    for v in &mut x[1..] {
+        *v *= inv;
+    }
+    x[0] = beta;
+    tau
+}
+
+/// Apply `H = I - tau * v * v^T` from the left to `c`: `C = H * C`.
+///
+/// `v` has explicit unit first element NOT stored: `v_storage` is the tail
+/// `v[1..]` and the reflector acts on all `c.rows() == v_storage.len() + 1`
+/// rows. `work` is resized to `c.cols()`.
+pub fn larf_left<T: Scalar>(v_tail: &[T], tau: T, mut c: MatMut<'_, T>, work: &mut Vec<T>) {
+    if tau == T::ZERO {
+        return;
+    }
+    let m = c.rows();
+    let n = c.cols();
+    debug_assert_eq!(v_tail.len() + 1, m);
+    work.clear();
+    work.resize(n, T::ZERO);
+    // w = C^T v  (v[0] == 1)
+    for j in 0..n {
+        let col = c.col(j);
+        let mut acc = col[0];
+        for (&ci, &vi) in col[1..].iter().zip(v_tail) {
+            acc = ci.mul_add(vi, acc);
+        }
+        work[j] = acc;
+    }
+    // C -= tau * v * w^T
+    for j in 0..n {
+        let twj = tau * work[j];
+        let col = c.col_mut(j);
+        col[0] -= twj;
+        for (ci, &vi) in col[1..].iter_mut().zip(v_tail) {
+            *ci = (-twj).mul_add(vi, *ci);
+        }
+    }
+}
+
+/// Unblocked Householder QR (LAPACK `geqr2`): factor `a` in place.
+///
+/// On exit the upper triangle of `a` holds `R` and the strict lower triangle
+/// of column `j` holds the tail of reflector `v_j`; `tau[j]` receives the
+/// scalar factors. Works for any `rows >= 1`, `cols >= 0` (wide matrices
+/// factor the leading `min(m, n)` columns' reflectors).
+pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    assert!(tau.len() >= k, "tau too short: {} < {}", tau.len(), k);
+    let mut work = Vec::new();
+    for j in 0..k {
+        // Generate reflector from A[j.., j].
+        let t = {
+            let col = &mut a.col_mut(j)[j..];
+            larfg(col)
+        };
+        tau[j] = t;
+        if j + 1 < n && t != T::ZERO {
+            // Apply to the trailing columns A[j.., j+1..].
+            // Copy the reflector tail out to appease the borrow checker; the
+            // tails are tiny (these are cache-resident panel columns).
+            let v_tail: Vec<T> = a.col(j)[j + 1..].to_vec();
+            let trailing = a.rb_mut().submatrix_mut(j, j + 1, m - j, n - j - 1);
+            larf_left(&v_tail, t, trailing, &mut work);
+        }
+    }
+}
+
+/// Form the explicit `m x k` orthogonal factor from the output of [`geqr2`]
+/// (LAPACK `org2r`): `Q = H_0 H_1 ... H_{k-1} * [I_k; 0]`.
+pub fn org2r<T: Scalar>(a: &Matrix<T>, tau: &[T], k: usize) -> Matrix<T> {
+    let m = a.rows();
+    let kk = k.min(a.cols()).min(m);
+    assert_eq!(kk, k, "cannot form more Q columns than reflectors");
+    let mut q = Matrix::<T>::zeros(m, k);
+    for d in 0..k {
+        q[(d, d)] = T::ONE;
+    }
+    let mut work = Vec::new();
+    for i in (0..k).rev() {
+        let t = tau[i];
+        let v_tail: Vec<T> = a.col(i)[i + 1..].to_vec();
+        // Apply H_i to Q[i.., i..].
+        let sub = q.view_mut(i, i, m - i, k - i);
+        larf_left(&v_tail, t, sub, &mut work);
+    }
+    q
+}
+
+/// Extract the `min(m,n) x n` upper-triangular `R` from a factored matrix.
+pub fn r_from_factored<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    a.upper_triangular()
+}
+
+/// Apply `Q^T` (forward reflector order) or `Q` (reverse order) from a
+/// [`geqr2`] factorization to a full-height matrix `c` in place.
+pub fn apply_q2<T: Scalar>(a: &Matrix<T>, tau: &[T], transpose: bool, c: &mut Matrix<T>) {
+    let m = a.rows();
+    assert_eq!(c.rows(), m);
+    let k = tau.len();
+    let n = c.cols();
+    let mut work = Vec::new();
+    let order: Box<dyn Iterator<Item = usize>> = if transpose {
+        Box::new(0..k)
+    } else {
+        Box::new((0..k).rev())
+    };
+    for i in order {
+        let v_tail: Vec<T> = a.col(i)[i + 1..].to_vec();
+        let sub = c.view_mut(i, 0, m - i, n);
+        larf_left(&v_tail, tau[i], sub, &mut work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+    use crate::norms::frobenius;
+
+    fn test_matrix(m: usize, n: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, n, |i, j| {
+            // Deterministic, well-conditioned-ish entries.
+            (((i * 31 + j * 17 + 7) % 23) as f64 - 11.0) / 7.0 + if i == j { 3.0 } else { 0.0 }
+        })
+    }
+
+    fn check_qr(a: &Matrix<f64>, tol: f64) {
+        let m = a.rows();
+        let n = a.cols();
+        let k = m.min(n);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; k];
+        geqr2(f.as_mut(), &mut tau);
+        let q = org2r(&f, &tau, k);
+        let r = r_from_factored(&f);
+        // ||A - QR||
+        let mut qr = Matrix::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::No, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        let mut diff = 0.0f64;
+        for i in 0..m {
+            for j in 0..n {
+                diff = diff.max((qr[(i, j)] - a[(i, j)]).abs());
+            }
+        }
+        assert!(diff < tol, "reconstruction error {diff} for {m}x{n}");
+        // ||Q^T Q - I||
+        let mut qtq = Matrix::<f64>::zeros(k, k);
+        gemm(Trans::Yes, Trans::No, 1.0, q.as_ref(), q.as_ref(), 0.0, qtq.as_mut());
+        for i in 0..k {
+            for j in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((qtq[(i, j)] - want).abs() < tol, "orthogonality at ({i},{j})");
+            }
+        }
+        // R upper triangular by construction; diag of R should be nonzero for
+        // these well-conditioned inputs.
+        for d in 0..k {
+            assert!(r[(d, d)].abs() > 1e-10);
+        }
+        let _ = frobenius(&qr);
+    }
+
+    #[test]
+    fn qr_tall() {
+        check_qr(&test_matrix(20, 5), 1e-12);
+    }
+
+    #[test]
+    fn qr_square() {
+        check_qr(&test_matrix(8, 8), 1e-12);
+    }
+
+    #[test]
+    fn qr_wide() {
+        check_qr(&test_matrix(4, 9), 1e-12);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        check_qr(&test_matrix(7, 1), 1e-13);
+    }
+
+    #[test]
+    fn qr_single_row() {
+        let a = Matrix::from_row_major(1, 3, &[2.0f64, 3.0, 4.0]);
+        let mut f = a.clone();
+        let mut tau = vec![0.0];
+        geqr2(f.as_mut(), &mut tau);
+        // H must be identity, R == A.
+        assert_eq!(tau[0], 0.0);
+        assert_eq!(f, a);
+    }
+
+    #[test]
+    fn larfg_annihilates_tail() {
+        let mut x = vec![3.0f64, 4.0, 0.0, 12.0];
+        let norm = nrm2(&x);
+        let tau = larfg(&mut x);
+        let beta = x[0];
+        assert!((beta.abs() - norm).abs() < 1e-12);
+        // beta has opposite sign of alpha per the -sign(alpha) convention.
+        assert!(beta < 0.0);
+        assert!(tau > 0.0 && tau <= 2.0);
+        // Verify H x0 = beta e1 by applying the reflector to the original.
+        let x0 = [3.0f64, 4.0, 0.0, 12.0];
+        let v = [1.0, x[1], x[2], x[3]];
+        let vdotx: f64 = v.iter().zip(&x0).map(|(a, b)| a * b).sum();
+        for (i, (&vi, &xi)) in v.iter().zip(&x0).enumerate() {
+            let hxi = xi - tau * vi * vdotx;
+            let want = if i == 0 { beta } else { 0.0 };
+            assert!((hxi - want).abs() < 1e-12, "component {i}: {hxi} vs {want}");
+        }
+    }
+
+    #[test]
+    fn larfg_zero_tail_is_identity() {
+        let mut x = vec![5.0f64, 0.0, 0.0];
+        let tau = larfg(&mut x);
+        assert_eq!(tau, 0.0);
+        assert_eq!(x[0], 5.0);
+    }
+
+    #[test]
+    fn larfg_negative_leading() {
+        let mut x = vec![-3.0f64, 4.0];
+        let tau = larfg(&mut x);
+        assert!((x[0] - 5.0).abs() < 1e-12); // beta = -sign(-3)*5 = +5
+        assert!(tau > 0.0);
+    }
+
+    #[test]
+    fn apply_q2_transpose_then_back_is_identity() {
+        let a = test_matrix(12, 4);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; 4];
+        geqr2(f.as_mut(), &mut tau);
+        let mut c = test_matrix(12, 3);
+        let orig = c.clone();
+        apply_q2(&f, &tau, true, &mut c);
+        apply_q2(&f, &tau, false, &mut c);
+        for i in 0..12 {
+            for j in 0..3 {
+                assert!((c[(i, j)] - orig[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qt_times_a_gives_r() {
+        let a = test_matrix(10, 4);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; 4];
+        geqr2(f.as_mut(), &mut tau);
+        let mut c = a.clone();
+        apply_q2(&f, &tau, true, &mut c);
+        // c should now equal [R; 0].
+        for j in 0..4 {
+            for i in 0..10 {
+                let want = if i <= j { f[(i, j)] } else { 0.0 };
+                assert!((c[(i, j)] - want).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+}

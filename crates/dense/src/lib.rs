@@ -1,0 +1,72 @@
+//! # dense — dense linear-algebra substrate
+//!
+//! Everything the CAQR reproduction needs from BLAS/LAPACK, implemented from
+//! scratch in safe-by-default Rust (one small documented unsafe core in
+//! [`ptr`] for data-parallel tile kernels):
+//!
+//! * column-major [`Matrix`]/[`MatRef`]/[`MatMut`] storage and views,
+//! * BLAS level 1/2/3 ([`blas1`], [`blas2`], [`blas3`]),
+//! * Householder reflectors and unblocked QR ([`householder`]),
+//! * blocked Householder QR with the compact WY representation
+//!   ([`blocked`]) — the algorithm MAGMA/CULA/MKL use, i.e. the baselines,
+//! * one-sided Jacobi SVD ([`svd`]) for the Robust PCA inner step,
+//! * Cholesky, Gram-Schmidt and Givens alternatives ([`cholesky`],
+//!   [`gram_schmidt`], [`givens`]) used as stability references,
+//! * norms and QR quality metrics ([`norms`]),
+//! * deterministic matrix generators for tests and benchmarks
+//!   ([`generate`]).
+
+#![warn(missing_docs)]
+// Indexed loops over multiple matrices are clearer than iterator zips in
+// numerical kernels; silence the style lint crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod blocked;
+pub mod cholesky;
+pub mod generate;
+pub mod givens;
+pub mod gk_svd;
+pub mod gram_schmidt;
+pub mod householder;
+pub mod matrix;
+pub mod norms;
+pub mod ptr;
+pub mod scalar;
+pub mod svd;
+
+pub use matrix::{MatMut, MatRef, Matrix};
+pub use ptr::MatPtr;
+pub use scalar::Scalar;
+
+/// Floating-point operation count of the LAPACK `GEQRF` QR factorization of
+/// an `m x n` matrix (`m >= n`): `2 m n^2 - 2/3 n^3` plus lower-order terms.
+/// This is the convention the paper's GFLOPS numbers use, so every
+/// implementation is charged the same useful work regardless of how many
+/// extra flops its algorithm performs internally.
+pub fn geqrf_flops(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    2.0 * m * n * n - 2.0 / 3.0 * n * n * n + m * n + n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_tall_skinny_dominated_by_2mn2() {
+        let f = geqrf_flops(1_000_000, 192);
+        let approx = 2.0 * 1.0e6 * 192.0 * 192.0;
+        assert!((f / approx - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn flop_count_square() {
+        // For m == n the count is ~ (4/3) n^3.
+        let f = geqrf_flops(1000, 1000);
+        let approx = 4.0 / 3.0 * 1.0e9;
+        assert!((f / approx - 1.0).abs() < 0.01);
+    }
+}

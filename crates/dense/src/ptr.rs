@@ -1,0 +1,190 @@
+//! Shared mutable matrix handle for data-parallel tile kernels.
+//!
+//! A GPU kernel launch gives every thread block mutable access to its own
+//! disjoint tile of one matrix in global memory. Rust's borrow checker cannot
+//! express "disjoint tiles of one allocation decided at runtime", so the
+//! simulator uses this small unsafe core: a raw column-major pointer plus
+//! shape, `Send + Sync`, with all bounds checked (always, not only in debug
+//! builds — the cost of the check is irrelevant next to the simulated work).
+//!
+//! # Safety contract
+//!
+//! A [`MatPtr`] may only be used inside a kernel launch whose grid assigns
+//! **disjoint** element sets to different blocks, and the borrowed matrix
+//! must outlive the launch. The launch APIs in `gpu-sim` uphold the lifetime
+//! part by scoping execution; grid disjointness is asserted by the kernel
+//! constructors in the `caqr` crate (each block index maps to a unique tile).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Unsafe shared-mutable view of a column-major matrix, used as the
+/// simulator's "global memory" pointer.
+#[derive(Clone, Copy)]
+pub struct MatPtr<T> {
+    ptr: *mut T,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+// SAFETY: `MatPtr` is only handed to kernels that write disjoint tiles (see
+// module docs); reads of elements written by other blocks within one launch
+// are forbidden by the same contract, so there are no data races.
+unsafe impl<T: Send> Send for MatPtr<T> {}
+unsafe impl<T: Sync> Sync for MatPtr<T> {}
+
+impl<T: Scalar> MatPtr<T> {
+    /// Capture a matrix. The caller promises the matrix outlives every use
+    /// of the returned handle and that concurrent users touch disjoint tiles.
+    pub fn new(m: &mut Matrix<T>) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            ld: m.rows(),
+            ptr: m.as_mut_slice().as_mut_ptr(),
+        }
+    }
+
+    /// Capture a matrix for read-only kernel use (e.g. the Householder
+    /// vectors of an already-factored panel applied to a different matrix).
+    ///
+    /// The caller promises `set`/`store_tile` are never invoked on the
+    /// returned handle, and that no other handle mutates the matrix during
+    /// this handle's lifetime; under that contract the const-to-mut cast is
+    /// never used for writing.
+    pub fn new_readonly(m: &Matrix<T>) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            ld: m.rows(),
+            ptr: m.as_slice().as_ptr() as *mut T,
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline(always)]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.rows && j < self.cols, "MatPtr index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        j * self.ld + i
+    }
+
+    /// Read element `(i, j)`.
+    ///
+    /// # Safety
+    /// See the module-level contract: the element must not be concurrently
+    /// written by another block in the same launch.
+    #[inline(always)]
+    pub unsafe fn get(&self, i: usize, j: usize) -> T {
+        *self.ptr.add(self.idx(i, j))
+    }
+
+    /// Write element `(i, j)`.
+    ///
+    /// # Safety
+    /// See the module-level contract: the element must belong to the calling
+    /// block's tile.
+    #[inline(always)]
+    pub unsafe fn set(&self, i: usize, j: usize, v: T) {
+        *self.ptr.add(self.idx(i, j)) = v;
+    }
+
+    /// Copy the `nr x nc` tile at `(r0, c0)` into `dst` (column-major,
+    /// tightly packed with leading dimension `nr`). Returns bytes moved.
+    ///
+    /// # Safety
+    /// The tile must not be concurrently written by another block.
+    pub unsafe fn load_tile(&self, r0: usize, c0: usize, nr: usize, nc: usize, dst: &mut [T]) -> u64 {
+        assert!(dst.len() >= nr * nc, "tile buffer too small");
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "tile out of range");
+        for j in 0..nc {
+            let src = self.ptr.add((c0 + j) * self.ld + r0);
+            std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(j * nr), nr);
+        }
+        (nr * nc) as u64 * T::BYTES
+    }
+
+    /// Write `src` (column-major, leading dimension `nr`) to the tile at
+    /// `(r0, c0)`. Returns bytes moved.
+    ///
+    /// # Safety
+    /// The tile must belong exclusively to the calling block.
+    pub unsafe fn store_tile(&self, r0: usize, c0: usize, nr: usize, nc: usize, src: &[T]) -> u64 {
+        assert!(src.len() >= nr * nc, "tile buffer too small");
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "tile out of range");
+        for j in 0..nc {
+            let dst = self.ptr.add((c0 + j) * self.ld + r0);
+            std::ptr::copy_nonoverlapping(src.as_ptr().add(j * nr), dst, nr);
+        }
+        (nr * nc) as u64 * T::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_tiles() {
+        let mut m = Matrix::<f64>::zeros(64, 8);
+        let p = MatPtr::new(&mut m);
+        // 8 blocks each own an 8-row tile; write block id everywhere.
+        (0..8u64).into_par_iter().for_each(|b| {
+            let r0 = (b as usize) * 8;
+            for j in 0..8 {
+                for i in 0..8 {
+                    unsafe { p.set(r0 + i, j, b as f64) };
+                }
+            }
+        });
+        for b in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    assert_eq!(m[(b * 8 + i, j)], b as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_load_store_round_trip() {
+        let mut m = Matrix::from_fn(10, 10, |i, j| (i * 100 + j) as f32);
+        let orig = m.clone();
+        let p = MatPtr::new(&mut m);
+        let mut buf = vec![0.0f32; 12];
+        unsafe {
+            let read = p.load_tile(2, 3, 4, 3, &mut buf);
+            assert_eq!(read, 48);
+            // Perturb then restore.
+            for v in buf.iter_mut() {
+                *v += 1.0;
+            }
+            p.store_tile(2, 3, 4, 3, &buf);
+        }
+        assert_eq!(m[(2, 3)], orig[(2, 3)] + 1.0);
+        assert_eq!(m[(5, 5)], orig[(5, 5)] + 1.0);
+        assert_eq!(m[(0, 0)], orig[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_tile_panics() {
+        let mut m = Matrix::<f32>::zeros(4, 4);
+        let p = MatPtr::new(&mut m);
+        let mut buf = vec![0.0f32; 16];
+        unsafe {
+            p.load_tile(2, 2, 4, 4, &mut buf);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Scalar abstraction over `f32`/`f64`.
+//!
+//! The paper's implementation is single precision ("adequate for our video
+//! application"); the substrate is generic so accuracy tests can run the
+//! identical code in `f64` and measure the gap.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Real scalar usable by every routine in this workspace.
+///
+/// Only the operations the algorithms need are abstracted; this is not a
+/// general numeric tower.
+pub trait Scalar:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Number of bytes of one element (4 for `f32`), used by traffic models.
+    const BYTES: u64;
+
+    /// Lossy conversion from `f64` (used for constants and test data).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (used for norms and reporting).
+    fn to_f64(self) -> f64;
+    /// Machine epsilon of the type.
+    fn epsilon() -> Self;
+    /// `|self|`.
+    fn abs(self) -> Self;
+    /// `sqrt(self)`.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b` (maps to hardware FMA where possible).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `max(self, other)`, NaN-propagating like `f64::max` is *not* required.
+    fn maximum(self, other: Self) -> Self;
+    /// `min(self, other)`.
+    fn minimum(self, other: Self) -> Self;
+    /// `hypot(self, other)` — overflow-safe `sqrt(a^2 + b^2)`.
+    fn hypot(self, other: Self) -> Self;
+    /// Sign with `signum(0) == 1`, the LAPACK convention for `larfg`.
+    fn sign(self) -> Self {
+        if self < Self::ZERO {
+            -Self::ONE
+        } else {
+            Self::ONE
+        }
+    }
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $bytes:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: u64 = $bytes;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, 4);
+impl_scalar!(f64, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f64::ONE, 1.0f64);
+        assert_eq!(<f32 as Scalar>::epsilon(), f32::EPSILON);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn sign_convention_is_lapack() {
+        // sign(0) == +1 so larfg never divides by zero when alpha == 0.
+        assert_eq!(0.0f64.sign(), 1.0);
+        assert_eq!((-0.0f64).sign(), 1.0);
+        assert_eq!(3.0f64.sign(), 1.0);
+        assert_eq!((-2.0f32).sign(), -1.0);
+    }
+
+    #[test]
+    fn hypot_avoids_overflow() {
+        let big = 1.0e30f32;
+        assert!(big.hypot(big).is_finite());
+        assert!((2.0f64.hypot(0.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let r = 2.0f64.mul_add(3.0, 4.0);
+        assert_eq!(r, 10.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The Robust PCA application needs the SVD of the small `n x n` matrix `R`
+//! ("we find the SVD of R, which is cheap because R is an n x n matrix and
+//! done on the CPU" — Section VI-B). One-sided Jacobi is simple, numerically
+//! excellent (high relative accuracy), and plenty fast for n <= a few
+//! hundred, which is all this pipeline requires.
+
+use crate::blas1::{dot, nrm2};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Result of [`svd`]: `A = U * diag(sigma) * V^T`.
+#[derive(Clone, Debug)]
+pub struct Svd<T: Scalar> {
+    /// Left singular vectors, `m x n`, orthonormal columns (columns matching
+    /// zero singular values are zero).
+    pub u: Matrix<T>,
+    /// Singular values, descending.
+    pub sigma: Vec<T>,
+    /// Right singular vectors, `n x n` orthogonal.
+    pub v: Matrix<T>,
+}
+
+/// Maximum number of Jacobi sweeps before giving up (converges in ~5-10 for
+/// the matrices this workspace produces).
+pub const MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD of an `m x n` matrix with `m >= n`.
+///
+/// Returns singular values sorted in descending order. Cost is
+/// `O(m n^2)` per sweep; intended for small-to-moderate `n`.
+pub fn svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "svd requires m >= n (got {m}x{n}); transpose first");
+    let mut w = a.clone(); // working copy whose columns are rotated
+    let mut v = Matrix::<T>::eye(n, n);
+    let tol = T::epsilon() * T::from_f64(Math::sqrt_usize(m));
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                let (alpha, beta, gamma) = {
+                    let cp = w.col(p);
+                    let cq = w.col(q);
+                    (dot(cp, cp), dot(cq, cq), dot(cp, cq))
+                };
+                if alpha == T::ZERO || beta == T::ZERO {
+                    continue;
+                }
+                // Converged pair: |<cp,cq>| small relative to the norms.
+                if gamma.abs() <= tol * (alpha * beta).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Classic Jacobi rotation annihilating the (p,q) entry of
+                // W^T W.
+                let zeta = (beta - alpha) / (T::from_f64(2.0) * gamma);
+                let t = zeta.sign() / (zeta.abs() + (T::ONE + zeta * zeta).sqrt());
+                let cs = T::ONE / (T::ONE + t * t).sqrt();
+                let sn = cs * t;
+                rotate_cols(&mut w, p, q, cs, sn);
+                rotate_cols(&mut v, p, q, cs, sn);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and left vectors.
+    let mut sigma: Vec<T> = (0..n).map(|j| nrm2(w.col(j))).collect();
+    let mut u = Matrix::<T>::zeros(m, n);
+    for j in 0..n {
+        let s = sigma[j];
+        if s > T::ZERO {
+            let inv = T::ONE / s;
+            let (src, dst) = (w.col(j), u.col_mut(j));
+            for (d, &x) in dst.iter_mut().zip(src) {
+                *d = x * inv;
+            }
+        }
+    }
+
+    // Sort descending (stable selection keeps ties deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    let need_permute = order.iter().enumerate().any(|(i, &o)| i != o);
+    if need_permute {
+        let u_old = u.clone();
+        let v_old = v.clone();
+        let s_old = sigma.clone();
+        for (dst, &src) in order.iter().enumerate() {
+            sigma[dst] = s_old[src];
+            u.col_mut(dst).copy_from_slice(u_old.col(src));
+            v.col_mut(dst).copy_from_slice(v_old.col(src));
+        }
+    }
+
+    Svd { u, sigma, v }
+}
+
+/// Singular values only (descending); same cost as [`svd`] minus the U/V
+/// bookkeeping.
+pub fn singular_values<T: Scalar>(a: &Matrix<T>) -> Vec<T> {
+    svd(a).sigma
+}
+
+/// Rotate columns `p` and `q`: `(cp, cq) <- (cs*cp - sn*cq, sn*cp + cs*cq)`.
+fn rotate_cols<T: Scalar>(m: &mut Matrix<T>, p: usize, q: usize, cs: T, sn: T) {
+    let rows = m.rows();
+    for i in 0..rows {
+        let xp = m[(i, p)];
+        let xq = m[(i, q)];
+        m[(i, p)] = cs.mul_add(xp, -(sn * xq));
+        m[(i, q)] = sn.mul_add(xp, cs * xq);
+    }
+}
+
+/// Tiny helper namespace avoiding an `f64::sqrt` on usize at the call site.
+struct Math;
+impl Math {
+    fn sqrt_usize(m: usize) -> f64 {
+        (m as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+
+    fn reconstruct(s: &Svd<f64>, m: usize, n: usize) -> Matrix<f64> {
+        // U * diag(sigma) * V^T
+        let mut us = s.u.clone();
+        for j in 0..n {
+            let sj = s.sigma[j];
+            for v in us.col_mut(j) {
+                *v *= sj;
+            }
+        }
+        let mut out = Matrix::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::Yes, 1.0, us.as_ref(), s.v.as_ref(), 0.0, out.as_mut());
+        out
+    }
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = Matrix::from_fn(3, 3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let s = svd(&a);
+        assert!((s.sigma[0] - 3.0).abs() < 1e-12);
+        assert!((s.sigma[1] - 2.0).abs() < 1e-12);
+        assert!((s.sigma[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svd_reconstructs_random() {
+        let a = Matrix::from_fn(10, 6, |i, j| (((i * 13 + j * 7 + 1) % 17) as f64 - 8.0) / 5.0);
+        let s = svd(&a);
+        let r = reconstruct(&s, 10, 6);
+        for i in 0..10 {
+            for j in 0..6 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+        // Descending order.
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn svd_orthogonality() {
+        let a = Matrix::from_fn(8, 8, |i, j| ((i + 2 * j) % 5) as f64 - 2.0 + if i == j { 4.0 } else { 0.0 });
+        let s = svd(&a);
+        let mut utu = Matrix::<f64>::zeros(8, 8);
+        gemm(Trans::Yes, Trans::No, 1.0, s.u.as_ref(), s.u.as_ref(), 0.0, utu.as_mut());
+        let mut vtv = Matrix::<f64>::zeros(8, 8);
+        gemm(Trans::Yes, Trans::No, 1.0, s.v.as_ref(), s.v.as_ref(), 0.0, vtv.as_mut());
+        for i in 0..8 {
+            for j in 0..8 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((utu[(i, j)] - want).abs() < 1e-10, "UtU ({i},{j})");
+                assert!((vtv[(i, j)] - want).abs() < 1e-10, "VtV ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 matrix: sigma = [||x|| * ||y||, 0, 0].
+        let x = [1.0f64, 2.0, 3.0, 4.0];
+        let y = [2.0f64, -1.0, 0.5];
+        let a = Matrix::from_fn(4, 3, |i, j| x[i] * y[j]);
+        let s = svd(&a);
+        let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((s.sigma[0] - nx * ny).abs() < 1e-10);
+        assert!(s.sigma[1].abs() < 1e-10);
+        assert!(s.sigma[2].abs() < 1e-10);
+        let r = reconstruct(&s, 4, 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::<f64>::zeros(5, 3);
+        let s = svd(&a);
+        for &x in &s.sigma {
+            assert_eq!(x, 0.0);
+        }
+    }
+
+    #[test]
+    fn svd_matches_eigenvalues_of_gram_matrix() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let s = svd(&a);
+        // trace(A^T A) = sum sigma_i^2 (Frobenius identity).
+        let mut tr = 0.0;
+        for j in 0..3 {
+            tr += dot(a.col(j), a.col(j));
+        }
+        let ss: f64 = s.sigma.iter().map(|v| v * v).sum();
+        assert!((tr - ss).abs() < 1e-9 * tr.max(1.0));
+    }
+}

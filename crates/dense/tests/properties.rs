@@ -1,0 +1,201 @@
+//! Property-based tests of the dense substrate's core invariants.
+
+use dense::blas1::{axpy, dot, nrm2, scal};
+use dense::blas2::{gemv, trsv_upper, Trans};
+use dense::blas3::gemm;
+use dense::matrix::Matrix;
+use dense::norms::{frobenius, orthogonality_error};
+use proptest::prelude::*;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // BLAS1
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(n in 1usize..64, seed in 0u64..500) {
+        let x = dense::generate::uniform::<f64>(n, 1, seed);
+        let y = dense::generate::uniform::<f64>(n, 1, seed ^ 1);
+        let (x, y) = (x.col(0), y.col(0));
+        prop_assert!((dot(x, y) - dot(y, x)).abs() < 1e-12);
+        // |<x,y>| <= ||x|| ||y|| (Cauchy-Schwarz).
+        prop_assert!(dot(x, y).abs() <= nrm2(x) * nrm2(y) + 1e-10);
+    }
+
+    #[test]
+    fn nrm2_is_a_norm(v in vec_strategy(24), alpha in -10.0f64..10.0) {
+        let base = nrm2(&v);
+        prop_assert!(base >= 0.0);
+        // Homogeneity: ||a x|| = |a| ||x||.
+        let mut scaled = v.clone();
+        scal(alpha, &mut scaled);
+        prop_assert!((nrm2(&scaled) - alpha.abs() * base).abs() < 1e-9 * (1.0 + base));
+        // Triangle inequality against itself doubled.
+        let mut doubled = v.clone();
+        axpy(1.0, &v, &mut doubled);
+        prop_assert!(nrm2(&doubled) <= 2.0 * base + 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // BLAS2 / BLAS3
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn gemv_matches_gemm_with_one_column(m in 1usize..32, n in 1usize..32, seed in 0u64..500) {
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let x = dense::generate::uniform::<f64>(n, 1, seed ^ 2);
+        let mut y1 = vec![0.0; m];
+        gemv(Trans::No, 1.0, a.as_ref(), x.col(0), 0.0, &mut y1);
+        let mut y2 = Matrix::<f64>::zeros(m, 1);
+        gemm(Trans::No, Trans::No, 1.0, a.as_ref(), x.as_ref(), 0.0, y2.as_mut());
+        for i in 0..m {
+            prop_assert!((y1[i] - y2[(i, 0)]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn gemm_respects_transpose_identity(m in 1usize..16, n in 1usize..16, k in 1usize..16, seed in 0u64..500) {
+        // (A B)^T == B^T A^T
+        let a = dense::generate::uniform::<f64>(m, k, seed);
+        let b = dense::generate::uniform::<f64>(k, n, seed ^ 3);
+        let mut ab = Matrix::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::No, 1.0, a.as_ref(), b.as_ref(), 0.0, ab.as_mut());
+        let mut btat = Matrix::<f64>::zeros(n, m);
+        gemm(Trans::Yes, Trans::Yes, 1.0, b.as_ref(), a.as_ref(), 0.0, btat.as_mut());
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert!((ab[(i, j)] - btat[(j, i)]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn trsv_inverts_upper_multiplication(n in 1usize..24, seed in 0u64..500) {
+        // Build a well-conditioned upper-triangular U, check U^-1 (U x) = x.
+        let u = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + (i % 3) as f64
+            } else if i < j {
+                (((i * 7 + j * 3 + seed as usize) % 11) as f64 - 5.0) / 7.0
+            } else {
+                0.0
+            }
+        });
+        let x0 = dense::generate::uniform::<f64>(n, 1, seed ^ 4);
+        let mut x = x0.col(0).to_vec();
+        dense::blas2::trmv_upper(u.as_ref(), &mut x);
+        trsv_upper(u.as_ref(), &mut x);
+        for (a, b) in x.iter().zip(x0.col(0)) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Factorizations
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn householder_qr_preserves_frobenius_norm(m in 2usize..48, n in 1usize..16, seed in 0u64..500) {
+        prop_assume!(m >= n);
+        // ||A||_F == ||R||_F (orthogonal invariance).
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; n];
+        dense::householder::geqr2(f.as_mut(), &mut tau);
+        let r = f.upper_triangular();
+        prop_assert!((frobenius(&a) - frobenius(&r)).abs() < 1e-10 * (1.0 + frobenius(&a)));
+    }
+
+    #[test]
+    fn blocked_qr_q_is_orthogonal(m in 4usize..64, n in 1usize..16, nb in 1usize..8, seed in 0u64..500) {
+        prop_assume!(m >= n);
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let mut f = a.clone();
+        let tau = dense::blocked::geqrf(&mut f, nb);
+        let q = dense::blocked::orgqr(&f, &tau, n, nb);
+        prop_assert!(orthogonality_error(&q) < 1e-11);
+    }
+
+    #[test]
+    fn svd_singular_values_are_orthogonally_invariant(m in 3usize..24, n in 1usize..8, seed in 0u64..500) {
+        prop_assume!(m >= n);
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let s1 = dense::svd::singular_values(&a);
+        // Multiply by an orthogonal Q from a QR of a random matrix.
+        let rnd = dense::generate::uniform::<f64>(m, m, seed ^ 5);
+        let mut f = rnd.clone();
+        let mut tau = vec![0.0; m];
+        dense::householder::geqr2(f.as_mut(), &mut tau);
+        let q = dense::householder::org2r(&f, &tau, m);
+        let mut qa = Matrix::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::No, 1.0, q.as_ref(), a.as_ref(), 0.0, qa.as_mut());
+        let s2 = dense::svd::singular_values(&qa);
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn golub_kahan_and_jacobi_svds_agree(m in 2usize..24, n in 1usize..10, seed in 0u64..500) {
+        prop_assume!(m >= n);
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let gk = dense::gk_svd::svd_golub_kahan(&a);
+        let jac = dense::svd::svd(&a);
+        for (x, y) in gk.sigma.iter().zip(&jac.sigma) {
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + y), "{x} vs {y}");
+        }
+        prop_assert!(orthogonality_error(&gk.u) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(n in 1usize..16, seed in 0u64..500) {
+        // A = B B^T + n I is SPD; L L^T must reproduce it.
+        let b = dense::generate::uniform::<f64>(n, n, seed);
+        let mut a = Matrix::<f64>::zeros(n, n);
+        gemm(Trans::No, Trans::Yes, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+        for d in 0..n {
+            a[(d, d)] += n as f64;
+        }
+        let l = dense::cholesky::potrf_lower(&a).unwrap();
+        let mut llt = Matrix::<f64>::zeros(n, n);
+        gemm(Trans::No, Trans::Yes, 1.0, l.as_ref(), l.as_ref(), 0.0, llt.as_mut());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn givens_rotation_preserves_two_norm(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let (g, r) = dense::givens::Givens::make(a, b);
+        let (x, y) = g.apply(a, b);
+        prop_assert!((x - r).abs() < 1e-10 * (1.0 + r.abs()));
+        prop_assert!(y.abs() < 1e-10 * (1.0 + a.abs() + b.abs()));
+        prop_assert!(((a * a + b * b).sqrt() - r.abs()).abs() < 1e-10 * (1.0 + r.abs()));
+    }
+
+    #[test]
+    fn mgs_and_householder_rs_agree_in_magnitude(m in 4usize..40, n in 1usize..10, seed in 0u64..500) {
+        prop_assume!(m >= 2 * n);
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let (_, r_mgs) = dense::gram_schmidt::modified_gram_schmidt(&a);
+        let mut f = a.clone();
+        let mut tau = vec![0.0; n];
+        dense::householder::geqr2(f.as_mut(), &mut tau);
+        for j in 0..n {
+            for i in 0..=j {
+                prop_assert!(
+                    (r_mgs[(i, j)].abs() - f[(i, j)].abs()).abs() < 1e-8 * (1.0 + f[(i, j)].abs()),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+}

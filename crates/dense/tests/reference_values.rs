@@ -1,0 +1,95 @@
+//! Absolute reference checks against hand-computed factorizations — these
+//! pin the conventions (signs, layouts, scalar factors) rather than just
+//! self-consistency.
+
+use dense::matrix::Matrix;
+
+#[test]
+fn qr_of_3x2_known_values() {
+    // A = [3 1; 4 2; 0 2]. First column norm 5, so R[0,0] = -5 (LAPACK sign
+    // convention: beta = -sign(a11)*||a1||).
+    let a = Matrix::from_row_major(3, 2, &[3.0f64, 1.0, 4.0, 2.0, 0.0, 2.0]);
+    let mut f = a.clone();
+    let mut tau = vec![0.0; 2];
+    dense::householder::geqr2(f.as_mut(), &mut tau);
+    assert!((f[(0, 0)] - (-5.0)).abs() < 1e-14, "R11 = {}", f[(0, 0)]);
+    // R12 = q1^T a2 with q1 = -a1/5 (sign flip): -(3*1 + 4*2)/5 = -2.2.
+    assert!((f[(0, 1)] - (-2.2)).abs() < 1e-14, "R12 = {}", f[(0, 1)]);
+    // ||A||_F^2 = 9+16+1+4+4 = 34; R preserves it.
+    let r_sq: f64 = (0..2).map(|j| (0..=j).map(|i| f[(i, j)] * f[(i, j)]).sum::<f64>()).sum();
+    assert!((r_sq - 34.0).abs() < 1e-12);
+}
+
+#[test]
+fn householder_reflector_of_e1_like_vector() {
+    // x = (1, 0, 0): already aligned with e1; tau must be 0 (H = I).
+    let mut x = vec![1.0f64, 0.0, 0.0];
+    assert_eq!(dense::householder::larfg(&mut x), 0.0);
+    // x = (0, 3, 4): alpha = 0, norm 5 -> beta = -5 (sign(0) = +1).
+    let mut y = vec![0.0f64, 3.0, 4.0];
+    let tau = dense::householder::larfg(&mut y);
+    assert!((y[0] + 5.0).abs() < 1e-14);
+    assert!((tau - 1.0).abs() < 1e-14, "tau = {tau} (beta - alpha)/beta = 1 when alpha = 0");
+}
+
+#[test]
+fn svd_of_2x2_known_values() {
+    // A = [3 0; 4 5]: singular values sqrt(45) and sqrt(5)
+    // (sigma^2 are eigenvalues of A^T A = [25 20; 20 25] -> 45, 5).
+    let a = Matrix::from_row_major(2, 2, &[3.0f64, 0.0, 4.0, 5.0]);
+    let s = dense::svd::singular_values(&a);
+    assert!((s[0] - 45.0f64.sqrt()).abs() < 1e-12, "{}", s[0]);
+    assert!((s[1] - 5.0f64.sqrt()).abs() < 1e-12, "{}", s[1]);
+    // det(A) = 15 = product of singular values.
+    assert!((s[0] * s[1] - 15.0).abs() < 1e-12);
+}
+
+#[test]
+fn cholesky_of_known_spd() {
+    // A = [4 2; 2 5] -> L = [2 0; 1 2].
+    let a = Matrix::from_row_major(2, 2, &[4.0f64, 2.0, 2.0, 5.0]);
+    let l = dense::cholesky::potrf_lower(&a).unwrap();
+    assert!((l[(0, 0)] - 2.0).abs() < 1e-15);
+    assert!((l[(1, 0)] - 1.0).abs() < 1e-15);
+    assert!((l[(1, 1)] - 2.0).abs() < 1e-15);
+    assert_eq!(l[(0, 1)], 0.0);
+}
+
+#[test]
+fn givens_of_3_4() {
+    let (g, r) = dense::givens::Givens::make(3.0f64, 4.0);
+    assert!((r - 5.0).abs() < 1e-14);
+    assert!((g.c - 0.6).abs() < 1e-14);
+    assert!((g.s - 0.8).abs() < 1e-14);
+}
+
+#[test]
+fn gram_schmidt_of_orthogonal_input_is_identity_scaling() {
+    // Columns already orthogonal: R must be diagonal with the column norms.
+    let a = Matrix::from_row_major(3, 2, &[2.0f64, 0.0, 0.0, 3.0, 0.0, 0.0]);
+    let (q, r) = dense::gram_schmidt::modified_gram_schmidt(&a);
+    assert!((r[(0, 0)] - 2.0).abs() < 1e-15);
+    assert!((r[(1, 1)] - 3.0).abs() < 1e-15);
+    assert!(r[(0, 1)].abs() < 1e-15);
+    assert!((q[(0, 0)] - 1.0).abs() < 1e-15);
+    assert!((q[(1, 1)] - 1.0).abs() < 1e-15);
+}
+
+#[test]
+fn least_squares_of_consistent_system_is_exact() {
+    // Square invertible system: LS must solve it exactly.
+    let a = Matrix::from_row_major(2, 2, &[2.0f64, 1.0, 1.0, 3.0]);
+    let x = dense::blocked::least_squares(a, &[5.0, 10.0]);
+    // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+    assert!((x[0] - 1.0).abs() < 1e-12);
+    assert!((x[1] - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn geqrf_flops_reference_points() {
+    // LAPACK flop-count convention spot checks.
+    assert!((dense::geqrf_flops(100, 1) - (2.0 * 100.0 - 2.0 / 3.0 + 100.0 + 1.0)).abs() < 1.0);
+    let f = dense::geqrf_flops(8192, 8192);
+    // ~ (4/3) n^3 for square.
+    assert!((f / (4.0 / 3.0 * 8192.0f64.powi(3)) - 1.0).abs() < 0.01);
+}

@@ -1,0 +1,132 @@
+//! The modelled multicore CPU used by the MKL-class baselines and the hybrid
+//! (MAGMA-style) pipeline's panel factorizations.
+//!
+//! Each BLAS call is charged `overhead + max(flops / (peak * eff),
+//! bytes / bandwidth)` — a per-call roofline. The callers pass the traffic
+//! of a cache-blocked implementation (e.g. `gemm` streams each operand once),
+//! which is what a tuned vendor BLAS achieves.
+
+use crate::ledger::CostLedger;
+use crate::spec::CpuSpec;
+use parking_lot::Mutex;
+
+/// A modelled multicore CPU with its own timeline.
+pub struct CpuMachine {
+    spec: CpuSpec,
+    ledger: Mutex<CostLedger>,
+}
+
+impl CpuMachine {
+    /// Build from a spec.
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuMachine {
+            spec,
+            ledger: Mutex::new(CostLedger::default()),
+        }
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Snapshot of the timeline.
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger.lock().clone()
+    }
+
+    /// Modelled seconds elapsed.
+    pub fn elapsed(&self) -> f64 {
+        self.ledger.lock().seconds
+    }
+
+    /// Clear the timeline.
+    pub fn reset(&self) {
+        *self.ledger.lock() = CostLedger::default();
+    }
+
+    /// Charge a generic call: `flops` useful flops, `bytes` DRAM traffic,
+    /// `eff` fraction of peak the compute side achieves. Returns seconds.
+    pub fn call(&self, name: &'static str, flops: f64, bytes: f64, eff: f64) -> f64 {
+        let peak = self.spec.peak_gflops() * 1.0e9 * eff;
+        let compute = flops / peak;
+        let memory = bytes / (self.spec.dram_bw_gbs * 1.0e9);
+        let seconds = self.spec.call_overhead_us * 1.0e-6 + compute.max(memory);
+        self.ledger.lock().record(name, seconds, flops, bytes);
+        seconds
+    }
+
+    /// Charge a large matrix-matrix multiply `C(m x n) += A(m x k) B(k x n)`:
+    /// `2 m n k` flops, each operand streamed once (cache-blocked).
+    pub fn gemm(&self, m: usize, n: usize, k: usize, elem_bytes: f64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = elem_bytes * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64);
+        self.call("cpu_gemm", flops, bytes, self.spec.gemm_efficiency)
+    }
+
+    /// Charge a matrix-vector multiply against an `m x n` matrix: strictly
+    /// bandwidth-bound (the matrix is streamed once, BLAS2's defining cost).
+    pub fn gemv(&self, m: usize, n: usize, elem_bytes: f64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64;
+        let bytes = elem_bytes * (m as f64 * n as f64);
+        self.call("cpu_gemv", flops, bytes, 0.9)
+    }
+
+    /// Charge a rank-1 update of an `m x n` matrix (read + write each entry).
+    pub fn ger(&self, m: usize, n: usize, elem_bytes: f64) -> f64 {
+        let flops = 2.0 * m as f64 * n as f64;
+        let bytes = elem_bytes * (2.0 * m as f64 * n as f64);
+        self.call("cpu_ger", flops, bytes, 0.9)
+    }
+
+    /// Advance the clock without attributing work (synchronization stalls).
+    pub fn idle(&self, seconds: f64) {
+        self.ledger.lock().record_idle(seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CpuSpec;
+
+    #[test]
+    fn gemm_is_compute_bound_for_big_square() {
+        let cpu = CpuMachine::new(CpuSpec::nehalem_8core());
+        let t = cpu.gemm(2048, 2048, 2048, 4.0);
+        let flops = 2.0 * 2048.0f64.powi(3);
+        let gf = flops / t / 1e9;
+        // Should land near gemm_efficiency * peak (84.5 GFLOP/s), far above
+        // what bandwidth alone would allow.
+        let want = 0.55 * 153.6;
+        assert!((gf / want - 1.0).abs() < 0.05, "gemm at {gf} GFLOP/s, want ~{want}");
+    }
+
+    #[test]
+    fn gemv_is_bandwidth_bound() {
+        let cpu = CpuMachine::new(CpuSpec::nehalem_8core());
+        let t = cpu.gemv(100_000, 100, 4.0);
+        let gf = 2.0 * 100_000.0 * 100.0 / t / 1e9;
+        // 2 flops per 4 bytes at 21 GB/s => ~10.5 GFLOP/s ceiling.
+        assert!(gf < 11.0, "gemv at {gf} GFLOP/s should be bandwidth-limited");
+        assert!(gf > 5.0);
+    }
+
+    #[test]
+    fn small_calls_pay_overhead() {
+        let cpu = CpuMachine::new(CpuSpec::nehalem_8core());
+        let t = cpu.call("tiny", 100.0, 100.0, 1.0);
+        assert!(t >= 4.0e-6);
+    }
+
+    #[test]
+    fn ledger_accumulates_across_calls() {
+        let cpu = CpuMachine::new(CpuSpec::corei7_4core());
+        cpu.gemm(64, 64, 64, 4.0);
+        cpu.gemv(64, 64, 4.0);
+        let l = cpu.ledger();
+        assert_eq!(l.calls, 2);
+        assert!(l.seconds > 0.0);
+        assert!(l.per_op.contains_key("cpu_gemm"));
+    }
+}

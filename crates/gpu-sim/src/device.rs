@@ -1,0 +1,331 @@
+//! The simulated GPU: executes kernels for real on the rayon pool and
+//! converts their recorded operation counts into modelled time.
+//!
+//! # Timing model (DESIGN.md §5)
+//!
+//! * Each SM issues one warp instruction per cycle; blocks are assigned to
+//!   SMs round-robin and serialize through the issue port, so
+//!   `issue_time = max_sm(sum of its blocks' issue cycles) / clock`.
+//!   This naturally penalizes launches with fewer blocks than SMs.
+//! * DRAM is a shared resource: `dram_time = total_bytes / bandwidth`.
+//! * A launch costs `overhead + max(issue_time, dram_time)` — the roofline.
+//!
+//! Kernels may also be launched in *model-only* mode ([`Gpu::launch_uniform`])
+//! where the per-block cost is supplied analytically instead of being
+//! recorded during execution; the `caqr` crate derives both from the same
+//! cost functions so the two paths agree (tested in `caqr::kernels`).
+
+use crate::cost::{BlockCost, CostMeter, KernelReport};
+use crate::kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
+use crate::ledger::CostLedger;
+use crate::spec::{DeviceSpec, PcieSpec};
+use dense::Scalar;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// A simulated GPU with its modelled timeline.
+pub struct Gpu {
+    spec: DeviceSpec,
+    pcie: PcieSpec,
+    ledger: Mutex<CostLedger>,
+}
+
+impl Gpu {
+    /// Create a device from a spec with a PCIe Gen2 x16 host link.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Gpu {
+            spec,
+            pcie: PcieSpec::gen2_x16(),
+            ledger: Mutex::new(CostLedger::default()),
+        }
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Snapshot of the modelled timeline.
+    pub fn ledger(&self) -> CostLedger {
+        self.ledger.lock().clone()
+    }
+
+    /// Modelled seconds elapsed so far.
+    pub fn elapsed(&self) -> f64 {
+        self.ledger.lock().seconds
+    }
+
+    /// Clear the timeline (between experiments).
+    pub fn reset(&self) {
+        *self.ledger.lock() = CostLedger::default();
+    }
+
+    /// Execute a kernel: all blocks run in parallel on the rayon pool, each
+    /// with its own shared-memory arena and cost meter.
+    pub fn launch<T: Scalar>(&self, kernel: &dyn Kernel<T>) -> Result<KernelReport, LaunchError> {
+        let cfg = kernel.config();
+        cfg.validate(&self.spec)?;
+        let smem_elems = cfg.shared_mem_bytes / std::mem::size_of::<T>();
+        let spec = &self.spec;
+
+        let costs: Vec<BlockCost> = (0..cfg.blocks)
+            .into_par_iter()
+            .map_init(
+                || BlockCtx {
+                    shared: vec![T::ZERO; smem_elems],
+                    meter: CostMeter::new(spec),
+                },
+                |ctx, b| {
+                    ctx.meter.reset();
+                    // A fresh block sees undefined shared memory; zeroing it
+                    // keeps runs deterministic without charging the kernel.
+                    ctx.shared.fill(T::ZERO);
+                    kernel.run_block(b, ctx);
+                    ctx.meter.cost
+                },
+            )
+            .collect();
+
+        let report = self.time_and_record(kernel.name(), &cfg, &costs);
+        Ok(report)
+    }
+
+    /// Model-only launch with heterogeneous per-block costs (one entry per
+    /// block, in grid order). Timing is identical to an executed launch with
+    /// the same recorded costs — the model-vs-execution agreement tests in
+    /// the `caqr` crate rely on this.
+    pub fn launch_with_costs(
+        &self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        costs: &[BlockCost],
+    ) -> Result<KernelReport, LaunchError> {
+        cfg.validate(&self.spec)?;
+        assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
+        Ok(self.time_and_record(name, &cfg, costs))
+    }
+
+    /// Model-only launch: charge `blocks` copies of an analytically derived
+    /// per-block cost without executing anything. Used by the figure/table
+    /// sweeps where real execution of terabyte-scale workloads would be
+    /// pointless (the arithmetic is validated at smaller sizes).
+    pub fn launch_uniform(
+        &self,
+        name: &'static str,
+        cfg: LaunchConfig,
+        per_block: &BlockCost,
+    ) -> Result<KernelReport, LaunchError> {
+        cfg.validate(&self.spec)?;
+        // Avoid materializing huge vectors: the round-robin maximum for a
+        // uniform grid is ceil(blocks / sms) blocks on the fullest SM.
+        let sms = self.spec.sms;
+        let fullest = cfg.blocks.div_ceil(sms);
+        let issue_time = fullest as f64 * per_block.issue_cycles * self.spec.cycle_seconds();
+        let total = BlockCost {
+            flops: per_block.flops * cfg.blocks as u64,
+            issue_cycles: per_block.issue_cycles * cfg.blocks as f64,
+            gmem_bytes: per_block.gmem_bytes * cfg.blocks as f64,
+            smem_words: per_block.smem_words * cfg.blocks as u64,
+            syncs: per_block.syncs * cfg.blocks as u64,
+        };
+        let report = self.finish_launch(name, &cfg, total, issue_time);
+        Ok(report)
+    }
+
+    fn time_and_record(&self, name: &'static str, cfg: &LaunchConfig, costs: &[BlockCost]) -> KernelReport {
+        let sms = self.spec.sms;
+        let mut sm_cycles = vec![0.0f64; sms];
+        let mut total = BlockCost::default();
+        for (b, c) in costs.iter().enumerate() {
+            sm_cycles[b % sms] += c.issue_cycles;
+            total.merge(c);
+        }
+        let issue_time = sm_cycles.iter().cloned().fold(0.0, f64::max) * self.spec.cycle_seconds();
+        self.finish_launch(name, cfg, total, issue_time)
+    }
+
+    fn finish_launch(
+        &self,
+        name: &'static str,
+        cfg: &LaunchConfig,
+        total: BlockCost,
+        issue_time: f64,
+    ) -> KernelReport {
+        let dram_time = total.gmem_bytes / (self.spec.dram_bw_gbs * 1.0e9);
+        let body = issue_time.max(dram_time);
+        let seconds = self.spec.launch_overhead_us * 1.0e-6 + body;
+        let gflops = if seconds > 0.0 {
+            total.flops as f64 / seconds / 1.0e9
+        } else {
+            0.0
+        };
+        self.ledger
+            .lock()
+            .record(name, seconds, total.flops as f64, total.gmem_bytes);
+        KernelReport {
+            name,
+            blocks: cfg.blocks,
+            seconds,
+            total,
+            gflops,
+            compute_bound: issue_time >= dram_time,
+        }
+    }
+
+    /// Charge a host-to-device PCIe transfer.
+    pub fn transfer_h2d(&self, bytes: u64) -> f64 {
+        let t = self.pcie.transfer_seconds(bytes);
+        self.ledger.lock().record_transfer(t, bytes, true);
+        t
+    }
+
+    /// Charge a device-to-host PCIe transfer.
+    pub fn transfer_d2h(&self, bytes: u64) -> f64 {
+        let t = self.pcie.transfer_seconds(bytes);
+        self.ledger.lock().record_transfer(t, bytes, false);
+        t
+    }
+
+    /// Charge host-side (CPU) work that sits on this device's critical path
+    /// (e.g. the small SVD of `R` in the Robust PCA loop).
+    pub fn host_work(&self, name: &'static str, seconds: f64, flops: f64) {
+        self.ledger.lock().record(name, seconds, flops, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::{MatPtr, Matrix};
+
+    /// Trivial kernel: each block scales its own 32-row tile by 2 and charges
+    /// one fma per element.
+    struct ScaleKernel {
+        mat: MatPtr<f32>,
+        tile_rows: usize,
+        blocks: usize,
+    }
+
+    impl Kernel<f32> for ScaleKernel {
+        fn name(&self) -> &'static str {
+            "scale"
+        }
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig {
+                blocks: self.blocks,
+                threads_per_block: 64,
+                shared_mem_bytes: 0,
+                regs_per_thread: 8,
+            }
+        }
+        fn run_block(&self, b: usize, ctx: &mut BlockCtx<f32>) {
+            let r0 = b * self.tile_rows;
+            let cols = self.mat.cols();
+            for j in 0..cols {
+                for i in 0..self.tile_rows {
+                    // SAFETY: blocks own disjoint row tiles.
+                    unsafe {
+                        let v = self.mat.get(r0 + i, j);
+                        self.mat.set(r0 + i, j, 2.0 * v);
+                    }
+                }
+            }
+            let elems = (self.tile_rows * cols) as u64;
+            ctx.meter.gmem(elems, 4, true);
+            ctx.meter.fma(elems);
+            ctx.meter.gmem(elems, 4, true);
+        }
+    }
+
+    #[test]
+    fn launch_executes_and_times() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let mut m = Matrix::from_fn(256, 8, |i, j| (i + j) as f32);
+        let orig = m.clone();
+        let report = {
+            let k = ScaleKernel {
+                mat: MatPtr::new(&mut m),
+                tile_rows: 32,
+                blocks: 8,
+            };
+            gpu.launch(&k).unwrap()
+        };
+        // Real math happened.
+        for i in 0..256 {
+            for j in 0..8 {
+                assert_eq!(m[(i, j)], 2.0 * orig[(i, j)]);
+            }
+        }
+        // Costs recorded: 256*8 elements * 2 flops.
+        assert_eq!(report.total.flops, 2 * 256 * 8);
+        assert!(report.seconds > 0.0);
+        assert_eq!(gpu.ledger().calls, 1);
+    }
+
+    #[test]
+    fn more_blocks_scale_throughput_until_sms_saturate() {
+        // Same per-block work; 1 block vs 14 blocks on a 14-SM device should
+        // take the same modelled body time (perfect scaling), while 15 blocks
+        // start a second wave.
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let cfg = |blocks| LaunchConfig {
+            blocks,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let per_block = BlockCost {
+            flops: 1_000_000,
+            issue_cycles: 100_000.0,
+            gmem_bytes: 0.0,
+            smem_words: 0,
+            syncs: 0,
+        };
+        let t1 = gpu.launch_uniform("k", cfg(1), &per_block).unwrap().seconds;
+        let t14 = gpu.launch_uniform("k", cfg(14), &per_block).unwrap().seconds;
+        let t15 = gpu.launch_uniform("k", cfg(15), &per_block).unwrap().seconds;
+        let t28 = gpu.launch_uniform("k", cfg(28), &per_block).unwrap().seconds;
+        assert!((t1 - t14).abs() < 1e-12, "1 and 14 blocks fill <= one block per SM");
+        assert!(t15 > t14, "15th block starts a second wave");
+        assert!((t28 - t15).abs() < 1e-12, "waves quantize");
+    }
+
+    #[test]
+    fn dram_bound_launch_obeys_bandwidth_roofline() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let per_block = BlockCost {
+            flops: 1000,
+            issue_cycles: 10.0,
+            gmem_bytes: 1.0e6, // 1 MB per block
+            smem_words: 0,
+            syncs: 0,
+        };
+        let cfg = LaunchConfig {
+            blocks: 144,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let r = gpu.launch_uniform("bw", cfg, &per_block).unwrap();
+        assert!(!r.compute_bound);
+        // 144 MB / 144 GB/s = 1 ms.
+        let want = 1.0e-3 + gpu.spec().launch_overhead_us * 1e-6;
+        assert!((r.seconds - want).abs() / want < 1e-9, "got {}", r.seconds);
+    }
+
+    #[test]
+    fn transfers_and_host_work_advance_the_clock() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let t0 = gpu.elapsed();
+        gpu.transfer_h2d(1 << 20);
+        gpu.host_work("svd_r", 5.0e-3, 1.0e6);
+        gpu.transfer_d2h(1 << 10);
+        assert!(gpu.elapsed() > t0 + 5.0e-3);
+        let l = gpu.ledger();
+        assert_eq!(l.h2d_bytes, 1 << 20);
+        assert_eq!(l.d2h_bytes, 1 << 10);
+        assert_eq!(l.transfers, 2);
+        gpu.reset();
+        assert_eq!(gpu.elapsed(), 0.0);
+    }
+}

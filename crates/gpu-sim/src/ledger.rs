@@ -1,0 +1,150 @@
+//! Cost ledger: the modelled timeline of a machine.
+//!
+//! Every kernel launch, BLAS call and PCIe transfer appends modelled seconds
+//! and traffic here. Benchmarks read the total; tests check conservation
+//! properties (e.g. flop counts match closed forms).
+
+use std::collections::BTreeMap;
+
+/// Per-operation aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    /// Number of invocations.
+    pub calls: u64,
+    /// Modelled seconds, summed.
+    pub seconds: f64,
+    /// Useful flops, summed.
+    pub flops: f64,
+    /// DRAM bytes, summed.
+    pub bytes: f64,
+}
+
+/// The modelled timeline of one machine (GPU or CPU).
+#[derive(Clone, Debug, Default)]
+pub struct CostLedger {
+    /// Total modelled seconds.
+    pub seconds: f64,
+    /// Total useful flops.
+    pub flops: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Kernel launches / BLAS calls.
+    pub calls: u64,
+    /// Host-to-device transfer bytes (GPU ledgers only).
+    pub h2d_bytes: u64,
+    /// Device-to-host transfer bytes (GPU ledgers only).
+    pub d2h_bytes: u64,
+    /// Number of PCIe transfers.
+    pub transfers: u64,
+    /// Per-operation breakdown keyed by kernel/BLAS name.
+    pub per_op: BTreeMap<&'static str, OpStats>,
+}
+
+impl CostLedger {
+    /// Record an operation.
+    pub fn record(&mut self, name: &'static str, seconds: f64, flops: f64, bytes: f64) {
+        self.seconds += seconds;
+        self.flops += flops;
+        self.dram_bytes += bytes;
+        self.calls += 1;
+        let e = self.per_op.entry(name).or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+        e.flops += flops;
+        e.bytes += bytes;
+    }
+
+    /// Record a PCIe transfer (`h2d == true` for host-to-device).
+    pub fn record_transfer(&mut self, seconds: f64, bytes: u64, h2d: bool) {
+        self.seconds += seconds;
+        self.transfers += 1;
+        if h2d {
+            self.h2d_bytes += bytes;
+        } else {
+            self.d2h_bytes += bytes;
+        }
+        let e = self.per_op.entry(if h2d { "h2d" } else { "d2h" }).or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+        e.bytes += bytes as f64;
+    }
+
+    /// Advance the timeline without attributing work (e.g. host-side stalls).
+    pub fn record_idle(&mut self, seconds: f64) {
+        self.seconds += seconds;
+    }
+
+    /// Overall modelled GFLOP/s for the work recorded so far.
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops / self.seconds / 1.0e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable multi-line summary (used by the harness binaries).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "total: {:.3} ms, {:.1} GFLOP/s, {:.1} MB DRAM, {} calls, {} transfers",
+            self.seconds * 1e3,
+            self.gflops(),
+            self.dram_bytes / 1e6,
+            self.calls,
+            self.transfers
+        );
+        for (name, op) in &self.per_op {
+            let _ = writeln!(
+                s,
+                "  {:<16} {:>6} calls  {:>10.3} ms  {:>8.1} GFLOP/s",
+                name,
+                op.calls,
+                op.seconds * 1e3,
+                if op.seconds > 0.0 { op.flops / op.seconds / 1e9 } else { 0.0 }
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = CostLedger::default();
+        l.record("factor", 1.0e-3, 2.0e6, 1.0e3);
+        l.record("factor", 1.0e-3, 2.0e6, 1.0e3);
+        l.record("apply_qt_h", 2.0e-3, 8.0e6, 0.0);
+        assert_eq!(l.calls, 3);
+        assert!((l.seconds - 4.0e-3).abs() < 1e-12);
+        assert!((l.flops - 12.0e6).abs() < 1.0);
+        assert_eq!(l.per_op["factor"].calls, 2);
+        // GFLOP/s = 12e6 / 4e-3 / 1e9 = 3.
+        assert!((l.gflops() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_tracked_by_direction() {
+        let mut l = CostLedger::default();
+        l.record_transfer(1.0e-4, 1000, true);
+        l.record_transfer(2.0e-4, 500, false);
+        assert_eq!(l.h2d_bytes, 1000);
+        assert_eq!(l.d2h_bytes, 500);
+        assert_eq!(l.transfers, 2);
+        assert!((l.seconds - 3.0e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_mentions_ops() {
+        let mut l = CostLedger::default();
+        l.record("tree", 1e-3, 1e6, 0.0);
+        let s = l.summary();
+        assert!(s.contains("tree"));
+        assert!(s.contains("calls"));
+    }
+}

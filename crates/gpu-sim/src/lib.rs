@@ -1,0 +1,30 @@
+//! # gpu-sim — GPU execution-model simulator
+//!
+//! The paper's system is CUDA kernels on an NVIDIA C2050. This crate is the
+//! substitution that makes the reproduction runnable without the hardware
+//! (DESIGN.md §2): kernels written against the [`kernel::Kernel`] trait run
+//! their *real* arithmetic, with thread blocks executing in parallel on the
+//! rayon pool, while every block records its operation counts
+//! ([`cost::CostMeter`]). The device ([`device::Gpu`]) converts those counts
+//! into modelled seconds with a roofline + issue-serialization + launch
+//! overhead model, so the paper's performance *shapes* are reproducible and
+//! the numerics are exact.
+//!
+//! The same crate models the CPU side ([`cpu::CpuMachine`]) and the PCIe
+//! link, which the MAGMA-style hybrid baseline needs.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cpu;
+pub mod device;
+pub mod kernel;
+pub mod ledger;
+pub mod spec;
+
+pub use cost::{BlockCost, CostMeter, KernelReport};
+pub use cpu::CpuMachine;
+pub use device::Gpu;
+pub use kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
+pub use ledger::CostLedger;
+pub use spec::{CpuSpec, DeviceSpec, PcieSpec};

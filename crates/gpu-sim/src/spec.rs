@@ -1,0 +1,241 @@
+//! Machine descriptions and calibration constants.
+//!
+//! All performance in this workspace is *modelled*: kernels execute their
+//! real arithmetic on the host, and these specs convert the operation counts
+//! they record into seconds. The constants are fixed once, here — they are
+//! not fitted per experiment (see DESIGN.md §5).
+
+/// Description of a CUDA-class GPU (Fermi generation, matching the paper).
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: usize,
+    /// Scalar lanes ("CUDA cores") per SM; one warp instruction retires
+    /// 32 lanes of work per cycle.
+    pub lanes_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak single-precision flops per lane per cycle (2 = FMA).
+    pub flops_per_lane_cycle: f64,
+    /// Shared memory per SM in bytes (48 KB configuration).
+    pub smem_per_sm: usize,
+    /// Register file per SM in bytes (128 KB on Fermi).
+    pub regfile_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Achievable DRAM bandwidth in GB/s (C2050 with ECC: 144).
+    pub dram_bw_gbs: f64,
+    /// Fixed cost of one kernel launch, microseconds. This covers driver
+    /// dispatch plus the synchronization stall between *dependent* kernels
+    /// (every CAQR launch consumes its predecessor's output), which on the
+    /// 2011 CUDA stack was in the tens of microseconds.
+    pub launch_overhead_us: f64,
+    /// Issue cost, in cycles, of one warp-wide shared-memory access
+    /// (load or store, bank-conflict-free).
+    pub smem_cycles_per_warp_access: f64,
+    /// Issue cost, in cycles, of one warp-wide global-memory access
+    /// (the bandwidth cost is modelled separately; this is pipeline issue).
+    pub gmem_issue_cycles_per_warp_access: f64,
+    /// Cycles charged per `__syncthreads()`.
+    pub sync_cycles: f64,
+    /// Multiplier on bytes for non-coalesced (strided) global accesses:
+    /// a 4-byte word pulls a whole 32-byte transaction segment.
+    pub uncoalesced_factor: f64,
+    /// Fraction of peak issue rate actually achieved by well-tuned kernels
+    /// (covers dual-issue limits, address arithmetic, predication).
+    pub issue_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla C2050 (Fermi), the paper's main platform: 14 SMs x 32
+    /// lanes at 1.15 GHz = 1.03 SP TFLOP/s, 144 GB/s with ECC enabled.
+    pub fn c2050() -> Self {
+        DeviceSpec {
+            name: "C2050",
+            sms: 14,
+            lanes_per_sm: 32,
+            clock_ghz: 1.15,
+            flops_per_lane_cycle: 2.0,
+            smem_per_sm: 48 * 1024,
+            regfile_per_sm: 128 * 1024,
+            max_threads_per_block: 512,
+            dram_bw_gbs: 144.0,
+            launch_overhead_us: 25.0,
+            smem_cycles_per_warp_access: 3.0,
+            gmem_issue_cycles_per_warp_access: 2.0,
+            sync_cycles: 16.0,
+            uncoalesced_factor: 5.0,
+            issue_efficiency: 0.85,
+        }
+    }
+
+    /// NVIDIA GeForce GTX 480 (Fermi), used for the Robust PCA runs:
+    /// 15 SMs at 1.40 GHz, 177 GB/s (no ECC).
+    pub fn gtx480() -> Self {
+        DeviceSpec {
+            name: "GTX480",
+            sms: 15,
+            lanes_per_sm: 32,
+            clock_ghz: 1.40,
+            dram_bw_gbs: 177.0,
+            ..Self::c2050()
+        }
+    }
+
+    /// Peak single-precision GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.sms as f64 * self.lanes_per_sm as f64 * self.flops_per_lane_cycle * self.clock_ghz
+    }
+
+    /// Seconds per core cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0e-9 / self.clock_ghz
+    }
+
+    /// Effective GEMM throughput in GFLOP/s for large square problems
+    /// (Volkov-class SGEMM reaches ~60% of peak on Fermi). Used by the
+    /// blocked-Householder baseline models for their trailing updates.
+    pub fn gemm_gflops(&self) -> f64 {
+        0.60 * self.peak_gflops()
+    }
+}
+
+/// Description of a multicore CPU (for the MKL-class baselines).
+#[derive(Clone, Debug)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores used.
+    pub cores: usize,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// SP flops per cycle per core (Nehalem SSE: 4-wide add + 4-wide mul).
+    pub flops_per_cycle_per_core: f64,
+    /// Achievable DRAM bandwidth in GB/s.
+    pub dram_bw_gbs: f64,
+    /// Per-BLAS-call overhead in microseconds (threading fork/join etc.).
+    pub call_overhead_us: f64,
+    /// Fraction of peak reached by large BLAS3 operations.
+    pub gemm_efficiency: f64,
+    /// Last-level cache size in bytes. A QR panel that fits here is streamed
+    /// from DRAM once; one that does not is re-streamed per reflector — the
+    /// bandwidth cliff TSQR exists to avoid.
+    pub cache_bytes: usize,
+    /// Achievable GFLOP/s of BLAS2 kernels whose operands are cache-resident.
+    pub blas2_cache_gflops: f64,
+}
+
+impl CpuSpec {
+    /// Dual-socket quad-core Intel Xeon 5530 (Nehalem) at 2.4 GHz — the
+    /// 8-core host of the Dirac nodes the paper benchmarks MKL on.
+    pub fn nehalem_8core() -> Self {
+        CpuSpec {
+            name: "Xeon 5530 x2 (8 cores)",
+            cores: 8,
+            clock_ghz: 2.4,
+            flops_per_cycle_per_core: 8.0,
+            dram_bw_gbs: 21.0,
+            call_overhead_us: 25.0,
+            gemm_efficiency: 0.55,
+            cache_bytes: 8 << 20,
+            blas2_cache_gflops: 12.0,
+        }
+    }
+
+    /// Intel Core i7 at 2.6 GHz, 4 cores — the CPU of the Robust PCA
+    /// comparison in Section VI-D.
+    pub fn corei7_4core() -> Self {
+        CpuSpec {
+            name: "Core i7 (4 cores)",
+            cores: 4,
+            clock_ghz: 2.6,
+            flops_per_cycle_per_core: 8.0,
+            dram_bw_gbs: 17.0,
+            call_overhead_us: 20.0,
+            gemm_efficiency: 0.55,
+            cache_bytes: 8 << 20,
+            blas2_cache_gflops: 8.0,
+        }
+    }
+
+    /// A single core of the host, the resource MAGMA/CULA-class hybrid QRs
+    /// dedicate to panel factorization: one core's share of memory bandwidth
+    /// and a BLAS2 rate limited by its SSE units.
+    pub fn panel_core() -> Self {
+        CpuSpec {
+            name: "1 host core (panel)",
+            cores: 1,
+            clock_ghz: 2.4,
+            flops_per_cycle_per_core: 8.0,
+            dram_bw_gbs: 4.5,
+            call_overhead_us: 1.0,
+            gemm_efficiency: 0.5,
+            cache_bytes: 8 << 20,
+            blas2_cache_gflops: 3.5,
+        }
+    }
+
+    /// Peak single-precision GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * self.flops_per_cycle_per_core
+    }
+}
+
+/// PCI-Express link between host and device memories.
+#[derive(Clone, Debug)]
+pub struct PcieSpec {
+    /// One-way latency per transfer in microseconds.
+    pub latency_us: f64,
+    /// Sustained bandwidth in GB/s (Gen2 x16 in practice).
+    pub bw_gbs: f64,
+}
+
+impl PcieSpec {
+    /// PCIe Gen-2 x16, the Dirac node interconnect.
+    pub fn gen2_x16() -> Self {
+        PcieSpec {
+            latency_us: 15.0,
+            bw_gbs: 5.5,
+        }
+    }
+
+    /// Seconds to move `bytes` one way.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1.0e-6 + bytes as f64 / (self.bw_gbs * 1.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2050_peak_is_about_one_teraflop() {
+        let s = DeviceSpec::c2050();
+        let p = s.peak_gflops();
+        assert!((p - 1030.4).abs() < 1.0, "got {p}");
+    }
+
+    #[test]
+    fn gtx480_is_faster_than_c2050() {
+        assert!(DeviceSpec::gtx480().peak_gflops() > DeviceSpec::c2050().peak_gflops());
+        assert!(DeviceSpec::gtx480().dram_bw_gbs > DeviceSpec::c2050().dram_bw_gbs);
+    }
+
+    #[test]
+    fn nehalem_peak() {
+        // 8 cores * 2.4 GHz * 8 flops = 153.6 GFLOP/s.
+        assert!((CpuSpec::nehalem_8core().peak_gflops() - 153.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn pcie_transfer_has_latency_floor() {
+        let p = PcieSpec::gen2_x16();
+        assert!(p.transfer_seconds(0) >= 14.0e-6);
+        // 1 GB takes ~0.18 s.
+        let t = p.transfer_seconds(1 << 30);
+        assert!(t > 0.15 && t < 0.25, "got {t}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # rpca — Robust PCA for stationary-video background subtraction
+//!
+//! The paper's motivating application (Section VI): a surveillance clip
+//! becomes a 110,592 x 100 tall-skinny matrix; Robust PCA splits it into a
+//! low-rank background and a sparse foreground by iterating a singular-value
+//! threshold whose dominant cost is a tall-skinny SVD — computed as
+//! QR -> small SVD of `R` -> `Q * U`, which is where CAQR earns its 3x
+//! end-to-end speedup.
+//!
+//! * [`video`] — deterministic synthetic surveillance-clip generator (the
+//!   ViSOR substitution; see DESIGN.md §2),
+//! * [`svd_qr`] — the SVD-via-QR pipeline with pluggable QR backends (host
+//!   blocked Householder or simulated-GPU CAQR),
+//! * [`solver`] — the inexact-ALM alternating-directions solver,
+//! * [`timing`] — the Table II iteration-rate models.
+
+#![warn(missing_docs)]
+
+pub mod gpu;
+pub mod gpu_ops;
+pub mod metrics;
+pub mod solver;
+pub mod svd_qr;
+pub mod timing;
+pub mod video;
+
+pub use gpu::rpca_gpu;
+pub use metrics::{foreground_detection, psnr, relative_error, Detection};
+pub use solver::{rpca, RpcaParams, RpcaResult};
+pub use svd_qr::{svd_via_qr, CpuQrBackend, GpuCaqrBackend, QrBackend};
+pub use timing::{model_iteration_seconds, model_iterations_per_second, RpcaImpl};
+pub use video::{generate as generate_video, SyntheticVideo, VideoConfig};

@@ -1,0 +1,140 @@
+//! Quality metrics for background/foreground separation, used by the tests
+//! and the video example to quantify how well Robust PCA recovers the
+//! planted decomposition.
+
+use dense::matrix::Matrix;
+use dense::norms::frobenius;
+use dense::scalar::Scalar;
+
+/// Precision/recall/F1 of foreground detection against a planted mask.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Detected foreground pixels that are truly foreground / all detected.
+    pub precision: f64,
+    /// Truly foreground pixels detected / all true foreground.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Compare a recovered sparse component against the planted foreground:
+/// a pixel counts as detected when `|s| > threshold`, as true foreground
+/// when `|truth| > truth_threshold`.
+pub fn foreground_detection<T: Scalar>(
+    s: &Matrix<T>,
+    truth: &Matrix<T>,
+    threshold: f64,
+    truth_threshold: f64,
+) -> Detection {
+    assert_eq!(s.shape(), truth.shape());
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fne = 0u64;
+    for (sv, tv) in s.as_slice().iter().zip(truth.as_slice()) {
+        let detected = sv.to_f64().abs() > threshold;
+        let actual = tv.to_f64().abs() > truth_threshold;
+        match (detected, actual) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fne += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+    let recall = if tp + fne > 0 { tp as f64 / (tp + fne) as f64 } else { 1.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Detection { precision, recall, f1 }
+}
+
+/// Peak signal-to-noise ratio (dB) of a recovered image/matrix against the
+/// ground truth, with `peak` the nominal signal range (1.0 for our videos).
+pub fn psnr<T: Scalar>(recovered: &Matrix<T>, truth: &Matrix<T>, peak: f64) -> f64 {
+    assert_eq!(recovered.shape(), truth.shape());
+    let n = (recovered.rows() * recovered.cols()) as f64;
+    let mut mse = 0.0f64;
+    for (a, b) in recovered.as_slice().iter().zip(truth.as_slice()) {
+        let d = a.to_f64() - b.to_f64();
+        mse += d * d;
+    }
+    mse /= n;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// Relative Frobenius error `||recovered - truth||_F / ||truth||_F`.
+pub fn relative_error<T: Scalar>(recovered: &Matrix<T>, truth: &Matrix<T>) -> f64 {
+    assert_eq!(recovered.shape(), truth.shape());
+    let mut diff = 0.0f64;
+    for (a, b) in recovered.as_slice().iter().zip(truth.as_slice()) {
+        let d = a.to_f64() - b.to_f64();
+        diff += d * d;
+    }
+    let denom = frobenius(truth);
+    if denom > 0.0 {
+        diff.sqrt() / denom
+    } else {
+        diff.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let truth = Matrix::from_row_major(2, 2, &[1.0f64, 0.0, 0.0, 1.0]);
+        let d = foreground_detection(&truth, &truth, 0.5, 0.5);
+        assert_eq!(d.precision, 1.0);
+        assert_eq!(d.recall, 1.0);
+        assert_eq!(d.f1, 1.0);
+    }
+
+    #[test]
+    fn misses_reduce_recall_not_precision() {
+        let truth = Matrix::from_row_major(1, 4, &[1.0f64, 1.0, 0.0, 0.0]);
+        let got = Matrix::from_row_major(1, 4, &[1.0f64, 0.0, 0.0, 0.0]);
+        let d = foreground_detection(&got, &truth, 0.5, 0.5);
+        assert_eq!(d.precision, 1.0);
+        assert_eq!(d.recall, 0.5);
+        assert!((d.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_alarms_reduce_precision() {
+        let truth = Matrix::from_row_major(1, 4, &[1.0f64, 0.0, 0.0, 0.0]);
+        let got = Matrix::from_row_major(1, 4, &[1.0f64, 1.0, 0.0, 0.0]);
+        let d = foreground_detection(&got, &truth, 0.5, 0.5);
+        assert_eq!(d.precision, 0.5);
+        assert_eq!(d.recall, 1.0);
+    }
+
+    #[test]
+    fn psnr_of_exact_recovery_is_infinite() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64 / 8.0);
+        assert!(psnr(&a, &a, 1.0).is_infinite());
+        // A small perturbation gives a large finite PSNR.
+        let mut b = a.clone();
+        b[(0, 0)] += 1.0e-3;
+        let p = psnr(&b, &a, 1.0);
+        assert!(p > 40.0 && p.is_finite(), "{p}");
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v *= 1.01;
+        }
+        let e = relative_error(&b, &a);
+        assert!((e - 0.01).abs() < 1e-12, "{e}");
+    }
+}

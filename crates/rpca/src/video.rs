@@ -1,0 +1,263 @@
+//! Synthetic surveillance-video generator — the stand-in for the ViSOR
+//! benchmark clip (DESIGN.md §2).
+//!
+//! "A surveillance video is transformed into a tall-skinny matrix where each
+//! column contains all pixels in a frame, and the number of columns is equal
+//! to the number of frames" (Section VI-A). The generator plants exactly the
+//! structure Robust PCA assumes: a static low-rank background (a smooth
+//! gradient plus fixed furniture rectangles, optionally with slow global
+//! illumination drift giving rank 2) and a sparse foreground of moving
+//! blobs, plus small sensor noise.
+
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a synthetic clip.
+#[derive(Clone, Debug)]
+pub struct VideoConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of frames (columns of the video matrix).
+    pub frames: usize,
+    /// Number of moving foreground blobs ("people").
+    pub blobs: usize,
+    /// Blob edge length in pixels.
+    pub blob_size: usize,
+    /// Foreground intensity added on top of the background.
+    pub foreground_intensity: f64,
+    /// Sensor noise amplitude (uniform in `[-a, a]`).
+    pub noise: f64,
+    /// Relative amplitude of the slow illumination drift (0 disables; the
+    /// background is then exactly rank 1).
+    pub illumination_drift: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VideoConfig {
+    /// The paper's clip at full scale: 288 x 384 pixels, 100 frames —
+    /// a 110,592 x 100 matrix.
+    pub fn paper_scale() -> Self {
+        VideoConfig {
+            width: 384,
+            height: 288,
+            frames: 100,
+            blobs: 3,
+            blob_size: 24,
+            foreground_intensity: 0.8,
+            noise: 0.01,
+            illumination_drift: 0.05,
+            seed: 2011,
+        }
+    }
+
+    /// A small clip for tests and examples (milliseconds to solve).
+    pub fn tiny() -> Self {
+        VideoConfig {
+            width: 24,
+            height: 18,
+            frames: 20,
+            blobs: 2,
+            blob_size: 4,
+            foreground_intensity: 1.0,
+            noise: 0.004,
+            illumination_drift: 0.0,
+            seed: 7,
+        }
+    }
+
+    /// Pixels per frame (rows of the video matrix).
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// A generated clip with its planted ground truth.
+pub struct SyntheticVideo<T: Scalar> {
+    /// The observed video matrix, `pixels x frames`.
+    pub matrix: Matrix<T>,
+    /// The planted background component (low rank by construction).
+    pub background: Matrix<T>,
+    /// The planted sparse foreground component (noise-free).
+    pub foreground: Matrix<T>,
+    /// Configuration used.
+    pub config: VideoConfig,
+}
+
+/// Generate a clip.
+pub fn generate<T: Scalar>(config: &VideoConfig) -> SyntheticVideo<T> {
+    let m = config.pixels();
+    let f = config.frames;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let unit = Uniform::new(0.0f64, 1.0);
+
+    // Static background image: smooth gradient + a few fixed rectangles.
+    let mut bg_image = vec![0.0f64; m];
+    for y in 0..config.height {
+        for x in 0..config.width {
+            bg_image[y * config.width + x] =
+                0.3 + 0.4 * (x as f64 / config.width as f64) + 0.2 * (y as f64 / config.height as f64);
+        }
+    }
+    for _ in 0..3 {
+        let rx = (unit.sample(&mut rng) * config.width as f64 * 0.7) as usize;
+        let ry = (unit.sample(&mut rng) * config.height as f64 * 0.7) as usize;
+        let rw = (config.width / 5).max(1);
+        let rh = (config.height / 5).max(1);
+        let shade = 0.25 + 0.5 * unit.sample(&mut rng);
+        for y in ry..(ry + rh).min(config.height) {
+            for x in rx..(rx + rw).min(config.width) {
+                bg_image[y * config.width + x] = shade;
+            }
+        }
+    }
+
+    // Blob trajectories: linear motion with per-blob velocity, wrapping.
+    let trajectories: Vec<(f64, f64, f64, f64)> = (0..config.blobs)
+        .map(|_| {
+            (
+                unit.sample(&mut rng) * config.width as f64,
+                unit.sample(&mut rng) * config.height as f64,
+                (unit.sample(&mut rng) - 0.5) * 6.0,
+                (unit.sample(&mut rng) - 0.5) * 3.0,
+            )
+        })
+        .collect();
+
+    let mut background = Matrix::<T>::zeros(m, f);
+    let mut foreground = Matrix::<T>::zeros(m, f);
+    let mut matrix = Matrix::<T>::zeros(m, f);
+    let noise_dist = Uniform::new(-config.noise, config.noise.max(1e-12));
+
+    // Second spatial mode for the illumination drift (a window-light
+    // gradient), giving the background rank 2 when drift is enabled.
+    let illum_pattern: Vec<f64> = (0..m)
+        .map(|i| {
+            let y = i / config.width;
+            0.5 + 0.5 * (y as f64 / config.height.max(1) as f64)
+        })
+        .collect();
+
+    for frame in 0..f {
+        // Rank-<=2 background: static image plus drifting illumination mode.
+        let drift = config.illumination_drift
+            * (2.0 * std::f64::consts::PI * frame as f64 / f as f64).sin();
+        {
+            let col = background.col_mut(frame);
+            for ((c, &b), &p) in col.iter_mut().zip(&bg_image).zip(&illum_pattern) {
+                *c = T::from_f64(b + drift * p);
+            }
+        }
+        // Moving blobs.
+        for &(x0, y0, vx, vy) in &trajectories {
+            let cx = (x0 + vx * frame as f64).rem_euclid(config.width as f64) as usize;
+            let cy = (y0 + vy * frame as f64).rem_euclid(config.height as f64) as usize;
+            for dy in 0..config.blob_size {
+                for dx in 0..config.blob_size {
+                    let x = (cx + dx) % config.width;
+                    let y = (cy + dy) % config.height;
+                    foreground[(y * config.width + x, frame)] =
+                        T::from_f64(config.foreground_intensity);
+                }
+            }
+        }
+        // Observation = background + foreground + noise.
+        for i in 0..m {
+            let n = if config.noise > 0.0 {
+                noise_dist.sample(&mut rng)
+            } else {
+                0.0
+            };
+            matrix[(i, frame)] =
+                background[(i, frame)] + foreground[(i, frame)] + T::from_f64(n);
+        }
+    }
+
+    SyntheticVideo {
+        matrix,
+        background,
+        foreground,
+        config: config.clone(),
+    }
+}
+
+/// Fraction of entries of `s` that are "active" (above `threshold` in
+/// absolute value) — used to check foreground sparsity.
+pub fn sparsity<T: Scalar>(s: &Matrix<T>, threshold: f64) -> f64 {
+    let total = s.rows() * s.cols();
+    let active = s
+        .as_slice()
+        .iter()
+        .filter(|v| v.to_f64().abs() > threshold)
+        .count();
+    active as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dense::svd::singular_values;
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let c = VideoConfig::paper_scale();
+        assert_eq!(c.pixels(), 110_592);
+        assert_eq!(c.frames, 100);
+    }
+
+    #[test]
+    fn background_is_low_rank() {
+        let v = generate::<f64>(&VideoConfig::tiny());
+        let s = singular_values(&v.background);
+        // Rank 1 (no illumination drift in tiny config).
+        assert!(s[0] > 1.0);
+        assert!(s[1] < 1e-10 * s[0], "background rank > 1: {:?}", &s[..3]);
+    }
+
+    #[test]
+    fn drifting_background_is_rank_two() {
+        let mut cfg = VideoConfig::tiny();
+        cfg.illumination_drift = 0.1;
+        let v = generate::<f64>(&cfg);
+        let s = singular_values(&v.background);
+        assert!(s[1] > 1e-6 * s[0], "drift should add a second mode");
+        assert!(s[2] < 1e-8 * s[0], "but nothing beyond rank 2: {:?}", &s[..4]);
+    }
+
+    #[test]
+    fn foreground_is_sparse_and_moving() {
+        let v = generate::<f64>(&VideoConfig::tiny());
+        let frac = sparsity(&v.foreground, 0.5);
+        // 2 blobs of 16 pixels in 432 pixels: < 10% active.
+        assert!(frac > 0.0 && frac < 0.12, "foreground sparsity {frac}");
+        // The blobs move: consecutive frames differ.
+        let f0 = v.foreground.col(0);
+        let f1 = v.foreground.col(7);
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn observation_decomposes_exactly_without_noise() {
+        let mut cfg = VideoConfig::tiny();
+        cfg.noise = 0.0;
+        let v = generate::<f64>(&cfg);
+        for i in 0..v.matrix.rows() {
+            for j in 0..v.matrix.cols() {
+                let sum = v.background[(i, j)] + v.foreground[(i, j)];
+                assert!((v.matrix[(i, j)] - sum).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate::<f32>(&VideoConfig::tiny());
+        let b = generate::<f32>(&VideoConfig::tiny());
+        assert_eq!(a.matrix, b.matrix);
+    }
+}

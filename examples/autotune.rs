@@ -1,0 +1,57 @@
+//! The tuning story of Sections IV-E/IV-F and the algorithm-selection
+//! framework Section V-C proposes: sweep the block-size grid, walk the four
+//! kernel strategies, then let the selector pick CAQR vs blocked Householder
+//! per matrix shape.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use caqr::microkernels::{apply_qt_h_block_gflops, ReductionStrategy};
+use caqr::tuning::{autotune, figure7_surface, select_algorithm, QrAlgorithm};
+use caqr::BlockSize;
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let spec = DeviceSpec::c2050();
+
+    println!("kernel strategy progression on 128x16 blocks (paper: 55 -> 168 -> 194 -> 388):");
+    for s in ReductionStrategy::ALL {
+        println!(
+            "  {:>48}: {:6.0} GFLOP/s",
+            s.to_string(),
+            apply_qt_h_block_gflops(&spec, BlockSize::c2050_best(), s)
+        );
+    }
+
+    let surface = figure7_surface(&spec, ReductionStrategy::RegisterSerialTransposed);
+    let best = autotune(&spec, ReductionStrategy::RegisterSerialTransposed);
+    println!(
+        "\nblock-size sweep: {} candidates, best = {}x{} at {:.0} GFLOP/s (paper: 128x16 at 388)",
+        surface.len(),
+        best.bs.h,
+        best.bs.w,
+        best.gflops
+    );
+    let mut sorted = surface.clone();
+    sorted.sort_by(|a, b| b.gflops.partial_cmp(&a.gflops).unwrap());
+    println!("top five shapes:");
+    for p in sorted.iter().take(5) {
+        println!("  {:>4}x{:<3} {:6.0} GFLOP/s", p.bs.h, p.bs.w, p.gflops);
+    }
+
+    println!("\nalgorithm selection per shape (Section V-C's proposed framework):");
+    for (m, n) in [
+        (1_000_000usize, 192usize),
+        (100_000, 100),
+        (8192, 1024),
+        (8192, 4096),
+        (8192, 8192),
+    ] {
+        let choice = match select_algorithm(&spec, m, n) {
+            QrAlgorithm::Caqr => "CAQR",
+            QrAlgorithm::BlockedHouseholder => "blocked Householder",
+        };
+        println!("  {m:>9} x {n:<5} -> {choice}");
+    }
+}

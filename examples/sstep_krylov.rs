@@ -1,0 +1,67 @@
+//! s-step Krylov basis orthogonalization with TSQR — the paper's most
+//! extreme tall-skinny workload: "The dimensions of this QR factorization
+//! can be millions of rows by less than ten columns."
+//!
+//! Builds the Krylov sequence {v, Av, ..., A^(s-1) v} for a sparse operator,
+//! then orthogonalizes it with (a) TSQR on the simulated GPU, (b) classical
+//! Gram-Schmidt and (c) CholeskyQR, demonstrating why the communication-
+//! avoiding Householder approach is also the *numerically safe* one on
+//! these nearly dependent bases.
+//!
+//! ```text
+//! cargo run --release --example sstep_krylov
+//! ```
+
+use caqr::{tsqr, BlockSize, ReductionStrategy};
+use dense::norms::orthogonality_error;
+use gpu_sim::{DeviceSpec, Gpu};
+
+fn main() {
+    let n_rows = 200_000usize;
+    let s = 8usize;
+    println!("building a {n_rows} x {s} Krylov basis (tridiagonal operator)...");
+    let basis = dense::generate::krylov_basis::<f64>(n_rows, s, 123);
+
+    let sv = {
+        // Condition number of the basis — the reason plain normal-equation
+        // methods fail here.
+        let gram_svd = dense::svd::singular_values(&basis.extract(0, 0, 4096, s));
+        gram_svd[0] / gram_svd[s - 1].max(1e-300)
+    };
+    println!("sample condition estimate of the basis: {sv:.2e}\n");
+
+    // (a) TSQR on the simulated GPU.
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let f = tsqr(
+        &gpu,
+        basis.clone(),
+        BlockSize::c2050_best(),
+        ReductionStrategy::RegisterSerialTransposed,
+    )
+    .expect("tsqr failed");
+    let q_tsqr = f.generate_q(&gpu).expect("generate_q failed");
+    let tsqr_err = orthogonality_error(&q_tsqr);
+    let ledger = gpu.ledger();
+    println!(
+        "TSQR (simulated C2050): ||Q^T Q - I|| = {tsqr_err:.2e}  ({} launches, modelled {:.3} ms)",
+        ledger.calls,
+        ledger.seconds * 1e3
+    );
+
+    // (b) Classical Gram-Schmidt.
+    let (q_cgs, _) = dense::gram_schmidt::classical_gram_schmidt(&basis);
+    println!("classical Gram-Schmidt: ||Q^T Q - I|| = {:.2e}", orthogonality_error(&q_cgs));
+
+    // (c) CholeskyQR — squares the condition number; may fail outright.
+    match dense::gram_schmidt::cholesky_qr(&basis) {
+        Ok((q_chol, _)) => {
+            println!("CholeskyQR:             ||Q^T Q - I|| = {:.2e}", orthogonality_error(&q_chol))
+        }
+        Err(e) => println!("CholeskyQR:             FAILED ({e}) — the Gram matrix lost definiteness"),
+    }
+
+    println!(
+        "\nTSQR keeps the basis orthogonal to machine precision; the cheaper\n\
+         alternatives visibly degrade (or fail) on s-step Krylov bases."
+    );
+}

@@ -1,0 +1,20 @@
+//! # caqr-repro — reproduction of "Communication-Avoiding QR Decomposition
+//! # for GPUs" (Anderson, Ballard, Demmel, Keutzer; IPPS 2011)
+//!
+//! This meta-crate re-exports the workspace:
+//!
+//! * [`dense`] — BLAS/LAPACK-style substrate built from scratch,
+//! * [`gpu_sim`] — the GPU execution-model simulator (the hardware
+//!   substitution; see `DESIGN.md`),
+//! * [`caqr`] — TSQR/CAQR, the paper's contribution,
+//! * [`baselines`] — MAGMA/CULA/MKL/BLAS2-GPU comparison models,
+//! * [`rpca`] — Robust PCA video background subtraction (Section VI).
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
+//! for the harnesses that regenerate every table and figure.
+
+pub use baselines;
+pub use caqr;
+pub use dense;
+pub use gpu_sim;
+pub use rpca;

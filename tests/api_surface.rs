@@ -1,0 +1,89 @@
+//! Small-surface tests: error display, ledger summaries, report fields —
+//! the glue a downstream user sees first.
+
+use caqr::{BlockSize, CaqrError, CaqrOptions};
+use gpu_sim::{DeviceSpec, Gpu, LaunchError};
+
+#[test]
+fn errors_render_usefully() {
+    let e = CaqrError::BadShape("panel out of range".into());
+    assert!(e.to_string().contains("panel out of range"));
+    let e = CaqrError::Launch(LaunchError::SharedMemory {
+        requested: 100_000,
+        available: 49_152,
+    });
+    let s = e.to_string();
+    assert!(s.contains("100000") && s.contains("49152"), "{s}");
+    let e = LaunchError::Threads {
+        requested: 1024,
+        max: 512,
+    };
+    assert!(e.to_string().contains("1024"));
+    assert!(LaunchError::EmptyGrid.to_string().contains("empty"));
+}
+
+#[test]
+fn ledger_summary_is_humane() {
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f32>(512, 16, 1);
+    let _ = caqr::tsqr(
+        &gpu,
+        a,
+        BlockSize::c2050_best(),
+        caqr::ReductionStrategy::RegisterSerialTransposed,
+    )
+    .unwrap();
+    let s = gpu.ledger().summary();
+    assert!(s.contains("factor"));
+    assert!(s.contains("GFLOP/s"));
+    assert!(s.contains("calls"));
+    // Every line of the per-op breakdown is well formed.
+    for line in s.lines().skip(1) {
+        assert!(line.contains("calls"), "malformed summary line: {line}");
+    }
+}
+
+#[test]
+fn kernel_reports_expose_boundedness() {
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let mut a = dense::generate::uniform::<f32>(2048, 16, 2);
+    let tiles = caqr::block::tile_panel(0, 2048, 128, 16);
+    let taus: Vec<parking_lot::Mutex<Vec<f32>>> =
+        tiles.iter().map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let k = caqr::kernels::FactorKernel {
+        a: dense::MatPtr::new(&mut a),
+        tiles: &tiles,
+        col0: 0,
+        width: 16,
+        strategy: caqr::ReductionStrategy::RegisterSerialTransposed,
+        spec: gpu.spec().clone(),
+        taus: &taus,
+    };
+    let report = gpu.launch(&k).unwrap();
+    assert_eq!(report.name, "factor");
+    assert_eq!(report.blocks, 16);
+    assert!(report.seconds > 0.0);
+    assert!(report.gflops > 0.0);
+    // factor is issue/stall-bound, not DRAM-bound.
+    assert!(report.compute_bound);
+}
+
+#[test]
+fn default_options_are_the_papers_configuration() {
+    let o = CaqrOptions::default();
+    assert_eq!(o.bs, BlockSize { h: 128, w: 16 });
+    assert!(o.strategy.needs_pretranspose());
+    assert_eq!(o.tree, caqr::TreeShape::DeviceArity);
+    assert_eq!(o.bs.threads(), 64);
+}
+
+#[test]
+fn device_presets_match_their_datasheets() {
+    let c = DeviceSpec::c2050();
+    assert_eq!(c.sms, 14);
+    assert_eq!(c.smem_per_sm, 48 * 1024);
+    assert_eq!(c.regfile_per_sm, 128 * 1024);
+    let g = DeviceSpec::gtx480();
+    assert_eq!(g.sms, 15);
+    assert!(g.clock_ghz > c.clock_ghz);
+}

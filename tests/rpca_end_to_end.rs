@@ -1,0 +1,98 @@
+//! End-to-end application test: the full Robust PCA pipeline with the
+//! simulated-GPU CAQR backend separating a synthetic surveillance clip
+//! (Section VI at reduced scale), and the SVD-via-QR identities it relies on.
+
+use dense::norms::frobenius;
+use gpu_sim::{DeviceSpec, Gpu};
+use rpca::video::{generate, sparsity, VideoConfig};
+use rpca::{rpca, svd_via_qr, CpuQrBackend, GpuCaqrBackend, RpcaParams};
+
+#[test]
+fn gpu_pipeline_separates_video() {
+    let cfg = VideoConfig {
+        width: 32,
+        height: 24,
+        frames: 24,
+        blobs: 2,
+        blob_size: 5,
+        foreground_intensity: 1.0,
+        noise: 0.004,
+        illumination_drift: 0.0,
+        seed: 31,
+    };
+    let video = generate::<f64>(&cfg);
+    let gpu = Gpu::new(DeviceSpec::gtx480());
+    let backend = GpuCaqrBackend {
+        gpu: &gpu,
+        opts: caqr::CaqrOptions::default(),
+    };
+    let r = rpca(&backend, &video.matrix, &RpcaParams { tol: 1e-5, ..Default::default() });
+    assert!(r.converged, "GPU-backend RPCA did not converge");
+
+    // Background recovery.
+    let mut err = 0.0f64;
+    for (a, b) in r.l.as_slice().iter().zip(video.background.as_slice()) {
+        err += (a - b) * (a - b);
+    }
+    let rel = err.sqrt() / frobenius(&video.background);
+    assert!(rel < 0.1, "background error {rel}");
+
+    // Foreground support recovered (precision AND recall).
+    let det = rpca::foreground_detection(&r.s, &video.foreground, 0.3, 0.5);
+    assert!(det.recall > 0.8, "foreground recall {}", det.recall);
+    assert!(det.precision > 0.5, "foreground precision {}", det.precision);
+    assert!(det.f1 > 0.65, "foreground F1 {}", det.f1);
+    assert!(rpca::psnr(&r.l, &video.background, 1.0) > 20.0, "background PSNR too low");
+    assert!(sparsity(&r.s, 0.3) < 0.25);
+
+    // The simulated GPU really did the QRs: many launches, modelled time.
+    let l = gpu.ledger();
+    assert!(l.calls > 50, "expected many kernel launches, saw {}", l.calls);
+    assert!(l.seconds > 0.0);
+}
+
+#[test]
+fn gpu_and_cpu_backends_agree_on_the_solution() {
+    let cfg = VideoConfig::tiny();
+    let video = generate::<f64>(&cfg);
+    let params = RpcaParams { tol: 1e-5, ..Default::default() };
+
+    let r_cpu = rpca(&CpuQrBackend, &video.matrix, &params);
+    let gpu = Gpu::new(DeviceSpec::gtx480());
+    let backend = GpuCaqrBackend {
+        gpu: &gpu,
+        opts: caqr::CaqrOptions::default(),
+    };
+    let r_gpu = rpca(&backend, &video.matrix, &params);
+
+    assert_eq!(r_cpu.iterations, r_gpu.iterations, "iteration paths diverged");
+    let mut max_dl = 0.0f64;
+    for (a, b) in r_cpu.l.as_slice().iter().zip(r_gpu.l.as_slice()) {
+        max_dl = max_dl.max((a - b).abs());
+    }
+    assert!(max_dl < 1e-8, "L differs between backends by {max_dl}");
+}
+
+#[test]
+fn svd_identities_on_the_video_matrix() {
+    // sum(sigma_i^2) == ||A||_F^2 and the QR-first SVD preserves it.
+    let video = generate::<f64>(&VideoConfig::tiny());
+    let s = svd_via_qr(&CpuQrBackend, &video.matrix);
+    let ss: f64 = s.sigma.iter().map(|v| v * v).sum();
+    let f2 = frobenius(&video.matrix).powi(2);
+    assert!((ss / f2 - 1.0).abs() < 1e-10, "Frobenius identity violated");
+    // The top singular vector is essentially the background direction.
+    assert!(s.sigma[0] > 3.0 * s.sigma[1], "background should dominate: {:?}", &s.sigma[..3]);
+}
+
+#[test]
+fn rpca_respects_exact_low_rank_sparse_inputs() {
+    // A matrix that is already low-rank (no sparse part): S should be ~0.
+    let l0 = dense::generate::low_rank::<f64>(120, 16, 2, 0.0, 77);
+    let r = rpca(&CpuQrBackend, &l0, &RpcaParams::default());
+    assert!(r.converged);
+    let s_norm = frobenius(&r.s);
+    let l_norm = frobenius(&l0);
+    assert!(s_norm < 0.02 * l_norm, "spurious sparse component: {s_norm} vs {l_norm}");
+    assert!(r.rank <= 3);
+}

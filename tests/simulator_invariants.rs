@@ -1,0 +1,157 @@
+//! Conservation and accounting invariants of the GPU simulator when driven
+//! by the real CAQR pipeline (DESIGN.md §7).
+
+use caqr::{BlockSize, CaqrOptions, ReductionStrategy};
+use gpu_sim::{DeviceSpec, Gpu, LaunchConfig, LaunchError};
+
+fn opts(h: usize, w: usize) -> CaqrOptions {
+    CaqrOptions {
+        bs: BlockSize { h, w },
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: caqr::block::TreeShape::DeviceArity,
+    }
+}
+
+#[test]
+fn ledger_is_deterministic_across_runs() {
+    let a = dense::generate::uniform::<f32>(500, 40, 1);
+    let run = || {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let _ = caqr::caqr::caqr(&g, a.clone(), opts(32, 8)).unwrap();
+        g.ledger()
+    };
+    let l1 = run();
+    let l2 = run();
+    assert_eq!(l1.calls, l2.calls);
+    assert!((l1.seconds - l2.seconds).abs() < 1e-15);
+    assert_eq!(l1.flops, l2.flops);
+    assert_eq!(l1.dram_bytes, l2.dram_bytes);
+}
+
+#[test]
+fn recorded_flops_track_the_geqrf_closed_form() {
+    // CAQR does more raw flops than SGEQRF (tree redundancy), but for a
+    // skinny matrix the overshoot is bounded: between 1x and 2.5x of
+    // 2mn^2 - (2/3)n^3.
+    for (m, n) in [(2048usize, 32usize), (4096, 64), (1024, 16)] {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let a = dense::generate::uniform::<f32>(m, n, 2);
+        let _ = caqr::caqr::caqr(&g, a, opts(64, 16)).unwrap();
+        let recorded = g.ledger().flops;
+        let closed = dense::geqrf_flops(m, n);
+        let ratio = recorded / closed;
+        assert!(
+            ratio > 0.9 && ratio < 2.5,
+            "({m},{n}): recorded {recorded:.3e} vs closed-form {closed:.3e} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn dram_traffic_scales_linearly_for_tsqr() {
+    // TSQR is communication-optimal: traffic should be O(m*n), i.e. a
+    // constant number of passes over the matrix, independent of height.
+    let traffic = |m: usize| {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let a = dense::generate::uniform::<f32>(m, 16, 3);
+        let _ = caqr::tsqr(&g, a, BlockSize::c2050_best(), ReductionStrategy::RegisterSerialTransposed)
+            .unwrap();
+        g.ledger().dram_bytes / (m as f64 * 16.0 * 4.0)
+    };
+    let passes_small = traffic(16_384);
+    let passes_big = traffic(131_072);
+    assert!(
+        (passes_big / passes_small - 1.0).abs() < 0.1,
+        "passes per element should be ~constant: {passes_small:.2} vs {passes_big:.2}"
+    );
+    assert!(passes_big < 8.0, "TSQR should stream the panel a few times, got {passes_big:.2}");
+}
+
+#[test]
+fn launch_count_formula() {
+    // For a matrix with p panels and L_p tree levels per panel:
+    // pretranspose + per panel (factor + levels + apply_qt_h + levels) with
+    // the apply side absent on the last panel.
+    let g = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f32>(512, 32, 4);
+    let f = caqr::caqr::caqr(&g, a, opts(64, 16)).unwrap();
+    assert_eq!(f.launches() as u64, g.ledger().calls);
+    // 2 panels of width 16, 64x16 blocks => quad-tree (arity 4).
+    // Panel 0: 8 tiles -> 2 -> 1: two tree levels; panel 1 (496 rows, 8
+    // tiles after remainder merge): two levels. Only panel 0 has a trailing
+    // matrix. pretranspose(1) + p0(factor 1 + tree 2 + apply 1 + applytree 2)
+    // + p1(factor 1 + tree 2) = 10.
+    assert_eq!(g.ledger().calls, 10);
+}
+
+#[test]
+fn oversized_shared_memory_is_rejected() {
+    let g = Gpu::new(DeviceSpec::c2050());
+    let cfg = LaunchConfig {
+        blocks: 1,
+        threads_per_block: 64,
+        shared_mem_bytes: 48 * 1024 + 1,
+        regs_per_thread: 8,
+    };
+    let r = g.launch_uniform("too_big", cfg, &gpu_sim::BlockCost::default());
+    assert!(matches!(r, Err(LaunchError::SharedMemory { .. })));
+}
+
+#[test]
+fn shared_serial_strategy_rejects_blocks_that_overflow_smem() {
+    // A 512x64 block in shared memory needs 128 KB + staging > 48 KB: the
+    // simulator must refuse the launch exactly like CUDA would.
+    let g = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f32>(4096, 64, 5);
+    let r = caqr::caqr::caqr(
+        &g,
+        a,
+        CaqrOptions {
+            bs: BlockSize { h: 512, w: 64 },
+            strategy: ReductionStrategy::SharedSerial,
+            tree: caqr::block::TreeShape::DeviceArity,
+        },
+    );
+    assert!(
+        matches!(r, Err(caqr::CaqrError::Launch(LaunchError::SharedMemory { .. }))),
+        "expected an smem launch failure"
+    );
+}
+
+#[test]
+fn modeled_time_monotone_in_problem_size() {
+    let g = Gpu::new(DeviceSpec::c2050());
+    let o = CaqrOptions::default();
+    let mut last = 0.0;
+    for m in [10_000usize, 40_000, 160_000, 640_000] {
+        let t = caqr::model::model_caqr_seconds(&g, m, 64, o).unwrap();
+        assert!(t > last, "time must grow with height: {t} after {last}");
+        last = t;
+    }
+}
+
+#[test]
+fn gtx480_is_faster_than_c2050_on_the_same_workload() {
+    let o = CaqrOptions::default();
+    let t_c2050 = {
+        let g = Gpu::new(DeviceSpec::c2050());
+        caqr::model::model_caqr_seconds(&g, 200_000, 96, o).unwrap()
+    };
+    let t_gtx = {
+        let g = Gpu::new(DeviceSpec::gtx480());
+        caqr::model::model_caqr_seconds(&g, 200_000, 96, o).unwrap()
+    };
+    assert!(t_gtx < t_c2050, "{t_gtx} vs {t_c2050}");
+}
+
+#[test]
+fn transfers_are_not_charged_for_resident_matrices() {
+    // Per Section V-C the matrix is assumed GPU-resident; the factorization
+    // itself must not touch PCIe.
+    let g = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f32>(1000, 32, 6);
+    let _ = caqr::caqr::caqr(&g, a, opts(64, 16)).unwrap();
+    let l = g.ledger();
+    assert_eq!(l.transfers, 0);
+    assert_eq!(l.h2d_bytes + l.d2h_bytes, 0);
+}
