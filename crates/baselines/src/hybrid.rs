@@ -56,7 +56,13 @@ impl HybridConfig {
 /// Modelled GPU seconds of one `larfb` trailing update (`m_p x nc` trailing
 /// matrix, `nb`-wide reflector block): three GEMMs at the device's large-GEMM
 /// rate, DRAM-roofline limited, plus launch overheads.
-fn gpu_update_seconds(gpu: &DeviceSpec, cfg: &HybridConfig, mp: usize, nc: usize, nb: usize) -> f64 {
+fn gpu_update_seconds(
+    gpu: &DeviceSpec,
+    cfg: &HybridConfig,
+    mp: usize,
+    nc: usize,
+    nb: usize,
+) -> f64 {
     if nc == 0 {
         return 0.0;
     }
@@ -69,7 +75,13 @@ fn gpu_update_seconds(gpu: &DeviceSpec, cfg: &HybridConfig, mp: usize, nc: usize
 
 /// Modelled seconds of a hybrid blocked-Householder `SGEQRF` of an `m x n`
 /// matrix (matrix resident on the GPU, as in the paper's measurements).
-pub fn model_hybrid_seconds(gpu: &DeviceSpec, pcie: &PcieSpec, cfg: &HybridConfig, m: usize, n: usize) -> f64 {
+pub fn model_hybrid_seconds(
+    gpu: &DeviceSpec,
+    pcie: &PcieSpec,
+    cfg: &HybridConfig,
+    m: usize,
+    n: usize,
+) -> f64 {
     let k = m.min(n);
     let mut total = 0.0;
     let mut pending_update = 0.0; // GPU update still in flight (overlap mode)
@@ -79,7 +91,8 @@ pub fn model_hybrid_seconds(gpu: &DeviceSpec, pcie: &PcieSpec, cfg: &HybridConfi
         let mp = m - j;
         // Panel travels down, gets factored, and the V/T factors travel back.
         let panel_bytes = (4 * mp * jb) as u64;
-        let xfer = pcie.transfer_seconds(panel_bytes) + pcie.transfer_seconds(panel_bytes)
+        let xfer = pcie.transfer_seconds(panel_bytes)
+            + pcie.transfer_seconds(panel_bytes)
             + cfg.syncs_per_panel * pcie.latency_us * 1.0e-6;
         let cpu_side = panel_seconds(&cfg.panel_cpu, mp, jb) + xfer;
         let update = gpu_update_seconds(gpu, cfg, mp, n - j - jb, jb);
@@ -97,7 +110,13 @@ pub fn model_hybrid_seconds(gpu: &DeviceSpec, pcie: &PcieSpec, cfg: &HybridConfi
 }
 
 /// Modelled `SGEQRF` GFLOP/s for a hybrid baseline.
-pub fn model_hybrid_gflops(gpu: &DeviceSpec, pcie: &PcieSpec, cfg: &HybridConfig, m: usize, n: usize) -> f64 {
+pub fn model_hybrid_gflops(
+    gpu: &DeviceSpec,
+    pcie: &PcieSpec,
+    cfg: &HybridConfig,
+    m: usize,
+    n: usize,
+) -> f64 {
     dense::geqrf_flops(m, n) / model_hybrid_seconds(gpu, pcie, cfg, m, n) / 1.0e9
 }
 

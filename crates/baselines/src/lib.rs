@@ -92,10 +92,16 @@ mod tests {
     #[test]
     fn table1_ordering_holds_at_1m_x_192() {
         // Paper: CAQR 195 >> MKL 16.5 > MAGMA 11.4 > CULA 7.79.
-        let g: Vec<f64> = QrImpl::ALL.iter().map(|i| i.model_gflops(1_000_000, 192)).collect();
+        let g: Vec<f64> = QrImpl::ALL
+            .iter()
+            .map(|i| i.model_gflops(1_000_000, 192))
+            .collect();
         let (caqr_g, magma, cula, mkl) = (g[0], g[1], g[2], g[3]);
         assert!(caqr_g > 4.0 * mkl, "CAQR {caqr_g} must dominate MKL {mkl}");
-        assert!(caqr_g > 8.0 * cula, "CAQR {caqr_g} must dominate CULA {cula}");
+        assert!(
+            caqr_g > 8.0 * cula,
+            "CAQR {caqr_g} must dominate CULA {cula}"
+        );
         assert!(mkl > magma, "paper has MKL {mkl} above MAGMA {magma} at 1M");
         assert!(magma > cula, "MAGMA {magma} above CULA {cula}");
     }

@@ -69,7 +69,10 @@ mod tests {
         let big_rows = 4_000_000; // 512 MB panel: DRAM resident
         let big = panel_seconds(&cpu, big_rows, 32);
         let one_stream_big = 2.0 * 4.0 * big_rows as f64 * 32.0 / bw;
-        assert!(big > 8.0 * one_stream_big, "no cliff: {big} vs {one_stream_big}");
+        assert!(
+            big > 8.0 * one_stream_big,
+            "no cliff: {big} vs {one_stream_big}"
+        );
 
         let small_rows = 8192; // 1 MB panel: cache resident
         let small = panel_seconds(&cpu, small_rows, 32);
@@ -92,7 +95,10 @@ mod tests {
         let cpu = CpuSpec::nehalem_8core();
         let t = cpu_update_seconds(&cpu, 4096, 4096, 64);
         let gf = 4.0 * 4096.0 * 4096.0 * 64.0 / t / 1e9;
-        assert!(gf > 50.0, "wide update should run near BLAS3 rate, got {gf}");
+        assert!(
+            gf > 50.0,
+            "wide update should run near BLAS3 rate, got {gf}"
+        );
     }
 
     #[test]

@@ -35,13 +35,17 @@ fn bench_caqr_factor(c: &mut Criterion) {
     group.sample_size(10);
     for &(m, n) in &[(4096usize, 64usize), (8192, 64), (8192, 128)] {
         let a = dense::generate::uniform::<f32>(m, n, 2);
-        group.bench_with_input(BenchmarkId::new("sim_gpu", format!("{m}x{n}")), &m, |b, _| {
-            let gpu = Gpu::new(DeviceSpec::c2050());
-            b.iter(|| {
-                let f = caqr::caqr::caqr(&gpu, a.clone(), CaqrOptions::default()).unwrap();
-                black_box(f.r())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sim_gpu", format!("{m}x{n}")),
+            &m,
+            |b, _| {
+                let gpu = Gpu::new(DeviceSpec::c2050());
+                b.iter(|| {
+                    let f = caqr::caqr::caqr(&gpu, a.clone(), CaqrOptions::default()).unwrap();
+                    black_box(f.r())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -107,5 +111,11 @@ fn bench_dense_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tsqr, bench_caqr_factor, bench_apply_qt, bench_dense_primitives);
+criterion_group!(
+    benches,
+    bench_tsqr,
+    bench_caqr_factor,
+    bench_apply_qt,
+    bench_dense_primitives
+);
 criterion_main!(benches);

@@ -62,7 +62,11 @@ fn tree_shape() {
 }
 
 fn strategy_end_to_end() {
-    let mut table = Table::new(&["strategy", "kernel GFLOP/s", "full CAQR GFLOP/s (100k x 192)"]);
+    let mut table = Table::new(&[
+        "strategy",
+        "kernel GFLOP/s",
+        "full CAQR GFLOP/s (100k x 192)",
+    ]);
     let spec = DeviceSpec::c2050();
     for s in ReductionStrategy::ALL {
         let kernel = caqr::microkernels::apply_qt_h_block_gflops(&spec, BlockSize::c2050_best(), s);
@@ -128,7 +132,12 @@ fn mapping_options() {
     let cpu = CpuSpec::nehalem_8core();
     let bs = BlockSize::c2050_best();
     let mut table = Table::new(&["matrix", "Option A (hybrid)", "Option B (all-GPU)", "B/A"]);
-    for (m, n) in [(1_000usize, 192usize), (110_592, 100), (1_000_000, 192), (8192, 4096)] {
+    for (m, n) in [
+        (1_000usize, 192usize),
+        (110_592, 100),
+        (1_000_000, 192),
+        (8192, 4096),
+    ] {
         let a = model_caqr_option_a_gflops(&gpu, &pcie, &cpu, m, n, bs);
         let b = {
             let g = Gpu::new(gpu.clone());
@@ -178,7 +187,9 @@ fn sensitivity() {
         let mut row = vec![name.to_string()];
         for m in [1_000usize, 100_000, 1_000_000] {
             let gpu = Gpu::new(spec.clone());
-            row.push(gf(model_caqr_gflops(&gpu, m, 192, CaqrOptions::default()).unwrap()));
+            row.push(gf(
+                model_caqr_gflops(&gpu, m, 192, CaqrOptions::default()).unwrap()
+            ));
         }
         table.row(row);
     }

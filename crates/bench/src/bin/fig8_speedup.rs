@@ -6,19 +6,33 @@
 //! point stays under ~2^26 elements, matching a 256 MB single-precision
 //! GPU allocation).
 //!
+//! The `streams` column reports the stream-scheduled DAG (4 streams,
+//! lookahead) relative to the synchronous CAQR loop at the same shape.
+//!
 //! ```text
 //! cargo run -p caqr-bench --release --bin fig8_speedup [-- --csv]
 //! ```
 
 use baselines::QrImpl;
+use caqr::schedule::model_caqr_dag_seconds;
+use caqr::{CaqrOptions, ScheduleOptions};
 use caqr_bench::Table;
+use gpu_sim::{DeviceSpec, Gpu};
 
 fn main() {
     let heights = [8192usize, 16384, 65536, 262_144, 1_048_576];
     let widths = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192];
     let max_elems = 1usize << 26;
 
-    let mut table = Table::new(&["height", "width", "vs MAGMA", "vs CULA", "vs MKL", "CAQR wins"]);
+    let mut table = Table::new(&[
+        "height",
+        "width",
+        "vs MAGMA",
+        "vs CULA",
+        "vs MKL",
+        "streams",
+        "CAQR wins",
+    ]);
     let mut wins_skinny = 0;
     let mut total_skinny = 0;
     for m in heights {
@@ -29,6 +43,17 @@ fn main() {
             let caqr_s = QrImpl::Caqr.model_seconds(m, n);
             let su = |i: QrImpl| i.model_seconds(m, n) / caqr_s;
             let (sm, sc, sk) = (su(QrImpl::Magma), su(QrImpl::Cula), su(QrImpl::Mkl));
+            let dag_s = model_caqr_dag_seconds(
+                &Gpu::new(DeviceSpec::c2050()),
+                m,
+                n,
+                ScheduleOptions {
+                    caqr: CaqrOptions::default(),
+                    streams: 4,
+                    lookahead: true,
+                },
+            )
+            .unwrap();
             let wins = sm > 1.0 && sc > 1.0;
             if m / n >= 64 {
                 total_skinny += 1;
@@ -42,6 +67,7 @@ fn main() {
                 format!("{sm:.1}x"),
                 format!("{sc:.1}x"),
                 format!("{sk:.1}x"),
+                format!("{:.2}x", caqr_s / dag_s),
                 if wins { "yes" } else { "no" }.to_string(),
             ]);
         }

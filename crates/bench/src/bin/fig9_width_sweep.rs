@@ -11,18 +11,37 @@
 //! ```
 
 use baselines::QrImpl;
-use caqr::CaqrOptions;
+use caqr::schedule::model_caqr_dag_gflops;
+use caqr::{CaqrOptions, ScheduleOptions};
 use caqr_bench::{gf, Table};
 use gpu_sim::{DeviceSpec, Gpu};
 
 const HEIGHT: usize = 8192;
 
 fn main() {
-    let widths = [64usize, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192];
-    let mut table = Table::new(&["width", "CAQR", "MAGMA", "CULA", "MKL", "winner"]);
+    let widths = [
+        64usize, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192,
+    ];
+    let mut table = Table::new(&[
+        "width", "CAQR", "CAQR s=4", "MAGMA", "CULA", "MKL", "winner",
+    ]);
     let mut crossover: Option<usize> = None;
     for n in widths {
-        let g: Vec<f64> = QrImpl::ALL.iter().map(|i| i.model_gflops(HEIGHT, n)).collect();
+        let g: Vec<f64> = QrImpl::ALL
+            .iter()
+            .map(|i| i.model_gflops(HEIGHT, n))
+            .collect();
+        let dag = model_caqr_dag_gflops(
+            &Gpu::new(DeviceSpec::c2050()),
+            HEIGHT,
+            n,
+            ScheduleOptions {
+                caqr: CaqrOptions::default(),
+                streams: 4,
+                lookahead: true,
+            },
+        )
+        .unwrap();
         let best_lib = g[1..].iter().cloned().fold(0.0, f64::max);
         let winner = if g[0] >= best_lib { "CAQR" } else { "library" };
         if g[0] < best_lib && crossover.is_none() {
@@ -31,6 +50,7 @@ fn main() {
         table.row(vec![
             n.to_string(),
             gf(g[0]),
+            gf(dag),
             gf(g[1]),
             gf(g[2]),
             gf(g[3]),

@@ -28,7 +28,15 @@ fn main() {
         (500_000, "500k x 192"),
         (1_000_000, "1M x 192"),
     ];
-    let mut table = Table::new(&["matrix", "CAQR", "MAGMA", "CULA", "MKL", "vs GPU libs", "vs MKL"]);
+    let mut table = Table::new(&[
+        "matrix",
+        "CAQR",
+        "MAGMA",
+        "CULA",
+        "MKL",
+        "vs GPU libs",
+        "vs MKL",
+    ]);
     for (m, label) in sizes {
         let g: Vec<f64> = QrImpl::ALL.iter().map(|i| i.model_gflops(m, 192)).collect();
         let best_gpu_lib = g[1].max(g[2]);

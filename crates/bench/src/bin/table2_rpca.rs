@@ -18,7 +18,12 @@ use rpca::{model_iteration_seconds, model_iterations_per_second, RpcaImpl};
 
 fn main() {
     let paper = [0.9, 8.7, 27.0];
-    let mut table = Table::new(&["SVD type", "modelled it/s", "paper it/s", "ms per iteration"]);
+    let mut table = Table::new(&[
+        "SVD type",
+        "modelled it/s",
+        "paper it/s",
+        "ms per iteration",
+    ]);
     for (i, p) in RpcaImpl::ALL.into_iter().zip(paper) {
         table.row(vec![
             i.name().to_string(),
@@ -53,7 +58,13 @@ fn main() {
 /// higher resolutions only widen CAQR's lead while the small-SVD cost
 /// grows cubically with the frame count).
 fn scaling_sweep() {
-    let mut t = Table::new(&["video matrix", "CPU it/s", "BLAS2 it/s", "CAQR it/s", "CAQR/BLAS2"]);
+    let mut t = Table::new(&[
+        "video matrix",
+        "CPU it/s",
+        "BLAS2 it/s",
+        "CAQR it/s",
+        "CAQR/BLAS2",
+    ]);
     let cases = [
         (110_592usize, 50usize, "288x384, 50 frames"),
         (110_592, 100, "288x384, 100 frames"),

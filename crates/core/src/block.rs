@@ -76,7 +76,10 @@ pub fn tile_panel(row0: usize, rows: usize, h: usize, w: usize) -> Vec<Tile> {
     let mut r = 0;
     while r < rows {
         let take = h.min(rows - r);
-        tiles.push(Tile { start: row0 + r, rows: take });
+        tiles.push(Tile {
+            start: row0 + r,
+            rows: take,
+        });
         r += take;
     }
     // Merge an undersized trailing remainder into its predecessor.
@@ -287,7 +290,7 @@ mod tests {
         let bin = plan_tree(&starts, 2);
         assert_eq!(dev.levels.len(), 2); // 64 -> 8 -> 1
         assert_eq!(bin.levels.len(), 6); // 64 -> 32 -> ... -> 1
-        // Binomial does more, smaller reductions overall.
+                                         // Binomial does more, smaller reductions overall.
         assert!(bin.total_groups() > dev.total_groups());
     }
 

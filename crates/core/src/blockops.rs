@@ -23,7 +23,10 @@ pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usiz
         a.load_tile(tile.start, col0, tile.rows, width, &mut buf);
     }
     let mut tau = vec![T::ZERO; tile.rows.min(width)];
-    geqr2(MatMut::from_parts(&mut buf, tile.rows, width, tile.rows), &mut tau);
+    geqr2(
+        MatMut::from_parts(&mut buf, tile.rows, width, tile.rows),
+        &mut tau,
+    );
     // SAFETY: same tile.
     unsafe {
         a.store_tile(tile.start, col0, tile.rows, width, &buf);
@@ -177,10 +180,30 @@ mod tests {
         let c0m = dense::generate::uniform::<f64>(64, 3, 3);
         let mut c = c0m.clone();
         for (t, tau) in tiles.iter().zip(&taus) {
-            apply_tile_reflectors(MatPtr::new_readonly(&panel), MatPtr::new(&mut c), *t, 0, 4, tau, 0, 3, true);
+            apply_tile_reflectors(
+                MatPtr::new_readonly(&panel),
+                MatPtr::new(&mut c),
+                *t,
+                0,
+                4,
+                tau,
+                0,
+                3,
+                true,
+            );
         }
         for (t, tau) in tiles.iter().zip(&taus) {
-            apply_tile_reflectors(MatPtr::new_readonly(&panel), MatPtr::new(&mut c), *t, 0, 4, tau, 0, 3, false);
+            apply_tile_reflectors(
+                MatPtr::new_readonly(&panel),
+                MatPtr::new(&mut c),
+                *t,
+                0,
+                4,
+                tau,
+                0,
+                3,
+                false,
+            );
         }
         for (x, y) in c.as_slice().iter().zip(c0m.as_slice()) {
             assert!((x - y).abs() < 1e-12);

@@ -89,7 +89,10 @@ mod tests {
                 ratio < 16.0,
                 "({m},{n}): CAQR moves {ratio:.1}x the lower bound — not communication-avoiding"
             );
-            assert!(ratio >= 1.0, "({m},{n}): ledger below the lower bound ({ratio:.2}x)?!");
+            assert!(
+                ratio >= 1.0,
+                "({m},{n}): ledger below the lower bound ({ratio:.2}x)?!"
+            );
         }
     }
 
@@ -100,7 +103,11 @@ mod tests {
         let (m, n) = (1_000_000, 192);
         let blas2 = blas2_qr_words(m, n);
         let bound = qr_bandwidth_lower_bound_words(m, n, fast);
-        assert!(blas2 / bound > 30.0, "BLAS2 at only {:.1}x the bound", blas2 / bound);
+        assert!(
+            blas2 / bound > 30.0,
+            "BLAS2 at only {:.1}x the bound",
+            blas2 / bound
+        );
     }
 
     #[test]

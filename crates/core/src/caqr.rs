@@ -19,7 +19,9 @@ use crate::block::{BlockSize, TreeShape};
 use crate::error::CaqrError;
 use crate::kernels::{PretransposeKernel, THREADS};
 use crate::microkernels::ReductionStrategy;
-use crate::tsqr::{apply_panel_ptr, apply_panel_within, col_blocks, factor_panel_with_tree, PanelFactor};
+use crate::tsqr::{
+    apply_panel_ptr, apply_panel_within, col_blocks, factor_panel_with_tree, PanelFactor,
+};
 use dense::blas2::trsv_upper;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
@@ -49,6 +51,21 @@ impl Default for CaqrOptions {
     }
 }
 
+/// How a [`Caqr`] was launched — the synchronous Figure-4 loop, or the
+/// stream-scheduled task DAG of [`crate::schedule::caqr_dag`]. The two issue
+/// different launch counts for the same shape (the DAG splits trailing
+/// updates into per-stream apply chains), so launch accounting needs to know.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchPlan {
+    /// One factor chain + one whole-trailing apply chain per panel.
+    Sync,
+    /// DAG-scheduled; the scheduler counted its launches as it enqueued them.
+    Dag {
+        /// Exact number of kernel launches the scheduler issued.
+        launches: usize,
+    },
+}
+
 /// A completed CAQR factorization.
 pub struct Caqr<T: Scalar> {
     /// The factored matrix: `R` in the upper triangle, per-panel Householder
@@ -58,11 +75,17 @@ pub struct Caqr<T: Scalar> {
     pub panels: Vec<PanelFactor<T>>,
     /// Options used.
     pub opts: CaqrOptions,
+    /// How the factorization's kernels were issued (for launch accounting).
+    pub launch_plan: LaunchPlan,
 }
 
 /// Factor `a` with CAQR on the simulated GPU. Supports any shape (wide
 /// matrices factor the leading `min(m, n)` panels and update the rest).
-pub fn caqr<T: Scalar>(gpu: &Gpu, mut a: Matrix<T>, opts: CaqrOptions) -> Result<Caqr<T>, CaqrError> {
+pub fn caqr<T: Scalar>(
+    gpu: &Gpu,
+    mut a: Matrix<T>,
+    opts: CaqrOptions,
+) -> Result<Caqr<T>, CaqrError> {
     opts.bs.validate().map_err(CaqrError::BadShape)?;
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
@@ -89,7 +112,8 @@ pub fn caqr<T: Scalar>(gpu: &Gpu, mut a: Matrix<T>, opts: CaqrOptions) -> Result
     while c < k {
         let width = w.min(k - c);
         // Grid redraw: panel p starts at row == its first column.
-        let pf = factor_panel_with_tree(gpu, &mut a, c, c, width, opts.bs, opts.strategy, opts.tree)?;
+        let pf =
+            factor_panel_with_tree(gpu, &mut a, c, c, width, opts.bs, opts.strategy, opts.tree)?;
         if c + width < n {
             apply_panel_within(gpu, &mut a, &pf, c + width, n, true)?;
         }
@@ -97,7 +121,12 @@ pub fn caqr<T: Scalar>(gpu: &Gpu, mut a: Matrix<T>, opts: CaqrOptions) -> Result
         c += width;
     }
 
-    Ok(Caqr { a, panels, opts })
+    Ok(Caqr {
+        a,
+        panels,
+        opts,
+        launch_plan: LaunchPlan::Sync,
+    })
 }
 
 impl<T: Scalar> Caqr<T> {
@@ -173,19 +202,26 @@ impl<T: Scalar> Caqr<T> {
         Ok(x)
     }
 
-    /// Total kernel launches a factorization of this shape issues — exposed
-    /// for the communication/launch accounting tests.
+    /// Total kernel launches this factorization issued — exposed for the
+    /// communication/launch accounting tests. For the synchronous plan the
+    /// count is reconstructed from the panel structure; the DAG scheduler
+    /// records its exact count while enqueueing.
     pub fn launches(&self) -> usize {
-        let mut n = 0;
-        for pf in &self.panels {
-            n += 1 + pf.levels.len(); // factor + factor_tree per level
-            n += if pf.col0 + pf.width < self.a.cols() {
-                1 + pf.levels.len() // apply_qt_h + apply_qt_tree per level
-            } else {
-                0
-            };
+        match self.launch_plan {
+            LaunchPlan::Dag { launches } => launches,
+            LaunchPlan::Sync => {
+                let mut n = 0;
+                for pf in &self.panels {
+                    n += 1 + pf.levels.len(); // factor + factor_tree per level
+                    n += if pf.col0 + pf.width < self.a.cols() {
+                        1 + pf.levels.len() // apply_qt_h + apply_qt_tree per level
+                    } else {
+                        0
+                    };
+                }
+                n + usize::from(self.opts.strategy.needs_pretranspose())
+            }
         }
-        n + usize::from(self.opts.strategy.needs_pretranspose())
     }
 }
 
@@ -360,7 +396,11 @@ mod tests {
         // (column norms are shape-invariant).
         let a = generate::uniform::<f64>(640, 24, 33);
         let mut diags: Vec<Vec<f64>> = Vec::new();
-        for tree in [TreeShape::DeviceArity, TreeShape::Binomial, TreeShape::Arity(3)] {
+        for tree in [
+            TreeShape::DeviceArity,
+            TreeShape::Binomial,
+            TreeShape::Arity(3),
+        ] {
             let g = gpu();
             let o = CaqrOptions {
                 tree,
@@ -373,7 +413,10 @@ mod tests {
         }
         for d in &diags[1..] {
             for (x, y) in d.iter().zip(&diags[0]) {
-                assert!((x - y).abs() < 1e-10, "diagonal magnitude changed with tree shape");
+                assert!(
+                    (x - y).abs() < 1e-10,
+                    "diagonal magnitude changed with tree shape"
+                );
             }
         }
     }

@@ -103,7 +103,12 @@ pub fn apply_qt_tree_block_cost(
 
 /// Cost of one block of the pre-transpose preprocessing pass (strategy 4):
 /// a shared-memory tiled transpose, read and write both coalesced.
-pub fn pretranspose_block_cost(spec: &DeviceSpec, rows: usize, cols: usize, elem_bytes: u64) -> BlockCost {
+pub fn pretranspose_block_cost(
+    spec: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    elem_bytes: u64,
+) -> BlockCost {
     let mut m = CostMeter::new(spec);
     let words = (rows * cols) as u64;
     m.gmem(words, elem_bytes, true);
@@ -167,7 +172,13 @@ impl<'a, T: Scalar> Kernel<T> for FactorKernel<'a, T> {
         LaunchConfig {
             blocks: self.tiles.len(),
             threads_per_block: THREADS,
-            shared_mem_bytes: launch_smem_bytes::<T>(max_rows, self.width, self.width, self.strategy, false),
+            shared_mem_bytes: launch_smem_bytes::<T>(
+                max_rows,
+                self.width,
+                self.width,
+                self.strategy,
+                false,
+            ),
             regs_per_thread: launch_regs(max_rows, self.width, self.strategy),
         }
     }
@@ -216,12 +227,23 @@ impl<'a, T: Scalar> Kernel<T> for FactorTreeKernel<'a, T> {
     }
 
     fn config(&self) -> LaunchConfig {
-        let max_t = self.groups.iter().map(|g| g.members.len()).max().unwrap_or(2);
+        let max_t = self
+            .groups
+            .iter()
+            .map(|g| g.members.len())
+            .max()
+            .unwrap_or(2);
         let rows = max_t * self.width;
         LaunchConfig {
             blocks: self.groups.len(),
             threads_per_block: THREADS,
-            shared_mem_bytes: launch_smem_bytes::<T>(rows, self.width, self.width, self.strategy, false),
+            shared_mem_bytes: launch_smem_bytes::<T>(
+                rows,
+                self.width,
+                self.width,
+                self.strategy,
+                false,
+            ),
             regs_per_thread: launch_regs(rows, self.width, self.strategy),
         }
     }
@@ -235,8 +257,13 @@ impl<'a, T: Scalar> Kernel<T> for FactorTreeKernel<'a, T> {
             self.col0,
             self.width,
         ));
-        ctx.meter
-            .charge(&factor_tree_block_cost(&self.spec, t, self.width, self.strategy, T::BYTES));
+        ctx.meter.charge(&factor_tree_block_cost(
+            &self.spec,
+            t,
+            self.width,
+            self.strategy,
+            T::BYTES,
+        ));
     }
 }
 
@@ -283,7 +310,13 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtHKernel<'a, T> {
         LaunchConfig {
             blocks: self.tiles.len() * self.col_blocks.len(),
             threads_per_block: THREADS,
-            shared_mem_bytes: launch_smem_bytes::<T>(max_rows, self.width, max_wc, self.strategy, true),
+            shared_mem_bytes: launch_smem_bytes::<T>(
+                max_rows,
+                self.width,
+                max_wc,
+                self.strategy,
+                true,
+            ),
             regs_per_thread: launch_regs(max_rows, max_wc, self.strategy),
         }
     }
@@ -347,7 +380,12 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtTreeKernel<'a, T> {
     }
 
     fn config(&self) -> LaunchConfig {
-        let max_t = self.nodes.iter().map(|n| n.members.len()).max().unwrap_or(2);
+        let max_t = self
+            .nodes
+            .iter()
+            .map(|n| n.members.len())
+            .max()
+            .unwrap_or(2);
         let rows = max_t * self.width;
         let max_wc = self.col_blocks.iter().map(|c| c.1).max().unwrap_or(0);
         LaunchConfig {
@@ -410,8 +448,12 @@ impl<T: Scalar> Kernel<T> for PretransposeKernel {
     }
 
     fn run_block(&self, _b: usize, ctx: &mut BlockCtx<T>) {
-        ctx.meter
-            .charge(&pretranspose_block_cost(&self.spec, self.tile_rows, self.tile_cols, T::BYTES));
+        ctx.meter.charge(&pretranspose_block_cost(
+            &self.spec,
+            self.tile_rows,
+            self.tile_cols,
+            T::BYTES,
+        ));
     }
 }
 
@@ -427,7 +469,10 @@ mod tests {
         let f = factor_block_cost(&spec, 128, 16, s, 4);
         assert!(f.flops > 0 && f.gmem_bytes > 0.0 && f.issue_cycles > 0.0);
         let t = factor_tree_block_cost(&spec, 8, 16, s, 4);
-        assert!(t.flops >= f.flops, "an 8x16-stack factor matches a 128-row tile factor");
+        assert!(
+            t.flops >= f.flops,
+            "an 8x16-stack factor matches a 128-row tile factor"
+        );
         let t2 = factor_tree_block_cost(&spec, 2, 16, s, 4);
         assert!(t2.flops < t.flops, "smaller stacks cost less");
         let a = apply_qt_h_block_cost(&spec, 128, 16, 16, s, 4);
@@ -443,10 +488,20 @@ mod tests {
     fn apply_cost_is_compute_bound_for_best_strategy() {
         // The headline claim: CAQR's kernels are compute-bound.
         let spec = DeviceSpec::c2050();
-        let c = apply_qt_h_block_cost(&spec, 128, 16, 16, ReductionStrategy::RegisterSerialTransposed, 4);
+        let c = apply_qt_h_block_cost(
+            &spec,
+            128,
+            16,
+            16,
+            ReductionStrategy::RegisterSerialTransposed,
+            4,
+        );
         let issue_t = c.issue_cycles * spec.cycle_seconds() / spec.sms as f64;
         let dram_t = c.gmem_bytes / (spec.dram_bw_gbs * 1e9);
-        assert!(issue_t > dram_t, "apply_qt_h must be compute-bound: {issue_t} vs {dram_t}");
+        assert!(
+            issue_t > dram_t,
+            "apply_qt_h must be compute-bound: {issue_t} vs {dram_t}"
+        );
     }
 
     #[test]
@@ -460,7 +515,8 @@ mod tests {
                 shared_mem_bytes: launch_smem_bytes::<f32>(bs.h + bs.w, bs.w, bs.w, strategy, true),
                 regs_per_thread: launch_regs(bs.h + bs.w, bs.w, strategy),
             };
-            cfg.validate(&spec).unwrap_or_else(|e| panic!("{strategy}: {e}"));
+            cfg.validate(&spec)
+                .unwrap_or_else(|e| panic!("{strategy}: {e}"));
         }
     }
 }

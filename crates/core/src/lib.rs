@@ -14,7 +14,9 @@
 //!   tuning strategies (55 -> 388 GFLOPS, Section IV-E),
 //! * [`tuning`] — the block-size autotuner (Figure 7),
 //! * [`model`] — the model-only launch replay behind the large figure
-//!   sweeps, provably consistent with execution.
+//!   sweeps, provably consistent with execution,
+//! * [`schedule`] — CAQR as a task DAG on simulated CUDA streams with
+//!   lookahead, bit-identical to the synchronous loop.
 //!
 //! ## Quick start
 //!
@@ -41,12 +43,14 @@ pub mod kernels;
 pub mod microkernels;
 pub mod model;
 pub mod multicore;
+pub mod schedule;
 pub mod tsqr;
 pub mod tuning;
 
 pub use block::{BlockSize, TreeShape};
-pub use caqr::{caqr_qr, Caqr, CaqrOptions};
+pub use caqr::{caqr_qr, Caqr, CaqrOptions, LaunchPlan};
 pub use error::CaqrError;
 pub use microkernels::ReductionStrategy;
 pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
+pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};

@@ -15,7 +15,7 @@ use crate::kernels::{
 };
 use crate::microkernels::{self as mk, ReductionStrategy};
 use crate::tsqr::col_blocks;
-use gpu_sim::{BlockCost, DeviceSpec, Gpu, LaunchConfig};
+use gpu_sim::{BlockCost, DeviceSpec, Exec, Gpu, LaunchConfig};
 
 /// Element size of the paper's single-precision pipeline.
 const ELEM_BYTES: u64 = 4;
@@ -49,7 +49,10 @@ struct CostCache<F: FnMut(usize, usize) -> BlockCost> {
 
 impl<F: FnMut(usize, usize) -> BlockCost> CostCache<F> {
     fn new(make: F) -> Self {
-        CostCache { make, seen: Vec::new() }
+        CostCache {
+            make,
+            seen: Vec::new(),
+        }
     }
     fn get(&mut self, a: usize, b: usize) -> BlockCost {
         if let Some((_, c)) = self.seen.iter().find(|(k, _)| *k == (a, b)) {
@@ -73,7 +76,16 @@ pub fn model_panel(
     bs: BlockSize,
     strategy: ReductionStrategy,
 ) -> Result<f64, CaqrError> {
-    model_panel_with_tree(gpu, m, row0, width, trailing_cols, bs, strategy, TreeShape::DeviceArity)
+    model_panel_with_tree(
+        gpu,
+        m,
+        row0,
+        width,
+        trailing_cols,
+        bs,
+        strategy,
+        TreeShape::DeviceArity,
+    )
 }
 
 /// [`model_panel`] with an explicit tree shape.
@@ -89,15 +101,39 @@ pub fn model_panel_with_tree(
     tree: TreeShape,
 ) -> Result<f64, CaqrError> {
     let t0 = gpu.elapsed();
+    model_factor_chain_on(gpu, Exec::Sync, m, row0, width, bs, strategy, tree)?;
+    if trailing_cols > 0 {
+        let cbs = col_blocks(row0 + width, row0 + width + trailing_cols, bs.w);
+        model_apply_chain_on(gpu, Exec::Sync, m, row0, width, &cbs, bs, strategy, tree)?;
+    }
+    Ok(gpu.elapsed() - t0)
+}
+
+/// Charge one panel-factorization chain (factor + one factor_tree per level)
+/// under an [`Exec`] policy. Returns the number of launches issued — the
+/// stream scheduler's model replay counts launches with this.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn model_factor_chain_on(
+    gpu: &Gpu,
+    exec: Exec,
+    m: usize,
+    row0: usize,
+    width: usize,
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+    tree: TreeShape,
+) -> Result<usize, CaqrError> {
     let spec = gpu.spec().clone();
     let tiles = tile_panel(row0, m - row0, bs.h, bs.w);
     let max_rows = tiles.iter().map(|t| t.rows).max().unwrap_or(0);
 
     // factor — one block per tile, exact per-tile cost.
     {
-        let mut cache = CostCache::new(|rows, _| factor_block_cost(&spec, rows, width, strategy, ELEM_BYTES));
+        let mut cache =
+            CostCache::new(|rows, _| factor_block_cost(&spec, rows, width, strategy, ELEM_BYTES));
         let costs: Vec<BlockCost> = tiles.iter().map(|t| cache.get(t.rows, 0)).collect();
-        gpu.launch_with_costs(
+        gpu.launch_with_costs_on(
+            exec,
             "factor",
             cfg(tiles.len(), max_rows, width, width, strategy, false),
             &costs,
@@ -109,60 +145,107 @@ pub fn model_panel_with_tree(
     let plan = plan_tree(&starts, tree.arity(bs));
     for level in &plan.levels {
         let max_t = level.iter().map(|g| g.members.len()).max().unwrap_or(2);
-        let mut cache = CostCache::new(|t, _| factor_tree_block_cost(&spec, t, width, strategy, ELEM_BYTES));
-        let costs: Vec<BlockCost> = level.iter().map(|g| cache.get(g.members.len(), 0)).collect();
-        gpu.launch_with_costs(
+        let mut cache =
+            CostCache::new(|t, _| factor_tree_block_cost(&spec, t, width, strategy, ELEM_BYTES));
+        let costs: Vec<BlockCost> = level
+            .iter()
+            .map(|g| cache.get(g.members.len(), 0))
+            .collect();
+        gpu.launch_with_costs_on(
+            exec,
             "factor_tree",
             cfg(level.len(), max_t * width, width, width, strategy, false),
             &costs,
         )?;
     }
+    Ok(1 + plan.levels.len())
+}
 
-    // Trailing updates: grid order is (ti = b % ntiles, cb = b / ntiles),
-    // matching ApplyQtHKernel/ApplyQtTreeKernel.
-    if trailing_cols > 0 {
-        let cbs = col_blocks(row0 + width, row0 + width + trailing_cols, bs.w);
-        let max_wc = cbs.iter().map(|c| c.1).max().unwrap_or(0);
-        {
-            let mut cache = CostCache::new(|rows, wc| {
-                apply_qt_h_block_cost(&spec, rows, width.min(rows), wc, strategy, ELEM_BYTES)
-            });
-            let mut costs = Vec::with_capacity(tiles.len() * cbs.len());
-            for &(_, wc) in &cbs {
-                for t in &tiles {
-                    costs.push(cache.get(t.rows, wc));
-                }
-            }
-            gpu.launch_with_costs(
-                "apply_qt_h",
-                cfg(tiles.len() * cbs.len(), max_rows, width, max_wc, strategy, true),
-                &costs,
-            )?;
-        }
-        for level in &plan.levels {
-            let max_t = level.iter().map(|g| g.members.len()).max().unwrap_or(2);
-            let mut cache = CostCache::new(|t, wc| {
-                apply_qt_tree_block_cost(&spec, t, width, wc, strategy, ELEM_BYTES)
-            });
-            let mut costs = Vec::with_capacity(level.len() * cbs.len());
-            for &(_, wc) in &cbs {
-                for g in level {
-                    costs.push(cache.get(g.members.len(), wc));
-                }
-            }
-            gpu.launch_with_costs(
-                "apply_qt_tree",
-                cfg(level.len() * cbs.len(), max_t * width, width, max_wc, strategy, true),
-                &costs,
-            )?;
-        }
+/// Charge one apply chain (apply_qt_h + one apply_qt_tree per level) of the
+/// panel at `(row0, width)` across the column blocks `cols`, under an
+/// [`Exec`] policy. Grid order is (ti = b % ntiles, cb = b / ntiles),
+/// matching ApplyQtHKernel/ApplyQtTreeKernel. Returns the launch count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn model_apply_chain_on(
+    gpu: &Gpu,
+    exec: Exec,
+    m: usize,
+    row0: usize,
+    width: usize,
+    cols: &[(usize, usize)],
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+    tree: TreeShape,
+) -> Result<usize, CaqrError> {
+    if cols.is_empty() {
+        return Ok(0);
     }
-    Ok(gpu.elapsed() - t0)
+    let spec = gpu.spec().clone();
+    let tiles = tile_panel(row0, m - row0, bs.h, bs.w);
+    let max_rows = tiles.iter().map(|t| t.rows).max().unwrap_or(0);
+    let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+    let plan = plan_tree(&starts, tree.arity(bs));
+    let max_wc = cols.iter().map(|c| c.1).max().unwrap_or(0);
+    {
+        let mut cache = CostCache::new(|rows, wc| {
+            apply_qt_h_block_cost(&spec, rows, width.min(rows), wc, strategy, ELEM_BYTES)
+        });
+        let mut costs = Vec::with_capacity(tiles.len() * cols.len());
+        for &(_, wc) in cols {
+            for t in &tiles {
+                costs.push(cache.get(t.rows, wc));
+            }
+        }
+        gpu.launch_with_costs_on(
+            exec,
+            "apply_qt_h",
+            cfg(
+                tiles.len() * cols.len(),
+                max_rows,
+                width,
+                max_wc,
+                strategy,
+                true,
+            ),
+            &costs,
+        )?;
+    }
+    for level in &plan.levels {
+        let max_t = level.iter().map(|g| g.members.len()).max().unwrap_or(2);
+        let mut cache = CostCache::new(|t, wc| {
+            apply_qt_tree_block_cost(&spec, t, width, wc, strategy, ELEM_BYTES)
+        });
+        let mut costs = Vec::with_capacity(level.len() * cols.len());
+        for &(_, wc) in cols {
+            for g in level {
+                costs.push(cache.get(g.members.len(), wc));
+            }
+        }
+        gpu.launch_with_costs_on(
+            exec,
+            "apply_qt_tree",
+            cfg(
+                level.len() * cols.len(),
+                max_t * width,
+                width,
+                max_wc,
+                strategy,
+                true,
+            ),
+            &costs,
+        )?;
+    }
+    Ok(1 + plan.levels.len())
 }
 
 /// Modelled seconds for a full CAQR factorization of an `m x n` matrix
 /// (the engine behind Figures 8/9 and Table I).
-pub fn model_caqr_seconds(gpu: &Gpu, m: usize, n: usize, opts: CaqrOptions) -> Result<f64, CaqrError> {
+pub fn model_caqr_seconds(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: CaqrOptions,
+) -> Result<f64, CaqrError> {
     opts.bs.validate().map_err(CaqrError::BadShape)?;
     let t0 = gpu.elapsed();
     let w = opts.bs.w;
@@ -175,25 +258,66 @@ pub fn model_caqr_seconds(gpu: &Gpu, m: usize, n: usize, opts: CaqrOptions) -> R
     let mut c = 0;
     while c < k {
         let width = w.min(k - c);
-        model_panel_with_tree(gpu, m, c, width, n - c - width, opts.bs, opts.strategy, opts.tree)?;
+        model_panel_with_tree(
+            gpu,
+            m,
+            c,
+            width,
+            n - c - width,
+            opts.bs,
+            opts.strategy,
+            opts.tree,
+        )?;
         c += width;
     }
     Ok(gpu.elapsed() - t0)
 }
 
-fn model_pretranspose(gpu: &Gpu, spec: &DeviceSpec, m: usize, n: usize, bs: BlockSize) -> Result<(), CaqrError> {
+fn model_pretranspose(
+    gpu: &Gpu,
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    bs: BlockSize,
+) -> Result<(), CaqrError> {
     let tiles = m.div_ceil(bs.h) * n.div_ceil(bs.w);
     gpu.launch_uniform(
         "pretranspose",
-        LaunchConfig {
-            blocks: tiles,
-            threads_per_block: THREADS,
-            shared_mem_bytes: bs.h * bs.w * ELEM_BYTES as usize,
-            regs_per_thread: 16,
-        },
+        pretranspose_cfg(tiles, bs),
         &pretranspose_block_cost(spec, bs.h, bs.w, ELEM_BYTES),
     )?;
     Ok(())
+}
+
+fn pretranspose_cfg(tiles: usize, bs: BlockSize) -> LaunchConfig {
+    LaunchConfig {
+        blocks: tiles,
+        threads_per_block: THREADS,
+        shared_mem_bytes: bs.h * bs.w * ELEM_BYTES as usize,
+        regs_per_thread: 16,
+    }
+}
+
+/// Charge the pretranspose pass under an [`Exec`] policy (the synchronous
+/// path keeps the allocation-free `launch_uniform`; streams need explicit
+/// per-block costs for the queue).
+pub(crate) fn model_pretranspose_on(
+    gpu: &Gpu,
+    exec: Exec,
+    m: usize,
+    n: usize,
+    bs: BlockSize,
+) -> Result<(), CaqrError> {
+    match exec {
+        Exec::Sync => model_pretranspose(gpu, gpu.spec(), m, n, bs),
+        Exec::Stream(_) => {
+            let tiles = m.div_ceil(bs.h) * n.div_ceil(bs.w);
+            let per = pretranspose_block_cost(gpu.spec(), bs.h, bs.w, ELEM_BYTES);
+            let costs = vec![per; tiles];
+            gpu.launch_with_costs_on(exec, "pretranspose", pretranspose_cfg(tiles, bs), &costs)?;
+            Ok(())
+        }
+    }
 }
 
 /// Modelled seconds for applying `Q^T` (or generating explicit `Q`) from a
@@ -223,7 +347,14 @@ pub fn model_caqr_apply_seconds(
         gpu.launch_uniform(
             "apply_qt_h",
             cfg(tiles.len() * ncb, max_rows, width, w, opts.strategy, true),
-            &apply_qt_h_block_cost(&spec, opts.bs.h.min(max_rows), width, w, opts.strategy, ELEM_BYTES),
+            &apply_qt_h_block_cost(
+                &spec,
+                opts.bs.h.min(max_rows),
+                width,
+                w,
+                opts.strategy,
+                ELEM_BYTES,
+            ),
         )?;
         for level in &plan.levels {
             let t = level.iter().map(|g| g.members.len()).max().unwrap_or(2);
@@ -241,7 +372,12 @@ pub fn model_caqr_apply_seconds(
 /// Modelled SGEQRF GFLOP/s for CAQR on an `m x n` single-precision matrix —
 /// the paper's reporting convention (`2mn^2 - 2/3 n^3` useful flops over the
 /// modelled time, matrix already resident on the GPU).
-pub fn model_caqr_gflops(gpu: &Gpu, m: usize, n: usize, opts: CaqrOptions) -> Result<f64, CaqrError> {
+pub fn model_caqr_gflops(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: CaqrOptions,
+) -> Result<f64, CaqrError> {
     let secs = model_caqr_seconds(gpu, m, n, opts)?;
     Ok(dense::geqrf_flops(m, n) / secs / 1.0e9)
 }
@@ -270,7 +406,12 @@ mod tests {
 
         assert_eq!(exec.calls, modeled.calls, "launch counts must match");
         let dt = (exec.seconds - modeled.seconds).abs() / exec.seconds;
-        assert!(dt < tol, "time mismatch {dt}: {} vs {}", exec.seconds, modeled.seconds);
+        assert!(
+            dt < tol,
+            "time mismatch {dt}: {} vs {}",
+            exec.seconds,
+            modeled.seconds
+        );
         let df = (exec.flops - modeled.flops).abs() / exec.flops.max(1.0);
         assert!(df < tol, "flop mismatch {df}");
         let db = (exec.dram_bytes - modeled.dram_bytes).abs() / exec.dram_bytes.max(1.0);
@@ -297,7 +438,10 @@ mod tests {
         let g10k = model_caqr_gflops(&g, 10_000, 192, opts).unwrap();
         let g100k = model_caqr_gflops(&g, 100_000, 192, opts).unwrap();
         let g1m = model_caqr_gflops(&g, 1_000_000, 192, opts).unwrap();
-        assert!(g1k < g10k && g10k < g100k && g100k <= g1m * 1.05, "{g1k} {g10k} {g100k} {g1m}");
+        assert!(
+            g1k < g10k && g10k < g100k && g100k <= g1m * 1.05,
+            "{g1k} {g10k} {g100k} {g1m}"
+        );
         // Headline scale: ~200 GFLOP/s at the largest size (paper: 195).
         assert!(g1m > 120.0 && g1m < 320.0, "1M x 192 modelled at {g1m}");
         // Small sizes are launch-bound and far below peak (paper: 39.6).

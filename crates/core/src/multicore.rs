@@ -176,7 +176,10 @@ fn apply_panel_cpu<T: Scalar>(
 }
 
 /// Factor `a` with host-multicore CAQR.
-pub fn caqr_cpu<T: Scalar>(mut a: Matrix<T>, opts: CpuCaqrOptions) -> Result<CpuCaqr<T>, CaqrError> {
+pub fn caqr_cpu<T: Scalar>(
+    mut a: Matrix<T>,
+    opts: CpuCaqrOptions,
+) -> Result<CpuCaqr<T>, CaqrError> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));

@@ -1,0 +1,555 @@
+//! DAG-scheduled CAQR: the Figure-4 host loop re-expressed as a task graph
+//! (panel TSQR chains, per-column-block trailing updates) mapped onto
+//! simulated CUDA streams, with optional lookahead — panel `k+1` is factored
+//! as soon as its own column block has been updated by panel `k`, while the
+//! bulk trailing update of panel `k` is still in flight on other streams.
+//!
+//! # Stream assignment and correctness
+//!
+//! Columns are partitioned into a *fixed* global grid of `w`-wide blocks
+//! (block `j` covers columns `[j*w, min((j+1)*w, n))`), and block `j` is
+//! permanently owned by stream `j % s`. Every operation that touches block
+//! `j` — each panel's apply and, when `j` indexes a panel, its factor — is
+//! queued on that one stream, so in-stream FIFO order alone gives each
+//! column block the same operation sequence the synchronous loop issues.
+//! The only cross-stream dependencies are "apply of panel `k` needs the
+//! factor of panel `k`", expressed with one recorded event per factor chain.
+//!
+//! Numerics are *bit-identical* to [`crate::caqr::caqr`]: the simulator runs
+//! kernel arithmetic eagerly at enqueue time in host order (a valid
+//! topological order of this DAG), operations on disjoint column blocks
+//! commute exactly, and within the apply kernels each column is processed
+//! independently of how columns are grouped into launches. The equivalence
+//! tests in `tests/stream_scheduling.rs` assert this across shapes.
+
+use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};
+use crate::error::CaqrError;
+use crate::kernels::PretransposeKernel;
+use crate::model::{model_apply_chain_on, model_factor_chain_on, model_pretranspose_on};
+use crate::tsqr::{apply_panel_ptr_on, factor_panel_with_tree_on, PanelFactor};
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{EventId, Exec, Gpu, StreamId, Timeline};
+
+/// Options for a stream-scheduled CAQR factorization.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleOptions {
+    /// The numerical configuration (block size, strategy, tree shape).
+    pub caqr: CaqrOptions,
+    /// Number of streams to spread the DAG over. `1` degenerates to the
+    /// synchronous schedule (identical modelled time up to the extra apply
+    /// chain the lookahead split issues).
+    pub streams: usize,
+    /// Factor panel `k+1` as soon as panel `k` has updated its column block,
+    /// ahead of panel `k`'s bulk trailing update. `false` reproduces the
+    /// barrier schedule: each factor waits for the whole previous update.
+    pub lookahead: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            caqr: CaqrOptions::default(),
+            streams: 4,
+            lookahead: true,
+        }
+    }
+}
+
+/// The static shape of one panel step of the DAG — shared by the executing
+/// scheduler and its model-only replay so the two enqueue, event-for-event,
+/// the same schedule.
+struct PanelStep {
+    /// Panel index.
+    p: usize,
+    /// First column (== first row) of the panel.
+    c: usize,
+    /// Panel width.
+    width: usize,
+}
+
+/// Driver-independent schedule geometry.
+struct Dag {
+    w: usize,
+    n: usize,
+    /// Global column-grid block count.
+    nb: usize,
+    /// Panel steps over the leading `min(m, n)` columns.
+    steps: Vec<PanelStep>,
+    streams: Vec<StreamId>,
+}
+
+impl Dag {
+    fn new(gpu: &Gpu, m: usize, n: usize, opts: &ScheduleOptions) -> Result<Dag, CaqrError> {
+        opts.caqr.bs.validate().map_err(CaqrError::BadShape)?;
+        if m == 0 || n == 0 {
+            return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+        }
+        if opts.streams == 0 {
+            return Err(CaqrError::BadShape("streams must be >= 1".into()));
+        }
+        let w = opts.caqr.bs.w;
+        let k = m.min(n);
+        let mut steps = Vec::with_capacity(k.div_ceil(w));
+        let mut c = 0;
+        while c < k {
+            let width = w.min(k - c);
+            steps.push(PanelStep {
+                p: steps.len(),
+                c,
+                width,
+            });
+            c += width;
+        }
+        Ok(Dag {
+            w,
+            n,
+            nb: n.div_ceil(w),
+            steps,
+            streams: (0..opts.streams).map(|_| gpu.create_stream()).collect(),
+        })
+    }
+
+    /// Home stream index of global column block `j`.
+    fn home(&self, j: usize) -> usize {
+        j % self.streams.len()
+    }
+
+    fn stream(&self, j: usize) -> StreamId {
+        self.streams[self.home(j)]
+    }
+
+    /// The fixed-grid column block `j`.
+    fn block(&self, j: usize) -> (usize, usize) {
+        let start = j * self.w;
+        (start, self.w.min(self.n - start))
+    }
+
+    /// The trailing column ranges panel `step` must update, already
+    /// partitioned by home stream: fixed-grid blocks `first_block..nb`, plus
+    /// — for a narrow last panel of a wide matrix — the tail of the panel's
+    /// own block (columns `[c + width, min((p+1)*w, n))`), which stays on
+    /// the panel's stream.
+    fn groups(&self, step: &PanelStep, first_block: usize) -> Vec<Vec<(usize, usize)>> {
+        let s = self.streams.len();
+        let mut groups = vec![Vec::new(); s];
+        let tail_end = ((step.p + 1) * self.w).min(self.n);
+        if step.c + step.width < tail_end {
+            groups[self.home(step.p)].push((step.c + step.width, tail_end - step.c - step.width));
+        }
+        for j in first_block..self.nb {
+            groups[self.home(j)].push(self.block(j));
+        }
+        groups
+    }
+}
+
+/// Factor `a` with stream-scheduled CAQR. The result is numerically
+/// bit-identical to [`crate::caqr::caqr`] with `opts.caqr`; the returned
+/// [`Timeline`] holds the resolved per-stream kernel intervals (its
+/// `makespan` is what [`Gpu::elapsed`] advanced by).
+pub fn caqr_dag<T: Scalar>(
+    gpu: &Gpu,
+    mut a: Matrix<T>,
+    opts: ScheduleOptions,
+) -> Result<(Caqr<T>, Timeline), CaqrError> {
+    let (m, n) = a.shape();
+    let dag = Dag::new(gpu, m, n, &opts)?;
+    let o = opts.caqr;
+    let mut launches = 0usize;
+
+    // Strategy 4's out-of-place preprocessing, queued ahead of the first
+    // factor on its stream; every other stream's first op waits (directly or
+    // transitively) on the first factor's event, so no extra event is needed.
+    if o.strategy.needs_pretranspose() {
+        let tiles = m.div_ceil(o.bs.h) * n.div_ceil(o.bs.w);
+        let kernel = PretransposeKernel {
+            blocks: tiles,
+            tile_rows: o.bs.h,
+            tile_cols: o.bs.w,
+            spec: gpu.spec().clone(),
+        };
+        gpu.launch_on::<T>(Exec::Stream(dag.streams[0]), &kernel)?;
+        launches += 1;
+    }
+
+    let npanels = dag.steps.len();
+    let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(npanels);
+    // Barrier mode: apply-completion events the next factor must wait on.
+    let mut pending: Vec<EventId> = Vec::new();
+    // Lookahead mode: the next panel's factor, done ahead of schedule.
+    let mut next: Option<(PanelFactor<T>, EventId)> = None;
+
+    for p in 0..npanels {
+        let step = &dag.steps[p];
+        let (pf, f_ev) = match next.take() {
+            Some(x) => x,
+            None => {
+                let sid = dag.stream(p);
+                for ev in pending.drain(..) {
+                    gpu.wait_event(sid, ev);
+                }
+                let pf = factor_panel_with_tree_on(
+                    gpu,
+                    Exec::Stream(sid),
+                    &mut a,
+                    step.c,
+                    step.c,
+                    step.width,
+                    o.bs,
+                    o.strategy,
+                    o.tree,
+                )?;
+                launches += 1 + pf.levels.len();
+                let ev = gpu.record_event(sid);
+                (pf, ev)
+            }
+        };
+        let chain = 1 + pf.levels.len();
+
+        if opts.lookahead && p + 1 < npanels {
+            // Lookahead: update only the next panel's column block, factor
+            // it immediately, then fan the bulk update out to every stream.
+            let sid_next = dag.stream(p + 1);
+            if dag.home(p + 1) != dag.home(p) {
+                gpu.wait_event(sid_next, f_ev);
+            }
+            let ap = MatPtr::new(&mut a);
+            apply_panel_ptr_on(
+                gpu,
+                Exec::Stream(sid_next),
+                ap,
+                ap,
+                &pf,
+                &[dag.block(p + 1)],
+                true,
+            )?;
+            launches += chain;
+
+            let nstep = &dag.steps[p + 1];
+            let pf2 = factor_panel_with_tree_on(
+                gpu,
+                Exec::Stream(sid_next),
+                &mut a,
+                nstep.c,
+                nstep.c,
+                nstep.width,
+                o.bs,
+                o.strategy,
+                o.tree,
+            )?;
+            launches += 1 + pf2.levels.len();
+            let ev2 = gpu.record_event(sid_next);
+            next = Some((pf2, ev2));
+
+            let ap = MatPtr::new(&mut a);
+            for (t, cols) in dag.groups(step, p + 2).into_iter().enumerate() {
+                if cols.is_empty() {
+                    continue;
+                }
+                if t != dag.home(p) {
+                    gpu.wait_event(dag.streams[t], f_ev);
+                }
+                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, ap, &pf, &cols, true)?;
+                launches += chain;
+            }
+        } else {
+            // Barrier mode (and the last panel of either mode): fan the
+            // whole trailing update out, one apply chain per stream.
+            let ap = MatPtr::new(&mut a);
+            for (t, cols) in dag.groups(step, p + 1).into_iter().enumerate() {
+                if cols.is_empty() {
+                    continue;
+                }
+                if t != dag.home(p) {
+                    gpu.wait_event(dag.streams[t], f_ev);
+                }
+                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, ap, &pf, &cols, true)?;
+                launches += chain;
+                if !opts.lookahead && p + 1 < npanels {
+                    pending.push(gpu.record_event(dag.streams[t]));
+                }
+            }
+        }
+        panels.push(pf);
+    }
+
+    let timeline = gpu.synchronize();
+    Ok((
+        Caqr {
+            a,
+            panels,
+            opts: o,
+            launch_plan: LaunchPlan::Dag { launches },
+        },
+        timeline,
+    ))
+}
+
+/// Model-only replay of [`caqr_dag`] for an `m x n` single-precision matrix:
+/// the same streams, events and launch sequence, with per-block costs from
+/// the analytic cost functions instead of execution — so Table-I-scale
+/// shapes (1M x 192) can be scheduled without 768 MB of arithmetic. Returns
+/// the modelled seconds (the schedule's makespan).
+pub fn model_caqr_dag_seconds(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: ScheduleOptions,
+) -> Result<f64, CaqrError> {
+    Ok(model_caqr_dag_timeline(gpu, m, n, opts)?.0)
+}
+
+/// [`model_caqr_dag_seconds`], also returning the resolved [`Timeline`]
+/// (for per-stream interval inspection and Chrome trace export).
+pub fn model_caqr_dag_timeline(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: ScheduleOptions,
+) -> Result<(f64, Timeline), CaqrError> {
+    let t0 = gpu.elapsed();
+    let dag = Dag::new(gpu, m, n, &opts)?;
+    let o = opts.caqr;
+
+    if o.strategy.needs_pretranspose() {
+        model_pretranspose_on(gpu, Exec::Stream(dag.streams[0]), m, n, o.bs)?;
+    }
+
+    let npanels = dag.steps.len();
+    let mut pending: Vec<EventId> = Vec::new();
+    let mut next: Option<EventId> = None;
+
+    for p in 0..npanels {
+        let step = &dag.steps[p];
+        let f_ev = match next.take() {
+            Some(ev) => ev,
+            None => {
+                let sid = dag.stream(p);
+                for ev in pending.drain(..) {
+                    gpu.wait_event(sid, ev);
+                }
+                model_factor_chain_on(
+                    gpu,
+                    Exec::Stream(sid),
+                    m,
+                    step.c,
+                    step.width,
+                    o.bs,
+                    o.strategy,
+                    o.tree,
+                )?;
+                gpu.record_event(sid)
+            }
+        };
+
+        if opts.lookahead && p + 1 < npanels {
+            let sid_next = dag.stream(p + 1);
+            if dag.home(p + 1) != dag.home(p) {
+                gpu.wait_event(sid_next, f_ev);
+            }
+            model_apply_chain_on(
+                gpu,
+                Exec::Stream(sid_next),
+                m,
+                step.c,
+                step.width,
+                &[dag.block(p + 1)],
+                o.bs,
+                o.strategy,
+                o.tree,
+            )?;
+            let nstep = &dag.steps[p + 1];
+            model_factor_chain_on(
+                gpu,
+                Exec::Stream(sid_next),
+                m,
+                nstep.c,
+                nstep.width,
+                o.bs,
+                o.strategy,
+                o.tree,
+            )?;
+            next = Some(gpu.record_event(sid_next));
+
+            for (t, cols) in dag.groups(step, p + 2).into_iter().enumerate() {
+                if cols.is_empty() {
+                    continue;
+                }
+                if t != dag.home(p) {
+                    gpu.wait_event(dag.streams[t], f_ev);
+                }
+                model_apply_chain_on(
+                    gpu,
+                    Exec::Stream(dag.streams[t]),
+                    m,
+                    step.c,
+                    step.width,
+                    &cols,
+                    o.bs,
+                    o.strategy,
+                    o.tree,
+                )?;
+            }
+        } else {
+            for (t, cols) in dag.groups(step, p + 1).into_iter().enumerate() {
+                if cols.is_empty() {
+                    continue;
+                }
+                if t != dag.home(p) {
+                    gpu.wait_event(dag.streams[t], f_ev);
+                }
+                model_apply_chain_on(
+                    gpu,
+                    Exec::Stream(dag.streams[t]),
+                    m,
+                    step.c,
+                    step.width,
+                    &cols,
+                    o.bs,
+                    o.strategy,
+                    o.tree,
+                )?;
+                if !opts.lookahead && p + 1 < npanels {
+                    pending.push(gpu.record_event(dag.streams[t]));
+                }
+            }
+        }
+    }
+
+    let tl = gpu.synchronize();
+    Ok((gpu.elapsed() - t0, tl))
+}
+
+/// Convenience mirror of [`crate::model::model_caqr_gflops`] for the
+/// stream-scheduled path (SGEQRF flops over the DAG's modelled makespan).
+pub fn model_caqr_dag_gflops(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: ScheduleOptions,
+) -> Result<f64, CaqrError> {
+    let secs = model_caqr_dag_seconds(gpu, m, n, opts)?;
+    Ok(dense::geqrf_flops(m, n) / secs / 1.0e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockSize, TreeShape};
+    use crate::caqr::caqr;
+    use crate::microkernels::ReductionStrategy;
+    use dense::generate;
+    use gpu_sim::DeviceSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::c2050())
+    }
+
+    fn opts(streams: usize, lookahead: bool) -> ScheduleOptions {
+        ScheduleOptions {
+            caqr: CaqrOptions {
+                bs: BlockSize { h: 32, w: 8 },
+                strategy: ReductionStrategy::RegisterSerialTransposed,
+                tree: TreeShape::DeviceArity,
+            },
+            streams,
+            lookahead,
+        }
+    }
+
+    #[test]
+    fn dag_r_is_bit_identical_to_synchronous() {
+        for &(m, n) in &[(256usize, 24usize), (213, 29), (40, 70), (200, 8)] {
+            let a = generate::uniform::<f64>(m, n, 77);
+            let sync = caqr(&gpu(), a.clone(), opts(4, true).caqr).unwrap();
+            for &s in &[1usize, 2, 4, 5] {
+                for &la in &[false, true] {
+                    let (f, _tl) = caqr_dag(&gpu(), a.clone(), opts(s, la)).unwrap();
+                    for j in 0..n {
+                        for i in 0..m {
+                            assert_eq!(
+                                f.a[(i, j)],
+                                sync.a[(i, j)],
+                                "factored matrix diverged at ({i},{j}) for {m}x{n} s={s} la={la}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_launch_count_matches_ledger() {
+        for &la in &[false, true] {
+            let g = gpu();
+            let a = generate::uniform::<f64>(256, 24, 31);
+            let (f, _tl) = caqr_dag(&g, a, opts(3, la)).unwrap();
+            assert_eq!(f.launches() as u64, g.ledger().calls, "lookahead={la}");
+        }
+    }
+
+    #[test]
+    fn model_replay_matches_execution() {
+        for &(m, n) in &[(256usize, 32usize), (301, 27), (64, 80)] {
+            for &s in &[1usize, 3, 4] {
+                for &la in &[false, true] {
+                    let o = opts(s, la);
+                    let g1 = gpu();
+                    let a = generate::uniform::<f32>(m, n, 42);
+                    let (f, _tl) = caqr_dag(&g1, a, o).unwrap();
+                    let exec = g1.ledger();
+
+                    let g2 = gpu();
+                    let secs = model_caqr_dag_seconds(&g2, m, n, o).unwrap();
+                    let modeled = g2.ledger();
+
+                    assert_eq!(exec.calls, modeled.calls, "{m}x{n} s={s} la={la}");
+                    assert_eq!(f.launches() as u64, modeled.calls);
+                    let dt = (exec.seconds - modeled.seconds).abs() / exec.seconds;
+                    assert!(
+                        dt < 1e-9,
+                        "{m}x{n} s={s} la={la}: {} vs {}",
+                        exec.seconds,
+                        modeled.seconds
+                    );
+                    assert!((secs - exec.seconds).abs() / exec.seconds < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_beats_barrier_on_tall_skinny() {
+        // Launch-bound Table-I-style shape: overlapping the next factor with
+        // the trailing update must shorten the modelled makespan.
+        let o = ScheduleOptions {
+            caqr: CaqrOptions::default(),
+            streams: 4,
+            lookahead: true,
+        };
+        let t_look = model_caqr_dag_seconds(&gpu(), 100_000, 192, o).unwrap();
+        let t_barrier = model_caqr_dag_seconds(
+            &gpu(),
+            100_000,
+            192,
+            ScheduleOptions {
+                lookahead: false,
+                ..o
+            },
+        )
+        .unwrap();
+        assert!(
+            t_look < t_barrier,
+            "lookahead {t_look} should beat barrier {t_barrier}"
+        );
+    }
+
+    #[test]
+    fn zero_streams_rejected() {
+        let a = generate::uniform::<f64>(64, 16, 1);
+        assert!(caqr_dag(&gpu(), a, opts(0, true)).is_err());
+    }
+}

@@ -14,7 +14,7 @@ use crate::microkernels::ReductionStrategy;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
 use dense::MatPtr;
-use gpu_sim::Gpu;
+use gpu_sim::{Exec, Gpu};
 use parking_lot::Mutex;
 
 /// One factored reduction-tree group: the stacked `(t*w) x w` Householder
@@ -76,7 +76,16 @@ pub fn factor_panel<T: Scalar>(
     bs: BlockSize,
     strategy: ReductionStrategy,
 ) -> Result<PanelFactor<T>, CaqrError> {
-    factor_panel_with_tree(gpu, a, row0, col0, width, bs, strategy, TreeShape::DeviceArity)
+    factor_panel_with_tree(
+        gpu,
+        a,
+        row0,
+        col0,
+        width,
+        bs,
+        strategy,
+        TreeShape::DeviceArity,
+    )
 }
 
 /// [`factor_panel`] with an explicit reduction-tree shape (Section II-B's
@@ -84,6 +93,26 @@ pub fn factor_panel<T: Scalar>(
 #[allow(clippy::too_many_arguments)]
 pub fn factor_panel_with_tree<T: Scalar>(
     gpu: &Gpu,
+    a: &mut Matrix<T>,
+    row0: usize,
+    col0: usize,
+    width: usize,
+    bs: BlockSize,
+    strategy: ReductionStrategy,
+    tree: TreeShape,
+) -> Result<PanelFactor<T>, CaqrError> {
+    factor_panel_with_tree_on(gpu, Exec::Sync, a, row0, col0, width, bs, strategy, tree)
+}
+
+/// [`factor_panel_with_tree`] under an explicit [`Exec`] policy. With
+/// `Exec::Stream` the factor and tree launches are queued in order on that
+/// stream; the arithmetic (and therefore the returned [`PanelFactor`]) is
+/// complete when this returns either way — only the modelled timing defers
+/// to `Gpu::synchronize`.
+#[allow(clippy::too_many_arguments)]
+pub fn factor_panel_with_tree_on<T: Scalar>(
+    gpu: &Gpu,
+    exec: Exec,
     a: &mut Matrix<T>,
     row0: usize,
     col0: usize,
@@ -116,7 +145,7 @@ pub fn factor_panel_with_tree<T: Scalar>(
             spec: spec.clone(),
             taus: &taus_slots,
         };
-        gpu.launch(&kernel)?;
+        gpu.launch_on(exec, &kernel)?;
     }
     let taus0: Vec<Vec<T>> = taus_slots.into_iter().map(|m| m.into_inner()).collect();
 
@@ -137,11 +166,14 @@ pub fn factor_panel_with_tree<T: Scalar>(
                 spec: spec.clone(),
                 out: &out,
             };
-            gpu.launch(&kernel)?;
+            gpu.launch_on(exec, &kernel)?;
         }
         let nodes: Vec<TreeNode<T>> = out
             .into_iter()
-            .map(|m| m.into_inner().expect("factor_tree block did not produce a node"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("factor_tree block did not produce a node")
+            })
             .collect();
         levels.push(nodes);
     }
@@ -173,6 +205,21 @@ pub fn apply_panel_ptr<T: Scalar>(
     cols: &[(usize, usize)],
     transpose: bool,
 ) -> Result<(), CaqrError> {
+    apply_panel_ptr_on(gpu, Exec::Sync, v, c, pf, cols, transpose)
+}
+
+/// [`apply_panel_ptr`] under an explicit [`Exec`] policy (the apply chain —
+/// horizontal kernel plus one kernel per tree level — is queued in order on
+/// the stream when `Exec::Stream`).
+pub fn apply_panel_ptr_on<T: Scalar>(
+    gpu: &Gpu,
+    exec: Exec,
+    v: MatPtr<T>,
+    c: MatPtr<T>,
+    pf: &PanelFactor<T>,
+    cols: &[(usize, usize)],
+    transpose: bool,
+) -> Result<(), CaqrError> {
     if cols.is_empty() {
         return Ok(());
     }
@@ -190,7 +237,7 @@ pub fn apply_panel_ptr<T: Scalar>(
             strategy: pf.strategy,
             spec: spec.clone(),
         };
-        gpu.launch(&kernel)?;
+        gpu.launch_on(exec, &kernel)?;
         Ok(())
     };
     let tree_level = |gpu: &Gpu, nodes: &[TreeNode<T>]| -> Result<(), CaqrError> {
@@ -203,7 +250,7 @@ pub fn apply_panel_ptr<T: Scalar>(
             strategy: pf.strategy,
             spec: spec.clone(),
         };
-        gpu.launch(&kernel)?;
+        gpu.launch_on(exec, &kernel)?;
         Ok(())
     };
 
@@ -251,7 +298,11 @@ pub fn apply_panel_to<T: Scalar>(
     target: &mut Matrix<T>,
     transpose: bool,
 ) -> Result<(), CaqrError> {
-    assert_eq!(a.rows(), target.rows(), "row mismatch between factor and target");
+    assert_eq!(
+        a.rows(),
+        target.rows(),
+        "row mismatch between factor and target"
+    );
     let cols = col_blocks(0, target.cols(), pf.bs.w);
     apply_panel_ptr(
         gpu,
@@ -346,7 +397,13 @@ mod tests {
     fn check_tsqr(m: usize, n: usize, bs: BlockSize, seed: u64) {
         let a = generate::uniform::<f64>(m, n, seed);
         let g = gpu();
-        let f = tsqr(&g, a.clone(), bs, ReductionStrategy::RegisterSerialTransposed).unwrap();
+        let f = tsqr(
+            &g,
+            a.clone(),
+            bs,
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         let r = f.r();
         let q = f.generate_q(&g).unwrap();
         let rec = reconstruction_error(&a, &q, &r);
@@ -391,8 +448,13 @@ mod tests {
         let n = 12;
         let a = generate::uniform::<f64>(m, n, 8);
         let g = gpu();
-        let f = tsqr(&g, a.clone(), BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
-            .unwrap();
+        let f = tsqr(
+            &g,
+            a.clone(),
+            BlockSize { h: 64, w: 16 },
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         let r_tsqr = f.r();
         let mut af = a.clone();
         let tau = dense::blocked::geqrf(&mut af, 8);
@@ -413,8 +475,13 @@ mod tests {
     fn apply_qt_then_q_is_identity() {
         let a = generate::uniform::<f64>(400, 10, 9);
         let g = gpu();
-        let f = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
-            .unwrap();
+        let f = tsqr(
+            &g,
+            a,
+            BlockSize { h: 64, w: 16 },
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         let c0 = generate::uniform::<f64>(400, 3, 10);
         let mut c = c0.clone();
         f.apply_qt(&g, &mut c).unwrap();
@@ -430,8 +497,13 @@ mod tests {
     fn qt_a_equals_r_stacked_with_zeros() {
         let a = generate::uniform::<f64>(333, 8, 11);
         let g = gpu();
-        let f = tsqr(&g, a.clone(), BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
-            .unwrap();
+        let f = tsqr(
+            &g,
+            a.clone(),
+            BlockSize { h: 64, w: 16 },
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         let mut c = a.clone();
         f.apply_qt(&g, &mut c).unwrap();
         let r = f.r();
@@ -450,7 +522,12 @@ mod tests {
     fn wide_panel_rejected() {
         let g = gpu();
         let a = generate::uniform::<f64>(100, 40, 12);
-        let e = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed);
+        let e = tsqr(
+            &g,
+            a,
+            BlockSize { h: 64, w: 16 },
+            ReductionStrategy::RegisterSerialTransposed,
+        );
         assert!(matches!(e, Err(CaqrError::BadShape(_))));
     }
 
@@ -458,8 +535,13 @@ mod tests {
     fn ledger_records_expected_kernel_mix() {
         let g = gpu();
         let a = generate::uniform::<f64>(4096, 16, 13);
-        let _f = tsqr(&g, a, BlockSize { h: 64, w: 16 }, ReductionStrategy::RegisterSerialTransposed)
-            .unwrap();
+        let _f = tsqr(
+            &g,
+            a,
+            BlockSize { h: 64, w: 16 },
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         let l = g.ledger();
         // 64 tiles, quad tree: levels of 16, 4, 1 -> 3 factor_tree launches.
         assert_eq!(l.per_op["factor"].calls, 1);

@@ -53,6 +53,49 @@ pub fn autotune(spec: &DeviceSpec, strategy: ReductionStrategy) -> TunedPoint {
         .expect("non-empty candidate grid")
 }
 
+/// One scored stream-count candidate for the DAG schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct TunedStreams {
+    /// Stream count.
+    pub streams: usize,
+    /// Lookahead on/off.
+    pub lookahead: bool,
+    /// Modelled seconds for the whole factorization.
+    pub seconds: f64,
+}
+
+/// Sweep the stream count (and lookahead) of the DAG schedule for an
+/// `m x n` factorization and return every candidate, best first — the
+/// streams analogue of [`figure7_surface`]. Candidates that fail to
+/// schedule are skipped.
+pub fn tune_streams(
+    spec: &DeviceSpec,
+    m: usize,
+    n: usize,
+    opts: crate::CaqrOptions,
+) -> Vec<TunedStreams> {
+    let mut out = Vec::new();
+    for &streams in &[1usize, 2, 4, 8] {
+        for &lookahead in &[false, true] {
+            let gpu = gpu_sim::Gpu::new(spec.clone());
+            let so = crate::ScheduleOptions {
+                caqr: opts,
+                streams,
+                lookahead,
+            };
+            if let Ok(seconds) = crate::schedule::model_caqr_dag_seconds(&gpu, m, n, so) {
+                out.push(TunedStreams {
+                    streams,
+                    lookahead,
+                    seconds,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap());
+    out
+}
+
 /// Algorithm choice for a given matrix shape (the autotuning framework the
 /// paper sketches in Section V-C: "a different algorithm may be chosen
 /// depending on the matrix size").
@@ -86,7 +129,8 @@ pub fn select_algorithm(spec: &DeviceSpec, m: usize, n: usize) -> QrAlgorithm {
         let jb = nb.min(k - j);
         let mp = (m - j) as f64;
         // Panel: each reflector streams the remaining panel (read+write).
-        bh_secs += 4.0 * mp * (jb * jb) as f64 / bw + jb as f64 * 2.0 * spec.launch_overhead_us * 1e-6;
+        bh_secs +=
+            4.0 * mp * (jb * jb) as f64 / bw + jb as f64 * 2.0 * spec.launch_overhead_us * 1e-6;
         // Trailing update at GEMM rate.
         let nc = (n - j - jb) as f64;
         if nc > 0.0 {
@@ -122,7 +166,11 @@ mod tests {
         let best = autotune(&spec, ReductionStrategy::RegisterSerialTransposed);
         assert_eq!(best.bs, BlockSize { h: 128, w: 16 }, "picked {:?}", best.bs);
         // Near the paper's 388 GFLOPS.
-        assert!(best.gflops > 300.0 && best.gflops < 500.0, "{}", best.gflops);
+        assert!(
+            best.gflops > 300.0 && best.gflops < 500.0,
+            "{}",
+            best.gflops
+        );
     }
 
     #[test]
@@ -131,7 +179,10 @@ mod tests {
         let s = ReductionStrategy::RegisterSerialTransposed;
         let g128_16 = apply_qt_h_block_gflops(&spec, BlockSize { h: 128, w: 16 }, s);
         let g512_16 = apply_qt_h_block_gflops(&spec, BlockSize { h: 512, w: 16 }, s);
-        assert!(g512_16 < g128_16 * 0.8, "512x16 should spill: {g512_16} vs {g128_16}");
+        assert!(
+            g512_16 < g128_16 * 0.8,
+            "512x16 should spill: {g512_16} vs {g128_16}"
+        );
     }
 
     #[test]
@@ -141,7 +192,10 @@ mod tests {
         let spec = DeviceSpec::c2050();
         assert_eq!(select_algorithm(&spec, 1_000_000, 192), QrAlgorithm::Caqr);
         assert_eq!(select_algorithm(&spec, 100_000, 64), QrAlgorithm::Caqr);
-        assert_eq!(select_algorithm(&spec, 8192, 8192), QrAlgorithm::BlockedHouseholder);
+        assert_eq!(
+            select_algorithm(&spec, 8192, 8192),
+            QrAlgorithm::BlockedHouseholder
+        );
         // Monotone: once blocked Householder wins at some width (fixed
         // height), it keeps winning for wider matrices.
         let mut seen_bh = false;
@@ -153,6 +207,23 @@ mod tests {
             seen_bh |= choice == QrAlgorithm::BlockedHouseholder;
         }
         assert!(seen_bh, "blocked Householder never won");
+    }
+
+    #[test]
+    fn stream_tuner_prefers_lookahead_on_tall_skinny() {
+        let spec = DeviceSpec::c2050();
+        let ranked = tune_streams(&spec, 100_000, 192, crate::CaqrOptions::default());
+        assert_eq!(ranked.len(), 8);
+        let best = ranked[0];
+        assert!(
+            best.lookahead,
+            "best candidate should use lookahead: {best:?}"
+        );
+        assert!(best.streams > 1, "best candidate should overlap: {best:?}");
+        // Ranked ascending by modelled time.
+        for w in ranked.windows(2) {
+            assert!(w[0].seconds <= w[1].seconds);
+        }
     }
 
     #[test]

@@ -54,7 +54,8 @@ fn factor_tree_kernel_eliminates_triangles() {
     for (t, r0) in [0usize, 32].into_iter().enumerate() {
         for j in 0..w {
             for i in 0..=j {
-                a[(r0 + i, j)] = ((t * 31 + i * 7 + j * 3) % 13) as f64 - 6.0 + if i == j { 9.0 } else { 0.0 };
+                a[(r0 + i, j)] =
+                    ((t * 31 + i * 7 + j * 3) % 13) as f64 - 6.0 + if i == j { 9.0 } else { 0.0 };
             }
         }
     }
@@ -71,7 +72,9 @@ fn factor_tree_kernel_eliminates_triangles() {
     let mut tau_ref = vec![0.0; w];
     dense::householder::geqr2(stack_f.as_mut(), &mut tau_ref);
 
-    let groups = [TreeGroup { members: vec![0, 32] }];
+    let groups = [TreeGroup {
+        members: vec![0, 32],
+    }];
     let out: Vec<Mutex<Option<TreeNode<f64>>>> = vec![Mutex::new(None)];
     {
         let k = FactorTreeKernel {
@@ -92,7 +95,10 @@ fn factor_tree_kernel_eliminates_triangles() {
     // Leader triangle now holds the reduced R.
     for j in 0..w {
         for i in 0..=j {
-            assert!((a[(i, j)] - stack_f[(i, j)]).abs() < 1e-14, "R not written back at ({i},{j})");
+            assert!(
+                (a[(i, j)] - stack_f[(i, j)]).abs() < 1e-14,
+                "R not written back at ({i},{j})"
+            );
         }
     }
 }
@@ -142,8 +148,16 @@ fn apply_qt_h_forward_backward_cancels() {
     let panel0 = dense::generate::uniform::<f64>(96, 8, 4);
     let mut v = panel0.clone();
     // Factor via the tsqr driver to exercise multi-tile V.
-    let pf = caqr::tsqr::factor_panel(&gpu, &mut v, 0, 0, 8, caqr::BlockSize { h: 32, w: 8 }, STRAT)
-        .unwrap();
+    let pf = caqr::tsqr::factor_panel(
+        &gpu,
+        &mut v,
+        0,
+        0,
+        8,
+        caqr::BlockSize { h: 32, w: 8 },
+        STRAT,
+    )
+    .unwrap();
     let c0 = dense::generate::uniform::<f64>(96, 5, 5);
     let mut c = c0.clone();
     caqr::tsqr::apply_panel_to(&gpu, &v, &pf, &mut c, true).unwrap();
@@ -180,7 +194,10 @@ fn kernels_count_positive_flops_and_traffic() {
         let report = gpu.launch(&k).unwrap();
         assert_eq!(report.blocks, 4);
         assert!(report.total.flops > 0);
-        assert!(report.total.gmem_bytes >= (2 * 256 * 8 * 4) as f64, "load + store traffic");
+        assert!(
+            report.total.gmem_bytes >= (2 * 256 * 8 * 4) as f64,
+            "load + store traffic"
+        );
         assert!(report.gflops > 0.0);
     }
 }

@@ -84,7 +84,10 @@ pub fn trsv_upper<T: Scalar>(a: MatRef<'_, T>, x: &mut [T]) {
     debug_assert_eq!(x.len(), n);
     for jr in (0..n).rev() {
         let d = a.at(jr, jr);
-        assert!(d != T::ZERO, "singular triangular matrix in trsv (column {jr})");
+        assert!(
+            d != T::ZERO,
+            "singular triangular matrix in trsv (column {jr})"
+        );
         x[jr] /= d;
         let xj = x[jr];
         for i in 0..jr {

@@ -230,7 +230,10 @@ mod tests {
             gemm(ta, tb, 1.0, am.as_ref(), bm.as_ref(), 0.0, c.as_mut());
             for i in 0..4 {
                 for j in 0..5 {
-                    assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-12, "({ta:?},{tb:?}) at ({i},{j})");
+                    assert!(
+                        (c[(i, j)] - want[(i, j)]).abs() < 1e-12,
+                        "({ta:?},{tb:?}) at ({i},{j})"
+                    );
                 }
             }
         }
@@ -241,7 +244,15 @@ mod tests {
         let a = Matrix::<f64>::eye(2, 2);
         let b = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let mut c = Matrix::from_row_major(2, 2, &[10.0, 10.0, 10.0, 10.0]);
-        gemm(Trans::No, Trans::No, 2.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        gemm(
+            Trans::No,
+            Trans::No,
+            2.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.5,
+            c.as_mut(),
+        );
         assert_eq!(c[(0, 0)], 7.0); // 2*1 + 0.5*10
         assert_eq!(c[(1, 1)], 13.0);
     }
@@ -253,7 +264,15 @@ mod tests {
         let b = Matrix::from_fn(48, 130, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
         let want = naive_gemm(&a, &b);
         let mut c = Matrix::<f64>::zeros(64, 130);
-        gemm(Trans::No, Trans::No, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
         for i in 0..64 {
             for j in 0..130 {
                 assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-9);

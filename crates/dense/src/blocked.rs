@@ -84,7 +84,15 @@ pub fn larfb_left<T: Scalar>(
     }
     // W = V^T C  (k x n)
     let mut w = Matrix::<T>::zeros(k, n);
-    gemm(Trans::Yes, Trans::No, T::ONE, v, c.as_ref(), T::ZERO, w.as_mut());
+    gemm(
+        Trans::Yes,
+        Trans::No,
+        T::ONE,
+        v,
+        c.as_ref(),
+        T::ZERO,
+        w.as_mut(),
+    );
     // W = op(T) W  — T is k x k upper triangular; apply densely (k is small).
     let mut tw = Matrix::<T>::zeros(k, n);
     gemm(
@@ -97,7 +105,15 @@ pub fn larfb_left<T: Scalar>(
         tw.as_mut(),
     );
     // C -= V W
-    gemm(Trans::No, Trans::No, -T::ONE, v, tw.as_ref(), T::ONE, c.rb_mut());
+    gemm(
+        Trans::No,
+        Trans::No,
+        -T::ONE,
+        v,
+        tw.as_ref(),
+        T::ONE,
+        c.rb_mut(),
+    );
 }
 
 /// Blocked Householder QR factorization in place (LAPACK `geqrf`).
@@ -235,7 +251,15 @@ mod tests {
             let q = orgqr(&f, &tau, n.min(m), nb);
             let r = f.upper_triangular();
             let mut qr = Matrix::<f64>::zeros(m, n);
-            gemm(Trans::No, Trans::No, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+            gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                q.as_ref(),
+                r.as_ref(),
+                0.0,
+                qr.as_mut(),
+            );
             for i in 0..m {
                 for j in 0..n {
                     assert!(

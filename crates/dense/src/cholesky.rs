@@ -61,13 +61,29 @@ mod tests {
         // A = B^T B + n*I is SPD.
         let b = Matrix::from_fn(6, 6, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
         let mut a = Matrix::<f64>::zeros(6, 6);
-        gemm(Trans::Yes, Trans::No, 1.0, b.as_ref(), b.as_ref(), 0.0, a.as_mut());
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            b.as_ref(),
+            b.as_ref(),
+            0.0,
+            a.as_mut(),
+        );
         for d in 0..6 {
             a[(d, d)] += 6.0;
         }
         let l = potrf_lower(&a).unwrap();
         let mut llt = Matrix::<f64>::zeros(6, 6);
-        gemm(Trans::No, Trans::Yes, 1.0, l.as_ref(), l.as_ref(), 0.0, llt.as_mut());
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            l.as_ref(),
+            l.as_ref(),
+            0.0,
+            llt.as_mut(),
+        );
         for i in 0..6 {
             for j in 0..6 {
                 assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-10);

@@ -35,7 +35,8 @@ pub fn gaussian_like<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T
 pub fn graded<T: Scalar>(rows: usize, cols: usize, decay: f64, seed: u64) -> Matrix<T> {
     assert!(rows >= cols);
     let (q1, _) = crate::gram_schmidt::modified_gram_schmidt(&uniform::<T>(rows, cols, seed));
-    let (q2, _) = crate::gram_schmidt::modified_gram_schmidt(&uniform::<T>(cols, cols, seed ^ 0x9e37_79b9));
+    let (q2, _) =
+        crate::gram_schmidt::modified_gram_schmidt(&uniform::<T>(cols, cols, seed ^ 0x9e37_79b9));
     let mut scaled = q1;
     for j in 0..cols {
         let s = T::from_f64(decay.powi(j as i32));
@@ -55,7 +56,13 @@ pub fn graded<T: Scalar>(rows: usize, cols: usize, decay: f64, seed: u64) -> Mat
 }
 
 /// Rank-`r` matrix plus optional additive noise: `sum_{k<r} x_k y_k^T`.
-pub fn low_rank<T: Scalar>(rows: usize, cols: usize, rank: usize, noise: f64, seed: u64) -> Matrix<T> {
+pub fn low_rank<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    noise: f64,
+    seed: u64,
+) -> Matrix<T> {
     let x = uniform::<T>(rows, rank, seed);
     let y = uniform::<T>(cols, rank, seed ^ 0x5151_5151);
     let mut out = Matrix::<T>::zeros(rows, cols);
@@ -139,7 +146,10 @@ mod tests {
         let s = singular_values(&a);
         for (k, sv) in s.iter().enumerate() {
             let want = 0.1f64.powi(k as i32);
-            assert!((sv / want - 1.0).abs() < 1e-6, "sigma_{k} = {sv}, want {want}");
+            assert!(
+                (sv / want - 1.0).abs() < 1e-6,
+                "sigma_{k} = {sv}, want {want}"
+            );
         }
     }
 

@@ -23,10 +23,22 @@ impl<T: Scalar> Givens<T> {
     /// without the sign refinements).
     pub fn make(a: T, b: T) -> (Self, T) {
         if b == T::ZERO {
-            return (Givens { c: T::ONE, s: T::ZERO }, a);
+            return (
+                Givens {
+                    c: T::ONE,
+                    s: T::ZERO,
+                },
+                a,
+            );
         }
         if a == T::ZERO {
-            return (Givens { c: T::ZERO, s: T::ONE }, b);
+            return (
+                Givens {
+                    c: T::ZERO,
+                    s: T::ONE,
+                },
+                b,
+            );
         }
         let r = a.hypot(b);
         let r = if a < T::ZERO { -r } else { r };
@@ -67,7 +79,7 @@ pub fn givens_qr<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
             }
             g.apply_rows(&mut r, j, i, j);
             r[(i, j)] = T::ZERO; // exact zero by construction
-            // Accumulate Q = Q * G (apply to columns j, i of Q).
+                                 // Accumulate Q = Q * G (apply to columns j, i of Q).
             for row in 0..m {
                 let x = q[(row, j)];
                 let y = q[(row, i)];
@@ -115,7 +127,15 @@ mod tests {
             }
         }
         let mut qr = Matrix::<f64>::zeros(7, 4);
-        gemm(Trans::No, Trans::No, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            q.as_ref(),
+            r.as_ref(),
+            0.0,
+            qr.as_mut(),
+        );
         for i in 0..7 {
             for j in 0..4 {
                 assert!((qr[(i, j)] - a[(i, j)]).abs() < 1e-13);

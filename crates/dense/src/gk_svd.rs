@@ -20,7 +20,11 @@ const MAX_ITER_PER_VALUE: usize = 40;
 /// accumulations.
 pub fn bidiagonalize<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Vec<T>, Vec<T>, Matrix<T>) {
     let n = a.rows();
-    assert_eq!(n, a.cols(), "bidiagonalize expects a square matrix (QR-reduce first)");
+    assert_eq!(
+        n,
+        a.cols(),
+        "bidiagonalize expects a square matrix (QR-reduce first)"
+    );
     let mut b = a.clone();
     let mut u = Matrix::<T>::eye(n, n);
     let mut v = Matrix::<T>::eye(n, n);
@@ -137,10 +141,21 @@ fn rotate_cols<T: Scalar>(m: &mut Matrix<T>, j1: usize, j2: usize, c: T, s: T) {
 
 /// One implicit-shift Golub-Kahan QR step on the active block `[p, q)` of
 /// the bidiagonal `(d, e)`, accumulating the rotations into `u` and `v`.
-fn gk_step<T: Scalar>(d: &mut [T], e: &mut [T], p: usize, q: usize, u: &mut Matrix<T>, v: &mut Matrix<T>) {
+fn gk_step<T: Scalar>(
+    d: &mut [T],
+    e: &mut [T],
+    p: usize,
+    q: usize,
+    u: &mut Matrix<T>,
+    v: &mut Matrix<T>,
+) {
     // Wilkinson shift from the trailing 2x2 of B^T B.
     let t11 = d[q - 2] * d[q - 2]
-        + if q >= p + 3 { e[q - 3] * e[q - 3] } else { T::ZERO };
+        + if q >= p + 3 {
+            e[q - 3] * e[q - 3]
+        } else {
+            T::ZERO
+        };
     let t12 = d[q - 2] * e[q - 2];
     let t22 = d[q - 1] * d[q - 1] + e[q - 2] * e[q - 2];
     let half = T::from_f64(0.5);
@@ -187,7 +202,13 @@ fn gk_step<T: Scalar>(d: &mut [T], e: &mut [T], p: usize, q: usize, u: &mut Matr
 /// When a diagonal entry of the active block vanishes, the superdiagonal
 /// next to it can be rotated away; this splits the block. `i` is the index
 /// of the (numerically) zero diagonal.
-fn deflate_zero_diagonal<T: Scalar>(d: &mut [T], e: &mut [T], i: usize, q: usize, u: &mut Matrix<T>) {
+fn deflate_zero_diagonal<T: Scalar>(
+    d: &mut [T],
+    e: &mut [T],
+    i: usize,
+    q: usize,
+    u: &mut Matrix<T>,
+) {
     // Chase e[i] rightwards using left rotations against rows i, j.
     d[i] = T::ZERO;
     let mut f = e[i];
@@ -342,7 +363,15 @@ mod tests {
             }
         }
         let mut out = Matrix::<f64>::zeros(m, n);
-        gemm(Trans::No, Trans::Yes, 1.0, us.as_ref(), s.v.as_ref(), 0.0, out.as_mut());
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            us.as_ref(),
+            s.v.as_ref(),
+            0.0,
+            out.as_mut(),
+        );
         out
     }
 
@@ -362,9 +391,25 @@ mod tests {
             }
         }
         let mut ub = Matrix::<f64>::zeros(n, n);
-        gemm(Trans::No, Trans::No, 1.0, u.as_ref(), b.as_ref(), 0.0, ub.as_mut());
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            u.as_ref(),
+            b.as_ref(),
+            0.0,
+            ub.as_mut(),
+        );
         let mut ubvt = Matrix::<f64>::zeros(n, n);
-        gemm(Trans::No, Trans::Yes, 1.0, ub.as_ref(), v.as_ref(), 0.0, ubvt.as_mut());
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            ub.as_ref(),
+            v.as_ref(),
+            0.0,
+            ubvt.as_mut(),
+        );
         for i in 0..n {
             for j in 0..n {
                 assert!((ubvt[(i, j)] - a[(i, j)]).abs() < 1e-12, "({i},{j})");
@@ -379,12 +424,18 @@ mod tests {
             let gk = svd_golub_kahan(&a);
             let jac = crate::svd::svd(&a);
             for (x, y) in gk.sigma.iter().zip(&jac.sigma) {
-                assert!((x - y).abs() < 1e-9 * (1.0 + y), "({m},{n}) sigma {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + y),
+                    "({m},{n}) sigma {x} vs {y}"
+                );
             }
             let r = reconstruct(&gk, m, n);
             for i in 0..m {
                 for j in 0..n {
-                    assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9, "({m},{n}) at ({i},{j})");
+                    assert!(
+                        (r[(i, j)] - a[(i, j)]).abs() < 1e-9,
+                        "({m},{n}) at ({i},{j})"
+                    );
                 }
             }
             assert!(orthogonality_error(&gk.u) < 1e-10);

@@ -67,12 +67,22 @@ pub fn modified_gram_schmidt<T: Scalar>(a: &Matrix<T>) -> (Matrix<T>, Matrix<T>)
 /// CholeskyQR: `R = chol(A^T A)^T`, `Q = A R^-1`. One `gemm` + one small
 /// Cholesky — the communication-minimal but numerically fragile method
 /// (condition number is squared before factoring).
-pub fn cholesky_qr<T: Scalar>(a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>), NotPositiveDefinite> {
+pub fn cholesky_qr<T: Scalar>(
+    a: &Matrix<T>,
+) -> Result<(Matrix<T>, Matrix<T>), NotPositiveDefinite> {
     let (m, n) = a.shape();
     assert!(m >= n);
     // G = A^T A
     let mut g = Matrix::<T>::zeros(n, n);
-    gemm(Trans::Yes, Trans::No, T::ONE, a.as_ref(), a.as_ref(), T::ZERO, g.as_mut());
+    gemm(
+        Trans::Yes,
+        Trans::No,
+        T::ONE,
+        a.as_ref(),
+        a.as_ref(),
+        T::ZERO,
+        g.as_mut(),
+    );
     let l = potrf_lower(&g)?;
     // R = L^T (upper). Q solves Q R = A, i.e. R^T Q^T = A^T; equivalently
     // solve X * R = A column-block-wise: Q^T = R^-T A^T. Simplest: transpose.
@@ -134,7 +144,10 @@ mod tests {
             ("mgs", modified_gram_schmidt(&a)),
             ("chol", cholesky_qr(&a).unwrap()),
         ] {
-            assert!(reconstruction_error(&a, &q, &r) < 1e-12, "{name} reconstruction");
+            assert!(
+                reconstruction_error(&a, &q, &r) < 1e-12,
+                "{name} reconstruction"
+            );
             assert!(orthogonality_error(&q) < 1e-12, "{name} orthogonality");
         }
     }
@@ -153,7 +166,10 @@ mod tests {
         let hh_err = orthogonality_error(&q_hh);
 
         assert!(hh_err < 1e-12, "householder stays orthogonal: {hh_err}");
-        assert!(cgs_err > 1e-6, "cgs should visibly lose orthogonality: {cgs_err}");
+        assert!(
+            cgs_err > 1e-6,
+            "cgs should visibly lose orthogonality: {cgs_err}"
+        );
         assert!(cgs_err > hh_err * 1e4);
     }
 
@@ -171,7 +187,10 @@ mod tests {
         // sufficiently ill-conditioned A; CholeskyQR must report the failure
         // rather than return garbage.
         let a = ill_conditioned(32, 16);
-        assert!(cholesky_qr(&a).is_err(), "Gram matrix should be numerically singular");
+        assert!(
+            cholesky_qr(&a).is_err(),
+            "Gram matrix should be numerically singular"
+        );
     }
 
     #[test]

@@ -171,7 +171,15 @@ mod tests {
         let r = r_from_factored(&f);
         // ||A - QR||
         let mut qr = Matrix::<f64>::zeros(m, n);
-        gemm(Trans::No, Trans::No, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            q.as_ref(),
+            r.as_ref(),
+            0.0,
+            qr.as_mut(),
+        );
         let mut diff = 0.0f64;
         for i in 0..m {
             for j in 0..n {
@@ -181,11 +189,22 @@ mod tests {
         assert!(diff < tol, "reconstruction error {diff} for {m}x{n}");
         // ||Q^T Q - I||
         let mut qtq = Matrix::<f64>::zeros(k, k);
-        gemm(Trans::Yes, Trans::No, 1.0, q.as_ref(), q.as_ref(), 0.0, qtq.as_mut());
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            q.as_ref(),
+            q.as_ref(),
+            0.0,
+            qtq.as_mut(),
+        );
         for i in 0..k {
             for j in 0..k {
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!((qtq[(i, j)] - want).abs() < tol, "orthogonality at ({i},{j})");
+                assert!(
+                    (qtq[(i, j)] - want).abs() < tol,
+                    "orthogonality at ({i},{j})"
+                );
             }
         }
         // R upper triangular by construction; diag of R should be nonzero for

@@ -173,7 +173,11 @@ impl<T: Scalar> Matrix<T> {
     /// main diagonal are zeroed (`k = min(rows, cols)` rows retained).
     pub fn upper_triangular(&self) -> Matrix<T> {
         let k = self.rows.min(self.cols);
-        Matrix::from_fn(k, self.cols, |i, j| if i <= j { self[(i, j)] } else { T::ZERO })
+        Matrix::from_fn(
+            k,
+            self.cols,
+            |i, j| if i <= j { self[(i, j)] } else { T::ZERO },
+        )
     }
 }
 
@@ -181,7 +185,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[j * self.rows + i]
     }
 }
@@ -189,7 +196,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[j * self.rows + i]
     }
 }
@@ -232,7 +242,12 @@ impl<'a, T: Scalar> MatRef<'a, T> {
         if rows > 0 && cols > 0 {
             assert!(data.len() >= (cols - 1) * ld + rows);
         }
-        Self { data, rows, cols, ld }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -267,9 +282,16 @@ impl<'a, T: Scalar> MatRef<'a, T> {
 
     /// Subview.
     pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a, T> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "submatrix out of range"
+        );
         let off = c0 * self.ld + r0;
-        let end = if nr > 0 && nc > 0 { off + (nc - 1) * self.ld + nr } else { off };
+        let end = if nr > 0 && nc > 0 {
+            off + (nc - 1) * self.ld + nr
+        } else {
+            off
+        };
         MatRef {
             data: &self.data[off..end],
             rows: nr,
@@ -299,7 +321,12 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         if rows > 0 && cols > 0 {
             assert!(data.len() >= (cols - 1) * ld + rows);
         }
-        Self { data, rows, cols, ld }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -378,9 +405,16 @@ impl<'a, T: Scalar> MatMut<'a, T> {
 
     /// Mutable subview (consumes the borrow; use through `rb_mut()` to keep it).
     pub fn submatrix_mut(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a, T> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "submatrix out of range"
+        );
         let off = c0 * self.ld + r0;
-        let end = if nr > 0 && nc > 0 { off + (nc - 1) * self.ld + nr } else { off };
+        let end = if nr > 0 && nc > 0 {
+            off + (nc - 1) * self.ld + nr
+        } else {
+            off
+        };
         MatMut {
             data: &mut self.data[off..end],
             rows: nr,

@@ -17,7 +17,9 @@ pub fn frobenius<T: Scalar>(a: &Matrix<T>) -> f64 {
 
 /// Largest absolute entry.
 pub fn max_abs<T: Scalar>(a: &Matrix<T>) -> f64 {
-    a.as_slice().iter().fold(0.0f64, |m, v| m.max(v.to_f64().abs()))
+    a.as_slice()
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.to_f64().abs()))
 }
 
 /// 1-norm (maximum absolute column sum).
@@ -43,7 +45,15 @@ pub fn inf_norm<T: Scalar>(a: &Matrix<T>) -> f64 {
 pub fn reconstruction_error<T: Scalar>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<T>) -> f64 {
     let (m, n) = a.shape();
     let mut qr = Matrix::<T>::zeros(m, n);
-    gemm(Trans::No, Trans::No, T::ONE, q.as_ref(), r.as_ref(), T::ZERO, qr.as_mut());
+    gemm(
+        Trans::No,
+        Trans::No,
+        T::ONE,
+        q.as_ref(),
+        r.as_ref(),
+        T::ZERO,
+        qr.as_mut(),
+    );
     let mut diff = 0.0f64;
     for (x, y) in qr.as_slice().iter().zip(a.as_slice()) {
         let d = x.to_f64() - y.to_f64();
@@ -61,7 +71,15 @@ pub fn reconstruction_error<T: Scalar>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<
 pub fn orthogonality_error<T: Scalar>(q: &Matrix<T>) -> f64 {
     let n = q.cols();
     let mut qtq = Matrix::<T>::zeros(n, n);
-    gemm(Trans::Yes, Trans::No, T::ONE, q.as_ref(), q.as_ref(), T::ZERO, qtq.as_mut());
+    gemm(
+        Trans::Yes,
+        Trans::No,
+        T::ONE,
+        q.as_ref(),
+        q.as_ref(),
+        T::ZERO,
+        qtq.as_mut(),
+    );
     let mut acc = 0.0f64;
     for i in 0..n {
         for j in 0..n {

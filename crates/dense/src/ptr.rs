@@ -75,7 +75,12 @@ impl<T: Scalar> MatPtr<T> {
 
     #[inline(always)]
     fn idx(&self, i: usize, j: usize) -> usize {
-        assert!(i < self.rows && j < self.cols, "MatPtr index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "MatPtr index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         j * self.ld + i
     }
 
@@ -104,9 +109,19 @@ impl<T: Scalar> MatPtr<T> {
     ///
     /// # Safety
     /// The tile must not be concurrently written by another block.
-    pub unsafe fn load_tile(&self, r0: usize, c0: usize, nr: usize, nc: usize, dst: &mut [T]) -> u64 {
+    pub unsafe fn load_tile(
+        &self,
+        r0: usize,
+        c0: usize,
+        nr: usize,
+        nc: usize,
+        dst: &mut [T],
+    ) -> u64 {
         assert!(dst.len() >= nr * nc, "tile buffer too small");
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "tile out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "tile out of range"
+        );
         for j in 0..nc {
             let src = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(j * nr), nr);
@@ -121,7 +136,10 @@ impl<T: Scalar> MatPtr<T> {
     /// The tile must belong exclusively to the calling block.
     pub unsafe fn store_tile(&self, r0: usize, c0: usize, nr: usize, nc: usize, src: &[T]) -> u64 {
         assert!(src.len() >= nr * nc, "tile buffer too small");
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "tile out of range");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "tile out of range"
+        );
         for j in 0..nc {
             let dst = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src.as_ptr().add(j * nr), dst, nr);

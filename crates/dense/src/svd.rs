@@ -141,7 +141,15 @@ mod tests {
             }
         }
         let mut out = Matrix::<f64>::zeros(m, n);
-        gemm(Trans::No, Trans::Yes, 1.0, us.as_ref(), s.v.as_ref(), 0.0, out.as_mut());
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            us.as_ref(),
+            s.v.as_ref(),
+            0.0,
+            out.as_mut(),
+        );
         out
     }
 
@@ -156,7 +164,9 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_random() {
-        let a = Matrix::from_fn(10, 6, |i, j| (((i * 13 + j * 7 + 1) % 17) as f64 - 8.0) / 5.0);
+        let a = Matrix::from_fn(10, 6, |i, j| {
+            (((i * 13 + j * 7 + 1) % 17) as f64 - 8.0) / 5.0
+        });
         let s = svd(&a);
         let r = reconstruct(&s, 10, 6);
         for i in 0..10 {
@@ -172,12 +182,30 @@ mod tests {
 
     #[test]
     fn svd_orthogonality() {
-        let a = Matrix::from_fn(8, 8, |i, j| ((i + 2 * j) % 5) as f64 - 2.0 + if i == j { 4.0 } else { 0.0 });
+        let a = Matrix::from_fn(8, 8, |i, j| {
+            ((i + 2 * j) % 5) as f64 - 2.0 + if i == j { 4.0 } else { 0.0 }
+        });
         let s = svd(&a);
         let mut utu = Matrix::<f64>::zeros(8, 8);
-        gemm(Trans::Yes, Trans::No, 1.0, s.u.as_ref(), s.u.as_ref(), 0.0, utu.as_mut());
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            s.u.as_ref(),
+            s.u.as_ref(),
+            0.0,
+            utu.as_mut(),
+        );
         let mut vtv = Matrix::<f64>::zeros(8, 8);
-        gemm(Trans::Yes, Trans::No, 1.0, s.v.as_ref(), s.v.as_ref(), 0.0, vtv.as_mut());
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            s.v.as_ref(),
+            s.v.as_ref(),
+            0.0,
+            vtv.as_mut(),
+        );
         for i in 0..8 {
             for j in 0..8 {
                 let want = if i == j { 1.0 } else { 0.0 };

@@ -16,7 +16,9 @@ fn qr_of_3x2_known_values() {
     // R12 = q1^T a2 with q1 = -a1/5 (sign flip): -(3*1 + 4*2)/5 = -2.2.
     assert!((f[(0, 1)] - (-2.2)).abs() < 1e-14, "R12 = {}", f[(0, 1)]);
     // ||A||_F^2 = 9+16+1+4+4 = 34; R preserves it.
-    let r_sq: f64 = (0..2).map(|j| (0..=j).map(|i| f[(i, j)] * f[(i, j)]).sum::<f64>()).sum();
+    let r_sq: f64 = (0..2)
+        .map(|j| (0..=j).map(|i| f[(i, j)] * f[(i, j)]).sum::<f64>())
+        .sum();
     assert!((r_sq - 34.0).abs() < 1e-12);
 }
 
@@ -29,7 +31,10 @@ fn householder_reflector_of_e1_like_vector() {
     let mut y = vec![0.0f64, 3.0, 4.0];
     let tau = dense::householder::larfg(&mut y);
     assert!((y[0] + 5.0).abs() < 1e-14);
-    assert!((tau - 1.0).abs() < 1e-14, "tau = {tau} (beta - alpha)/beta = 1 when alpha = 0");
+    assert!(
+        (tau - 1.0).abs() < 1e-14,
+        "tau = {tau} (beta - alpha)/beta = 1 when alpha = 0"
+    );
 }
 
 #[test]

@@ -109,7 +109,11 @@ impl CostMeter {
     #[inline]
     pub fn gmem(&mut self, words: u64, bytes_per_word: u64, coalesced: bool) {
         let raw = (words * bytes_per_word) as f64;
-        let eff = if coalesced { raw } else { raw * self.uncoalesced };
+        let eff = if coalesced {
+            raw
+        } else {
+            raw * self.uncoalesced
+        };
         self.cost.gmem_bytes += eff;
         self.cost.issue_cycles += words as f64 / self.lanes * self.gmem_cpw;
     }
@@ -150,6 +154,10 @@ pub struct KernelReport {
     pub gflops: f64,
     /// True when the launch was limited by issue bandwidth rather than DRAM.
     pub compute_bound: bool,
+    /// Stream index for asynchronous launches (`None` for synchronous ones).
+    /// Async reports carry the contention-free time in `seconds`; the
+    /// realized interval is produced by `Gpu::synchronize`.
+    pub stream: Option<usize>,
 }
 
 #[cfg(test)]

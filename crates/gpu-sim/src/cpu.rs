@@ -60,7 +60,8 @@ impl CpuMachine {
     /// `2 m n k` flops, each operand streamed once (cache-blocked).
     pub fn gemm(&self, m: usize, n: usize, k: usize, elem_bytes: f64) -> f64 {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
-        let bytes = elem_bytes * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64);
+        let bytes =
+            elem_bytes * (m as f64 * k as f64 + k as f64 * n as f64 + 2.0 * m as f64 * n as f64);
         self.call("cpu_gemm", flops, bytes, self.spec.gemm_efficiency)
     }
 
@@ -99,7 +100,10 @@ mod tests {
         // Should land near gemm_efficiency * peak (84.5 GFLOP/s), far above
         // what bandwidth alone would allow.
         let want = 0.55 * 153.6;
-        assert!((gf / want - 1.0).abs() < 0.05, "gemm at {gf} GFLOP/s, want ~{want}");
+        assert!(
+            (gf / want - 1.0).abs() < 0.05,
+            "gemm at {gf} GFLOP/s, want ~{want}"
+        );
     }
 
     #[test]
@@ -108,7 +112,10 @@ mod tests {
         let t = cpu.gemv(100_000, 100, 4.0);
         let gf = 2.0 * 100_000.0 * 100.0 / t / 1e9;
         // 2 flops per 4 bytes at 21 GB/s => ~10.5 GFLOP/s ceiling.
-        assert!(gf < 11.0, "gemv at {gf} GFLOP/s should be bandwidth-limited");
+        assert!(
+            gf < 11.0,
+            "gemv at {gf} GFLOP/s should be bandwidth-limited"
+        );
         assert!(gf > 5.0);
     }
 

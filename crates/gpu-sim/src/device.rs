@@ -19,15 +19,30 @@ use crate::cost::{BlockCost, CostMeter, KernelReport};
 use crate::kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 use crate::ledger::CostLedger;
 use crate::spec::{DeviceSpec, PcieSpec};
+use crate::stream::{EventId, QueuedKernel, StreamId, StreamOp, StreamTable};
+use crate::timeline::{self, Timeline};
 use dense::Scalar;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+
+/// Where a launch goes: the synchronous timeline, or an asynchronous
+/// stream queue. Lets algorithm code be written once and scheduled either
+/// way (the `caqr` crate threads this through its kernel wrappers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exec {
+    /// Launch synchronously: time and record immediately.
+    Sync,
+    /// Enqueue on a stream: numerics run now, timing resolves at
+    /// [`Gpu::synchronize`].
+    Stream(StreamId),
+}
 
 /// A simulated GPU with its modelled timeline.
 pub struct Gpu {
     spec: DeviceSpec,
     pcie: PcieSpec,
     ledger: Mutex<CostLedger>,
+    streams: Mutex<StreamTable>,
 }
 
 impl Gpu {
@@ -37,6 +52,7 @@ impl Gpu {
             spec,
             pcie: PcieSpec::gen2_x16(),
             ledger: Mutex::new(CostLedger::default()),
+            streams: Mutex::new(StreamTable::default()),
         }
     }
 
@@ -55,9 +71,11 @@ impl Gpu {
         self.ledger.lock().seconds
     }
 
-    /// Clear the timeline (between experiments).
+    /// Clear the timeline (between experiments). Also discards all streams
+    /// and any launches queued but not yet synchronized.
     pub fn reset(&self) {
         *self.ledger.lock() = CostLedger::default();
+        *self.streams.lock() = StreamTable::default();
     }
 
     /// Execute a kernel: all blocks run in parallel on the rayon pool, each
@@ -65,10 +83,21 @@ impl Gpu {
     pub fn launch<T: Scalar>(&self, kernel: &dyn Kernel<T>) -> Result<KernelReport, LaunchError> {
         let cfg = kernel.config();
         cfg.validate(&self.spec)?;
+        let costs = self.execute_blocks(kernel, &cfg);
+        let report = self.time_and_record(kernel.name(), &cfg, &costs);
+        Ok(report)
+    }
+
+    /// Run every block of a validated launch on the rayon pool, returning
+    /// the per-block recorded costs in grid order.
+    fn execute_blocks<T: Scalar>(
+        &self,
+        kernel: &dyn Kernel<T>,
+        cfg: &LaunchConfig,
+    ) -> Vec<BlockCost> {
         let smem_elems = cfg.shared_mem_bytes / std::mem::size_of::<T>();
         let spec = &self.spec;
-
-        let costs: Vec<BlockCost> = (0..cfg.blocks)
+        (0..cfg.blocks)
             .into_par_iter()
             .map_init(
                 || BlockCtx {
@@ -84,10 +113,7 @@ impl Gpu {
                     ctx.meter.cost
                 },
             )
-            .collect();
-
-        let report = self.time_and_record(kernel.name(), &cfg, &costs);
-        Ok(report)
+            .collect()
     }
 
     /// Model-only launch with heterogeneous per-block costs (one entry per
@@ -132,7 +158,20 @@ impl Gpu {
         Ok(report)
     }
 
-    fn time_and_record(&self, name: &'static str, cfg: &LaunchConfig, costs: &[BlockCost]) -> KernelReport {
+    fn time_and_record(
+        &self,
+        name: &'static str,
+        cfg: &LaunchConfig,
+        costs: &[BlockCost],
+    ) -> KernelReport {
+        let (total, issue_time) = self.aggregate(costs);
+        self.finish_launch(name, cfg, total, issue_time)
+    }
+
+    /// Sum per-block costs and compute the round-robin issue time — the one
+    /// timing computation shared by the synchronous and stream paths, so a
+    /// kernel costs exactly the same alone either way.
+    fn aggregate(&self, costs: &[BlockCost]) -> (BlockCost, f64) {
         let sms = self.spec.sms;
         let mut sm_cycles = vec![0.0f64; sms];
         let mut total = BlockCost::default();
@@ -141,7 +180,7 @@ impl Gpu {
             total.merge(c);
         }
         let issue_time = sm_cycles.iter().cloned().fold(0.0, f64::max) * self.spec.cycle_seconds();
-        self.finish_launch(name, cfg, total, issue_time)
+        (total, issue_time)
     }
 
     fn finish_launch(
@@ -169,7 +208,153 @@ impl Gpu {
             total,
             gflops,
             compute_bound: issue_time >= dram_time,
+            stream: None,
         }
+    }
+
+    // ---- streams & events -------------------------------------------------
+
+    /// Create a new asynchronous launch queue. Streams survive
+    /// [`Self::synchronize`] (their queues restart empty) but not
+    /// [`Self::reset`].
+    pub fn create_stream(&self) -> StreamId {
+        self.streams.lock().create_stream()
+    }
+
+    /// Record an event into `stream`: it fires (on the modelled timeline)
+    /// when every operation queued on `stream` before it has completed.
+    pub fn record_event(&self, stream: StreamId) -> EventId {
+        let mut table = self.streams.lock();
+        let event = table.alloc_event();
+        table.push(stream, StreamOp::Record(event));
+        event
+    }
+
+    /// Make `stream` wait for `event` before running anything queued after
+    /// this call. Waiting on an event that is never recorded deadlocks the
+    /// schedule, which [`Self::synchronize`] reports by panicking.
+    pub fn wait_event(&self, stream: StreamId, event: EventId) {
+        self.streams.lock().push(stream, StreamOp::Wait(event));
+    }
+
+    /// Asynchronous kernel launch. The kernel's arithmetic executes
+    /// immediately on the rayon pool — host enqueue order is a valid
+    /// topological order of any stream/event DAG, so results are
+    /// bit-identical to synchronous launches — while its *timing* is queued
+    /// on `stream` and resolved by the next [`Self::synchronize`].
+    ///
+    /// The returned report carries the contention-free (`alone`) time; the
+    /// realized interval, stretched by whatever overlaps it, lands in the
+    /// [`Timeline`].
+    pub fn launch_async<T: Scalar>(
+        &self,
+        stream: StreamId,
+        kernel: &dyn Kernel<T>,
+    ) -> Result<KernelReport, LaunchError> {
+        let cfg = kernel.config();
+        cfg.validate(&self.spec)?;
+        let costs = self.execute_blocks(kernel, &cfg);
+        Ok(self.enqueue(stream, kernel.name(), &cfg, &costs))
+    }
+
+    /// Model-only asynchronous launch with heterogeneous per-block costs:
+    /// the stream counterpart of [`Self::launch_with_costs`].
+    pub fn launch_with_costs_async(
+        &self,
+        stream: StreamId,
+        name: &'static str,
+        cfg: LaunchConfig,
+        costs: &[BlockCost],
+    ) -> Result<KernelReport, LaunchError> {
+        cfg.validate(&self.spec)?;
+        assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
+        Ok(self.enqueue(stream, name, &cfg, costs))
+    }
+
+    /// Launch via an [`Exec`] policy: synchronously, or on a stream.
+    pub fn launch_on<T: Scalar>(
+        &self,
+        exec: Exec,
+        kernel: &dyn Kernel<T>,
+    ) -> Result<KernelReport, LaunchError> {
+        match exec {
+            Exec::Sync => self.launch(kernel),
+            Exec::Stream(s) => self.launch_async(s, kernel),
+        }
+    }
+
+    /// Model-only launch via an [`Exec`] policy.
+    pub fn launch_with_costs_on(
+        &self,
+        exec: Exec,
+        name: &'static str,
+        cfg: LaunchConfig,
+        costs: &[BlockCost],
+    ) -> Result<KernelReport, LaunchError> {
+        match exec {
+            Exec::Sync => self.launch_with_costs(name, cfg, costs),
+            Exec::Stream(s) => self.launch_with_costs_async(s, name, cfg, costs),
+        }
+    }
+
+    fn enqueue(
+        &self,
+        stream: StreamId,
+        name: &'static str,
+        cfg: &LaunchConfig,
+        costs: &[BlockCost],
+    ) -> KernelReport {
+        let (total, issue_time) = self.aggregate(costs);
+        let dram_time = total.gmem_bytes / (self.spec.dram_bw_gbs * 1.0e9);
+        let overhead = self.spec.launch_overhead_us * 1.0e-6;
+        let alone = overhead + issue_time.max(dram_time);
+        self.streams.lock().push(
+            stream,
+            StreamOp::Kernel(QueuedKernel {
+                name,
+                blocks: cfg.blocks,
+                overhead,
+                issue_seconds: issue_time,
+                dram_seconds: dram_time,
+                sm_fraction: cfg.blocks.min(self.spec.sms) as f64 / self.spec.sms as f64,
+                flops: total.flops as f64,
+                bytes: total.gmem_bytes,
+            }),
+        );
+        KernelReport {
+            name,
+            blocks: cfg.blocks,
+            seconds: alone,
+            total,
+            gflops: if alone > 0.0 {
+                total.flops as f64 / alone / 1.0e9
+            } else {
+                0.0
+            },
+            compute_bound: issue_time >= dram_time,
+            stream: Some(stream.index()),
+        }
+    }
+
+    /// Resolve every queued stream operation into modelled time. Kernel
+    /// flops/bytes/calls are attributed to the ledger per kernel; the global
+    /// clock advances by the batch's makespan (concurrent kernels overlap).
+    /// The resolved per-kernel intervals are returned and also appended to
+    /// the ledger.
+    ///
+    /// # Panics
+    ///
+    /// If the queues deadlock (a wait on an event that is never recorded).
+    pub fn synchronize(&self) -> Timeline {
+        let queues = self.streams.lock().drain();
+        let tl = timeline::resolve(queues).unwrap_or_else(|e| panic!("Gpu::synchronize: {e}"));
+        let mut ledger = self.ledger.lock();
+        for iv in &tl.intervals {
+            ledger.record_span(iv.name, iv.duration(), iv.flops, iv.bytes);
+        }
+        ledger.record_idle(tl.makespan);
+        ledger.intervals.extend(tl.intervals.iter().cloned());
+        tl
     }
 
     /// Charge a host-to-device PCIe transfer.
@@ -282,10 +467,22 @@ mod tests {
             syncs: 0,
         };
         let t1 = gpu.launch_uniform("k", cfg(1), &per_block).unwrap().seconds;
-        let t14 = gpu.launch_uniform("k", cfg(14), &per_block).unwrap().seconds;
-        let t15 = gpu.launch_uniform("k", cfg(15), &per_block).unwrap().seconds;
-        let t28 = gpu.launch_uniform("k", cfg(28), &per_block).unwrap().seconds;
-        assert!((t1 - t14).abs() < 1e-12, "1 and 14 blocks fill <= one block per SM");
+        let t14 = gpu
+            .launch_uniform("k", cfg(14), &per_block)
+            .unwrap()
+            .seconds;
+        let t15 = gpu
+            .launch_uniform("k", cfg(15), &per_block)
+            .unwrap()
+            .seconds;
+        let t28 = gpu
+            .launch_uniform("k", cfg(28), &per_block)
+            .unwrap()
+            .seconds;
+        assert!(
+            (t1 - t14).abs() < 1e-12,
+            "1 and 14 blocks fill <= one block per SM"
+        );
         assert!(t15 > t14, "15th block starts a second wave");
         assert!((t28 - t15).abs() < 1e-12, "waves quantize");
     }
@@ -311,6 +508,143 @@ mod tests {
         // 144 MB / 144 GB/s = 1 ms.
         let want = 1.0e-3 + gpu.spec().launch_overhead_us * 1e-6;
         assert!((r.seconds - want).abs() / want < 1e-9, "got {}", r.seconds);
+    }
+
+    #[test]
+    fn async_launch_runs_numerics_now_and_times_at_sync() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let mut m = Matrix::from_fn(256, 8, |i, j| (i + j) as f32);
+        let orig = m.clone();
+        let s = gpu.create_stream();
+        {
+            let k = ScaleKernel {
+                mat: MatPtr::new(&mut m),
+                tile_rows: 32,
+                blocks: 8,
+            };
+            gpu.launch_async(s, &k).unwrap();
+        }
+        // Numerics are done before synchronize.
+        for i in 0..256 {
+            for j in 0..8 {
+                assert_eq!(m[(i, j)], 2.0 * orig[(i, j)]);
+            }
+        }
+        // But no time has been charged yet.
+        assert_eq!(gpu.elapsed(), 0.0);
+        assert_eq!(gpu.ledger().calls, 0);
+        let tl = gpu.synchronize();
+        assert_eq!(tl.intervals.len(), 1);
+        assert_eq!(tl.intervals[0].stream, s.index());
+        assert!((gpu.elapsed() - tl.makespan).abs() < 1e-15);
+        let l = gpu.ledger();
+        assert_eq!(l.calls, 1);
+        assert_eq!(l.intervals.len(), 1);
+    }
+
+    #[test]
+    fn single_stream_equals_synchronous_time() {
+        let per_block = BlockCost {
+            flops: 1_000_000,
+            issue_cycles: 100_000.0,
+            gmem_bytes: 5.0e5,
+            smem_words: 0,
+            syncs: 0,
+        };
+        let cfg = LaunchConfig {
+            blocks: 28,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let costs = vec![per_block; 28];
+
+        let sync = Gpu::new(DeviceSpec::c2050());
+        for _ in 0..3 {
+            sync.launch_with_costs("k", cfg, &costs).unwrap();
+        }
+
+        let streamed = Gpu::new(DeviceSpec::c2050());
+        let s = streamed.create_stream();
+        for _ in 0..3 {
+            streamed
+                .launch_with_costs_async(s, "k", cfg, &costs)
+                .unwrap();
+        }
+        let tl = streamed.synchronize();
+        assert!(
+            (tl.makespan - sync.elapsed()).abs() < 1e-12,
+            "one stream must serialize to the synchronous sum: {} vs {}",
+            tl.makespan,
+            sync.elapsed()
+        );
+        assert_eq!(streamed.ledger().calls, sync.ledger().calls);
+        assert!((streamed.ledger().flops - sync.ledger().flops).abs() < 1.0);
+    }
+
+    #[test]
+    fn events_serialize_across_streams() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let per_block = BlockCost {
+            flops: 1000,
+            issue_cycles: 50_000.0,
+            gmem_bytes: 0.0,
+            smem_words: 0,
+            syncs: 0,
+        };
+        let cfg = LaunchConfig {
+            blocks: 14,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let costs = vec![per_block; 14];
+        let s0 = gpu.create_stream();
+        let s1 = gpu.create_stream();
+        gpu.launch_with_costs_async(s0, "producer", cfg, &costs)
+            .unwrap();
+        let ev = gpu.record_event(s0);
+        gpu.wait_event(s1, ev);
+        gpu.launch_with_costs_async(s1, "consumer", cfg, &costs)
+            .unwrap();
+        let tl = gpu.synchronize();
+        let p = tl
+            .intervals
+            .iter()
+            .find(|iv| iv.name == "producer")
+            .unwrap();
+        let c = tl
+            .intervals
+            .iter()
+            .find(|iv| iv.name == "consumer")
+            .unwrap();
+        assert!(
+            c.start >= p.end - 1e-15,
+            "event must order consumer after producer"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn synchronize_panics_on_unrecorded_event_wait() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let s0 = gpu.create_stream();
+        let s1 = gpu.create_stream();
+        // Allocate a valid event id on s0's table but never reach it: wait
+        // on an event recorded *after* the waiting stream's sync.
+        let _ = s0;
+        let bogus = {
+            // Record-less wait: fabricate by recording on a stream that is
+            // never synchronized is impossible through the public API, so
+            // exercise the next best thing — wait for an event recorded
+            // later in program order on the *same* stream set, then drop it.
+            let ev = gpu.record_event(s1);
+            gpu.reset(); // forget the record
+            ev
+        };
+        let s = gpu.create_stream();
+        gpu.wait_event(s, bogus);
+        gpu.synchronize();
     }
 
     #[test]

@@ -55,14 +55,26 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::SharedMemory { requested, available } => {
-                write!(f, "shared memory request {requested} B exceeds {available} B")
+            LaunchError::SharedMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "shared memory request {requested} B exceeds {available} B"
+                )
             }
             LaunchError::Threads { requested, max } => {
                 write!(f, "{requested} threads per block exceeds max {max}")
             }
-            LaunchError::Registers { requested, available } => {
-                write!(f, "register demand {requested} B exceeds register file {available} B")
+            LaunchError::Registers {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "register demand {requested} B exceeds register file {available} B"
+                )
             }
             LaunchError::EmptyGrid => write!(f, "kernel launched with an empty grid"),
         }
@@ -108,7 +120,10 @@ impl LaunchConfig {
             .checked_div(self.shared_mem_bytes)
             .unwrap_or(usize::MAX);
         let reg_bytes = self.regs_per_thread * 4 * self.threads_per_block;
-        let by_regs = spec.regfile_per_sm.checked_div(reg_bytes).unwrap_or(usize::MAX);
+        let by_regs = spec
+            .regfile_per_sm
+            .checked_div(reg_bytes)
+            .unwrap_or(usize::MAX);
         // Fermi limit of 8 resident blocks and 1536 threads per SM.
         let by_threads = 1536 / self.threads_per_block.max(1);
         by_smem.min(by_regs).min(by_threads).min(8)
@@ -151,7 +166,10 @@ mod tests {
             shared_mem_bytes: 64 * 1024,
             regs_per_thread: 16,
         };
-        assert!(matches!(cfg.validate(&spec), Err(LaunchError::SharedMemory { .. })));
+        assert!(matches!(
+            cfg.validate(&spec),
+            Err(LaunchError::SharedMemory { .. })
+        ));
     }
 
     #[test]
@@ -163,7 +181,10 @@ mod tests {
             shared_mem_bytes: 0,
             regs_per_thread: 8,
         };
-        assert!(matches!(cfg.validate(&spec), Err(LaunchError::Threads { .. })));
+        assert!(matches!(
+            cfg.validate(&spec),
+            Err(LaunchError::Threads { .. })
+        ));
     }
 
     #[test]
@@ -176,7 +197,10 @@ mod tests {
             shared_mem_bytes: 0,
             regs_per_thread: 128,
         };
-        assert!(matches!(cfg.validate(&spec), Err(LaunchError::Registers { .. })));
+        assert!(matches!(
+            cfg.validate(&spec),
+            Err(LaunchError::Registers { .. })
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! and traffic here. Benchmarks read the total; tests check conservation
 //! properties (e.g. flop counts match closed forms).
 
+use crate::timeline::Interval;
 use std::collections::BTreeMap;
 
 /// Per-operation aggregate.
@@ -38,6 +39,10 @@ pub struct CostLedger {
     pub transfers: u64,
     /// Per-operation breakdown keyed by kernel/BLAS name.
     pub per_op: BTreeMap<&'static str, OpStats>,
+    /// Per-stream per-kernel intervals from stream-scheduled launches,
+    /// appended at every `Gpu::synchronize` (empty for purely synchronous
+    /// workloads).
+    pub intervals: Vec<Interval>,
 }
 
 impl CostLedger {
@@ -63,7 +68,10 @@ impl CostLedger {
         } else {
             self.d2h_bytes += bytes;
         }
-        let e = self.per_op.entry(if h2d { "h2d" } else { "d2h" }).or_default();
+        let e = self
+            .per_op
+            .entry(if h2d { "h2d" } else { "d2h" })
+            .or_default();
         e.calls += 1;
         e.seconds += seconds;
         e.bytes += bytes as f64;
@@ -72,6 +80,22 @@ impl CostLedger {
     /// Advance the timeline without attributing work (e.g. host-side stalls).
     pub fn record_idle(&mut self, seconds: f64) {
         self.seconds += seconds;
+    }
+
+    /// Record one kernel of a stream-scheduled batch. Attributes the call,
+    /// flops, bytes and per-op seconds, but does **not** advance the global
+    /// clock — concurrent kernels overlap, so the batch's wall-clock
+    /// contribution is its makespan, added once via [`Self::record_idle`]
+    /// by `Gpu::synchronize`.
+    pub fn record_span(&mut self, name: &'static str, seconds: f64, flops: f64, bytes: f64) {
+        self.flops += flops;
+        self.dram_bytes += bytes;
+        self.calls += 1;
+        let e = self.per_op.entry(name).or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+        e.flops += flops;
+        e.bytes += bytes;
     }
 
     /// Overall modelled GFLOP/s for the work recorded so far.
@@ -103,7 +127,11 @@ impl CostLedger {
                 name,
                 op.calls,
                 op.seconds * 1e3,
-                if op.seconds > 0.0 { op.flops / op.seconds / 1e9 } else { 0.0 }
+                if op.seconds > 0.0 {
+                    op.flops / op.seconds / 1e9
+                } else {
+                    0.0
+                }
             );
         }
         s

@@ -12,6 +12,13 @@
 //!
 //! The same crate models the CPU side ([`cpu::CpuMachine`]) and the PCIe
 //! link, which the MAGMA-style hybrid baseline needs.
+//!
+//! Work can also be submitted asynchronously on [`stream::StreamId`] queues
+//! with [`stream::EventId`] cross-stream dependencies; the numerics still
+//! run immediately (bit-identical to synchronous launches) while the
+//! modelled timing is resolved by a discrete-event engine
+//! ([`timeline`]) at [`device::Gpu::synchronize`], which also exports
+//! Chrome `trace_event` JSON per stream.
 
 #![warn(missing_docs)]
 
@@ -21,10 +28,14 @@ pub mod device;
 pub mod kernel;
 pub mod ledger;
 pub mod spec;
+pub mod stream;
+pub mod timeline;
 
 pub use cost::{BlockCost, CostMeter, KernelReport};
 pub use cpu::CpuMachine;
-pub use device::Gpu;
+pub use device::{Exec, Gpu};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 pub use ledger::CostLedger;
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec};
+pub use stream::{EventId, StreamId};
+pub use timeline::{Interval, Timeline};

@@ -173,7 +173,14 @@ mod tests {
         };
         let _ = rpca_gpu(&gpu, small_opts(), &video.matrix, &params);
         let ledger = gpu.ledger();
-        for op in ["factor", "apply_qt_h", "gpu_gemm", "ew_combine", "ew_shrink", "ew_residual"] {
+        for op in [
+            "factor",
+            "apply_qt_h",
+            "gpu_gemm",
+            "ew_combine",
+            "ew_shrink",
+            "ew_residual",
+        ] {
             assert!(
                 ledger.per_op.contains_key(op),
                 "stage {op} missing from the device ledger"

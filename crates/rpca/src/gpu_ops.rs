@@ -80,11 +80,14 @@ impl<T: Scalar> Kernel<T> for TriadKernel<T> {
                 // read-only during the launch.
                 unsafe {
                     let v = match self.op {
-                        TriadOp::Combine { scale } => {
-                            self.c.get(i, j).mul_add(scale, self.a.get(i, j) - self.b.get(i, j))
-                        }
+                        TriadOp::Combine { scale } => self
+                            .c
+                            .get(i, j)
+                            .mul_add(scale, self.a.get(i, j) - self.b.get(i, j)),
                         TriadOp::Shrink { scale, threshold } => shrink_scalar(
-                            self.c.get(i, j).mul_add(scale, self.a.get(i, j) - self.b.get(i, j)),
+                            self.c
+                                .get(i, j)
+                                .mul_add(scale, self.a.get(i, j) - self.b.get(i, j)),
                             threshold,
                         ),
                     };
@@ -269,7 +272,9 @@ pub mod launch {
         mu: T,
     ) -> f64 {
         let (rows, cols) = y.shape();
-        let partials: Vec<Mutex<f64>> = (0..rows.div_ceil(TILE_ROWS)).map(|_| Mutex::new(0.0)).collect();
+        let partials: Vec<Mutex<f64>> = (0..rows.div_ceil(TILE_ROWS))
+            .map(|_| Mutex::new(0.0))
+            .collect();
         {
             let k = ResidualKernel {
                 m: MatPtr::new_readonly(m),
@@ -283,7 +288,11 @@ pub mod launch {
             };
             gpu.launch(&k).expect("residual launch");
         }
-        partials.into_iter().map(|p| p.into_inner()).sum::<f64>().sqrt()
+        partials
+            .into_iter()
+            .map(|p| p.into_inner())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// `C = A * B` with a small `B`, on the device.

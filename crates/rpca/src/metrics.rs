@@ -40,14 +40,26 @@ pub fn foreground_detection<T: Scalar>(
             (false, false) => {}
         }
     }
-    let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
-    let recall = if tp + fne > 0 { tp as f64 / (tp + fne) as f64 } else { 1.0 };
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        1.0
+    };
+    let recall = if tp + fne > 0 {
+        tp as f64 / (tp + fne) as f64
+    } else {
+        1.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    Detection { precision, recall, f1 }
+    Detection {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Peak signal-to-noise ratio (dB) of a recovered image/matrix against the

@@ -232,7 +232,11 @@ mod tests {
             *o += *s;
         }
         let r = rpca(&CpuQrBackend, &observed, &RpcaParams::default());
-        assert!(r.converged, "did not converge in {} iters (residual {})", r.iterations, r.residual);
+        assert!(
+            r.converged,
+            "did not converge in {} iters (residual {})",
+            r.iterations, r.residual
+        );
         let mut err_l = 0.0f64;
         for (a, b) in r.l.as_slice().iter().zip(l0.as_slice()) {
             err_l += (a - b) * (a - b);
@@ -246,7 +250,14 @@ mod tests {
     fn separates_synthetic_video() {
         // The motivating application end to end on a tiny clip.
         let video = generate::<f64>(&VideoConfig::tiny());
-        let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams { tol: 1e-5, ..Default::default() });
+        let r = rpca(
+            &CpuQrBackend,
+            &video.matrix,
+            &RpcaParams {
+                tol: 1e-5,
+                ..Default::default()
+            },
+        );
         assert!(r.converged);
         // Background: L close to the planted background.
         let mut err = 0.0f64;
@@ -290,7 +301,11 @@ mod tests {
         let r = rpca(
             &CpuQrBackend,
             &video.matrix,
-            &RpcaParams { max_iter: 2, tol: 1e-12, ..Default::default() },
+            &RpcaParams {
+                max_iter: 2,
+                tol: 1e-12,
+                ..Default::default()
+            },
         );
         assert_eq!(r.iterations, 2);
         assert!(!r.converged);

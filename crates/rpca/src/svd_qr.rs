@@ -67,9 +67,17 @@ pub fn svd_via_qr<T: Scalar>(backend: &dyn QrBackend<T>, a: &Matrix<T>) -> Svd<T
     assert!(m >= n, "svd_via_qr requires a tall matrix, got {m}x{n}");
     let (q, r) = backend.qr(a);
     let small = svd(&r); // the cheap n x n SVD ("done on the CPU")
-    // Left singular vectors of A: U' = Q * U.
+                         // Left singular vectors of A: U' = Q * U.
     let mut u = Matrix::<T>::zeros(m, n);
-    gemm(Trans::No, Trans::No, T::ONE, q.as_ref(), small.u.as_ref(), T::ZERO, u.as_mut());
+    gemm(
+        Trans::No,
+        Trans::No,
+        T::ONE,
+        q.as_ref(),
+        small.u.as_ref(),
+        T::ZERO,
+        u.as_mut(),
+    );
     Svd {
         u,
         sigma: small.sigma,
@@ -93,7 +101,15 @@ mod tests {
             }
         }
         let mut out = Matrix::<f64>::zeros(m, n);
-        gemm(Trans::No, Trans::Yes, 1.0, us.as_ref(), s.v.as_ref(), 0.0, out.as_mut());
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            us.as_ref(),
+            s.v.as_ref(),
+            0.0,
+            out.as_mut(),
+        );
         out
     }
 

@@ -94,8 +94,14 @@ pub fn model_iteration_seconds(which: RpcaImpl, m: usize, n: usize) -> f64 {
                     // Factor + explicit Q, both on the GPU (Section V-C).
                     let f = caqr::model::model_caqr_seconds(&gpu, m, n, CaqrOptions::default())
                         .expect("CAQR model");
-                    let q = caqr::model::model_caqr_apply_seconds(&gpu, m, n, n, CaqrOptions::default())
-                        .expect("CAQR apply model");
+                    let q = caqr::model::model_caqr_apply_seconds(
+                        &gpu,
+                        m,
+                        n,
+                        n,
+                        CaqrOptions::default(),
+                    )
+                    .expect("CAQR apply model");
                     f + q
                 }
                 RpcaImpl::MklSvdCpu => unreachable!(),
@@ -134,7 +140,10 @@ mod tests {
         let caqr = model_iterations_per_second(RpcaImpl::CaqrGpu);
         assert!(cpu < blas2 && blas2 < caqr, "{cpu} {blas2} {caqr}");
         assert!(cpu > 0.3 && cpu < 4.0, "MKL SVD modelled at {cpu} it/s");
-        assert!(blas2 > 4.0 && blas2 < 20.0, "BLAS2 QR modelled at {blas2} it/s");
+        assert!(
+            blas2 > 4.0 && blas2 < 20.0,
+            "BLAS2 QR modelled at {blas2} it/s"
+        );
         assert!(caqr > 15.0 && caqr < 60.0, "CAQR modelled at {caqr} it/s");
     }
 
@@ -145,7 +154,10 @@ mod tests {
         let blas2 = model_iterations_per_second(RpcaImpl::Blas2GpuQr);
         let caqr = model_iterations_per_second(RpcaImpl::CaqrGpu);
         let speedup = caqr / blas2;
-        assert!(speedup > 1.6 && speedup < 5.0, "CAQR/BLAS2 iteration speedup {speedup}");
+        assert!(
+            speedup > 1.6 && speedup < 5.0,
+            "CAQR/BLAS2 iteration speedup {speedup}"
+        );
     }
 
     #[test]
@@ -155,7 +167,10 @@ mod tests {
         let cpu = model_iterations_per_second(RpcaImpl::MklSvdCpu);
         let caqr = model_iterations_per_second(RpcaImpl::CaqrGpu);
         let speedup = caqr / cpu;
-        assert!(speedup > 10.0 && speedup < 60.0, "overall speedup {speedup}");
+        assert!(
+            speedup > 10.0 && speedup < 60.0,
+            "overall speedup {speedup}"
+        );
     }
 
     #[test]
@@ -174,8 +189,14 @@ mod tests {
         // "reducing the time to solve the problem completely from over nine
         // minutes to 17 seconds" (500+ iterations).
         let secs = 500.0 * model_iteration_seconds(RpcaImpl::CaqrGpu, 110_592, 100);
-        assert!(secs > 8.0 && secs < 40.0, "500 iterations modelled at {secs} s");
+        assert!(
+            secs > 8.0 && secs < 40.0,
+            "500 iterations modelled at {secs} s"
+        );
         let cpu_secs = 500.0 * model_iteration_seconds(RpcaImpl::MklSvdCpu, 110_592, 100);
-        assert!(cpu_secs > 150.0, "CPU 500 iterations modelled at {cpu_secs} s");
+        assert!(
+            cpu_secs > 150.0,
+            "CPU 500 iterations modelled at {cpu_secs} s"
+        );
     }
 }

@@ -100,8 +100,9 @@ pub fn generate<T: Scalar>(config: &VideoConfig) -> SyntheticVideo<T> {
     let mut bg_image = vec![0.0f64; m];
     for y in 0..config.height {
         for x in 0..config.width {
-            bg_image[y * config.width + x] =
-                0.3 + 0.4 * (x as f64 / config.width as f64) + 0.2 * (y as f64 / config.height as f64);
+            bg_image[y * config.width + x] = 0.3
+                + 0.4 * (x as f64 / config.width as f64)
+                + 0.2 * (y as f64 / config.height as f64);
         }
     }
     for _ in 0..3 {
@@ -173,8 +174,7 @@ pub fn generate<T: Scalar>(config: &VideoConfig) -> SyntheticVideo<T> {
             } else {
                 0.0
             };
-            matrix[(i, frame)] =
-                background[(i, frame)] + foreground[(i, frame)] + T::from_f64(n);
+            matrix[(i, frame)] = background[(i, frame)] + foreground[(i, frame)] + T::from_f64(n);
         }
     }
 
@@ -226,7 +226,11 @@ mod tests {
         let v = generate::<f64>(&cfg);
         let s = singular_values(&v.background);
         assert!(s[1] > 1e-6 * s[0], "drift should add a second mode");
-        assert!(s[2] < 1e-8 * s[0], "but nothing beyond rank 2: {:?}", &s[..4]);
+        assert!(
+            s[2] < 1e-8 * s[0],
+            "but nothing beyond rank 2: {:?}",
+            &s[..4]
+        );
     }
 
     #[test]

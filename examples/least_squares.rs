@@ -29,7 +29,9 @@ fn main() {
     // [-1, 1]; observations get uniform noise.
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let noise = Uniform::new(-0.01f64, 0.01);
-    let ts: Vec<f64> = (0..m).map(|i| 2.0 * i as f64 / (m - 1) as f64 - 1.0).collect();
+    let ts: Vec<f64> = (0..m)
+        .map(|i| 2.0 * i as f64 / (m - 1) as f64 - 1.0)
+        .collect();
     let a = dense::Matrix::from_fn(m, n, |i, j| ts[i].powi(j as i32));
     let b: Vec<f64> = (0..m)
         .map(|i| {
@@ -52,7 +54,10 @@ fn main() {
     // 3) Modified Gram-Schmidt.
     let x_mgs = dense::gram_schmidt::mgs_least_squares(&a, &b);
 
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "coef", "truth", "CAQR", "CPU QR", "MGS");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "coef", "truth", "CAQR", "CPU QR", "MGS"
+    );
     for k in 0..n {
         println!(
             "{:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
@@ -81,5 +86,8 @@ fn main() {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max)
     );
-    println!("modelled GPU time for the factorization + solve: {:.3} ms", gpu.elapsed() * 1e3);
+    println!(
+        "modelled GPU time for the factorization + solve: {:.3} ms",
+        gpu.elapsed() * 1e3
+    );
 }

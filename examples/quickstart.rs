@@ -26,18 +26,32 @@ fn main() {
     let wall = t0.elapsed();
 
     println!("factored {}x{} with CAQR", m, n);
-    println!("  reconstruction  ||A - QR|| / ||A|| = {:.2e}", reconstruction_error(&a, &q, &r));
-    println!("  orthogonality   ||Q^T Q - I||      = {:.2e}", orthogonality_error(&q));
+    println!(
+        "  reconstruction  ||A - QR|| / ||A|| = {:.2e}",
+        reconstruction_error(&a, &q, &r)
+    );
+    println!(
+        "  orthogonality   ||Q^T Q - I||      = {:.2e}",
+        orthogonality_error(&q)
+    );
     let mut upper = true;
     for j in 0..r.cols() {
         for i in j + 1..r.rows() {
             upper &= r[(i, j)] == 0.0;
         }
     }
-    println!("  R is {}x{}, upper triangular: {}", r.rows(), r.cols(), upper);
+    println!(
+        "  R is {}x{}, upper triangular: {}",
+        r.rows(),
+        r.cols(),
+        upper
+    );
 
     let ledger = gpu.ledger();
-    println!("\nmodelled C2050 timeline ({} kernel launches):", ledger.calls);
+    println!(
+        "\nmodelled C2050 timeline ({} kernel launches):",
+        ledger.calls
+    );
     print!("{}", ledger.summary());
     println!(
         "modelled SGEQRF rate: {:.1} GFLOP/s   (host wall-clock for the real arithmetic: {:.1} ms)",

@@ -50,14 +50,22 @@ fn main() {
 
     // (b) Classical Gram-Schmidt.
     let (q_cgs, _) = dense::gram_schmidt::classical_gram_schmidt(&basis);
-    println!("classical Gram-Schmidt: ||Q^T Q - I|| = {:.2e}", orthogonality_error(&q_cgs));
+    println!(
+        "classical Gram-Schmidt: ||Q^T Q - I|| = {:.2e}",
+        orthogonality_error(&q_cgs)
+    );
 
     // (c) CholeskyQR — squares the condition number; may fail outright.
     match dense::gram_schmidt::cholesky_qr(&basis) {
         Ok((q_chol, _)) => {
-            println!("CholeskyQR:             ||Q^T Q - I|| = {:.2e}", orthogonality_error(&q_chol))
+            println!(
+                "CholeskyQR:             ||Q^T Q - I|| = {:.2e}",
+                orthogonality_error(&q_chol)
+            )
         }
-        Err(e) => println!("CholeskyQR:             FAILED ({e}) — the Gram matrix lost definiteness"),
+        Err(e) => {
+            println!("CholeskyQR:             FAILED ({e}) — the Gram matrix lost definiteness")
+        }
     }
 
     println!(

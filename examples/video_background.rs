@@ -45,7 +45,14 @@ fn main() {
     };
 
     let t0 = std::time::Instant::now();
-    let result = rpca(&backend, &video.matrix, &RpcaParams { tol: 1e-5, ..Default::default() });
+    let result = rpca(
+        &backend,
+        &video.matrix,
+        &RpcaParams {
+            tol: 1e-5,
+            ..Default::default()
+        },
+    );
     println!(
         "solved in {} iterations (converged={}, rank(L)={}, residual={:.1e}) — wall {:.2}s, modelled GPU {:.1} ms",
         result.iterations,
@@ -55,7 +62,10 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         gpu.elapsed() * 1e3
     );
-    println!("foreground sparsity: {:.1}%", 100.0 * sparsity(&result.s, 0.3));
+    println!(
+        "foreground sparsity: {:.1}%",
+        100.0 * sparsity(&result.s, 0.3)
+    );
     let det = rpca::foreground_detection(&result.s, &video.foreground, 0.3, 0.5);
     println!(
         "foreground detection: precision {:.2}  recall {:.2}  F1 {:.2};  background PSNR {:.1} dB",
@@ -84,7 +94,10 @@ fn main() {
     let obs = render(&|i| video.matrix[(i, f)]);
     let bg = render(&|i| result.l[(i, f)]);
     let fg = render(&|i| result.s[(i, f)].abs());
-    println!("\n{:<66}{:<66}{:<66}", "observed frame", "recovered background", "recovered foreground");
+    println!(
+        "\n{:<66}{:<66}{:<66}",
+        "observed frame", "recovered background", "recovered foreground"
+    );
     for ((o, b), s) in obs.iter().zip(&bg).zip(&fg) {
         println!("{o}  {b}  {s}");
     }
@@ -116,5 +129,10 @@ fn main() {
     let p1 = write_pgm("observed.pgm", &|i| video.matrix[(i, f)]);
     let p2 = write_pgm("background.pgm", &|i| result.l[(i, f)]);
     let p3 = write_pgm("foreground.pgm", &|i| result.s[(i, f)].abs());
-    println!("\nwrote {} , {} , {}", p1.display(), p2.display(), p3.display());
+    println!(
+        "\nwrote {} , {} , {}",
+        p1.display(),
+        p2.display(),
+        p3.display()
+    );
 }

@@ -48,8 +48,10 @@ fn kernel_reports_expose_boundedness() {
     let gpu = Gpu::new(DeviceSpec::c2050());
     let mut a = dense::generate::uniform::<f32>(2048, 16, 2);
     let tiles = caqr::block::tile_panel(0, 2048, 128, 16);
-    let taus: Vec<parking_lot::Mutex<Vec<f32>>> =
-        tiles.iter().map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let taus: Vec<parking_lot::Mutex<Vec<f32>>> = tiles
+        .iter()
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
     let k = caqr::kernels::FactorKernel {
         a: dense::MatPtr::new(&mut a),
         tiles: &tiles,

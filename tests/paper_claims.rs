@@ -16,11 +16,21 @@ fn abstract_headline_speedups() {
     let mut best_vs_mkl: f64 = 0.0;
     for m in [10_000usize, 100_000, 1_000_000] {
         let c = QrImpl::Caqr.model_gflops(m, 192);
-        best_vs_gpu = best_vs_gpu.max(c / QrImpl::Magma.model_gflops(m, 192).max(QrImpl::Cula.model_gflops(m, 192)));
+        best_vs_gpu = best_vs_gpu.max(
+            c / QrImpl::Magma
+                .model_gflops(m, 192)
+                .max(QrImpl::Cula.model_gflops(m, 192)),
+        );
         best_vs_mkl = best_vs_mkl.max(c / QrImpl::Mkl.model_gflops(m, 192));
     }
-    assert!(best_vs_gpu > 10.0, "max speedup vs GPU libraries {best_vs_gpu:.1}x (paper: 17x)");
-    assert!(best_vs_mkl > 5.0, "max speedup vs MKL {best_vs_mkl:.1}x (paper: 12x)");
+    assert!(
+        best_vs_gpu > 10.0,
+        "max speedup vs GPU libraries {best_vs_gpu:.1}x (paper: 17x)"
+    );
+    assert!(
+        best_vs_mkl > 5.0,
+        "max speedup vs MKL {best_vs_mkl:.1}x (paper: 12x)"
+    );
 }
 
 /// Section IV-G: "our tuning improved the performance of apply_qt_h ... from
@@ -32,14 +42,20 @@ fn tuning_gains_about_7x() {
     let first = apply_qt_h_block_gflops(&spec, bs, ReductionStrategy::SharedParallel);
     let last = apply_qt_h_block_gflops(&spec, bs, ReductionStrategy::RegisterSerialTransposed);
     let gain = last / first;
-    assert!(gain > 5.0 && gain < 10.0, "tuning gain {gain:.1}x (paper: 7.05x)");
+    assert!(
+        gain > 5.0 && gain < 10.0,
+        "tuning gain {gain:.1}x (paper: 7.05x)"
+    );
 }
 
 /// Section IV-F: "Our best overall performance comes from using 128x16
 /// blocks."
 #[test]
 fn best_block_is_128x16() {
-    let best = autotune(&DeviceSpec::c2050(), ReductionStrategy::RegisterSerialTransposed);
+    let best = autotune(
+        &DeviceSpec::c2050(),
+        ReductionStrategy::RegisterSerialTransposed,
+    );
     assert_eq!(best.bs, BlockSize { h: 128, w: 16 });
 }
 
@@ -92,8 +108,14 @@ fn table2_iteration_rates() {
     assert!(cpu < blas2 && blas2 < caqr_rate);
     let r_blas2 = caqr_rate / blas2;
     let r_cpu = caqr_rate / cpu;
-    assert!(r_blas2 > 2.0 && r_blas2 < 4.5, "CAQR/BLAS2 = {r_blas2:.1} (paper 3.1)");
-    assert!(r_cpu > 10.0 && r_cpu < 45.0, "CAQR/CPU = {r_cpu:.1} (paper 30)");
+    assert!(
+        r_blas2 > 2.0 && r_blas2 < 4.5,
+        "CAQR/BLAS2 = {r_blas2:.1} (paper 3.1)"
+    );
+    assert!(
+        r_cpu > 10.0 && r_cpu < 45.0,
+        "CAQR/CPU = {r_cpu:.1} (paper 30)"
+    );
     // "reducing the time to solve the problem ... to 17 seconds":
     let t500 = 500.0 / caqr_rate;
     assert!(t500 < 30.0, "500 iterations take {t500:.0}s (paper 17s)");

@@ -98,8 +98,13 @@ fn krylov_basis_stays_orthogonal_under_tsqr() {
     // The s-step motivation: TSQR handles nearly dependent columns.
     let g = Gpu::new(DeviceSpec::c2050());
     let basis = dense::generate::krylov_basis::<f64>(8192, 10, 11);
-    let f = caqr::tsqr(&g, basis, BlockSize::c2050_best(), ReductionStrategy::RegisterSerialTransposed)
-        .unwrap();
+    let f = caqr::tsqr(
+        &g,
+        basis,
+        BlockSize::c2050_best(),
+        ReductionStrategy::RegisterSerialTransposed,
+    )
+    .unwrap();
     let q = f.generate_q(&g).unwrap();
     assert!(orthogonality_error(&q) < 1e-11);
 }

@@ -26,7 +26,14 @@ fn gpu_pipeline_separates_video() {
         gpu: &gpu,
         opts: caqr::CaqrOptions::default(),
     };
-    let r = rpca(&backend, &video.matrix, &RpcaParams { tol: 1e-5, ..Default::default() });
+    let r = rpca(
+        &backend,
+        &video.matrix,
+        &RpcaParams {
+            tol: 1e-5,
+            ..Default::default()
+        },
+    );
     assert!(r.converged, "GPU-backend RPCA did not converge");
 
     // Background recovery.
@@ -40,14 +47,25 @@ fn gpu_pipeline_separates_video() {
     // Foreground support recovered (precision AND recall).
     let det = rpca::foreground_detection(&r.s, &video.foreground, 0.3, 0.5);
     assert!(det.recall > 0.8, "foreground recall {}", det.recall);
-    assert!(det.precision > 0.5, "foreground precision {}", det.precision);
+    assert!(
+        det.precision > 0.5,
+        "foreground precision {}",
+        det.precision
+    );
     assert!(det.f1 > 0.65, "foreground F1 {}", det.f1);
-    assert!(rpca::psnr(&r.l, &video.background, 1.0) > 20.0, "background PSNR too low");
+    assert!(
+        rpca::psnr(&r.l, &video.background, 1.0) > 20.0,
+        "background PSNR too low"
+    );
     assert!(sparsity(&r.s, 0.3) < 0.25);
 
     // The simulated GPU really did the QRs: many launches, modelled time.
     let l = gpu.ledger();
-    assert!(l.calls > 50, "expected many kernel launches, saw {}", l.calls);
+    assert!(
+        l.calls > 50,
+        "expected many kernel launches, saw {}",
+        l.calls
+    );
     assert!(l.seconds > 0.0);
 }
 
@@ -55,7 +73,10 @@ fn gpu_pipeline_separates_video() {
 fn gpu_and_cpu_backends_agree_on_the_solution() {
     let cfg = VideoConfig::tiny();
     let video = generate::<f64>(&cfg);
-    let params = RpcaParams { tol: 1e-5, ..Default::default() };
+    let params = RpcaParams {
+        tol: 1e-5,
+        ..Default::default()
+    };
 
     let r_cpu = rpca(&CpuQrBackend, &video.matrix, &params);
     let gpu = Gpu::new(DeviceSpec::gtx480());
@@ -65,7 +86,10 @@ fn gpu_and_cpu_backends_agree_on_the_solution() {
     };
     let r_gpu = rpca(&backend, &video.matrix, &params);
 
-    assert_eq!(r_cpu.iterations, r_gpu.iterations, "iteration paths diverged");
+    assert_eq!(
+        r_cpu.iterations, r_gpu.iterations,
+        "iteration paths diverged"
+    );
     let mut max_dl = 0.0f64;
     for (a, b) in r_cpu.l.as_slice().iter().zip(r_gpu.l.as_slice()) {
         max_dl = max_dl.max((a - b).abs());
@@ -82,7 +106,11 @@ fn svd_identities_on_the_video_matrix() {
     let f2 = frobenius(&video.matrix).powi(2);
     assert!((ss / f2 - 1.0).abs() < 1e-10, "Frobenius identity violated");
     // The top singular vector is essentially the background direction.
-    assert!(s.sigma[0] > 3.0 * s.sigma[1], "background should dominate: {:?}", &s.sigma[..3]);
+    assert!(
+        s.sigma[0] > 3.0 * s.sigma[1],
+        "background should dominate: {:?}",
+        &s.sigma[..3]
+    );
 }
 
 #[test]
@@ -93,6 +121,9 @@ fn rpca_respects_exact_low_rank_sparse_inputs() {
     assert!(r.converged);
     let s_norm = frobenius(&r.s);
     let l_norm = frobenius(&l0);
-    assert!(s_norm < 0.02 * l_norm, "spurious sparse component: {s_norm} vs {l_norm}");
+    assert!(
+        s_norm < 0.02 * l_norm,
+        "spurious sparse component: {s_norm} vs {l_norm}"
+    );
     assert!(r.rank <= 3);
 }

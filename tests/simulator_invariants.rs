@@ -54,8 +54,13 @@ fn dram_traffic_scales_linearly_for_tsqr() {
     let traffic = |m: usize| {
         let g = Gpu::new(DeviceSpec::c2050());
         let a = dense::generate::uniform::<f32>(m, 16, 3);
-        let _ = caqr::tsqr(&g, a, BlockSize::c2050_best(), ReductionStrategy::RegisterSerialTransposed)
-            .unwrap();
+        let _ = caqr::tsqr(
+            &g,
+            a,
+            BlockSize::c2050_best(),
+            ReductionStrategy::RegisterSerialTransposed,
+        )
+        .unwrap();
         g.ledger().dram_bytes / (m as f64 * 16.0 * 4.0)
     };
     let passes_small = traffic(16_384);
@@ -64,7 +69,10 @@ fn dram_traffic_scales_linearly_for_tsqr() {
         (passes_big / passes_small - 1.0).abs() < 0.1,
         "passes per element should be ~constant: {passes_small:.2} vs {passes_big:.2}"
     );
-    assert!(passes_big < 8.0, "TSQR should stream the panel a few times, got {passes_big:.2}");
+    assert!(
+        passes_big < 8.0,
+        "TSQR should stream the panel a few times, got {passes_big:.2}"
+    );
 }
 
 #[test]
@@ -113,7 +121,10 @@ fn shared_serial_strategy_rejects_blocks_that_overflow_smem() {
         },
     );
     assert!(
-        matches!(r, Err(caqr::CaqrError::Launch(LaunchError::SharedMemory { .. }))),
+        matches!(
+            r,
+            Err(caqr::CaqrError::Launch(LaunchError::SharedMemory { .. }))
+        ),
         "expected an smem launch failure"
     );
 }

@@ -14,8 +14,13 @@ fn execute_200k_by_8_like_an_s_step_method() {
     let n = 8;
     let a = dense::generate::uniform::<f32>(m, n, 1);
     let gpu = Gpu::new(DeviceSpec::c2050());
-    let f = caqr::tsqr(&gpu, a.clone(), BlockSize::c2050_best(), ReductionStrategy::RegisterSerialTransposed)
-        .unwrap();
+    let f = caqr::tsqr(
+        &gpu,
+        a.clone(),
+        BlockSize::c2050_best(),
+        ReductionStrategy::RegisterSerialTransposed,
+    )
+    .unwrap();
     let r = f.r();
     // Column-norm preservation is a cheap full-strength check at this size.
     for j in 0..n {
@@ -52,7 +57,10 @@ fn execute_32k_by_256_full_caqr() {
     let before = dense::blas1::nrm2(probe.col(0));
     f.apply_qt(&gpu, &mut probe).unwrap();
     let after = dense::blas1::nrm2(probe.col(0));
-    assert!((before - after).abs() < 1e-3 * before, "{before} vs {after}");
+    assert!(
+        (before - after).abs() < 1e-3 * before,
+        "{before} vs {after}"
+    );
     // And Q^T A e_j == R e_j (the 100th column of R).
     let r = f.r();
     for i in 0..256 {
@@ -76,7 +84,10 @@ fn model_handles_the_papers_most_extreme_shapes() {
     assert!(t1.is_finite() && t1 > 0.0);
     assert!(t2 > t1, "wider matrix must take longer: {t2} vs {t1}");
     let g = dense::geqrf_flops(1 << 23, 8) / t1 / 1e9;
-    assert!(g > 1.0 && g < 1030.0, "8-column throughput {g} GFLOP/s out of range");
+    assert!(
+        g > 1.0 && g < 1030.0,
+        "8-column throughput {g} GFLOP/s out of range"
+    );
 }
 
 #[test]

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the `Criterion` / `BenchmarkGroup` / `Bencher` API surface the
+//! workspace's benches use, backed by a plain wall-clock runner: each bench
+//! closure is warmed up once, then timed `sample_size` times, and the
+//! mean / min / max are printed. There is no statistical analysis, HTML
+//! report, or baseline comparison — `cargo bench` just runs and prints.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench context, handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display name used in the report line.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_bench(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; `iter` times the supplied routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after a single warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<44} (no samples — closure never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().expect("nonempty");
+    let max = b.samples.iter().max().expect("nonempty");
+    println!(
+        "{label:<44} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+        mean,
+        min,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Re-export for bench files that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into a runner, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // One warm-up plus three timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).into_id(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("8192x64").into_id(), "8192x64");
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.sample_size(1);
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            g.finish();
+        }
+        criterion_group!(runner, target);
+        runner();
+    }
+}

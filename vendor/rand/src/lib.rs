@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the trait surface the workspace uses — [`RngCore`], [`Rng`],
+//! [`SeedableRng`] and `distributions::{Distribution, Uniform}` — with the
+//! same shapes as rand 0.8. Generators vendored alongside (`rand_chacha`)
+//! implement [`RngCore`]; everything downstream is deterministic given a
+//! seed, which is all the workspace requires (generated streams are not
+//! bit-compatible with upstream rand, and no test depends on that).
+
+/// The core of every random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience extension trait (auto-implemented for every [`RngCore`]).
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a 64-bit seed, expanded through SplitMix64 (deterministic,
+    /// well mixed — the same construction upstream rand uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Value distributions over an [`RngCore`].
+pub mod distributions {
+    use crate::{Rng, RngCore};
+
+    /// A type that can produce values of `T` from random bits.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types a [`Uniform`] distribution can produce (mirrors upstream's
+    /// `SampleUniform` dispatch so `Uniform::new` stays generic).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Map a unit sample in `[0, 1)` onto `[low, high)`.
+        fn from_unit(low: Self, high: Self, unit: f64) -> Self;
+    }
+
+    impl SampleUniform for f64 {
+        fn from_unit(low: f64, high: f64, unit: f64) -> f64 {
+            low + (high - low) * unit
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn from_unit(low: f32, high: f32, unit: f64) -> f32 {
+            low + (high - low) * (unit as f32)
+        }
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<X: SampleUniform> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        /// Uniform over `[low, high)`; requires `low < high`.
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            X::from_unit(self.low, self.high, rng.gen_unit_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a mixer: adequate for the range tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = Counter(42);
+        let d = Uniform::new(-1.0f64, 1.0);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let mut rng = Counter(7);
+        let d = Uniform::new(0.0f64, 1.0);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            lo |= x < 0.25;
+            hi |= x > 0.75;
+        }
+        assert!(lo && hi, "samples should spread across the interval");
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Uniform::new(1.0f64, -1.0);
+    }
+}

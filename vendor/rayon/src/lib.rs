@@ -1,0 +1,245 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real rayon cannot be fetched. This vendored replacement implements the
+//! small slice of the rayon API the workspace uses — `into_par_iter()` /
+//! `par_iter()` with `for_each`, `map`, `map_init` and `collect` — with
+//! *real* parallelism on `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; `map`/`map_init` preserve input
+//! order in their collected output, and panics in worker closures propagate
+//! to the caller exactly like rayon's do.
+//!
+//! Semantics intentionally mirror rayon where the workspace depends on
+//! them:
+//! * closures must be `Sync` (shared by reference across workers),
+//! * items must be `Send`,
+//! * `map_init` creates one scratch value per worker chunk and reuses it
+//!   for every item in the chunk.
+
+use std::panic::resume_unwind;
+use std::thread;
+
+/// The number of worker threads used for parallel drains.
+fn threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items`, one contiguous chunk per worker, preserving input
+/// order in the returned vector. The scratch value from `init` is created
+/// once per chunk and threaded through `f` like rayon's `map_init`.
+fn drive<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        let mut scratch = init();
+        return items.into_iter().map(|t| f(&mut scratch, t)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk).min(items.len()));
+        chunks.push(tail);
+    }
+    chunks.reverse(); // split_off peeled from the back; restore input order
+    let init = &init;
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|ch| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    ch.into_iter()
+                        .map(|t| f(&mut scratch, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(e) => resume_unwind(e),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized parallel iterator: the items to drain in parallel.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Consume every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        drive(self.items, || (), |_, t| f(t));
+    }
+
+    /// Map every item in parallel (eagerly), preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: drive(self.items, || (), |_, t| f(t)),
+        }
+    }
+
+    /// Rayon's `map_init`: one scratch value per worker, reused across its
+    /// chunk of items.
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParIter<R>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParIter {
+            items: drive(self.items, init, f),
+        }
+    }
+
+    /// Collect the (already computed) results.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered(self.items)
+    }
+}
+
+/// Conversion target of [`ParIter::collect`].
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// By-value conversion into a parallel iterator (`0..n`, `Vec<T>`, ...).
+pub trait IntoParallelIterator {
+    /// Item type drained in parallel.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// By-reference parallel iteration over slices (and, via deref, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Materialize a parallel iterator of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Everything a `use rayon::prelude::*` caller expects in scope.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let sum = AtomicU64::new(0);
+        (1..=100u64).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_within_chunk() {
+        let counts: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map_init(
+                || 0u64,
+                |seen, _| {
+                    *seen += 1;
+                    *seen
+                },
+            )
+            .collect();
+        // Each chunk counts up from 1; totals across chunks cover all items.
+        let total: u64 = counts.iter().filter(|&&c| c == 1).count() as u64;
+        assert!(total >= 1, "at least one chunk started counting");
+        assert_eq!(counts.len(), 64);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4); // still owned
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn panics_propagate() {
+        (0..8u64).into_par_iter().for_each(|i| {
+            if i == 3 {
+                panic!("worker boom");
+            }
+        });
+    }
+}
