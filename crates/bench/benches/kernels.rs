@@ -111,11 +111,74 @@ fn bench_dense_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: per-reflector BLAS2 `larf` sweeps vs the
+/// compact-WY 3-GEMM `larfb` apply, on the paper's tall-skinny panel shape.
+/// Both paths run the same tile grid over the same factored panel; only the
+/// inner apply differs.
+fn bench_larf_vs_larfb(c: &mut Criterion) {
+    use caqr::block::tile_panel;
+    use caqr::blockops;
+    use dense::MatPtr;
+
+    let mut group = c.benchmark_group("apply_qt_h");
+    group.sample_size(10);
+    for &(m, w, h) in &[(10240usize, 16usize, 128usize), (4096, 8, 64)] {
+        let mut panel = dense::generate::uniform::<f32>(m, w, 11);
+        let tiles = tile_panel(0, m, h, w);
+        let wys: Vec<_> = {
+            let p = MatPtr::new(&mut panel);
+            tiles
+                .iter()
+                .map(|&t| blockops::factor_tile(p, t, 0, w))
+                .collect()
+        };
+        let c0 = dense::generate::uniform::<f32>(m, w, 12);
+        let shape = format!("{m}x{w}");
+        group.bench_with_input(BenchmarkId::new("larfb_wy", &shape), &m, |b, _| {
+            b.iter(|| {
+                let mut cm = c0.clone();
+                let cp = MatPtr::new(&mut cm);
+                for (ti, &tile) in tiles.iter().enumerate() {
+                    blockops::apply_tile_wy(&wys[ti], cp, tile, 0, w, true);
+                }
+                black_box(cm)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("larf_per_reflector", &shape),
+            &m,
+            |b, _| {
+                b.iter(|| {
+                    let mut cm = c0.clone();
+                    let cp = MatPtr::new(&mut cm);
+                    let vp = MatPtr::new_readonly(&panel);
+                    for (ti, &tile) in tiles.iter().enumerate() {
+                        blockops::apply_tile_reflectors(
+                            vp,
+                            cp,
+                            tile,
+                            0,
+                            w,
+                            &wys[ti].tau,
+                            0,
+                            w,
+                            true,
+                        );
+                    }
+                    black_box(cm)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tsqr,
     bench_caqr_factor,
     bench_apply_qt,
-    bench_dense_primitives
+    bench_dense_primitives,
+    bench_larf_vs_larfb
 );
 criterion_main!(benches);

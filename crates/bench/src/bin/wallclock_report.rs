@@ -1,0 +1,179 @@
+//! Wall-clock kernel report: times the real host arithmetic behind each
+//! kernel class (packed GEMM, per-reflector larf apply, compact-WY larfb
+//! apply, host CAQR factor) and emits `BENCH_kernels.json` with GFLOP/s per
+//! kernel per shape, plus a human-readable table on stdout.
+//!
+//! `--quick` shrinks shapes and repetitions for the CI smoke run; without
+//! it the shapes match the EXPERIMENTS.md entries.
+
+use caqr::block::tile_panel;
+use caqr::blockops;
+use caqr::{caqr_cpu, CpuCaqrOptions};
+use caqr_bench::Table;
+use dense::blas3::{gemm, Trans};
+use dense::matrix::Matrix;
+use dense::MatPtr;
+use std::time::Instant;
+
+struct Entry {
+    kernel: &'static str,
+    shape: String,
+    seconds: f64,
+    gflops: f64,
+}
+
+/// Best-of-`reps` wall-clock of `f`, charged with `flops` useful flops.
+fn time_kernel(reps: usize, flops: f64, mut f: impl FnMut()) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, flops / best / 1e9)
+}
+
+fn bench_gemm(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
+    for &(m, n, k) in shapes {
+        let a = dense::generate::uniform::<f32>(m, k, 1);
+        let b = dense::generate::uniform::<f32>(k, n, 2);
+        let mut c = Matrix::<f32>::zeros(m, n);
+        let (seconds, gflops) = time_kernel(reps, 2.0 * (m * n * k) as f64, || {
+            gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                a.as_ref(),
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            );
+            std::hint::black_box(&c);
+        });
+        entries.push(Entry {
+            kernel: "gemm",
+            shape: format!("{m}x{n}x{k}"),
+            seconds,
+            gflops,
+        });
+    }
+}
+
+fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
+    for &(m, w, h) in shapes {
+        let mut panel = dense::generate::uniform::<f32>(m, w, 3);
+        let tiles = tile_panel(0, m, h, w);
+        let wys: Vec<_> = {
+            let p = MatPtr::new(&mut panel);
+            tiles
+                .iter()
+                .map(|&t| blockops::factor_tile(p, t, 0, w))
+                .collect()
+        };
+        let c0 = dense::generate::uniform::<f32>(m, w, 4);
+        // Both paths apply the same w reflectors per tile to a w-column
+        // target: 4*rows*w*w useful flops per tile.
+        let flops = 4.0 * (m * w * w) as f64;
+        let shape = format!("{m}x{w}");
+        let mut cm = c0.clone();
+        let (seconds, gflops) = time_kernel(reps, flops, || {
+            cm.as_mut_slice().copy_from_slice(c0.as_slice());
+            let cp = MatPtr::new(&mut cm);
+            for (ti, &tile) in tiles.iter().enumerate() {
+                blockops::apply_tile_wy(&wys[ti], cp, tile, 0, w, true);
+            }
+            std::hint::black_box(&cm);
+        });
+        entries.push(Entry {
+            kernel: "apply_larfb_wy",
+            shape: shape.clone(),
+            seconds,
+            gflops,
+        });
+        let (seconds, gflops) = time_kernel(reps, flops, || {
+            cm.as_mut_slice().copy_from_slice(c0.as_slice());
+            let cp = MatPtr::new(&mut cm);
+            let vp = MatPtr::new_readonly(&panel);
+            for (ti, &tile) in tiles.iter().enumerate() {
+                blockops::apply_tile_reflectors(vp, cp, tile, 0, w, &wys[ti].tau, 0, w, true);
+            }
+            std::hint::black_box(&cm);
+        });
+        entries.push(Entry {
+            kernel: "apply_larf_per_reflector",
+            shape,
+            seconds,
+            gflops,
+        });
+    }
+}
+
+fn bench_caqr_cpu(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize)]) {
+    for &(m, n) in shapes {
+        let a = dense::generate::uniform::<f64>(m, n, 5);
+        // Tall-skinny QR: ~ 2 m n^2 - (2/3) n^3 useful flops.
+        let flops = 2.0 * (m * n * n) as f64 - 2.0 / 3.0 * (n * n * n) as f64;
+        let (seconds, gflops) = time_kernel(reps, flops, || {
+            let f = caqr_cpu(a.clone(), CpuCaqrOptions::for_width(n)).unwrap();
+            std::hint::black_box(f.a.as_slice().len());
+        });
+        entries.push(Entry {
+            kernel: "caqr_cpu_factor",
+            shape: format!("{m}x{n}"),
+            seconds,
+            gflops,
+        });
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 5 };
+    let mut entries = Vec::new();
+
+    if quick {
+        bench_gemm(&mut entries, reps, &[(256, 256, 256), (4096, 16, 16)]);
+        bench_apply(&mut entries, reps, &[(4096, 16, 128)]);
+        bench_caqr_cpu(&mut entries, reps, &[(4096, 16)]);
+    } else {
+        bench_gemm(
+            &mut entries,
+            reps,
+            &[(512, 512, 512), (1024, 1024, 1024), (8192, 16, 16)],
+        );
+        bench_apply(&mut entries, reps, &[(10240, 16, 128), (65536, 16, 128)]);
+        bench_caqr_cpu(&mut entries, reps, &[(65536, 16), (131072, 8)]);
+    }
+
+    let mut table = Table::new(&["kernel", "shape", "seconds", "GFLOP/s"]);
+    for e in &entries {
+        table.row(vec![
+            e.kernel.to_string(),
+            e.shape.clone(),
+            format!("{:.6}", e.seconds),
+            format!("{:.2}", e.gflops),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"kernels\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.3}}}{}\n",
+            e.kernel,
+            e.shape,
+            e.seconds,
+            e.gflops,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote BENCH_kernels.json ({} entries)", entries.len());
+}

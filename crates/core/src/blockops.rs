@@ -3,26 +3,36 @@
 //! implementation ([`crate::multicore`]): factor a tile, factor a gathered
 //! triangle stack, apply tile reflectors, apply a tree node.
 //!
+//! Factorization precomputes the compact-WY representation `Q = I - V T V^T`
+//! ([`WyTile`], `TreeNode::tmat`), so every apply is three GEMMs (`larfb`)
+//! instead of `k` rank-1 sweeps over the tile — the BLAS3 restructuring of
+//! the trailing update. [`apply_tile_reflectors`] keeps the original
+//! per-reflector BLAS2 path as the reference (tested equivalent, and the
+//! baseline for the larf-vs-larfb benches).
+//!
 //! All functions follow the [`dense::ptr::MatPtr`] disjoint-tile contract —
 //! the caller's parallel loop must hand each invocation a tile no other
 //! concurrent invocation touches.
 
 use crate::block::Tile;
-use crate::tsqr::TreeNode;
+use crate::tsqr::{TreeNode, WyTile};
+use dense::blas3::{gemm, Trans};
+use dense::blocked::{extract_v, larfb_left, larft};
 use dense::householder::geqr2;
 use dense::matrix::{MatMut, MatRef, Matrix};
 use dense::scalar::Scalar;
 use dense::MatPtr;
 
-/// Factor one `tile.rows x width` tile of the panel in place; returns the
-/// `tau` scalars. (The `factor` kernel body.)
-pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usize) -> Vec<T> {
+/// Factor one `tile.rows x width` tile of the panel in place and build its
+/// compact-WY factors. (The `factor` kernel body.)
+pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usize) -> WyTile<T> {
     let mut buf = vec![T::ZERO; tile.rows * width];
     // SAFETY: the caller assigns disjoint tiles to concurrent invocations.
     unsafe {
         a.load_tile(tile.start, col0, tile.rows, width, &mut buf);
     }
-    let mut tau = vec![T::ZERO; tile.rows.min(width)];
+    let k = tile.rows.min(width);
+    let mut tau = vec![T::ZERO; k];
     geqr2(
         MatMut::from_parts(&mut buf, tile.rows, width, tile.rows),
         &mut tau,
@@ -31,7 +41,13 @@ pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usiz
     unsafe {
         a.store_tile(tile.start, col0, tile.rows, width, &buf);
     }
-    tau
+    let factored = MatRef::from_parts(&buf, tile.rows, width, tile.rows);
+    // larft reads only the strictly-below-diagonal entries of the factored
+    // panel, so it can run on `buf` directly; V is then packed explicitly
+    // (unit diagonal, zeros above) so every trailing apply streams it.
+    let t = larft(factored, &tau);
+    let v = extract_v(factored, k);
+    WyTile { tau, v, t }
 }
 
 /// Gather the stacked R-triangles of one tree group, factor the stack, and
@@ -63,15 +79,46 @@ pub fn factor_tree_group<T: Scalar>(
             unsafe { a.set(r0 + i, col0 + j, buf[j * rows + i]) };
         }
     }
+    let tmat = larft(MatRef::from_parts(&buf, rows, w, rows), &tau);
     TreeNode {
         members: members.to_vec(),
         u: Matrix::from_col_major(rows, w, buf),
         tau,
+        tmat,
     }
 }
 
-/// Apply one tile's reflectors to one `tile.rows x wc` target tile at
-/// column `c0`. (The `apply_qt_h` kernel body.)
+/// Apply one tile's compact-WY factor to one `tile.rows x wc` target tile at
+/// column `c0` via three GEMMs (`larfb`). (The `apply_qt_h` kernel body.)
+pub fn apply_tile_wy<T: Scalar>(
+    wy: &WyTile<T>,
+    c: MatPtr<T>,
+    tile: Tile,
+    c0: usize,
+    wc: usize,
+    transpose: bool,
+) {
+    let rows = tile.rows;
+    let mut cbuf = vec![T::ZERO; rows * wc];
+    // SAFETY: target tiles are disjoint across invocations.
+    unsafe {
+        c.load_tile(tile.start, c0, rows, wc, &mut cbuf);
+    }
+    larfb_left(
+        wy.v.as_ref(),
+        wy.t.as_ref(),
+        transpose,
+        MatMut::from_parts(&mut cbuf, rows, wc, rows),
+    );
+    // SAFETY: same disjoint tile.
+    unsafe {
+        c.store_tile(tile.start, c0, rows, wc, &cbuf);
+    }
+}
+
+/// Apply one tile's reflectors one at a time (BLAS2 `larf` sweeps) to one
+/// `tile.rows x wc` target tile. The pre-WY reference path: kept for the
+/// equivalence tests and the larf-vs-larfb benches.
 #[allow(clippy::too_many_arguments)]
 pub fn apply_tile_reflectors<T: Scalar>(
     v: MatPtr<T>,
@@ -107,6 +154,77 @@ pub fn apply_tile_reflectors<T: Scalar>(
     }
 }
 
+/// Apply a tree node's compact-WY factor to a gathered `(t*w) x wc` stack in
+/// place, exploiting the block structure of the stacked `V`:
+///
+/// ```text
+/// V = [ I_w ]        (exact — geqr2 never fills the leader's sub-diagonal)
+///     [ V_1 ]        each V_i is w x w upper triangular
+///     [ ... ]
+/// ```
+///
+/// so `W = V^T C` starts as a copy of the top strip (skipping the unit
+/// block's multiply entirely) and accumulates one `w x w` GEMM per lower
+/// block, never touching the structural zeros between blocks; `C -= V W`
+/// mirrors it. For a `t`-member node this does `(t-1)/t` of the flops of the
+/// dense `V` product on top of the usual 3-GEMM larfb saving.
+pub fn apply_stacked_wy<T: Scalar>(
+    node: &TreeNode<T>,
+    width: usize,
+    mut c: MatMut<'_, T>,
+    transpose: bool,
+) {
+    let w = width;
+    let t = node.members.len();
+    debug_assert_eq!(c.rows(), t * w);
+    let wc = c.cols();
+    if wc == 0 {
+        return;
+    }
+    // W = V^T C: top block of V is exactly I_w.
+    let mut wmat = c.as_ref().submatrix(0, 0, w, wc).to_owned();
+    for i in 1..t {
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            T::ONE,
+            node.u.view(i * w, 0, w, w),
+            c.as_ref().submatrix(i * w, 0, w, wc),
+            T::ONE,
+            wmat.as_mut(),
+        );
+    }
+    // W = op(T) W.
+    let mut tw = Matrix::<T>::zeros(w, wc);
+    gemm(
+        if transpose { Trans::Yes } else { Trans::No },
+        Trans::No,
+        T::ONE,
+        node.tmat.as_ref(),
+        wmat.as_ref(),
+        T::ZERO,
+        tw.as_mut(),
+    );
+    // C -= V W: unit top block subtracts W directly.
+    for j in 0..wc {
+        let col = c.col_mut(j);
+        for (i, ci) in col.iter_mut().take(w).enumerate() {
+            *ci -= tw[(i, j)];
+        }
+    }
+    for i in 1..t {
+        gemm(
+            Trans::No,
+            Trans::No,
+            -T::ONE,
+            node.u.view(i * w, 0, w, w),
+            tw.as_ref(),
+            T::ONE,
+            c.rb_mut().submatrix_mut(i * w, 0, w, wc),
+        );
+    }
+}
+
 /// Apply one tree node's reflectors to the stacked `width`-row strips of
 /// the target at columns `[c0, c0 + wc)`. (The `apply_qt_tree` kernel body.)
 pub fn apply_tree_node<T: Scalar>(
@@ -129,11 +247,11 @@ pub fn apply_tree_node<T: Scalar>(
             }
         }
     }
-    crate::microkernels::apply_block_reflectors(
-        node.u.as_ref(),
-        &node.tau,
-        transpose,
+    apply_stacked_wy(
+        node,
+        w,
         MatMut::from_parts(&mut cbuf, rows, wc, rows),
+        transpose,
     );
     for (si, &r0) in node.members.iter().enumerate() {
         for j in 0..wc {
@@ -155,12 +273,15 @@ mod tests {
         let mut a = dense::generate::uniform::<f64>(40, 6, 1);
         let reference = a.clone();
         let tile = Tile { start: 8, rows: 24 };
-        let tau = factor_tile(MatPtr::new(&mut a), tile, 0, 6);
+        let wy = factor_tile(MatPtr::new(&mut a), tile, 0, 6);
         let mut want = reference.extract(8, 0, 24, 6);
         let mut tau_want = vec![0.0; 6];
         dense::householder::geqr2(want.as_mut(), &mut tau_want);
-        assert_eq!(tau, tau_want);
+        assert_eq!(wy.tau, tau_want);
         assert_eq!(a.extract(8, 0, 24, 6), want);
+        // The packed V matches the factored tile's tails.
+        assert_eq!(wy.v, extract_v(want.as_ref(), 6));
+        assert_eq!(wy.t.rows(), 6);
         // Rows outside the tile untouched.
         for j in 0..6 {
             for i in 0..8 {
@@ -170,43 +291,106 @@ mod tests {
     }
 
     #[test]
-    fn apply_round_trip_via_blockops() {
+    fn wy_apply_matches_per_reflector_apply() {
         let mut panel = dense::generate::uniform::<f64>(64, 4, 2);
         let tiles = tile_panel(0, 64, 32, 4);
-        let taus: Vec<Vec<f64>> = tiles
+        let wys: Vec<WyTile<f64>> = tiles
             .iter()
             .map(|&t| factor_tile(MatPtr::new(&mut panel), t, 0, 4))
             .collect();
         let c0m = dense::generate::uniform::<f64>(64, 3, 3);
-        let mut c = c0m.clone();
-        for (t, tau) in tiles.iter().zip(&taus) {
+        let mut c_wy = c0m.clone();
+        let mut c_ref = c0m.clone();
+        for (t, wy) in tiles.iter().zip(&wys) {
+            apply_tile_wy(wy, MatPtr::new(&mut c_wy), *t, 0, 3, true);
             apply_tile_reflectors(
                 MatPtr::new_readonly(&panel),
-                MatPtr::new(&mut c),
+                MatPtr::new(&mut c_ref),
                 *t,
                 0,
                 4,
-                tau,
+                &wy.tau,
                 0,
                 3,
                 true,
             );
         }
-        for (t, tau) in tiles.iter().zip(&taus) {
-            apply_tile_reflectors(
-                MatPtr::new_readonly(&panel),
-                MatPtr::new(&mut c),
-                *t,
-                0,
-                4,
-                tau,
-                0,
-                3,
-                false,
-            );
+        for (x, y) in c_wy.as_slice().iter().zip(c_ref.as_slice()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn apply_round_trip_via_blockops() {
+        let mut panel = dense::generate::uniform::<f64>(64, 4, 2);
+        let tiles = tile_panel(0, 64, 32, 4);
+        let wys: Vec<WyTile<f64>> = tiles
+            .iter()
+            .map(|&t| factor_tile(MatPtr::new(&mut panel), t, 0, 4))
+            .collect();
+        let c0m = dense::generate::uniform::<f64>(64, 3, 3);
+        let mut c = c0m.clone();
+        for (t, wy) in tiles.iter().zip(&wys) {
+            apply_tile_wy(wy, MatPtr::new(&mut c), *t, 0, 3, true);
+        }
+        for (t, wy) in tiles.iter().zip(&wys) {
+            apply_tile_wy(wy, MatPtr::new(&mut c), *t, 0, 3, false);
         }
         for (x, y) in c.as_slice().iter().zip(c0m.as_slice()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tree_node_top_v_block_is_exact_identity() {
+        // The structural claim apply_stacked_wy relies on: after geqr2 of
+        // stacked upper triangles, the leader block's sub-diagonal is
+        // *bitwise* zero, and every lower block stays upper triangular.
+        let mut a = Matrix::<f64>::zeros(96, 5);
+        for (t, r0) in [0usize, 32, 64].into_iter().enumerate() {
+            for j in 0..5 {
+                for i in 0..=j {
+                    a[(r0 + i, j)] =
+                        ((t * 17 + i * 5 + j) % 11) as f64 - 5.0 + if i == j { 7.0 } else { 0.0 };
+                }
+            }
+        }
+        let node = factor_tree_group(MatPtr::new(&mut a), &[0, 32, 64], 0, 5);
+        for j in 0..5 {
+            for i in j + 1..5 {
+                assert_eq!(node.u[(i, j)], 0.0, "leader sub-diagonal ({i},{j})");
+                assert_eq!(node.u[(5 + i, j)], 0.0, "block-1 below-triangle ({i},{j})");
+                assert_eq!(node.u[(10 + i, j)], 0.0, "block-2 below-triangle ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_wy_matches_per_reflector_on_tree_node() {
+        let mut a = Matrix::<f64>::zeros(96, 6);
+        for (t, r0) in [0usize, 48].into_iter().enumerate() {
+            for j in 0..6 {
+                for i in 0..=j {
+                    a[(r0 + i, j)] = ((t * 13 + i * 3 + j * 7) % 17) as f64 - 8.0
+                        + if i == j { 10.0 } else { 0.0 };
+                }
+            }
+        }
+        let node = factor_tree_group(MatPtr::new(&mut a), &[0, 48], 0, 6);
+        for transpose in [true, false] {
+            let c0 = dense::generate::uniform::<f64>(12, 4, 7);
+            let mut c_wy = c0.clone();
+            apply_stacked_wy(&node, 6, c_wy.as_mut(), transpose);
+            let mut c_ref = c0.clone();
+            crate::microkernels::apply_block_reflectors(
+                node.u.as_ref(),
+                &node.tau,
+                transpose,
+                c_ref.as_mut(),
+            );
+            for (x, y) in c_wy.as_slice().iter().zip(c_ref.as_slice()) {
+                assert!((x - y).abs() < 1e-12, "transpose={transpose}: {x} vs {y}");
+            }
         }
     }
 }

@@ -141,9 +141,8 @@ impl<T: Scalar> Caqr<T> {
         assert_eq!(c.rows(), self.a.rows());
         let cols = col_blocks(0, c.cols(), self.opts.bs.w);
         let cp = MatPtr::new(c);
-        let vp = MatPtr::new_readonly(&self.a);
         for pf in &self.panels {
-            apply_panel_ptr(gpu, vp, cp, pf, &cols, true)?;
+            apply_panel_ptr(gpu, cp, pf, &cols, true)?;
         }
         Ok(())
     }
@@ -153,9 +152,8 @@ impl<T: Scalar> Caqr<T> {
         assert_eq!(c.rows(), self.a.rows());
         let cols = col_blocks(0, c.cols(), self.opts.bs.w);
         let cp = MatPtr::new(c);
-        let vp = MatPtr::new_readonly(&self.a);
         for pf in self.panels.iter().rev() {
-            apply_panel_ptr(gpu, vp, cp, pf, &cols, false)?;
+            apply_panel_ptr(gpu, cp, pf, &cols, false)?;
         }
         Ok(())
     }

@@ -11,7 +11,7 @@
 
 use crate::block::{Tile, TreeGroup};
 use crate::microkernels::{self as mk, ReductionStrategy};
-use crate::tsqr::TreeNode;
+use crate::tsqr::{TreeNode, WyTile};
 use dense::scalar::Scalar;
 use dense::MatPtr;
 use gpu_sim::{BlockCost, BlockCtx, CostMeter, DeviceSpec, Kernel, LaunchConfig};
@@ -143,8 +143,11 @@ fn launch_regs(max_rows: usize, wc: usize, strategy: ReductionStrategy) -> usize
 
 /// `factor` (Section IV-D.1): each block QR-factors one `rows x width` tile
 /// of the panel in place, leaving R in the tile's upper triangle and the
-/// Householder tails below the diagonal; `tau` scalars go to the per-tile
-/// output slots.
+/// Householder tails below the diagonal; the compact-WY factors (packed `V`,
+/// triangular `T`, `tau`) go to the per-tile output slots. The WY build is
+/// part of the same per-block cost as before — the charge model is shape-
+/// derived and deliberately unchanged, so modelled figures stay stable
+/// across the BLAS3 rewrite.
 pub struct FactorKernel<'a, T: Scalar> {
     /// Global-memory handle of the matrix being factored.
     pub a: MatPtr<T>,
@@ -158,8 +161,8 @@ pub struct FactorKernel<'a, T: Scalar> {
     pub strategy: ReductionStrategy,
     /// Device description for cost derivation.
     pub spec: DeviceSpec,
-    /// Output `tau` slot per tile.
-    pub taus: &'a [Mutex<Vec<T>>],
+    /// Output compact-WY slot per tile.
+    pub wy: &'a [Mutex<Option<WyTile<T>>>],
 }
 
 impl<'a, T: Scalar> Kernel<T> for FactorKernel<'a, T> {
@@ -185,7 +188,9 @@ impl<'a, T: Scalar> Kernel<T> for FactorKernel<'a, T> {
 
     fn run_block(&self, b: usize, ctx: &mut BlockCtx<T>) {
         let tile = self.tiles[b];
-        *self.taus[b].lock() = crate::blockops::factor_tile(self.a, tile, self.col0, self.width);
+        *self.wy[b].lock() = Some(crate::blockops::factor_tile(
+            self.a, tile, self.col0, self.width,
+        ));
         ctx.meter.charge(&factor_block_cost(
             &self.spec,
             tile.rows,
@@ -271,24 +276,20 @@ impl<'a, T: Scalar> Kernel<T> for FactorTreeKernel<'a, T> {
 // apply_qt_h
 // ---------------------------------------------------------------------------
 
-/// `apply_qt_h` (Section IV-D.3): apply the level-0 Householder vectors of
-/// each panel tile horizontally across the trailing matrix. The grid is
-/// `tiles x column-blocks`; block `(ti, cb)` updates the `tiles[ti].rows x
-/// col_blocks[cb].1` tile of the target.
+/// `apply_qt_h` (Section IV-D.3): apply the level-0 reflectors of each panel
+/// tile horizontally across the trailing matrix, via the packed compact-WY
+/// factors cached at factor time (three GEMMs per tile instead of `width`
+/// rank-1 sweeps). The grid is `tiles x column-blocks`; block `(ti, cb)`
+/// updates the `tiles[ti].rows x col_blocks[cb].1` tile of the target.
 pub struct ApplyQtHKernel<'a, T: Scalar> {
-    /// Matrix holding the panel's Householder tails (below its diagonal).
-    pub v: MatPtr<T>,
-    /// Target matrix being updated (may be the same allocation as `v` for
-    /// trailing-matrix updates; tiles never overlap the panel columns).
+    /// Target matrix being updated (tiles never overlap the panel columns).
     pub c: MatPtr<T>,
     /// Panel tiles.
     pub tiles: &'a [Tile],
-    /// Panel's first column in `v`.
-    pub col0: usize,
     /// Panel width (number of reflectors per tile).
     pub width: usize,
-    /// Per-tile `tau` arrays from the factor kernel.
-    pub taus: &'a [Vec<T>],
+    /// Per-tile compact-WY factors from the factor kernel.
+    pub wy: &'a [WyTile<T>],
     /// `(first_col, width)` of each target column block.
     pub col_blocks: &'a [(usize, usize)],
     /// Apply `Q^T` (true) or `Q` (false).
@@ -326,17 +327,7 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtHKernel<'a, T> {
         let cb = b / self.tiles.len();
         let tile = self.tiles[ti];
         let (c0, wc) = self.col_blocks[cb];
-        crate::blockops::apply_tile_reflectors(
-            self.v,
-            self.c,
-            tile,
-            self.col0,
-            self.width,
-            &self.taus[ti],
-            c0,
-            wc,
-            self.transpose,
-        );
+        crate::blockops::apply_tile_wy(&self.wy[ti], self.c, tile, c0, wc, self.transpose);
         ctx.meter.charge(&apply_qt_h_block_cost(
             &self.spec,
             tile.rows,

@@ -18,7 +18,7 @@
 use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeShape};
 use crate::blockops;
 use crate::error::CaqrError;
-use crate::tsqr::{col_blocks, TreeNode};
+use crate::tsqr::{col_blocks, TreeNode, WyTile};
 use dense::blas2::trsv_upper;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
@@ -80,8 +80,8 @@ pub struct CpuPanel<T: Scalar> {
     pub width: usize,
     /// Level-0 tiles.
     pub tiles: Vec<Tile>,
-    /// Level-0 tau arrays.
-    pub taus0: Vec<Vec<T>>,
+    /// Level-0 compact-WY factors (packed `V` + triangular `T` per tile).
+    pub wy0: Vec<WyTile<T>>,
     /// Tree levels.
     pub levels: Vec<Vec<TreeNode<T>>>,
 }
@@ -97,7 +97,7 @@ fn factor_panel_cpu<T: Scalar>(
     let tiles = tile_panel(row0, a.rows() - row0, bs.h, bs.w);
     let ptr = MatPtr::new(a);
     // Level 0: all tiles in parallel (disjoint row ranges).
-    let taus0: Vec<Vec<T>> = tiles
+    let wy0: Vec<WyTile<T>> = tiles
         .par_iter()
         .map(|&tile| blockops::factor_tile(ptr, tile, col0, width))
         .collect();
@@ -118,13 +118,12 @@ fn factor_panel_cpu<T: Scalar>(
         col0,
         width,
         tiles,
-        taus0,
+        wy0,
         levels,
     }
 }
 
 fn apply_panel_cpu<T: Scalar>(
-    v: MatPtr<T>,
     c: MatPtr<T>,
     panel: &CpuPanel<T>,
     cols: &[(usize, usize)],
@@ -140,17 +139,7 @@ fn apply_panel_cpu<T: Scalar>(
             .collect();
         work.par_iter().for_each(|&(ti, cb)| {
             let (c0, wc) = cols[cb];
-            blockops::apply_tile_reflectors(
-                v,
-                c,
-                panel.tiles[ti],
-                panel.col0,
-                panel.width,
-                &panel.taus0[ti],
-                c0,
-                wc,
-                transpose,
-            );
+            blockops::apply_tile_wy(&panel.wy0[ti], c, panel.tiles[ti], c0, wc, transpose);
         });
     };
     let tree_level = |nodes: &[TreeNode<T>]| {
@@ -195,7 +184,7 @@ pub fn caqr_cpu<T: Scalar>(
         if c + width < n {
             let cols = col_blocks(c + width, n, w);
             let p = MatPtr::new(&mut a);
-            apply_panel_cpu(p, p, &panel, &cols, true);
+            apply_panel_cpu(p, &panel, &cols, true);
         }
         panels.push(panel);
         c += width;
@@ -214,14 +203,13 @@ impl<T: Scalar> CpuCaqr<T> {
         assert_eq!(c.rows(), self.a.rows());
         let cols = col_blocks(0, c.cols(), self.opts.panel_width);
         let cp = MatPtr::new(c);
-        let vp = MatPtr::new_readonly(&self.a);
         if transpose {
             for p in &self.panels {
-                apply_panel_cpu(vp, cp, p, &cols, true);
+                apply_panel_cpu(cp, p, &cols, true);
             }
         } else {
             for p in self.panels.iter().rev() {
-                apply_panel_cpu(vp, cp, p, &cols, false);
+                apply_panel_cpu(cp, p, &cols, false);
             }
         }
     }

@@ -220,7 +220,6 @@ pub fn caqr_dag<T: Scalar>(
                 gpu,
                 Exec::Stream(sid_next),
                 ap,
-                ap,
                 &pf,
                 &[dag.block(p + 1)],
                 true,
@@ -251,7 +250,7 @@ pub fn caqr_dag<T: Scalar>(
                 if t != dag.home(p) {
                     gpu.wait_event(dag.streams[t], f_ev);
                 }
-                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, ap, &pf, &cols, true)?;
+                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, &cols, true)?;
                 launches += chain;
             }
         } else {
@@ -265,7 +264,7 @@ pub fn caqr_dag<T: Scalar>(
                 if t != dag.home(p) {
                     gpu.wait_event(dag.streams[t], f_ev);
                 }
-                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, ap, &pf, &cols, true)?;
+                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, &cols, true)?;
                 launches += chain;
                 if !opts.lookahead && p + 1 < npanels {
                     pending.push(gpu.record_event(dag.streams[t]));

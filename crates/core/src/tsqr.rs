@@ -17,6 +17,26 @@ use dense::MatPtr;
 use gpu_sim::{Exec, Gpu};
 use parking_lot::Mutex;
 
+/// One tile's factorization in compact-WY form: the explicit unit
+/// lower-trapezoidal `V`, the upper-triangular `T` of `Q = I - V T V^T`
+/// (LAPACK `larft`), and the raw `tau` scalars (kept for the per-reflector
+/// reference path and the cost model).
+///
+/// Storing `V` explicitly — packed contiguously, once per tile at factor
+/// time — is the CPU analogue of the paper's strategy-4 pre-transpose: the
+/// panel is restructured once so that every one of the many trailing-block
+/// applies streams it with unit stride, instead of re-deriving the
+/// unit-diagonal/zero structure per reflector on every pass.
+#[derive(Clone, Debug)]
+pub struct WyTile<T: Scalar> {
+    /// Scalar reflector factors.
+    pub tau: Vec<T>,
+    /// Explicit `rows x k` unit lower-trapezoidal reflector block.
+    pub v: Matrix<T>,
+    /// `k x k` upper-triangular compact-WY factor.
+    pub t: Matrix<T>,
+}
+
 /// One factored reduction-tree group: the stacked `(t*w) x w` Householder
 /// factorization (`geqr2` layout) of `t` gathered R-triangles, plus the
 /// absolute row offsets the triangles came from.
@@ -25,9 +45,14 @@ pub struct TreeNode<T: Scalar> {
     /// Absolute row offsets of the stacked triangles (leader first).
     pub members: Vec<usize>,
     /// The factored stack: R on top, Householder tails below the diagonal.
+    /// Block `i >= 1` (rows `[i*w, (i+1)*w)`) is a `w x w` upper-triangular
+    /// reflector block; the implicit top block of `V` is exactly `I_w`.
     pub u: Matrix<T>,
     /// Scalar reflector factors.
     pub tau: Vec<T>,
+    /// `w x w` upper-triangular compact-WY factor of the stack (precomputed
+    /// at factor time so every apply is pure BLAS3).
+    pub tmat: Matrix<T>,
 }
 
 /// The complete TSQR factorization of one panel.
@@ -41,9 +66,10 @@ pub struct PanelFactor<T: Scalar> {
     pub width: usize,
     /// The level-0 tiles.
     pub tiles: Vec<Tile>,
-    /// Per-tile `tau` arrays from the level-0 factorization (the Householder
-    /// tails live below the diagonal of each tile in the factored matrix).
-    pub taus0: Vec<Vec<T>>,
+    /// Per-tile compact-WY factors from the level-0 factorization (the
+    /// Householder tails also live below the diagonal of each tile in the
+    /// factored matrix; the packed copy here is what the apply kernels use).
+    pub wy0: Vec<WyTile<T>>,
     /// Reduction-tree levels, bottom-up.
     pub levels: Vec<Vec<TreeNode<T>>>,
     /// Block size used.
@@ -134,7 +160,7 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
     let spec = gpu.spec().clone();
 
     // Level 0: factor every tile independently.
-    let taus_slots: Vec<Mutex<Vec<T>>> = tiles.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let wy_slots: Vec<Mutex<Option<WyTile<T>>>> = tiles.iter().map(|_| Mutex::new(None)).collect();
     {
         let kernel = FactorKernel {
             a: MatPtr::new(a),
@@ -143,11 +169,14 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
             width,
             strategy,
             spec: spec.clone(),
-            taus: &taus_slots,
+            wy: &wy_slots,
         };
         gpu.launch_on(exec, &kernel)?;
     }
-    let taus0: Vec<Vec<T>> = taus_slots.into_iter().map(|m| m.into_inner()).collect();
+    let wy0: Vec<WyTile<T>> = wy_slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("factor block did not produce WY"))
+        .collect();
 
     // Reduction tree: one factor_tree launch per level.
     let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
@@ -183,29 +212,39 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
         col0,
         width,
         tiles,
-        taus0,
+        wy0,
         levels,
         bs,
         strategy,
     })
 }
 
+impl<T: Scalar> PanelFactor<T> {
+    /// One past the last row the panel's tiles cover (== the factored
+    /// matrix's row count for a full-height panel).
+    pub fn rows_end(&self) -> usize {
+        self.tiles
+            .last()
+            .map(|t| t.start + t.rows)
+            .unwrap_or(self.row0)
+    }
+}
+
 /// Apply the panel's `Q^T` (`transpose == true`, reflectors in factorization
 /// order) or `Q` (reverse order) to the column blocks `cols` of the matrix
-/// behind `c`. `v` is the matrix holding the panel's Householder tails —
-/// the same allocation as `c` for trailing-matrix updates.
+/// behind `c`. The panel's reflectors come from the packed compact-WY
+/// factors cached in `pf` — the factored matrix itself is no longer read.
 ///
 /// # Safety-by-contract
-/// `cols` must not overlap the panel columns when `v` and `c` alias.
+/// `cols` must be disjoint column blocks of `c`.
 pub fn apply_panel_ptr<T: Scalar>(
     gpu: &Gpu,
-    v: MatPtr<T>,
     c: MatPtr<T>,
     pf: &PanelFactor<T>,
     cols: &[(usize, usize)],
     transpose: bool,
 ) -> Result<(), CaqrError> {
-    apply_panel_ptr_on(gpu, Exec::Sync, v, c, pf, cols, transpose)
+    apply_panel_ptr_on(gpu, Exec::Sync, c, pf, cols, transpose)
 }
 
 /// [`apply_panel_ptr`] under an explicit [`Exec`] policy (the apply chain —
@@ -214,7 +253,6 @@ pub fn apply_panel_ptr<T: Scalar>(
 pub fn apply_panel_ptr_on<T: Scalar>(
     gpu: &Gpu,
     exec: Exec,
-    v: MatPtr<T>,
     c: MatPtr<T>,
     pf: &PanelFactor<T>,
     cols: &[(usize, usize)],
@@ -226,12 +264,10 @@ pub fn apply_panel_ptr_on<T: Scalar>(
     let spec = gpu.spec().clone();
     let horizontal = |gpu: &Gpu| -> Result<(), CaqrError> {
         let kernel = ApplyQtHKernel {
-            v,
             c,
             tiles: &pf.tiles,
-            col0: pf.col0,
             width: pf.width,
-            taus: &pf.taus0,
+            wy: &pf.wy0,
             col_blocks: cols,
             transpose,
             strategy: pf.strategy,
@@ -287,31 +323,23 @@ pub fn apply_panel_within<T: Scalar>(
     );
     let cols = col_blocks(col_from, col_to, pf.bs.w);
     let p = MatPtr::new(a);
-    apply_panel_ptr(gpu, p, p, pf, &cols, transpose)
+    apply_panel_ptr(gpu, p, pf, &cols, transpose)
 }
 
 /// Apply the panel's `Q` or `Q^T` to a separate matrix `target`.
 pub fn apply_panel_to<T: Scalar>(
     gpu: &Gpu,
-    a: &Matrix<T>,
     pf: &PanelFactor<T>,
     target: &mut Matrix<T>,
     transpose: bool,
 ) -> Result<(), CaqrError> {
     assert_eq!(
-        a.rows(),
+        pf.rows_end(),
         target.rows(),
         "row mismatch between factor and target"
     );
     let cols = col_blocks(0, target.cols(), pf.bs.w);
-    apply_panel_ptr(
-        gpu,
-        MatPtr::new_readonly(a),
-        MatPtr::new(target),
-        pf,
-        &cols,
-        transpose,
-    )
+    apply_panel_ptr(gpu, MatPtr::new(target), pf, &cols, transpose)
 }
 
 /// A standalone TSQR factorization of a tall-skinny matrix
@@ -363,12 +391,12 @@ impl<T: Scalar> Tsqr<T> {
 
     /// Apply `Q^T` to `c` in place (`c` has the panel's full row count).
     pub fn apply_qt(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
-        apply_panel_to(gpu, &self.factored, &self.pf, c, true)
+        apply_panel_to(gpu, &self.pf, c, true)
     }
 
     /// Apply `Q` to `c` in place.
     pub fn apply_q(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
-        apply_panel_to(gpu, &self.factored, &self.pf, c, false)
+        apply_panel_to(gpu, &self.pf, c, false)
     }
 
     /// Form the explicit `m x n` orthogonal factor (the `SORGQR` analogue —

@@ -4,7 +4,7 @@
 use caqr::block::{tile_panel, TreeGroup};
 use caqr::kernels::{ApplyQtHKernel, FactorKernel, FactorTreeKernel};
 use caqr::microkernels::ReductionStrategy;
-use caqr::tsqr::TreeNode;
+use caqr::tsqr::{TreeNode, WyTile};
 use dense::matrix::Matrix;
 use dense::MatPtr;
 use gpu_sim::{DeviceSpec, Gpu};
@@ -18,7 +18,7 @@ fn factor_kernel_factors_every_tile_like_geqr2() {
     let mut a = dense::generate::uniform::<f64>(200, 8, 1);
     let reference = a.clone();
     let tiles = tile_panel(0, 200, 64, 8);
-    let taus: Vec<Mutex<Vec<f64>>> = tiles.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let wy: Vec<Mutex<Option<WyTile<f64>>>> = tiles.iter().map(|_| Mutex::new(None)).collect();
     {
         let k = FactorKernel {
             a: MatPtr::new(&mut a),
@@ -27,18 +27,31 @@ fn factor_kernel_factors_every_tile_like_geqr2() {
             width: 8,
             strategy: STRAT,
             spec: gpu.spec().clone(),
-            taus: &taus,
+            wy: &wy,
         };
         gpu.launch(&k).unwrap();
     }
-    // Each tile must hold exactly the geqr2 factorization of its rows.
+    // Each tile must hold exactly the geqr2 factorization of its rows, and
+    // its output slot the matching compact-WY factors.
     for (ti, tile) in tiles.iter().enumerate() {
         let mut want = reference.extract(tile.start, 0, tile.rows, 8);
         let mut tau_want = vec![0.0; tile.rows.min(8)];
         dense::householder::geqr2(want.as_mut(), &mut tau_want);
         let got = a.extract(tile.start, 0, tile.rows, 8);
         assert_eq!(got, want, "tile {ti} factorization differs");
-        assert_eq!(*taus[ti].lock(), tau_want, "tile {ti} taus differ");
+        let slot = wy[ti].lock();
+        let w = slot.as_ref().expect("factor kernel must fill the WY slot");
+        assert_eq!(w.tau, tau_want, "tile {ti} taus differ");
+        assert_eq!(
+            w.v,
+            dense::blocked::extract_v(want.as_ref(), 8),
+            "tile {ti} packed V differs"
+        );
+        assert_eq!(
+            w.t,
+            dense::blocked::larft(w.v.as_ref(), &w.tau),
+            "tile {ti} T factor differs"
+        );
     }
 }
 
@@ -116,16 +129,19 @@ fn apply_qt_h_kernel_matches_host_application() {
     let target0 = dense::generate::uniform::<f64>(32, 6, 3);
     let mut target = target0.clone();
     let tiles = tile_panel(0, 32, 32, 4);
-    let taus = vec![tau.clone()];
+    let vexp = dense::blocked::extract_v(v.view(0, 0, 32, 4), 4);
+    let wy = vec![WyTile {
+        tau: tau.clone(),
+        t: dense::blocked::larft(vexp.as_ref(), &tau),
+        v: vexp,
+    }];
     let cols = [(0usize, 6usize)];
     {
         let k = ApplyQtHKernel {
-            v: MatPtr::new_readonly(&v),
             c: MatPtr::new(&mut target),
             tiles: &tiles,
-            col0: 0,
             width: 4,
-            taus: &taus,
+            wy: &wy,
             col_blocks: &cols,
             transpose: true,
             strategy: STRAT,
@@ -160,7 +176,7 @@ fn apply_qt_h_forward_backward_cancels() {
     .unwrap();
     let c0 = dense::generate::uniform::<f64>(96, 5, 5);
     let mut c = c0.clone();
-    caqr::tsqr::apply_panel_to(&gpu, &v, &pf, &mut c, true).unwrap();
+    caqr::tsqr::apply_panel_to(&gpu, &pf, &mut c, true).unwrap();
     // Something must have changed...
     let changed = c
         .as_slice()
@@ -169,7 +185,7 @@ fn apply_qt_h_forward_backward_cancels() {
         .any(|(a, b)| (a - b).abs() > 1e-9);
     assert!(changed);
     // ...and applying Q undoes it.
-    caqr::tsqr::apply_panel_to(&gpu, &v, &pf, &mut c, false).unwrap();
+    caqr::tsqr::apply_panel_to(&gpu, &pf, &mut c, false).unwrap();
     for (a, b) in c.as_slice().iter().zip(c0.as_slice()) {
         assert!((a - b).abs() < 1e-12);
     }
@@ -180,7 +196,7 @@ fn kernels_count_positive_flops_and_traffic() {
     let gpu = Gpu::new(DeviceSpec::c2050());
     let mut a = dense::generate::uniform::<f32>(256, 8, 6);
     let tiles = tile_panel(0, 256, 64, 8);
-    let taus: Vec<Mutex<Vec<f32>>> = tiles.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let wy: Vec<Mutex<Option<WyTile<f32>>>> = tiles.iter().map(|_| Mutex::new(None)).collect();
     {
         let k = FactorKernel {
             a: MatPtr::new(&mut a),
@@ -189,7 +205,7 @@ fn kernels_count_positive_flops_and_traffic() {
             width: 8,
             strategy: STRAT,
             spec: gpu.spec().clone(),
-            taus: &taus,
+            wy: &wy,
         };
         let report = gpu.launch(&k).unwrap();
         assert_eq!(report.blocks, 4);

@@ -1,20 +1,76 @@
 //! Level-3 BLAS: matrix-matrix operations.
 //!
-//! `gemm` is used by the blocked-Householder baselines (trailing-matrix
-//! updates via `larfb`) and by the Robust PCA application (`Q * U`). It is a
-//! cache-friendly column-streaming loop parallelized over column panels with
-//! rayon when the output is large enough to amortize the fork.
+//! `gemm` is the wall-clock workhorse of the whole workspace: the compact-WY
+//! trailing updates of CAQR/TSQR (`larfb`-style three-GEMM applications), the
+//! blocked-Householder baselines, and the Robust PCA application (`Q * U`)
+//! all funnel through it. Its core is a packed, cache-blocked, register-tiled
+//! microkernel in the GotoBLAS/BLIS mold (cf. the `faer` exemplar): `op(A)`
+//! and `op(B)` are repacked into contiguous `MR`/`NR` micro-panels so the
+//! innermost loop streams both operands with unit stride — the CPU analogue
+//! of the paper's strategy-4 panel pre-transpose, which restructured the same
+//! data for coalesced access instead of cache lines.
+//!
+//! Parallelism: the output is split into a `row x column` task grid
+//! ([`parallel_grid`]), so tall-skinny products (the shapes CAQR cares
+//! about) parallelize over row blocks even when there are too few columns
+//! to split.
 
 use crate::matrix::{MatMut, MatRef};
+use crate::ptr::MatPtr;
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
 pub use crate::blas2::Trans;
 
-/// Output columns per parallel task; also the serial fallback threshold.
+/// Output columns per parallel task.
 const PAR_COL_CHUNK: usize = 32;
+/// Output rows per parallel task (row tasks kick in for narrow outputs).
+const PAR_ROW_CHUNK: usize = 256;
 /// Minimum flops before gemm bothers forking.
 const PAR_MIN_FLOPS: usize = 1 << 18;
+/// Below this many flops the packed path's buffer setup costs more than it
+/// saves; fall through to the streaming triple loop.
+const SMALL_FLOPS: usize = 1 << 13;
+
+/// Microkernel register tile: MR x NR accumulators.
+const MR: usize = 8;
+/// Microkernel register tile width.
+const NR: usize = 4;
+/// K-dimension cache block (packed micro-panels of both operands for one
+/// `KC`-deep sweep fit in L1/L2).
+const KC: usize = 256;
+/// M-dimension cache block (the packed `MC x KC` A-block stays L2-resident
+/// while it is reused across every NR-column micro-panel of B).
+const MC: usize = 256;
+
+#[inline(always)]
+fn fmadd<T: Scalar>(a: T, b: T, acc: T) -> T {
+    // `mul_add` is only a win when it lowers to a hardware FMA; without the
+    // target feature it becomes a libm call in the innermost loop.
+    if cfg!(any(target_feature = "fma", target_arch = "aarch64")) {
+        a.mul_add(b, acc)
+    } else {
+        a * b + acc
+    }
+}
+
+/// The `(row_tasks, col_tasks)` grid `gemm` uses to parallelize an
+/// `m x n x k` product. `(1, 1)` means the serial path. Exposed so tests can
+/// assert that tall-skinny shapes (few columns, many rows) still fork — the
+/// row split exists precisely for the `8192 x 16`-class trailing updates of
+/// TSQR, which a column-only split would silently serialize.
+pub fn parallel_grid(m: usize, n: usize, k: usize) -> (usize, usize) {
+    let flops = 2 * m * n * k;
+    if flops < PAR_MIN_FLOPS {
+        return (1, 1);
+    }
+    let max_tasks = 4 * rayon::current_num_threads().max(1);
+    let col_tasks = n.div_ceil(PAR_COL_CHUNK).min(max_tasks).max(1);
+    let row_tasks = (max_tasks / col_tasks)
+        .min(m.div_ceil(PAR_ROW_CHUNK))
+        .max(1);
+    (row_tasks, col_tasks)
+}
 
 /// `C = alpha * op(A) * op(B) + beta * C`.
 pub fn gemm<T: Scalar>(
@@ -40,40 +96,84 @@ pub fn gemm<T: Scalar>(
         Trans::No => assert_eq!((b.rows(), b.cols()), (k, n), "gemm: op(B) shape"),
         Trans::Yes => assert_eq!((b.cols(), b.rows()), (k, n), "gemm: op(B) shape"),
     }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        scale(beta, c.rb_mut());
+        return;
+    }
 
-    let flops = 2 * m * n * k;
-    if flops < PAR_MIN_FLOPS || n <= PAR_COL_CHUNK {
+    let (row_tasks, col_tasks) = parallel_grid(m, n, k);
+    if row_tasks * col_tasks <= 1 {
         gemm_serial(ta, tb, alpha, a, b, beta, c);
         return;
     }
 
-    // Split C into disjoint column panels and process them in parallel; each
-    // panel only needs the matching columns of op(B).
-    let mut panels: Vec<(usize, MatMut<'_, T>)> = Vec::new();
-    let mut rest = c.rb_mut();
-    let mut start = 0;
-    while start < n {
-        let w = PAR_COL_CHUNK.min(n - start);
-        let (head, tail) = rest.split_at_col(w);
-        panels.push((start, head));
-        rest = tail;
-        start += w;
-    }
-    panels.into_par_iter().for_each(|(c0, panel)| {
-        let w = panel.cols();
-        match tb {
-            Trans::No => {
-                let bsub = b.submatrix(0, c0, k, w);
-                gemm_serial(ta, Trans::No, alpha, a, bsub, beta, panel);
-            }
-            Trans::Yes => {
-                let bsub = b.submatrix(c0, 0, w, k);
-                gemm_serial(ta, Trans::Yes, alpha, a, bsub, beta, panel);
-            }
+    // Split C into a disjoint (row x column)-block task grid. Each task only
+    // needs the matching rows of op(A) and columns of op(B); the C block is
+    // staged through a contiguous buffer so concurrent tasks never alias
+    // (the same disjoint-tile contract the CAQR kernels use).
+    let rh = m.div_ceil(row_tasks);
+    let ch = n.div_ceil(col_tasks);
+    let mut blocks = Vec::with_capacity(row_tasks * col_tasks);
+    let mut r0 = 0;
+    while r0 < m {
+        let nr = rh.min(m - r0);
+        let mut c0 = 0;
+        while c0 < n {
+            let nc = ch.min(n - c0);
+            blocks.push((r0, c0, nr, nc));
+            c0 += nc;
         }
+        r0 += nr;
+    }
+    let ld = c.ld();
+    let cp = unsafe { MatPtr::from_raw_parts(c.as_mut_ptr(), m, n, ld) };
+    blocks.into_par_iter().for_each(|(r0, c0, nr, nc)| {
+        let asub = match ta {
+            Trans::No => a.submatrix(r0, 0, nr, k),
+            Trans::Yes => a.submatrix(0, r0, k, nr),
+        };
+        let bsub = match tb {
+            Trans::No => b.submatrix(0, c0, k, nc),
+            Trans::Yes => b.submatrix(c0, 0, nc, k),
+        };
+        let mut buf = vec![T::ZERO; nr * nc];
+        // SAFETY: the (r0, c0, nr, nc) blocks partition C disjointly.
+        unsafe { cp.load_tile(r0, c0, nr, nc, &mut buf) };
+        gemm_serial(
+            ta,
+            tb,
+            alpha,
+            asub,
+            bsub,
+            beta,
+            MatMut::from_parts(&mut buf, nr, nc, nr),
+        );
+        // SAFETY: same disjoint block.
+        unsafe { cp.store_tile(r0, c0, nr, nc, &buf) };
     });
 }
 
+fn scale<T: Scalar>(beta: T, mut c: MatMut<'_, T>) {
+    if beta == T::ONE {
+        return;
+    }
+    for j in 0..c.cols() {
+        let cj = c.col_mut(j);
+        if beta == T::ZERO {
+            cj.fill(T::ZERO);
+        } else {
+            for v in cj.iter_mut() {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Serial gemm: packed/blocked for anything big enough to care, simple
+/// streaming loop below [`SMALL_FLOPS`].
 fn gemm_serial<T: Scalar>(
     ta: Trans,
     tb: Trans,
@@ -89,8 +189,178 @@ fn gemm_serial<T: Scalar>(
         Trans::No => a.cols(),
         Trans::Yes => a.rows(),
     };
+    if 2 * m * n * k < SMALL_FLOPS {
+        gemm_small(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+    scale(beta, c.rb_mut());
+
+    // GotoBLAS loop nest: kc-deep sweeps, each packing one op(B) slab and
+    // reusing it against successive packed MC x kc blocks of op(A).
+    let mut ap: Vec<T> = Vec::new();
+    let mut bp: Vec<T> = Vec::new();
+    let mut p0 = 0;
+    while p0 < k {
+        let kb = KC.min(k - p0);
+        pack_b(tb, b, p0, kb, 0, n, &mut bp);
+        let mut i0 = 0;
+        while i0 < m {
+            let mb = MC.min(m - i0);
+            pack_a(ta, a, i0, mb, p0, kb, &mut ap);
+            let mpanels = mb.div_ceil(MR);
+            let mut j = 0;
+            let mut jp = 0;
+            while j < n {
+                let w = NR.min(n - j);
+                let bpanel = &bp[jp * NR * kb..(jp + 1) * NR * kb];
+                for ip in 0..mpanels {
+                    let i = ip * MR;
+                    let h = MR.min(mb - i);
+                    let apanel = &ap[ip * MR * kb..(ip + 1) * MR * kb];
+                    microkernel(kb, apanel, bpanel, alpha, c.rb_mut(), i0 + i, j, h, w);
+                }
+                j += w;
+                jp += 1;
+            }
+            i0 += mb;
+        }
+        p0 += kb;
+    }
+}
+
+/// Pack the `mb x kb` block of `op(A)` starting at `(i0, p0)` into MR-row
+/// micro-panels: panel `ip` holds rows `[ip*MR, ip*MR+MR)` column-by-column,
+/// zero-padded to a full MR so the microkernel never branches on height.
+fn pack_a<T: Scalar>(
+    ta: Trans,
+    a: MatRef<'_, T>,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+    ap: &mut Vec<T>,
+) {
+    ap.clear();
+    ap.resize(mb.div_ceil(MR) * MR * kb, T::ZERO);
+    let mut i = 0;
+    let mut base = 0;
+    while i < mb {
+        let h = MR.min(mb - i);
+        match ta {
+            Trans::No => {
+                for p in 0..kb {
+                    let col = &a.col(p0 + p)[i0 + i..i0 + i + h];
+                    ap[base + p * MR..base + p * MR + h].copy_from_slice(col);
+                }
+            }
+            Trans::Yes => {
+                // op(A)(r, p) = A(p, r): each packed row is a column of A.
+                for r in 0..h {
+                    let col = &a.col(i0 + i + r)[p0..p0 + kb];
+                    for (p, &v) in col.iter().enumerate() {
+                        ap[base + p * MR + r] = v;
+                    }
+                }
+            }
+        }
+        i += MR;
+        base += MR * kb;
+    }
+}
+
+/// Pack the `kb x nb` block of `op(B)` starting at `(p0, j0)` into NR-column
+/// micro-panels, zero-padded to a full NR.
+fn pack_b<T: Scalar>(
+    tb: Trans,
+    b: MatRef<'_, T>,
+    p0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+    bp: &mut Vec<T>,
+) {
+    bp.clear();
+    bp.resize(nb.div_ceil(NR) * NR * kb, T::ZERO);
+    let mut j = 0;
+    let mut base = 0;
+    while j < nb {
+        let w = NR.min(nb - j);
+        match tb {
+            Trans::No => {
+                for jj in 0..w {
+                    let col = &b.col(j0 + j + jj)[p0..p0 + kb];
+                    for (p, &v) in col.iter().enumerate() {
+                        bp[base + p * NR + jj] = v;
+                    }
+                }
+            }
+            Trans::Yes => {
+                // op(B)(p, c) = B(c, p): each packed row is a column of B.
+                for p in 0..kb {
+                    let col = &b.col(p0 + p)[j0 + j..j0 + j + w];
+                    for (jj, &v) in col.iter().enumerate() {
+                        bp[base + p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+        j += NR;
+        base += NR * kb;
+    }
+}
+
+/// Register-tiled MR x NR microkernel: accumulate
+/// `alpha * apanel * bpanel` over `kb` and add into `C[i.., j..]`
+/// (only the live `h x w` corner is written back).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn microkernel<T: Scalar>(
+    kb: usize,
+    apanel: &[T],
+    bpanel: &[T],
+    alpha: T,
+    mut c: MatMut<'_, T>,
+    i: usize,
+    j: usize,
+    h: usize,
+    w: usize,
+) {
+    let mut acc = [[T::ZERO; MR]; NR];
+    for p in 0..kb {
+        let av: &[T] = &apanel[p * MR..p * MR + MR];
+        let bv: &[T] = &bpanel[p * NR..p * NR + NR];
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let bj = bv[jj];
+            for (ii, aij) in accj.iter_mut().enumerate() {
+                *aij = fmadd(av[ii], bj, *aij);
+            }
+        }
+    }
+    for (jj, accj) in acc.iter().take(w).enumerate() {
+        let col = &mut c.col_mut(j + jj)[i..i + h];
+        for (ci, &av) in col.iter_mut().zip(accj.iter()) {
+            *ci = fmadd(alpha, av, *ci);
+        }
+    }
+}
+
+/// Streaming triple loop for products too small to amortize packing.
+fn gemm_small<T: Scalar>(
+    ta: Trans,
+    tb: Trans,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = match ta {
+        Trans::No => a.cols(),
+        Trans::Yes => a.rows(),
+    };
     for j in 0..n {
-        // Scale / clear the output column first.
         {
             let cj = c.col_mut(j);
             if beta == T::ZERO {
@@ -240,6 +510,36 @@ mod tests {
     }
 
     #[test]
+    fn gemm_packed_path_all_transpose_combos() {
+        // Big enough for the packed path, ragged enough to exercise every
+        // MR/NR/KC/MC edge (odd m, n not a multiple of NR, k > KC).
+        let (m, n, k) = (101, 53, 300);
+        let a = Matrix::from_fn(m, k, |i, j| (((i * 7 + j * 13) % 17) as f64 - 8.0) / 3.0);
+        let b = Matrix::from_fn(k, n, |i, j| (((i * 5 + j * 11) % 13) as f64 - 6.0) / 5.0);
+        let want = naive_gemm(&a, &b);
+        let combos: [(Trans, Matrix<f64>, Trans, Matrix<f64>); 4] = [
+            (Trans::No, a.clone(), Trans::No, b.clone()),
+            (Trans::Yes, a.transpose(), Trans::No, b.clone()),
+            (Trans::No, a.clone(), Trans::Yes, b.transpose()),
+            (Trans::Yes, a.transpose(), Trans::Yes, b.transpose()),
+        ];
+        for (ta, am, tb, bm) in combos {
+            let mut c = Matrix::from_fn(m, n, |i, j| (i + j) as f64);
+            gemm(ta, tb, 2.0, am.as_ref(), bm.as_ref(), -1.0, c.as_mut());
+            for i in 0..m {
+                for j in 0..n {
+                    let ref_v = 2.0 * want[(i, j)] - (i + j) as f64;
+                    assert!(
+                        (c[(i, j)] - ref_v).abs() < 1e-9 * (1.0 + ref_v.abs()),
+                        "({ta:?},{tb:?}) at ({i},{j}): {} vs {ref_v}",
+                        c[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gemm_alpha_beta() {
         let a = Matrix::<f64>::eye(2, 2);
         let b = Matrix::from_row_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
@@ -278,6 +578,92 @@ mod tests {
                 assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn tall_skinny_output_uses_row_parallel_grid() {
+        // The 8192 x 16 trailing-update shape must not silently serialize:
+        // too few columns for a column split, so the row split must fire.
+        let (rows, cols) = parallel_grid(8192, 16, 16);
+        assert_eq!(cols, 1, "16 columns fit one column task");
+        assert!(
+            rows > 1,
+            "tall-skinny gemm must split rows, got {rows} row tasks"
+        );
+        // And the tiny shapes must stay serial.
+        assert_eq!(parallel_grid(32, 8, 8), (1, 1));
+    }
+
+    #[test]
+    fn tall_skinny_parallel_matches_naive() {
+        let m = 8192;
+        let a = Matrix::from_fn(m, 16, |i, j| (((i * 3 + j * 7) % 23) as f64 - 11.0) / 7.0);
+        let b = Matrix::from_fn(16, 16, |i, j| (((i * 13 + j) % 19) as f64 - 9.0) / 5.0);
+        let want = naive_gemm(&a, &b);
+        let mut c = Matrix::<f64>::zeros(m, 16);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        for i in (0..m).step_by(97) {
+            for j in 0..16 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-9 * (1.0 + want[(i, j)].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_on_submatrix_views_with_ld() {
+        // The packed path must respect leading dimensions on all operands.
+        let big_a = Matrix::from_fn(80, 70, |i, j| ((i * 31 + j * 3) % 29) as f64 - 14.0);
+        let big_b = Matrix::from_fn(70, 90, |i, j| ((i * 17 + j * 7) % 23) as f64 - 11.0);
+        let a = big_a.view(5, 3, 60, 40);
+        let b = big_b.view(9, 11, 40, 48);
+        let mut cm = Matrix::<f64>::zeros(100, 60);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            a,
+            b,
+            0.0,
+            cm.view_mut(7, 2, 60, 48),
+        );
+        let want = naive_gemm(&a.to_owned(), &b.to_owned());
+        for i in 0..60 {
+            for j in 0..48 {
+                assert!(
+                    (cm[(7 + i, 2 + j)] - want[(i, j)]).abs() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+        // Border untouched.
+        assert_eq!(cm[(0, 0)], 0.0);
+        assert_eq!(cm[(99, 59)], 0.0);
+    }
+
+    #[test]
+    fn gemm_zero_k_scales_only() {
+        let a = Matrix::<f64>::zeros(3, 0);
+        let b = Matrix::<f64>::zeros(0, 2);
+        let mut c = Matrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            2.0,
+            c.as_mut(),
+        );
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(2, 1)], 8.0);
     }
 
     #[test]

@@ -366,6 +366,13 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         &mut self.data[j * self.ld + i]
     }
 
+    /// Raw mutable pointer to element `(0, 0)`. Pair with [`Self::ld`] to
+    /// build shared handles (`MatPtr`) over disjoint blocks of this view.
+    #[inline(always)]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.data.as_mut_ptr()
+    }
+
     /// Column `j` immutably.
     #[inline(always)]
     pub fn col(&self, j: usize) -> &[T] {

@@ -46,6 +46,23 @@ impl<T: Scalar> MatPtr<T> {
         }
     }
 
+    /// Build a handle from raw parts, e.g. over a `MatMut` view with a
+    /// leading dimension (`MatMut::as_mut_ptr` + `MatMut::ld`).
+    ///
+    /// # Safety
+    /// `ptr` must point at a column-major matrix of `rows x cols` elements
+    /// with leading dimension `ld` that outlives every use of the handle;
+    /// concurrent users must touch disjoint tiles per the module contract.
+    pub unsafe fn from_raw_parts(ptr: *mut T, rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1));
+        Self {
+            ptr,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
     /// Capture a matrix for read-only kernel use (e.g. the Householder
     /// vectors of an already-factored panel applied to a different matrix).
     ///

@@ -48,9 +48,9 @@ fn kernel_reports_expose_boundedness() {
     let gpu = Gpu::new(DeviceSpec::c2050());
     let mut a = dense::generate::uniform::<f32>(2048, 16, 2);
     let tiles = caqr::block::tile_panel(0, 2048, 128, 16);
-    let taus: Vec<parking_lot::Mutex<Vec<f32>>> = tiles
+    let wy: Vec<parking_lot::Mutex<Option<caqr::tsqr::WyTile<f32>>>> = tiles
         .iter()
-        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .map(|_| parking_lot::Mutex::new(None))
         .collect();
     let k = caqr::kernels::FactorKernel {
         a: dense::MatPtr::new(&mut a),
@@ -59,7 +59,7 @@ fn kernel_reports_expose_boundedness() {
         width: 16,
         strategy: caqr::ReductionStrategy::RegisterSerialTransposed,
         spec: gpu.spec().clone(),
-        taus: &taus,
+        wy: &wy,
     };
     let report = gpu.launch(&k).unwrap();
     assert_eq!(report.name, "factor");

@@ -26,6 +26,12 @@ fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The number of threads in the (implicit) global pool, mirroring rayon's
+/// `current_num_threads` so callers can size task grids.
+pub fn current_num_threads() -> usize {
+    threads()
+}
+
 /// Run `f` over `items`, one contiguous chunk per worker, preserving input
 /// order in the returned vector. The scratch value from `init` is created
 /// once per chunk and threaded through `f` like rayon's `map_init`.
