@@ -12,7 +12,7 @@ fn bench_svd_via_qr(c: &mut Criterion) {
     group.sample_size(10);
     let a = dense::generate::uniform::<f64>(4096, 32, 1);
     group.bench_function("cpu_backend", |b| {
-        b.iter(|| black_box(svd_via_qr(&CpuQrBackend, &a).sigma));
+        b.iter(|| black_box(svd_via_qr(&CpuQrBackend, &a).unwrap().sigma));
     });
     group.bench_function("sim_gpu_caqr_backend", |b| {
         let gpu = Gpu::new(DeviceSpec::gtx480());
@@ -20,7 +20,7 @@ fn bench_svd_via_qr(c: &mut Criterion) {
             gpu: &gpu,
             opts: caqr::CaqrOptions::default(),
         };
-        b.iter(|| black_box(svd_via_qr(&backend, &a).sigma));
+        b.iter(|| black_box(svd_via_qr(&backend, &a).unwrap().sigma));
     });
     group.finish();
 }
@@ -31,7 +31,7 @@ fn bench_rpca_solve(c: &mut Criterion) {
     let video = generate::<f64>(&VideoConfig::tiny());
     group.bench_function("tiny_clip_432x20", |b| {
         b.iter(|| {
-            let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams::default());
+            let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams::default()).unwrap();
             black_box((r.iterations, r.rank))
         });
     });

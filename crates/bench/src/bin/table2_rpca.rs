@@ -109,7 +109,7 @@ fn solve_demo() {
     );
     let video = generate::<f64>(&cfg);
     let t0 = std::time::Instant::now();
-    let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams::default());
+    let r = rpca(&CpuQrBackend, &video.matrix, &RpcaParams::default()).expect("rpca solve failed");
     println!(
         "converged={} iterations={} rank(L)={} residual={:.2e} sparsity(S)={:.3} wall={:.2}s",
         r.converged,

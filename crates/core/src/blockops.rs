@@ -47,7 +47,13 @@ pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usiz
     // (unit diagonal, zeros above) so every trailing apply streams it.
     let t = larft(factored, &tau);
     let v = extract_v(factored, k);
-    WyTile { tau, v, t }
+    let healthy = all_finite(t.as_slice()) && all_finite(&tau) && all_finite(v.as_slice());
+    WyTile { tau, v, t, healthy }
+}
+
+/// True when every entry of the slice is finite (no NaN/inf).
+fn all_finite<T: Scalar>(xs: &[T]) -> bool {
+    xs.iter().all(|v| v.is_finite())
 }
 
 /// Gather the stacked R-triangles of one tree group, factor the stack, and
@@ -80,11 +86,14 @@ pub fn factor_tree_group<T: Scalar>(
         }
     }
     let tmat = larft(MatRef::from_parts(&buf, rows, w, rows), &tau);
+    let u = Matrix::from_col_major(rows, w, buf);
+    let healthy = all_finite(tmat.as_slice()) && all_finite(&tau) && all_finite(u.as_slice());
     TreeNode {
         members: members.to_vec(),
-        u: Matrix::from_col_major(rows, w, buf),
+        u,
         tau,
         tmat,
+        healthy,
     }
 }
 
@@ -104,12 +113,25 @@ pub fn apply_tile_wy<T: Scalar>(
     unsafe {
         c.load_tile(tile.start, c0, rows, wc, &mut cbuf);
     }
-    larfb_left(
-        wy.v.as_ref(),
-        wy.t.as_ref(),
-        transpose,
-        MatMut::from_parts(&mut cbuf, rows, wc, rows),
-    );
+    if wy.healthy {
+        larfb_left(
+            wy.v.as_ref(),
+            wy.t.as_ref(),
+            transpose,
+            MatMut::from_parts(&mut cbuf, rows, wc, rows),
+        );
+    } else {
+        // Compact-WY breakdown (non-finite `T`): degrade to the
+        // per-reflector larf sweeps, which never read `T`. The packed `V`
+        // has the geqr2 layout (unit diagonal implicit, tails below), which
+        // is exactly what apply_block_reflectors expects.
+        crate::microkernels::apply_block_reflectors(
+            wy.v.as_ref(),
+            &wy.tau,
+            transpose,
+            MatMut::from_parts(&mut cbuf, rows, wc, rows),
+        );
+    }
     // SAFETY: same disjoint tile.
     unsafe {
         c.store_tile(tile.start, c0, rows, wc, &cbuf);
@@ -179,6 +201,13 @@ pub fn apply_stacked_wy<T: Scalar>(
     debug_assert_eq!(c.rows(), t * w);
     let wc = c.cols();
     if wc == 0 {
+        return;
+    }
+    if !node.healthy {
+        // Compact-WY breakdown: apply the stacked reflectors one at a time
+        // (never touching the non-finite `tmat`). Same call as the
+        // equivalence test `stacked_wy_matches_per_reflector_on_tree_node`.
+        crate::microkernels::apply_block_reflectors(node.u.as_ref(), &node.tau, transpose, c);
         return;
     }
     // W = V^T C: top block of V is exactly I_w.
@@ -361,6 +390,60 @@ mod tests {
                 assert_eq!(node.u[(i, j)], 0.0, "leader sub-diagonal ({i},{j})");
                 assert_eq!(node.u[(5 + i, j)], 0.0, "block-1 below-triangle ({i},{j})");
                 assert_eq!(node.u[(10 + i, j)], 0.0, "block-2 below-triangle ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn unhealthy_wy_tile_falls_back_to_larf_and_matches() {
+        // Poison the cached T of a healthy tile: the apply must detect the
+        // breakdown flag and produce the same result via the larf path.
+        let mut panel = dense::generate::uniform::<f64>(32, 4, 11);
+        let tile = Tile { start: 0, rows: 32 };
+        let wy = factor_tile(MatPtr::new(&mut panel), tile, 0, 4);
+        assert!(wy.healthy, "well-conditioned tile must be healthy");
+        let mut broken = wy.clone();
+        broken.t[(0, 0)] = f64::NAN;
+        broken.healthy = false;
+        let c0m = dense::generate::uniform::<f64>(32, 3, 12);
+        for transpose in [true, false] {
+            let mut c_good = c0m.clone();
+            apply_tile_wy(&wy, MatPtr::new(&mut c_good), tile, 0, 3, transpose);
+            let mut c_fallback = c0m.clone();
+            apply_tile_wy(&broken, MatPtr::new(&mut c_fallback), tile, 0, 3, transpose);
+            for (x, y) in c_good.as_slice().iter().zip(c_fallback.as_slice()) {
+                assert!(
+                    (x - y).abs() < 1e-12 && y.is_finite(),
+                    "transpose={transpose}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unhealthy_tree_node_falls_back_to_larf_and_matches() {
+        let mut a = Matrix::<f64>::zeros(64, 4);
+        for (t, r0) in [0usize, 32].into_iter().enumerate() {
+            for j in 0..4 {
+                for i in 0..=j {
+                    a[(r0 + i, j)] =
+                        ((t * 7 + i * 3 + j) % 9) as f64 - 4.0 + if i == j { 6.0 } else { 0.0 };
+                }
+            }
+        }
+        let node = factor_tree_group(MatPtr::new(&mut a), &[0, 32], 0, 4);
+        assert!(node.healthy);
+        let mut broken = node.clone();
+        broken.tmat[(0, 0)] = f64::INFINITY;
+        broken.healthy = false;
+        let c0 = dense::generate::uniform::<f64>(8, 2, 13);
+        for transpose in [true, false] {
+            let mut c_good = c0.clone();
+            apply_stacked_wy(&node, 4, c_good.as_mut(), transpose);
+            let mut c_fb = c0.clone();
+            apply_stacked_wy(&broken, 4, c_fb.as_mut(), transpose);
+            for (x, y) in c_good.as_slice().iter().zip(c_fb.as_slice()) {
+                assert!((x - y).abs() < 1e-12 && y.is_finite());
             }
         }
     }

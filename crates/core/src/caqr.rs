@@ -37,16 +37,23 @@ pub struct CaqrOptions {
     pub strategy: ReductionStrategy,
     /// Reduction-tree shape (the GPU default is the `h/w`-ary device tree).
     pub tree: TreeShape,
+    /// Scan the input for NaN/inf with a charged `health_check` launch
+    /// before factoring (on by default — "garbage in" becomes a typed
+    /// [`CaqrError::NonFinite`] instead of silent NaN propagation). The
+    /// launch is counted by [`Caqr::launches`] and charged identically by
+    /// [`crate::model::model_caqr_seconds`].
+    pub check_finite: bool,
 }
 
 impl Default for CaqrOptions {
     /// The paper's shipping configuration: 128 x 16 blocks, register-file
-    /// serial reductions with pre-transposed panels.
+    /// serial reductions with pre-transposed panels, input health check on.
     fn default() -> Self {
         CaqrOptions {
             bs: BlockSize::c2050_best(),
             strategy: ReductionStrategy::RegisterSerialTransposed,
             tree: TreeShape::DeviceArity,
+            check_finite: true,
         }
     }
 }
@@ -94,6 +101,12 @@ pub fn caqr<T: Scalar>(
     let w = opts.bs.w;
     let k = m.min(n);
 
+    // Numerical health check: reject NaN/inf input with a typed error
+    // before any arithmetic (a charged launch, counted in `launches()`).
+    if opts.check_finite {
+        crate::health::check_matrix_finite(gpu, gpu_sim::Exec::Sync, &a, opts.bs, "caqr input")?;
+    }
+
     // Strategy 4's out-of-place preprocessing: transpose every panel from
     // column-major to row-major so the register-file kernels coalesce.
     if opts.strategy.needs_pretranspose() {
@@ -138,7 +151,7 @@ impl<T: Scalar> Caqr<T> {
     /// Apply `Q^T` to `c` (full row count) in place — panels in
     /// factorization order.
     pub fn apply_qt(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
-        assert_eq!(c.rows(), self.a.rows());
+        self.check_apply_rows(c.rows())?;
         let cols = col_blocks(0, c.cols(), self.opts.bs.w);
         let cp = MatPtr::new(c);
         for pf in &self.panels {
@@ -147,9 +160,19 @@ impl<T: Scalar> Caqr<T> {
         Ok(())
     }
 
+    fn check_apply_rows(&self, rows: usize) -> Result<(), CaqrError> {
+        if rows != self.a.rows() {
+            return Err(CaqrError::BadShape(format!(
+                "apply target has {rows} rows; factorization has {}",
+                self.a.rows()
+            )));
+        }
+        Ok(())
+    }
+
     /// Apply `Q` to `c` in place — panels in reverse order.
     pub fn apply_q(&self, gpu: &Gpu, c: &mut Matrix<T>) -> Result<(), CaqrError> {
-        assert_eq!(c.rows(), self.a.rows());
+        self.check_apply_rows(c.rows())?;
         let cols = col_blocks(0, c.cols(), self.opts.bs.w);
         let cp = MatPtr::new(c);
         for pf in self.panels.iter().rev() {
@@ -161,7 +184,11 @@ impl<T: Scalar> Caqr<T> {
     /// Form the explicit `m x k` orthogonal factor (`SORGQR` analogue).
     pub fn generate_q(&self, gpu: &Gpu, k: usize) -> Result<Matrix<T>, CaqrError> {
         let m = self.a.rows();
-        assert!(k <= m, "cannot form more Q columns than rows");
+        if k > m {
+            return Err(CaqrError::BadShape(format!(
+                "cannot form {k} Q columns from an {m}-row factorization"
+            )));
+        }
         let mut q = Matrix::<T>::eye(m, k);
         self.apply_q(gpu, &mut q)?;
         Ok(q)
@@ -171,8 +198,7 @@ impl<T: Scalar> Caqr<T> {
     /// factorization: `x = R^-1 (Q^T b)[0..n]`.
     pub fn least_squares(&self, gpu: &Gpu, b: &[T]) -> Result<Vec<T>, CaqrError> {
         let (m, n) = self.a.shape();
-        assert!(m >= n, "least squares needs a tall matrix");
-        assert_eq!(b.len(), m);
+        self.check_least_squares(m, n, b.len())?;
         let mut c = Matrix::from_fn(m, 1, |i, _| b[i]);
         self.apply_qt(gpu, &mut c)?;
         let mut x: Vec<T> = (0..n).map(|i| c[(i, 0)]).collect();
@@ -186,8 +212,7 @@ impl<T: Scalar> Caqr<T> {
     /// column. Returns the `n x nrhs` solution matrix.
     pub fn least_squares_multi(&self, gpu: &Gpu, b: &Matrix<T>) -> Result<Matrix<T>, CaqrError> {
         let (m, n) = self.a.shape();
-        assert!(m >= n, "least squares needs a tall matrix");
-        assert_eq!(b.rows(), m);
+        self.check_least_squares(m, n, b.rows())?;
         let mut c = b.clone();
         self.apply_qt(gpu, &mut c)?;
         let nrhs = b.cols();
@@ -198,6 +223,20 @@ impl<T: Scalar> Caqr<T> {
             x.col_mut(j).copy_from_slice(&col);
         }
         Ok(x)
+    }
+
+    fn check_least_squares(&self, m: usize, n: usize, got_rows: usize) -> Result<(), CaqrError> {
+        if m < n {
+            return Err(CaqrError::BadShape(format!(
+                "least squares needs a tall matrix (got {m}x{n})"
+            )));
+        }
+        if got_rows != m {
+            return Err(CaqrError::BadShape(format!(
+                "right-hand side has {got_rows} rows; expected {m}"
+            )));
+        }
+        Ok(())
     }
 
     /// Total kernel launches this factorization issued — exposed for the
@@ -218,6 +257,7 @@ impl<T: Scalar> Caqr<T> {
                     };
                 }
                 n + usize::from(self.opts.strategy.needs_pretranspose())
+                    + usize::from(self.opts.check_finite)
             }
         }
     }
@@ -257,6 +297,7 @@ mod tests {
             bs: BlockSize { h: 32, w: 8 },
             strategy: ReductionStrategy::RegisterSerialTransposed,
             tree: TreeShape::DeviceArity,
+            check_finite: true,
         }
     }
 
@@ -425,9 +466,9 @@ mod tests {
         let launches = |tree: TreeShape| {
             let g = gpu();
             let o = CaqrOptions {
-                bs: BlockSize { h: 64, w: 16 },
-                strategy: ReductionStrategy::RegisterSerialTransposed,
                 tree,
+                bs: BlockSize { h: 64, w: 16 },
+                ..opts_small()
             };
             let _ = caqr(&g, a.clone(), o).unwrap();
             g.ledger().calls

@@ -1,8 +1,16 @@
-//! Error type for the CAQR drivers.
+//! Typed error taxonomy for the CAQR drivers.
+//!
+//! Everything a *caller* can trigger — bad shapes, non-finite input, a
+//! numerical breakdown, a device fault that outlived its retries — comes
+//! back as a [`CaqrError`] instead of a panic, so the RPCA solver and the
+//! harness binaries can degrade gracefully. Panics that remain in the
+//! library crates are programmer errors on invariants held by construction
+//! (documented in DESIGN.md §9).
 
+use dense::DenseError;
 use gpu_sim::LaunchError;
 
-/// Errors surfaced by the TSQR/CAQR drivers.
+/// Errors surfaced by the TSQR/CAQR drivers and the solvers above them.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CaqrError {
     /// A kernel launch violated device limits (shared memory, threads,
@@ -10,11 +18,61 @@ pub enum CaqrError {
     Launch(LaunchError),
     /// The requested factorization shape or block size is invalid.
     BadShape(String),
+    /// A simulated transient device fault persisted through every retry.
+    Fault {
+        /// Kernel that failed.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order).
+        launch_index: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A NaN or infinity where finite data is required.
+    NonFinite {
+        /// Which input/stage the value was found in.
+        context: &'static str,
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+    },
+    /// The computation degenerated numerically (e.g. a non-finite residual
+    /// in an iterative solver, or a deadlocked stream schedule).
+    Breakdown {
+        /// What broke down.
+        context: String,
+    },
 }
 
 impl From<LaunchError> for CaqrError {
     fn from(e: LaunchError) -> Self {
-        CaqrError::Launch(e)
+        match e {
+            LaunchError::DeviceFault {
+                kernel,
+                launch_index,
+                attempts,
+            } => CaqrError::Fault {
+                kernel,
+                launch_index,
+                attempts,
+            },
+            other => CaqrError::Launch(other),
+        }
+    }
+}
+
+impl From<DenseError> for CaqrError {
+    fn from(e: DenseError) -> Self {
+        match e {
+            DenseError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => CaqrError::BadShape(format!("{context}: expected {expected}, got {got}")),
+            DenseError::NonFinite { context, row, col } => {
+                CaqrError::NonFinite { context, row, col }
+            }
+        }
     }
 }
 
@@ -23,8 +81,79 @@ impl std::fmt::Display for CaqrError {
         match self {
             CaqrError::Launch(e) => write!(f, "kernel launch failed: {e}"),
             CaqrError::BadShape(s) => write!(f, "bad shape: {s}"),
+            CaqrError::Fault {
+                kernel,
+                launch_index,
+                attempts,
+            } => write!(
+                f,
+                "device fault: kernel `{kernel}` (launch #{launch_index}) failed {attempts} attempts"
+            ),
+            CaqrError::NonFinite { context, row, col } => {
+                write!(f, "non-finite value in {context} at ({row}, {col})")
+            }
+            CaqrError::Breakdown { context } => write!(f, "numerical breakdown: {context}"),
         }
     }
 }
 
 impl std::error::Error for CaqrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_fault_converts_to_typed_fault() {
+        let e: CaqrError = LaunchError::DeviceFault {
+            kernel: "factor",
+            launch_index: 7,
+            attempts: 3,
+        }
+        .into();
+        assert_eq!(
+            e,
+            CaqrError::Fault {
+                kernel: "factor",
+                launch_index: 7,
+                attempts: 3
+            }
+        );
+        let s = e.to_string();
+        assert!(
+            s.contains("factor") && s.contains('7') && s.contains('3'),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn other_launch_errors_stay_launch() {
+        let e: CaqrError = LaunchError::EmptyGrid.into();
+        assert!(matches!(e, CaqrError::Launch(LaunchError::EmptyGrid)));
+    }
+
+    #[test]
+    fn dense_errors_map_into_the_taxonomy() {
+        let e: CaqrError = DenseError::NonFinite {
+            context: "input",
+            row: 2,
+            col: 5,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CaqrError::NonFinite {
+                context: "input",
+                row: 2,
+                col: 5
+            }
+        ));
+        let e: CaqrError = DenseError::ShapeMismatch {
+            context: "larf_left",
+            expected: 4,
+            got: 3,
+        }
+        .into();
+        assert!(matches!(e, CaqrError::BadShape(_)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Numerical health check: a charged `health_check` kernel that scans the
+//! matrix tile-by-tile for NaN/inf before factorization starts.
+//!
+//! The scan is a real GPU pass in the simulator's accounting — one block per
+//! row tile, each streaming its `rows x n` slab from global memory — so
+//! enabling it shows up in the ledger and the modelled figures exactly like
+//! any other kernel. [`crate::model::model_caqr_seconds`] charges the same
+//! per-block cost function, keeping model and execution bit-consistent.
+//!
+//! Drivers call [`check_matrix_finite`]; the first offending entry (in
+//! column-major order) comes back as [`CaqrError::NonFinite`].
+
+use crate::block::{tile_panel, BlockSize, Tile};
+use crate::error::CaqrError;
+use crate::kernels::THREADS;
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{BlockCost, BlockCtx, CostMeter, DeviceSpec, Exec, Gpu, Kernel, LaunchConfig};
+use parking_lot::Mutex;
+
+/// Cost of one `health_check` block: a single coalesced read pass over a
+/// `rows x cols` slab (no flops — comparisons are not counted as useful
+/// arithmetic, matching the pretranspose convention).
+pub fn health_block_cost(
+    spec: &DeviceSpec,
+    rows: usize,
+    cols: usize,
+    elem_bytes: u64,
+) -> BlockCost {
+    let mut m = CostMeter::new(spec);
+    m.gmem((rows * cols) as u64, elem_bytes, true);
+    m.cost
+}
+
+/// Launch configuration of the health scan — shared with the model replay so
+/// both paths submit identical launches.
+pub(crate) fn health_cfg(blocks: usize) -> LaunchConfig {
+    LaunchConfig {
+        blocks,
+        threads_per_block: THREADS,
+        shared_mem_bytes: 0,
+        regs_per_thread: 8,
+    }
+}
+
+/// The row tiles the health scan covers for an `m`-row matrix (the same
+/// tiling the factor grid would use, so ragged remainders match).
+pub(crate) fn health_tiles(m: usize, bs: BlockSize) -> Vec<Tile> {
+    tile_panel(0, m, bs.h, bs.w)
+}
+
+/// `health_check`: block `b` scans row tile `b` across every column and
+/// records the first non-finite entry it sees (column-major order).
+pub struct HealthCheckKernel<'a, T: Scalar> {
+    /// Read-only handle of the matrix being validated.
+    pub a: MatPtr<T>,
+    /// Row tiles (disjoint — the grid contract).
+    pub tiles: &'a [Tile],
+    /// Device description for cost derivation.
+    pub spec: DeviceSpec,
+    /// Per-block output slot: first `(row, col)` holding NaN/inf, if any.
+    pub first_bad: &'a [Mutex<Option<(usize, usize)>>],
+}
+
+impl<'a, T: Scalar> Kernel<T> for HealthCheckKernel<'a, T> {
+    fn name(&self) -> &'static str {
+        "health_check"
+    }
+
+    fn config(&self) -> LaunchConfig {
+        health_cfg(self.tiles.len())
+    }
+
+    fn run_block(&self, b: usize, ctx: &mut BlockCtx<T>) {
+        let tile = self.tiles[b];
+        let cols = self.a.cols();
+        let mut bad = None;
+        'scan: for j in 0..cols {
+            for i in 0..tile.rows {
+                // SAFETY: read-only scan; nothing writes during this launch.
+                let v = unsafe { self.a.get(tile.start + i, j) };
+                if !v.is_finite() {
+                    bad = Some((tile.start + i, j));
+                    break 'scan;
+                }
+            }
+        }
+        *self.first_bad[b].lock() = bad;
+        ctx.meter
+            .charge(&health_block_cost(&self.spec, tile.rows, cols, T::BYTES));
+    }
+}
+
+/// Scan `a` for NaN/inf with a charged `health_check` launch. Returns
+/// `Err(CaqrError::NonFinite)` naming the first offending entry in
+/// column-major order, or `Ok(())` when every entry is finite.
+pub fn check_matrix_finite<T: Scalar>(
+    gpu: &Gpu,
+    exec: Exec,
+    a: &Matrix<T>,
+    bs: BlockSize,
+    context: &'static str,
+) -> Result<(), CaqrError> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Ok(());
+    }
+    let tiles = health_tiles(a.rows(), bs);
+    let slots: Vec<Mutex<Option<(usize, usize)>>> =
+        tiles.iter().map(|_| Mutex::new(None)).collect();
+    {
+        let kernel = HealthCheckKernel {
+            a: MatPtr::new_readonly(a),
+            tiles: &tiles,
+            spec: gpu.spec().clone(),
+            first_bad: &slots,
+        };
+        gpu.launch_on(exec, &kernel)?;
+    }
+    // Blocks cover disjoint row ranges; the globally first entry in
+    // column-major order is the one with the smallest (col, row).
+    let mut first: Option<(usize, usize)> = None;
+    for slot in slots {
+        if let Some((i, j)) = slot.into_inner() {
+            first = Some(match first {
+                Some((fi, fj)) if (fj, fi) <= (j, i) => (fi, fj),
+                _ => (i, j),
+            });
+        }
+    }
+    match first {
+        Some((row, col)) => Err(CaqrError::NonFinite { context, row, col }),
+        None => Ok(()),
+    }
+}
+
+/// Host-side finiteness scan (no simulator, no charge) for the CPU drivers.
+/// Returns the first non-finite entry in column-major order.
+pub fn first_nonfinite<T: Scalar>(a: &Matrix<T>) -> Option<(usize, usize)> {
+    for j in 0..a.cols() {
+        for (i, v) in a.col(j).iter().enumerate() {
+            if !v.is_finite() {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceSpec;
+
+    fn bs() -> BlockSize {
+        BlockSize { h: 32, w: 8 }
+    }
+
+    #[test]
+    fn finite_matrix_passes_and_charges_one_launch() {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let a = dense::generate::uniform::<f64>(100, 12, 1);
+        check_matrix_finite(&g, Exec::Sync, &a, bs(), "test input").unwrap();
+        let l = g.ledger();
+        assert_eq!(l.calls, 1);
+        assert_eq!(l.per_op["health_check"].calls, 1);
+        // One full read pass over the matrix.
+        assert!(l.dram_bytes >= (100 * 12 * 8) as f64);
+        assert_eq!(l.flops, 0.0);
+    }
+
+    #[test]
+    fn first_offender_is_column_major_even_across_tiles() {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let mut a = dense::generate::uniform::<f64>(100, 12, 2);
+        // A later-column NaN in an early tile and an earlier-column NaN in a
+        // late tile: column-major order picks the latter.
+        a[(3, 7)] = f64::NAN;
+        a[(90, 2)] = f64::INFINITY;
+        let e = check_matrix_finite(&g, Exec::Sync, &a, bs(), "test input").unwrap_err();
+        assert_eq!(
+            e,
+            CaqrError::NonFinite {
+                context: "test input",
+                row: 90,
+                col: 2
+            }
+        );
+        assert_eq!(first_nonfinite(&a), Some((90, 2)));
+    }
+
+    #[test]
+    fn host_scan_matches_kernel_scan_on_clean_input() {
+        let a = dense::generate::uniform::<f32>(64, 4, 3);
+        assert_eq!(first_nonfinite(&a), None);
+    }
+}

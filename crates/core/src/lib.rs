@@ -39,6 +39,7 @@ pub mod blockops;
 pub mod bounds;
 pub mod caqr;
 pub mod error;
+pub mod health;
 pub mod kernels;
 pub mod microkernels;
 pub mod model;
@@ -50,6 +51,7 @@ pub mod tuning;
 pub use block::{BlockSize, TreeShape};
 pub use caqr::{caqr_qr, Caqr, CaqrOptions, LaunchPlan};
 pub use error::CaqrError;
+pub use health::{check_matrix_finite, first_nonfinite};
 pub use microkernels::ReductionStrategy;
 pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};

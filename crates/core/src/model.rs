@@ -9,6 +9,7 @@
 use crate::block::{plan_tree, tile_panel, BlockSize, TreeShape};
 use crate::caqr::CaqrOptions;
 use crate::error::CaqrError;
+use crate::health::{health_block_cost, health_cfg, health_tiles};
 use crate::kernels::{
     apply_qt_h_block_cost, apply_qt_tree_block_cost, factor_block_cost, factor_tree_block_cost,
     pretranspose_block_cost, THREADS,
@@ -251,6 +252,9 @@ pub fn model_caqr_seconds(
     let w = opts.bs.w;
     let k = m.min(n);
 
+    if opts.check_finite {
+        model_health_on(gpu, Exec::Sync, m, n, opts.bs)?;
+    }
     if opts.strategy.needs_pretranspose() {
         model_pretranspose(gpu, gpu.spec(), m, n, opts.bs)?;
     }
@@ -296,6 +300,23 @@ fn pretranspose_cfg(tiles: usize, bs: BlockSize) -> LaunchConfig {
         shared_mem_bytes: bs.h * bs.w * ELEM_BYTES as usize,
         regs_per_thread: 16,
     }
+}
+
+/// Charge the input health check under an [`Exec`] policy, block for block
+/// the same launch [`crate::health::check_matrix_finite`] submits.
+pub(crate) fn model_health_on(
+    gpu: &Gpu,
+    exec: Exec,
+    m: usize,
+    n: usize,
+    bs: BlockSize,
+) -> Result<(), CaqrError> {
+    let spec = gpu.spec().clone();
+    let tiles = health_tiles(m, bs);
+    let mut cache = CostCache::new(|rows, _| health_block_cost(&spec, rows, n, ELEM_BYTES));
+    let costs: Vec<BlockCost> = tiles.iter().map(|t| cache.get(t.rows, 0)).collect();
+    gpu.launch_with_costs_on(exec, "health_check", health_cfg(tiles.len()), &costs)?;
+    Ok(())
 }
 
 /// Charge the pretranspose pass under an [`Exec`] policy (the synchronous
@@ -394,6 +415,7 @@ mod tests {
             bs: BlockSize { h: 32, w: 8 },
             strategy: ReductionStrategy::RegisterSerialTransposed,
             tree: TreeShape::DeviceArity,
+            check_finite: true,
         };
         let g1 = Gpu::new(DeviceSpec::c2050());
         let a = generate::uniform::<f32>(m, n, 42);

@@ -174,6 +174,15 @@ pub fn caqr_cpu<T: Scalar>(
         return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
     }
     opts.block_size().validate().map_err(CaqrError::BadShape)?;
+    // Host-side health check (no simulator to charge here): reject NaN/inf
+    // input with the same typed error the GPU drivers produce.
+    if let Some((row, col)) = crate::health::first_nonfinite(&a) {
+        return Err(CaqrError::NonFinite {
+            context: "caqr_cpu input",
+            row,
+            col,
+        });
+    }
     let w = opts.panel_width;
     let k = m.min(n);
     let mut panels = Vec::with_capacity(k.div_ceil(w));
@@ -199,8 +208,14 @@ impl<T: Scalar> CpuCaqr<T> {
     }
 
     /// Apply `Q^T` (or `Q` with `transpose == false`) to `c` in place.
-    pub fn apply(&self, c: &mut Matrix<T>, transpose: bool) {
-        assert_eq!(c.rows(), self.a.rows());
+    pub fn apply(&self, c: &mut Matrix<T>, transpose: bool) -> Result<(), CaqrError> {
+        if c.rows() != self.a.rows() {
+            return Err(CaqrError::BadShape(format!(
+                "apply target has {} rows; factorization has {}",
+                c.rows(),
+                self.a.rows()
+            )));
+        }
         let cols = col_blocks(0, c.cols(), self.opts.panel_width);
         let cp = MatPtr::new(c);
         if transpose {
@@ -212,25 +227,41 @@ impl<T: Scalar> CpuCaqr<T> {
                 apply_panel_cpu(cp, p, &cols, false);
             }
         }
+        Ok(())
     }
 
     /// Explicit `m x k` orthogonal factor.
-    pub fn generate_q(&self, k: usize) -> Matrix<T> {
+    pub fn generate_q(&self, k: usize) -> Result<Matrix<T>, CaqrError> {
+        if k > self.a.rows() {
+            return Err(CaqrError::BadShape(format!(
+                "cannot form {k} Q columns from an {}-row factorization",
+                self.a.rows()
+            )));
+        }
         let mut q = Matrix::<T>::eye(self.a.rows(), k);
-        self.apply(&mut q, false);
-        q
+        self.apply(&mut q, false)?;
+        Ok(q)
     }
 
     /// Least-squares solve from the implicit factorization.
-    pub fn least_squares(&self, b: &[T]) -> Vec<T> {
+    pub fn least_squares(&self, b: &[T]) -> Result<Vec<T>, CaqrError> {
         let (m, n) = self.a.shape();
-        assert!(m >= n);
-        assert_eq!(b.len(), m);
+        if m < n {
+            return Err(CaqrError::BadShape(format!(
+                "least squares needs a tall matrix (got {m}x{n})"
+            )));
+        }
+        if b.len() != m {
+            return Err(CaqrError::BadShape(format!(
+                "right-hand side has {} rows; expected {m}",
+                b.len()
+            )));
+        }
         let mut c = Matrix::from_fn(m, 1, |i, _| b[i]);
-        self.apply(&mut c, true);
+        self.apply(&mut c, true)?;
         let mut x: Vec<T> = (0..n).map(|i| c[(i, 0)]).collect();
         trsv_upper(self.a.view(0, 0, n, n), &mut x);
-        x
+        Ok(x)
     }
 }
 
@@ -244,7 +275,7 @@ mod tests {
         for (m, n, seed) in [(500usize, 24usize, 1u64), (1000, 64, 2), (333, 7, 3)] {
             let a = dense::generate::uniform::<f64>(m, n, seed);
             let f = caqr_cpu(a.clone(), CpuCaqrOptions::for_width(n)).unwrap();
-            let q = f.generate_q(n);
+            let q = f.generate_q(n).unwrap();
             let r = f.r();
             assert!(reconstruction_error(&a, &q, &r) < 1e-11, "{m}x{n}");
             assert!(orthogonality_error(&q) < 1e-11, "{m}x{n}");
@@ -271,6 +302,7 @@ mod tests {
                 bs: BlockSize { h: 64, w: 16 },
                 strategy: crate::ReductionStrategy::RegisterSerialTransposed,
                 tree: TreeShape::DeviceArity,
+                check_finite: true,
             },
         )
         .unwrap();
@@ -291,7 +323,7 @@ mod tests {
             },
         )
         .unwrap();
-        let q = f.generate_q(12);
+        let q = f.generate_q(12).unwrap();
         assert!(reconstruction_error(&a, &q, &f.r()) < 1e-11);
         assert!(orthogonality_error(&q) < 1e-11);
     }
@@ -303,7 +335,7 @@ mod tests {
         let a = dense::generate::uniform::<f64>(m, n, 6);
         let b: Vec<f64> = (0..m).map(|i| ((i % 13) as f64) - 6.0).collect();
         let f = caqr_cpu(a.clone(), CpuCaqrOptions::for_width(n)).unwrap();
-        let x = f.least_squares(&b);
+        let x = f.least_squares(&b).unwrap();
         let x_ref = dense::blocked::least_squares(a, &b);
         for (p, q) in x.iter().zip(&x_ref) {
             assert!((p - q).abs() < 1e-8 * (1.0 + q.abs()));

@@ -25,7 +25,9 @@
 use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};
 use crate::error::CaqrError;
 use crate::kernels::PretransposeKernel;
-use crate::model::{model_apply_chain_on, model_factor_chain_on, model_pretranspose_on};
+use crate::model::{
+    model_apply_chain_on, model_factor_chain_on, model_health_on, model_pretranspose_on,
+};
 use crate::tsqr::{apply_panel_ptr_on, factor_panel_with_tree_on, PanelFactor};
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
@@ -159,6 +161,19 @@ pub fn caqr_dag<T: Scalar>(
     let o = opts.caqr;
     let mut launches = 0usize;
 
+    // Numerical health check, queued first on stream 0 (arithmetic runs
+    // eagerly at enqueue, so a NaN aborts before any factor work is queued).
+    if o.check_finite {
+        crate::health::check_matrix_finite(
+            gpu,
+            Exec::Stream(dag.streams[0]),
+            &a,
+            o.bs,
+            "caqr input",
+        )?;
+        launches += 1;
+    }
+
     // Strategy 4's out-of-place preprocessing, queued ahead of the first
     // factor on its stream; every other stream's first op waits (directly or
     // transitively) on the first factor's event, so no extra event is needed.
@@ -274,7 +289,9 @@ pub fn caqr_dag<T: Scalar>(
         panels.push(pf);
     }
 
-    let timeline = gpu.synchronize();
+    let timeline = gpu
+        .try_synchronize()
+        .map_err(|context| CaqrError::Breakdown { context })?;
     Ok((
         Caqr {
             a,
@@ -312,6 +329,9 @@ pub fn model_caqr_dag_timeline(
     let dag = Dag::new(gpu, m, n, &opts)?;
     let o = opts.caqr;
 
+    if o.check_finite {
+        model_health_on(gpu, Exec::Stream(dag.streams[0]), m, n, o.bs)?;
+    }
     if o.strategy.needs_pretranspose() {
         model_pretranspose_on(gpu, Exec::Stream(dag.streams[0]), m, n, o.bs)?;
     }
@@ -417,7 +437,9 @@ pub fn model_caqr_dag_timeline(
         }
     }
 
-    let tl = gpu.synchronize();
+    let tl = gpu
+        .try_synchronize()
+        .map_err(|context| CaqrError::Breakdown { context })?;
     Ok((gpu.elapsed() - t0, tl))
 }
 
@@ -452,6 +474,7 @@ mod tests {
                 bs: BlockSize { h: 32, w: 8 },
                 strategy: ReductionStrategy::RegisterSerialTransposed,
                 tree: TreeShape::DeviceArity,
+                check_finite: true,
             },
             streams,
             lookahead,

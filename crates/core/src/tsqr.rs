@@ -13,7 +13,7 @@ use crate::kernels::{ApplyQtHKernel, ApplyQtTreeKernel, FactorKernel, FactorTree
 use crate::microkernels::ReductionStrategy;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
-use dense::MatPtr;
+use dense::{DenseError, MatPtr};
 use gpu_sim::{Exec, Gpu};
 use parking_lot::Mutex;
 
@@ -35,6 +35,11 @@ pub struct WyTile<T: Scalar> {
     pub v: Matrix<T>,
     /// `k x k` upper-triangular compact-WY factor.
     pub t: Matrix<T>,
+    /// Whether every entry of `v`/`t`/`tau` came out finite. When `false`
+    /// (a compact-WY breakdown, e.g. overflow while accumulating `T`), the
+    /// apply kernels fall back to the per-reflector `larf` reference path,
+    /// which never touches `t`.
+    pub healthy: bool,
 }
 
 /// One factored reduction-tree group: the stacked `(t*w) x w` Householder
@@ -53,6 +58,9 @@ pub struct TreeNode<T: Scalar> {
     /// `w x w` upper-triangular compact-WY factor of the stack (precomputed
     /// at factor time so every apply is pure BLAS3).
     pub tmat: Matrix<T>,
+    /// Whether `u`/`tmat`/`tau` are all finite; `false` routes applies to
+    /// the per-reflector fallback path (see [`WyTile::healthy`]).
+    pub healthy: bool,
 }
 
 /// The complete TSQR factorization of one panel.
@@ -317,10 +325,13 @@ pub fn apply_panel_within<T: Scalar>(
     col_to: usize,
     transpose: bool,
 ) -> Result<(), CaqrError> {
-    assert!(
-        col_from >= pf.col0 + pf.width || col_to <= pf.col0,
-        "trailing columns must not overlap the panel"
-    );
+    if col_from < pf.col0 + pf.width && col_to > pf.col0 {
+        return Err(CaqrError::BadShape(format!(
+            "trailing columns [{col_from}, {col_to}) overlap panel columns [{}, {})",
+            pf.col0,
+            pf.col0 + pf.width
+        )));
+    }
     let cols = col_blocks(col_from, col_to, pf.bs.w);
     let p = MatPtr::new(a);
     apply_panel_ptr(gpu, p, pf, &cols, transpose)
@@ -333,11 +344,14 @@ pub fn apply_panel_to<T: Scalar>(
     target: &mut Matrix<T>,
     transpose: bool,
 ) -> Result<(), CaqrError> {
-    assert_eq!(
-        pf.rows_end(),
-        target.rows(),
-        "row mismatch between factor and target"
-    );
+    if pf.rows_end() != target.rows() {
+        return Err(DenseError::ShapeMismatch {
+            context: "apply_panel_to: target rows vs panel rows",
+            expected: pf.rows_end(),
+            got: target.rows(),
+        }
+        .into());
+    }
     let cols = col_blocks(0, target.cols(), pf.bs.w);
     apply_panel_ptr(gpu, MatPtr::new(target), pf, &cols, transpose)
 }
@@ -372,6 +386,7 @@ pub fn tsqr<T: Scalar>(
             a.rows()
         )));
     }
+    crate::health::check_matrix_finite(gpu, Exec::Sync, &a, bs, "tsqr input")?;
     let pf = factor_panel(gpu, &mut a, 0, 0, n, bs, strategy)?;
     Ok(Tsqr { factored: a, pf })
 }

@@ -134,6 +134,7 @@ fn apply_qt_h_kernel_matches_host_application() {
         tau: tau.clone(),
         t: dense::blocked::larft(vexp.as_ref(), &tau),
         v: vexp,
+        healthy: true,
     }];
     let cols = [(0usize, 6usize)];
     {

@@ -1,0 +1,71 @@
+//! Typed errors for the dense substrate.
+//!
+//! Routines that can be handed malformed input by a *caller* (wrong
+//! dimensions, non-finite data) return [`DenseError`] instead of panicking,
+//! so the GPU kernels and solvers built on top can degrade gracefully.
+//! Invariants that hold by construction inside this crate remain `assert!`s
+//! — those are programmer errors, not recoverable conditions (DESIGN.md §9).
+
+/// Error from a dense linear-algebra routine given invalid input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DenseError {
+    /// Two dimensions that must agree do not.
+    ShapeMismatch {
+        /// Which routine/check failed.
+        context: &'static str,
+        /// The dimension the routine required.
+        expected: usize,
+        /// The dimension it was given.
+        got: usize,
+    },
+    /// A NaN or infinity where finite data is required.
+    NonFinite {
+        /// Which routine/check failed.
+        context: &'static str,
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for DenseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DenseError::ShapeMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(f, "{context}: expected dimension {expected}, got {got}")
+            }
+            DenseError::NonFinite { context, row, col } => {
+                write!(f, "{context}: non-finite value at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_context_and_numbers() {
+        let e = DenseError::ShapeMismatch {
+            context: "larf_left",
+            expected: 8,
+            got: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("larf_left") && s.contains('8') && s.contains('5'));
+        let e = DenseError::NonFinite {
+            context: "caqr input",
+            row: 3,
+            col: 1,
+        };
+        assert!(e.to_string().contains("(3, 1)"));
+    }
+}

@@ -6,6 +6,7 @@
 //! Householder baselines run per panel.
 
 use crate::blas1::nrm2;
+use crate::error::DenseError;
 use crate::matrix::{MatMut, Matrix};
 use crate::scalar::Scalar;
 
@@ -15,23 +16,52 @@ use crate::scalar::Scalar;
 /// On input `x` is the full vector (length >= 1). On output `x[0] = beta` and
 /// `x[1..]` holds the reflector tail `v[1..]` (`v[0] == 1` is implicit).
 /// Returns `tau` (zero when `x[1..]` is already zero, making `H = I`).
+///
+/// Columns so tiny that `beta` would be subnormal are rescaled by
+/// `1/safe_min` before the reflector is formed and `beta` unscaled at the
+/// end, exactly as LAPACK `dlarfg` does — without this, `tau` and the tail
+/// divide by a number that has already lost most of its bits and the
+/// reflector silently stops being orthogonal.
 pub fn larfg<T: Scalar>(x: &mut [T]) -> T {
     let n = x.len();
     assert!(n >= 1, "larfg needs a non-empty vector");
     if n == 1 {
         return T::ZERO;
     }
-    let alpha = x[0];
-    let xnorm = nrm2(&x[1..]);
+    let mut alpha = x[0];
+    let mut xnorm = nrm2(&x[1..]);
     if xnorm == T::ZERO {
         return T::ZERO;
     }
     // beta = -sign(alpha) * ||x||, the LAPACK choice that avoids cancellation.
-    let beta = -alpha.sign() * alpha.hypot(xnorm);
+    let mut beta = -alpha.sign() * alpha.hypot(xnorm);
+    let safmin = T::safe_min();
+    let mut knt = 0u32;
+    if beta.abs() < safmin {
+        // |beta| is subnormal (or dangerously close): scale the whole column
+        // up until it is safely normal. At most a couple of iterations —
+        // 1/safmin spans ~292 decades for f64.
+        let rsafmn = T::ONE / safmin;
+        while beta.abs() < safmin && knt < 20 {
+            knt += 1;
+            for v in &mut x[1..] {
+                *v *= rsafmn;
+            }
+            beta *= rsafmn;
+            alpha *= rsafmn;
+        }
+        // Recompute at the well-scaled magnitude.
+        xnorm = nrm2(&x[1..]);
+        beta = -alpha.sign() * alpha.hypot(xnorm);
+    }
     let tau = (beta - alpha) / beta;
     let inv = T::ONE / (alpha - beta);
     for v in &mut x[1..] {
         *v *= inv;
+    }
+    // Undo the scaling: the tail and tau are scale-invariant, beta is not.
+    for _ in 0..knt {
+        beta *= safmin;
     }
     x[0] = beta;
     tau
@@ -42,13 +72,28 @@ pub fn larfg<T: Scalar>(x: &mut [T]) -> T {
 /// `v` has explicit unit first element NOT stored: `v_storage` is the tail
 /// `v[1..]` and the reflector acts on all `c.rows() == v_storage.len() + 1`
 /// rows. `work` is resized to `c.cols()`.
-pub fn larf_left<T: Scalar>(v_tail: &[T], tau: T, mut c: MatMut<'_, T>, work: &mut Vec<T>) {
-    if tau == T::ZERO {
-        return;
-    }
+///
+/// A reflector whose length disagrees with `c.rows()` is a checked error
+/// (not a `debug_assert`): in release builds a silent mismatch would read
+/// the wrong rows and corrupt the factorization.
+pub fn larf_left<T: Scalar>(
+    v_tail: &[T],
+    tau: T,
+    mut c: MatMut<'_, T>,
+    work: &mut Vec<T>,
+) -> Result<(), DenseError> {
     let m = c.rows();
     let n = c.cols();
-    debug_assert_eq!(v_tail.len() + 1, m);
+    if v_tail.len() + 1 != m {
+        return Err(DenseError::ShapeMismatch {
+            context: "larf_left: reflector length (tail + 1) vs C rows",
+            expected: m,
+            got: v_tail.len() + 1,
+        });
+    }
+    if tau == T::ZERO {
+        return Ok(());
+    }
     work.clear();
     work.resize(n, T::ZERO);
     // w = C^T v  (v[0] == 1)
@@ -69,6 +114,7 @@ pub fn larf_left<T: Scalar>(v_tail: &[T], tau: T, mut c: MatMut<'_, T>, work: &m
             *ci = (-twj).mul_add(vi, *ci);
         }
     }
+    Ok(())
 }
 
 /// Unblocked Householder QR (LAPACK `geqr2`): factor `a` in place.
@@ -96,7 +142,8 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
             // tails are tiny (these are cache-resident panel columns).
             let v_tail: Vec<T> = a.col(j)[j + 1..].to_vec();
             let trailing = a.rb_mut().submatrix_mut(j, j + 1, m - j, n - j - 1);
-            larf_left(&v_tail, t, trailing, &mut work);
+            larf_left(&v_tail, t, trailing, &mut work)
+                .expect("geqr2: reflector length matches trailing block by construction");
         }
     }
 }
@@ -117,7 +164,8 @@ pub fn org2r<T: Scalar>(a: &Matrix<T>, tau: &[T], k: usize) -> Matrix<T> {
         let v_tail: Vec<T> = a.col(i)[i + 1..].to_vec();
         // Apply H_i to Q[i.., i..].
         let sub = q.view_mut(i, i, m - i, k - i);
-        larf_left(&v_tail, t, sub, &mut work);
+        larf_left(&v_tail, t, sub, &mut work)
+            .expect("org2r: reflector length matches Q block by construction");
     }
     q
 }
@@ -143,7 +191,8 @@ pub fn apply_q2<T: Scalar>(a: &Matrix<T>, tau: &[T], transpose: bool, c: &mut Ma
     for i in order {
         let v_tail: Vec<T> = a.col(i)[i + 1..].to_vec();
         let sub = c.view_mut(i, 0, m - i, n);
-        larf_left(&v_tail, tau[i], sub, &mut work);
+        larf_left(&v_tail, tau[i], sub, &mut work)
+            .expect("apply_q2: reflector length matches C block by construction");
     }
 }
 
@@ -273,6 +322,56 @@ mod tests {
         let tau = larfg(&mut x);
         assert_eq!(tau, 0.0);
         assert_eq!(x[0], 5.0);
+    }
+
+    #[test]
+    fn larfg_subnormal_column_yields_true_norm() {
+        // Without the safmin rescaling loop, beta is computed in the
+        // subnormal range and |beta| drifts far from ||x||.
+        let s = 1.0e-300f64;
+        let mut x = vec![3.0 * s, 4.0 * s, 0.0, 12.0 * s];
+        let norm = 13.0 * s;
+        let tau = larfg(&mut x);
+        let beta = x[0];
+        assert!(
+            (beta.abs() - norm).abs() <= 4.0 * f64::EPSILON * norm,
+            "beta {beta} vs ||x|| {norm}"
+        );
+        assert!(tau > 0.0 && tau <= 2.0, "tau {tau} out of [0, 2]");
+        // The tail is scale-invariant: same reflector as the 1.0-scaled column.
+        let mut y = vec![3.0f64, 4.0, 0.0, 12.0];
+        let tau_y = larfg(&mut y);
+        assert!((tau - tau_y).abs() < 1e-14);
+        for (a, b) in x[1..].iter().zip(&y[1..]) {
+            assert!((a - b).abs() < 1e-14, "tail {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn larfg_huge_column_stays_finite() {
+        let s = 1.0e+300f64;
+        let mut x = vec![3.0 * s, 4.0 * s];
+        let tau = larfg(&mut x);
+        assert!(x[0].is_finite() && tau.is_finite());
+        assert!((x[0].abs() - 5.0 * s).abs() <= 4.0 * f64::EPSILON * 5.0 * s);
+    }
+
+    #[test]
+    fn larf_left_rejects_mismatched_reflector() {
+        let mut c = Matrix::<f64>::zeros(5, 2);
+        let v_tail = [0.5f64, 0.25]; // length 2 + 1 != 5 rows
+        let mut work = Vec::new();
+        let err = larf_left(&v_tail, 1.5, c.as_mut(), &mut work).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::DenseError::ShapeMismatch {
+                expected: 5,
+                got: 3,
+                ..
+            }
+        ));
+        // And the mismatch is reported even for tau == 0.
+        assert!(larf_left(&v_tail, 0.0, c.as_mut(), &mut work).is_err());
     }
 
     #[test]

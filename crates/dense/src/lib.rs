@@ -26,6 +26,7 @@ pub mod blas2;
 pub mod blas3;
 pub mod blocked;
 pub mod cholesky;
+pub mod error;
 pub mod generate;
 pub mod givens;
 pub mod gk_svd;
@@ -37,6 +38,7 @@ pub mod ptr;
 pub mod scalar;
 pub mod svd;
 
+pub use error::DenseError;
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use ptr::MatPtr;
 pub use scalar::Scalar;

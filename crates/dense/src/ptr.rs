@@ -6,6 +6,9 @@
 //! simulator uses this small unsafe core: a raw column-major pointer plus
 //! shape, `Send + Sync`, with all bounds checked (always, not only in debug
 //! builds — the cost of the check is irrelevant next to the simulated work).
+//! CI additionally runs this module's tests (and the `blas3` packed-GEMM
+//! tests that lean on it) under Miri to catch undefined behaviour the
+//! asserts cannot.
 //!
 //! # Safety contract
 //!
@@ -98,7 +101,13 @@ impl<T: Scalar> MatPtr<T> {
             self.rows,
             self.cols
         );
-        j * self.ld + i
+        let off = j * self.ld + i;
+        // Defense in depth for handles built via `from_raw_parts`: the
+        // linear offset must stay inside the ld x cols footprint even if a
+        // caller lied about the shape. (Free in release; the Miri CI job
+        // runs these tests with the checks on.)
+        debug_assert!(off < self.ld * self.cols.max(1), "MatPtr offset overflow");
+        off
     }
 
     /// Read element `(i, j)`.
@@ -140,6 +149,7 @@ impl<T: Scalar> MatPtr<T> {
             "tile out of range"
         );
         for j in 0..nc {
+            debug_assert!((c0 + j) * self.ld + r0 + nr <= self.ld * self.cols);
             let src = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(j * nr), nr);
         }
@@ -158,6 +168,7 @@ impl<T: Scalar> MatPtr<T> {
             "tile out of range"
         );
         for j in 0..nc {
+            debug_assert!((c0 + j) * self.ld + r0 + nr <= self.ld * self.cols);
             let dst = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src.as_ptr().add(j * nr), dst, nr);
         }
@@ -210,6 +221,37 @@ mod tests {
         assert_eq!(m[(2, 3)], orig[(2, 3)] + 1.0);
         assert_eq!(m[(5, 5)], orig[(5, 5)] + 1.0);
         assert_eq!(m[(0, 0)], orig[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_get_panics() {
+        let mut m = Matrix::<f32>::zeros(4, 4);
+        let p = MatPtr::new(&mut m);
+        unsafe {
+            p.get(4, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_set_panics() {
+        let mut m = Matrix::<f32>::zeros(4, 4);
+        let p = MatPtr::new(&mut m);
+        unsafe {
+            p.set(0, 4, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile buffer too small")]
+    fn undersized_tile_buffer_panics() {
+        let mut m = Matrix::<f32>::zeros(8, 8);
+        let p = MatPtr::new(&mut m);
+        let mut buf = vec![0.0f32; 3];
+        unsafe {
+            p.load_tile(0, 0, 2, 2, &mut buf);
+        }
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub trait Scalar:
     fn to_f64(self) -> f64;
     /// Machine epsilon of the type.
     fn epsilon() -> Self;
+    /// LAPACK `dlamch('S') / dlamch('E')`: the smallest magnitude whose
+    /// reciprocal is still a safe normal number. `larfg` rescales columns
+    /// whose norm falls below this to avoid computing a subnormal `beta`.
+    fn safe_min() -> Self;
     /// `|self|`.
     fn abs(self) -> Self;
     /// `sqrt(self)`.
@@ -87,6 +91,10 @@ macro_rules! impl_scalar {
             #[inline(always)]
             fn epsilon() -> Self {
                 <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn safe_min() -> Self {
+                <$t>::MIN_POSITIVE / <$t>::EPSILON
             }
             #[inline(always)]
             fn abs(self) -> Self {
@@ -143,6 +151,17 @@ mod tests {
         assert_eq!((-0.0f64).sign(), 1.0);
         assert_eq!(3.0f64.sign(), 1.0);
         assert_eq!((-2.0f32).sign(), -1.0);
+    }
+
+    #[test]
+    fn safe_min_reciprocal_is_finite_and_normal() {
+        let s64 = <f64 as Scalar>::safe_min();
+        assert!(s64 >= f64::MIN_POSITIVE);
+        assert!((1.0 / s64).is_finite());
+        let s32 = <f32 as Scalar>::safe_min();
+        assert!(s32 > 0.0 && (1.0 / s32).is_finite());
+        // Subnormals sit strictly below the threshold.
+        assert!(1.0e-300f64 < s64);
     }
 
     #[test]

@@ -113,6 +113,44 @@ proptest! {
     }
 
     #[test]
+    fn larfg_extreme_scales_keep_beta_and_orthogonality(
+        n in 2usize..12,
+        seed in 0u64..500,
+        scale_sel in 0usize..3,
+    ) {
+        let scale_pow = [-300i32, 0, 300][scale_sel];
+        // Columns scaled into the subnormal (1e-300) and near-overflow
+        // (1e+300) ranges must still produce |beta| == ||x|| and an
+        // orthogonal reflector, thanks to the dlarfg safmin rescaling.
+        let scale = 10f64.powi(scale_pow);
+        let raw = dense::generate::uniform::<f64>(n, 1, seed);
+        let x0: Vec<f64> = raw.as_slice().iter().map(|v| v * scale).collect();
+        prop_assume!(nrm2(&x0[1..]) > 0.0);
+        let norm = nrm2(&x0);
+        let mut x = x0.clone();
+        let tau = dense::householder::larfg(&mut x);
+        let beta = x[0];
+        prop_assert!(
+            (beta.abs() - norm).abs() <= 32.0 * f64::EPSILON * norm,
+            "|beta| {} vs ||x|| {} at scale 1e{}", beta.abs(), norm, scale_pow
+        );
+        // H = I - tau v v^T is orthogonal iff tau * ||v||^2 == 2 (v[0] = 1).
+        let vtv = 1.0 + x[1..].iter().map(|v| v * v).sum::<f64>();
+        prop_assert!((tau * vtv - 2.0).abs() < 1e-16 * vtv + 1e-12);
+        // Reconstruction: H x0 = beta e1.
+        let vdotx = x0[0] + x[1..].iter().zip(&x0[1..]).map(|(v, c)| v * c).sum::<f64>();
+        for i in 0..n {
+            let vi = if i == 0 { 1.0 } else { x[i] };
+            let hxi = x0[i] - tau * vi * vdotx;
+            let want = if i == 0 { beta } else { 0.0 };
+            prop_assert!(
+                (hxi - want).abs() <= 64.0 * f64::EPSILON * norm,
+                "H x at {i}: {hxi} vs {want} (scale 1e{scale_pow})"
+            );
+        }
+    }
+
+    #[test]
     fn blocked_qr_q_is_orthogonal(m in 4usize..64, n in 1usize..16, nb in 1usize..8, seed in 0u64..500) {
         prop_assume!(m >= n);
         let a = dense::generate::uniform::<f64>(m, n, seed);

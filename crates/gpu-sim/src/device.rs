@@ -16,6 +16,7 @@
 //! cost functions so the two paths agree (tested in `caqr::kernels`).
 
 use crate::cost::{BlockCost, CostMeter, KernelReport};
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 use crate::ledger::CostLedger;
 use crate::spec::{DeviceSpec, PcieSpec};
@@ -37,12 +38,21 @@ pub enum Exec {
     Stream(StreamId),
 }
 
+/// Installed fault-injection state: the plan, the retry policy, and the
+/// admission-order launch counter the plan indexes by.
+struct FaultState {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    next_launch: u64,
+}
+
 /// A simulated GPU with its modelled timeline.
 pub struct Gpu {
     spec: DeviceSpec,
     pcie: PcieSpec,
     ledger: Mutex<CostLedger>,
     streams: Mutex<StreamTable>,
+    fault: Mutex<Option<FaultState>>,
 }
 
 impl Gpu {
@@ -53,7 +63,63 @@ impl Gpu {
             pcie: PcieSpec::gen2_x16(),
             ledger: Mutex::new(CostLedger::default()),
             streams: Mutex::new(StreamTable::default()),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Install a fault-injection plan with the default [`RetryPolicy`].
+    /// Launches are numbered from 0 in admission order from this call on.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.set_fault_plan_with_policy(plan, RetryPolicy::default());
+    }
+
+    /// Install a fault-injection plan with an explicit retry policy.
+    pub fn set_fault_plan_with_policy(&self, plan: FaultPlan, policy: RetryPolicy) {
+        *self.fault.lock() = Some(FaultState {
+            plan,
+            policy,
+            next_launch: 0,
+        });
+    }
+
+    /// Remove any installed fault plan; subsequent launches always succeed.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Admit one launch under the installed fault plan (if any): faulted
+    /// attempts charge the wasted submission overhead plus an exponential
+    /// host backoff to the ledger, then the launch is resubmitted. Faults
+    /// fire **before** any block executes — the CUDA analogue is a launch
+    /// failure reported at submission — so in-place kernels are never
+    /// partially applied and a retried run is bit-identical to a fault-free
+    /// one. Returns [`LaunchError::DeviceFault`] when retries are exhausted,
+    /// with device memory untouched by this launch.
+    fn admit(&self, name: &'static str) -> Result<(), LaunchError> {
+        let mut guard = self.fault.lock();
+        let Some(state) = guard.as_mut() else {
+            return Ok(());
+        };
+        let idx = state.next_launch;
+        state.next_launch += 1;
+        let max = state.policy.max_attempts.max(1);
+        let overhead = self.spec.launch_overhead_us * 1.0e-6;
+        for attempt in 0..max {
+            if !state.plan.should_fault(idx, attempt) {
+                if attempt > 0 {
+                    self.ledger.lock().retries += 1;
+                }
+                return Ok(());
+            }
+            self.ledger
+                .lock()
+                .record_fault(overhead + state.policy.backoff_seconds(attempt));
+        }
+        Err(LaunchError::DeviceFault {
+            kernel: name,
+            launch_index: idx,
+            attempts: max,
+        })
     }
 
     /// The device description.
@@ -76,6 +142,11 @@ impl Gpu {
     pub fn reset(&self) {
         *self.ledger.lock() = CostLedger::default();
         *self.streams.lock() = StreamTable::default();
+        // Keep any installed fault plan but restart its launch numbering so
+        // repeated experiments see identical fault schedules.
+        if let Some(state) = self.fault.lock().as_mut() {
+            state.next_launch = 0;
+        }
     }
 
     /// Execute a kernel: all blocks run in parallel on the rayon pool, each
@@ -83,6 +154,7 @@ impl Gpu {
     pub fn launch<T: Scalar>(&self, kernel: &dyn Kernel<T>) -> Result<KernelReport, LaunchError> {
         let cfg = kernel.config();
         cfg.validate(&self.spec)?;
+        self.admit(kernel.name())?;
         let costs = self.execute_blocks(kernel, &cfg);
         let report = self.time_and_record(kernel.name(), &cfg, &costs);
         Ok(report)
@@ -127,6 +199,7 @@ impl Gpu {
         costs: &[BlockCost],
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
+        self.admit(name)?;
         assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
         Ok(self.time_and_record(name, &cfg, costs))
     }
@@ -142,6 +215,7 @@ impl Gpu {
         per_block: &BlockCost,
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
+        self.admit(name)?;
         // Avoid materializing huge vectors: the round-robin maximum for a
         // uniform grid is ceil(blocks / sms) blocks on the fullest SM.
         let sms = self.spec.sms;
@@ -253,6 +327,7 @@ impl Gpu {
     ) -> Result<KernelReport, LaunchError> {
         let cfg = kernel.config();
         cfg.validate(&self.spec)?;
+        self.admit(kernel.name())?;
         let costs = self.execute_blocks(kernel, &cfg);
         Ok(self.enqueue(stream, kernel.name(), &cfg, &costs))
     }
@@ -267,6 +342,7 @@ impl Gpu {
         costs: &[BlockCost],
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
+        self.admit(name)?;
         assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
         Ok(self.enqueue(stream, name, &cfg, costs))
     }
@@ -346,15 +422,23 @@ impl Gpu {
     ///
     /// If the queues deadlock (a wait on an event that is never recorded).
     pub fn synchronize(&self) -> Timeline {
+        self.try_synchronize()
+            .unwrap_or_else(|e| panic!("Gpu::synchronize: {e}"))
+    }
+
+    /// Non-panicking [`Self::synchronize`]: returns the schedule error (a
+    /// deadlock description) instead of aborting, so library callers can
+    /// surface it as a typed error.
+    pub fn try_synchronize(&self) -> Result<Timeline, String> {
         let queues = self.streams.lock().drain();
-        let tl = timeline::resolve(queues).unwrap_or_else(|e| panic!("Gpu::synchronize: {e}"));
+        let tl = timeline::resolve(queues)?;
         let mut ledger = self.ledger.lock();
         for iv in &tl.intervals {
             ledger.record_span(iv.name, iv.duration(), iv.flops, iv.bytes);
         }
         ledger.record_idle(tl.makespan);
         ledger.intervals.extend(tl.intervals.iter().cloned());
-        tl
+        Ok(tl)
     }
 
     /// Charge a host-to-device PCIe transfer.
@@ -645,6 +729,103 @@ mod tests {
         let s = gpu.create_stream();
         gpu.wait_event(s, bogus);
         gpu.synchronize();
+    }
+
+    #[test]
+    fn faulted_launch_retries_and_matches_fault_free_numerics() {
+        let run = |gpu: &Gpu| {
+            let mut m = Matrix::from_fn(256, 8, |i, j| (i * 31 + j) as f32 * 0.5);
+            for _ in 0..3 {
+                let k = ScaleKernel {
+                    mat: MatPtr::new(&mut m),
+                    tile_rows: 32,
+                    blocks: 8,
+                };
+                gpu.launch(&k).unwrap();
+            }
+            m
+        };
+        let clean = Gpu::new(DeviceSpec::c2050());
+        let reference = run(&clean);
+
+        let faulty = Gpu::new(DeviceSpec::c2050());
+        faulty.set_fault_plan(crate::fault::FaultPlan::at_launches(&[0, 2]));
+        let retried = run(&faulty);
+
+        assert_eq!(reference.as_slice(), retried.as_slice(), "bit-identical");
+        let l = faulty.ledger();
+        assert_eq!(l.faults, 2);
+        assert_eq!(l.retries, 2);
+        assert_eq!(l.calls, 3, "faulted attempts are not calls");
+        assert!(
+            faulty.elapsed() > clean.elapsed(),
+            "retries cost wall-clock time"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_device_fault_without_touching_memory() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        // Rate 1.0: every attempt faults, retries can never succeed.
+        gpu.set_fault_plan_with_policy(
+            crate::fault::FaultPlan::seeded(9, 1.0),
+            crate::fault::RetryPolicy {
+                max_attempts: 4,
+                backoff_us: 1.0,
+            },
+        );
+        let mut m = Matrix::from_fn(64, 4, |i, j| (i + j) as f32);
+        let orig = m.clone();
+        let err = {
+            let k = ScaleKernel {
+                mat: MatPtr::new(&mut m),
+                tile_rows: 8,
+                blocks: 8,
+            };
+            gpu.launch(&k).unwrap_err()
+        };
+        assert_eq!(
+            err,
+            LaunchError::DeviceFault {
+                kernel: "scale",
+                launch_index: 0,
+                attempts: 4,
+            }
+        );
+        assert_eq!(m.as_slice(), orig.as_slice(), "no partial execution");
+        assert_eq!(gpu.ledger().calls, 0);
+        assert_eq!(gpu.ledger().faults, 4);
+    }
+
+    #[test]
+    fn fault_plan_survives_reset_with_restarted_numbering() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        gpu.set_fault_plan(crate::fault::FaultPlan::at_launches(&[1]));
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let pb = BlockCost {
+            flops: 1,
+            issue_cycles: 1.0,
+            gmem_bytes: 0.0,
+            smem_words: 0,
+            syncs: 0,
+        };
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        assert_eq!(gpu.ledger().faults, 1);
+        gpu.reset();
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        assert_eq!(gpu.ledger().faults, 1, "same schedule after reset");
+        gpu.clear_fault_plan();
+        gpu.reset();
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        gpu.launch_uniform("k", cfg, &pb).unwrap();
+        assert_eq!(gpu.ledger().faults, 0);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Deterministic fault injection: simulated transient launch failures.
+//!
+//! Real deployments of the paper's kernels see sporadic launch failures —
+//! ECC events, driver timeouts, preemption — that a robust library must
+//! absorb rather than propagate as garbage. The simulator models them as
+//! *admission* faults: a faulted launch is rejected before any block runs,
+//! exactly like a CUDA launch error reported at submission. Because the
+//! kernel's arithmetic never starts, replaying the launch after a backoff
+//! is always safe (several of the CAQR kernels update tiles in place and
+//! are not idempotent), and a retried run is bit-identical to a fault-free
+//! run — the property `tests/fault_injection.rs` proves end to end.
+//!
+//! Faults are selected by a [`FaultPlan`]: either an explicit list of launch
+//! ordinals (fails the first attempt of those launches only), or a seeded
+//! pseudo-random plan in which every `(launch, attempt)` pair faults
+//! independently with a fixed probability. Both are pure functions of the
+//! plan's inputs, so a given plan produces the same faults on every run.
+
+use std::collections::BTreeSet;
+
+/// Mixes a 64-bit value (splitmix64 finalizer). Good avalanche behaviour,
+/// no dependencies, and stable across platforms.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Every `(launch, attempt)` pair faults independently with `rate`
+    /// probability, derived from `seed` — a transient-fault model.
+    Seeded { seed: u64, rate: f64 },
+    /// Exactly these launch ordinals fault, on their first attempt only.
+    Explicit(BTreeSet<u64>),
+}
+
+/// A deterministic schedule of simulated launch faults.
+///
+/// Install on a device with [`crate::Gpu::set_fault_plan`]; launches are
+/// numbered from 0 in admission order (across all streams — the host
+/// submits launches serially).
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    mode: Mode,
+}
+
+impl FaultPlan {
+    /// Seeded transient faults: each `(launch_index, attempt)` faults with
+    /// probability `rate` (clamped to `[0, 1]`), independently, derived
+    /// deterministically from `seed`. Retries of a faulted launch redraw,
+    /// so with `rate < 1` a retried launch eventually succeeds.
+    pub fn seeded(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            mode: Mode::Seeded {
+                seed,
+                rate: rate.clamp(0.0, 1.0),
+            },
+        }
+    }
+
+    /// Fault exactly the launches with these ordinals (0-based admission
+    /// order), on their first attempt only — the retry always succeeds.
+    pub fn at_launches(indices: &[u64]) -> Self {
+        FaultPlan {
+            mode: Mode::Explicit(indices.iter().copied().collect()),
+        }
+    }
+
+    /// Does attempt `attempt` of launch `launch_index` fault?
+    /// Pure: same inputs, same answer, on every platform.
+    pub fn should_fault(&self, launch_index: u64, attempt: u32) -> bool {
+        match &self.mode {
+            Mode::Seeded { seed, rate } => {
+                if *rate <= 0.0 {
+                    return false;
+                }
+                let h = splitmix64(*seed ^ splitmix64(launch_index ^ splitmix64(attempt as u64)));
+                // Map to [0, 1) with 53 bits of the hash.
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                u < *rate
+            }
+            Mode::Explicit(set) => attempt == 0 && set.contains(&launch_index),
+        }
+    }
+}
+
+/// How a device retries faulted launches.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per launch (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Host backoff before the first retry, microseconds; doubles on each
+    /// subsequent retry of the same launch.
+    pub backoff_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_us: 5.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff in seconds charged before retrying after a fault on
+    /// `attempt` (0-based): exponential, `backoff_us * 2^attempt`.
+    pub fn backoff_seconds(&self, attempt: u32) -> f64 {
+        self.backoff_us * 1.0e-6 * (1u64 << attempt.min(20)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_faults_first_attempt_only() {
+        let p = FaultPlan::at_launches(&[2, 5]);
+        assert!(p.should_fault(2, 0));
+        assert!(p.should_fault(5, 0));
+        assert!(!p.should_fault(2, 1), "retry of an explicit fault succeeds");
+        assert!(!p.should_fault(3, 0));
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_rate_bounded() {
+        let p = FaultPlan::seeded(42, 0.25);
+        let q = FaultPlan::seeded(42, 0.25);
+        let mut hits = 0;
+        for i in 0..4000u64 {
+            let a = p.should_fault(i, 0);
+            assert_eq!(a, q.should_fault(i, 0), "same seed, same plan");
+            if a {
+                hits += 1;
+            }
+        }
+        // 25% +/- generous slack.
+        assert!((700..1300).contains(&hits), "hit rate off: {hits}/4000");
+        // Different seeds disagree somewhere.
+        let r = FaultPlan::seeded(43, 0.25);
+        assert!((0..4000u64).any(|i| p.should_fault(i, 0) != r.should_fault(i, 0)));
+    }
+
+    #[test]
+    fn seeded_retries_redraw() {
+        let p = FaultPlan::seeded(7, 0.5);
+        // Some launch must fault on attempt 0 and clear on a later attempt.
+        let cleared =
+            (0..64u64).any(|i| p.should_fault(i, 0) && (1..4).any(|a| !p.should_fault(i, a)));
+        assert!(cleared);
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let p = FaultPlan::seeded(1, 0.0);
+        assert!((0..1000u64).all(|i| !p.should_fault(i, 0)));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let r = RetryPolicy {
+            max_attempts: 4,
+            backoff_us: 10.0,
+        };
+        assert!((r.backoff_seconds(0) - 10.0e-6).abs() < 1e-18);
+        assert!((r.backoff_seconds(1) - 20.0e-6).abs() < 1e-18);
+        assert!((r.backoff_seconds(2) - 40.0e-6).abs() < 1e-18);
+    }
+}

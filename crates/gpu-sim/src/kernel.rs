@@ -50,6 +50,17 @@ pub enum LaunchError {
     },
     /// Grid was empty.
     EmptyGrid,
+    /// A simulated transient device fault persisted through every retry
+    /// (see [`crate::fault::FaultPlan`]) — the analogue of
+    /// `cudaErrorLaunchFailure` surviving the driver's resubmission.
+    DeviceFault {
+        /// Kernel that failed to launch.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order) that faulted.
+        launch_index: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -77,6 +88,16 @@ impl std::fmt::Display for LaunchError {
                 )
             }
             LaunchError::EmptyGrid => write!(f, "kernel launched with an empty grid"),
+            LaunchError::DeviceFault {
+                kernel,
+                launch_index,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "device fault: kernel `{kernel}` (launch #{launch_index}) failed {attempts} attempts"
+                )
+            }
         }
     }
 }

@@ -37,6 +37,12 @@ pub struct CostLedger {
     pub d2h_bytes: u64,
     /// Number of PCIe transfers.
     pub transfers: u64,
+    /// Simulated launch faults absorbed (see `fault::FaultPlan`). Faulted
+    /// attempts charge launch overhead + backoff to `seconds` but do not
+    /// count as `calls` — only admitted launches execute and record work.
+    pub faults: u64,
+    /// Successful resubmissions after a fault.
+    pub retries: u64,
     /// Per-operation breakdown keyed by kernel/BLAS name.
     pub per_op: BTreeMap<&'static str, OpStats>,
     /// Per-stream per-kernel intervals from stream-scheduled launches,
@@ -82,6 +88,14 @@ impl CostLedger {
         self.seconds += seconds;
     }
 
+    /// Record one faulted launch attempt: the wasted submission overhead
+    /// plus retry backoff advance the clock, but no call or work is
+    /// attributed (the kernel never ran).
+    pub fn record_fault(&mut self, seconds: f64) {
+        self.seconds += seconds;
+        self.faults += 1;
+    }
+
     /// Record one kernel of a stream-scheduled batch. Attributes the call,
     /// flops, bytes and per-op seconds, but does **not** advance the global
     /// clock — concurrent kernels overlap, so the batch's wall-clock
@@ -120,6 +134,13 @@ impl CostLedger {
             self.calls,
             self.transfers
         );
+        if self.faults > 0 {
+            let _ = writeln!(
+                s,
+                "  faults absorbed: {} ({} retried successfully)",
+                self.faults, self.retries
+            );
+        }
         for (name, op) in &self.per_op {
             let _ = writeln!(
                 s,

@@ -25,6 +25,7 @@
 pub mod cost;
 pub mod cpu;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod ledger;
 pub mod spec;
@@ -34,6 +35,7 @@ pub mod timeline;
 pub use cost::{BlockCost, CostMeter, KernelReport};
 pub use cpu::CpuMachine;
 pub use device::{Exec, Gpu};
+pub use fault::{FaultPlan, RetryPolicy};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 pub use ledger::CostLedger;
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec};

@@ -8,12 +8,15 @@
 
 use crate::gpu_ops::launch;
 use crate::solver::{RpcaParams, RpcaResult};
-use caqr::CaqrOptions;
+use caqr::{CaqrError, CaqrOptions};
 use dense::matrix::Matrix;
 use dense::norms::frobenius;
 use dense::scalar::Scalar;
 use dense::svd::svd;
 use gpu_sim::Gpu;
+
+/// `(U', sigma, V)` from the device SVD pipeline.
+type GpuSvdFactors<T> = (Matrix<T>, Vec<T>, Matrix<T>);
 
 /// SVD of a tall matrix with everything but the small `R`-SVD on the
 /// device. Returns `(U', sigma, V)`.
@@ -21,10 +24,10 @@ fn gpu_svd<T: Scalar>(
     gpu: &Gpu,
     opts: CaqrOptions,
     a: &Matrix<T>,
-) -> (Matrix<T>, Vec<T>, Matrix<T>) {
+) -> Result<GpuSvdFactors<T>, CaqrError> {
     let (m, n) = a.shape();
-    let f = caqr::caqr::caqr(gpu, a.clone(), opts).expect("CAQR failed");
-    let q = f.generate_q(gpu, n).expect("generate_q failed");
+    let f = caqr::caqr::caqr(gpu, a.clone(), opts)?;
+    let q = f.generate_q(gpu, n)?;
     let r = f.r();
     // R down to the host, small SVD, factors back up.
     gpu.transfer_d2h((n * n) as u64 * T::BYTES);
@@ -32,8 +35,8 @@ fn gpu_svd<T: Scalar>(
     gpu.transfer_h2d((2 * n * n) as u64 * T::BYTES);
     // U' = Q * U on the device.
     let mut u = Matrix::<T>::zeros(m, n);
-    launch::gemm_small_rhs(gpu, &mut u, &q, small.u);
-    (u, small.sigma, small.v)
+    launch::gemm_small_rhs(gpu, &mut u, &q, small.u)?;
+    Ok((u, small.sigma, small.v))
 }
 
 /// Solve Robust PCA with the full GPU pipeline. Produces the same iterates
@@ -44,27 +47,38 @@ pub fn rpca_gpu<T: Scalar>(
     opts: CaqrOptions,
     m_mat: &Matrix<T>,
     params: &RpcaParams,
-) -> RpcaResult<T> {
+) -> Result<RpcaResult<T>, CaqrError> {
     let (m, n) = m_mat.shape();
-    assert!(m >= n, "rpca_gpu expects the tall orientation ({m}x{n})");
+    if m < n {
+        return Err(CaqrError::BadShape(format!(
+            "rpca_gpu expects the tall orientation ({m}x{n})"
+        )));
+    }
+    if let Some((row, col)) = caqr::first_nonfinite(m_mat) {
+        return Err(CaqrError::NonFinite {
+            context: "rpca_gpu input",
+            row,
+            col,
+        });
+    }
     let lambda = T::from_f64(params.lambda.unwrap_or(1.0 / (m.max(n) as f64).sqrt()));
     let m_norm = frobenius(m_mat);
     if m_norm == 0.0 {
-        return RpcaResult {
+        return Ok(RpcaResult {
             l: Matrix::zeros(m, n),
             s: Matrix::zeros(m, n),
             iterations: 0,
             converged: true,
             rank: 0,
             residual: 0.0,
-        };
+        });
     }
 
     // Video matrix moves to the device once; "the cost of initially
     // transferring the video matrix to GPU memory is easily amortized".
     gpu.transfer_h2d((m * n) as u64 * T::BYTES);
 
-    let (_, sigma, _) = gpu_svd(gpu, opts, m_mat);
+    let (_, sigma, _) = gpu_svd(gpu, opts, m_mat)?;
     let sigma1 = sigma[0].to_f64().max(1e-30);
     let max_abs = dense::norms::max_abs(m_mat);
     let scale = sigma1.max(max_abs / lambda.to_f64());
@@ -85,9 +99,15 @@ pub fn rpca_gpu<T: Scalar>(
     for iter in 0..params.max_iter {
         let inv_mu = T::ONE / mu;
         // work = M - S + Y/mu (device kernel).
-        launch::combine(gpu, &mut work, m_mat, &s, &y, inv_mu);
-        // Singular-value threshold via the GPU SVD pipeline.
-        let (u, sigma, v) = gpu_svd(gpu, opts, &work);
+        launch::combine(gpu, &mut work, m_mat, &s, &y, inv_mu)?;
+        // Singular-value threshold via the GPU SVD pipeline. A non-finite
+        // iterate is a solver breakdown, not a caller error.
+        let (u, sigma, v) = gpu_svd(gpu, opts, &work).map_err(|e| match e {
+            CaqrError::NonFinite { row, col, .. } => CaqrError::Breakdown {
+                context: format!("rpca_gpu iterate {iter} went non-finite at ({row}, {col})"),
+            },
+            other => other,
+        })?;
         rank = sigma.iter().filter(|&&sv| sv > inv_mu).count();
         // L = U[:, :r] * (shrunk Sigma V^T)[:r, :] — small right factor
         // assembled on the host, multiplied on the device.
@@ -98,33 +118,33 @@ pub fn rpca_gpu<T: Scalar>(
                 small[(k, j)] = sk * v[(j, k)];
             }
         }
-        launch::gemm_small_rhs(gpu, &mut l, &u, small);
+        launch::gemm_small_rhs(gpu, &mut l, &u, small)?;
         // S = shrink(M - L + Y/mu, lambda/mu) (device kernel).
-        launch::shrink(gpu, &mut s, m_mat, &l, &y, inv_mu, lambda * inv_mu);
+        launch::shrink(gpu, &mut s, m_mat, &l, &y, inv_mu, lambda * inv_mu)?;
         // Residual + multiplier update (device kernel).
-        let z_norm = launch::residual_update(gpu, m_mat, &l, &s, &mut y, mu);
+        let z_norm = launch::residual_update(gpu, m_mat, &l, &s, &mut y, mu)?;
         residual = z_norm / m_norm;
         if residual < params.tol {
-            return RpcaResult {
+            return Ok(RpcaResult {
                 l,
                 s,
                 iterations: iter + 1,
                 converged: true,
                 rank,
                 residual,
-            };
+            });
         }
         mu = (mu * rho).minimum(mu_max);
     }
 
-    RpcaResult {
+    Ok(RpcaResult {
         l,
         s,
         iterations: params.max_iter,
         converged: false,
         rank,
         residual,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -140,6 +160,7 @@ mod tests {
             bs: caqr::BlockSize { h: 32, w: 8 },
             strategy: caqr::ReductionStrategy::RegisterSerialTransposed,
             tree: caqr::TreeShape::DeviceArity,
+            check_finite: true,
         }
     }
 
@@ -150,9 +171,9 @@ mod tests {
             tol: 1e-5,
             ..Default::default()
         };
-        let cpu = rpca(&CpuQrBackend, &video.matrix, &params);
+        let cpu = rpca(&CpuQrBackend, &video.matrix, &params).unwrap();
         let gpu = Gpu::new(DeviceSpec::gtx480());
-        let dev = rpca_gpu(&gpu, small_opts(), &video.matrix, &params);
+        let dev = rpca_gpu(&gpu, small_opts(), &video.matrix, &params).unwrap();
         assert_eq!(cpu.iterations, dev.iterations);
         assert_eq!(cpu.rank, dev.rank);
         let mut max_d = 0.0f64;
@@ -171,7 +192,7 @@ mod tests {
             max_iter: 8,
             ..Default::default()
         };
-        let _ = rpca_gpu(&gpu, small_opts(), &video.matrix, &params);
+        let _ = rpca_gpu(&gpu, small_opts(), &video.matrix, &params).unwrap();
         let ledger = gpu.ledger();
         for op in [
             "factor",

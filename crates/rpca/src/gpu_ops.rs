@@ -213,9 +213,12 @@ impl<T: Scalar> Kernel<T> for GemmKernel<T> {
     }
 }
 
-/// Launch helpers used by the all-GPU Robust PCA loop.
+/// Launch helpers used by the all-GPU Robust PCA loop. Each returns the
+/// typed [`CaqrError`] so injected device faults surface to the solver
+/// instead of panicking.
 pub mod launch {
     use super::*;
+    use caqr::CaqrError;
 
     /// `out = a - b + c * scale` on the device.
     pub fn combine<T: Scalar>(
@@ -225,7 +228,7 @@ pub mod launch {
         b: &Matrix<T>,
         c: &Matrix<T>,
         scale: T,
-    ) {
+    ) -> Result<(), CaqrError> {
         let (rows, cols) = out.shape();
         let k = TriadKernel {
             out: MatPtr::new(out),
@@ -236,10 +239,12 @@ pub mod launch {
             rows,
             cols,
         };
-        gpu.launch(&k).expect("combine launch");
+        gpu.launch(&k)?;
+        Ok(())
     }
 
     /// `out = shrink(a - b + c * scale, threshold)` on the device.
+    #[allow(clippy::too_many_arguments)]
     pub fn shrink<T: Scalar>(
         gpu: &Gpu,
         out: &mut Matrix<T>,
@@ -248,7 +253,7 @@ pub mod launch {
         c: &Matrix<T>,
         scale: T,
         threshold: T,
-    ) {
+    ) -> Result<(), CaqrError> {
         let (rows, cols) = out.shape();
         let k = TriadKernel {
             out: MatPtr::new(out),
@@ -259,7 +264,8 @@ pub mod launch {
             rows,
             cols,
         };
-        gpu.launch(&k).expect("shrink launch");
+        gpu.launch(&k)?;
+        Ok(())
     }
 
     /// Residual + multiplier update; returns `||M - L - S||_F`.
@@ -270,7 +276,7 @@ pub mod launch {
         s: &Matrix<T>,
         y: &mut Matrix<T>,
         mu: T,
-    ) -> f64 {
+    ) -> Result<f64, CaqrError> {
         let (rows, cols) = y.shape();
         let partials: Vec<Mutex<f64>> = (0..rows.div_ceil(TILE_ROWS))
             .map(|_| Mutex::new(0.0))
@@ -286,20 +292,33 @@ pub mod launch {
                 cols,
                 partials: &partials,
             };
-            gpu.launch(&k).expect("residual launch");
+            gpu.launch(&k)?;
         }
-        partials
+        Ok(partials
             .into_iter()
             .map(|p| p.into_inner())
             .sum::<f64>()
-            .sqrt()
+            .sqrt())
     }
 
     /// `C = A * B` with a small `B`, on the device.
-    pub fn gemm_small_rhs<T: Scalar>(gpu: &Gpu, c: &mut Matrix<T>, a: &Matrix<T>, b: Matrix<T>) {
-        assert_eq!(a.rows(), c.rows());
-        assert_eq!(a.cols(), b.rows());
-        assert_eq!(b.cols(), c.cols());
+    pub fn gemm_small_rhs<T: Scalar>(
+        gpu: &Gpu,
+        c: &mut Matrix<T>,
+        a: &Matrix<T>,
+        b: Matrix<T>,
+    ) -> Result<(), CaqrError> {
+        if a.rows() != c.rows() || a.cols() != b.rows() || b.cols() != c.cols() {
+            return Err(CaqrError::BadShape(format!(
+                "gemm_small_rhs: C {}x{} vs A {}x{} * B {}x{}",
+                c.rows(),
+                c.cols(),
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            )));
+        }
         let rows = c.rows();
         let k = GemmKernel {
             c_out: MatPtr::new(c),
@@ -307,7 +326,8 @@ pub mod launch {
             b,
             rows,
         };
-        gpu.launch(&k).expect("gemm launch");
+        gpu.launch(&k)?;
+        Ok(())
     }
 }
 
@@ -328,7 +348,7 @@ mod tests {
         let b = dense::generate::uniform::<f64>(5000, 3, 2);
         let c = dense::generate::uniform::<f64>(5000, 3, 3);
         let mut out = Matrix::<f64>::zeros(5000, 3);
-        launch::combine(&g, &mut out, &a, &b, &c, 0.25);
+        launch::combine(&g, &mut out, &a, &b, &c, 0.25).unwrap();
         for i in 0..5000 {
             for j in 0..3 {
                 let want = a[(i, j)] - b[(i, j)] + 0.25 * c[(i, j)];
@@ -345,7 +365,7 @@ mod tests {
         let a = dense::generate::uniform::<f64>(100, 4, 4);
         let z = Matrix::<f64>::zeros(100, 4);
         let mut out = Matrix::<f64>::zeros(100, 4);
-        launch::shrink(&g, &mut out, &a, &z, &z, 0.0, 0.3);
+        launch::shrink(&g, &mut out, &a, &z, &z, 0.0, 0.3).unwrap();
         for (o, x) in out.as_slice().iter().zip(a.as_slice()) {
             assert_eq!(*o, crate::solver::shrink_scalar(*x, 0.3));
         }
@@ -358,7 +378,7 @@ mod tests {
         let l = dense::generate::uniform::<f64>(300, 5, 6);
         let s = dense::generate::uniform::<f64>(300, 5, 7);
         let mut y = Matrix::<f64>::zeros(300, 5);
-        let r = launch::residual_update(&g, &m, &l, &s, &mut y, 2.0);
+        let r = launch::residual_update(&g, &m, &l, &s, &mut y, 2.0).unwrap();
         let mut want = 0.0f64;
         for i in 0..300 {
             for j in 0..5 {
@@ -376,7 +396,7 @@ mod tests {
         let a = dense::generate::uniform::<f64>(5000, 8, 8);
         let b = dense::generate::uniform::<f64>(8, 6, 9);
         let mut c = Matrix::<f64>::zeros(5000, 6);
-        launch::gemm_small_rhs(&g, &mut c, &a, b.clone());
+        launch::gemm_small_rhs(&g, &mut c, &a, b.clone()).unwrap();
         let mut want = Matrix::<f64>::zeros(5000, 6);
         dense::blas3::gemm(
             dense::blas3::Trans::No,

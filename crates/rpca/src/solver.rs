@@ -11,6 +11,7 @@
 //! `M - L + Y/mu` entrywise, and updates the multiplier `Y`.
 
 use crate::svd_qr::{svd_via_qr, QrBackend};
+use caqr::CaqrError;
 use dense::matrix::Matrix;
 use dense::norms::frobenius;
 use dense::scalar::Scalar;
@@ -79,25 +80,36 @@ pub fn rpca<T: Scalar>(
     backend: &dyn QrBackend<T>,
     m_mat: &Matrix<T>,
     params: &RpcaParams,
-) -> RpcaResult<T> {
+) -> Result<RpcaResult<T>, CaqrError> {
     let (m, n) = m_mat.shape();
-    assert!(m >= n, "rpca expects the tall orientation ({m}x{n})");
+    if m < n {
+        return Err(CaqrError::BadShape(format!(
+            "rpca expects the tall orientation ({m}x{n})"
+        )));
+    }
+    if let Some((row, col)) = caqr::first_nonfinite(m_mat) {
+        return Err(CaqrError::NonFinite {
+            context: "rpca input",
+            row,
+            col,
+        });
+    }
     let lambda = T::from_f64(params.lambda.unwrap_or(1.0 / (m.max(n) as f64).sqrt()));
     let m_norm = frobenius(m_mat);
     if m_norm == 0.0 {
-        return RpcaResult {
+        return Ok(RpcaResult {
             l: Matrix::zeros(m, n),
             s: Matrix::zeros(m, n),
             iterations: 0,
             converged: true,
             rank: 0,
             residual: 0.0,
-        };
+        });
     }
 
     // Initial dual variable and penalty, following the inexact-ALM recipe:
     // Y = M / max(sigma_1(M), ||M||_inf / lambda), mu = 1.25 / sigma_1(M).
-    let sigma1 = svd_via_qr(backend, m_mat).sigma[0].to_f64().max(1e-30);
+    let sigma1 = svd_via_qr(backend, m_mat)?.sigma[0].to_f64().max(1e-30);
     let max_abs = dense::norms::max_abs(m_mat);
     let scale = sigma1.max(max_abs / lambda.to_f64());
     let mut y = m_mat.clone();
@@ -126,8 +138,15 @@ pub fn rpca<T: Scalar>(
         {
             *w = *mm - *ss + *yy * inv_mu;
         }
-        // Singular-value thresholding via the SVD-of-QR pipeline.
-        let svd = svd_via_qr(backend, &work);
+        // Singular-value thresholding via the SVD-of-QR pipeline. A
+        // non-finite iterate means the iteration itself diverged, which is a
+        // breakdown rather than a caller error.
+        let svd = svd_via_qr(backend, &work).map_err(|e| match e {
+            CaqrError::NonFinite { row, col, .. } => CaqrError::Breakdown {
+                context: format!("rpca iterate {iter} went non-finite at ({row}, {col})"),
+            },
+            other => other,
+        })?;
         rank = svd.sigma.iter().filter(|&&sv| sv > inv_mu).count();
         // L = U * shrink(Sigma) * V^T using only the surviving components.
         l.as_mut_slice().fill(T::ZERO);
@@ -170,26 +189,26 @@ pub fn rpca<T: Scalar>(
         }
         residual = z2.sqrt() / m_norm;
         if residual < params.tol {
-            return RpcaResult {
+            return Ok(RpcaResult {
                 l,
                 s,
                 iterations: iter + 1,
                 converged: true,
                 rank,
                 residual,
-            };
+            });
         }
         mu = (mu * rho).minimum(mu_max);
     }
 
-    RpcaResult {
+    Ok(RpcaResult {
         l,
         s,
         iterations: params.max_iter,
         converged: false,
         rank,
         residual,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +250,7 @@ mod tests {
         for (o, s) in observed.as_mut_slice().iter_mut().zip(s0.as_slice()) {
             *o += *s;
         }
-        let r = rpca(&CpuQrBackend, &observed, &RpcaParams::default());
+        let r = rpca(&CpuQrBackend, &observed, &RpcaParams::default()).unwrap();
         assert!(
             r.converged,
             "did not converge in {} iters (residual {})",
@@ -257,7 +276,8 @@ mod tests {
                 tol: 1e-5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(r.converged);
         // Background: L close to the planted background.
         let mut err = 0.0f64;
@@ -289,7 +309,7 @@ mod tests {
     #[test]
     fn zero_matrix_trivially_converges() {
         let z = Matrix::<f64>::zeros(30, 5);
-        let r = rpca(&CpuQrBackend, &z, &RpcaParams::default());
+        let r = rpca(&CpuQrBackend, &z, &RpcaParams::default()).unwrap();
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
         assert_eq!(r.rank, 0);
@@ -306,7 +326,8 @@ mod tests {
                 tol: 1e-12,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(r.iterations, 2);
         assert!(!r.converged);
     }

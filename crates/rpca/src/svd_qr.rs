@@ -9,7 +9,7 @@
 //! Robust PCA solver can run on the plain CPU path or through the simulated
 //! GPU CAQR — the Table II comparison.
 
-use caqr::{Caqr, CaqrOptions};
+use caqr::{Caqr, CaqrError, CaqrOptions};
 use dense::blas3::{gemm, Trans};
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
@@ -20,7 +20,7 @@ use gpu_sim::Gpu;
 /// (`m x n`) and `R` (`n x n`).
 pub trait QrBackend<T: Scalar> {
     /// Factor `a` and return `(Q, R)`.
-    fn qr(&self, a: &Matrix<T>) -> (Matrix<T>, Matrix<T>);
+    fn qr(&self, a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>), CaqrError>;
     /// Name for reports.
     fn name(&self) -> &'static str;
 }
@@ -29,12 +29,19 @@ pub trait QrBackend<T: Scalar> {
 pub struct CpuQrBackend;
 
 impl<T: Scalar> QrBackend<T> for CpuQrBackend {
-    fn qr(&self, a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    fn qr(&self, a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>), CaqrError> {
+        if let Some((row, col)) = caqr::first_nonfinite(a) {
+            return Err(CaqrError::NonFinite {
+                context: "cpu qr input",
+                row,
+                col,
+            });
+        }
         let n = a.cols();
         let mut f = a.clone();
         let tau = dense::blocked::geqrf(&mut f, dense::blocked::DEFAULT_NB);
         let q = dense::blocked::orgqr(&f, &tau, n, dense::blocked::DEFAULT_NB);
-        (q, f.upper_triangular())
+        Ok((q, f.upper_triangular()))
     }
     fn name(&self) -> &'static str {
         "cpu-blocked-householder"
@@ -50,11 +57,11 @@ pub struct GpuCaqrBackend<'a> {
 }
 
 impl<'a, T: Scalar> QrBackend<T> for GpuCaqrBackend<'a> {
-    fn qr(&self, a: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    fn qr(&self, a: &Matrix<T>) -> Result<(Matrix<T>, Matrix<T>), CaqrError> {
         let n = a.cols();
-        let f: Caqr<T> = caqr::caqr::caqr(self.gpu, a.clone(), self.opts).expect("CAQR failed");
-        let q = f.generate_q(self.gpu, n).expect("generate_q failed");
-        (q, f.r())
+        let f: Caqr<T> = caqr::caqr::caqr(self.gpu, a.clone(), self.opts)?;
+        let q = f.generate_q(self.gpu, n)?;
+        Ok((q, f.r()))
     }
     fn name(&self) -> &'static str {
         "gpu-caqr"
@@ -62,10 +69,17 @@ impl<'a, T: Scalar> QrBackend<T> for GpuCaqrBackend<'a> {
 }
 
 /// SVD of a tall-skinny matrix via QR + small SVD of `R` + `Q * U`.
-pub fn svd_via_qr<T: Scalar>(backend: &dyn QrBackend<T>, a: &Matrix<T>) -> Svd<T> {
+pub fn svd_via_qr<T: Scalar>(
+    backend: &dyn QrBackend<T>,
+    a: &Matrix<T>,
+) -> Result<Svd<T>, CaqrError> {
     let (m, n) = a.shape();
-    assert!(m >= n, "svd_via_qr requires a tall matrix, got {m}x{n}");
-    let (q, r) = backend.qr(a);
+    if m < n {
+        return Err(CaqrError::BadShape(format!(
+            "svd_via_qr requires a tall matrix, got {m}x{n}"
+        )));
+    }
+    let (q, r) = backend.qr(a)?;
     let small = svd(&r); // the cheap n x n SVD ("done on the CPU")
                          // Left singular vectors of A: U' = Q * U.
     let mut u = Matrix::<T>::zeros(m, n);
@@ -78,11 +92,11 @@ pub fn svd_via_qr<T: Scalar>(backend: &dyn QrBackend<T>, a: &Matrix<T>) -> Svd<T
         T::ZERO,
         u.as_mut(),
     );
-    Svd {
+    Ok(Svd {
         u,
         sigma: small.sigma,
         v: small.v,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +130,7 @@ mod tests {
     #[test]
     fn cpu_pipeline_matches_direct_svd() {
         let a = generate::uniform::<f64>(120, 10, 3);
-        let via_qr = svd_via_qr(&CpuQrBackend, &a);
+        let via_qr = svd_via_qr(&CpuQrBackend, &a).unwrap();
         let direct = svd(&a);
         for (x, y) in via_qr.sigma.iter().zip(&direct.sigma) {
             assert!((x - y).abs() < 1e-10, "{x} vs {y}");
@@ -139,11 +153,12 @@ mod tests {
                 bs: caqr::BlockSize { h: 32, w: 8 },
                 strategy: caqr::ReductionStrategy::RegisterSerialTransposed,
                 tree: caqr::block::TreeShape::DeviceArity,
+                check_finite: true,
             },
         };
         let a = generate::uniform::<f64>(200, 12, 4);
-        let g = svd_via_qr(&backend, &a);
-        let c = svd_via_qr(&CpuQrBackend, &a);
+        let g = svd_via_qr(&backend, &a).unwrap();
+        let c = svd_via_qr(&CpuQrBackend, &a).unwrap();
         for (x, y) in g.sigma.iter().zip(&c.sigma) {
             assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
@@ -160,7 +175,7 @@ mod tests {
     #[test]
     fn rank_deficient_input_survives() {
         let a = generate::low_rank::<f64>(80, 12, 3, 0.0, 5);
-        let s = svd_via_qr(&CpuQrBackend, &a);
+        let s = svd_via_qr(&CpuQrBackend, &a).unwrap();
         assert!(s.sigma[2] > 1e-8);
         assert!(s.sigma[3] < 1e-8 * s.sigma[0].max(1.0));
         let r = reconstruct(&s, 80, 12);

@@ -1,0 +1,58 @@
+//! Fault-injection smoke run: factor the same matrix fault-free and under a
+//! seeded transient-fault plan, and verify the retried run is bit-identical
+//! while the ledger shows the absorbed faults. Exits non-zero on any
+//! divergence, so CI can run it as a robustness gate.
+//!
+//! ```text
+//! cargo run --release --example fault_smoke
+//! ```
+
+use caqr::{CaqrOptions, ReductionStrategy};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, RetryPolicy};
+
+fn main() {
+    let (m, n) = (32_768usize, 64usize);
+    let a = dense::generate::uniform::<f32>(m, n, 7);
+    let opts = CaqrOptions {
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        ..CaqrOptions::default()
+    };
+
+    // Reference: fault-free run.
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let clean = caqr::caqr::caqr(&clean_gpu, a.clone(), opts).expect("fault-free run failed");
+
+    // Same factorization under a 15% transient launch-fault rate with an
+    // 8-attempt retry budget (deterministic: the plan is seeded).
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan_with_policy(
+        FaultPlan::seeded(2024, 0.15),
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_us: 5.0,
+        },
+    );
+    let faulted = caqr::caqr::caqr(&gpu, a, opts).expect("faulted run exhausted retries");
+
+    let identical = clean.r() == faulted.r();
+    let clean_ledger = clean_gpu.ledger();
+    let ledger = gpu.ledger();
+    println!("factored {m}x{n} twice: fault-free and with seeded transient faults");
+    println!(
+        "  faults absorbed: {} ({} retries), successful launches {} (fault-free run: {})",
+        ledger.faults, ledger.retries, ledger.calls, clean_ledger.calls
+    );
+    println!(
+        "  modelled time {:.3} ms vs {:.3} ms fault-free ({:+.1}% fault overhead)",
+        ledger.seconds * 1e3,
+        clean_ledger.seconds * 1e3,
+        (ledger.seconds / clean_ledger.seconds - 1.0) * 100.0
+    );
+    println!("  R bit-identical across runs: {identical}");
+
+    if !identical || ledger.faults == 0 || ledger.calls != clean_ledger.calls {
+        eprintln!("fault smoke FAILED");
+        std::process::exit(1);
+    }
+    println!("fault smoke OK");
+}

@@ -52,7 +52,8 @@ fn main() {
             tol: 1e-5,
             ..Default::default()
         },
-    );
+    )
+    .expect("rpca solve failed");
     println!(
         "solved in {} iterations (converged={}, rank(L)={}, residual={:.1e}) — wall {:.2}s, modelled GPU {:.1} ms",
         result.iterations,

@@ -1,8 +1,18 @@
 //! Small-surface tests: error display, ledger summaries, report fields —
-//! the glue a downstream user sees first.
+//! the glue a downstream user sees first — plus the error-path contract:
+//! malformed or non-finite user input returns a typed `Err`, never a panic.
 
-use caqr::{BlockSize, CaqrError, CaqrOptions};
+use caqr::{BlockSize, CaqrError, CaqrOptions, ReductionStrategy};
 use gpu_sim::{DeviceSpec, Gpu, LaunchError};
+
+fn small_opts() -> CaqrOptions {
+    CaqrOptions {
+        bs: BlockSize { h: 32, w: 8 },
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
+    }
+}
 
 #[test]
 fn errors_render_usefully() {
@@ -20,6 +30,138 @@ fn errors_render_usefully() {
     };
     assert!(e.to_string().contains("1024"));
     assert!(LaunchError::EmptyGrid.to_string().contains("empty"));
+    // The taxonomy added for robustness hardening.
+    let e = CaqrError::NonFinite {
+        context: "caqr input",
+        row: 90,
+        col: 2,
+    };
+    let s = e.to_string();
+    assert!(
+        s.contains("caqr input") && s.contains("90") && s.contains('2'),
+        "{s}"
+    );
+    let e = CaqrError::Fault {
+        kernel: "factor",
+        launch_index: 7,
+        attempts: 3,
+    };
+    let s = e.to_string();
+    assert!(
+        s.contains("factor") && s.contains('7') && s.contains('3'),
+        "{s}"
+    );
+    let e = CaqrError::Breakdown {
+        context: "iterate went non-finite".into(),
+    };
+    assert!(e.to_string().contains("iterate went non-finite"));
+}
+
+#[test]
+fn nan_input_is_rejected_not_propagated() {
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let mut a = dense::generate::uniform::<f64>(256, 16, 1);
+    a[(90, 2)] = f64::NAN;
+
+    // caqr: typed error naming the first offender in column-major order.
+    match caqr::caqr::caqr(&gpu, a.clone(), small_opts()) {
+        Err(CaqrError::NonFinite { row, col, .. }) => {
+            assert_eq!((row, col), (90, 2));
+        }
+        Err(other) => panic!("expected NonFinite, got {other}"),
+        Ok(_) => panic!("caqr accepted a NaN matrix"),
+    }
+
+    // tsqr: same contract.
+    let r = caqr::tsqr(
+        &gpu,
+        a.clone(),
+        BlockSize { h: 32, w: 16 },
+        ReductionStrategy::RegisterSerialTransposed,
+    );
+    assert!(matches!(r, Err(CaqrError::NonFinite { .. })));
+
+    // CPU reference path: same contract, no device involved.
+    let r = caqr::multicore::caqr_cpu(a.clone(), caqr::multicore::CpuCaqrOptions::for_width(16));
+    assert!(matches!(r, Err(CaqrError::NonFinite { .. })));
+
+    // Infinity is rejected the same way as NaN.
+    a[(90, 2)] = f64::INFINITY;
+    let r = caqr::caqr::caqr(&gpu, a, small_opts());
+    assert!(matches!(r, Err(CaqrError::NonFinite { .. })));
+}
+
+#[test]
+fn disabling_the_health_check_skips_its_launch() {
+    let a = dense::generate::uniform::<f64>(256, 16, 2);
+    let count = |check_finite: bool| {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let o = CaqrOptions {
+            check_finite,
+            ..small_opts()
+        };
+        let f = caqr::caqr::caqr(&gpu, a.clone(), o).unwrap();
+        assert_eq!(f.launches() as u64, gpu.ledger().calls);
+        gpu.ledger().calls
+    };
+    assert_eq!(count(true), count(false) + 1);
+}
+
+#[test]
+fn shape_mismatches_are_typed_errors_not_panics() {
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    let a = dense::generate::uniform::<f64>(256, 16, 3);
+    let f = caqr::caqr::caqr(&gpu, a, small_opts()).unwrap();
+
+    // Applying Q^T to a matrix with the wrong row count.
+    let mut c = dense::matrix::Matrix::<f64>::zeros(100, 4);
+    assert!(matches!(
+        f.apply_qt(&gpu, &mut c),
+        Err(CaqrError::BadShape(_))
+    ));
+
+    // More Q columns than rows.
+    assert!(matches!(
+        f.generate_q(&gpu, 10_000),
+        Err(CaqrError::BadShape(_))
+    ));
+
+    // Right-hand side of the wrong length.
+    let b = vec![1.0f64; 7];
+    assert!(matches!(
+        f.least_squares(&gpu, &b),
+        Err(CaqrError::BadShape(_))
+    ));
+}
+
+#[test]
+fn rpca_error_paths_are_typed() {
+    use rpca::{rpca, CpuQrBackend, RpcaParams};
+
+    // Wide matrix: wrong orientation.
+    let wide = dense::generate::uniform::<f64>(5, 50, 4);
+    assert!(matches!(
+        rpca(&CpuQrBackend, &wide, &RpcaParams::default()),
+        Err(CaqrError::BadShape(_))
+    ));
+
+    // Non-finite observation.
+    let mut m = dense::generate::uniform::<f64>(60, 6, 5);
+    m[(10, 1)] = f64::NAN;
+    assert!(matches!(
+        rpca(&CpuQrBackend, &m, &RpcaParams::default()),
+        Err(CaqrError::NonFinite {
+            row: 10,
+            col: 1,
+            ..
+        })
+    ));
+
+    // svd_via_qr rejects a wide matrix.
+    assert!(matches!(
+        rpca::svd_via_qr(&CpuQrBackend, &wide),
+        Err(CaqrError::BadShape(_))
+    ));
 }
 
 #[test]
@@ -77,6 +219,7 @@ fn default_options_are_the_papers_configuration() {
     assert!(o.strategy.needs_pretranspose());
     assert_eq!(o.tree, caqr::TreeShape::DeviceArity);
     assert_eq!(o.bs.threads(), 64);
+    assert!(o.check_finite, "the input health check defaults on");
 }
 
 #[test]

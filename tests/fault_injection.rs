@@ -1,0 +1,136 @@
+//! End-to-end fault-injection tests: transient launch faults are absorbed
+//! by retry without perturbing the numerics, and exhausted retries surface
+//! as typed [`CaqrError::Fault`] values rather than panics or garbage.
+
+use caqr::schedule::{caqr_dag, ScheduleOptions};
+use caqr::{BlockSize, CaqrError, CaqrOptions, ReductionStrategy};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, RetryPolicy};
+
+fn opts() -> CaqrOptions {
+    CaqrOptions {
+        bs: BlockSize { h: 64, w: 16 },
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
+    }
+}
+
+#[test]
+fn retried_caqr_run_is_bit_identical_to_fault_free_run() {
+    let a = dense::generate::uniform::<f64>(1024, 32, 9);
+
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let clean = caqr::caqr::caqr(&clean_gpu, a.clone(), opts()).unwrap();
+    let clean_q = clean.generate_q(&clean_gpu, 32).unwrap();
+
+    // Fault the first attempt of three launches spread across the pipeline;
+    // an explicit plan's retries always succeed.
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan(FaultPlan::at_launches(&[0, 4, 9]));
+    let faulted = caqr::caqr::caqr(&gpu, a.clone(), opts()).unwrap();
+    let faulted_q = faulted.generate_q(&gpu, 32).unwrap();
+
+    // Faults fire at admission, before any block runs, so the retried run
+    // must be bit-identical — not merely close.
+    assert_eq!(clean.r(), faulted.r());
+    assert_eq!(clean_q, faulted_q);
+
+    let l = gpu.ledger();
+    assert_eq!(l.faults, 3, "three first attempts faulted");
+    assert_eq!(l.retries, 3, "each fault recovered on its retry");
+    // Successful-call accounting matches the fault-free run exactly.
+    assert_eq!(l.calls, clean_gpu.ledger().calls);
+    // The faulted run paid for the wasted submissions and backoff.
+    assert!(l.seconds > clean_gpu.ledger().seconds);
+}
+
+#[test]
+fn seeded_transient_faults_are_absorbed_and_deterministic() {
+    let a = dense::generate::uniform::<f64>(768, 24, 3);
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let clean = caqr::caqr::caqr(&clean_gpu, a.clone(), opts()).unwrap();
+
+    // Generous attempt budget so a 20% transient rate cannot plausibly
+    // exhaust retries; the seeded plan is a pure function of (seed, launch,
+    // attempt), so this test is deterministic.
+    let run = |seed: u64| {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        gpu.set_fault_plan_with_policy(
+            FaultPlan::seeded(seed, 0.2),
+            RetryPolicy {
+                max_attempts: 8,
+                backoff_us: 5.0,
+            },
+        );
+        let f = caqr::caqr::caqr(&gpu, a.clone(), opts()).unwrap();
+        (f.r(), gpu.ledger().faults)
+    };
+    let (r1, faults1) = run(1234);
+    let (r2, faults2) = run(1234);
+    assert_eq!(r1, r2, "same seed, same run");
+    assert_eq!(faults1, faults2);
+    assert_eq!(r1, clean.r(), "faults must not perturb the numerics");
+}
+
+#[test]
+fn exhausted_retries_surface_as_typed_fault() {
+    let a = dense::generate::uniform::<f64>(256, 16, 5);
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    // Rate 1.0: every attempt of every launch faults, so the very first
+    // launch (the input health check) exhausts its attempts.
+    gpu.set_fault_plan(FaultPlan::seeded(0, 1.0));
+    let err = match caqr::caqr::caqr(&gpu, a, opts()) {
+        Ok(_) => panic!("expected the factorization to fail"),
+        Err(e) => e,
+    };
+    match err {
+        CaqrError::Fault {
+            kernel,
+            launch_index,
+            attempts,
+        } => {
+            assert_eq!(kernel, "health_check");
+            assert_eq!(launch_index, 0);
+            assert_eq!(attempts, RetryPolicy::default().max_attempts);
+        }
+        other => panic!("expected CaqrError::Fault, got {other}"),
+    }
+    let l = gpu.ledger();
+    assert_eq!(l.calls, 0, "no launch ever succeeded");
+    assert_eq!(l.faults as u32, RetryPolicy::default().max_attempts);
+    assert!(l.seconds > 0.0, "wasted submissions still cost time");
+}
+
+#[test]
+fn dag_schedule_recovers_from_transient_faults() {
+    let a = dense::generate::uniform::<f64>(1024, 32, 7);
+    let sched = ScheduleOptions {
+        caqr: opts(),
+        streams: 2,
+        lookahead: true,
+    };
+
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let (clean, _) = caqr_dag(&clean_gpu, a.clone(), sched).unwrap();
+
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan(FaultPlan::at_launches(&[1, 2, 6]));
+    let (faulted, _) = caqr_dag(&gpu, a, sched).unwrap();
+
+    assert_eq!(clean.r(), faulted.r());
+    let l = gpu.ledger();
+    assert_eq!(l.faults, 3);
+    assert_eq!(l.retries, 3);
+}
+
+#[test]
+fn fault_plan_does_not_outlive_clear() {
+    let a = dense::generate::uniform::<f64>(256, 16, 11);
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan(FaultPlan::seeded(0, 1.0));
+    assert!(caqr::caqr::caqr(&gpu, a.clone(), opts()).is_err());
+    gpu.clear_fault_plan();
+    let faults_before = gpu.ledger().faults;
+    caqr::caqr::caqr(&gpu, a, opts()).unwrap();
+    assert_eq!(gpu.ledger().faults, faults_before, "no new faults");
+}

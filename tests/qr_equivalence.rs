@@ -13,6 +13,7 @@ fn opts(h: usize, w: usize) -> CaqrOptions {
         bs: BlockSize { h, w },
         strategy: ReductionStrategy::RegisterSerialTransposed,
         tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
     }
 }
 
@@ -56,6 +57,7 @@ fn all_strategies_produce_identical_numerics() {
             bs: BlockSize { h: 32, w: 8 },
             strategy: s,
             tree: caqr::block::TreeShape::DeviceArity,
+            check_finite: true,
         };
         let f = caqr::caqr::caqr(&g, a.clone(), o).unwrap();
         results.push(f.r());

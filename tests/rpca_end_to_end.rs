@@ -33,7 +33,8 @@ fn gpu_pipeline_separates_video() {
             tol: 1e-5,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(r.converged, "GPU-backend RPCA did not converge");
 
     // Background recovery.
@@ -78,13 +79,13 @@ fn gpu_and_cpu_backends_agree_on_the_solution() {
         ..Default::default()
     };
 
-    let r_cpu = rpca(&CpuQrBackend, &video.matrix, &params);
+    let r_cpu = rpca(&CpuQrBackend, &video.matrix, &params).unwrap();
     let gpu = Gpu::new(DeviceSpec::gtx480());
     let backend = GpuCaqrBackend {
         gpu: &gpu,
         opts: caqr::CaqrOptions::default(),
     };
-    let r_gpu = rpca(&backend, &video.matrix, &params);
+    let r_gpu = rpca(&backend, &video.matrix, &params).unwrap();
 
     assert_eq!(
         r_cpu.iterations, r_gpu.iterations,
@@ -101,7 +102,7 @@ fn gpu_and_cpu_backends_agree_on_the_solution() {
 fn svd_identities_on_the_video_matrix() {
     // sum(sigma_i^2) == ||A||_F^2 and the QR-first SVD preserves it.
     let video = generate::<f64>(&VideoConfig::tiny());
-    let s = svd_via_qr(&CpuQrBackend, &video.matrix);
+    let s = svd_via_qr(&CpuQrBackend, &video.matrix).unwrap();
     let ss: f64 = s.sigma.iter().map(|v| v * v).sum();
     let f2 = frobenius(&video.matrix).powi(2);
     assert!((ss / f2 - 1.0).abs() < 1e-10, "Frobenius identity violated");
@@ -117,7 +118,7 @@ fn svd_identities_on_the_video_matrix() {
 fn rpca_respects_exact_low_rank_sparse_inputs() {
     // A matrix that is already low-rank (no sparse part): S should be ~0.
     let l0 = dense::generate::low_rank::<f64>(120, 16, 2, 0.0, 77);
-    let r = rpca(&CpuQrBackend, &l0, &RpcaParams::default());
+    let r = rpca(&CpuQrBackend, &l0, &RpcaParams::default()).unwrap();
     assert!(r.converged);
     let s_norm = frobenius(&r.s);
     let l_norm = frobenius(&l0);

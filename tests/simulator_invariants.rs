@@ -9,6 +9,7 @@ fn opts(h: usize, w: usize) -> CaqrOptions {
         bs: BlockSize { h, w },
         strategy: ReductionStrategy::RegisterSerialTransposed,
         tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
     }
 }
 
@@ -87,9 +88,10 @@ fn launch_count_formula() {
     // 2 panels of width 16, 64x16 blocks => quad-tree (arity 4).
     // Panel 0: 8 tiles -> 2 -> 1: two tree levels; panel 1 (496 rows, 8
     // tiles after remainder merge): two levels. Only panel 0 has a trailing
-    // matrix. pretranspose(1) + p0(factor 1 + tree 2 + apply 1 + applytree 2)
-    // + p1(factor 1 + tree 2) = 10.
-    assert_eq!(g.ledger().calls, 10);
+    // matrix. health_check(1) + pretranspose(1)
+    // + p0(factor 1 + tree 2 + apply 1 + applytree 2)
+    // + p1(factor 1 + tree 2) = 11.
+    assert_eq!(g.ledger().calls, 11);
 }
 
 #[test]
@@ -118,6 +120,7 @@ fn shared_serial_strategy_rejects_blocks_that_overflow_smem() {
             bs: BlockSize { h: 512, w: 64 },
             strategy: ReductionStrategy::SharedSerial,
             tree: caqr::block::TreeShape::DeviceArity,
+            check_finite: true,
         },
     );
     assert!(
