@@ -1,0 +1,43 @@
+//! Measured block-size autotuning of the host CAQR factor path.
+//!
+//! Sweeps the candidate grid of `caqr::tuning::measured_grid` with real
+//! wall-clock (`caqr_cpu`, f64), prints the measured surface, and persists
+//! the profile to `target/caqr_tuned.json` where
+//! `CpuCaqrOptions::tuned_for_width` (and the wallclock report) pick it up.
+//!
+//! `--quick` calibrates on a small shape with one repetition — the CI smoke
+//! configuration. The default run uses the paper-scale 65536x16 panel.
+
+use caqr::tuning::{autotune_measured, MeasuredProfile};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, n, reps) = if quick { (8192, 16, 1) } else { (65536, 16, 3) };
+    let spec = DeviceSpec::c2050();
+
+    eprintln!("calibrating caqr_cpu on {m}x{n} (best of {reps})...");
+    let mut profile = autotune_measured(&spec, m, n, reps);
+    // A second sweep at half width keeps narrow-panel callers tuned too.
+    let narrow = autotune_measured(&spec, m, n / 2, reps);
+    profile
+        .points
+        .extend(narrow.points.iter().filter(|p| p.bs.w <= n / 2));
+
+    println!("{:>6} {:>6} {:>9}", "h", "w", "GFLOP/s");
+    for p in &profile.points {
+        println!("{:>6} {:>6} {:>9.3}", p.bs.h, p.bs.w, p.gflops);
+    }
+    for w in [n / 2, n] {
+        if let Some(best) = profile.best_for_width(w) {
+            println!(
+                "best w={w}: {}x{} at {:.3} GFLOP/s",
+                best.bs.h, best.bs.w, best.gflops
+            );
+        }
+    }
+
+    let path = MeasuredProfile::default_path();
+    profile.save(&path).expect("persist tuned profile");
+    println!("wrote {}", path.display());
+}

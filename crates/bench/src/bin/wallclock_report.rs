@@ -1,18 +1,23 @@
 //! Wall-clock kernel report: times the real host arithmetic behind each
 //! kernel class (packed GEMM, per-reflector larf apply, compact-WY larfb
-//! apply, host CAQR factor) and emits `BENCH_kernels.json` with GFLOP/s per
-//! kernel per shape, plus a human-readable table on stdout.
+//! apply, the pre-transposed factor micro-kernel vs its pre-arena reference,
+//! host CAQR factor) and emits `BENCH_kernels.json` with GFLOP/s and arena
+//! hit/miss counts per kernel per shape, plus a human-readable table.
 //!
 //! `--quick` shrinks shapes and repetitions for the CI smoke run; without
 //! it the shapes match the EXPERIMENTS.md entries.
+//! `--check-factor <min_gflops>` fails (exit 1) if any `caqr_cpu_factor`
+//! row lands below the threshold or any arena-backed kernel still allocates
+//! in steady state — the CI regression gate for the factor hot path.
 
 use caqr::block::tile_panel;
 use caqr::blockops;
 use caqr::{caqr_cpu, CpuCaqrOptions};
 use caqr_bench::Table;
+use dense::arena;
 use dense::blas3::{gemm, Trans};
 use dense::matrix::Matrix;
-use dense::MatPtr;
+use dense::{MatPtr, PoolScalar};
 use std::time::Instant;
 
 struct Entry {
@@ -20,17 +25,33 @@ struct Entry {
     shape: String,
     seconds: f64,
     gflops: f64,
+    /// Arena requests served from the pool during the timed (steady-state)
+    /// repetitions.
+    arena_hits: u64,
+    /// Arena requests that had to allocate during the timed repetitions.
+    /// Zero for every arena-backed kernel once the pool is warm — this is
+    /// the "no per-launch allocation" evidence.
+    arena_misses: u64,
 }
 
 /// Best-of-`reps` wall-clock of `f`, charged with `flops` useful flops.
-fn time_kernel(reps: usize, flops: f64, mut f: impl FnMut()) -> (f64, f64) {
+/// `f` is run once untimed to warm the arena pools; the hit/miss counters
+/// then cover exactly the timed repetitions.
+fn time_kernel<T: PoolScalar>(
+    reps: usize,
+    flops: f64,
+    mut f: impl FnMut(),
+) -> (f64, f64, u64, u64) {
+    f(); // warm caches and arena pools
+    arena::reset_stats::<T>();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
         f();
         best = best.min(t.elapsed().as_secs_f64());
     }
-    (best, flops / best / 1e9)
+    let s = arena::stats::<T>();
+    (best, flops / best / 1e9, s.hits, s.misses)
 }
 
 fn bench_gemm(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
@@ -38,23 +59,26 @@ fn bench_gemm(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, us
         let a = dense::generate::uniform::<f32>(m, k, 1);
         let b = dense::generate::uniform::<f32>(k, n, 2);
         let mut c = Matrix::<f32>::zeros(m, n);
-        let (seconds, gflops) = time_kernel(reps, 2.0 * (m * n * k) as f64, || {
-            gemm(
-                Trans::No,
-                Trans::No,
-                1.0,
-                a.as_ref(),
-                b.as_ref(),
-                0.0,
-                c.as_mut(),
-            );
-            std::hint::black_box(&c);
-        });
+        let (seconds, gflops, hits, misses) =
+            time_kernel::<f32>(reps, 2.0 * (m * n * k) as f64, || {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    a.as_ref(),
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                );
+                std::hint::black_box(&c);
+            });
         entries.push(Entry {
             kernel: "gemm",
             shape: format!("{m}x{n}x{k}"),
             seconds,
             gflops,
+            arena_hits: hits,
+            arena_misses: misses,
         });
     }
 }
@@ -76,7 +100,7 @@ fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, u
         let flops = 4.0 * (m * w * w) as f64;
         let shape = format!("{m}x{w}");
         let mut cm = c0.clone();
-        let (seconds, gflops) = time_kernel(reps, flops, || {
+        let (seconds, gflops, hits, misses) = time_kernel::<f32>(reps, flops, || {
             cm.as_mut_slice().copy_from_slice(c0.as_slice());
             let cp = MatPtr::new(&mut cm);
             for (ti, &tile) in tiles.iter().enumerate() {
@@ -89,8 +113,10 @@ fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, u
             shape: shape.clone(),
             seconds,
             gflops,
+            arena_hits: hits,
+            arena_misses: misses,
         });
-        let (seconds, gflops) = time_kernel(reps, flops, || {
+        let (seconds, gflops, hits, misses) = time_kernel::<f32>(reps, flops, || {
             cm.as_mut_slice().copy_from_slice(c0.as_slice());
             let cp = MatPtr::new(&mut cm);
             let vp = MatPtr::new_readonly(&panel);
@@ -104,6 +130,52 @@ fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, u
             shape,
             seconds,
             gflops,
+            arena_hits: hits,
+            arena_misses: misses,
+        });
+    }
+}
+
+/// The factor hot path in isolation: the pre-transposed arena-backed
+/// micro-kernel (`factor_tile`) against the pre-PR fresh-allocation
+/// reference (`factor_tile_ref`) — the before/after pair for this
+/// optimisation, on identical tiles.
+fn bench_factor_tile(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
+    for &(m, w, h) in shapes {
+        let a0 = dense::generate::uniform::<f64>(m, w, 6);
+        let tiles = tile_panel(0, m, h, w);
+        let flops = 2.0 * (m * w * w) as f64 - 2.0 / 3.0 * (w * w * w) as f64;
+        let shape = format!("{m}x{w}");
+        let mut a = a0.clone();
+        let (seconds, gflops, hits, misses) = time_kernel::<f64>(reps, flops, || {
+            a.as_mut_slice().copy_from_slice(a0.as_slice());
+            let p = MatPtr::new(&mut a);
+            for &tile in &tiles {
+                std::hint::black_box(blockops::factor_tile(p, tile, 0, w));
+            }
+        });
+        entries.push(Entry {
+            kernel: "factor_tile",
+            shape: shape.clone(),
+            seconds,
+            gflops,
+            arena_hits: hits,
+            arena_misses: misses,
+        });
+        let (seconds, gflops, hits, misses) = time_kernel::<f64>(reps, flops, || {
+            a.as_mut_slice().copy_from_slice(a0.as_slice());
+            let p = MatPtr::new(&mut a);
+            for &tile in &tiles {
+                std::hint::black_box(blockops::factor_tile_ref(p, tile, 0, w));
+            }
+        });
+        entries.push(Entry {
+            kernel: "factor_tile_ref",
+            shape,
+            seconds,
+            gflops,
+            arena_hits: hits,
+            arena_misses: misses,
         });
     }
 }
@@ -113,8 +185,17 @@ fn bench_caqr_cpu(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize
         let a = dense::generate::uniform::<f64>(m, n, 5);
         // Tall-skinny QR: ~ 2 m n^2 - (2/3) n^3 useful flops.
         let flops = 2.0 * (m * n * n) as f64 - 2.0 / 3.0 * (n * n * n) as f64;
-        let (seconds, gflops) = time_kernel(reps, flops, || {
-            let f = caqr_cpu(a.clone(), CpuCaqrOptions::for_width(n)).unwrap();
+        // Consume the measured autotuning profile when one has been
+        // persisted (`cargo run --bin autotune`); fall back to the static
+        // heuristic otherwise.
+        let opts = CpuCaqrOptions::tuned_for_width(n);
+        // `caqr_cpu` factors in place, so each repetition consumes a fresh
+        // copy of the input; the copies are prepared outside the timed
+        // region so the row measures the factorization, not memcpy.
+        let mut inputs: Vec<_> = (0..reps + 1).map(|_| a.clone()).collect();
+        let (seconds, gflops, hits, misses) = time_kernel::<f64>(reps, flops, || {
+            let input = inputs.pop().expect("one input copy per repetition");
+            let f = caqr_cpu(input, opts).unwrap();
             std::hint::black_box(f.a.as_slice().len());
         });
         entries.push(Entry {
@@ -122,18 +203,27 @@ fn bench_caqr_cpu(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize
             shape: format!("{m}x{n}"),
             seconds,
             gflops,
+            arena_hits: hits,
+            arena_misses: misses,
         });
     }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_factor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--check-factor")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--check-factor expects a number"));
     let reps = if quick { 2 } else { 5 };
     let mut entries = Vec::new();
 
     if quick {
         bench_gemm(&mut entries, reps, &[(256, 256, 256), (4096, 16, 16)]);
         bench_apply(&mut entries, reps, &[(4096, 16, 128)]);
+        bench_factor_tile(&mut entries, reps, &[(4096, 16, 1024)]);
         bench_caqr_cpu(&mut entries, reps, &[(4096, 16)]);
     } else {
         bench_gemm(
@@ -142,16 +232,18 @@ fn main() {
             &[(512, 512, 512), (1024, 1024, 1024), (8192, 16, 16)],
         );
         bench_apply(&mut entries, reps, &[(10240, 16, 128), (65536, 16, 128)]);
+        bench_factor_tile(&mut entries, reps, &[(65536, 16, 1024)]);
         bench_caqr_cpu(&mut entries, reps, &[(65536, 16), (131072, 8)]);
     }
 
-    let mut table = Table::new(&["kernel", "shape", "seconds", "GFLOP/s"]);
+    let mut table = Table::new(&["kernel", "shape", "seconds", "GFLOP/s", "arena hit/miss"]);
     for e in &entries {
         table.row(vec![
             e.kernel.to_string(),
             e.shape.clone(),
             format!("{:.6}", e.seconds),
             format!("{:.2}", e.gflops),
+            format!("{}/{}", e.arena_hits, e.arena_misses),
         ]);
     }
     print!("{}", table.render());
@@ -165,15 +257,47 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.3}, \"arena_hits\": {}, \"arena_misses\": {}}}{}\n",
             e.kernel,
             e.shape,
             e.seconds,
             e.gflops,
+            e.arena_hits,
+            e.arena_misses,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     eprintln!("wrote BENCH_kernels.json ({} entries)", entries.len());
+
+    if let Some(min) = check_factor {
+        let mut failed = false;
+        for e in &entries {
+            if e.kernel == "caqr_cpu_factor" && e.gflops < min {
+                eprintln!(
+                    "FAIL: {} {} at {:.3} GFLOP/s is below the floor {min}",
+                    e.kernel, e.shape, e.gflops
+                );
+                failed = true;
+            }
+            // The reference path allocates by design; every other kernel
+            // must be allocation-free once the arena is warm.
+            let arena_backed =
+                !e.kernel.ends_with("_ref") && e.kernel != "apply_larf_per_reflector";
+            if arena_backed && e.arena_misses != 0 {
+                eprintln!(
+                    "FAIL: {} {} allocated {} times in steady state",
+                    e.kernel, e.shape, e.arena_misses
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check-factor: all caqr_cpu_factor rows >= {min} GFLOP/s, steady-state allocation-free"
+        );
+    }
 }

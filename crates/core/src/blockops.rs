@@ -16,16 +16,86 @@
 
 use crate::block::Tile;
 use crate::tsqr::{TreeNode, WyTile};
+use dense::arena;
 use dense::blas3::{gemm, Trans};
-use dense::blocked::{extract_v, larfb_left, larft};
-use dense::householder::geqr2;
+use dense::blocked::{extract_v, larfb_left, larft, larft_from_gram};
+use dense::householder::{geqr2, geqr2_gram_transposed};
 use dense::matrix::{MatMut, MatRef, Matrix};
 use dense::scalar::Scalar;
 use dense::MatPtr;
 
 /// Factor one `tile.rows x width` tile of the panel in place and build its
 /// compact-WY factors. (The `factor` kernel body.)
+///
+/// The tile is packed **pre-transposed** (row-major) into arena scratch
+/// once, factored by the strategy-4 micro-kernel
+/// ([`dense::householder::geqr2_transposed`]), and the WY factors are built
+/// from the same packing — bit-identical to [`factor_tile_ref`] but with
+/// contiguous-row trailing updates and no per-launch allocation beyond the
+/// owned `WyTile` outputs.
+#[allow(clippy::eq_op)] // the `x - x` probe is +0.0 iff `x` is finite, NaN otherwise
 pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usize) -> WyTile<T> {
+    let rows = tile.rows;
+    // Pack pre-transposed straight from the panel: at[r * width + j] = A(r, j).
+    let mut at = arena::take_dirty::<T>(rows * width);
+    // SAFETY: the caller assigns disjoint tiles to concurrent invocations.
+    unsafe {
+        a.load_tile_transposed(tile.start, col0, rows, width, &mut at);
+    }
+    let k = rows.min(width);
+    let mut tau = vec![T::ZERO; k];
+    let mut gram = arena::take_dirty::<T>(k * k);
+    geqr2_gram_transposed(&mut at, rows, width, 0, &mut tau, &mut gram);
+    // One sweep per column of the factored packing serves the store-back of
+    // the tile, the explicit V (unit diagonal, zeros above, tails below)
+    // and the finiteness check of the tails — both destinations are written
+    // contiguously while `at` stays cache-resident. `x - x` is exactly
+    // `+0.0` for finite `x` and NaN otherwise, so the branchless
+    // accumulator stays zero iff every tail entry is finite (the diagonal
+    // ones and the zeros above are finite by construction).
+    let mut v = Matrix::<T>::zeros(rows, k);
+    // Four rotating lanes keep the NaN accumulation off the loop's critical
+    // path (a single lane would serialize on FP-add latency).
+    let mut tails_acc = [T::ZERO; 4];
+    for j in 0..width {
+        for r in 0..rows.min(j + 1) {
+            // SAFETY: same tile.
+            unsafe { a.set(tile.start + r, col0 + j, at[r * width + j]) };
+        }
+        if j < k {
+            let vc = v.col_mut(j);
+            if j < rows {
+                vc[j] = T::ONE;
+            }
+            for r in j + 1..rows {
+                let x = at[r * width + j];
+                // SAFETY: same tile.
+                unsafe { a.set(tile.start + r, col0 + j, x) };
+                vc[r] = x;
+                tails_acc[r & 3] += x - x;
+            }
+        } else {
+            for r in j + 1..rows {
+                // SAFETY: same tile.
+                unsafe { a.set(tile.start + r, col0 + j, at[r * width + j]) };
+            }
+        }
+    }
+    let t = larft_from_gram(&gram, &tau);
+    let healthy =
+        all_finite(t.as_slice()) && all_finite(&tau) && tails_acc.iter().all(|&x| x == T::ZERO);
+    WyTile { tau, v, t, healthy }
+}
+
+/// Pre-arena reference implementation of [`factor_tile`]: fresh column-major
+/// buffer, dense [`geqr2`]/[`larft`]. Kept as the bit-identity oracle for
+/// the property tests and the "before" row of the wallclock report.
+pub fn factor_tile_ref<T: Scalar>(
+    a: MatPtr<T>,
+    tile: Tile,
+    col0: usize,
+    width: usize,
+) -> WyTile<T> {
     let mut buf = vec![T::ZERO; tile.rows * width];
     // SAFETY: the caller assigns disjoint tiles to concurrent invocations.
     unsafe {
@@ -52,13 +122,86 @@ pub fn factor_tile<T: Scalar>(a: MatPtr<T>, tile: Tile, col0: usize, width: usiz
 }
 
 /// True when every entry of the slice is finite (no NaN/inf).
+///
+/// Branchless lane accumulation of `x - x` (exactly `+0.0` for finite `x`,
+/// NaN otherwise) so the scan vectorizes; the early-exit scalar loop only
+/// runs on the sub-lane tail.
+#[allow(clippy::eq_op)] // the `x - x` probe is +0.0 iff `x` is finite, NaN otherwise
 fn all_finite<T: Scalar>(xs: &[T]) -> bool {
-    xs.iter().all(|v| v.is_finite())
+    const LANES: usize = 8;
+    let mut acc = [T::ZERO; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in &mut chunks {
+        for l in 0..LANES {
+            acc[l] += c[l] - c[l];
+        }
+    }
+    chunks.remainder().iter().all(|v| v.is_finite()) && acc.iter().all(|&a| a == T::ZERO)
 }
 
 /// Gather the stacked R-triangles of one tree group, factor the stack, and
 /// write the surviving R back to the leader. (The `factor_tree` kernel body.)
+///
+/// The stack is gathered **pre-transposed** into zeroed arena scratch and
+/// factored with `tri_block == width`, so the micro-kernel skips the known
+/// zero triangles of every stacked `R` in the trailing updates and the `T`
+/// build (~2x the useful-flop density of the dense iteration at `arity`-row
+/// stacks). The skipped terms are exact `±0.0` products; results agree with
+/// [`factor_tree_group_ref`] on every value (zero signs may differ).
 pub fn factor_tree_group<T: Scalar>(
+    a: MatPtr<T>,
+    members: &[usize],
+    col0: usize,
+    width: usize,
+) -> TreeNode<T> {
+    let w = width;
+    let t = members.len();
+    let rows = t * w;
+    // Everything outside the gathered triangles is a structural zero the
+    // tri_block skips rely on, so the scratch must start zeroed.
+    let mut at = arena::take_zeroed::<T>(rows * w);
+    for (ti, &r0) in members.iter().enumerate() {
+        for i in 0..w {
+            for j in i..w {
+                // SAFETY: this group's triangles belong to this invocation.
+                at[(ti * w + i) * w + j] = unsafe { a.get(r0 + i, col0 + j) };
+            }
+        }
+    }
+    let k = w.min(rows);
+    let mut tau = vec![T::ZERO; k];
+    let mut gram = arena::take_dirty::<T>(k * k);
+    geqr2_gram_transposed(&mut at, rows, w, w, &mut tau, &mut gram);
+    let r0 = members[0];
+    for i in 0..w {
+        for j in i..w {
+            // SAFETY: leader triangle belongs to this group.
+            unsafe { a.set(r0 + i, col0 + j, at[i * w + j]) };
+        }
+    }
+    let tmat = larft_from_gram(&gram, &tau);
+    let mut u = Matrix::<T>::zeros(rows, w);
+    for j in 0..w {
+        let col = u.col_mut(j);
+        for (r, x) in col.iter_mut().enumerate() {
+            *x = at[r * w + j];
+        }
+    }
+    let healthy = all_finite(tmat.as_slice()) && all_finite(&tau) && all_finite(u.as_slice());
+    TreeNode {
+        members: members.to_vec(),
+        u,
+        tau,
+        tmat,
+        healthy,
+    }
+}
+
+/// Pre-arena reference implementation of [`factor_tree_group`]: fresh
+/// column-major gather, dense [`geqr2`]/[`larft`]. Kept as the oracle for
+/// the property tests (values equal; zero signs may differ where the fast
+/// path skips structural-zero products).
+pub fn factor_tree_group_ref<T: Scalar>(
     a: MatPtr<T>,
     members: &[usize],
     col0: usize,
@@ -108,7 +251,8 @@ pub fn apply_tile_wy<T: Scalar>(
     transpose: bool,
 ) {
     let rows = tile.rows;
-    let mut cbuf = vec![T::ZERO; rows * wc];
+    // Dirty arena scratch: load_tile overwrites every element.
+    let mut cbuf = arena::take_dirty::<T>(rows * wc);
     // SAFETY: target tiles are disjoint across invocations.
     unsafe {
         c.load_tile(tile.start, c0, rows, wc, &mut cbuf);
@@ -154,12 +298,14 @@ pub fn apply_tile_reflectors<T: Scalar>(
     transpose: bool,
 ) {
     let rows = tile.rows;
-    let mut vbuf = vec![T::ZERO; rows * width];
+    // Dirty arena scratch throughout: both load_tile calls overwrite every
+    // element of their buffer.
+    let mut vbuf = arena::take_dirty::<T>(rows * width);
     // SAFETY: the panel region is read-only during the launch.
     unsafe {
         v.load_tile(tile.start, col0, rows, width, &mut vbuf);
     }
-    let mut cbuf = vec![T::ZERO; rows * wc];
+    let mut cbuf = arena::take_dirty::<T>(rows * wc);
     // SAFETY: target tiles are disjoint across invocations.
     unsafe {
         c.load_tile(tile.start, c0, rows, wc, &mut cbuf);
@@ -210,8 +356,16 @@ pub fn apply_stacked_wy<T: Scalar>(
         crate::microkernels::apply_block_reflectors(node.u.as_ref(), &node.tau, transpose, c);
         return;
     }
-    // W = V^T C: top block of V is exactly I_w.
-    let mut wmat = c.as_ref().submatrix(0, 0, w, wc).to_owned();
+    // W = V^T C: top block of V is exactly I_w, so W starts as a copy of
+    // the top strip (into dirty arena scratch, fully overwritten here).
+    let mut wbuf = arena::take_dirty::<T>(w * wc);
+    {
+        let top = c.as_ref().submatrix(0, 0, w, wc);
+        for j in 0..wc {
+            wbuf[j * w..(j + 1) * w].copy_from_slice(top.col(j));
+        }
+    }
+    let mut wmat = MatMut::from_parts(&mut wbuf, w, wc, w);
     for i in 1..t {
         gemm(
             Trans::Yes,
@@ -220,11 +374,12 @@ pub fn apply_stacked_wy<T: Scalar>(
             node.u.view(i * w, 0, w, w),
             c.as_ref().submatrix(i * w, 0, w, wc),
             T::ONE,
-            wmat.as_mut(),
+            wmat.rb_mut(),
         );
     }
-    // W = op(T) W.
-    let mut tw = Matrix::<T>::zeros(w, wc);
+    // W = op(T) W (beta == 0 fully defines the dirty scratch).
+    let mut twbuf = arena::take_dirty::<T>(w * wc);
+    let mut tw = MatMut::from_parts(&mut twbuf, w, wc, w);
     gemm(
         if transpose { Trans::Yes } else { Trans::No },
         Trans::No,
@@ -232,13 +387,13 @@ pub fn apply_stacked_wy<T: Scalar>(
         node.tmat.as_ref(),
         wmat.as_ref(),
         T::ZERO,
-        tw.as_mut(),
+        tw.rb_mut(),
     );
     // C -= V W: unit top block subtracts W directly.
     for j in 0..wc {
         let col = c.col_mut(j);
         for (i, ci) in col.iter_mut().take(w).enumerate() {
-            *ci -= tw[(i, j)];
+            *ci -= tw.at(i, j);
         }
     }
     for i in 1..t {
@@ -267,7 +422,8 @@ pub fn apply_tree_node<T: Scalar>(
     let w = width;
     let t = node.members.len();
     let rows = t * w;
-    let mut cbuf = vec![T::ZERO; rows * wc];
+    // Dirty arena scratch: the gather below writes every element.
+    let mut cbuf = arena::take_dirty::<T>(rows * wc);
     for (si, &r0) in node.members.iter().enumerate() {
         for j in 0..wc {
             for i in 0..w {

@@ -115,7 +115,7 @@ pub fn caqr<T: Scalar>(
             blocks: tiles,
             tile_rows: opts.bs.h,
             tile_cols: w,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
         };
         gpu.launch::<T>(&kernel)?;
     }

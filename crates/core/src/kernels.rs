@@ -159,8 +159,9 @@ pub struct FactorKernel<'a, T: Scalar> {
     pub width: usize,
     /// Tuning strategy (cost only; the math is identical).
     pub strategy: ReductionStrategy,
-    /// Device description for cost derivation.
-    pub spec: DeviceSpec,
+    /// Device description for cost derivation (borrowed: launch descriptors
+    /// are transient, the spec outlives every launch).
+    pub spec: &'a DeviceSpec,
     /// Output compact-WY slot per tile.
     pub wy: &'a [Mutex<Option<WyTile<T>>>],
 }
@@ -192,7 +193,7 @@ impl<'a, T: Scalar> Kernel<T> for FactorKernel<'a, T> {
             self.a, tile, self.col0, self.width,
         ));
         ctx.meter.charge(&factor_block_cost(
-            &self.spec,
+            self.spec,
             tile.rows,
             self.width,
             self.strategy,
@@ -220,8 +221,8 @@ pub struct FactorTreeKernel<'a, T: Scalar> {
     pub width: usize,
     /// Tuning strategy.
     pub strategy: ReductionStrategy,
-    /// Device description.
-    pub spec: DeviceSpec,
+    /// Device description (borrowed).
+    pub spec: &'a DeviceSpec,
     /// Output slot per group.
     pub out: &'a [Mutex<Option<TreeNode<T>>>],
 }
@@ -263,7 +264,7 @@ impl<'a, T: Scalar> Kernel<T> for FactorTreeKernel<'a, T> {
             self.width,
         ));
         ctx.meter.charge(&factor_tree_block_cost(
-            &self.spec,
+            self.spec,
             t,
             self.width,
             self.strategy,
@@ -296,8 +297,8 @@ pub struct ApplyQtHKernel<'a, T: Scalar> {
     pub transpose: bool,
     /// Tuning strategy.
     pub strategy: ReductionStrategy,
-    /// Device description.
-    pub spec: DeviceSpec,
+    /// Device description (borrowed).
+    pub spec: &'a DeviceSpec,
 }
 
 impl<'a, T: Scalar> Kernel<T> for ApplyQtHKernel<'a, T> {
@@ -329,7 +330,7 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtHKernel<'a, T> {
         let (c0, wc) = self.col_blocks[cb];
         crate::blockops::apply_tile_wy(&self.wy[ti], self.c, tile, c0, wc, self.transpose);
         ctx.meter.charge(&apply_qt_h_block_cost(
-            &self.spec,
+            self.spec,
             tile.rows,
             self.width.min(tile.rows),
             wc,
@@ -361,8 +362,8 @@ pub struct ApplyQtTreeKernel<'a, T: Scalar> {
     pub transpose: bool,
     /// Tuning strategy.
     pub strategy: ReductionStrategy,
-    /// Device description.
-    pub spec: DeviceSpec,
+    /// Device description (borrowed).
+    pub spec: &'a DeviceSpec,
 }
 
 impl<'a, T: Scalar> Kernel<T> for ApplyQtTreeKernel<'a, T> {
@@ -394,7 +395,7 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtTreeKernel<'a, T> {
         let (c0, wc) = self.col_blocks[cb];
         crate::blockops::apply_tree_node(self.c, node, self.width, c0, wc, self.transpose);
         ctx.meter.charge(&apply_qt_tree_block_cost(
-            &self.spec,
+            self.spec,
             node.members.len(),
             self.width,
             wc,
@@ -413,18 +414,18 @@ impl<'a, T: Scalar> Kernel<T> for ApplyQtTreeKernel<'a, T> {
 /// transposed layout only changes coalescing, which the cost model already
 /// credits — so this kernel is cost-only, but it is launched exactly where
 /// the real pipeline would launch it and its traffic is charged in full.
-pub struct PretransposeKernel {
+pub struct PretransposeKernel<'a> {
     /// Number of tiles (grid size).
     pub blocks: usize,
     /// Tile rows.
     pub tile_rows: usize,
     /// Tile columns.
     pub tile_cols: usize,
-    /// Device description.
-    pub spec: DeviceSpec,
+    /// Device description (borrowed).
+    pub spec: &'a DeviceSpec,
 }
 
-impl<T: Scalar> Kernel<T> for PretransposeKernel {
+impl<'a, T: Scalar> Kernel<T> for PretransposeKernel<'a> {
     fn name(&self) -> &'static str {
         "pretranspose"
     }
@@ -440,7 +441,7 @@ impl<T: Scalar> Kernel<T> for PretransposeKernel {
 
     fn run_block(&self, _b: usize, ctx: &mut BlockCtx<T>) {
         ctx.meter.charge(&pretranspose_block_cost(
-            &self.spec,
+            self.spec,
             self.tile_rows,
             self.tile_cols,
             T::BYTES,

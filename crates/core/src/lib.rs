@@ -56,3 +56,4 @@ pub use microkernels::ReductionStrategy;
 pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};
+pub use tuning::{autotune_measured, MeasuredPoint, MeasuredProfile};

@@ -52,6 +52,33 @@ impl CpuCaqrOptions {
         }
     }
 
+    /// Choose the tile height from a measured autotuning profile (see
+    /// [`crate::tuning::autotune_measured`]), falling back to the
+    /// [`Self::for_width`] heuristic when the profile has no candidate of
+    /// this width.
+    pub fn from_measured(profile: &crate::tuning::MeasuredProfile, width: usize) -> Self {
+        match profile.best_for_width(width.clamp(1, 32)) {
+            Some(p) => CpuCaqrOptions {
+                tile_rows: p.bs.h,
+                panel_width: p.bs.w,
+                tree: TreeShape::DeviceArity,
+            },
+            None => Self::for_width(width),
+        }
+    }
+
+    /// Like [`Self::for_width`] but consults the persisted measured profile
+    /// at [`crate::tuning::MeasuredProfile::default_path`] first. Absent or
+    /// malformed profiles fall back to the static heuristic, so this is
+    /// always safe to call.
+    pub fn tuned_for_width(width: usize) -> Self {
+        match crate::tuning::MeasuredProfile::load(&crate::tuning::MeasuredProfile::default_path())
+        {
+            Some(p) => Self::from_measured(&p, width),
+            None => Self::for_width(width),
+        }
+    }
+
     fn block_size(&self) -> BlockSize {
         BlockSize {
             h: self.tile_rows,

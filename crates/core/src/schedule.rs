@@ -183,7 +183,7 @@ pub fn caqr_dag<T: Scalar>(
             blocks: tiles,
             tile_rows: o.bs.h,
             tile_cols: o.bs.w,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
         };
         gpu.launch_on::<T>(Exec::Stream(dag.streams[0]), &kernel)?;
         launches += 1;

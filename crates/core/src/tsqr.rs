@@ -165,7 +165,7 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
     }
     bs.validate().map_err(CaqrError::BadShape)?;
     let tiles = tile_panel(row0, m - row0, bs.h, bs.w);
-    let spec = gpu.spec().clone();
+    let spec = gpu.spec();
 
     // Level 0: factor every tile independently.
     let wy_slots: Vec<Mutex<Option<WyTile<T>>>> = tiles.iter().map(|_| Mutex::new(None)).collect();
@@ -176,7 +176,7 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
             col0,
             width,
             strategy,
-            spec: spec.clone(),
+            spec,
             wy: &wy_slots,
         };
         gpu.launch_on(exec, &kernel)?;
@@ -200,7 +200,7 @@ pub fn factor_panel_with_tree_on<T: Scalar>(
                 col0,
                 width,
                 strategy,
-                spec: spec.clone(),
+                spec,
                 out: &out,
             };
             gpu.launch_on(exec, &kernel)?;
@@ -269,7 +269,7 @@ pub fn apply_panel_ptr_on<T: Scalar>(
     if cols.is_empty() {
         return Ok(());
     }
-    let spec = gpu.spec().clone();
+    let spec = gpu.spec();
     let horizontal = |gpu: &Gpu| -> Result<(), CaqrError> {
         let kernel = ApplyQtHKernel {
             c,
@@ -279,7 +279,7 @@ pub fn apply_panel_ptr_on<T: Scalar>(
             col_blocks: cols,
             transpose,
             strategy: pf.strategy,
-            spec: spec.clone(),
+            spec,
         };
         gpu.launch_on(exec, &kernel)?;
         Ok(())
@@ -292,7 +292,7 @@ pub fn apply_panel_ptr_on<T: Scalar>(
             col_blocks: cols,
             transpose,
             strategy: pf.strategy,
-            spec: spec.clone(),
+            spec,
         };
         gpu.launch_on(exec, &kernel)?;
         Ok(())

@@ -96,6 +96,203 @@ pub fn tune_streams(
     out
 }
 
+/// One wall-clock-measured block-size candidate of the host factor path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredPoint {
+    /// The candidate shape.
+    pub bs: BlockSize,
+    /// Measured (not modelled) GFLOP/s of `caqr_cpu` at this shape.
+    pub gflops: f64,
+}
+
+/// A measured autotuning profile: every swept candidate of one
+/// `rows x cols` calibration factorization, ranked by real wall-clock.
+///
+/// The modelled [`figure7_surface`] stays the *prior* — it orders the
+/// candidate grid so a budgeted sweep tries likely winners first — but the
+/// committed choice is decided by measurement, exactly the paper's
+/// Section IV-F loop ("test many different block sizes and choose the
+/// best"). Profiles persist as a small hand-rolled JSON file (no external
+/// dependencies) so one calibration run serves every later process; see
+/// [`MeasuredProfile::save`] / [`MeasuredProfile::load`] and
+/// [`crate::CpuCaqrOptions::tuned_for_width`] for the consuming side.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasuredProfile {
+    /// Calibration matrix height.
+    pub rows: usize,
+    /// Calibration matrix width.
+    pub cols: usize,
+    /// Every measured candidate, in sweep order.
+    pub points: Vec<MeasuredPoint>,
+}
+
+impl MeasuredProfile {
+    /// Default on-disk location of the persisted profile.
+    pub fn default_path() -> std::path::PathBuf {
+        std::path::PathBuf::from("target/caqr_tuned.json")
+    }
+
+    /// The fastest measured candidate overall.
+    pub fn best(&self) -> Option<MeasuredPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+    }
+
+    /// The fastest measured candidate with panel width `w`.
+    pub fn best_for_width(&self, w: usize) -> Option<MeasuredPoint> {
+        self.points
+            .iter()
+            .copied()
+            .filter(|p| p.bs.w == w)
+            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+    }
+
+    /// Serialize to the profile's JSON form.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"rows\": {},\n  \"cols\": {},\n  \"points\": [\n",
+            self.rows, self.cols
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"h\": {}, \"w\": {}, \"gflops\": {:.6}}}{sep}\n",
+                p.bs.h, p.bs.w, p.gflops
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a profile produced by [`Self::to_json`]. Returns `None` on any
+    /// malformed input (a corrupt profile falls back to the heuristics, it
+    /// never aborts the caller).
+    pub fn from_json(text: &str) -> Option<Self> {
+        fn field_usize(obj: &str, key: &str) -> Option<usize> {
+            field_raw(obj, key)?.parse().ok()
+        }
+        fn field_f64(obj: &str, key: &str) -> Option<f64> {
+            field_raw(obj, key)?.parse().ok()
+        }
+        fn field_raw<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\"");
+            let at = obj.find(&pat)? + pat.len();
+            let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            Some(&rest[..end])
+        }
+        let rows = field_usize(text, "rows")?;
+        let cols = field_usize(text, "cols")?;
+        let arr_start = text.find("\"points\"")?;
+        let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
+        let arr = &arr[..arr.find(']')?];
+        let mut points = Vec::new();
+        for obj in arr.split('{').skip(1) {
+            let obj = obj.split('}').next()?;
+            points.push(MeasuredPoint {
+                bs: BlockSize {
+                    h: field_usize(obj, "h")?,
+                    w: field_usize(obj, "w")?,
+                },
+                gflops: field_f64(obj, "gflops")?,
+            });
+        }
+        Some(MeasuredProfile { rows, cols, points })
+    }
+
+    /// Persist to `path` (atomically via a sibling temp file).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a persisted profile; `None` if the file is absent or malformed.
+    pub fn load(path: &std::path::Path) -> Option<Self> {
+        Self::from_json(&std::fs::read_to_string(path).ok()?)
+    }
+}
+
+/// Candidate grid of the measured sweep for an `n`-column factorization:
+/// widths from the paper's sweet spot ({8, 16, 32}, capped at `n`), heights
+/// 64..=2048 with `h >= 2w`, ordered by the modelled prior (best modelled
+/// candidates first) so a truncated sweep still visits likely winners.
+pub fn measured_grid(spec: &DeviceSpec, n: usize) -> Vec<BlockSize> {
+    let prior = figure7_surface(spec, ReductionStrategy::RegisterSerialTransposed);
+    let score = |bs: BlockSize| {
+        prior
+            .iter()
+            .find(|p| p.bs == bs)
+            .map(|p| p.gflops)
+            .unwrap_or(0.0)
+    };
+    let mut grid = Vec::new();
+    for &w in &[8usize, 16, 32] {
+        if w > n {
+            continue;
+        }
+        for &h in &[64usize, 128, 192, 256, 320, 384, 512, 1024, 2048] {
+            if h >= 2 * w {
+                grid.push(BlockSize { h, w });
+            }
+        }
+    }
+    grid.sort_by(|a, b| score(*b).partial_cmp(&score(*a)).unwrap());
+    grid
+}
+
+/// Measure the host factor path (`caqr_cpu`, f64) over the candidate grid
+/// for an `m x n` calibration shape, best-of-`reps` wall-clock per
+/// candidate. Returns the full measured surface; persist the result with
+/// [`MeasuredProfile::save`] and consume it via
+/// [`crate::CpuCaqrOptions::tuned_for_width`].
+pub fn autotune_measured(spec: &DeviceSpec, m: usize, n: usize, reps: usize) -> MeasuredProfile {
+    let a = dense::generate::uniform::<f64>(m, n, 0x7471);
+    let flops = 2.0 * (m * n * n) as f64 - 2.0 / 3.0 * (n * n * n) as f64;
+    let mut points = Vec::new();
+    for bs in measured_grid(spec, n) {
+        if bs.h > m {
+            continue;
+        }
+        let opts = crate::CpuCaqrOptions {
+            tile_rows: bs.h,
+            panel_width: bs.w,
+            tree: crate::TreeShape::DeviceArity,
+        };
+        // `caqr_cpu` factors in place; input copies are prepared outside the
+        // timed region so candidates are ranked on factorization time alone.
+        let mut inputs: Vec<_> = (0..reps.max(1) + 1).map(|_| a.clone()).collect();
+        let mut run = || {
+            let input = inputs.pop().expect("one input copy per repetition");
+            let f = crate::caqr_cpu(input, opts).expect("calibration factorization");
+            std::hint::black_box(f.a.as_slice().len());
+        };
+        run(); // warm the arena pools so steady state is what's measured
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t = std::time::Instant::now();
+            run();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        points.push(MeasuredPoint {
+            bs,
+            gflops: flops / best / 1e9,
+        });
+    }
+    MeasuredProfile {
+        rows: m,
+        cols: n,
+        points,
+    }
+}
+
 /// Algorithm choice for a given matrix shape (the autotuning framework the
 /// paper sketches in Section V-C: "a different algorithm may be chosen
 /// depending on the matrix size").
@@ -224,6 +421,71 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].seconds <= w[1].seconds);
         }
+    }
+
+    #[test]
+    fn measured_profile_json_round_trips() {
+        let p = MeasuredProfile {
+            rows: 65536,
+            cols: 16,
+            points: vec![
+                MeasuredPoint {
+                    bs: BlockSize { h: 256, w: 16 },
+                    gflops: 1.97,
+                },
+                MeasuredPoint {
+                    bs: BlockSize { h: 512, w: 8 },
+                    gflops: 0.95,
+                },
+            ],
+        };
+        let back = MeasuredProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.best().unwrap().bs, BlockSize { h: 256, w: 16 });
+        assert_eq!(
+            back.best_for_width(8).unwrap().bs,
+            BlockSize { h: 512, w: 8 }
+        );
+        assert!(back.best_for_width(32).is_none());
+        // Malformed input degrades to None, never panics.
+        assert!(MeasuredProfile::from_json("{\"rows\": oops}").is_none());
+        assert!(MeasuredProfile::from_json("").is_none());
+    }
+
+    #[test]
+    fn measured_grid_is_prior_ordered_and_constrained() {
+        let spec = DeviceSpec::c2050();
+        let g = measured_grid(&spec, 16);
+        assert!(!g.is_empty());
+        for bs in &g {
+            bs.validate().unwrap();
+            assert!(bs.w <= 16);
+        }
+        // The modelled prior puts the paper's 128x16 sweet spot ahead of a
+        // register-spilling 2048-row candidate.
+        let pos = |bs: BlockSize| g.iter().position(|&x| x == bs).unwrap();
+        assert!(pos(BlockSize { h: 128, w: 16 }) < pos(BlockSize { h: 2048, w: 16 }));
+        // Widths wider than the matrix are skipped.
+        assert!(measured_grid(&spec, 8).iter().all(|bs| bs.w <= 8));
+    }
+
+    #[test]
+    fn measured_autotune_runs_and_feeds_options() {
+        let spec = DeviceSpec::c2050();
+        // Tiny calibration shape: every candidate with h <= m is measured.
+        let p = autotune_measured(&spec, 512, 8, 1);
+        assert_eq!((p.rows, p.cols), (512, 8));
+        assert!(!p.points.is_empty());
+        assert!(p.points.iter().all(|pt| pt.gflops > 0.0 && pt.bs.h <= 512));
+        let opts = crate::CpuCaqrOptions::from_measured(&p, 8);
+        assert_eq!(opts.panel_width, 8);
+        assert_eq!(opts.tile_rows, p.best_for_width(8).unwrap().bs.h);
+        // A width the profile never swept falls back to the heuristic.
+        let fallback = crate::CpuCaqrOptions::from_measured(&p, 5);
+        assert_eq!(
+            fallback.tile_rows,
+            crate::CpuCaqrOptions::for_width(5).tile_rows
+        );
     }
 
     #[test]

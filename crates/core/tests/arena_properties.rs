@@ -1,0 +1,179 @@
+//! Property tests of the workspace-arena hot paths: the arena-backed factor
+//! kernels must be indistinguishable from the fresh-allocation reference
+//! implementations on random shapes, and stale (even deliberately poisoned)
+//! pool contents must never leak into results — the two guarantees the
+//! allocation-free fast path rests on.
+
+use caqr::block::Tile;
+use caqr::blockops;
+use dense::arena;
+use dense::matrix::Matrix;
+use dense::MatPtr;
+use proptest::prelude::*;
+
+/// Bit-level equality helper with a readable failure.
+fn assert_bits_eq(name: &str, got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.len() == want.len(),
+        "{} length: {} != {}",
+        name,
+        got.len(),
+        want.len()
+    );
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits(),
+            "{}[{}]: {:e} ({:#x}) != {:e} ({:#x})",
+            name,
+            i,
+            g,
+            g.to_bits(),
+            w,
+            w.to_bits()
+        );
+    }
+    Ok(())
+}
+
+/// Value equality (zero signs may differ where the structured tree path
+/// skips exact `±0.0` products).
+fn assert_values_eq(name: &str, got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert!(
+        got.len() == want.len(),
+        "{} length: {} != {}",
+        name,
+        got.len(),
+        want.len()
+    );
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g == w || (g.is_nan() && w.is_nan()),
+            "{}[{}]: {:e} != {:e}",
+            name,
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The arena-backed pre-transposed `factor_tile` is bit-identical to the
+    /// fresh-allocation column-major reference: same factored tile, same
+    /// `tau`, `V` and `T` — even when the pools it draws from were poisoned
+    /// with NaN beforehand (stale contents cannot leak).
+    #[test]
+    fn arena_factor_tile_is_bit_identical_to_fresh_allocation(
+        rows in 2usize..96,
+        width in 1usize..12,
+        seed in 0u64..500,
+        poison in 0u8..2,
+    ) {
+        prop_assume!(rows >= width);
+        if poison == 1 {
+            arena::poison_pools::<f64>(f64::NAN);
+        }
+        let tile = Tile { start: 0, rows };
+        let a0 = dense::generate::uniform::<f64>(rows, width, seed);
+
+        let mut a_fast = a0.clone();
+        let wy_fast = blockops::factor_tile(MatPtr::new(&mut a_fast), tile, 0, width);
+        let mut a_ref = a0.clone();
+        let wy_ref = blockops::factor_tile_ref(MatPtr::new(&mut a_ref), tile, 0, width);
+
+        assert_bits_eq("tile", a_fast.as_slice(), a_ref.as_slice())?;
+        assert_bits_eq("tau", &wy_fast.tau, &wy_ref.tau)?;
+        assert_bits_eq("v", wy_fast.v.as_slice(), wy_ref.v.as_slice())?;
+        assert_bits_eq("t", wy_fast.t.as_slice(), wy_ref.t.as_slice())?;
+        prop_assert_eq!(wy_fast.healthy, wy_ref.healthy);
+    }
+
+    /// The arena-backed structured `factor_tree_group` agrees with the
+    /// fresh-allocation dense reference on every value (the structured path
+    /// skips exact-zero products, so only zero signs may differ), again
+    /// regardless of poisoned pools.
+    #[test]
+    fn arena_factor_tree_group_matches_fresh_allocation(
+        arity in 2usize..6,
+        width in 1usize..10,
+        seed in 0u64..500,
+        poison in 0u8..2,
+    ) {
+        if poison == 1 {
+            arena::poison_pools::<f64>(f64::NAN);
+        }
+        let rows = arity * width;
+        let members: Vec<usize> = (0..arity).map(|t| t * width).collect();
+        // Upper-triangularize each member's strip, as after level 0.
+        let mut a0 = dense::generate::uniform::<f64>(rows, width, seed);
+        for &r0 in &members {
+            for i in 0..width {
+                for j in 0..i.min(width) {
+                    a0[(r0 + i, j)] = 0.0;
+                }
+            }
+        }
+
+        let mut a_fast = a0.clone();
+        let node_fast =
+            blockops::factor_tree_group(MatPtr::new(&mut a_fast), &members, 0, width);
+        let mut a_ref = a0.clone();
+        let node_ref =
+            blockops::factor_tree_group_ref(MatPtr::new(&mut a_ref), &members, 0, width);
+
+        assert_values_eq("leader R", a_fast.as_slice(), a_ref.as_slice())?;
+        assert_values_eq("tau", &node_fast.tau, &node_ref.tau)?;
+        assert_values_eq("u", node_fast.u.as_slice(), node_ref.u.as_slice())?;
+        assert_values_eq("tmat", node_fast.tmat.as_slice(), node_ref.tmat.as_slice())?;
+        prop_assert_eq!(node_fast.healthy, node_ref.healthy);
+    }
+
+    /// Re-running the same factorization after poisoning every pool with NaN
+    /// reproduces the clean run bit-for-bit: the arena contract (`take_dirty`
+    /// users overwrite every element they read) holds on the whole caqr_cpu
+    /// pipeline, not just the leaf kernels.
+    #[test]
+    fn poisoned_pools_cannot_perturb_caqr_cpu(
+        m in 16usize..200,
+        n in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(m >= 2 * n);
+        let a = dense::generate::uniform::<f64>(m, n, seed);
+        let opts = caqr::CpuCaqrOptions {
+            tile_rows: (m / 2).max(2 * n),
+            panel_width: n,
+            tree: caqr::TreeShape::DeviceArity,
+        };
+        let clean = caqr_cpu_bits(&a, opts);
+        arena::poison_pools::<f64>(f64::NAN);
+        let poisoned = caqr_cpu_bits(&a, opts);
+        assert_bits_eq("factored matrix", &clean, &poisoned)?;
+    }
+}
+
+fn caqr_cpu_bits(a: &Matrix<f64>, opts: caqr::CpuCaqrOptions) -> Vec<f64> {
+    let f = caqr::caqr_cpu(a.clone(), opts).expect("factorization");
+    f.a.as_slice().to_vec()
+}
+
+/// Steady state really is allocation-free: after a warm-up run, repeating
+/// the same factor shape produces pool hits only.
+#[test]
+fn steady_state_factor_serves_from_pool() {
+    let rows = 192;
+    let width = 12;
+    let tile = Tile { start: 0, rows };
+    let mut a = dense::generate::uniform::<f64>(rows, width, 7);
+    blockops::factor_tile(MatPtr::new(&mut a), tile, 0, width); // warm
+    arena::reset_stats::<f64>();
+    for _ in 0..8 {
+        blockops::factor_tile(MatPtr::new(&mut a), tile, 0, width);
+    }
+    let stats = arena::stats::<f64>();
+    assert!(stats.hits > 0, "no pooled requests recorded: {stats:?}");
+    assert_eq!(stats.misses, 0, "steady state allocated: {stats:?}");
+}

@@ -26,7 +26,7 @@ fn factor_kernel_factors_every_tile_like_geqr2() {
             col0: 0,
             width: 8,
             strategy: STRAT,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
             wy: &wy,
         };
         gpu.launch(&k).unwrap();
@@ -96,7 +96,7 @@ fn factor_tree_kernel_eliminates_triangles() {
             col0: 0,
             width: w,
             strategy: STRAT,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
             out: &out,
         };
         gpu.launch(&k).unwrap();
@@ -146,7 +146,7 @@ fn apply_qt_h_kernel_matches_host_application() {
             col_blocks: &cols,
             transpose: true,
             strategy: STRAT,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
         };
         gpu.launch(&k).unwrap();
     }
@@ -205,7 +205,7 @@ fn kernels_count_positive_flops_and_traffic() {
             col0: 0,
             width: 8,
             strategy: STRAT,
-            spec: gpu.spec().clone(),
+            spec: gpu.spec(),
             wy: &wy,
         };
         let report = gpu.launch(&k).unwrap();

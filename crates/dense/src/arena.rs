@@ -1,0 +1,424 @@
+//! Thread-cached workspace arena for kernel scratch buffers.
+//!
+//! The hot CAQR kernels (`factor`, `factor_tree`, `apply_qt_h`,
+//! `apply_qt_tree`) and the packed-GEMM tasks each need a handful of
+//! short-lived scratch buffers per launch. Allocating those with
+//! `vec![T::ZERO; n]` costs a heap round-trip *and* a zero-fill on every
+//! launch; at CAQR tile rates that is pure overhead. This module hands out
+//! size-classed buffers from a per-thread cache backed by a process-wide
+//! pool, so steady-state launches never touch the allocator.
+//!
+//! Contract (see DESIGN.md §9):
+//! - Buffers are **dirty** by default: [`take_dirty`] returns a buffer whose
+//!   contents are whatever the previous user left behind (never
+//!   uninitialised memory — fresh buffers are zero-filled once at birth).
+//!   Callers must fully overwrite the slice before reading it, or use
+//!   [`take_zeroed`]. [`poison_pools`] exists so tests can prove a kernel
+//!   never reads stale contents.
+//! - Size classes are powers of two between 2^5 and 2^22 *elements*;
+//!   requests above the largest class fall back to a one-off allocation
+//!   (counted as a miss).
+//! - Thread safety: each thread keeps a small local cache (no locking on
+//!   the fast path); overflow and thread death flush buffers to a global
+//!   mutex-guarded pool, so short-lived rayon workers donate their buffers
+//!   back for the next parallel region to reuse.
+//! - [`stats`] exposes process-wide hit/miss counters per element type;
+//!   a steady-state miss delta of zero is how the benches verify the
+//!   "no per-launch allocation" claim.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// log2 of the smallest pooled size class, in elements.
+const MIN_CLASS_LOG2: u32 = 5;
+/// log2 of the largest pooled size class, in elements (4 Mi elements).
+const MAX_CLASS_LOG2: u32 = 22;
+/// Number of power-of-two size classes.
+const NUM_CLASSES: usize = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as usize;
+
+/// Number of elements in buffers of size class `class`.
+#[inline]
+fn class_elems(class: usize) -> usize {
+    1usize << (MIN_CLASS_LOG2 as usize + class)
+}
+
+/// Size class covering `len` elements, or `None` if `len` is above the
+/// largest pooled class.
+#[inline]
+fn class_of(len: usize) -> Option<usize> {
+    debug_assert!(len > 0);
+    if len > class_elems(NUM_CLASSES - 1) {
+        return None;
+    }
+    let bits = len.next_power_of_two().trailing_zeros();
+    Some(bits.saturating_sub(MIN_CLASS_LOG2) as usize)
+}
+
+/// Per-class retention cap for the global pool: generous for small
+/// buffers, tapering off so the largest classes keep only a few.
+#[inline]
+fn global_cap(class: usize) -> usize {
+    ((1usize << 24) / class_elems(class)).clamp(4, 64)
+}
+
+/// Per-class retention cap for a thread's local cache.
+#[inline]
+fn local_cap(class: usize) -> usize {
+    ((1usize << 21) / class_elems(class)).clamp(2, 8)
+}
+
+/// Process-wide buffer pool for one element type. One static instance per
+/// [`PoolScalar`] impl; all threads share it via short critical sections.
+pub struct Pool<T> {
+    shelves: [Mutex<Vec<Vec<T>>>; NUM_CLASSES],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Pool<T> {
+    /// A new, empty pool (const so it can back a `static`).
+    pub const fn new() -> Self {
+        Self {
+            shelves: [const { Mutex::new(Vec::new()) }; NUM_CLASSES],
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_shelf(&self, class: usize) -> std::sync::MutexGuard<'_, Vec<Vec<T>>> {
+        self.shelves[class]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn get_global(&self, class: usize) -> Option<Vec<T>> {
+        self.lock_shelf(class).pop()
+    }
+
+    fn put_global(&self, class: usize, buf: Vec<T>) {
+        let mut shelf = self.lock_shelf(class);
+        if shelf.len() < global_cap(class) {
+            shelf.push(buf);
+        }
+        // Over cap: drop the buffer (the only place pooled memory is freed).
+    }
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A thread's private shelf of cached buffers. Dropping it (thread exit)
+/// donates every cached buffer back to the global [`Pool`].
+pub struct LocalCache<T: PoolScalar> {
+    shelves: [Vec<Vec<T>>; NUM_CLASSES],
+}
+
+impl<T: PoolScalar> LocalCache<T> {
+    /// A new, empty cache (const so it can back a `thread_local!`).
+    pub const fn new() -> Self {
+        Self {
+            shelves: [const { Vec::new() }; NUM_CLASSES],
+        }
+    }
+}
+
+impl<T: PoolScalar> Default for LocalCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: PoolScalar> Drop for LocalCache<T> {
+    fn drop(&mut self) {
+        for (class, shelf) in self.shelves.iter_mut().enumerate() {
+            for buf in shelf.drain(..) {
+                T::pool().put_global(class, buf);
+            }
+        }
+    }
+}
+
+/// Element types the arena can pool. Implemented for `f32`/`f64`; a
+/// supertrait of [`crate::Scalar`] so every generic kernel can draw scratch
+/// from the arena without extra bounds.
+pub trait PoolScalar: Copy + Send + Sync + 'static {
+    /// Value used to initialise freshly allocated pool buffers (buffers are
+    /// always initialised memory, merely *stale*, never uninit).
+    const POOL_ZERO: Self;
+
+    /// The process-wide pool for this element type.
+    fn pool() -> &'static Pool<Self>;
+
+    /// Run `f` on this thread's local cache. Returns `None` if the cache is
+    /// unavailable (thread-local storage already torn down).
+    fn with_cache<R>(f: impl FnOnce(&mut LocalCache<Self>) -> R) -> Option<R>;
+}
+
+macro_rules! impl_pool_scalar {
+    ($t:ty, $pool:ident, $cache:ident) => {
+        static $pool: Pool<$t> = Pool::new();
+        thread_local! {
+            static $cache: RefCell<LocalCache<$t>> = const { RefCell::new(LocalCache::new()) };
+        }
+        impl PoolScalar for $t {
+            const POOL_ZERO: Self = 0.0;
+
+            fn pool() -> &'static Pool<Self> {
+                &$pool
+            }
+
+            fn with_cache<R>(f: impl FnOnce(&mut LocalCache<Self>) -> R) -> Option<R> {
+                $cache.try_with(|c| f(&mut c.borrow_mut())).ok()
+            }
+        }
+    };
+}
+
+impl_pool_scalar!(f32, POOL_F32, CACHE_F32);
+impl_pool_scalar!(f64, POOL_F64, CACHE_F64);
+
+/// RAII scratch buffer borrowed from the arena. Derefs to a `[T]` of
+/// exactly the requested length; the backing allocation is the rounded-up
+/// size class and returns to the pool on drop.
+pub struct ArenaBuf<T: PoolScalar> {
+    buf: Vec<T>,
+    len: usize,
+    class: Option<usize>,
+}
+
+impl<T: PoolScalar> Deref for ArenaBuf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.buf[..self.len]
+    }
+}
+
+impl<T: PoolScalar> DerefMut for ArenaBuf<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len]
+    }
+}
+
+impl<T: PoolScalar> Drop for ArenaBuf<T> {
+    fn drop(&mut self) {
+        let Some(class) = self.class else {
+            return; // one-off allocation; let Vec free it
+        };
+        let buf = std::mem::take(&mut self.buf);
+        let overflow = T::with_cache(|c| {
+            let shelf = &mut c.shelves[class];
+            if shelf.len() < local_cap(class) {
+                shelf.push(buf);
+                None
+            } else {
+                Some(buf)
+            }
+        });
+        if let Some(Some(buf)) = overflow {
+            T::pool().put_global(class, buf);
+        }
+        // `overflow == None` means TLS teardown raced us; the closure (and
+        // the buffer it owns) is simply dropped, losing one buffer.
+    }
+}
+
+/// Borrow a scratch buffer of `len` elements with **unspecified stale
+/// contents** (initialised, but left over from a previous user). The caller
+/// must fully overwrite every element it reads.
+pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
+    if len == 0 {
+        return ArenaBuf {
+            buf: Vec::new(),
+            len: 0,
+            class: None,
+        };
+    }
+    let pool = T::pool();
+    let Some(class) = class_of(len) else {
+        // Above the largest class: one-off allocation, counted as a miss.
+        pool.misses.fetch_add(1, Ordering::Relaxed);
+        return ArenaBuf {
+            buf: vec![T::POOL_ZERO; len],
+            len,
+            class: None,
+        };
+    };
+    let cached = T::with_cache(|c| c.shelves[class].pop()).flatten();
+    let buf = match cached.or_else(|| pool.get_global(class)) {
+        Some(buf) => {
+            pool.hits.fetch_add(1, Ordering::Relaxed);
+            buf
+        }
+        None => {
+            pool.misses.fetch_add(1, Ordering::Relaxed);
+            vec![T::POOL_ZERO; class_elems(class)]
+        }
+    };
+    debug_assert_eq!(buf.len(), class_elems(class));
+    ArenaBuf {
+        buf,
+        len,
+        class: Some(class),
+    }
+}
+
+/// Borrow a scratch buffer of `len` elements, zero-filled.
+pub fn take_zeroed<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
+    let mut buf = take_dirty::<T>(len);
+    for x in buf.iter_mut() {
+        *x = T::POOL_ZERO;
+    }
+    buf
+}
+
+/// Process-wide arena counters for one element type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Requests served from a pooled buffer (no allocation).
+    pub hits: u64,
+    /// Requests that had to allocate (cold pool or oversize request).
+    pub misses: u64,
+}
+
+/// Snapshot the hit/miss counters for element type `T`.
+pub fn stats<T: PoolScalar>() -> ArenaStats {
+    let pool = T::pool();
+    ArenaStats {
+        hits: pool.hits.load(Ordering::Relaxed),
+        misses: pool.misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the hit/miss counters for element type `T` to zero.
+pub fn reset_stats<T: PoolScalar>() {
+    let pool = T::pool();
+    pool.hits.store(0, Ordering::Relaxed);
+    pool.misses.store(0, Ordering::Relaxed);
+}
+
+/// Overwrite every pooled buffer (global pool and this thread's cache) with
+/// `value`. Test hook: poison with NaN or a sentinel, re-run a kernel, and
+/// any read of stale scratch becomes visible in the output.
+pub fn poison_pools<T: PoolScalar>(value: T) {
+    let pool = T::pool();
+    for class in 0..NUM_CLASSES {
+        for buf in pool.lock_shelf(class).iter_mut() {
+            for x in buf.iter_mut() {
+                *x = value;
+            }
+        }
+    }
+    T::with_cache(|c| {
+        for shelf in c.shelves.iter_mut() {
+            for buf in shelf.iter_mut() {
+                for x in buf.iter_mut() {
+                    *x = value;
+                }
+            }
+        }
+    });
+}
+
+/// Donate every buffer in this thread's local cache back to the global
+/// pool (used by tests; worker threads do this automatically on exit).
+pub fn flush_thread_cache<T: PoolScalar>() {
+    let drained = T::with_cache(|c| {
+        let mut out = Vec::new();
+        for (class, shelf) in c.shelves.iter_mut().enumerate() {
+            for buf in shelf.drain(..) {
+                out.push((class, buf));
+            }
+        }
+        out
+    });
+    if let Some(drained) = drained {
+        for (class, buf) in drained {
+            T::pool().put_global(class, buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up_to_powers_of_two() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(32), Some(0));
+        assert_eq!(class_of(33), Some(1));
+        assert_eq!(class_of(64), Some(1));
+        assert_eq!(class_of(1 << 22), Some(NUM_CLASSES - 1));
+        assert_eq!(class_of((1 << 22) + 1), None);
+        for class in 0..NUM_CLASSES {
+            assert_eq!(class_of(class_elems(class)), Some(class));
+        }
+    }
+
+    #[test]
+    fn buffers_are_reused_and_counted() {
+        flush_thread_cache::<f64>();
+        reset_stats::<f64>();
+        let before = stats::<f64>();
+        assert_eq!(before, ArenaStats::default());
+        {
+            let mut a = take_dirty::<f64>(100);
+            a[0] = 7.0;
+            assert_eq!(a.len(), 100);
+        }
+        // The buffer went to the thread cache; the next same-class request
+        // must be a hit.
+        let b = take_dirty::<f64>(100);
+        let s = stats::<f64>();
+        assert_eq!(s.hits, 1);
+        assert!(s.misses >= 1);
+        drop(b);
+    }
+
+    #[test]
+    fn dirty_buffers_keep_stale_contents_and_zeroed_buffers_do_not() {
+        {
+            let mut a = take_dirty::<f64>(48);
+            for x in a.iter_mut() {
+                *x = f64::NAN;
+            }
+        }
+        poison_pools::<f64>(f64::NAN);
+        {
+            let a = take_dirty::<f64>(48);
+            // Documented behaviour: dirty means stale contents survive.
+            assert!(a.iter().all(|x| x.is_nan()));
+        }
+        poison_pools::<f64>(f64::NAN);
+        let z = take_zeroed::<f64>(48);
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_len_and_oversize_requests_work() {
+        let e = take_dirty::<f32>(0);
+        assert!(e.is_empty());
+        let big_len = (1usize << 22) + 1;
+        let big = take_dirty::<f32>(big_len);
+        assert_eq!(big.len(), big_len);
+    }
+
+    #[test]
+    fn flush_moves_local_buffers_to_global_pool() {
+        // Prime the local cache with one buffer, flush, then verify the
+        // global pool serves the next request (still a hit).
+        drop(take_dirty::<f32>(1000));
+        flush_thread_cache::<f32>();
+        reset_stats::<f32>();
+        let b = take_dirty::<f32>(1000);
+        assert_eq!(stats::<f32>().hits, 1);
+        drop(b);
+    }
+}

@@ -15,6 +15,7 @@
 //! about) parallelize over row blocks even when there are too few columns
 //! to split.
 
+use crate::arena;
 use crate::matrix::{MatMut, MatRef};
 use crate::ptr::MatPtr;
 use crate::scalar::Scalar;
@@ -139,7 +140,9 @@ pub fn gemm<T: Scalar>(
             Trans::No => b.submatrix(0, c0, k, nc),
             Trans::Yes => b.submatrix(c0, 0, nc, k),
         };
-        let mut buf = vec![T::ZERO; nr * nc];
+        // Arena scratch, taken dirty: `load_tile` overwrites every element,
+        // so the zero-fill a fresh `vec!` would do is pure waste.
+        let mut buf = arena::take_dirty::<T>(nr * nc);
         // SAFETY: the (r0, c0, nr, nc) blocks partition C disjointly.
         unsafe { cp.load_tile(r0, c0, nr, nc, &mut buf) };
         gemm_serial(
@@ -149,7 +152,7 @@ pub fn gemm<T: Scalar>(
             asub,
             bsub,
             beta,
-            MatMut::from_parts(&mut buf, nr, nc, nr),
+            MatMut::from_parts(&mut buf[..nr * nc], nr, nc, nr),
         );
         // SAFETY: same disjoint block.
         unsafe { cp.store_tile(r0, c0, nr, nc, &buf) };
@@ -196,17 +199,21 @@ fn gemm_serial<T: Scalar>(
     scale(beta, c.rb_mut());
 
     // GotoBLAS loop nest: kc-deep sweeps, each packing one op(B) slab and
-    // reusing it against successive packed MC x kc blocks of op(A).
-    let mut ap: Vec<T> = Vec::new();
-    let mut bp: Vec<T> = Vec::new();
+    // reusing it against successive packed MC x kc blocks of op(A). Both
+    // packing buffers come dirty from the arena — the pack routines
+    // overwrite every live lane and explicitly zero the MR/NR pad lanes, so
+    // no full-buffer zero-fill happens per call.
+    let kc = KC.min(k);
+    let mut ap = arena::take_dirty::<T>(MC.min(m).div_ceil(MR) * MR * kc);
+    let mut bp = arena::take_dirty::<T>(n.div_ceil(NR) * NR * kc);
     let mut p0 = 0;
     while p0 < k {
         let kb = KC.min(k - p0);
-        pack_b(tb, b, p0, kb, 0, n, &mut bp);
+        pack_b(tb, b, p0, kb, 0, n, &mut bp[..n.div_ceil(NR) * NR * kb]);
         let mut i0 = 0;
         while i0 < m {
             let mb = MC.min(m - i0);
-            pack_a(ta, a, i0, mb, p0, kb, &mut ap);
+            pack_a(ta, a, i0, mb, p0, kb, &mut ap[..mb.div_ceil(MR) * MR * kb]);
             let mpanels = mb.div_ceil(MR);
             let mut j = 0;
             let mut jp = 0;
@@ -231,6 +238,10 @@ fn gemm_serial<T: Scalar>(
 /// Pack the `mb x kb` block of `op(A)` starting at `(i0, p0)` into MR-row
 /// micro-panels: panel `ip` holds rows `[ip*MR, ip*MR+MR)` column-by-column,
 /// zero-padded to a full MR so the microkernel never branches on height.
+///
+/// `ap` may hold stale arena contents: every live lane is overwritten and
+/// the pad lanes of a ragged last panel are zeroed explicitly, so the
+/// caller never has to zero-fill the whole buffer.
 fn pack_a<T: Scalar>(
     ta: Trans,
     a: MatRef<'_, T>,
@@ -238,10 +249,9 @@ fn pack_a<T: Scalar>(
     mb: usize,
     p0: usize,
     kb: usize,
-    ap: &mut Vec<T>,
+    ap: &mut [T],
 ) {
-    ap.clear();
-    ap.resize(mb.div_ceil(MR) * MR * kb, T::ZERO);
+    debug_assert_eq!(ap.len(), mb.div_ceil(MR) * MR * kb);
     let mut i = 0;
     let mut base = 0;
     while i < mb {
@@ -263,6 +273,11 @@ fn pack_a<T: Scalar>(
                 }
             }
         }
+        if h < MR {
+            for p in 0..kb {
+                ap[base + p * MR + h..base + (p + 1) * MR].fill(T::ZERO);
+            }
+        }
         i += MR;
         base += MR * kb;
     }
@@ -270,6 +285,10 @@ fn pack_a<T: Scalar>(
 
 /// Pack the `kb x nb` block of `op(B)` starting at `(p0, j0)` into NR-column
 /// micro-panels, zero-padded to a full NR.
+///
+/// Like [`pack_a`], `bp` may hold stale arena contents; pad lanes of a
+/// ragged last panel are zeroed explicitly instead of zero-filling the
+/// whole buffer up front.
 fn pack_b<T: Scalar>(
     tb: Trans,
     b: MatRef<'_, T>,
@@ -277,10 +296,9 @@ fn pack_b<T: Scalar>(
     kb: usize,
     j0: usize,
     nb: usize,
-    bp: &mut Vec<T>,
+    bp: &mut [T],
 ) {
-    bp.clear();
-    bp.resize(nb.div_ceil(NR) * NR * kb, T::ZERO);
+    debug_assert_eq!(bp.len(), nb.div_ceil(NR) * NR * kb);
     let mut j = 0;
     let mut base = 0;
     while j < nb {
@@ -302,6 +320,11 @@ fn pack_b<T: Scalar>(
                         bp[base + p * NR + jj] = v;
                     }
                 }
+            }
+        }
+        if w < NR {
+            for p in 0..kb {
+                bp[base + p * NR + w..base + (p + 1) * NR].fill(T::ZERO);
             }
         }
         j += NR;
@@ -535,6 +558,37 @@ mod tests {
                         c[(i, j)]
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_path_is_immune_to_stale_arena_contents() {
+        // Poison every pooled buffer, then run a ragged packed-path shape:
+        // if `pack_a`/`pack_b` left any pad lane unzeroed, the NaNs would
+        // propagate straight into C through the microkernel.
+        crate::arena::poison_pools::<f64>(f64::NAN);
+        let (m, n, k) = (13, 5, 64); // 2mnk just over the packed threshold
+        let a = Matrix::from_fn(m, k, |i, j| (((i * 7 + j * 13) % 17) as f64 - 8.0) / 3.0);
+        let b = Matrix::from_fn(k, n, |i, j| (((i * 5 + j * 11) % 13) as f64 - 6.0) / 5.0);
+        let want = naive_gemm(&a, &b);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                assert!(
+                    (c[(i, j)] - want[(i, j)]).abs() < 1e-12,
+                    "poisoned arena leaked into C at ({i},{j}): {}",
+                    c[(i, j)]
+                );
             }
         }
     }

@@ -67,6 +67,150 @@ pub fn extract_v<T: Scalar>(panel: MatRef<'_, T>, k: usize) -> Matrix<T> {
     })
 }
 
+/// [`larft`] over a **pre-transposed** factored panel
+/// (`at[r * width + j] == A(r, j)`), bit-identical to
+/// `larft(extract_v(panel), tau)`.
+///
+/// The `V^T V` Gram accumulators are built in one streaming pass over the
+/// contiguous rows: for each pair `j < i` the chain starts from the
+/// reference's `v_j[i] * v_i[i]` seed (`v_i[i] == 1`, i.e. `A(i, j)`) and
+/// adds `A(r, j) * A(r, i)` terms in ascending `r` with the same `mul_add`,
+/// so every accumulator reproduces the reference chain exactly. The
+/// triangular `T` assembly then matches [`larft`] statement for statement.
+///
+/// `tri_block` declares stacked-triangle structure as in
+/// [`crate::householder::geqr2_transposed`]: products whose row is a
+/// structural zero of either column are skipped (a zero-sign-only change).
+pub fn larft_transposed<T: Scalar>(
+    at: &[T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    tau: &[T],
+) -> Matrix<T> {
+    let k = tau.len();
+    debug_assert!(k <= rows.min(width));
+    debug_assert_eq!(at.len(), rows * width);
+    let mut gram = crate::arena::take_dirty::<T>(k * k);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime; hardware FMA rounds
+        // identically to the libm `fma` call of the default codegen.
+        unsafe { gram_pass_fma(at, rows, width, tri_block, k, &mut gram) };
+        return larft_from_gram(&gram, tau);
+    }
+    gram_pass(at, rows, width, tri_block, k, &mut gram);
+    larft_from_gram(&gram, tau)
+}
+
+/// Assemble `T` directly from Gram accumulators — the tail of [`larft`],
+/// statement for statement. This is the partner of the fused
+/// [`crate::householder::geqr2_gram_transposed`] sweep, which builds the
+/// same `gram` contents inside the factor passes; the pair produces exactly
+/// the `T` that `larft_transposed` (and hence [`larft`]) would.
+pub fn larft_from_gram<T: Scalar>(gram: &[T], tau: &[T]) -> Matrix<T> {
+    let k = tau.len();
+    debug_assert!(gram.len() >= k * k);
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime; hardware FMA rounds
+        // identically to the libm `fma` of the default codegen.
+        return unsafe { assemble_t_fma(gram, tau, k) };
+    }
+    assemble_t(gram, tau, k)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma", enable = "avx2")]
+unsafe fn assemble_t_fma<T: Scalar>(gram: &[T], tau: &[T], k: usize) -> Matrix<T> {
+    assemble_t(gram, tau, k)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma", enable = "avx2")]
+unsafe fn gram_pass_fma<T: Scalar>(
+    at: &[T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    k: usize,
+    gram: &mut [T],
+) {
+    gram_pass(at, rows, width, tri_block, k, gram);
+}
+
+/// One streaming pass building `gram[j * k + i]` (for `j < i`) as the
+/// reference [`larft`] dot chain over columns `j` and `i`.
+#[inline(always)]
+fn gram_pass<T: Scalar>(
+    at: &[T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    k: usize,
+    gram: &mut [T],
+) {
+    for r in 0..rows {
+        let row = &at[r * width..r * width + width];
+        let loc = if tri_block > 0 { r % tri_block } else { 0 };
+        // Product terms: pairs (j, i) with i < r contribute A(r,j)*A(r,i),
+        // appended in ascending r to each independent accumulator.
+        for i in loc..r.min(k) {
+            let vi = row[i];
+            for j in loc..i {
+                gram[j * k + i] = row[j].mul_add(vi, gram[j * k + i]);
+            }
+        }
+        // Seed terms (the reference chain's `v_j[i] * 1` start at row i):
+        // unrestricted so the seed is an exact copy even inside a triangle.
+        if r < k {
+            for j in 0..r {
+                gram[j * k + r] = row[j];
+            }
+        }
+    }
+}
+
+/// Assemble the upper-triangular `T` from the Gram accumulators, statement
+/// for statement as the tail of [`larft`].
+fn assemble_t<T: Scalar>(gram: &[T], tau: &[T], k: usize) -> Matrix<T> {
+    let mut t = Matrix::<T>::zeros(k, k);
+    for i in 0..k {
+        let ti = tau[i];
+        t[(i, i)] = ti;
+        if ti == T::ZERO {
+            continue;
+        }
+        for j in 0..i {
+            t[(j, i)] = -ti * gram[j * k + i];
+        }
+        for row in 0..i {
+            let mut acc = T::ZERO;
+            for l in row..i {
+                acc = t[(row, l)].mul_add(t[(l, i)], acc);
+            }
+            t[(row, i)] = acc;
+        }
+    }
+    t
+}
+
+/// [`extract_v`] from a pre-transposed factored panel
+/// (`at[r * width + j] == A(r, j)`): unit diagonal, zeros above, tails below.
+pub fn extract_v_transposed<T: Scalar>(at: &[T], rows: usize, width: usize, k: usize) -> Matrix<T> {
+    debug_assert_eq!(at.len(), rows * width);
+    debug_assert!(k <= width);
+    let mut v = Matrix::<T>::zeros(rows, k);
+    for j in 0..k {
+        let col = v.col_mut(j);
+        col[j] = T::ONE;
+        for (i, x) in col.iter_mut().enumerate().skip(j + 1) {
+            *x = at[i * width + j];
+        }
+    }
+    v
+}
+
 /// Apply the block reflector from the left (LAPACK `larfb`, forward
 /// columnwise): `C = (I - V T' V^T) C` where `T' = T^T` when
 /// `transpose == true` (i.e. applying `Q^T`) and `T' = T` otherwise.
@@ -82,8 +226,12 @@ pub fn larfb_left<T: Scalar>(
     if n == 0 || k == 0 {
         return;
     }
+    // Both intermediates are written with beta == 0 GEMMs, which fully
+    // define every element, so dirty arena scratch is safe and bit-exact.
+    let mut wbuf = crate::arena::take_dirty::<T>(k * n);
+    let mut twbuf = crate::arena::take_dirty::<T>(k * n);
     // W = V^T C  (k x n)
-    let mut w = Matrix::<T>::zeros(k, n);
+    let mut w = MatMut::from_parts(&mut wbuf, k, n, k);
     gemm(
         Trans::Yes,
         Trans::No,
@@ -91,10 +239,10 @@ pub fn larfb_left<T: Scalar>(
         v,
         c.as_ref(),
         T::ZERO,
-        w.as_mut(),
+        w.rb_mut(),
     );
     // W = op(T) W  — T is k x k upper triangular; apply densely (k is small).
-    let mut tw = Matrix::<T>::zeros(k, n);
+    let mut tw = MatMut::from_parts(&mut twbuf, k, n, k);
     gemm(
         if transpose { Trans::Yes } else { Trans::No },
         Trans::No,
@@ -102,7 +250,7 @@ pub fn larfb_left<T: Scalar>(
         t,
         w.as_ref(),
         T::ZERO,
-        tw.as_mut(),
+        tw.rb_mut(),
     );
     // C -= V W
     gemm(
@@ -339,6 +487,79 @@ mod tests {
                 assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-11, "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn transposed_factor_kernels_match_reference_bitwise() {
+        for (m, n) in [(24usize, 6usize), (16, 16), (9, 4), (7, 1), (40, 12)] {
+            let a = test_matrix(m, n);
+            let k = m.min(n);
+            // Reference pipeline.
+            let mut f = a.clone();
+            let mut tau_ref = vec![0.0; k];
+            unblocked(f.as_mut(), &mut tau_ref);
+            let v_ref = extract_v(f.view(0, 0, m, n), k);
+            let t_ref = larft(v_ref.as_ref(), &tau_ref);
+            // Transposed pipeline on the row-major packing of the same data.
+            let mut at = vec![0.0f64; m * n];
+            for j in 0..n {
+                for i in 0..m {
+                    at[i * n + j] = a[(i, j)];
+                }
+            }
+            let mut tau = vec![0.0; k];
+            let mut gram = vec![f64::NAN; k * k];
+            crate::householder::geqr2_gram_transposed(&mut at, m, n, 0, &mut tau, &mut gram);
+            assert_eq!(tau, tau_ref, "{m}x{n} tau");
+            for j in 0..n {
+                for i in 0..m {
+                    assert_eq!(
+                        at[i * n + j].to_bits(),
+                        f[(i, j)].to_bits(),
+                        "{m}x{n} factored ({i},{j})"
+                    );
+                }
+            }
+            assert_eq!(larft_transposed(&at, m, n, 0, &tau), t_ref, "{m}x{n} T");
+            assert_eq!(larft_from_gram(&gram, &tau), t_ref, "{m}x{n} fused-gram T");
+            assert_eq!(extract_v_transposed(&at, m, n, k), v_ref, "{m}x{n} V");
+        }
+    }
+
+    #[test]
+    fn transposed_tri_block_skips_match_dense_iteration() {
+        // A stack of upper-triangular w x w blocks (the factor_tree layout):
+        // skipping the structural zeros must agree with the dense iteration
+        // on every value (zero signs may differ; f64 == treats them equal).
+        let (w, blocks) = (6usize, 4usize);
+        let rows = w * blocks;
+        let mut at = vec![0.0f64; rows * w];
+        for b in 0..blocks {
+            for i in 0..w {
+                for j in i..w {
+                    at[(b * w + i) * w + j] = (((b * 31 + i * 7 + j * 3 + 1) % 13) as f64 - 6.0)
+                        / 3.0
+                        + if i == j { 2.0 } else { 0.0 };
+                }
+            }
+        }
+        let mut at_dense = at.clone();
+        let (mut tau_s, mut tau_d) = (vec![0.0; w], vec![0.0; w]);
+        crate::householder::geqr2_transposed(&mut at, rows, w, w, &mut tau_s);
+        crate::householder::geqr2_transposed(&mut at_dense, rows, w, 0, &mut tau_d);
+        assert_eq!(tau_s, tau_d);
+        assert_eq!(at, at_dense);
+        // Structural zeros survived as exact zeros.
+        for b in 1..blocks {
+            for i in 0..w {
+                for j in 0..i {
+                    assert_eq!(at[(b * w + i) * w + j], 0.0, "block {b} ({i},{j})");
+                }
+            }
+        }
+        let t_s = larft_transposed(&at, rows, w, w, &tau_s);
+        let t_d = larft_transposed(&at_dense, rows, w, 0, &tau_d);
+        assert_eq!(t_s, t_d);
     }
 
     #[test]

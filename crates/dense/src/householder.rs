@@ -148,6 +148,360 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>, tau: &mut [T]) {
     }
 }
 
+/// Unblocked Householder QR over a **pre-transposed** panel — the paper's
+/// strategy-4 factor micro-kernel, bit-identical to [`geqr2`].
+///
+/// `at` holds the panel row-major: `at[r * width + j] == A(r, j)`, so every
+/// trailing-matrix row is contiguous and the `A^T u` products / rank-1
+/// updates run `width`-wide over unit-stride memory with independent
+/// accumulators instead of `larf_left`'s one-column-at-a-time serial
+/// `mul_add` chains. The arithmetic is a strict reordering of *independent*
+/// accumulations: every per-element operation sequence matches the
+/// reference (`larfg` is called verbatim on a gathered pivot column; the
+/// per-column dot/update chains of `larf_left` ascend rows in the same
+/// order with the same `mul_add`s), so the results are bitwise equal.
+///
+/// `tri_block > 0` declares the stacked-triangles structure of the
+/// `factor_tree` stage: row `r` is known to be structurally zero in columns
+/// `< r % tri_block` (each `tri_block`-row block is upper triangular).
+/// Those rows are skipped in the trailing update and the skipped terms are
+/// exact `±0.0` products, which can only affect the sign of zeros (and the
+/// structure is preserved by the updates themselves). Pass `0` for a dense
+/// panel — then no term is skipped and the result is bit-exact including
+/// zero signs.
+///
+/// `tau` must hold `min(rows, width)` entries; scratch comes from the
+/// workspace arena internally.
+pub fn geqr2_transposed<T: Scalar>(
+    at: &mut [T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    tau: &mut [T],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime. Hardware FMA computes
+        // the same correctly-rounded fused result as the libm `fma` the
+        // default codegen calls, so this is a speed change only.
+        unsafe { factor_transposed_fma::<T, false>(at, rows, width, tri_block, tau, &mut []) };
+        return;
+    }
+    factor_transposed_core::<T, false>(at, rows, width, tri_block, tau, &mut []);
+}
+
+/// [`geqr2_transposed`] fused with the `V^T V` Gram accumulation that
+/// [`crate::blocked::larft_transposed`] needs: the Gram chains for reflector
+/// `j` are built inside reflector `j`'s own `A^T u` sweep, where the row is
+/// already in cache, instead of re-streaming the factored panel afterwards.
+/// `gram` must hold `k * k` entries (`k = min(rows, width)`, dirty is fine);
+/// on exit pass it to [`crate::blocked::larft_from_gram`] for the exact `T`
+/// the unfused pipeline would have produced.
+pub fn geqr2_gram_transposed<T: Scalar>(
+    at: &mut [T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    tau: &mut [T],
+    gram: &mut [T],
+) {
+    let k = rows.min(width);
+    assert!(
+        gram.len() >= k * k,
+        "gram too short: {} < {}",
+        gram.len(),
+        k * k
+    );
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime (see geqr2_transposed).
+        unsafe { factor_transposed_fma::<T, true>(at, rows, width, tri_block, tau, gram) };
+        return;
+    }
+    factor_transposed_core::<T, true>(at, rows, width, tri_block, tau, gram);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma", enable = "avx2")]
+unsafe fn factor_transposed_fma<T: Scalar, const GRAM: bool>(
+    at: &mut [T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    tau: &mut [T],
+    gram: &mut [T],
+) {
+    factor_transposed_core::<T, GRAM>(at, rows, width, tri_block, tau, gram);
+}
+
+/// The fused strategy-4 factor sweep. Per reflector `j` it makes exactly two
+/// streaming passes over the trailing rows:
+///
+/// * **dot pass** ([`dot_rows`]) — one *full-width* `mul_add` per row lane:
+///   lanes `> j` are the reference's `w = A^T v` accumulators (same seed,
+///   same ascending-row chain as `larf_left`), lanes `< j` are exactly the
+///   `V^T V` Gram chains `larft` needs (seeded from the pivot row like the
+///   reference's `v_jj[j] * 1` term), and lane `j` is an unused scratch
+///   lane. Accumulating every lane keeps the inner loop at a fixed,
+///   unrollable trip count with no per-lane branching; the scaled reflector
+///   tail is scattered into column `j` on the way through (the row is
+///   already in cache).
+/// * **update pass** ([`rank1_rows`]) — applies the rank-1 update with the
+///   trailing width dispatched to a const-generic body (fully unrolled for
+///   the practical widths), and harvests the *next* pivot column as each
+///   row's final value is written, so no reflector after the first ever
+///   does a strided column gather.
+///
+/// Every accumulator chain (per trailing column, per Gram pair) is the same
+/// sequence of `mul_add`s in the same order as the unfused reference, so the
+/// results are bitwise identical on dense panels; `tri_block` skips are
+/// zero-sign-only as documented on [`geqr2_transposed`].
+#[inline(always)]
+fn factor_transposed_core<T: Scalar, const GRAM: bool>(
+    at: &mut [T],
+    rows: usize,
+    width: usize,
+    tri_block: usize,
+    tau: &mut [T],
+    gram: &mut [T],
+) {
+    assert_eq!(at.len(), rows * width);
+    let k = rows.min(width);
+    assert!(tau.len() >= k, "tau too short: {} < {}", tau.len(), k);
+    let mut colbuf = crate::arena::take_dirty::<T>(rows);
+    let mut nextbuf = crate::arena::take_dirty::<T>(rows);
+    let mut waccbuf = crate::arena::take_dirty::<T>(width);
+    let (mut col, mut next) = (&mut colbuf[..rows], &mut nextbuf[..rows]);
+    let wacc = &mut waccbuf[..width];
+    let mut have_col = false;
+    for j in 0..k {
+        if !have_col {
+            for r in j..rows {
+                col[r - j] = at[r * width + j];
+            }
+        }
+        // The scalar `larfg` runs unchanged on the contiguous pivot column,
+        // so every rescaling branch matches the reference. When it returns
+        // zero it has not modified the column, so `at` needs no write-back.
+        let t = larfg(&mut col[..rows - j]);
+        tau[j] = t;
+        have_col = false;
+        if t != T::ZERO {
+            let nt = width - j - 1;
+            let pivot = j * width;
+            at[pivot + j] = col[0];
+            // Full-width accumulator init from the pivot row: lanes > j are
+            // `larf_left`'s `w` seeds (the pivot row's trailing entries),
+            // lanes < j are the Gram chain seeds A(j, jj).
+            wacc.copy_from_slice(&at[pivot..pivot + width]);
+            dot_rows(at, width, rows, tri_block, j, col, wacc);
+            if GRAM {
+                for jj in 0..j {
+                    gram[jj * k + j] = wacc[jj];
+                }
+            }
+            if nt > 0 {
+                // C -= tau * v * w^T, row-contiguous. The scale runs full
+                // width: lanes <= j are dead (Gram values already copied
+                // out), lanes > j are the reference's `tau * w[l]`.
+                for wl in wacc.iter_mut() {
+                    *wl = t * *wl;
+                }
+                for (cl, &wl) in at[pivot + j + 1..pivot + width]
+                    .iter_mut()
+                    .zip(&wacc[j + 1..])
+                {
+                    *cl -= wl;
+                }
+                rank1_rows(at, width, rows, tri_block, j, col, next, &wacc[j + 1..]);
+                std::mem::swap(&mut col, &mut next);
+                have_col = true;
+            }
+        }
+    }
+}
+
+/// Dot pass over the trailing rows: `wacc[c] += A(r, c) * v_r` for every
+/// lane, scattering the scaled reflector tail into column `j`. Dispatches
+/// the practical panel widths to a const-width body so the lane loop is
+/// fully unrolled.
+#[inline(always)]
+fn dot_rows<T: Scalar>(
+    at: &mut [T],
+    width: usize,
+    rows: usize,
+    tri_block: usize,
+    j: usize,
+    col: &[T],
+    wacc: &mut [T],
+) {
+    match width {
+        8 => dot_rows_w::<T, 8>(at, rows, tri_block, j, col, wacc),
+        16 => dot_rows_w::<T, 16>(at, rows, tri_block, j, col, wacc),
+        32 => dot_rows_w::<T, 32>(at, rows, tri_block, j, col, wacc),
+        _ => {
+            for r in j + 1..rows {
+                if tri_block > 0 && r % tri_block > j {
+                    continue; // v_r is a structural zero of the stacked-R layout
+                }
+                let base = r * width;
+                let vr = col[r - j];
+                at[base + j] = vr;
+                for (wl, &al) in wacc[..width].iter_mut().zip(&at[base..base + width]) {
+                    *wl = al.mul_add(vr, *wl);
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn dot_rows_w<T: Scalar, const W: usize>(
+    at: &mut [T],
+    rows: usize,
+    tri_block: usize,
+    j: usize,
+    col: &[T],
+    wacc: &mut [T],
+) {
+    // Accumulate in a local array so the lanes live in registers across the
+    // whole sweep instead of round-tripping through memory every row.
+    let mut acc: [T; W] = std::array::from_fn(|c| wacc[c]);
+    let chunks = at[(j + 1) * W..rows * W].chunks_exact_mut(W);
+    if tri_block == 0 {
+        // Dense panel: branch-free row sweep.
+        for (row, &vr) in chunks.zip(&col[1..rows - j]) {
+            row[j] = vr;
+            for c in 0..W {
+                acc[c] = row[c].mul_add(vr, acc[c]);
+            }
+        }
+    } else {
+        // Stacked-triangles panel: a wrapping position counter (no per-row
+        // division) skips rows whose v_r is a structural zero.
+        let mut loc = (j + 1) % tri_block;
+        for (row, &vr) in chunks.zip(&col[1..rows - j]) {
+            let skip = loc > j;
+            loc += 1;
+            if loc == tri_block {
+                loc = 0;
+            }
+            if skip {
+                continue;
+            }
+            row[j] = vr;
+            for c in 0..W {
+                acc[c] = row[c].mul_add(vr, acc[c]);
+            }
+        }
+    }
+    wacc[..W].copy_from_slice(&acc);
+}
+
+/// Rank-1 update pass over the trailing rows, harvesting column `j + 1`
+/// (final after this very update) into `next` as the next pivot column.
+/// The trailing width is dispatched to a const-generic body so the update
+/// loop is fully unrolled for every width that occurs under the practical
+/// panel widths (8/16/32).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rank1_rows<T: Scalar>(
+    at: &mut [T],
+    width: usize,
+    rows: usize,
+    tri_block: usize,
+    j: usize,
+    col: &[T],
+    next: &mut [T],
+    tw: &[T],
+) {
+    let nt = width - j - 1;
+    macro_rules! dispatch {
+        ($($n:literal)*) => {
+            match nt {
+                $($n => rank1_rows_n::<T, $n>(at, width, rows, tri_block, j, col, next, tw),)*
+                _ => rank1_rows_any(at, width, rows, tri_block, j, col, next, tw, nt),
+            }
+        };
+    }
+    dispatch!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31)
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rank1_rows_n<T: Scalar, const NT: usize>(
+    at: &mut [T],
+    width: usize,
+    rows: usize,
+    tri_block: usize,
+    j: usize,
+    col: &[T],
+    next: &mut [T],
+    tw: &[T],
+) {
+    // Register-resident copy of the scaled w vector: NT is a compile-time
+    // constant here, so the update below is a fully unrolled FMA sequence.
+    let twa: [T; NT] = std::array::from_fn(|l| tw[l]);
+    let chunks = at[(j + 1) * width..rows * width].chunks_exact_mut(width);
+    if tri_block == 0 {
+        // Dense panel: branch-free row sweep.
+        for ((row, &vr), nx) in chunks.zip(&col[1..rows - j]).zip(&mut next[..]) {
+            let seg = &mut row[j + 1..j + 1 + NT];
+            for l in 0..NT {
+                seg[l] = (-twa[l]).mul_add(vr, seg[l]);
+            }
+            *nx = seg[0];
+        }
+    } else {
+        let mut loc = (j + 1) % tri_block;
+        for ((row, &vr), nx) in chunks.zip(&col[1..rows - j]).zip(&mut next[..]) {
+            let seg = &mut row[j + 1..j + 1 + NT];
+            let skip = loc > j;
+            loc += 1;
+            if loc == tri_block {
+                loc = 0;
+            }
+            if skip {
+                // Untouched by this reflector; its column j + 1 entry is
+                // already final.
+                *nx = seg[0];
+                continue;
+            }
+            for l in 0..NT {
+                seg[l] = (-twa[l]).mul_add(vr, seg[l]);
+            }
+            *nx = seg[0];
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rank1_rows_any<T: Scalar>(
+    at: &mut [T],
+    width: usize,
+    rows: usize,
+    tri_block: usize,
+    j: usize,
+    col: &[T],
+    next: &mut [T],
+    tw: &[T],
+    nt: usize,
+) {
+    for r in j + 1..rows {
+        let base = r * width;
+        if tri_block > 0 && r % tri_block > j {
+            next[r - j - 1] = at[base + j + 1];
+            continue;
+        }
+        let vr = col[r - j];
+        for (cl, &wl) in at[base + j + 1..base + width].iter_mut().zip(&tw[..nt]) {
+            *cl = (-wl).mul_add(vr, *cl);
+        }
+        next[r - j - 1] = at[base + j + 1];
+    }
+}
+
 /// Form the explicit `m x k` orthogonal factor from the output of [`geqr2`]
 /// (LAPACK `org2r`): `Q = H_0 H_1 ... H_{k-1} * [I_k; 0]`.
 pub fn org2r<T: Scalar>(a: &Matrix<T>, tau: &[T], k: usize) -> Matrix<T> {

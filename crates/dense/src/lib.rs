@@ -21,6 +21,7 @@
 // numerical kernels; silence the style lint crate-wide.
 #![allow(clippy::needless_range_loop)]
 
+pub mod arena;
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;
@@ -38,6 +39,7 @@ pub mod ptr;
 pub mod scalar;
 pub mod svd;
 
+pub use arena::{ArenaBuf, ArenaStats, PoolScalar};
 pub use error::DenseError;
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use ptr::MatPtr;

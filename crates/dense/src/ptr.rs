@@ -156,6 +156,72 @@ impl<T: Scalar> MatPtr<T> {
         (nr * nc) as u64 * T::BYTES
     }
 
+    /// Copy the `nr x nc` tile at `(r0, c0)` into `dst` **row-major**
+    /// (`dst[r * nc + j] = A(r0 + r, c0 + j)`) — the pre-transposed packing
+    /// of the strategy-4 factor micro-kernel, done in a single pass over the
+    /// source (contiguous column reads, strided packed writes) with no
+    /// intermediate column-major staging buffer. Returns bytes moved.
+    ///
+    /// # Safety
+    /// The tile must not be concurrently written by another block.
+    pub unsafe fn load_tile_transposed(
+        &self,
+        r0: usize,
+        c0: usize,
+        nr: usize,
+        nc: usize,
+        dst: &mut [T],
+    ) -> u64 {
+        assert!(dst.len() >= nr * nc, "tile buffer too small");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "tile out of range"
+        );
+        // Column-outer: contiguous reads from the (large) source matrix;
+        // the strided writes land in the small packed buffer, which stays
+        // cache-resident.
+        for j in 0..nc {
+            debug_assert!((c0 + j) * self.ld + r0 + nr <= self.ld * self.cols);
+            let src = self.ptr.add((c0 + j) * self.ld + r0);
+            for r in 0..nr {
+                dst[r * nc + j] = *src.add(r);
+            }
+        }
+        (nr * nc) as u64 * T::BYTES
+    }
+
+    /// Write `src` (**row-major**, `src[r * nc + j]`) to the tile at
+    /// `(r0, c0)` — the inverse of [`Self::load_tile_transposed`], again one
+    /// pass with contiguous destination-column writes. Returns bytes moved.
+    ///
+    /// # Safety
+    /// The tile must belong exclusively to the calling block.
+    pub unsafe fn store_tile_transposed(
+        &self,
+        r0: usize,
+        c0: usize,
+        nr: usize,
+        nc: usize,
+        src: &[T],
+    ) -> u64 {
+        assert!(src.len() >= nr * nc, "tile buffer too small");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "tile out of range"
+        );
+        // Column-outer mirror of `load_tile_transposed`: contiguous writes to
+        // the (large) destination matrix, strided reads from the
+        // cache-resident packed buffer.
+        for j in 0..nc {
+            debug_assert!((c0 + j) * self.ld + r0 + nr <= self.ld * self.cols);
+            let dst = self.ptr.add((c0 + j) * self.ld + r0);
+            for r in 0..nr {
+                *dst.add(r) = src[r * nc + j];
+            }
+        }
+        (nr * nc) as u64 * T::BYTES
+    }
+
     /// Write `src` (column-major, leading dimension `nr`) to the tile at
     /// `(r0, c0)`. Returns bytes moved.
     ///

@@ -31,6 +31,7 @@ pub trait Scalar:
     + MulAssign
     + DivAssign
     + Sum
+    + crate::arena::PoolScalar
 {
     /// Additive identity.
     const ZERO: Self;

@@ -200,7 +200,7 @@ fn kernel_reports_expose_boundedness() {
         col0: 0,
         width: 16,
         strategy: caqr::ReductionStrategy::RegisterSerialTransposed,
-        spec: gpu.spec().clone(),
+        spec: gpu.spec(),
         wy: &wy,
     };
     let report = gpu.launch(&k).unwrap();
