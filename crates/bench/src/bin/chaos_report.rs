@@ -1,0 +1,184 @@
+//! Chaos report: runs the resilient CAQR executor under a battery of fault
+//! plans — clean, seeded mixed faults, explicit silent data corruption,
+//! explicit hangs — and prints one table of what the escalation ladder did:
+//! faults absorbed, replays per tier, ABFT overhead share, and stream-lane
+//! occupancy. Every faulted run's `R` must be bit-identical to the clean
+//! run's; any divergence fails the process (exit 1) — this is the CI chaos
+//! smoke gate.
+//!
+//! `--quick` shrinks the matrix and seed count for the CI smoke run.
+
+use caqr::recovery::{caqr_resilient, RecoveryOptions, RecoveryReport};
+use caqr::{BlockSize, CaqrOptions, ReductionStrategy};
+use caqr_bench::Table;
+use dense::matrix::Matrix;
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu, RetryPolicy, Timeline};
+
+struct Scenario {
+    name: &'static str,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+}
+
+fn opts() -> CaqrOptions {
+    CaqrOptions {
+        bs: BlockSize { h: 64, w: 16 },
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
+    }
+}
+
+/// Occupancy across the run: busy lane-seconds over `streams` lanes against
+/// the whole modelled run time. The ledger accumulates intervals across
+/// every synchronize, so total modelled seconds is the makespan that covers
+/// them all (host-side checksum and snapshot passes included — time the
+/// lanes genuinely sat idle).
+fn utilization(gpu: &Gpu, streams: usize) -> f64 {
+    let l = gpu.ledger();
+    let tl = Timeline {
+        intervals: l.intervals.clone(),
+        makespan: l.seconds,
+    };
+    tl.utilization(streams)
+}
+
+fn run_scenario(
+    a: &Matrix<f64>,
+    recovery: RecoveryOptions,
+    s: &Scenario,
+) -> (Matrix<f64>, RecoveryReport, gpu_sim::CostLedger, f64) {
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    if let Some(plan) = &s.plan {
+        gpu.set_fault_plan_with_policy(plan.clone(), s.retry);
+    }
+    let (f, report) = match caqr_resilient(&gpu, a.clone(), recovery) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("FAIL: scenario '{}' did not recover: {e}", s.name);
+            std::process::exit(1);
+        }
+    };
+    let util = utilization(&gpu, recovery.streams);
+    (f.r(), report, gpu.ledger(), util)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (m, n) = if quick { (2048, 32) } else { (16384, 48) };
+    let a = dense::generate::uniform::<f64>(m, n, 17);
+    let recovery = RecoveryOptions {
+        caqr: opts(),
+        streams: 3,
+        ..RecoveryOptions::default()
+    };
+
+    // Launches 0 and 1 are the input health check and the pre-transpose;
+    // the explicit plans target real factor/apply launches past them. The
+    // seeded mix draws independently per (launch, attempt), so a generous
+    // attempt budget keeps launch-level retries from exhausting before the
+    // ABFT tiers even engage.
+    let chaos_retry = RetryPolicy {
+        max_attempts: 6,
+        backoff_us: 5.0,
+    };
+    let mut scenarios = vec![
+        Scenario {
+            name: "clean",
+            plan: None,
+            retry: RetryPolicy::default(),
+        },
+        Scenario {
+            name: "explicit-sdc",
+            plan: Some(FaultPlan::sdc_at_launches(&[2, 5, 9])),
+            retry: RetryPolicy::default(),
+        },
+        Scenario {
+            name: "explicit-hang",
+            plan: Some(FaultPlan::hang_at_launches(&[3])),
+            retry: RetryPolicy::default(),
+        },
+    ];
+    let seeds: &[u64] = if quick { &[11] } else { &[11, 12, 13, 14] };
+    for &seed in seeds {
+        scenarios.push(Scenario {
+            name: match seed {
+                11 => "seeded-mix/11",
+                12 => "seeded-mix/12",
+                13 => "seeded-mix/13",
+                _ => "seeded-mix/14",
+            },
+            plan: Some(FaultPlan::seeded_mix(seed, 0.05, 0.03, 0.03)),
+            retry: chaos_retry,
+        });
+    }
+
+    let mut table = Table::new(&[
+        "scenario",
+        "ms",
+        "faults",
+        "hangs",
+        "sdc",
+        "ck fail",
+        "replays t/p/r",
+        "launches",
+        "abft %",
+        "util %",
+        "R",
+    ]);
+    let mut clean_r: Option<Matrix<f64>> = None;
+    let mut failed = false;
+    for s in &scenarios {
+        let (r, report, ledger, util) = run_scenario(&a, recovery, s);
+        let identical = match &clean_r {
+            None => {
+                clean_r = Some(r);
+                true
+            }
+            Some(clean) => *clean == r,
+        };
+        if !identical {
+            eprintln!(
+                "FAIL: scenario '{}' diverged from the clean run's R",
+                s.name
+            );
+            failed = true;
+        }
+        // ABFT share: detection passes + snapshot traffic, as a fraction of
+        // the whole modelled run (DESIGN.md §10's measurable-overhead claim).
+        let abft: f64 = ["checksum_verify", "snapshot"]
+            .iter()
+            .filter_map(|op| ledger.per_op.get(op))
+            .map(|o| o.seconds)
+            .sum();
+        table.row(vec![
+            s.name.to_string(),
+            format!("{:.3}", ledger.seconds * 1e3),
+            format!("{}", ledger.faults),
+            format!("{}", ledger.hangs),
+            format!("{}", ledger.sdc_injected),
+            format!("{}", report.checksum_failures),
+            format!(
+                "{}/{}/{}",
+                report.task_replays, report.panel_replays, report.run_retries
+            ),
+            format!("{}", report.launches),
+            format!("{:.1}", abft / ledger.seconds * 100.0),
+            format!("{:.1}", util * 100.0),
+            if identical {
+                "ok".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+    print!("{}", table.render());
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "chaos_report: {} scenarios at {m}x{n}, every recovered R bit-identical to clean",
+        scenarios.len()
+    );
+}

@@ -36,6 +36,32 @@ pub enum CaqrError {
         /// Column of the first offending entry.
         col: usize,
     },
+    /// A launch hung past the watchdog deadline on every retry attempt.
+    Timeout {
+        /// Kernel that hung.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order).
+        launch_index: u64,
+        /// Watchdog deadline charged per hung attempt, microseconds.
+        deadline_us: u64,
+    },
+    /// An ABFT checksum caught silently corrupted data (DESIGN.md §10):
+    /// the named column's post-update sum (or the panel `R` column's norm
+    /// invariant) disagrees with its prediction beyond rounding tolerance.
+    ChecksumMismatch {
+        /// Which verification stage detected it (`"factor"` / `"apply"`).
+        stage: &'static str,
+        /// Panel (0-based) whose verification failed.
+        panel: usize,
+        /// Global column index of the first mismatching checksum.
+        col: usize,
+    },
+    /// Every tier of the recovery escalation ladder (task replay → panel
+    /// replay → run retry) was exhausted without a clean run.
+    Unrecoverable {
+        /// The final straw: what kept failing after all replay budgets.
+        context: String,
+    },
     /// The computation degenerated numerically (e.g. a non-finite residual
     /// in an iterative solver, or a deadlocked stream schedule).
     Breakdown {
@@ -55,6 +81,15 @@ impl From<LaunchError> for CaqrError {
                 kernel,
                 launch_index,
                 attempts,
+            },
+            LaunchError::Timeout {
+                kernel,
+                launch_index,
+                deadline_us,
+            } => CaqrError::Timeout {
+                kernel,
+                launch_index,
+                deadline_us,
             },
             other => CaqrError::Launch(other),
         }
@@ -91,6 +126,21 @@ impl std::fmt::Display for CaqrError {
             ),
             CaqrError::NonFinite { context, row, col } => {
                 write!(f, "non-finite value in {context} at ({row}, {col})")
+            }
+            CaqrError::Timeout {
+                kernel,
+                launch_index,
+                deadline_us,
+            } => write!(
+                f,
+                "watchdog timeout: kernel `{kernel}` (launch #{launch_index}) hung past the {deadline_us} us deadline on every retry"
+            ),
+            CaqrError::ChecksumMismatch { stage, panel, col } => write!(
+                f,
+                "checksum mismatch: {stage} verification of panel {panel} failed at column {col} (silent data corruption detected)"
+            ),
+            CaqrError::Unrecoverable { context } => {
+                write!(f, "unrecoverable after all replay tiers: {context}")
             }
             CaqrError::Breakdown { context } => write!(f, "numerical breakdown: {context}"),
         }
@@ -130,6 +180,44 @@ mod tests {
     fn other_launch_errors_stay_launch() {
         let e: CaqrError = LaunchError::EmptyGrid.into();
         assert!(matches!(e, CaqrError::Launch(LaunchError::EmptyGrid)));
+    }
+
+    #[test]
+    fn timeout_converts_to_typed_timeout() {
+        let e: CaqrError = LaunchError::Timeout {
+            kernel: "apply_qt_h",
+            launch_index: 12,
+            deadline_us: 10_000,
+        }
+        .into();
+        assert_eq!(
+            e,
+            CaqrError::Timeout {
+                kernel: "apply_qt_h",
+                launch_index: 12,
+                deadline_us: 10_000
+            }
+        );
+        let s = e.to_string();
+        assert!(s.contains("apply_qt_h") && s.contains("10000"), "{s}");
+    }
+
+    #[test]
+    fn recovery_errors_render_usefully() {
+        let c = CaqrError::ChecksumMismatch {
+            stage: "apply",
+            panel: 2,
+            col: 37,
+        };
+        let s = c.to_string();
+        assert!(
+            s.contains("apply") && s.contains('2') && s.contains("37"),
+            "{s}"
+        );
+        let u = CaqrError::Unrecoverable {
+            context: "panel 1 kept hanging".into(),
+        };
+        assert!(u.to_string().contains("panel 1 kept hanging"));
     }
 
     #[test]

@@ -175,6 +175,216 @@ pub fn first_nonfinite<T: Scalar>(a: &Matrix<T>) -> Option<(usize, usize)> {
     None
 }
 
+// ---------------------------------------------------------------------------
+// ABFT checksums (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+//
+// The recovery executor verifies every task's output against an
+// algorithm-based checksum computed from the task's *inputs*, so a silent
+// data corruption is caught at the producing task instead of surfacing as a
+// wrong answer (or not at all) after the run:
+//
+// * factor tasks — QR preserves column norms: for each panel column,
+//   `sum_i A[i,j]^2` over the panel rows (taken before the factorization)
+//   must equal the norm of the surviving `R` column, `sum_{i<=j} R[i,j]^2`.
+//   A corrupted `R` element or a corrupted reflector (which perturbs `R`
+//   through the tree reduction) breaks the invariant.
+// * packed factors — the apply kernels never reread the tails in the
+//   matrix; they consume the packed `V`/`T`/`tau` copies. Those are checked
+//   with an orthogonality probe: `u = Q_p . 1` must satisfy
+//   `||u||^2 == m` because `Q_p` is orthogonal (identity above the panel).
+// * apply tasks — column sums are linear, so the post-update sum of each
+//   trailing column is predicted from pre-update data as `u^T C[:,j]`
+//   (`1^T Q_p^T C = (Q_p 1)^T C`). The comparison tolerance scales with
+//   `sum_i |u_i C[i,j]|`, the condition of the predicted sum.
+//
+// All accumulations are f64 regardless of `T`. Tolerances are
+// `64 * rows * eps(T)` relative — loose enough for the sequential-sum
+// rounding of `rows`-long reductions, tight enough that the injected
+// `x -> 2x + 1` corruption exceeds them by orders of magnitude. For `f32`
+// at very large `rows` the relative tolerance approaches O(1) and the
+// factor check goes soft; the chaos soak therefore runs in `f64`.
+
+use crate::tsqr::{TreeNode, WyTile};
+
+/// Relative checksum tolerance for reductions over `rows` elements of `T`.
+pub fn checksum_tol<T: Scalar>(rows: usize) -> f64 {
+    64.0 * rows as f64 * T::epsilon().to_f64()
+}
+
+/// Per-column `sum_i a[i, j]^2` over rows `row0..` of panel columns
+/// `col0..col0+width` (f64 accumulation) — the pre-factor checksum.
+pub fn panel_col_sumsq<T: Scalar>(
+    a: &Matrix<T>,
+    row0: usize,
+    col0: usize,
+    width: usize,
+) -> Vec<f64> {
+    (0..width)
+        .map(|j| {
+            a.col(col0 + j)[row0..]
+                .iter()
+                .map(|&v| {
+                    let x = v.to_f64();
+                    x * x
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Per-column norm of the surviving `R` triangle: `sum_{i<=j} R[i,j]^2`
+/// read from the factored matrix at `(row0, col0)`.
+pub fn r_col_sumsq<T: Scalar>(a: &Matrix<T>, row0: usize, col0: usize, width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|j| {
+            a.col(col0 + j)[row0..row0 + j + 1]
+                .iter()
+                .map(|&v| {
+                    let x = v.to_f64();
+                    x * x
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Check the factor-stage invariant `pre[j] == post[j]` to relative
+/// tolerance; `col0` converts the panel-local index of the first mismatch
+/// into the global column reported by [`CaqrError::ChecksumMismatch`].
+pub fn verify_factor_checksums<T: Scalar>(
+    pre: &[f64],
+    post: &[f64],
+    rows: usize,
+    panel: usize,
+    col0: usize,
+) -> Result<(), CaqrError> {
+    let tol = checksum_tol::<T>(rows);
+    for (j, (&p, &q)) in pre.iter().zip(post).enumerate() {
+        if (p - q).abs() > tol * p.abs().max(q.abs()).max(f64::MIN_POSITIVE) {
+            return Err(CaqrError::ChecksumMismatch {
+                stage: "factor",
+                panel,
+                col: col0 + j,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `u = Q_p . 1`: apply the panel's packed factors (`Q`, not `Q^T`) to an
+/// all-ones `m`-vector. Rows above the panel stay exactly `1` (the implicit
+/// identity), so `||u||^2 == m` when the packed factors are intact.
+///
+/// Takes the panel's components rather than a [`crate::tsqr::PanelFactor`]
+/// so the host-multicore path (whose `CpuPanel` mirrors the layout) can
+/// share it.
+pub fn q_ones_probe<T: Scalar>(
+    m: usize,
+    width: usize,
+    tiles: &[Tile],
+    wy0: &[WyTile<T>],
+    levels: &[Vec<TreeNode<T>>],
+) -> Vec<T> {
+    let mut ones = Matrix::from_fn(m, 1, |_, _| T::ONE);
+    let p = MatPtr::new(&mut ones);
+    // Q = (level-0 applies) . (tree applies bottom-up)^T reversed: the same
+    // transpose=false order as `apply_panel_ptr_on` / `apply_panel_cpu`.
+    for nodes in levels.iter().rev() {
+        for node in nodes {
+            crate::blockops::apply_tree_node(p, node, width, 0, 1, false);
+        }
+    }
+    for (tile, wy) in tiles.iter().zip(wy0) {
+        crate::blockops::apply_tile_wy(wy, p, *tile, 0, 1, false);
+    }
+    ones.col(0).to_vec()
+}
+
+/// Check the orthogonality probe: `||u||^2` must equal `u.len()` to
+/// relative tolerance. Failure means the packed `V`/`T`/`tau` factors the
+/// applies consume are corrupted, reported against the panel's first column.
+pub fn verify_probe<T: Scalar>(u: &[T], panel: usize, col0: usize) -> Result<(), CaqrError> {
+    let sumsq: f64 = u
+        .iter()
+        .map(|&v| {
+            let x = v.to_f64();
+            x * x
+        })
+        .sum();
+    let m = u.len() as f64;
+    if !sumsq.is_finite() || (sumsq - m).abs() > checksum_tol::<T>(u.len()) * m {
+        return Err(CaqrError::ChecksumMismatch {
+            stage: "factor",
+            panel,
+            col: col0,
+        });
+    }
+    Ok(())
+}
+
+/// Per-column `(prediction, scale)` of the post-update sums of the columns
+/// in `col_blocks`, computed from *pre-update* data: prediction
+/// `sum_i u[i] * c[i,j]`, scale `sum_i |u[i] * c[i,j]|` (the tolerance
+/// reference for the cancellation-prone prediction).
+pub fn predicted_col_sums<T: Scalar>(
+    u: &[T],
+    c: &Matrix<T>,
+    col_blocks: &[(usize, usize)],
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &(c0, wc) in col_blocks {
+        for j in c0..c0 + wc {
+            let col = c.col(j);
+            let mut pred = 0.0f64;
+            let mut scale = 0.0f64;
+            for (ui, cij) in u.iter().zip(col) {
+                let term = ui.to_f64() * cij.to_f64();
+                pred += term;
+                scale += term.abs();
+            }
+            out.push((pred, scale));
+        }
+    }
+    out
+}
+
+/// Per-column sums of the columns in `col_blocks` (f64 accumulation) — the
+/// post-update observation the predictions are checked against.
+pub fn actual_col_sums<T: Scalar>(c: &Matrix<T>, col_blocks: &[(usize, usize)]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &(c0, wc) in col_blocks {
+        for j in c0..c0 + wc {
+            out.push(c.col(j).iter().map(|&v| v.to_f64()).sum());
+        }
+    }
+    out
+}
+
+/// Check the apply-stage checksums: each observed column sum must match its
+/// prediction within `tol * scale`. The first mismatch is reported with the
+/// *global* column index recovered from `col_blocks`.
+pub fn verify_apply_checksums<T: Scalar>(
+    pred: &[(f64, f64)],
+    actual: &[f64],
+    col_blocks: &[(usize, usize)],
+    rows: usize,
+    panel: usize,
+) -> Result<(), CaqrError> {
+    let tol = checksum_tol::<T>(rows);
+    let cols = col_blocks.iter().flat_map(|&(c0, wc)| c0..c0 + wc);
+    for ((&(p, scale), &a), col) in pred.iter().zip(actual).zip(cols) {
+        if !a.is_finite() || (p - a).abs() > tol * scale.max(f64::MIN_POSITIVE) {
+            return Err(CaqrError::ChecksumMismatch {
+                stage: "apply",
+                panel,
+                col,
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +431,97 @@ mod tests {
     fn host_scan_matches_kernel_scan_on_clean_input() {
         let a = dense::generate::uniform::<f32>(64, 4, 3);
         assert_eq!(first_nonfinite(&a), None);
+    }
+
+    // -- ABFT checksums -----------------------------------------------------
+
+    use crate::microkernels::ReductionStrategy;
+    use crate::tsqr::{apply_panel_ptr, col_blocks, factor_panel_with_tree};
+    use crate::TreeShape;
+
+    fn factored_panel(
+        m: usize,
+        n: usize,
+        w: usize,
+    ) -> (Gpu, Matrix<f64>, Vec<f64>, crate::tsqr::PanelFactor<f64>) {
+        let g = Gpu::new(DeviceSpec::c2050());
+        let mut a = dense::generate::uniform::<f64>(m, n, 42);
+        let pre = panel_col_sumsq(&a, 0, 0, w);
+        let pf = factor_panel_with_tree(
+            &g,
+            &mut a,
+            0,
+            0,
+            w,
+            bs(),
+            ReductionStrategy::RegisterSerialTransposed,
+            TreeShape::Binomial,
+        )
+        .unwrap();
+        (g, a, pre, pf)
+    }
+
+    #[test]
+    fn factor_checksums_hold_on_a_clean_panel_and_catch_a_corrupted_r() {
+        let (_g, mut a, pre, _pf) = factored_panel(160, 16, 8);
+        let post = r_col_sumsq(&a, 0, 0, 8);
+        verify_factor_checksums::<f64>(&pre, &post, 160, 0, 0).unwrap();
+
+        // An SDC-style bump on one R element breaks the invariant at that
+        // column.
+        a[(2, 5)] = a[(2, 5)] * 2.0 + 1.0;
+        let post = r_col_sumsq(&a, 0, 0, 8);
+        let e = verify_factor_checksums::<f64>(&pre, &post, 160, 3, 0).unwrap_err();
+        assert_eq!(
+            e,
+            CaqrError::ChecksumMismatch {
+                stage: "factor",
+                panel: 3,
+                col: 5
+            }
+        );
+    }
+
+    #[test]
+    fn ones_probe_is_unit_norm_per_row_and_catches_a_corrupted_t_factor() {
+        let (_g, a, _pre, mut pf) = factored_panel(160, 16, 8);
+        let u = q_ones_probe(a.rows(), pf.width, &pf.tiles, &pf.wy0, &pf.levels);
+        verify_probe(&u, 0, 0).unwrap();
+
+        pf.wy0[1].t[(0, 3)] += 0.5;
+        let u = q_ones_probe(a.rows(), pf.width, &pf.tiles, &pf.wy0, &pf.levels);
+        let e = verify_probe(&u, 0, 0).unwrap_err();
+        assert!(matches!(
+            e,
+            CaqrError::ChecksumMismatch {
+                stage: "factor",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn apply_checksums_predict_trailing_sums_and_catch_a_bumped_element() {
+        let (g, mut a, _pre, pf) = factored_panel(160, 24, 8);
+        let u = q_ones_probe(a.rows(), pf.width, &pf.tiles, &pf.wy0, &pf.levels);
+        let cols = col_blocks(8, 24, 8);
+        let pred = predicted_col_sums(&u, &a, &cols);
+        let ptr = MatPtr::new(&mut a);
+        apply_panel_ptr(&g, ptr, &pf, &cols, true).unwrap();
+        let actual = actual_col_sums(&a, &cols);
+        verify_apply_checksums::<f64>(&pred, &actual, &cols, 160, 0).unwrap();
+
+        // Corrupt one updated element: the checksum localizes the column.
+        a[(40, 13)] = a[(40, 13)] * 2.0 + 1.0;
+        let actual = actual_col_sums(&a, &cols);
+        let e = verify_apply_checksums::<f64>(&pred, &actual, &cols, 160, 2).unwrap_err();
+        assert_eq!(
+            e,
+            CaqrError::ChecksumMismatch {
+                stage: "apply",
+                panel: 2,
+                col: 13
+            }
+        );
     }
 }

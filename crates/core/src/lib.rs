@@ -16,7 +16,9 @@
 //! * [`model`] — the model-only launch replay behind the large figure
 //!   sweeps, provably consistent with execution,
 //! * [`schedule`] — CAQR as a task DAG on simulated CUDA streams with
-//!   lookahead, bit-identical to the synchronous loop.
+//!   lookahead, bit-identical to the synchronous loop,
+//! * [`recovery`] — ABFT-checksummed, fault-recovering CAQR: tile-granular
+//!   replay of faulted tasks with a task -> panel -> run escalation ladder.
 //!
 //! ## Quick start
 //!
@@ -44,6 +46,7 @@ pub mod kernels;
 pub mod microkernels;
 pub mod model;
 pub mod multicore;
+pub mod recovery;
 pub mod schedule;
 pub mod tsqr;
 pub mod tuning;
@@ -54,6 +57,7 @@ pub use error::CaqrError;
 pub use health::{check_matrix_finite, first_nonfinite};
 pub use microkernels::ReductionStrategy;
 pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
+pub use recovery::{caqr_resilient, RecoveryOptions, RecoveryPolicy, RecoveryReport};
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};
 pub use tuning::{autotune_measured, MeasuredPoint, MeasuredProfile};

@@ -19,8 +19,9 @@ use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeShape};
 use crate::blockops;
 use crate::error::CaqrError;
 use crate::tsqr::{col_blocks, TreeNode, WyTile};
+use dense::arena;
 use dense::blas2::trsv_upper;
-use dense::matrix::Matrix;
+use dense::matrix::{MatMut, Matrix};
 use dense::scalar::Scalar;
 use dense::MatPtr;
 use rayon::prelude::*;
@@ -36,6 +37,15 @@ pub struct CpuCaqrOptions {
     /// Reduction-tree shape (binomial is the classic multicore choice; the
     /// default uses the same `tile/width` device arity as the GPU).
     pub tree: TreeShape,
+    /// Run the ABFT checksums from [`crate::health`] after every panel:
+    /// column-norm invariance of `R` always; for panels with trailing
+    /// columns also the `Q . 1` orthogonality probe (whose vector doubles
+    /// as the apply predictor, so it costs a vanishing fraction of the
+    /// updates it guards) and predicted-vs-actual trailing column sums.
+    /// Detection only: the first mismatch surfaces as
+    /// [`CaqrError::ChecksumMismatch`] — the host path has no replay
+    /// machinery (see [`crate::recovery`] for that).
+    pub verify_checksums: bool,
 }
 
 impl CpuCaqrOptions {
@@ -49,6 +59,7 @@ impl CpuCaqrOptions {
             tile_rows,
             panel_width,
             tree: TreeShape::DeviceArity,
+            verify_checksums: false,
         }
     }
 
@@ -62,6 +73,7 @@ impl CpuCaqrOptions {
                 tile_rows: p.bs.h,
                 panel_width: p.bs.w,
                 tree: TreeShape::DeviceArity,
+                verify_checksums: false,
             },
             None => Self::for_width(width),
         }
@@ -150,6 +162,82 @@ fn factor_panel_cpu<T: Scalar>(
     }
 }
 
+/// Apply one tile's compact-WY factor (`Q`, not `Q^T`) to a single column
+/// held in `c`, with hand-rolled dot/axpy loops instead of the `larfb`
+/// GEMM path: at one column the GEMMs degenerate to matvecs whose packing
+/// overhead dwarfs the arithmetic, and this probe helper runs once per
+/// panel on the checksum hot path.
+fn wy_apply_one_col<T: Scalar>(wy: &WyTile<T>, c: &mut [T]) {
+    let h = wy.v.rows();
+    let k = wy.v.cols();
+    debug_assert_eq!(c.len(), h);
+    // Dirty arena scratch: both halves are fully written before any read.
+    let mut wz = arena::take_dirty::<T>(2 * k);
+    let (w, z) = wz.split_at_mut(k);
+    // w = V^T c  (V is the explicit dense reflector block: unit diagonal
+    // stored, zeros above — full-column dot products are exact).
+    for (j, wj) in w.iter_mut().enumerate() {
+        let vj = wy.v.col(j);
+        let mut acc = T::ZERO;
+        for (&vi, &ci) in vj.iter().zip(c.iter()) {
+            acc += vi * ci;
+        }
+        *wj = acc;
+    }
+    // z = T w  (upper triangular; `transpose == false` uses T, not T^T).
+    for (i, zi) in z.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (j, &wj) in w.iter().enumerate().skip(i) {
+            acc += wy.t[(i, j)] * wj;
+        }
+        *zi = acc;
+    }
+    // c -= V z, one streaming axpy per reflector column.
+    for (j, &zj) in z.iter().enumerate() {
+        let vj = wy.v.col(j);
+        for (ci, &vi) in c.iter_mut().zip(vj.iter()) {
+            *ci -= vi * zj;
+        }
+    }
+}
+
+/// The `Q . 1` orthogonality probe of [`crate::health::q_ones_probe`],
+/// specialised for the host checksum path: the level-0 applies use
+/// [`wy_apply_one_col`] so the probe costs a sliver of the factorization
+/// it verifies instead of paying the one-column `larfb` GEMM overhead.
+fn q_ones_probe_fast<T: Scalar>(m: usize, panel: &CpuPanel<T>) -> Vec<T> {
+    let mut ones = Matrix::from_fn(m, 1, |_, _| T::ONE);
+    {
+        let p = MatPtr::new(&mut ones);
+        for nodes in panel.levels.iter().rev() {
+            for node in nodes {
+                blockops::apply_tree_node(p, node, panel.width, 0, 1, false);
+            }
+        }
+    }
+    // Serial over tiles on purpose: per tile this is a few streaming
+    // passes over one cache-resident V block, and the vendored rayon shim
+    // spawns OS threads per call — fan-out would cost more than the work.
+    let col = ones.col_mut(0);
+    for (&tile, wy) in panel.tiles.iter().zip(&panel.wy0) {
+        let seg = &mut col[tile.start..tile.start + tile.rows];
+        if wy.healthy {
+            wy_apply_one_col(wy, seg);
+        } else {
+            // Compact-WY breakdown: same per-reflector degradation as
+            // `blockops::apply_tile_wy`, which never reads `T`.
+            let rows = tile.rows;
+            crate::microkernels::apply_block_reflectors(
+                wy.v.as_ref(),
+                &wy.tau,
+                false,
+                MatMut::from_parts(seg, rows, 1, rows),
+            );
+        }
+    }
+    ones.col(0).to_vec()
+}
+
 fn apply_panel_cpu<T: Scalar>(
     c: MatPtr<T>,
     panel: &CpuPanel<T>,
@@ -214,16 +302,40 @@ pub fn caqr_cpu<T: Scalar>(
     let k = m.min(n);
     let mut panels = Vec::with_capacity(k.div_ceil(w));
     let mut c = 0;
+    let mut pidx = 0;
     while c < k {
         let width = w.min(k - c);
+        let pre = opts
+            .verify_checksums
+            .then(|| crate::health::panel_col_sumsq(&a, c, c, width));
         let panel = factor_panel_cpu(&mut a, c, c, width, &opts);
+        if let Some(pre) = &pre {
+            let post = crate::health::r_col_sumsq(&a, c, c, width);
+            crate::health::verify_factor_checksums::<T>(pre, &post, m - c, pidx, c)?;
+        }
+        // The probe doubles as the apply-stage predictor, so it is computed
+        // once and only for panels that have trailing columns to predict —
+        // there its cost is a sliver of the updates it guards. A final
+        // panel's R stays covered by the norm checksum above.
+        let u = (opts.verify_checksums && c + width < n).then(|| q_ones_probe_fast(m, &panel));
+        if let Some(u) = &u {
+            crate::health::verify_probe(u, pidx, c)?;
+        }
         if c + width < n {
             let cols = col_blocks(c + width, n, w);
+            let pred = u
+                .as_ref()
+                .map(|u| crate::health::predicted_col_sums(u, &a, &cols));
             let p = MatPtr::new(&mut a);
             apply_panel_cpu(p, &panel, &cols, true);
+            if let Some(pred) = pred {
+                let actual = crate::health::actual_col_sums(&a, &cols);
+                crate::health::verify_apply_checksums::<T>(&pred, &actual, &cols, m, pidx)?;
+            }
         }
         panels.push(panel);
         c += width;
+        pidx += 1;
     }
     Ok(CpuCaqr { a, panels, opts })
 }
@@ -318,6 +430,7 @@ mod tests {
                 tile_rows: 64,
                 panel_width: 16,
                 tree: TreeShape::DeviceArity,
+                verify_checksums: false,
             },
         )
         .unwrap();
@@ -347,6 +460,7 @@ mod tests {
                 tile_rows: 48,
                 panel_width: 12,
                 tree: TreeShape::Binomial,
+                verify_checksums: false,
             },
         )
         .unwrap();
@@ -366,6 +480,39 @@ mod tests {
         let x_ref = dense::blocked::least_squares(a, &b);
         for (p, q) in x.iter().zip(&x_ref) {
             assert!((p - q).abs() < 1e-8 * (1.0 + q.abs()));
+        }
+    }
+
+    #[test]
+    fn checksummed_cpu_run_is_bit_identical_to_plain() {
+        let a = dense::generate::uniform::<f64>(700, 48, 7);
+        let mut opts = CpuCaqrOptions::for_width(48);
+        let plain = caqr_cpu(a.clone(), opts).unwrap();
+        opts.verify_checksums = true;
+        let checked = caqr_cpu(a, opts).unwrap();
+        // Detection is read-only: every checksum passes and the factored
+        // matrix is untouched by the verification passes.
+        assert_eq!(plain.a, checked.a);
+    }
+
+    #[test]
+    fn checksummed_cpu_run_detects_injected_corruption() {
+        // Corrupt a factored panel's tree T matrix and re-run the probe the
+        // way `caqr_cpu` would: the mismatch must surface as the typed error.
+        let a = dense::generate::uniform::<f64>(600, 16, 8);
+        let opts = CpuCaqrOptions {
+            tile_rows: 64,
+            panel_width: 16,
+            tree: TreeShape::DeviceArity,
+            verify_checksums: false,
+        };
+        let mut f = caqr_cpu(a, opts).unwrap();
+        let p = &mut f.panels[0];
+        p.levels[0][0].tmat[(0, 1)] += 0.25;
+        let u = crate::health::q_ones_probe(600, p.width, &p.tiles, &p.wy0, &p.levels);
+        match crate::health::verify_probe(&u, 0, 0) {
+            Err(CaqrError::ChecksumMismatch { stage, .. }) => assert_eq!(stage, "factor"),
+            other => panic!("corruption not detected: {other:?}"),
         }
     }
 

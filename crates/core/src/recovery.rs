@@ -1,0 +1,574 @@
+//! Tile-granular fault recovery: ABFT-verified CAQR with a three-tier
+//! replay ladder (DESIGN.md §10).
+//!
+//! [`caqr_resilient`] runs the barrier-mode DAG schedule of
+//! [`crate::schedule::caqr_dag`] task by task, verifying every task's
+//! output against the algorithm-based checksums of [`crate::health`]:
+//!
+//! * a **factor task** (the panel's `factor` + `factor_tree` chain) is
+//!   checked with the column-norm invariant (`||R[:,j]|| == ||A[:,j]||`)
+//!   and the orthogonality probe `||Q_p . 1||^2 == m` over the packed
+//!   compact-WY factors the applies will consume;
+//! * an **apply task** (one home-stream group of trailing column blocks)
+//!   is checked against predicted post-update column sums (`u^T C`).
+//!
+//! A detected fault — a checksum mismatch from silent data corruption, a
+//! [`CaqrError::Fault`] that outlived the launch-level retries, or a
+//! [`CaqrError::Timeout`] from the hang watchdog — triggers replay of
+//! *only the affected task* from an arena-backed snapshot of its input.
+//! Repeated task failures escalate: replay the whole panel, then retry the
+//! whole run from the pristine input, then give up with a typed
+//! [`CaqrError::Unrecoverable`]. Snapshots restore bit-exact input state
+//! and launch ordinals advance on every attempt (so a seeded fault plan
+//! redraws), which makes a recovered run **bit-identical** to a fault-free
+//! run of the same schedule.
+//!
+//! Detection is not free and is charged honestly: checksum passes appear
+//! in the ledger under `checksum_verify`, snapshot save/restore traffic
+//! under `snapshot`, and watchdog stalls under `watchdog_stall` — so the
+//! overhead of resilience is measurable (`wallclock_report
+//! --check-overhead` gates it in CI).
+
+use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};
+use crate::error::CaqrError;
+use crate::health::{
+    actual_col_sums, check_matrix_finite, panel_col_sumsq, predicted_col_sums, q_ones_probe,
+    r_col_sumsq, verify_apply_checksums, verify_factor_checksums, verify_probe,
+};
+use crate::kernels::PretransposeKernel;
+use crate::schedule::{Dag, PanelStep, ScheduleOptions};
+use crate::tsqr::{apply_panel_ptr_on, factor_panel_with_tree_on, PanelFactor};
+use dense::arena;
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{Exec, Gpu};
+
+/// Replay budgets of the escalation ladder. Each tier's budget is per
+/// scope: `max_task_replays` per task attempt streak, `max_panel_replays`
+/// per panel, `max_run_retries` per call.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Tier 1: how many times one task (factor chain or apply group) may be
+    /// replayed from its input snapshot before escalating.
+    pub max_task_replays: u32,
+    /// Tier 2: how many times a whole panel may be rolled back and redone.
+    pub max_panel_replays: u32,
+    /// Tier 3: how many times the whole run may restart from the pristine
+    /// input before returning [`CaqrError::Unrecoverable`].
+    pub max_run_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_task_replays: 3,
+            max_panel_replays: 2,
+            max_run_retries: 1,
+        }
+    }
+}
+
+/// Options for [`caqr_resilient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryOptions {
+    /// The numerical configuration (block size, strategy, tree shape).
+    pub caqr: CaqrOptions,
+    /// Streams the apply groups fan out over (barrier schedule).
+    pub streams: usize,
+    /// Replay budgets.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            caqr: CaqrOptions::default(),
+            streams: 4,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// What the recovery executor did, for assertions and reporting. The
+/// same tier counters are mirrored into the GPU's [`gpu_sim::CostLedger`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Individual checksum comparisons performed.
+    pub checksum_checks: u64,
+    /// Comparisons that failed (each triggers a replay).
+    pub checksum_failures: u64,
+    /// Tier-1 replays of a single task from its snapshot.
+    pub task_replays: u64,
+    /// Tier-2 whole-panel rollbacks.
+    pub panel_replays: u64,
+    /// Tier-3 whole-run retries from the pristine input.
+    pub run_retries: u64,
+    /// Watchdog timeouts the executor recovered from (or escalated past).
+    pub timeouts: u64,
+    /// Launch faults that outlived the launch-level retries.
+    pub launch_faults: u64,
+    /// Kernel launches enqueued across every attempt (replays included).
+    pub launches: u64,
+}
+
+impl RecoveryReport {
+    fn observe(&mut self, e: &CaqrError) {
+        match e {
+            CaqrError::Timeout { .. } => self.timeouts += 1,
+            CaqrError::Fault { .. } => self.launch_faults += 1,
+            CaqrError::ChecksumMismatch { .. } => self.checksum_failures += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A recoverable fault: retrying the producing task (with fresh launch
+/// ordinals and restored inputs) can plausibly succeed. Everything else —
+/// bad shapes, non-finite input, launch-config violations, a deadlocked
+/// schedule — is deterministic and propagates immediately.
+fn is_transient(e: &CaqrError) -> bool {
+    matches!(
+        e,
+        CaqrError::Fault { .. } | CaqrError::Timeout { .. } | CaqrError::ChecksumMismatch { .. }
+    )
+}
+
+/// Resolve all queued stream work (the recovery schedule uses host-side
+/// barriers between tasks instead of events, so this can never deadlock).
+fn sync_now(gpu: &Gpu) -> Result<(), CaqrError> {
+    gpu.try_synchronize()
+        .map(|_| ())
+        .map_err(|context| CaqrError::Breakdown { context })
+}
+
+/// Charge a host-side checksum pass over `elems` elements (one streamed
+/// read at DRAM bandwidth, two flops per element) to the ledger under
+/// `checksum_verify` — the measurable cost of ABFT detection.
+fn charge_verify<T: Scalar>(gpu: &Gpu, elems: usize) {
+    let bytes = elems as f64 * T::BYTES as f64;
+    gpu.host_work(
+        "checksum_verify",
+        bytes / (gpu.spec().dram_bw_gbs * 1e9),
+        2.0 * elems as f64,
+    );
+}
+
+/// An arena-backed copy of the rows `row0..m` of a set of column ranges —
+/// the input state of one task, restored bit-exactly on replay.
+struct RegionSnapshot<T: Scalar> {
+    row0: usize,
+    cols: Vec<(usize, usize)>,
+    data: arena::ArenaBuf<T>,
+}
+
+impl<T: Scalar> RegionSnapshot<T> {
+    fn save(gpu: &Gpu, a: &Matrix<T>, row0: usize, cols: &[(usize, usize)]) -> Self {
+        let rows = a.rows() - row0;
+        let ncols: usize = cols.iter().map(|&(_, wc)| wc).sum();
+        let mut data = arena::take_dirty::<T>(rows * ncols);
+        let mut off = 0;
+        for &(c0, wc) in cols {
+            for j in c0..c0 + wc {
+                data[off..off + rows].copy_from_slice(&a.col(j)[row0..]);
+                off += rows;
+            }
+        }
+        Self::charge(gpu, rows * ncols);
+        RegionSnapshot {
+            row0,
+            cols: cols.to_vec(),
+            data,
+        }
+    }
+
+    fn restore(&self, gpu: &Gpu, a: &mut Matrix<T>) {
+        let rows = a.rows() - self.row0;
+        let mut off = 0;
+        for &(c0, wc) in &self.cols {
+            for j in c0..c0 + wc {
+                a.col_mut(j)[self.row0..].copy_from_slice(&self.data[off..off + rows]);
+                off += rows;
+            }
+        }
+        Self::charge(gpu, self.data.len());
+    }
+
+    /// Snapshot traffic is a DRAM copy; charge it at device bandwidth
+    /// under the `snapshot` op (read + write).
+    fn charge(gpu: &Gpu, elems: usize) {
+        let bytes = 2.0 * elems as f64 * T::BYTES as f64;
+        gpu.host_work("snapshot", bytes / (gpu.spec().dram_bw_gbs * 1e9), 0.0);
+    }
+}
+
+/// Factor `a` with ABFT-verified, fault-recovering CAQR. Numerically
+/// bit-identical to [`crate::caqr::caqr`] / [`crate::schedule::caqr_dag`]
+/// with the same [`CaqrOptions`] — including runs that recovered from
+/// injected faults. Returns the factorization and a [`RecoveryReport`] of
+/// what the escalation ladder did.
+pub fn caqr_resilient<T: Scalar>(
+    gpu: &Gpu,
+    a: Matrix<T>,
+    opts: RecoveryOptions,
+) -> Result<(Caqr<T>, RecoveryReport), CaqrError> {
+    let sched = ScheduleOptions {
+        caqr: opts.caqr,
+        streams: opts.streams,
+        lookahead: false,
+    };
+    let (m, n) = a.shape();
+    let dag = Dag::new(gpu, m, n, &sched)?;
+    let mut report = RecoveryReport::default();
+    let pristine = a;
+    let mut run_attempt = 0u32;
+    loop {
+        match run_once(gpu, &dag, &pristine, opts.caqr, &opts.policy, &mut report) {
+            Ok(caqr) => return Ok((caqr, report)),
+            Err(e) if is_transient(&e) => {
+                sync_now(gpu)?;
+                if run_attempt >= opts.policy.max_run_retries {
+                    return Err(CaqrError::Unrecoverable {
+                        context: format!(
+                            "run retry budget ({}) exhausted; last error: {e}",
+                            opts.policy.max_run_retries
+                        ),
+                    });
+                }
+                run_attempt += 1;
+                report.run_retries += 1;
+                gpu.note_run_retry();
+            }
+            Err(e) => {
+                sync_now(gpu)?;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One full factorization attempt over a fresh copy of the pristine input.
+/// Transient errors bubbling out of here have already exhausted the task
+/// and panel tiers for their panel.
+fn run_once<T: Scalar>(
+    gpu: &Gpu,
+    dag: &Dag,
+    pristine: &Matrix<T>,
+    o: CaqrOptions,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<Caqr<T>, CaqrError> {
+    let mut a = pristine.clone();
+    let (m, n) = a.shape();
+    let mut launches = 0usize;
+
+    if o.check_finite {
+        check_matrix_finite(gpu, Exec::Sync, &a, o.bs, "caqr input")?;
+        launches += 1;
+    }
+    if o.strategy.needs_pretranspose() {
+        let kernel = PretransposeKernel {
+            blocks: m.div_ceil(o.bs.h) * n.div_ceil(o.bs.w),
+            tile_rows: o.bs.h,
+            tile_cols: o.bs.w,
+            spec: gpu.spec(),
+        };
+        gpu.launch::<T>(&kernel)?;
+        launches += 1;
+    }
+
+    let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(dag.steps.len());
+    for step in &dag.steps {
+        let pf = run_panel(gpu, dag, &mut a, step, o, policy, report, &mut launches)?;
+        panels.push(pf);
+    }
+    sync_now(gpu)?;
+    report.launches += launches as u64;
+    Ok(Caqr {
+        a,
+        panels,
+        opts: o,
+        launch_plan: LaunchPlan::Dag { launches },
+    })
+}
+
+/// One panel with tier-2 recovery: snapshot the panel-start state of every
+/// region the panel writes, run the panel's tasks (tier-1 recovery
+/// inside), and on an escalated task failure roll everything back and
+/// redo the panel — until the panel budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn run_panel<T: Scalar>(
+    gpu: &Gpu,
+    dag: &Dag,
+    a: &mut Matrix<T>,
+    step: &PanelStep,
+    o: CaqrOptions,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+    launches: &mut usize,
+) -> Result<PanelFactor<T>, CaqrError> {
+    // Barrier geometry: every trailing block, partitioned by home stream.
+    let groups = dag.groups(step, step.p + 1);
+    let mut panel_attempt = 0u32;
+    loop {
+        // The factor snapshot doubles as the factor *task's* input snapshot
+        // (taken before any factor attempt, so tier-1 restores reuse it);
+        // the group snapshots are taken inside run_panel_tasks just before
+        // each group's first apply. On rollback the union restores the
+        // panel-start state exactly: the regions are disjoint and nothing
+        // else writes them.
+        let factor_snap = RegionSnapshot::save(gpu, a, step.c, &[(step.c, step.width)]);
+        match run_panel_tasks(
+            gpu,
+            dag,
+            a,
+            step,
+            &groups,
+            &factor_snap,
+            o,
+            policy,
+            report,
+            launches,
+        ) {
+            Ok(pf) => return Ok(pf),
+            Err((e, group_snaps)) if is_transient(&e) => {
+                if panel_attempt >= policy.max_panel_replays {
+                    return Err(e);
+                }
+                panel_attempt += 1;
+                report.panel_replays += 1;
+                gpu.note_panel_replay();
+                sync_now(gpu)?;
+                factor_snap.restore(gpu, a);
+                for snap in &group_snaps {
+                    snap.restore(gpu, a);
+                }
+            }
+            Err((e, _)) => return Err(e),
+        }
+    }
+}
+
+type TaskError<T> = (CaqrError, Vec<RegionSnapshot<T>>);
+
+/// The panel's task sequence with tier-1 recovery: factor chain (verified
+/// by column norms + orthogonality probe), then one apply chain per home
+/// stream (verified by predicted column sums). Errors return the group
+/// snapshots taken so far so the caller can roll the panel back.
+#[allow(clippy::too_many_arguments)]
+fn run_panel_tasks<T: Scalar>(
+    gpu: &Gpu,
+    dag: &Dag,
+    a: &mut Matrix<T>,
+    step: &PanelStep,
+    groups: &[Vec<(usize, usize)>],
+    factor_snap: &RegionSnapshot<T>,
+    o: CaqrOptions,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+    launches: &mut usize,
+) -> Result<PanelFactor<T>, TaskError<T>> {
+    let m = a.rows();
+    let rows = m - step.c;
+    let sid = dag.stream(step.p);
+    let mut group_snaps: Vec<RegionSnapshot<T>> = Vec::new();
+
+    // --- factor task -------------------------------------------------------
+    let pre = panel_col_sumsq(a, step.c, step.c, step.width);
+    charge_verify::<T>(gpu, rows * step.width);
+    let mut attempt = 0u32;
+    let (pf, u) = loop {
+        let result = (|| -> Result<(PanelFactor<T>, Vec<T>), CaqrError> {
+            let pf = factor_panel_with_tree_on(
+                gpu,
+                Exec::Stream(sid),
+                a,
+                step.c,
+                step.c,
+                step.width,
+                o.bs,
+                o.strategy,
+                o.tree,
+            )?;
+            sync_now(gpu)?;
+            *launches += 1 + pf.levels.len();
+            // Column-norm invariance of the surviving R (catches corrupted
+            // R elements and corrupted reflectors feeding the tree).
+            let post = r_col_sumsq(a, step.c, step.c, step.width);
+            report.checksum_checks += step.width as u64;
+            verify_factor_checksums::<T>(&pre, &post, rows, step.p, step.c)?;
+            // Orthogonality probe over the packed factors (catches
+            // corrupted V/T/tau copies, which the matrix checks can't see).
+            let u = q_ones_probe(m, step.width, &pf.tiles, &pf.wy0, &pf.levels);
+            report.checksum_checks += 1;
+            verify_probe(&u, step.p, step.c)?;
+            charge_verify::<T>(gpu, rows * step.width + m);
+            Ok((pf, u))
+        })();
+        match result {
+            Ok(out) => break out,
+            Err(e) if is_transient(&e) => {
+                report.observe(&e);
+                if attempt >= policy.max_task_replays {
+                    return Err((e, group_snaps));
+                }
+                attempt += 1;
+                report.task_replays += 1;
+                gpu.note_task_replay();
+                if sync_now(gpu).is_err() {
+                    return Err((e, group_snaps));
+                }
+                factor_snap.restore(gpu, a);
+            }
+            Err(e) => return Err((e, group_snaps)),
+        }
+    };
+
+    // --- apply tasks -------------------------------------------------------
+    // Enqueue every group first (streams overlap in the resolved timeline),
+    // then barrier once and verify each group; only a failing group replays.
+    let mut preds: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+    for (t, cols) in groups.iter().enumerate() {
+        if cols.is_empty() {
+            continue;
+        }
+        group_snaps.push(RegionSnapshot::save(gpu, a, step.c, cols));
+        let pred = predicted_col_sums(&u, a, cols);
+        charge_verify::<T>(gpu, m * pred.len());
+        preds.push((t, pred));
+        let ap = MatPtr::new(a);
+        if let Err(e) = apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, cols, true) {
+            report.observe(&e);
+            return Err((e, group_snaps));
+        }
+        *launches += 1 + pf.levels.len();
+    }
+    if let Err(e) = sync_now(gpu) {
+        return Err((e, group_snaps));
+    }
+    for (si, (t, pred)) in preds.iter().enumerate() {
+        let cols = &groups[*t];
+        let mut attempt = 0u32;
+        loop {
+            let actual = actual_col_sums(a, cols);
+            report.checksum_checks += pred.len() as u64;
+            charge_verify::<T>(gpu, m * pred.len());
+            let verdict = verify_apply_checksums::<T>(pred, &actual, cols, m, step.p);
+            let e = match verdict {
+                Ok(()) => break,
+                Err(e) => e,
+            };
+            report.observe(&e);
+            if attempt >= policy.max_task_replays {
+                return Err((e, group_snaps));
+            }
+            attempt += 1;
+            report.task_replays += 1;
+            gpu.note_task_replay();
+            group_snaps[si].restore(gpu, a);
+            let ap = MatPtr::new(a);
+            let replay =
+                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[*t]), ap, &pf, cols, true)
+                    .and_then(|()| sync_now(gpu));
+            match replay {
+                Ok(()) => *launches += 1 + pf.levels.len(),
+                Err(e) if is_transient(&e) => {
+                    // A faulted replay attempt consumes task budget too; the
+                    // next loop iteration re-verifies the restored-but-stale
+                    // region and keeps going until the budget runs out.
+                    report.observe(&e);
+                    group_snaps[si].restore(gpu, a);
+                }
+                Err(e) => return Err((e, group_snaps)),
+            }
+        }
+    }
+    Ok(pf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockSize, TreeShape};
+    use crate::caqr::caqr;
+    use crate::microkernels::ReductionStrategy;
+    use dense::generate;
+    use gpu_sim::{DeviceSpec, FaultPlan};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::c2050())
+    }
+
+    fn opts() -> RecoveryOptions {
+        RecoveryOptions {
+            caqr: CaqrOptions {
+                bs: BlockSize { h: 32, w: 8 },
+                strategy: ReductionStrategy::RegisterSerialTransposed,
+                tree: TreeShape::DeviceArity,
+                check_finite: true,
+            },
+            streams: 3,
+            policy: RecoveryPolicy::default(),
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_plain_caqr_bitwise() {
+        let a = generate::uniform::<f64>(200, 24, 9);
+        let clean = caqr(&gpu(), a.clone(), opts().caqr).unwrap();
+        let g = gpu();
+        let (f, report) = caqr_resilient(&g, a, opts()).unwrap();
+        for j in 0..24 {
+            for i in 0..200 {
+                assert_eq!(f.a[(i, j)], clean.a[(i, j)], "({i},{j})");
+            }
+        }
+        assert_eq!(report.task_replays, 0);
+        assert_eq!(report.panel_replays, 0);
+        assert_eq!(report.run_retries, 0);
+        assert_eq!(report.checksum_failures, 0);
+        assert!(report.checksum_checks > 0);
+        // Detection cost is visible in the ledger.
+        assert!(g.ledger().per_op.contains_key("checksum_verify"));
+    }
+
+    #[test]
+    fn sdc_in_an_apply_is_detected_and_replayed_to_bit_identity() {
+        let a = generate::uniform::<f64>(200, 24, 10);
+        let clean = caqr(&gpu(), a.clone(), opts().caqr).unwrap();
+        let g = gpu();
+        // Launch 0 is the health check; corrupt a later launch so an apply
+        // or factor output takes the hit (either way recovery must fix it).
+        g.set_fault_plan(FaultPlan::sdc_at_launches(&[2, 5]));
+        let (f, report) = caqr_resilient(&g, a, opts()).unwrap();
+        for j in 0..24 {
+            for i in 0..200 {
+                assert_eq!(f.a[(i, j)], clean.a[(i, j)], "({i},{j})");
+            }
+        }
+        assert_eq!(g.ledger().sdc_injected, 2);
+        assert!(report.checksum_failures >= 1, "{report:?}");
+        assert!(report.task_replays >= 1, "{report:?}");
+        assert_eq!(report.run_retries, 0);
+        // Tier counters are mirrored to the ledger.
+        assert_eq!(g.ledger().task_replays, report.task_replays);
+    }
+
+    #[test]
+    fn unrecoverable_hang_surfaces_typed_error_not_a_panic() {
+        let g = gpu();
+        // Every launch hangs forever: all tiers must drain, then a typed
+        // Unrecoverable (the health check itself times out first).
+        g.set_fault_plan(FaultPlan::seeded_mix(3, 0.0, 0.0, 1.0));
+        let a = generate::uniform::<f64>(96, 16, 11);
+        let e = match caqr_resilient(&g, a, opts()) {
+            Err(e) => e,
+            Ok(_) => panic!("an always-hanging plan cannot succeed"),
+        };
+        assert!(
+            matches!(e, CaqrError::Unrecoverable { .. }),
+            "expected Unrecoverable, got {e:?}"
+        );
+        assert!(g.ledger().hangs > 0);
+    }
+}

@@ -60,30 +60,36 @@ impl Default for ScheduleOptions {
 }
 
 /// The static shape of one panel step of the DAG — shared by the executing
-/// scheduler and its model-only replay so the two enqueue, event-for-event,
-/// the same schedule.
-struct PanelStep {
+/// scheduler, its model-only replay, and the fault-recovery executor
+/// ([`crate::recovery`]) so all three enqueue, event-for-event, the same
+/// schedule.
+pub(crate) struct PanelStep {
     /// Panel index.
-    p: usize,
+    pub(crate) p: usize,
     /// First column (== first row) of the panel.
-    c: usize,
+    pub(crate) c: usize,
     /// Panel width.
-    width: usize,
+    pub(crate) width: usize,
 }
 
 /// Driver-independent schedule geometry.
-struct Dag {
+pub(crate) struct Dag {
     w: usize,
     n: usize,
     /// Global column-grid block count.
-    nb: usize,
+    pub(crate) nb: usize,
     /// Panel steps over the leading `min(m, n)` columns.
-    steps: Vec<PanelStep>,
-    streams: Vec<StreamId>,
+    pub(crate) steps: Vec<PanelStep>,
+    pub(crate) streams: Vec<StreamId>,
 }
 
 impl Dag {
-    fn new(gpu: &Gpu, m: usize, n: usize, opts: &ScheduleOptions) -> Result<Dag, CaqrError> {
+    pub(crate) fn new(
+        gpu: &Gpu,
+        m: usize,
+        n: usize,
+        opts: &ScheduleOptions,
+    ) -> Result<Dag, CaqrError> {
         opts.caqr.bs.validate().map_err(CaqrError::BadShape)?;
         if m == 0 || n == 0 {
             return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
@@ -114,16 +120,16 @@ impl Dag {
     }
 
     /// Home stream index of global column block `j`.
-    fn home(&self, j: usize) -> usize {
+    pub(crate) fn home(&self, j: usize) -> usize {
         j % self.streams.len()
     }
 
-    fn stream(&self, j: usize) -> StreamId {
+    pub(crate) fn stream(&self, j: usize) -> StreamId {
         self.streams[self.home(j)]
     }
 
     /// The fixed-grid column block `j`.
-    fn block(&self, j: usize) -> (usize, usize) {
+    pub(crate) fn block(&self, j: usize) -> (usize, usize) {
         let start = j * self.w;
         (start, self.w.min(self.n - start))
     }
@@ -133,7 +139,7 @@ impl Dag {
     /// — for a narrow last panel of a wide matrix — the tail of the panel's
     /// own block (columns `[c + width, min((p+1)*w, n))`), which stays on
     /// the panel's stream.
-    fn groups(&self, step: &PanelStep, first_block: usize) -> Vec<Vec<(usize, usize)>> {
+    pub(crate) fn groups(&self, step: &PanelStep, first_block: usize) -> Vec<Vec<(usize, usize)>> {
         let s = self.streams.len();
         let mut groups = vec![Vec::new(); s];
         let tail_end = ((step.p + 1) * self.w).min(self.n);

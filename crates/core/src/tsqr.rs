@@ -236,6 +236,19 @@ impl<T: Scalar> PanelFactor<T> {
             .map(|t| t.start + t.rows)
             .unwrap_or(self.row0)
     }
+
+    /// Whether every cached compact-WY factor (per-tile and per-tree-node)
+    /// came out finite. The recovery executor treats `false` as a detected
+    /// factor-task fault: the packed factors are what every later apply
+    /// consumes, so a non-finite `T`/`V` there corrupts everything
+    /// downstream of this panel.
+    pub fn is_healthy(&self) -> bool {
+        self.wy0.iter().all(|wy| wy.healthy)
+            && self
+                .levels
+                .iter()
+                .all(|nodes| nodes.iter().all(|n| n.healthy))
+    }
 }
 
 /// Apply the panel's `Q^T` (`transpose == true`, reflectors in factorization

@@ -265,6 +265,7 @@ pub fn autotune_measured(spec: &DeviceSpec, m: usize, n: usize, reps: usize) -> 
             tile_rows: bs.h,
             panel_width: bs.w,
             tree: crate::TreeShape::DeviceArity,
+            verify_checksums: false,
         };
         // `caqr_cpu` factors in place; input copies are prepared outside the
         // timed region so candidates are ranked on factorization time alone.

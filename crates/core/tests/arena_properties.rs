@@ -147,6 +147,7 @@ proptest! {
             tile_rows: (m / 2).max(2 * n),
             panel_width: n,
             tree: caqr::TreeShape::DeviceArity,
+                    verify_checksums: false,
         };
         let clean = caqr_cpu_bits(&a, opts);
         arena::poison_pools::<f64>(f64::NAN);

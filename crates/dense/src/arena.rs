@@ -185,6 +185,7 @@ impl_pool_scalar!(f64, POOL_F64, CACHE_F64);
 /// RAII scratch buffer borrowed from the arena. Derefs to a `[T]` of
 /// exactly the requested length; the backing allocation is the rounded-up
 /// size class and returns to the pool on drop.
+#[must_use = "dropping an ArenaBuf returns it to the pool immediately; bind it for as long as the scratch is needed"]
 pub struct ArenaBuf<T: PoolScalar> {
     buf: Vec<T>,
     len: usize,
@@ -232,6 +233,7 @@ impl<T: PoolScalar> Drop for ArenaBuf<T> {
 /// Borrow a scratch buffer of `len` elements with **unspecified stale
 /// contents** (initialised, but left over from a previous user). The caller
 /// must fully overwrite every element it reads.
+#[must_use = "the borrowed buffer is handed back to the pool the moment it is dropped"]
 pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
     if len == 0 {
         return ArenaBuf {
@@ -270,6 +272,7 @@ pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
 }
 
 /// Borrow a scratch buffer of `len` elements, zero-filled.
+#[must_use = "the borrowed buffer is handed back to the pool the moment it is dropped"]
 pub fn take_zeroed<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
     let mut buf = take_dirty::<T>(len);
     for x in buf.iter_mut() {

@@ -16,7 +16,7 @@
 //! cost functions so the two paths agree (tested in `caqr::kernels`).
 
 use crate::cost::{BlockCost, CostMeter, KernelReport};
-use crate::fault::{FaultPlan, RetryPolicy};
+use crate::fault::{self, FaultKind, FaultPlan, RetryPolicy};
 use crate::kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 use crate::ledger::CostLedger;
 use crate::spec::{DeviceSpec, PcieSpec};
@@ -46,6 +46,27 @@ struct FaultState {
     next_launch: u64,
 }
 
+/// What admission decided about one launch beyond pass/fail: a pending
+/// silent-data-corruption payload (the launch runs, then one output element
+/// is perturbed) and accumulated watchdog stall from hung attempts that
+/// were killed and resubmitted before one finally completed.
+struct Admission {
+    sdc: Option<u64>,
+    stall_seconds: f64,
+}
+
+impl Admission {
+    const CLEAN: Admission = Admission {
+        sdc: None,
+        stall_seconds: 0.0,
+    };
+}
+
+/// Default watchdog deadline for hung launches, microseconds. Generous
+/// relative to the sub-millisecond kernels the paper's grids produce, so
+/// the watchdog never fires on healthy work.
+pub const DEFAULT_WATCHDOG_US: f64 = 10_000.0;
+
 /// A simulated GPU with its modelled timeline.
 pub struct Gpu {
     spec: DeviceSpec,
@@ -53,6 +74,7 @@ pub struct Gpu {
     ledger: Mutex<CostLedger>,
     streams: Mutex<StreamTable>,
     fault: Mutex<Option<FaultState>>,
+    watchdog_us: Mutex<f64>,
 }
 
 impl Gpu {
@@ -64,7 +86,22 @@ impl Gpu {
             ledger: Mutex::new(CostLedger::default()),
             streams: Mutex::new(StreamTable::default()),
             fault: Mutex::new(None),
+            watchdog_us: Mutex::new(DEFAULT_WATCHDOG_US),
         }
+    }
+
+    /// The deadline after which the watchdog declares a launch hung,
+    /// microseconds.
+    pub fn watchdog_deadline_us(&self) -> f64 {
+        *self.watchdog_us.lock()
+    }
+
+    /// Set the watchdog deadline (clamped to at least 1 µs). Each hung
+    /// attempt charges this deadline as stall time before the kill +
+    /// resubmit; a launch hanging on its final attempt surfaces
+    /// [`LaunchError::Timeout`].
+    pub fn set_watchdog_deadline_us(&self, us: f64) {
+        *self.watchdog_us.lock() = us.max(1.0);
     }
 
     /// Install a fault-injection plan with the default [`RetryPolicy`].
@@ -87,38 +124,83 @@ impl Gpu {
         *self.fault.lock() = None;
     }
 
-    /// Admit one launch under the installed fault plan (if any): faulted
-    /// attempts charge the wasted submission overhead plus an exponential
-    /// host backoff to the ledger, then the launch is resubmitted. Faults
-    /// fire **before** any block executes — the CUDA analogue is a launch
-    /// failure reported at submission — so in-place kernels are never
-    /// partially applied and a retried run is bit-identical to a fault-free
-    /// one. Returns [`LaunchError::DeviceFault`] when retries are exhausted,
-    /// with device memory untouched by this launch.
-    fn admit(&self, name: &'static str) -> Result<(), LaunchError> {
+    /// Admit one launch under the installed fault plan (if any).
+    ///
+    /// * **Launch failures** charge the wasted submission overhead plus an
+    ///   exponential host backoff to the ledger, then the launch is
+    ///   resubmitted. They fire **before** any block executes — the CUDA
+    ///   analogue is a launch failure reported at submission — so in-place
+    ///   kernels are never partially applied and a retried run is
+    ///   bit-identical to a fault-free one.
+    /// * **Hangs** are killed by the deadline watchdog: each hung attempt
+    ///   accumulates `overhead + deadline + backoff` of stall (returned in
+    ///   the [`Admission`] so the caller charges it on the right timeline —
+    ///   global clock when synchronous, the stream's lane when queued) and
+    ///   is resubmitted under the same retry budget. Kill + resubmit is
+    ///   safe for the same reason launch-failure retry is: a hung launch
+    ///   never commits partial output in this model.
+    /// * **SDC** admits the launch normally and returns the deterministic
+    ///   corruption payload; the launch path applies it to the kernel's
+    ///   output after the grid completes.
+    ///
+    /// Exhausting the budget returns [`LaunchError::Timeout`] when the
+    /// final attempt hung, [`LaunchError::DeviceFault`] otherwise — in both
+    /// cases with device memory untouched by this launch.
+    fn admit(&self, name: &'static str) -> Result<Admission, LaunchError> {
         let mut guard = self.fault.lock();
         let Some(state) = guard.as_mut() else {
-            return Ok(());
+            return Ok(Admission::CLEAN);
         };
         let idx = state.next_launch;
         state.next_launch += 1;
         let max = state.policy.max_attempts.max(1);
         let overhead = self.spec.launch_overhead_us * 1.0e-6;
+        let deadline_us = *self.watchdog_us.lock();
+        let mut stall_seconds = 0.0;
+        let mut hung_last = false;
         for attempt in 0..max {
-            if !state.plan.should_fault(idx, attempt) {
-                if attempt > 0 {
-                    self.ledger.lock().retries += 1;
+            let kind = state.plan.fault_kind(idx, attempt);
+            match kind {
+                None | Some(FaultKind::Sdc) => {
+                    if attempt > 0 {
+                        self.ledger.lock().retries += 1;
+                    }
+                    return Ok(Admission {
+                        sdc: kind.map(|_| fault::sdc_payload(idx, attempt)),
+                        stall_seconds,
+                    });
                 }
-                return Ok(());
+                Some(FaultKind::LaunchFail) => {
+                    hung_last = false;
+                    self.ledger
+                        .lock()
+                        .record_fault(overhead + state.policy.backoff_seconds(attempt));
+                }
+                Some(FaultKind::Hang) => {
+                    hung_last = true;
+                    stall_seconds +=
+                        overhead + deadline_us * 1.0e-6 + state.policy.backoff_seconds(attempt);
+                    self.ledger.lock().record_hang();
+                }
             }
-            self.ledger
-                .lock()
-                .record_fault(overhead + state.policy.backoff_seconds(attempt));
         }
-        Err(LaunchError::DeviceFault {
-            kernel: name,
-            launch_index: idx,
-            attempts: max,
+        // The stall spent discovering the hang is real wall-clock even
+        // though the launch ultimately fails; charge it before surfacing.
+        if stall_seconds > 0.0 {
+            self.ledger.lock().record_stall(stall_seconds, true);
+        }
+        Err(if hung_last {
+            LaunchError::Timeout {
+                kernel: name,
+                launch_index: idx,
+                deadline_us: deadline_us as u64,
+            }
+        } else {
+            LaunchError::DeviceFault {
+                kernel: name,
+                launch_index: idx,
+                attempts: max,
+            }
         })
     }
 
@@ -154,10 +236,27 @@ impl Gpu {
     pub fn launch<T: Scalar>(&self, kernel: &dyn Kernel<T>) -> Result<KernelReport, LaunchError> {
         let cfg = kernel.config();
         cfg.validate(&self.spec)?;
-        self.admit(kernel.name())?;
+        let adm = self.admit(kernel.name())?;
+        if adm.stall_seconds > 0.0 {
+            // Synchronous launch: watchdog stall from killed hung attempts
+            // advances the global clock directly.
+            self.ledger.lock().record_stall(adm.stall_seconds, true);
+        }
         let costs = self.execute_blocks(kernel, &cfg);
+        self.apply_sdc(kernel, &adm);
         let report = self.time_and_record(kernel.name(), &cfg, &costs);
         Ok(report)
+    }
+
+    /// Apply a pending silent-data-corruption payload to a completed
+    /// launch's output, counting it only if the kernel actually perturbed
+    /// an element.
+    fn apply_sdc<T: Scalar>(&self, kernel: &dyn Kernel<T>, adm: &Admission) {
+        if let Some(r) = adm.sdc {
+            if kernel.inject_sdc(r) {
+                self.ledger.lock().record_sdc();
+            }
+        }
     }
 
     /// Run every block of a validated launch on the rayon pool, returning
@@ -199,7 +298,12 @@ impl Gpu {
         costs: &[BlockCost],
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
-        self.admit(name)?;
+        let adm = self.admit(name)?;
+        if adm.stall_seconds > 0.0 {
+            self.ledger.lock().record_stall(adm.stall_seconds, true);
+        }
+        // Model-only launches have no output to corrupt; an admitted SDC
+        // payload is dropped (and not counted as injected).
         assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
         Ok(self.time_and_record(name, &cfg, costs))
     }
@@ -215,7 +319,10 @@ impl Gpu {
         per_block: &BlockCost,
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
-        self.admit(name)?;
+        let adm = self.admit(name)?;
+        if adm.stall_seconds > 0.0 {
+            self.ledger.lock().record_stall(adm.stall_seconds, true);
+        }
         // Avoid materializing huge vectors: the round-robin maximum for a
         // uniform grid is ceil(blocks / sms) blocks on the fullest SM.
         let sms = self.spec.sms;
@@ -327,9 +434,10 @@ impl Gpu {
     ) -> Result<KernelReport, LaunchError> {
         let cfg = kernel.config();
         cfg.validate(&self.spec)?;
-        self.admit(kernel.name())?;
+        let adm = self.admit(kernel.name())?;
         let costs = self.execute_blocks(kernel, &cfg);
-        Ok(self.enqueue(stream, kernel.name(), &cfg, &costs))
+        self.apply_sdc(kernel, &adm);
+        Ok(self.enqueue(stream, kernel.name(), &cfg, &costs, adm.stall_seconds))
     }
 
     /// Model-only asynchronous launch with heterogeneous per-block costs:
@@ -342,9 +450,9 @@ impl Gpu {
         costs: &[BlockCost],
     ) -> Result<KernelReport, LaunchError> {
         cfg.validate(&self.spec)?;
-        self.admit(name)?;
+        let adm = self.admit(name)?;
         assert_eq!(cfg.blocks, costs.len(), "one cost entry per block");
-        Ok(self.enqueue(stream, name, &cfg, costs))
+        Ok(self.enqueue(stream, name, &cfg, costs, adm.stall_seconds))
     }
 
     /// Launch via an [`Exec`] policy: synchronously, or on a stream.
@@ -379,11 +487,21 @@ impl Gpu {
         name: &'static str,
         cfg: &LaunchConfig,
         costs: &[BlockCost],
+        stall_seconds: f64,
     ) -> KernelReport {
         let (total, issue_time) = self.aggregate(costs);
         let dram_time = total.gmem_bytes / (self.spec.dram_bw_gbs * 1.0e9);
         let overhead = self.spec.launch_overhead_us * 1.0e-6;
         let alone = overhead + issue_time.max(dram_time);
+        if stall_seconds > 0.0 {
+            // Watchdog stall from killed hung attempts occupies this
+            // stream's lane ahead of the resubmitted kernel; it resolves
+            // into a `watchdog_stall` interval at synchronize and is
+            // attributed as a stall, never as a kernel call.
+            self.streams
+                .lock()
+                .push(stream, StreamOp::Kernel(QueuedKernel::stall(stall_seconds)));
+        }
         self.streams.lock().push(
             stream,
             StreamOp::Kernel(QueuedKernel {
@@ -429,16 +547,41 @@ impl Gpu {
     /// Non-panicking [`Self::synchronize`]: returns the schedule error (a
     /// deadlock description) instead of aborting, so library callers can
     /// surface it as a typed error.
+    #[must_use = "dropping the Result loses both the resolved Timeline and any deadlock report"]
     pub fn try_synchronize(&self) -> Result<Timeline, String> {
         let queues = self.streams.lock().drain();
         let tl = timeline::resolve(queues)?;
         let mut ledger = self.ledger.lock();
         for iv in &tl.intervals {
-            ledger.record_span(iv.name, iv.duration(), iv.flops, iv.bytes);
+            if iv.name == crate::stream::WATCHDOG_STALL {
+                // Stall pseudo-ops occupy their lane but did no work: they
+                // are attributed as stalls (the makespan below already
+                // advances the clock through them), never as kernel calls.
+                ledger.record_stall(iv.duration(), false);
+            } else {
+                ledger.record_span(iv.name, iv.duration(), iv.flops, iv.bytes);
+            }
         }
         ledger.record_idle(tl.makespan);
         ledger.intervals.extend(tl.intervals.iter().cloned());
         Ok(tl)
+    }
+
+    // ---- recovery accounting ---------------------------------------------
+
+    /// Ledger hook for tier-1 recovery: one task replayed in place.
+    pub fn note_task_replay(&self) {
+        self.ledger.lock().record_task_replay();
+    }
+
+    /// Ledger hook for tier-2 recovery: one panel rolled back + refactored.
+    pub fn note_panel_replay(&self) {
+        self.ledger.lock().record_panel_replay();
+    }
+
+    /// Ledger hook for tier-3 recovery: one whole-run retry.
+    pub fn note_run_retry(&self) {
+        self.ledger.lock().record_run_retry();
     }
 
     /// Charge a host-to-device PCIe transfer.
@@ -826,6 +969,197 @@ mod tests {
         gpu.launch_uniform("k", cfg, &pb).unwrap();
         gpu.launch_uniform("k", cfg, &pb).unwrap();
         assert_eq!(gpu.ledger().faults, 0);
+    }
+
+    #[test]
+    fn hung_launch_is_killed_retried_and_charged_as_stall() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        // Explicit hangs are persistent, so use a seeded plan whose retry
+        // redraw clears: hang band only, modest rate, generous attempts.
+        gpu.set_fault_plan_with_policy(
+            crate::fault::FaultPlan::hang_at_launches(&[0]),
+            crate::fault::RetryPolicy {
+                max_attempts: 3,
+                backoff_us: 1.0,
+            },
+        );
+        let mut m = Matrix::from_fn(64, 4, |i, j| (i + j) as f32);
+        let err = {
+            let k = ScaleKernel {
+                mat: MatPtr::new(&mut m),
+                tile_rows: 8,
+                blocks: 8,
+            };
+            gpu.launch(&k).unwrap_err()
+        };
+        // Persistent hang: every attempt killed at the deadline, typed
+        // Timeout at exhaustion, memory untouched, stall time charged.
+        assert_eq!(
+            err,
+            LaunchError::Timeout {
+                kernel: "scale",
+                launch_index: 0,
+                deadline_us: DEFAULT_WATCHDOG_US as u64,
+            }
+        );
+        let l = gpu.ledger();
+        assert_eq!(l.hangs, 3);
+        assert_eq!(l.calls, 0);
+        assert!(
+            gpu.elapsed() >= 3.0 * DEFAULT_WATCHDOG_US * 1e-6,
+            "each hung attempt charges at least the deadline: {}",
+            gpu.elapsed()
+        );
+        assert_eq!(l.per_op["watchdog_stall"].calls, 1);
+
+        // A transient hang (first attempt only via a seeded plan drawn to
+        // hang at attempt 0) is absorbed: find such a launch index.
+        let probe = crate::fault::FaultPlan::seeded_mix(11, 0.0, 0.0, 0.4);
+        let idx = (0..64u64)
+            .find(|&i| {
+                probe.fault_kind(i, 0) == Some(FaultKind::Hang) && probe.fault_kind(i, 1).is_none()
+            })
+            .expect("some launch hangs once then clears");
+        let gpu2 = Gpu::new(DeviceSpec::c2050());
+        gpu2.set_fault_plan(probe);
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let pb = BlockCost {
+            flops: 1,
+            issue_cycles: 1.0,
+            gmem_bytes: 0.0,
+            smem_words: 0,
+            syncs: 0,
+        };
+        // Burn launches up to `idx`, absorbing whatever the plan throws.
+        for _ in 0..idx {
+            let _ = gpu2.launch_uniform("k", cfg, &pb);
+        }
+        gpu2.launch_uniform("probe", cfg, &pb)
+            .expect("transient hang absorbed by watchdog retry");
+        assert!(gpu2.ledger().hangs >= 1);
+    }
+
+    #[test]
+    fn async_hang_stall_serializes_on_the_stream_without_counting_calls() {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        let probe = crate::fault::FaultPlan::seeded_mix(11, 0.0, 0.0, 0.4);
+        let idx = (0..64u64)
+            .find(|&i| {
+                probe.fault_kind(i, 0) == Some(FaultKind::Hang) && probe.fault_kind(i, 1).is_none()
+            })
+            .unwrap();
+        gpu.set_fault_plan(probe);
+        let cfg = LaunchConfig {
+            blocks: 1,
+            threads_per_block: 64,
+            shared_mem_bytes: 0,
+            regs_per_thread: 8,
+        };
+        let pb = BlockCost {
+            flops: 1,
+            issue_cycles: 1.0,
+            gmem_bytes: 0.0,
+            smem_words: 0,
+            syncs: 0,
+        };
+        let s = gpu.create_stream();
+        let mut enqueued = 0u64;
+        for _ in 0..=idx {
+            if gpu.launch_with_costs_async(s, "k", cfg, &[pb]).is_ok() {
+                enqueued += 1;
+            }
+        }
+        let tl = gpu.synchronize();
+        let stalls: Vec<_> = tl
+            .intervals
+            .iter()
+            .filter(|iv| iv.name == crate::stream::WATCHDOG_STALL)
+            .collect();
+        assert!(!stalls.is_empty(), "hang must appear as a stall interval");
+        assert!(stalls
+            .iter()
+            .all(|iv| iv.duration() >= DEFAULT_WATCHDOG_US * 1e-6));
+        let l = gpu.ledger();
+        assert_eq!(l.calls, enqueued, "stalls are not kernel calls");
+        assert!(l.hangs >= 1);
+        assert!(tl.utilization(1) > 0.0);
+    }
+
+    /// Kernel with an SDC hook: corrupts one element of its matrix.
+    struct SdcProbeKernel {
+        mat: MatPtr<f32>,
+    }
+
+    impl Kernel<f32> for SdcProbeKernel {
+        fn name(&self) -> &'static str {
+            "sdc_probe"
+        }
+        fn config(&self) -> LaunchConfig {
+            LaunchConfig {
+                blocks: 1,
+                threads_per_block: 64,
+                shared_mem_bytes: 0,
+                regs_per_thread: 8,
+            }
+        }
+        fn run_block(&self, _b: usize, ctx: &mut BlockCtx<f32>) {
+            ctx.meter.fma(1);
+        }
+        fn inject_sdc(&self, r: u64) -> bool {
+            let i = (r as usize) % self.mat.rows();
+            let j = (r as usize >> 8) % self.mat.cols();
+            // SAFETY: called after the grid completes; exclusive access.
+            unsafe {
+                let v = self.mat.get(i, j);
+                self.mat.set(i, j, v + 1.0 + v.abs());
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn sdc_fault_corrupts_exactly_one_element_deterministically() {
+        let run = |plan: Option<crate::fault::FaultPlan>| {
+            let gpu = Gpu::new(DeviceSpec::c2050());
+            if let Some(p) = plan {
+                gpu.set_fault_plan(p);
+            }
+            let mut m = Matrix::from_fn(32, 4, |i, j| (i * 7 + j) as f32 * 0.25);
+            {
+                let k = SdcProbeKernel {
+                    mat: MatPtr::new(&mut m),
+                };
+                gpu.launch(&k).unwrap();
+            }
+            (m, gpu.ledger())
+        };
+        let (clean, lc) = run(None);
+        assert_eq!(lc.sdc_injected, 0);
+        let (hit1, l1) = run(Some(crate::fault::FaultPlan::sdc_at_launches(&[0])));
+        let (hit2, l2) = run(Some(crate::fault::FaultPlan::sdc_at_launches(&[0])));
+        assert_eq!(l1.sdc_injected, 1);
+        assert_eq!(l1.calls, 1, "SDC admits the launch");
+        assert_eq!(l1.faults, 0);
+        let diff: Vec<usize> = clean
+            .as_slice()
+            .iter()
+            .zip(hit1.as_slice())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diff.len(), 1, "exactly one element corrupted");
+        assert_eq!(
+            hit1.as_slice(),
+            hit2.as_slice(),
+            "same plan corrupts the same element"
+        );
+        assert_eq!(l2.sdc_injected, 1);
     }
 
     #[test]

@@ -1,22 +1,33 @@
-//! Deterministic fault injection: simulated transient launch failures.
+//! Deterministic fault injection: simulated launch failures, silent data
+//! corruption, and hangs.
 //!
-//! Real deployments of the paper's kernels see sporadic launch failures —
-//! ECC events, driver timeouts, preemption — that a robust library must
-//! absorb rather than propagate as garbage. The simulator models them as
-//! *admission* faults: a faulted launch is rejected before any block runs,
-//! exactly like a CUDA launch error reported at submission. Because the
-//! kernel's arithmetic never starts, replaying the launch after a backoff
-//! is always safe (several of the CAQR kernels update tiles in place and
-//! are not idempotent), and a retried run is bit-identical to a fault-free
-//! run — the property `tests/fault_injection.rs` proves end to end.
+//! Real deployments of the paper's kernels see sporadic faults — ECC
+//! events, driver timeouts, preemption — that a robust library must absorb
+//! rather than propagate as garbage. The simulator models three kinds:
 //!
-//! Faults are selected by a [`FaultPlan`]: either an explicit list of launch
-//! ordinals (fails the first attempt of those launches only), or a seeded
-//! pseudo-random plan in which every `(launch, attempt)` pair faults
-//! independently with a fixed probability. Both are pure functions of the
-//! plan's inputs, so a given plan produces the same faults on every run.
+//! * [`FaultKind::LaunchFail`] — an *admission* fault: the launch is
+//!   rejected before any block runs, exactly like a CUDA launch error
+//!   reported at submission. Because the kernel's arithmetic never starts,
+//!   replaying the launch after a backoff is always safe (several of the
+//!   CAQR kernels update tiles in place and are not idempotent), and a
+//!   retried run is bit-identical to a fault-free run.
+//! * [`FaultKind::Sdc`] — silent data corruption: the launch is admitted
+//!   and runs normally, then exactly one output element is perturbed
+//!   (see [`crate::Kernel::inject_sdc`]). Nothing fails at the API level;
+//!   detection is the caller's job (ABFT checksums in `caqr::recovery`).
+//! * [`FaultKind::Hang`] — the launch never completes. The device's
+//!   deadline watchdog kills it after the configured deadline and
+//!   resubmits under the retry budget; a launch that hangs on its final
+//!   attempt surfaces as [`crate::LaunchError::Timeout`] instead of
+//!   blocking forever.
+//!
+//! Faults are selected by a [`FaultPlan`]: either an explicit map of launch
+//! ordinals to kinds, or a seeded pseudo-random plan in which every
+//! `(launch, attempt)` pair draws one uniform variate partitioned into
+//! per-kind probability bands. Both are pure functions of the plan's
+//! inputs, so a given plan produces the same faults on every run.
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 /// Mixes a 64-bit value (splitmix64 finalizer). Good avalanche behaviour,
 /// no dependencies, and stable across platforms.
@@ -27,13 +38,36 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// What goes wrong with a faulted `(launch, attempt)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Admission failure: the launch is rejected before any block runs.
+    LaunchFail,
+    /// Silent data corruption: the launch runs, then one output element is
+    /// perturbed via [`crate::Kernel::inject_sdc`].
+    Sdc,
+    /// The launch never completes; the watchdog kills it at the deadline.
+    Hang,
+}
+
 #[derive(Clone, Debug)]
 enum Mode {
-    /// Every `(launch, attempt)` pair faults independently with `rate`
-    /// probability, derived from `seed` — a transient-fault model.
-    Seeded { seed: u64, rate: f64 },
-    /// Exactly these launch ordinals fault, on their first attempt only.
-    Explicit(BTreeSet<u64>),
+    /// Every `(launch, attempt)` pair draws one uniform variate from
+    /// `seed` and faults `LaunchFail` / `Sdc` / `Hang` when it lands in
+    /// the corresponding probability band — a transient-fault model.
+    Seeded {
+        seed: u64,
+        launch: f64,
+        sdc: f64,
+        hang: f64,
+    },
+    /// Exactly these launch ordinals fault with the mapped kind.
+    /// `LaunchFail` and `Sdc` fire on the first attempt only (the retry or
+    /// replay succeeds); `Hang` is persistent — it fires on *every*
+    /// attempt of that ordinal, modelling a deterministic hang that no
+    /// in-place resubmission can clear (only a replay, which draws a fresh
+    /// ordinal, escapes it).
+    Explicit(BTreeMap<u64, FaultKind>),
 }
 
 /// A deterministic schedule of simulated launch faults.
@@ -47,43 +81,108 @@ pub struct FaultPlan {
 }
 
 impl FaultPlan {
-    /// Seeded transient faults: each `(launch_index, attempt)` faults with
-    /// probability `rate` (clamped to `[0, 1]`), independently, derived
-    /// deterministically from `seed`. Retries of a faulted launch redraw,
-    /// so with `rate < 1` a retried launch eventually succeeds.
+    /// Seeded transient launch failures: each `(launch_index, attempt)`
+    /// faults with probability `rate` (clamped to `[0, 1]`), independently,
+    /// derived deterministically from `seed`. Retries of a faulted launch
+    /// redraw, so with `rate < 1` a retried launch eventually succeeds.
     pub fn seeded(seed: u64, rate: f64) -> Self {
+        Self::seeded_mix(seed, rate, 0.0, 0.0)
+    }
+
+    /// Seeded mixed faults: each `(launch_index, attempt)` draws one
+    /// uniform variate and faults `LaunchFail` with probability
+    /// `launch_rate`, `Sdc` with `sdc_rate`, `Hang` with `hang_rate`
+    /// (each clamped to `[0, 1]`, bands truncated so they sum to at most
+    /// 1). The same `(seed, launch, attempt)` always draws the same kind.
+    pub fn seeded_mix(seed: u64, launch_rate: f64, sdc_rate: f64, hang_rate: f64) -> Self {
         FaultPlan {
             mode: Mode::Seeded {
                 seed,
-                rate: rate.clamp(0.0, 1.0),
+                launch: launch_rate.clamp(0.0, 1.0),
+                sdc: sdc_rate.clamp(0.0, 1.0),
+                hang: hang_rate.clamp(0.0, 1.0),
             },
         }
     }
 
-    /// Fault exactly the launches with these ordinals (0-based admission
-    /// order), on their first attempt only — the retry always succeeds.
+    /// Fail admission of exactly the launches with these ordinals (0-based
+    /// admission order), on their first attempt only — the retry succeeds.
     pub fn at_launches(indices: &[u64]) -> Self {
+        Self::explicit(indices.iter().map(|&i| (i, FaultKind::LaunchFail)))
+    }
+
+    /// Silently corrupt one output element of exactly these launches.
+    pub fn sdc_at_launches(indices: &[u64]) -> Self {
+        Self::explicit(indices.iter().map(|&i| (i, FaultKind::Sdc)))
+    }
+
+    /// Hang exactly these launches — persistently, on every attempt, so
+    /// only a replay (fresh ordinal) escapes the fault.
+    pub fn hang_at_launches(indices: &[u64]) -> Self {
+        Self::explicit(indices.iter().map(|&i| (i, FaultKind::Hang)))
+    }
+
+    /// Explicit plan mapping launch ordinals to fault kinds.
+    pub fn explicit(entries: impl IntoIterator<Item = (u64, FaultKind)>) -> Self {
         FaultPlan {
-            mode: Mode::Explicit(indices.iter().copied().collect()),
+            mode: Mode::Explicit(entries.into_iter().collect()),
         }
     }
 
-    /// Does attempt `attempt` of launch `launch_index` fault?
-    /// Pure: same inputs, same answer, on every platform.
-    pub fn should_fault(&self, launch_index: u64, attempt: u32) -> bool {
+    /// The fault kind (if any) injected on attempt `attempt` of launch
+    /// `launch_index`. Pure: same inputs, same answer, on every platform.
+    pub fn fault_kind(&self, launch_index: u64, attempt: u32) -> Option<FaultKind> {
         match &self.mode {
-            Mode::Seeded { seed, rate } => {
-                if *rate <= 0.0 {
-                    return false;
+            Mode::Seeded {
+                seed,
+                launch,
+                sdc,
+                hang,
+            } => {
+                if *launch <= 0.0 && *sdc <= 0.0 && *hang <= 0.0 {
+                    return None;
                 }
                 let h = splitmix64(*seed ^ splitmix64(launch_index ^ splitmix64(attempt as u64)));
-                // Map to [0, 1) with 53 bits of the hash.
+                // Map to [0, 1) with 53 bits of the hash, then partition
+                // into bands: [0, launch) ∪ [launch, launch+sdc) ∪
+                // [launch+sdc, launch+sdc+hang).
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-                u < *rate
+                if u < *launch {
+                    Some(FaultKind::LaunchFail)
+                } else if u < *launch + *sdc {
+                    Some(FaultKind::Sdc)
+                } else if u < *launch + *sdc + *hang {
+                    Some(FaultKind::Hang)
+                } else {
+                    None
+                }
             }
-            Mode::Explicit(set) => attempt == 0 && set.contains(&launch_index),
+            Mode::Explicit(map) => match map.get(&launch_index) {
+                // Persistent: every in-place resubmission hangs again.
+                Some(FaultKind::Hang) => Some(FaultKind::Hang),
+                Some(kind) if attempt == 0 => Some(*kind),
+                _ => None,
+            },
         }
     }
+
+    /// Does attempt `attempt` of launch `launch_index` fail admission?
+    /// (The launch-failure kind only — SDC and hangs are reported by
+    /// [`FaultPlan::fault_kind`].)
+    pub fn should_fault(&self, launch_index: u64, attempt: u32) -> bool {
+        matches!(
+            self.fault_kind(launch_index, attempt),
+            Some(FaultKind::LaunchFail)
+        )
+    }
+}
+
+/// Deterministic per-`(launch, attempt)` corruption payload handed to
+/// [`crate::Kernel::inject_sdc`]: which output element to perturb is derived
+/// from these bits, so a given fault plan corrupts the same element on
+/// every run.
+pub fn sdc_payload(launch_index: u64, attempt: u32) -> u64 {
+    splitmix64(launch_index.wrapping_mul(0xA076_1D64_78BD_642F) ^ ((attempt as u64) << 48))
 }
 
 /// How a device retries faulted launches.
@@ -107,7 +206,8 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff in seconds charged before retrying after a fault on
-    /// `attempt` (0-based): exponential, `backoff_us * 2^attempt`.
+    /// `attempt` (0-based): exponential, `backoff_us * 2^attempt`, with
+    /// the exponent capped at 20 so the backoff never overflows.
     pub fn backoff_seconds(&self, attempt: u32) -> f64 {
         self.backoff_us * 1.0e-6 * (1u64 << attempt.min(20)) as f64
     }
@@ -158,6 +258,58 @@ mod tests {
     fn zero_rate_never_faults() {
         let p = FaultPlan::seeded(1, 0.0);
         assert!((0..1000u64).all(|i| !p.should_fault(i, 0)));
+    }
+
+    #[test]
+    fn seeded_mix_partitions_kinds_deterministically() {
+        let p = FaultPlan::seeded_mix(99, 0.1, 0.1, 0.1);
+        let q = FaultPlan::seeded_mix(99, 0.1, 0.1, 0.1);
+        let (mut launch, mut sdc, mut hang) = (0u32, 0u32, 0u32);
+        for i in 0..4000u64 {
+            for a in 0..3u32 {
+                let k = p.fault_kind(i, a);
+                assert_eq!(k, q.fault_kind(i, a), "same seed, same schedule");
+                match k {
+                    Some(FaultKind::LaunchFail) => launch += 1,
+                    Some(FaultKind::Sdc) => sdc += 1,
+                    Some(FaultKind::Hang) => hang += 1,
+                    None => {}
+                }
+            }
+        }
+        // Each band sees ~10% of 12000 draws, +/- generous slack; the
+        // bands are disjoint by construction (one draw per pair).
+        for (name, n) in [("launch", launch), ("sdc", sdc), ("hang", hang)] {
+            assert!((800..1600).contains(&n), "{name} band off: {n}/12000");
+        }
+        // The launch-only constructor is the launch band of the mix.
+        let lo = FaultPlan::seeded(99, 0.1);
+        for i in 0..1000u64 {
+            assert_eq!(
+                lo.should_fault(i, 0),
+                matches!(p.fault_kind(i, 0), Some(FaultKind::LaunchFail))
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_hangs_are_persistent_but_sdc_is_not() {
+        let p = FaultPlan::hang_at_launches(&[4]);
+        for a in 0..8u32 {
+            assert_eq!(p.fault_kind(4, a), Some(FaultKind::Hang));
+        }
+        assert_eq!(p.fault_kind(5, 0), None);
+        let s = FaultPlan::sdc_at_launches(&[4]);
+        assert_eq!(s.fault_kind(4, 0), Some(FaultKind::Sdc));
+        assert_eq!(s.fault_kind(4, 1), None);
+        assert!(!s.should_fault(4, 0), "SDC admits the launch");
+    }
+
+    #[test]
+    fn sdc_payload_is_stable_and_spread() {
+        assert_eq!(sdc_payload(3, 1), sdc_payload(3, 1));
+        assert_ne!(sdc_payload(3, 1), sdc_payload(3, 2));
+        assert_ne!(sdc_payload(3, 1), sdc_payload(4, 1));
     }
 
     #[test]

@@ -61,6 +61,18 @@ pub enum LaunchError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// The launch hung on its final retry attempt and the deadline
+    /// watchdog killed it — the analogue of `cudaErrorLaunchTimeout`.
+    /// Earlier hung attempts were killed and resubmitted silently; this
+    /// surfaces only once the retry budget is exhausted.
+    Timeout {
+        /// Kernel that hung.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order) that hung.
+        launch_index: u64,
+        /// Watchdog deadline charged per hung attempt, microseconds.
+        deadline_us: u64,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -96,6 +108,16 @@ impl std::fmt::Display for LaunchError {
                 write!(
                     f,
                     "device fault: kernel `{kernel}` (launch #{launch_index}) failed {attempts} attempts"
+                )
+            }
+            LaunchError::Timeout {
+                kernel,
+                launch_index,
+                deadline_us,
+            } => {
+                write!(
+                    f,
+                    "watchdog timeout: kernel `{kernel}` (launch #{launch_index}) hung past the {deadline_us} us deadline on every retry"
                 )
             }
         }
@@ -172,6 +194,17 @@ pub trait Kernel<T: Scalar>: Sync {
     fn config(&self) -> LaunchConfig;
     /// Execute one thread block.
     fn run_block(&self, block_idx: usize, ctx: &mut BlockCtx<T>);
+    /// Silent-data-corruption hook: perturb exactly one element of this
+    /// launch's *output* using the deterministic payload `r` (see
+    /// [`crate::fault::sdc_payload`]) to pick the target. Called by the
+    /// device after the grid completes when the installed
+    /// [`crate::FaultPlan`] injects [`crate::FaultKind::Sdc`] into this
+    /// launch. Return `true` iff an element was actually corrupted (the
+    /// ledger counts applied corruptions only). The default is a no-op:
+    /// kernels with no host-visible output cannot be corrupted.
+    fn inject_sdc(&self, _r: u64) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

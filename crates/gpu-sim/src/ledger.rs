@@ -43,6 +43,18 @@ pub struct CostLedger {
     pub faults: u64,
     /// Successful resubmissions after a fault.
     pub retries: u64,
+    /// Hung launch attempts killed by the deadline watchdog (each charges
+    /// the watchdog deadline as a stall; see [`Self::record_stall`]).
+    pub hangs: u64,
+    /// Silent-data-corruption events actually applied to kernel output
+    /// (admitted SDC faults whose kernel had no output are not counted).
+    pub sdc_injected: u64,
+    /// Recovery tier 1: single tasks replayed after a detected fault.
+    pub task_replays: u64,
+    /// Recovery tier 2: whole panels rolled back and refactored.
+    pub panel_replays: u64,
+    /// Recovery tier 3: whole-run retries from the pristine input.
+    pub run_retries: u64,
     /// Per-operation breakdown keyed by kernel/BLAS name.
     pub per_op: BTreeMap<&'static str, OpStats>,
     /// Per-stream per-kernel intervals from stream-scheduled launches,
@@ -96,6 +108,47 @@ impl CostLedger {
         self.faults += 1;
     }
 
+    /// Record one hung launch attempt killed by the watchdog (the stall
+    /// seconds are charged separately via [`Self::record_stall`]).
+    pub fn record_hang(&mut self) {
+        self.hangs += 1;
+    }
+
+    /// Record watchdog stall time under the `watchdog_stall` pseudo-op.
+    /// Synchronous launches advance the global clock here
+    /// (`advance_clock = true`); stream-scheduled launches serialize the
+    /// stall on their stream instead, so `Gpu::try_synchronize` attributes
+    /// it with `advance_clock = false` (the makespan already covers it).
+    /// Stalls never count as kernel `calls` — the hung launch did no work.
+    pub fn record_stall(&mut self, seconds: f64, advance_clock: bool) {
+        if advance_clock {
+            self.seconds += seconds;
+        }
+        let e = self.per_op.entry("watchdog_stall").or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+    }
+
+    /// Record one applied silent-data-corruption event.
+    pub fn record_sdc(&mut self) {
+        self.sdc_injected += 1;
+    }
+
+    /// Record one recovery action at the given escalation tier.
+    pub fn record_task_replay(&mut self) {
+        self.task_replays += 1;
+    }
+
+    /// Record a tier-2 recovery action (panel rollback + refactor).
+    pub fn record_panel_replay(&mut self) {
+        self.panel_replays += 1;
+    }
+
+    /// Record a tier-3 recovery action (whole-run retry).
+    pub fn record_run_retry(&mut self) {
+        self.run_retries += 1;
+    }
+
     /// Record one kernel of a stream-scheduled batch. Attributes the call,
     /// flops, bytes and per-op seconds, but does **not** advance the global
     /// clock — concurrent kernels overlap, so the batch's wall-clock
@@ -134,11 +187,18 @@ impl CostLedger {
             self.calls,
             self.transfers
         );
-        if self.faults > 0 {
+        if self.faults > 0 || self.hangs > 0 || self.sdc_injected > 0 {
             let _ = writeln!(
                 s,
-                "  faults absorbed: {} ({} retried successfully)",
-                self.faults, self.retries
+                "  faults absorbed: {} ({} retried successfully), {} hangs killed, {} SDC injected",
+                self.faults, self.retries, self.hangs, self.sdc_injected
+            );
+        }
+        if self.task_replays > 0 || self.panel_replays > 0 || self.run_retries > 0 {
+            let _ = writeln!(
+                s,
+                "  recovery: {} task replays, {} panel replays, {} run retries",
+                self.task_replays, self.panel_replays, self.run_retries
             );
         }
         for (name, op) in &self.per_op {

@@ -34,10 +34,10 @@ pub mod timeline;
 
 pub use cost::{BlockCost, CostMeter, KernelReport};
 pub use cpu::CpuMachine;
-pub use device::{Exec, Gpu};
-pub use fault::{FaultPlan, RetryPolicy};
+pub use device::{Exec, Gpu, DEFAULT_WATCHDOG_US};
+pub use fault::{FaultKind, FaultPlan, RetryPolicy};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 pub use ledger::CostLedger;
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec};
-pub use stream::{EventId, StreamId};
+pub use stream::{EventId, StreamId, WATCHDOG_STALL};
 pub use timeline::{Interval, Timeline};

@@ -28,6 +28,12 @@ impl StreamId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventId(pub(crate) u64);
 
+/// Name of the pseudo-op a stream carries for watchdog-killed hung launch
+/// attempts. It occupies the stream for the deadline + backoff like a real
+/// hang would, but consumes no device resources and is attributed to the
+/// ledger as a stall, never as a kernel call.
+pub const WATCHDOG_STALL: &str = "watchdog_stall";
+
 /// Timing description of one asynchronously launched kernel, captured at
 /// enqueue time. All durations are contention-free ("alone") values; the
 /// timeline engine stretches them under contention.
@@ -48,6 +54,24 @@ pub(crate) struct QueuedKernel {
     pub flops: f64,
     /// DRAM bytes (for the ledger and trace export).
     pub bytes: f64,
+}
+
+impl QueuedKernel {
+    /// A watchdog stall occupying `seconds` of stream time while consuming
+    /// no device resources (pure overhead phase: it overlaps work on other
+    /// streams, exactly like the host-side kill + resubmit it models).
+    pub(crate) fn stall(seconds: f64) -> Self {
+        QueuedKernel {
+            name: WATCHDOG_STALL,
+            blocks: 0,
+            overhead: seconds,
+            issue_seconds: 0.0,
+            dram_seconds: 0.0,
+            sm_fraction: 0.0,
+            flops: 0.0,
+            bytes: 0.0,
+        }
+    }
 }
 
 /// One entry in a stream's in-order queue.

@@ -74,6 +74,27 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// Total busy seconds of one stream lane: the sum of its intervals'
+    /// realized durations (watchdog stalls included — a stalled stream is
+    /// occupied, not idle).
+    pub fn stream_busy(&self, stream: usize) -> f64 {
+        self.intervals
+            .iter()
+            .filter(|iv| iv.stream == stream)
+            .map(Interval::duration)
+            .sum()
+    }
+
+    /// Mean busy fraction over `streams` lanes across the makespan, in
+    /// `[0, 1]` — the lane-occupancy figure the chaos report prints.
+    pub fn utilization(&self, streams: usize) -> f64 {
+        if streams == 0 || self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = (0..streams).map(|s| self.stream_busy(s)).sum();
+        busy / (streams as f64 * self.makespan)
+    }
+
     /// Export as Chrome `chrome://tracing` / Perfetto trace-event JSON:
     /// one complete (`"ph":"X"`) event per kernel, streams as thread lanes.
     /// Load the string from a `.json` file via "Load trace".

@@ -55,6 +55,28 @@ fn errors_render_usefully() {
         context: "iterate went non-finite".into(),
     };
     assert!(e.to_string().contains("iterate went non-finite"));
+    // The fault-recovery taxonomy: timeouts, checksum hits, exhaustion.
+    let e = CaqrError::Timeout {
+        kernel: "apply_qt_h",
+        launch_index: 12,
+        deadline_us: 50_000,
+    };
+    let s = e.to_string();
+    assert!(
+        s.contains("apply_qt_h") && s.contains("12") && s.contains("50000"),
+        "{s}"
+    );
+    let e = CaqrError::ChecksumMismatch {
+        stage: "apply",
+        panel: 1,
+        col: 37,
+    };
+    let s = e.to_string();
+    assert!(s.contains("apply") && s.contains("37"), "{s}");
+    let e = CaqrError::Unrecoverable {
+        context: "run retry budget (1) exhausted".into(),
+    };
+    assert!(e.to_string().contains("run retry budget"), "{e}");
 }
 
 #[test]

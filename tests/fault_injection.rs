@@ -1,10 +1,12 @@
-//! End-to-end fault-injection tests: transient launch faults are absorbed
-//! by retry without perturbing the numerics, and exhausted retries surface
-//! as typed [`CaqrError::Fault`] values rather than panics or garbage.
+//! End-to-end fault-injection tests: transient launch faults, silent data
+//! corruptions, and hangs are absorbed by retry / ABFT-guided replay
+//! without perturbing the numerics, and exhausted budgets surface as typed
+//! [`CaqrError`] values rather than panics, deadlocks, or garbage.
 
+use caqr::recovery::{caqr_resilient, RecoveryOptions, RecoveryPolicy};
 use caqr::schedule::{caqr_dag, ScheduleOptions};
-use caqr::{BlockSize, CaqrError, CaqrOptions, ReductionStrategy};
-use gpu_sim::{DeviceSpec, FaultPlan, Gpu, RetryPolicy};
+use caqr::{BlockSize, CaqrError, CaqrOptions, CpuCaqrOptions, ReductionStrategy};
+use gpu_sim::{DeviceSpec, FaultKind, FaultPlan, Gpu, RetryPolicy};
 
 fn opts() -> CaqrOptions {
     CaqrOptions {
@@ -121,6 +123,198 @@ fn dag_schedule_recovers_from_transient_faults() {
     let l = gpu.ledger();
     assert_eq!(l.faults, 3);
     assert_eq!(l.retries, 3);
+}
+
+#[test]
+fn seeded_plans_are_pure_functions_of_their_inputs() {
+    // Two plans built from identical inputs must agree on every
+    // (launch, attempt) pair — this is what makes every chaos test in this
+    // file deterministic rather than flaky.
+    let p1 = FaultPlan::seeded_mix(42, 0.10, 0.05, 0.02);
+    let p2 = FaultPlan::seeded_mix(42, 0.10, 0.05, 0.02);
+    let mut kinds = [0usize; 3];
+    for launch in 0..2000u64 {
+        for attempt in 0..4u32 {
+            let k = p1.fault_kind(launch, attempt);
+            assert_eq!(k, p2.fault_kind(launch, attempt));
+            match k {
+                Some(FaultKind::LaunchFail) => kinds[0] += 1,
+                Some(FaultKind::Sdc) => kinds[1] += 1,
+                Some(FaultKind::Hang) => kinds[2] += 1,
+                None => {}
+            }
+        }
+    }
+    // All three bands are actually exercised at these rates.
+    assert!(kinds.iter().all(|&c| c > 0), "bands hit: {kinds:?}");
+    // A different seed draws a different fault pattern somewhere.
+    let p3 = FaultPlan::seeded_mix(43, 0.10, 0.05, 0.02);
+    assert!(
+        (0..2000u64).any(|l| p1.fault_kind(l, 0) != p3.fault_kind(l, 0)),
+        "seed must matter"
+    );
+    // Rate zero means no faults, ever.
+    let quiet = FaultPlan::seeded(7, 0.0);
+    assert!((0..500u64).all(|l| quiet.fault_kind(l, 0).is_none()));
+}
+
+#[test]
+fn backoff_is_monotone_and_capped() {
+    let p = RetryPolicy::default();
+    let mut prev = 0.0f64;
+    for attempt in 0..64u32 {
+        let b = p.backoff_seconds(attempt);
+        assert!(
+            b.is_finite() && b >= prev,
+            "attempt {attempt}: {b} < {prev}"
+        );
+        prev = b;
+    }
+    // The exponent saturates at 20: arbitrarily late attempts never
+    // overflow to infinity and all pay the same capped backoff.
+    let cap = p.backoff_seconds(20);
+    for attempt in 21..64u32 {
+        assert_eq!(p.backoff_seconds(attempt), cap);
+    }
+}
+
+#[test]
+fn persistent_hang_exhausts_watchdog_into_typed_timeout() {
+    let a = dense::generate::uniform::<f64>(256, 16, 13);
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    // An explicit hang is persistent across retry attempts (a stuck unit,
+    // not a transient): the plain driver's retries cannot escape it, so the
+    // watchdog must convert it into a typed Timeout instead of spinning.
+    gpu.set_fault_plan(FaultPlan::hang_at_launches(&[0]));
+    let err = match caqr::caqr::caqr(&gpu, a, opts()) {
+        Ok(_) => panic!("a persistently hung launch cannot succeed"),
+        Err(e) => e,
+    };
+    match err {
+        CaqrError::Timeout {
+            kernel,
+            launch_index,
+            deadline_us,
+        } => {
+            assert_eq!(kernel, "health_check");
+            assert_eq!(launch_index, 0);
+            assert!(deadline_us > 0);
+        }
+        other => panic!("expected CaqrError::Timeout, got {other}"),
+    }
+    let l = gpu.ledger();
+    assert_eq!(l.hangs as u32, RetryPolicy::default().max_attempts);
+    assert_eq!(l.calls, 0, "no launch ever completed");
+    assert!(
+        l.seconds > 0.0,
+        "hung attempts still pay deadline + backoff"
+    );
+}
+
+#[test]
+fn sdc_is_detected_and_replayed_to_bit_identity() {
+    let a = dense::generate::uniform::<f64>(640, 32, 17);
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let clean = caqr::caqr::caqr(&clean_gpu, a.clone(), opts()).unwrap();
+
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    // Launches 0/1 are the health check and pretranspose; 2 and 5 land on
+    // factor / apply kernels whose outputs the checksums guard.
+    gpu.set_fault_plan(FaultPlan::sdc_at_launches(&[2, 5]));
+    let ropts = RecoveryOptions {
+        caqr: opts(),
+        streams: 3,
+        policy: RecoveryPolicy::default(),
+    };
+    let (f, report) = caqr_resilient(&gpu, a, ropts).unwrap();
+    assert_eq!(f.r(), clean.r(), "recovered run must be bit-identical");
+    let l = gpu.ledger();
+    assert_eq!(l.sdc_injected, 2, "both corruptions were injected");
+    assert!(report.checksum_failures > 0, "ABFT caught the corruptions");
+    assert!(
+        report.task_replays > 0,
+        "recovery replayed the faulted tasks"
+    );
+}
+
+#[test]
+fn chaos_soak_recovers_bit_identically_across_seeds() {
+    // Seeded chaos: mixed launch-fail / SDC / hang plans across several
+    // seeds. Every run must converge to the exact fault-free bits, replay
+    // only a small fraction of the schedule, and keep its ledger counters
+    // in lock-step with the returned report.
+    let a = dense::generate::uniform::<f64>(384, 48, 21);
+    let clean_gpu = Gpu::new(DeviceSpec::c2050());
+    let clean = caqr::caqr::caqr(&clean_gpu, a.clone(), opts()).unwrap();
+    // Independent host-multicore cross-check, with its own ABFT checks on.
+    let cpu = caqr::caqr_cpu(
+        a.clone(),
+        CpuCaqrOptions {
+            tile_rows: 64,
+            panel_width: 16,
+            tree: caqr::block::TreeShape::DeviceArity,
+            verify_checksums: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(clean.r(), cpu.r(), "GPU and CPU paths agree bitwise");
+
+    for seed in 0..8u64 {
+        let gpu = Gpu::new(DeviceSpec::c2050());
+        gpu.set_fault_plan_with_policy(
+            FaultPlan::seeded_mix(seed, 0.05, 0.03, 0.03),
+            RetryPolicy {
+                max_attempts: 6,
+                backoff_us: 5.0,
+            },
+        );
+        let ropts = RecoveryOptions {
+            caqr: opts(),
+            streams: 3,
+            policy: RecoveryPolicy::default(),
+        };
+        let (f, report) = match caqr_resilient(&gpu, a.clone(), ropts) {
+            Ok(ok) => ok,
+            Err(e) => panic!("seed {seed}: recovery failed: {e}"),
+        };
+        assert_eq!(f.r(), clean.r(), "seed {seed}: bits must match");
+        let l = gpu.ledger();
+        assert_eq!(l.task_replays, report.task_replays, "seed {seed}");
+        assert_eq!(l.panel_replays, report.panel_replays, "seed {seed}");
+        assert_eq!(l.run_retries, report.run_retries, "seed {seed}");
+        // Recovery is tile-granular: replayed work stays a small fraction
+        // of the schedule instead of redoing whole runs.
+        assert!(
+            report.task_replays <= report.launches / 2,
+            "seed {seed}: {} replays for {} launches",
+            report.task_replays,
+            report.launches
+        );
+    }
+}
+
+#[test]
+fn unrecoverable_chaos_surfaces_typed_error_not_a_panic() {
+    let a = dense::generate::uniform::<f64>(256, 16, 23);
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    // Every launch hangs on every attempt: no replay tier can make
+    // progress, so the ladder must exhaust into a typed error — never a
+    // panic, deadlock, or silently wrong factorization.
+    gpu.set_fault_plan(FaultPlan::seeded_mix(3, 0.0, 0.0, 1.0));
+    let err = match caqr_resilient(&gpu, a, RecoveryOptions::default()) {
+        Ok(_) => panic!("an always-hanging device cannot produce a result"),
+        Err(e) => e,
+    };
+    match err {
+        CaqrError::Unrecoverable { context } => {
+            assert!(
+                context.contains("run retry budget"),
+                "context should name the exhausted tier: {context}"
+            );
+        }
+        other => panic!("expected CaqrError::Unrecoverable, got {other}"),
+    }
+    assert!(gpu.ledger().hangs > 0);
 }
 
 #[test]
