@@ -1,0 +1,37 @@
+use caqr::recovery::{caqr_resilient, RecoveryOptions};
+use caqr::{BlockSize, CaqrOptions, ReductionStrategy};
+use gpu_sim::{DeviceSpec, FaultPlan, Gpu};
+
+fn opts() -> CaqrOptions {
+    CaqrOptions {
+        bs: BlockSize { h: 64, w: 16 },
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: caqr::block::TreeShape::DeviceArity,
+        check_finite: true,
+    }
+}
+
+fn main() {
+    let (m, n) = (2048usize, 32usize);
+    let a = dense::generate::uniform::<f64>(m, n, 17);
+    let clean = caqr::caqr::caqr(&Gpu::new(DeviceSpec::c2050()), a.clone(), opts()).unwrap();
+    let recovery = RecoveryOptions { caqr: opts(), streams: 3, ..RecoveryOptions::default() };
+
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan(FaultPlan::sdc_at_launches(&[2, 5, 9]));
+    let (f, report) = caqr_resilient(&gpu, a.clone(), recovery).unwrap();
+    let l = gpu.ledger();
+    println!(
+        "injected={} ck_fail={} replays={} full_a_match={} r_match={}",
+        l.sdc_injected, report.checksum_failures, report.task_replays,
+        f.a == clean.a, f.r() == clean.r()
+    );
+    if f.a != clean.a {
+        for j in 0..n { for i in 0..m {
+            if f.a[(i,j)] != clean.a[(i,j)] {
+                println!("first diff at ({i},{j}): {} vs {}", f.a[(i,j)], clean.a[(i,j)]);
+                return;
+            }
+        }}
+    }
+}
