@@ -1,0 +1,623 @@
+//! Multi-device (distributed) TSQR over an interconnect-modelled cluster
+//! (DESIGN.md §11).
+//!
+//! The paper factors a tall-skinny panel on *one* GPU; its communication-
+//! avoiding structure — a tree of small `R`-triangle reductions — is exactly
+//! the structure that also minimizes inter-*device* messages, so the same
+//! algorithm scales out: partition the rows across the devices of a
+//! [`gpu_sim::Cluster`], factor each device's tiles locally with the
+//! existing [`FactorKernel`]/[`FactorTreeKernel`] machinery, and let tree
+//! groups that straddle devices pull the remote member triangles over the
+//! link (one `w x w` triangle per member — the α·log(P) + small-β cost that
+//! makes TSQR latency-optimal).
+//!
+//! ## Bit-identity
+//!
+//! The driver builds the *same* global tile grid and the *same* reduction
+//! tree ([`plan_tree`]) as the single-device host path [`caqr_cpu`], and
+//! every tile / tree group runs the same `blockops` arithmetic in the same
+//! shared host memory — devices only affect *where* (and at what modelled
+//! cost) each block executes, never what it computes. The factorization is
+//! therefore bit-identical to [`caqr_cpu`] for every device count,
+//! including runs that lose devices mid-flight (below).
+//!
+//! ## Device loss (recovery tier 4)
+//!
+//! A [`gpu_sim::FaultKind::DeviceLoss`] makes every launch on the dead
+//! device fail with [`CaqrError::DeviceLost`] — terminal on one device (see
+//! [`crate::recovery`]), but here the driver *fails over*: a survivor
+//! adopts the dead device's row partition (restored bit-exactly from the
+//! pristine input and re-uploaded at modelled PCIe cost), and every
+//! completed tile factor / tree group the dead device executed is replayed
+//! in level order on the survivor. Because [`blockops::factor_tree_group`]
+//! writes only the group leader's triangle and replay restores exactly the
+//! pre-loss inputs, replayed work reproduces the lost results bit-for-bit —
+//! so a run with failover still matches [`caqr_cpu`] exactly.
+//!
+//! [`caqr_cpu`]: crate::multicore::caqr_cpu
+//! [`blockops::factor_tree_group`]: crate::blockops::factor_tree_group
+
+use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeGroup, TreePlan, TreeShape};
+use crate::error::CaqrError;
+use crate::health;
+use crate::kernels::{FactorKernel, FactorTreeKernel};
+use crate::microkernels::ReductionStrategy;
+use crate::multicore::{CpuCaqr, CpuCaqrOptions, CpuPanel};
+use crate::recovery::RecoveryReport;
+use crate::tsqr::{TreeNode, WyTile};
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{Cluster, StreamId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Options for [`distributed_tsqr`].
+#[derive(Clone, Copy, Debug)]
+pub struct DistOptions {
+    /// Tile height (the panel width is the matrix width `n`; the pair must
+    /// satisfy [`BlockSize::validate`], i.e. `tile_rows >= 2n`).
+    pub tile_rows: usize,
+    /// Reduction-tree shape shared by the local and cross-device levels.
+    pub tree: TreeShape,
+    /// Microkernel tuning strategy (cost model only; the math is identical).
+    pub strategy: ReductionStrategy,
+    /// Verify the panel's ABFT column-norm checksums after factoring
+    /// (detection tier of the recovery ladder; see [`crate::health`]).
+    pub verify_checksums: bool,
+}
+
+impl Default for DistOptions {
+    /// The paper's shipping block geometry (128-row tiles, device-arity
+    /// tree, strategy 4) with checksum verification off.
+    fn default() -> Self {
+        DistOptions {
+            tile_rows: 128,
+            tree: TreeShape::DeviceArity,
+            strategy: ReductionStrategy::RegisterSerialTransposed,
+            verify_checksums: false,
+        }
+    }
+}
+
+/// A completed distributed TSQR factorization.
+///
+/// The numerical payload is a [`CpuCaqr`] (same representation as the
+/// single-device host path, so `r()` / `generate_q()` / `apply()` are
+/// shared and trivially comparable); alongside it the driver reports what
+/// the cluster did: the final tile → device ownership map (differs from
+/// the initial contiguous split only after failovers) and the recovery
+/// counters.
+pub struct DistTsqr<T: Scalar> {
+    /// The factorization, bit-identical to [`crate::multicore::caqr_cpu`]
+    /// on the same input and block geometry.
+    pub factored: CpuCaqr<T>,
+    /// Launch / replay / failover counters.
+    pub report: RecoveryReport,
+    /// Final owner device of each level-0 tile.
+    pub owner: Vec<usize>,
+    /// Which devices were still alive at completion.
+    pub alive: Vec<bool>,
+}
+
+impl<T: Scalar> DistTsqr<T> {
+    /// The `n x n` upper-triangular factor.
+    pub fn r(&self) -> Matrix<T> {
+        self.factored.r()
+    }
+
+    /// First `k` columns of the orthogonal factor `Q`.
+    pub fn generate_q(&self, k: usize) -> Result<Matrix<T>, CaqrError> {
+        self.factored.generate_q(k)
+    }
+
+    /// Apply `Q` (or `Q^T`) to `c` in place.
+    pub fn apply(&self, c: &mut Matrix<T>, transpose: bool) -> Result<(), CaqrError> {
+        self.factored.apply(c, transpose)
+    }
+
+    /// Devices lost during the run.
+    pub fn devices_lost(&self) -> usize {
+        self.alive.iter().filter(|&&a| !a).count()
+    }
+}
+
+/// Mutable driver state threaded through the phases: the work ledger
+/// (what completed, where) is exactly what failover needs to replay.
+struct Driver<'c, T: Scalar> {
+    cluster: &'c Cluster,
+    opts: DistOptions,
+    width: usize,
+    tiles: Vec<Tile>,
+    plan: TreePlan,
+    /// Absolute tile start row → tile index (tree members are start rows).
+    tile_of_start: HashMap<usize, usize>,
+    /// Current owner device per tile.
+    owner: Vec<usize>,
+    alive: Vec<bool>,
+    streams: Vec<StreamId>,
+    /// Untouched copy of the input: the failover restore source.
+    pristine: Matrix<T>,
+    /// Payload of one `w x w` triangle on the wire.
+    tri_bytes: u64,
+    report: RecoveryReport,
+    // Completed-work ledger.
+    tile_done: Vec<bool>,
+    tile_exec: Vec<usize>,
+    wy0: Vec<Option<WyTile<T>>>,
+    level_nodes: Vec<Vec<Option<TreeNode<T>>>>,
+    level_exec: Vec<Vec<usize>>,
+}
+
+impl<'c, T: Scalar> Driver<'c, T> {
+    /// Factor the given tiles on device `d` with one `factor` launch.
+    fn factor_tiles_on(
+        &mut self,
+        a: &mut Matrix<T>,
+        d: usize,
+        idxs: &[usize],
+    ) -> Result<(), CaqrError> {
+        let cluster = self.cluster;
+        let gpu = cluster.device(d);
+        let subset: Vec<Tile> = idxs.iter().map(|&t| self.tiles[t]).collect();
+        let slots: Vec<Mutex<Option<WyTile<T>>>> =
+            subset.iter().map(|_| Mutex::new(None)).collect();
+        self.report.launches += 1;
+        {
+            let kernel = FactorKernel {
+                a: MatPtr::new(a),
+                tiles: &subset,
+                col0: 0,
+                width: self.width,
+                strategy: self.opts.strategy,
+                spec: gpu.spec(),
+                wy: &slots,
+            };
+            gpu.launch_async(self.streams[d], &kernel)?;
+        }
+        for (slot, &t) in slots.iter().zip(idxs) {
+            let wy = slot.lock().take().expect("factor block did not produce WY");
+            self.wy0[t] = Some(wy);
+            self.tile_done[t] = true;
+            self.tile_exec[t] = d;
+        }
+        Ok(())
+    }
+
+    /// Reduce the given groups of `plan.levels[level]` on device `d` with
+    /// one `factor_tree` launch, pulling remote member triangles over the
+    /// interconnect first.
+    fn tree_groups_on(
+        &mut self,
+        a: &mut Matrix<T>,
+        d: usize,
+        level: usize,
+        idxs: &[usize],
+    ) -> Result<(), CaqrError> {
+        let cluster = self.cluster;
+        let gpu = cluster.device(d);
+        // Gather: each member triangle not resident on `d` costs one
+        // point-to-point message (this is *all* the data the reduction
+        // needs — the communication-avoiding payload).
+        for &g in idxs {
+            for &start in &self.plan.levels[level][g].members {
+                let src = self.owner[self.tile_of_start[&start]];
+                if src != d {
+                    cluster.transfer(src, d, self.tri_bytes);
+                }
+            }
+        }
+        let groups: Vec<TreeGroup> = idxs
+            .iter()
+            .map(|&g| self.plan.levels[level][g].clone())
+            .collect();
+        let slots: Vec<Mutex<Option<TreeNode<T>>>> =
+            groups.iter().map(|_| Mutex::new(None)).collect();
+        self.report.launches += 1;
+        {
+            let kernel = FactorTreeKernel {
+                a: MatPtr::new(a),
+                groups: &groups,
+                col0: 0,
+                width: self.width,
+                strategy: self.opts.strategy,
+                spec: gpu.spec(),
+                out: &slots,
+            };
+            gpu.launch_async(self.streams[d], &kernel)?;
+        }
+        for (slot, &g) in slots.iter().zip(idxs) {
+            let node = slot
+                .lock()
+                .take()
+                .expect("factor_tree block did not produce a node");
+            self.level_nodes[level][g] = Some(node);
+            self.level_exec[level][g] = d;
+        }
+        Ok(())
+    }
+
+    /// Tiles of `d` still awaiting their level-0 factor, or `None` if the
+    /// device owns nothing pending.
+    fn pending_tiles(&self, d: usize) -> Option<Vec<usize>> {
+        let v: Vec<usize> = (0..self.tiles.len())
+            .filter(|&t| self.owner[t] == d && !self.tile_done[t])
+            .collect();
+        (!v.is_empty()).then_some(v)
+    }
+
+    /// Groups of `level` led by a tile of `d` and not yet reduced.
+    fn pending_groups(&self, d: usize, level: usize) -> Option<Vec<usize>> {
+        let v: Vec<usize> = (0..self.plan.levels[level].len())
+            .filter(|&g| {
+                self.level_nodes[level][g].is_none()
+                    && self.owner[self.tile_of_start[&self.plan.levels[level][g].members[0]]] == d
+            })
+            .collect();
+        (!v.is_empty()).then_some(v)
+    }
+
+    /// Tier-4 recovery: mark `first_dead` lost and migrate its work to a
+    /// survivor, chaining if a survivor dies mid-replay. Errors other than
+    /// a further [`CaqrError::DeviceLost`] propagate.
+    fn handle_loss(&mut self, a: &mut Matrix<T>, first_dead: usize) -> Result<(), CaqrError> {
+        let mut dead = first_dead;
+        loop {
+            self.alive[dead] = false;
+            let Some(surv) = self.alive.iter().position(|&alv| alv) else {
+                return Err(CaqrError::Unrecoverable {
+                    context: format!(
+                        "device {dead} lost with no surviving device to adopt its work"
+                    ),
+                });
+            };
+            match self.adopt(a, dead, surv) {
+                Ok(()) => return Ok(()),
+                // The survivor died mid-replay; fail over again. Its
+                // adopted-but-unreplayed work is found by the `!alive`
+                // executor filter in the next `adopt`.
+                Err(CaqrError::DeviceLost { .. }) => dead = surv,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Move every tile of `dead` to `surv`: restore the partition rows
+    /// bit-exactly from the pristine input (charged as a host→device
+    /// upload on the survivor), then replay — in level order — every
+    /// completed unit whose executor is no longer alive.
+    fn adopt(&mut self, a: &mut Matrix<T>, dead: usize, surv: usize) -> Result<(), CaqrError> {
+        self.report.device_failovers += 1;
+        self.cluster.device(surv).note_device_failover();
+        let moved: Vec<usize> = (0..self.tiles.len())
+            .filter(|&t| self.owner[t] == dead)
+            .collect();
+        let mut elems = 0usize;
+        for &t in &moved {
+            let tile = self.tiles[t];
+            for j in 0..self.width {
+                let rows = tile.start..tile.start + tile.rows;
+                a.col_mut(j)[rows.clone()].copy_from_slice(&self.pristine.col(j)[rows]);
+            }
+            elems += tile.rows * self.width;
+            self.owner[t] = surv;
+        }
+        let _ = self
+            .cluster
+            .device(surv)
+            .transfer_h2d(elems as u64 * T::BYTES);
+        // Replay in dependency order: tile factors first, then each tree
+        // level. Work executed by still-alive devices is never re-run
+        // (`factor_tree_group` overwrites the leader triangle, so a rerun
+        // on live state would corrupt it).
+        let lost_tiles: Vec<usize> = moved
+            .iter()
+            .copied()
+            .filter(|&t| self.tile_done[t] && !self.alive[self.tile_exec[t]])
+            .collect();
+        if !lost_tiles.is_empty() {
+            self.factor_tiles_on(a, surv, &lost_tiles)?;
+        }
+        for level in 0..self.plan.levels.len() {
+            let lost_groups: Vec<usize> = (0..self.plan.levels[level].len())
+                .filter(|&g| {
+                    self.level_nodes[level][g].is_some() && !self.alive[self.level_exec[level][g]]
+                })
+                .collect();
+            if !lost_groups.is_empty() {
+                self.tree_groups_on(a, surv, level, &lost_groups)?;
+            }
+        }
+        self.cluster.sync_device(surv);
+        Ok(())
+    }
+}
+
+/// Factor a tall-skinny `m x n` matrix across the devices of `cluster`,
+/// returning a factorization bit-identical to
+/// [`caqr_cpu`](crate::multicore::caqr_cpu) with the same tile geometry.
+///
+/// Rows are split contiguously: tile `t` of `ntiles` starts on device
+/// `t * P / ntiles`. Each phase (level-0 factor, then each tree level)
+/// launches one kernel per owning device and resolves its stream through
+/// [`Cluster::sync_device`], so compute lands on the per-device modelled
+/// clocks and cross-device triangle gathers land on the interconnect.
+/// A [`CaqrError::DeviceLost`] from any launch triggers tier-4 failover
+/// (see the module docs) instead of propagating.
+///
+/// Errors: [`CaqrError::BadShape`] for invalid geometry (wide matrices,
+/// `tile_rows < 2n`, more devices than tiles), [`CaqrError::NonFinite`]
+/// for NaN/Inf input, [`CaqrError::Unrecoverable`] when every device is
+/// lost, [`CaqrError::ChecksumMismatch`] if verification is on and trips.
+pub fn distributed_tsqr<T: Scalar>(
+    cluster: &Cluster,
+    mut a: Matrix<T>,
+    opts: DistOptions,
+) -> Result<DistTsqr<T>, CaqrError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 || m < n {
+        return Err(CaqrError::BadShape(format!(
+            "distributed TSQR needs a tall-skinny matrix, got {m} x {n}"
+        )));
+    }
+    let bs = BlockSize {
+        h: opts.tile_rows,
+        w: n,
+    };
+    bs.validate().map_err(CaqrError::BadShape)?;
+    if let Some((row, col)) = health::first_nonfinite(&a) {
+        return Err(CaqrError::NonFinite {
+            context: "distributed_tsqr input",
+            row,
+            col,
+        });
+    }
+    let p = cluster.len();
+    let tiles = tile_panel(0, m, bs.h, bs.w);
+    if p > tiles.len() {
+        return Err(CaqrError::BadShape(format!(
+            "{p} devices but only {} tiles of {} rows — shrink tile_rows or the cluster",
+            tiles.len(),
+            bs.h
+        )));
+    }
+    let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+    let plan = plan_tree(&starts, opts.tree.arity(bs));
+    let tile_of_start: HashMap<usize, usize> =
+        starts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let ntiles = tiles.len();
+    let nlevels = plan.levels.len();
+
+    let pre = opts
+        .verify_checksums
+        .then(|| health::panel_col_sumsq(&a, 0, 0, n));
+
+    let mut drv = Driver {
+        cluster,
+        opts,
+        width: n,
+        tile_of_start,
+        owner: (0..ntiles).map(|t| t * p / ntiles).collect(),
+        alive: vec![true; p],
+        streams: (0..p).map(|d| cluster.device(d).create_stream()).collect(),
+        pristine: a.clone(),
+        tri_bytes: (n * (n + 1) / 2) as u64 * T::BYTES,
+        report: RecoveryReport::default(),
+        tile_done: vec![false; ntiles],
+        tile_exec: vec![usize::MAX; ntiles],
+        wy0: (0..ntiles).map(|_| None).collect(),
+        level_nodes: plan
+            .levels
+            .iter()
+            .map(|l| l.iter().map(|_| None).collect())
+            .collect(),
+        level_exec: plan
+            .levels
+            .iter()
+            .map(|l| vec![usize::MAX; l.len()])
+            .collect(),
+        tiles,
+        plan,
+    };
+
+    // Level 0: every device factors its own tiles. A loss mid-phase fails
+    // over and the outer loop re-derives what is still pending.
+    loop {
+        let pending: Vec<(usize, Vec<usize>)> = (0..p)
+            .filter_map(|d| drv.pending_tiles(d).map(|v| (d, v)))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let mut lost = None;
+        for (d, idxs) in pending {
+            match drv.factor_tiles_on(&mut a, d, &idxs) {
+                Ok(()) => {
+                    cluster.sync_device(d);
+                }
+                Err(CaqrError::DeviceLost { .. }) => {
+                    lost = Some(d);
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(d) = lost {
+            drv.handle_loss(&mut a, d)?;
+        }
+    }
+
+    // Tree levels: groups run where their leader tile lives; remote member
+    // triangles arrive over the interconnect inside `tree_groups_on`.
+    for level in 0..nlevels {
+        loop {
+            let pending: Vec<(usize, Vec<usize>)> = (0..p)
+                .filter_map(|d| drv.pending_groups(d, level).map(|v| (d, v)))
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let mut lost = None;
+            for (d, idxs) in pending {
+                match drv.tree_groups_on(&mut a, d, level, &idxs) {
+                    Ok(()) => {
+                        cluster.sync_device(d);
+                    }
+                    Err(CaqrError::DeviceLost { .. }) => {
+                        lost = Some(d);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(d) = lost {
+                drv.handle_loss(&mut a, d)?;
+            }
+        }
+    }
+
+    let Driver {
+        owner,
+        alive,
+        tiles,
+        wy0,
+        level_nodes,
+        mut report,
+        ..
+    } = drv;
+
+    if let Some(pre) = pre {
+        let post = health::r_col_sumsq(&a, 0, 0, n);
+        report.checksum_checks += n as u64;
+        // Charge the host-side verification pass (one streamed read, two
+        // flops per element) to the device holding the root triangle.
+        let root = cluster.device(owner[0]);
+        let bytes = (m * n) as f64 * T::BYTES as f64;
+        root.host_work(
+            "checksum_verify",
+            bytes / (root.spec().dram_bw_gbs * 1e9),
+            2.0 * (m * n) as f64,
+        );
+        health::verify_factor_checksums::<T>(&pre, &post, m, 0, 0)?;
+    }
+
+    let cpu_opts = CpuCaqrOptions {
+        tile_rows: opts.tile_rows,
+        panel_width: n,
+        tree: opts.tree,
+        verify_checksums: false,
+    };
+    let panel = CpuPanel {
+        col0: 0,
+        width: n,
+        tiles,
+        wy0: wy0
+            .into_iter()
+            .map(|w| w.expect("every tile factored"))
+            .collect(),
+        levels: level_nodes
+            .into_iter()
+            .map(|lv| {
+                lv.into_iter()
+                    .map(|nd| nd.expect("every tree group reduced"))
+                    .collect()
+            })
+            .collect(),
+    };
+    Ok(DistTsqr {
+        factored: CpuCaqr {
+            a,
+            panels: vec![panel],
+            opts: cpu_opts,
+        },
+        report,
+        owner,
+        alive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceSpec, LinkSpec, Topology};
+
+    fn cluster(p: usize) -> Cluster {
+        Cluster::new(
+            p,
+            DeviceSpec::c2050(),
+            LinkSpec::infiniband_qdr(),
+            Topology::BinomialTree,
+        )
+    }
+
+    #[test]
+    fn rejects_wide_and_misblocked_shapes() {
+        let c = cluster(2);
+        let wide = dense::generate::uniform::<f32>(16, 32, 3);
+        assert!(matches!(
+            distributed_tsqr(&c, wide, DistOptions::default()),
+            Err(CaqrError::BadShape(_))
+        ));
+        let a = dense::generate::uniform::<f32>(256, 16, 3);
+        let opts = DistOptions {
+            tile_rows: 24, // < 2 * 16
+            ..DistOptions::default()
+        };
+        assert!(matches!(
+            distributed_tsqr(&c, a, opts),
+            Err(CaqrError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_more_devices_than_tiles() {
+        let c = cluster(4);
+        // 256 rows / 128-row tiles = 2 tiles < 4 devices.
+        let a = dense::generate::uniform::<f32>(256, 16, 3);
+        assert!(matches!(
+            distributed_tsqr(&c, a, DistOptions::default()),
+            Err(CaqrError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn contiguous_partition_covers_all_devices() {
+        let c = cluster(3);
+        let a = dense::generate::uniform::<f32>(128 * 7, 16, 5);
+        let f = distributed_tsqr(&c, a, DistOptions::default()).unwrap();
+        assert_eq!(f.owner.len(), 7);
+        for d in 0..3 {
+            assert!(
+                f.owner.contains(&d),
+                "device {d} owns no tile: {:?}",
+                f.owner
+            );
+        }
+        let mut sorted = f.owner.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, f.owner, "contiguous split is monotone");
+        assert_eq!(f.devices_lost(), 0);
+        assert_eq!(f.report.device_failovers, 0);
+    }
+
+    #[test]
+    fn cross_device_reductions_move_triangles() {
+        let c = cluster(4);
+        let a = dense::generate::uniform::<f32>(128 * 8, 16, 9);
+        let f = distributed_tsqr(&c, a, DistOptions::default()).unwrap();
+        let totals = c.net_totals();
+        assert!(totals.messages > 0, "P=4 must reduce across devices");
+        let tri = (16 * 17 / 2 * std::mem::size_of::<f32>()) as u64;
+        assert_eq!(totals.bytes % tri, 0, "payloads are whole triangles");
+        assert_eq!(f.r().cols(), 16);
+    }
+
+    #[test]
+    fn single_device_cluster_needs_no_network() {
+        let c = cluster(1);
+        let a = dense::generate::uniform::<f64>(1024, 8, 11);
+        let f = distributed_tsqr(&c, a, DistOptions::default()).unwrap();
+        assert_eq!(c.net_totals().messages, 0);
+        assert_eq!(f.r().cols(), 8);
+    }
+}

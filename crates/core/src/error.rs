@@ -56,6 +56,17 @@ pub enum CaqrError {
         /// Global column index of the first mismatching checksum.
         col: usize,
     },
+    /// The device a launch targeted has been lost wholesale (a simulated
+    /// `FaultKind::DeviceLoss`): every launch on it fails until the device
+    /// is reset. On a single device this is terminal — there is no retry a
+    /// dead device can answer. Multi-device drivers (`distributed`) catch
+    /// it and fail the lost device's work over to a survivor instead.
+    DeviceLost {
+        /// Kernel whose launch found the device gone.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order).
+        launch_index: u64,
+    },
     /// Every tier of the recovery escalation ladder (task replay → panel
     /// replay → run retry) was exhausted without a clean run.
     Unrecoverable {
@@ -90,6 +101,13 @@ impl From<LaunchError> for CaqrError {
                 kernel,
                 launch_index,
                 deadline_us,
+            },
+            LaunchError::DeviceLost {
+                kernel,
+                launch_index,
+            } => CaqrError::DeviceLost {
+                kernel,
+                launch_index,
             },
             other => CaqrError::Launch(other),
         }
@@ -138,6 +156,13 @@ impl std::fmt::Display for CaqrError {
             CaqrError::ChecksumMismatch { stage, panel, col } => write!(
                 f,
                 "checksum mismatch: {stage} verification of panel {panel} failed at column {col} (silent data corruption detected)"
+            ),
+            CaqrError::DeviceLost {
+                kernel,
+                launch_index,
+            } => write!(
+                f,
+                "device lost: kernel `{kernel}` (launch #{launch_index}) found its device gone"
             ),
             CaqrError::Unrecoverable { context } => {
                 write!(f, "unrecoverable after all replay tiers: {context}")
@@ -200,6 +225,24 @@ mod tests {
         );
         let s = e.to_string();
         assert!(s.contains("apply_qt_h") && s.contains("10000"), "{s}");
+    }
+
+    #[test]
+    fn device_lost_converts_to_typed_loss() {
+        let e: CaqrError = LaunchError::DeviceLost {
+            kernel: "factor_tree",
+            launch_index: 9,
+        }
+        .into();
+        assert_eq!(
+            e,
+            CaqrError::DeviceLost {
+                kernel: "factor_tree",
+                launch_index: 9
+            }
+        );
+        let s = e.to_string();
+        assert!(s.contains("factor_tree") && s.contains('9'), "{s}");
     }
 
     #[test]

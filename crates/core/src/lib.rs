@@ -18,7 +18,10 @@
 //! * [`schedule`] — CAQR as a task DAG on simulated CUDA streams with
 //!   lookahead, bit-identical to the synchronous loop,
 //! * [`recovery`] — ABFT-checksummed, fault-recovering CAQR: tile-granular
-//!   replay of faulted tasks with a task -> panel -> run escalation ladder.
+//!   replay of faulted tasks with a task -> panel -> run escalation ladder,
+//! * [`distributed`] — multi-device TSQR over an interconnect-modelled
+//!   cluster with tier-4 device-loss failover, bit-identical to the
+//!   single-device host path.
 //!
 //! ## Quick start
 //!
@@ -40,6 +43,7 @@ pub mod block;
 pub mod blockops;
 pub mod bounds;
 pub mod caqr;
+pub mod distributed;
 pub mod error;
 pub mod health;
 pub mod kernels;
@@ -53,6 +57,7 @@ pub mod tuning;
 
 pub use block::{BlockSize, TreeShape};
 pub use caqr::{caqr_qr, Caqr, CaqrOptions, LaunchPlan};
+pub use distributed::{distributed_tsqr, DistOptions, DistTsqr};
 pub use error::CaqrError;
 pub use health::{check_matrix_finite, first_nonfinite};
 pub use microkernels::ReductionStrategy;

@@ -110,6 +110,10 @@ pub struct RecoveryReport {
     pub launch_faults: u64,
     /// Kernel launches enqueued across every attempt (replays included).
     pub launches: u64,
+    /// Tier-4 failovers: whole devices lost and their work adopted by a
+    /// survivor. Always 0 on a single device — `DeviceLost` is terminal
+    /// there; the multi-device driver (`distributed`) fills this in.
+    pub device_failovers: u64,
 }
 
 impl RecoveryReport {
@@ -126,7 +130,10 @@ impl RecoveryReport {
 /// A recoverable fault: retrying the producing task (with fresh launch
 /// ordinals and restored inputs) can plausibly succeed. Everything else —
 /// bad shapes, non-finite input, launch-config violations, a deadlocked
-/// schedule — is deterministic and propagates immediately.
+/// schedule — is deterministic and propagates immediately. `DeviceLost`
+/// is deliberately *not* transient: a dead device answers no retry, so on
+/// a single device the ladder fails fast; recovering from device loss
+/// needs a survivor to fail over to (`distributed::distributed_tsqr`).
 fn is_transient(e: &CaqrError) -> bool {
     matches!(
         e,

@@ -25,6 +25,7 @@ use crate::timeline::{self, Timeline};
 use dense::Scalar;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Where a launch goes: the synchronous timeline, or an asynchronous
 /// stream queue. Lets algorithm code be written once and scheduled either
@@ -75,6 +76,10 @@ pub struct Gpu {
     streams: Mutex<StreamTable>,
     fault: Mutex<Option<FaultState>>,
     watchdog_us: Mutex<f64>,
+    /// Set when a `FaultKind::DeviceLoss` fires: the device is gone and
+    /// every subsequent admission fails with [`LaunchError::DeviceLost`]
+    /// until [`Gpu::reset`] revives it.
+    lost: AtomicBool,
 }
 
 impl Gpu {
@@ -87,6 +92,7 @@ impl Gpu {
             streams: Mutex::new(StreamTable::default()),
             fault: Mutex::new(None),
             watchdog_us: Mutex::new(DEFAULT_WATCHDOG_US),
+            lost: AtomicBool::new(false),
         }
     }
 
@@ -146,8 +152,25 @@ impl Gpu {
     /// Exhausting the budget returns [`LaunchError::Timeout`] when the
     /// final attempt hung, [`LaunchError::DeviceFault`] otherwise — in both
     /// cases with device memory untouched by this launch.
+    ///
+    /// **Device loss** is different in kind: the faulted launch returns
+    /// [`LaunchError::DeviceLost`] with *no* retry (a dead device does not
+    /// answer resubmissions), the device is marked lost, and every later
+    /// admission fails the same way until [`Gpu::reset`]. Launch ordinals
+    /// keep counting on a lost device so fault plans stay aligned.
     fn admit(&self, name: &'static str) -> Result<Admission, LaunchError> {
         let mut guard = self.fault.lock();
+        if self.lost.load(Ordering::Relaxed) {
+            let idx = guard.as_mut().map_or(0, |state| {
+                let i = state.next_launch;
+                state.next_launch += 1;
+                i
+            });
+            return Err(LaunchError::DeviceLost {
+                kernel: name,
+                launch_index: idx,
+            });
+        }
         let Some(state) = guard.as_mut() else {
             return Ok(Admission::CLEAN);
         };
@@ -181,6 +204,21 @@ impl Gpu {
                     stall_seconds +=
                         overhead + deadline_us * 1.0e-6 + state.policy.backoff_seconds(attempt);
                     self.ledger.lock().record_hang();
+                }
+                Some(FaultKind::DeviceLoss) => {
+                    // The device is gone. Charge any stall spent discovering
+                    // earlier hung attempts, mark the device dead, and fail
+                    // without retrying — resubmission cannot reach it.
+                    self.lost.store(true, Ordering::Relaxed);
+                    let mut ledger = self.ledger.lock();
+                    if stall_seconds > 0.0 {
+                        ledger.record_stall(stall_seconds, true);
+                    }
+                    ledger.record_device_loss();
+                    return Err(LaunchError::DeviceLost {
+                        kernel: name,
+                        launch_index: idx,
+                    });
                 }
             }
         }
@@ -219,11 +257,33 @@ impl Gpu {
         self.ledger.lock().seconds
     }
 
+    /// Has this device been lost to a `FaultKind::DeviceLoss`? A lost
+    /// device rejects every launch with [`LaunchError::DeviceLost`] until
+    /// [`Gpu::reset`] revives it.
+    pub fn is_lost(&self) -> bool {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Record that this device adopted a lost device's workload as the
+    /// failover survivor (tier-4 recovery; called by multi-device drivers).
+    pub fn note_device_failover(&self) {
+        self.ledger.lock().record_device_failover();
+    }
+
+    /// Record one interconnect message sent by this device (counts only;
+    /// the cluster clock owns the modelled communication time). Called by
+    /// `gpu_sim::interconnect::Cluster` on every send.
+    pub fn note_net_send(&self, bytes: u64, hops: u64, seconds: f64) {
+        self.ledger.lock().record_net_send(bytes, hops, seconds);
+    }
+
     /// Clear the timeline (between experiments). Also discards all streams
-    /// and any launches queued but not yet synchronized.
+    /// and any launches queued but not yet synchronized, and revives a
+    /// lost device (the simulation analogue of replacing the node).
     pub fn reset(&self) {
         *self.ledger.lock() = CostLedger::default();
         *self.streams.lock() = StreamTable::default();
+        self.lost.store(false, Ordering::Relaxed);
         // Keep any installed fault plan but restart its launch numbering so
         // repeated experiments see identical fault schedules.
         if let Some(state) = self.fault.lock().as_mut() {

@@ -20,6 +20,13 @@
 //!   resubmits under the retry budget; a launch that hangs on its final
 //!   attempt surfaces as [`crate::LaunchError::Timeout`] instead of
 //!   blocking forever.
+//! * [`FaultKind::DeviceLoss`] — the whole device drops off the bus: the
+//!   faulted launch is rejected with [`crate::LaunchError::DeviceLost`],
+//!   no retry is attempted (a dead device does not come back), and every
+//!   subsequent launch on that device fails the same way until
+//!   [`crate::Gpu::reset`]. Recovery is the business of a *multi-device*
+//!   driver, which replays the lost device's work on a survivor
+//!   (`caqr::distributed`); on a single device the loss is terminal.
 //!
 //! Faults are selected by a [`FaultPlan`]: either an explicit map of launch
 //! ordinals to kinds, or a seeded pseudo-random plan in which every
@@ -48,6 +55,10 @@ pub enum FaultKind {
     Sdc,
     /// The launch never completes; the watchdog kills it at the deadline.
     Hang,
+    /// The device itself is lost: the launch is rejected with
+    /// [`crate::LaunchError::DeviceLost`] and the device stays dead (every
+    /// later launch fails too) until [`crate::Gpu::reset`] revives it.
+    DeviceLoss,
 }
 
 #[derive(Clone, Debug)]
@@ -122,6 +133,14 @@ impl FaultPlan {
         Self::explicit(indices.iter().map(|&i| (i, FaultKind::Hang)))
     }
 
+    /// Lose the whole device at exactly these launch ordinals: the first of
+    /// them to be admitted kills the device, and every launch from then on
+    /// (whatever its ordinal) fails with
+    /// [`crate::LaunchError::DeviceLost`].
+    pub fn device_loss_at_launches(indices: &[u64]) -> Self {
+        Self::explicit(indices.iter().map(|&i| (i, FaultKind::DeviceLoss)))
+    }
+
     /// Explicit plan mapping launch ordinals to fault kinds.
     pub fn explicit(entries: impl IntoIterator<Item = (u64, FaultKind)>) -> Self {
         FaultPlan {
@@ -160,6 +179,8 @@ impl FaultPlan {
             Mode::Explicit(map) => match map.get(&launch_index) {
                 // Persistent: every in-place resubmission hangs again.
                 Some(FaultKind::Hang) => Some(FaultKind::Hang),
+                // Persistent too — a lost device never answers a retry.
+                Some(FaultKind::DeviceLoss) => Some(FaultKind::DeviceLoss),
                 Some(kind) if attempt == 0 => Some(*kind),
                 _ => None,
             },
@@ -273,7 +294,8 @@ mod tests {
                     Some(FaultKind::LaunchFail) => launch += 1,
                     Some(FaultKind::Sdc) => sdc += 1,
                     Some(FaultKind::Hang) => hang += 1,
-                    None => {}
+                    // Seeded plans draw only the three transient kinds.
+                    Some(FaultKind::DeviceLoss) | None => {}
                 }
             }
         }
@@ -303,6 +325,16 @@ mod tests {
         assert_eq!(s.fault_kind(4, 0), Some(FaultKind::Sdc));
         assert_eq!(s.fault_kind(4, 1), None);
         assert!(!s.should_fault(4, 0), "SDC admits the launch");
+    }
+
+    #[test]
+    fn explicit_device_loss_is_persistent() {
+        let p = FaultPlan::device_loss_at_launches(&[3]);
+        for a in 0..8u32 {
+            assert_eq!(p.fault_kind(3, a), Some(FaultKind::DeviceLoss));
+        }
+        assert_eq!(p.fault_kind(2, 0), None);
+        assert!(!p.should_fault(3, 0), "loss is not an admission retry case");
     }
 
     #[test]

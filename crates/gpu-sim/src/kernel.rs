@@ -73,6 +73,19 @@ pub enum LaunchError {
         /// Watchdog deadline charged per hung attempt, microseconds.
         deadline_us: u64,
     },
+    /// The whole device is gone (a simulated
+    /// [`crate::fault::FaultKind::DeviceLoss`]) — the analogue of
+    /// `cudaErrorDevicesUnavailable` after a node drops off the bus. Unlike
+    /// transient faults there is no retry: this launch and every subsequent
+    /// launch on the device fail until [`crate::Gpu::reset`] revives it.
+    /// Multi-device drivers recover by failing the lost device's work over
+    /// to a survivor (see `caqr::distributed`).
+    DeviceLost {
+        /// Kernel whose launch found the device gone.
+        kernel: &'static str,
+        /// Launch ordinal (0-based admission order) that hit the loss.
+        launch_index: u64,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -118,6 +131,15 @@ impl std::fmt::Display for LaunchError {
                 write!(
                     f,
                     "watchdog timeout: kernel `{kernel}` (launch #{launch_index}) hung past the {deadline_us} us deadline on every retry"
+                )
+            }
+            LaunchError::DeviceLost {
+                kernel,
+                launch_index,
+            } => {
+                write!(
+                    f,
+                    "device lost: kernel `{kernel}` (launch #{launch_index}) found the device gone; all further launches fail until reset"
                 )
             }
         }

@@ -55,6 +55,24 @@ pub struct CostLedger {
     pub panel_replays: u64,
     /// Recovery tier 3: whole-run retries from the pristine input.
     pub run_retries: u64,
+    /// Device losses suffered (see `fault::FaultKind::DeviceLoss`): the
+    /// launch that found the device gone. At most 1 per `Gpu::reset` epoch.
+    pub device_losses: u64,
+    /// Recovery tier 4: lost-device workloads this device adopted as the
+    /// failover survivor (multi-device runs only).
+    pub device_failovers: u64,
+    /// Interconnect messages sent by this device (multi-device runs only).
+    pub net_messages: u64,
+    /// Interconnect payload bytes sent by this device.
+    pub net_bytes: u64,
+    /// Total link hops traversed by this device's sent messages.
+    pub net_hops: u64,
+    /// Modelled seconds this device spent occupying its interconnect port
+    /// as a sender. Tracked under the `net_send` pseudo-op and **not**
+    /// added to `seconds`: communication time lives on the cluster clocks
+    /// (`gpu_sim::interconnect::Cluster`), never on the device timeline,
+    /// so single-device accounting invariants are untouched.
+    pub net_seconds: f64,
     /// Per-operation breakdown keyed by kernel/BLAS name.
     pub per_op: BTreeMap<&'static str, OpStats>,
     /// Per-stream per-kernel intervals from stream-scheduled launches,
@@ -149,6 +167,31 @@ impl CostLedger {
         self.run_retries += 1;
     }
 
+    /// Record this device dropping off the bus (a `DeviceLoss` fault).
+    pub fn record_device_loss(&mut self) {
+        self.device_losses += 1;
+    }
+
+    /// Record a tier-4 recovery action: this device adopted a lost
+    /// device's workload as the failover survivor.
+    pub fn record_device_failover(&mut self) {
+        self.device_failovers += 1;
+    }
+
+    /// Record one interconnect message sent by this device. Counts and
+    /// per-op seconds only — the cluster clock owns the modelled time (see
+    /// the field docs on [`Self::net_seconds`]).
+    pub fn record_net_send(&mut self, bytes: u64, hops: u64, seconds: f64) {
+        self.net_messages += 1;
+        self.net_bytes += bytes;
+        self.net_hops += hops;
+        self.net_seconds += seconds;
+        let e = self.per_op.entry("net_send").or_default();
+        e.calls += 1;
+        e.seconds += seconds;
+        e.bytes += bytes as f64;
+    }
+
     /// Record one kernel of a stream-scheduled batch. Attributes the call,
     /// flops, bytes and per-op seconds, but does **not** advance the global
     /// clock — concurrent kernels overlap, so the batch's wall-clock
@@ -199,6 +242,23 @@ impl CostLedger {
                 s,
                 "  recovery: {} task replays, {} panel replays, {} run retries",
                 self.task_replays, self.panel_replays, self.run_retries
+            );
+        }
+        if self.device_losses > 0 || self.device_failovers > 0 {
+            let _ = writeln!(
+                s,
+                "  device loss: lost {} time(s), adopted {} failover workload(s)",
+                self.device_losses, self.device_failovers
+            );
+        }
+        if self.net_messages > 0 {
+            let _ = writeln!(
+                s,
+                "  net: {} msgs, {:.1} KB, {} hops, {:.3} ms on the wire",
+                self.net_messages,
+                self.net_bytes as f64 / 1e3,
+                self.net_hops,
+                self.net_seconds * 1e3
             );
         }
         for (name, op) in &self.per_op {

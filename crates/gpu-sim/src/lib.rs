@@ -19,6 +19,12 @@
 //! modelled timing is resolved by a discrete-event engine
 //! ([`timeline`]) at [`device::Gpu::synchronize`], which also exports
 //! Chrome `trace_event` JSON per stream.
+//!
+//! Multiple devices can be joined into an [`interconnect::Cluster`]: a
+//! latency/bandwidth (alpha-beta + per-hop) link model over a ring or
+//! binomial-tree [`interconnect::Topology`], with `send`/`recv`/
+//! `broadcast`/`reduce` as first-class timed events on the same modelled
+//! clock — the substrate for distributed CAQR (`caqr::distributed`).
 
 #![warn(missing_docs)]
 
@@ -26,6 +32,7 @@ pub mod cost;
 pub mod cpu;
 pub mod device;
 pub mod fault;
+pub mod interconnect;
 pub mod kernel;
 pub mod ledger;
 pub mod spec;
@@ -36,6 +43,7 @@ pub use cost::{BlockCost, CostMeter, KernelReport};
 pub use cpu::CpuMachine;
 pub use device::{Exec, Gpu, DEFAULT_WATCHDOG_US};
 pub use fault::{FaultKind, FaultPlan, RetryPolicy};
+pub use interconnect::{Cluster, CommEvent, LinkSpec, NetTotals, Topology};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig, LaunchError};
 pub use ledger::CostLedger;
 pub use spec::{CpuSpec, DeviceSpec, PcieSpec};

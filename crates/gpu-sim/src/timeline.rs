@@ -61,6 +61,31 @@ impl Interval {
     pub fn duration(&self) -> f64 {
         self.end - self.start
     }
+
+    /// Render as one Chrome trace-event object (`"ph":"X"`) under process
+    /// `pid`, with the interval's batch-relative times shifted by
+    /// `offset_us` microseconds. Multi-device traces place each device in
+    /// its own process row by varying `pid` and use the offset to lift
+    /// per-synchronize batches onto the cluster's absolute clock.
+    pub fn chrome_event(&self, pid: usize, offset_us: f64) -> String {
+        format!(
+            concat!(
+                "  {{\"name\": \"{}\", \"cat\": \"kernel\", \"ph\": \"X\", ",
+                "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}, ",
+                "\"args\": {{\"blocks\": {}, \"flops\": {:.0}, ",
+                "\"dram_bytes\": {:.0}, \"alone_us\": {:.3}}}}}"
+            ),
+            self.name,
+            offset_us + self.start * 1e6,
+            self.duration() * 1e6,
+            pid,
+            self.stream,
+            self.blocks,
+            self.flops,
+            self.bytes,
+            self.alone_seconds * 1e6,
+        )
+    }
 }
 
 /// The resolved timeline of one synchronize: per-kernel intervals plus the
@@ -99,33 +124,12 @@ impl Timeline {
     /// one complete (`"ph":"X"`) event per kernel, streams as thread lanes.
     /// Load the string from a `.json` file via "Load trace".
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, iv) in self.intervals.iter().enumerate() {
-            let sep = if i + 1 == self.intervals.len() {
-                ""
-            } else {
-                ","
-            };
-            out.push_str(&format!(
-                concat!(
-                    "  {{\"name\": \"{}\", \"cat\": \"kernel\", \"ph\": \"X\", ",
-                    "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, ",
-                    "\"args\": {{\"blocks\": {}, \"flops\": {:.0}, ",
-                    "\"dram_bytes\": {:.0}, \"alone_us\": {:.3}}}}}{}\n"
-                ),
-                iv.name,
-                iv.start * 1e6,
-                iv.duration() * 1e6,
-                iv.stream,
-                iv.blocks,
-                iv.flops,
-                iv.bytes,
-                iv.alone_seconds * 1e6,
-                sep,
-            ));
-        }
-        out.push(']');
-        out
+        let events: Vec<String> = self
+            .intervals
+            .iter()
+            .map(|iv| iv.chrome_event(0, 0.0))
+            .collect();
+        format!("[\n{}\n]", events.join(",\n"))
     }
 }
 

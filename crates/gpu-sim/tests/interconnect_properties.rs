@@ -1,0 +1,193 @@
+//! Property tests for the interconnect cost model (DESIGN.md §11):
+//! determinism, monotonicity in message size and in `alpha` / `1/beta`,
+//! latency floors for empty messages, and timestamp sanity.
+
+use gpu_sim::{Cluster, DeviceSpec, LinkSpec, Topology};
+use proptest::prelude::*;
+
+fn topo(sel: usize) -> Topology {
+    if sel.is_multiple_of(2) {
+        Topology::Ring
+    } else {
+        Topology::BinomialTree
+    }
+}
+
+/// Decode one packed op word into `(from, to, bytes)` for a `p`-device
+/// cluster: low bits pick endpoints, high bits the payload size.
+fn decode_op(word: u64, p: usize) -> (usize, usize, u64) {
+    let from = (word & 0xff) as usize % p;
+    let to = ((word >> 8) & 0xff) as usize % p;
+    let bytes = (word >> 16) & ((1 << 22) - 1);
+    (from, to, bytes)
+}
+
+/// Replay a packed op script on a fresh cluster.
+fn replay(p: usize, link: LinkSpec, topology: Topology, ops: &[u64]) -> Cluster {
+    let c = Cluster::new(p, DeviceSpec::c2050(), link, topology);
+    for &word in ops {
+        let (from, to, bytes) = decode_op(word, p);
+        if from != to {
+            c.transfer(from, to, bytes);
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The model is a pure function of its inputs: replaying the same op
+    /// script on the same cluster configuration reproduces every event
+    /// timestamp bit-for-bit.
+    #[test]
+    fn cost_model_is_deterministic(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        topo_sel in 0usize..2,
+        p in 2usize..9,
+        ops in collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let a = replay(p, link, topo(topo_sel), &ops);
+        let b = replay(p, link, topo(topo_sel), &ops);
+        let (ea, eb) = (a.comm_events(), b.comm_events());
+        prop_assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(&eb) {
+            prop_assert_eq!(x.from, y.from);
+            prop_assert_eq!(x.to, y.to);
+            prop_assert!(x.start == y.start && x.end == y.end,
+                "timestamps must replay exactly: {:?} vs {:?}", x, y);
+        }
+        prop_assert!(a.makespan() == b.makespan());
+    }
+
+    /// Transfer time is monotone non-decreasing in message size.
+    #[test]
+    fn transfer_time_monotone_in_bytes(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        hops in 0usize..6,
+        b1 in 0u64..(1u64 << 30),
+        b2 in 0u64..(1u64 << 30),
+    ) {
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(link.transfer_seconds(lo, hops) <= link.transfer_seconds(hi, hops));
+    }
+
+    /// Transfer time is monotone increasing in the latency term `alpha`
+    /// and monotone non-increasing in bandwidth (i.e. increasing in
+    /// `1/beta`).
+    #[test]
+    fn transfer_time_monotone_in_alpha_and_inverse_beta(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        d_alpha in 0.001f64..100.0,
+        beta_scale in 1.001f64..100.0,
+        bytes in 0u64..(1u64 << 30),
+        hops in 0usize..6,
+    ) {
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let slower_alpha = LinkSpec { alpha_us: alpha_us + d_alpha, ..link };
+        prop_assert!(
+            slower_alpha.transfer_seconds(bytes, hops) > link.transfer_seconds(bytes, hops)
+        );
+        let slower_beta = LinkSpec { beta_gbs: beta_gbs / beta_scale, ..link };
+        prop_assert!(
+            slower_beta.transfer_seconds(bytes, hops) >= link.transfer_seconds(bytes, hops)
+        );
+        if bytes > 0 {
+            prop_assert!(
+                slower_beta.transfer_seconds(bytes, hops) > link.transfer_seconds(bytes, hops)
+            );
+        }
+    }
+
+    /// Zero-byte messages still pay the full latency terms: the alpha cost
+    /// is exactly what the CAQR reduction tree is shaped to avoid, so it
+    /// must never round to free.
+    #[test]
+    fn zero_byte_messages_pay_latency(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        topo_sel in 0usize..2,
+        p in 2usize..9,
+        endpoints in 0u64..u64::MAX,
+    ) {
+        let (from, to, _) = decode_op(endpoints, p);
+        prop_assume!(from != to);
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let c = Cluster::new(p, DeviceSpec::c2050(), link, topo(topo_sel));
+        let t = c.transfer(from, to, 0);
+        prop_assert!(t >= alpha_us * 1.0e-6);
+        let ev = c.comm_events();
+        prop_assert_eq!(ev.len(), 1);
+        prop_assert!(ev[0].end - ev[0].start >= alpha_us * 1.0e-6);
+    }
+
+    /// Every event the model emits has finite, ordered, non-negative
+    /// timestamps, hop counts consistent with the topology, and clocks
+    /// that never run backwards.
+    #[test]
+    fn timestamps_are_finite_ordered_and_nonnegative(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        topo_sel in 0usize..2,
+        p in 1usize..9,
+        ops in collection::vec(0u64..u64::MAX, 0..60),
+    ) {
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let c = replay(p, link, topo(topo_sel), &ops);
+        for e in c.comm_events() {
+            prop_assert!(e.start.is_finite() && e.end.is_finite());
+            prop_assert!(e.start >= 0.0);
+            prop_assert!(e.end > e.start, "messages take positive time");
+            prop_assert_eq!(e.hops, c.topology().hops(p, e.from, e.to));
+        }
+        for d in 0..p {
+            let t = c.device_time(d);
+            prop_assert!(t.is_finite() && t >= 0.0);
+        }
+        let mk = c.makespan();
+        prop_assert!(mk.is_finite() && mk >= 0.0);
+        // The makespan dominates every device clock and every event end.
+        for e in c.comm_events() {
+            prop_assert!(mk >= e.end - 1e-18);
+        }
+    }
+
+    /// Collectives behave on every shape: broadcast and reduce complete
+    /// with finite times and touch every non-root rank exactly as the
+    /// topology prescribes.
+    #[test]
+    fn collectives_complete_on_all_shapes(
+        alpha_us in 0.1f64..50.0,
+        beta_gbs in 0.5f64..40.0,
+        hop_us in 0.0f64..5.0,
+        topo_sel in 0usize..2,
+        p in 1usize..9,
+        root_sel in 0usize..16,
+        bytes in 0u64..(1u64 << 22),
+    ) {
+        let link = LinkSpec { alpha_us, beta_gbs, hop_us };
+        let root = root_sel % p;
+        let c = Cluster::new(p, DeviceSpec::c2050(), link, topo(topo_sel));
+        let tb = c.broadcast(root, bytes);
+        prop_assert!(tb.is_finite() && tb >= 0.0);
+        let c2 = Cluster::new(p, DeviceSpec::c2050(), link, topo(topo_sel));
+        let tr = c2.reduce(root, bytes);
+        prop_assert!(tr.is_finite() && tr >= 0.0);
+        // Each non-root rank contributes exactly one reduce message.
+        let ev = c2.comm_events();
+        prop_assert_eq!(ev.len(), p - 1);
+        for e in &ev {
+            prop_assert!(e.from != root || p == 1);
+        }
+    }
+}

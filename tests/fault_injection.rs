@@ -141,7 +141,9 @@ fn seeded_plans_are_pure_functions_of_their_inputs() {
                 Some(FaultKind::LaunchFail) => kinds[0] += 1,
                 Some(FaultKind::Sdc) => kinds[1] += 1,
                 Some(FaultKind::Hang) => kinds[2] += 1,
-                None => {}
+                // Seeded plans draw only the three transient kinds; whole-
+                // device loss is explicit-plan-only.
+                Some(FaultKind::DeviceLoss) | None => {}
             }
         }
     }
@@ -327,4 +329,52 @@ fn fault_plan_does_not_outlive_clear() {
     let faults_before = gpu.ledger().faults;
     caqr::caqr::caqr(&gpu, a, opts()).unwrap();
     assert_eq!(gpu.ledger().faults, faults_before, "no new faults");
+}
+
+#[test]
+fn device_loss_is_terminal_on_a_single_device() {
+    let a = dense::generate::uniform::<f64>(1024, 32, 9);
+    let gpu = Gpu::new(DeviceSpec::c2050());
+    gpu.set_fault_plan(FaultPlan::device_loss_at_launches(&[2]));
+    // No retry can answer on a dead device: the driver must fail fast with
+    // the typed loss, not spin through the retry budget.
+    match caqr::caqr::caqr(&gpu, a.clone(), opts()) {
+        Err(CaqrError::DeviceLost { launch_index, .. }) => assert_eq!(launch_index, 2),
+        other => panic!("expected DeviceLost, got {:?}", other.map(|_| ())),
+    }
+    assert!(gpu.is_lost(), "the lost flag persists after the failed run");
+    assert_eq!(gpu.ledger().device_losses, 1);
+
+    // Every subsequent launch fails immediately, whatever the kernel.
+    match caqr::caqr::caqr(&gpu, a.clone(), opts()) {
+        Err(CaqrError::DeviceLost { .. }) => {}
+        other => panic!("a lost device must stay lost, got {:?}", other.map(|_| ())),
+    }
+
+    // The resilient executor's ladder also refuses to spin on it: loss is
+    // deliberately not a transient tier (recovery needs a survivor, which
+    // a single device does not have).
+    let gpu2 = Gpu::new(DeviceSpec::c2050());
+    gpu2.set_fault_plan(FaultPlan::device_loss_at_launches(&[0]));
+    let recovery = RecoveryOptions {
+        caqr: opts(),
+        ..RecoveryOptions::default()
+    };
+    match caqr_resilient(&gpu2, a.clone(), recovery) {
+        Err(CaqrError::DeviceLost { .. }) | Err(CaqrError::Unrecoverable { .. }) => {}
+        other => panic!(
+            "resilient ladder must not absorb device loss, got {:?}",
+            other.map(|_| ())
+        ),
+    }
+
+    // reset() revives the device (the simulated node rejoining): with the
+    // fault script cleared, a fresh run on the same Gpu succeeds and
+    // matches a clean device bit-for-bit.
+    gpu.clear_fault_plan();
+    gpu.reset();
+    assert!(!gpu.is_lost());
+    let revived = caqr::caqr::caqr(&gpu, a.clone(), opts()).unwrap();
+    let clean = caqr::caqr::caqr(&Gpu::new(DeviceSpec::c2050()), a, opts()).unwrap();
+    assert_eq!(revived.r(), clean.r());
 }

@@ -169,3 +169,102 @@ fn transfers_are_not_charged_for_resident_matrices() {
     assert_eq!(l.transfers, 0);
     assert_eq!(l.h2d_bytes + l.d2h_bytes, 0);
 }
+
+#[test]
+fn interconnect_ledgers_reconcile_with_trace_events() {
+    // Drive a real distributed factorization and reconcile three
+    // independent accounts of the same traffic: the per-device cost
+    // ledgers (counter side), the cluster's event log (event side), and
+    // the chrome trace (export side). Every byte, message, and hop must
+    // appear in all three with identical totals.
+    use caqr::distributed::{distributed_tsqr, DistOptions};
+    use gpu_sim::{Cluster, LinkSpec, Topology};
+
+    let p = 4;
+    let c = Cluster::new(
+        p,
+        DeviceSpec::c2050(),
+        LinkSpec::infiniband_qdr(),
+        Topology::BinomialTree,
+    );
+    let a = dense::generate::uniform::<f32>(128 * 8, 16, 3);
+    let f = distributed_tsqr(&c, a, DistOptions::default()).unwrap();
+    assert_eq!(f.r().cols(), 16);
+
+    let events = c.comm_events();
+    assert!(!events.is_empty(), "P=4 must communicate");
+
+    // Event side: aggregate the raw event log.
+    let ev_messages = events.len() as u64;
+    let ev_bytes: u64 = events.iter().map(|e| e.bytes).sum();
+    let ev_hops: u64 = events.iter().map(|e| e.hops as u64).sum();
+    let ev_seconds: f64 = events.iter().map(|e| e.end - e.start).sum();
+
+    // Counter side A: the cluster's own totals.
+    let totals = c.net_totals();
+    assert_eq!(totals.messages, ev_messages);
+    assert_eq!(totals.bytes, ev_bytes);
+    assert_eq!(totals.hops, ev_hops);
+    assert!((totals.seconds - ev_seconds).abs() <= 1e-12 * ev_seconds.max(1.0));
+
+    // Counter side B: the senders' device ledgers, summed. `net_send` is
+    // charged to the sending device exactly once per message.
+    let ledgers: Vec<_> = (0..p).map(|d| c.device(d).ledger()).collect();
+    assert_eq!(
+        ledgers.iter().map(|l| l.net_messages).sum::<u64>(),
+        ev_messages
+    );
+    assert_eq!(ledgers.iter().map(|l| l.net_bytes).sum::<u64>(), ev_bytes);
+    assert_eq!(ledgers.iter().map(|l| l.net_hops).sum::<u64>(), ev_hops);
+    let ledger_net_s: f64 = ledgers.iter().map(|l| l.net_seconds).sum();
+    assert!((ledger_net_s - ev_seconds).abs() <= 1e-12 * ev_seconds.max(1.0));
+    // Per-sender attribution matches the event log device by device.
+    for (d, l) in ledgers.iter().enumerate() {
+        let sent = events.iter().filter(|e| e.from == d).count() as u64;
+        assert_eq!(l.net_messages, sent, "device {d} send count");
+    }
+
+    // Comm time lives on the cluster clocks only — the per-op entry
+    // reports it, but it never advances the device's kernel clock: the
+    // cluster's per-device time covers folded compute plus comm, so each
+    // device clock (`seconds`) stays within its cluster time.
+    for (d, l) in ledgers.iter().enumerate() {
+        let net_op = l.per_op.get("net_send");
+        let (op_s, op_b) = net_op.map_or((0.0, 0.0), |op| (op.seconds, op.bytes));
+        assert!(
+            (op_s - l.net_seconds).abs() <= 1e-15,
+            "device {d} per-op/counter drift"
+        );
+        assert!((op_b - l.net_bytes as f64).abs() <= 1e-9);
+        assert!(
+            l.seconds <= c.device_time(d) + 1e-12,
+            "device {d} kernel clock {} exceeds its cluster time {}",
+            l.seconds,
+            c.device_time(d)
+        );
+    }
+
+    // Export side: every message appears in the chrome trace on a named
+    // interconnect channel lane, and every device has its process row.
+    let trace = c.chrome_trace();
+    assert_eq!(
+        trace.matches("\"cat\": \"net\"").count() as u64,
+        ev_messages,
+        "one net trace event per message"
+    );
+    for d in 0..p {
+        assert!(
+            trace.contains(&format!("device{d}")),
+            "device {d} process row missing"
+        );
+    }
+    assert!(trace.contains("interconnect"), "interconnect process row");
+    for e in &events {
+        assert!(
+            trace.contains(&format!("d{}->d{}", e.from, e.to)),
+            "channel lane d{}->d{} missing",
+            e.from,
+            e.to
+        );
+    }
+}
