@@ -39,5 +39,18 @@ fn main() {
 
     let path = MeasuredProfile::default_path();
     profile.save(&path).expect("persist tuned profile");
-    println!("wrote {}", path.display());
+    // Round-trip through `load`, which rejects profiles whose SIMD backend
+    // or kernel generation doesn't match this process — proving the file
+    // just written carries the tags that will keep it valid (and that a
+    // later kernel bump or different machine will retire it).
+    let back = MeasuredProfile::load(&path)
+        .expect("freshly saved profile must reload under the current backend/kernel tags");
+    assert_eq!(back.backend, dense::simd::active().name());
+    assert_eq!(back.kernel_version, dense::simd::KERNEL_VERSION);
+    println!(
+        "wrote {} (backend {}, kernel generation {})",
+        path.display(),
+        back.backend,
+        back.kernel_version
+    );
 }

@@ -23,6 +23,10 @@ use std::time::Instant;
 struct Entry {
     kernel: &'static str,
     shape: String,
+    /// SIMD backend the row was measured on (`dense::Backend::name()`).
+    /// GEMM rows are swept over every reachable backend via the dispatch
+    /// override; the other kernels record the auto-selected one.
+    backend: String,
     seconds: f64,
     gflops: f64,
     /// Arena requests served from the pool during the timed (steady-state)
@@ -32,6 +36,12 @@ struct Entry {
     /// Zero for every arena-backed kernel once the pool is warm — this is
     /// the "no per-launch allocation" evidence.
     arena_misses: u64,
+}
+
+/// The auto-selected SIMD backend's name, recorded on every row that is
+/// not explicitly swept over backends.
+fn active_name() -> String {
+    dense::simd::active().name().to_string()
 }
 
 /// Best-of-`reps` wall-clock of `f`, charged with `flops` useful flops.
@@ -55,32 +65,40 @@ fn time_kernel<T: PoolScalar>(
 }
 
 fn bench_gemm(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
-    for &(m, n, k) in shapes {
-        let a = dense::generate::uniform::<f32>(m, k, 1);
-        let b = dense::generate::uniform::<f32>(k, n, 2);
-        let mut c = Matrix::<f32>::zeros(m, n);
-        let (seconds, gflops, hits, misses) =
-            time_kernel::<f32>(reps, 2.0 * (m * n * k) as f64, || {
-                gemm(
-                    Trans::No,
-                    Trans::No,
-                    1.0,
-                    a.as_ref(),
-                    b.as_ref(),
-                    0.0,
-                    c.as_mut(),
-                );
-                std::hint::black_box(&c);
+    // Sweep every backend this CPU can reach (the dispatch override forces
+    // each in turn) so the report records the full SIMD speedup ladder —
+    // scalar is the PR-2 baseline every vector row is compared against.
+    for backend in dense::Backend::available() {
+        dense::simd::set_backend_override(Some(backend));
+        for &(m, n, k) in shapes {
+            let a = dense::generate::uniform::<f32>(m, k, 1);
+            let b = dense::generate::uniform::<f32>(k, n, 2);
+            let mut c = Matrix::<f32>::zeros(m, n);
+            let (seconds, gflops, hits, misses) =
+                time_kernel::<f32>(reps, 2.0 * (m * n * k) as f64, || {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        1.0,
+                        a.as_ref(),
+                        b.as_ref(),
+                        0.0,
+                        c.as_mut(),
+                    );
+                    std::hint::black_box(&c);
+                });
+            entries.push(Entry {
+                kernel: "gemm",
+                shape: format!("{m}x{n}x{k}"),
+                backend: backend.name().to_string(),
+                seconds,
+                gflops,
+                arena_hits: hits,
+                arena_misses: misses,
             });
-        entries.push(Entry {
-            kernel: "gemm",
-            shape: format!("{m}x{n}x{k}"),
-            seconds,
-            gflops,
-            arena_hits: hits,
-            arena_misses: misses,
-        });
+        }
     }
+    dense::simd::set_backend_override(None);
 }
 
 fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, usize)]) {
@@ -111,6 +129,7 @@ fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, u
         entries.push(Entry {
             kernel: "apply_larfb_wy",
             shape: shape.clone(),
+            backend: active_name(),
             seconds,
             gflops,
             arena_hits: hits,
@@ -128,6 +147,7 @@ fn bench_apply(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, usize, u
         entries.push(Entry {
             kernel: "apply_larf_per_reflector",
             shape,
+            backend: active_name(),
             seconds,
             gflops,
             arena_hits: hits,
@@ -157,6 +177,7 @@ fn bench_factor_tile(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, us
         entries.push(Entry {
             kernel: "factor_tile",
             shape: shape.clone(),
+            backend: active_name(),
             seconds,
             gflops,
             arena_hits: hits,
@@ -172,6 +193,7 @@ fn bench_factor_tile(entries: &mut Vec<Entry>, reps: usize, shapes: &[(usize, us
         entries.push(Entry {
             kernel: "factor_tile_ref",
             shape,
+            backend: active_name(),
             seconds,
             gflops,
             arena_hits: hits,
@@ -253,6 +275,7 @@ fn bench_caqr_cpu(
             entries.push(Entry {
                 kernel,
                 shape: format!("{m}x{n}"),
+                backend: active_name(),
                 seconds: best[side],
                 gflops: flops / best[side] / 1e9,
                 arena_hits: hits[side],
@@ -270,13 +293,25 @@ fn main() {
         .position(|a| a == "--check-factor")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--check-factor expects a number"));
+    let check_gemm: Option<f64> = args
+        .iter()
+        .position(|a| a == "--check-gemm")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--check-gemm expects a number"));
     let check_overhead = args.iter().any(|a| a == "--check-overhead");
     let reps = if quick { 2 } else { 5 };
     let mut entries = Vec::new();
     let mut overheads = Vec::new();
 
     if quick {
-        bench_gemm(&mut entries, reps, &[(256, 256, 256), (4096, 16, 16)]);
+        // GEMM repetitions are milliseconds each; best-of-10 keeps the
+        // `--check-gemm` gate out of scheduler-noise territory on a shared
+        // CI core where best-of-2 swings by 30%.
+        bench_gemm(
+            &mut entries,
+            reps.max(10),
+            &[(256, 256, 256), (4096, 16, 16)],
+        );
         bench_apply(&mut entries, reps, &[(4096, 16, 128)]);
         bench_factor_tile(&mut entries, reps, &[(4096, 16, 1024)]);
         // The second, multi-panel shape exercises the trailing-update
@@ -306,17 +341,26 @@ fn main() {
         );
     }
 
-    let mut table = Table::new(&["kernel", "shape", "seconds", "GFLOP/s", "arena hit/miss"]);
+    let mut table = Table::new(&[
+        "kernel",
+        "shape",
+        "backend",
+        "seconds",
+        "GFLOP/s",
+        "arena hit/miss",
+    ]);
     for e in &entries {
         table.row(vec![
             e.kernel.to_string(),
             e.shape.clone(),
+            e.backend.clone(),
             format!("{:.6}", e.seconds),
             format!("{:.2}", e.gflops),
             format!("{}/{}", e.arena_hits, e.arena_misses),
         ]);
     }
     print!("{}", table.render());
+    eprintln!("detected SIMD backend: {}", active_name());
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"kernels\",\n");
@@ -324,12 +368,14 @@ fn main() {
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
     ));
+    json.push_str(&format!("  \"detected_backend\": \"{}\",\n", active_name()));
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.3}, \"arena_hits\": {}, \"arena_misses\": {}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"backend\": \"{}\", \"seconds\": {:.6}, \"gflops\": {:.3}, \"arena_hits\": {}, \"arena_misses\": {}}}{}\n",
             e.kernel,
             e.shape,
+            e.backend,
             e.seconds,
             e.gflops,
             e.arena_hits,
@@ -369,6 +415,46 @@ fn main() {
         eprintln!(
             "check-factor: all caqr_cpu_factor rows >= {min} GFLOP/s, steady-state allocation-free"
         );
+    }
+
+    if let Some(min) = check_gemm {
+        // The GEMM regression gate covers the rows where the packed
+        // microkernel actually dominates: square shapes on the backend the
+        // dispatcher auto-selects for this CPU. Tall-skinny rows (e.g.
+        // 4096x16x16) are packing-overhead-bound and forced-slower-backend
+        // rows are informational only, so neither is gated.
+        let active = active_name();
+        let mut failed = false;
+        let mut gated = 0usize;
+        for e in &entries {
+            if e.kernel != "gemm" || e.backend != active {
+                continue;
+            }
+            let dims: Vec<usize> = e
+                .shape
+                .split('x')
+                .map(|d| d.parse().expect("gemm shape is MxNxK"))
+                .collect();
+            if !(dims.len() == 3 && dims[0] == dims[1] && dims[1] == dims[2]) {
+                continue;
+            }
+            gated += 1;
+            if e.gflops < min {
+                eprintln!(
+                    "FAIL: gemm {} ({}) at {:.3} GFLOP/s is below the floor {min}",
+                    e.shape, e.backend, e.gflops
+                );
+                failed = true;
+            }
+        }
+        if gated == 0 {
+            eprintln!("FAIL: no square gemm rows on the active backend to gate");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check-gemm: all {gated} square gemm rows on '{active}' >= {min} GFLOP/s");
     }
 
     if check_overhead {

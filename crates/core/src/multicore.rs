@@ -171,6 +171,10 @@ fn wy_apply_one_col<T: Scalar>(wy: &WyTile<T>, c: &mut [T]) {
     let h = wy.v.rows();
     let k = wy.v.cols();
     debug_assert_eq!(c.len(), h);
+    // The column kernels dispatch through the SIMD layer: at one column the
+    // `larfb` GEMMs degenerate to matvecs, so the vectorized dot/axpy pair
+    // is the whole arithmetic.
+    let sk = T::small_kernels(dense::simd::active());
     // Dirty arena scratch: both halves are fully written before any read.
     let mut wz = arena::take_dirty::<T>(2 * k);
     let (w, z) = wz.split_at_mut(k);
@@ -178,11 +182,9 @@ fn wy_apply_one_col<T: Scalar>(wy: &WyTile<T>, c: &mut [T]) {
     // stored, zeros above — full-column dot products are exact).
     for (j, wj) in w.iter_mut().enumerate() {
         let vj = wy.v.col(j);
-        let mut acc = T::ZERO;
-        for (&vi, &ci) in vj.iter().zip(c.iter()) {
-            acc += vi * ci;
-        }
-        *wj = acc;
+        // SAFETY: the kernel came from `T::small_kernels(active())`, whose
+        // backend is available on this CPU.
+        *wj = unsafe { (sk.dot)(vj, c) };
     }
     // z = T w  (upper triangular; `transpose == false` uses T, not T^T).
     for (i, zi) in z.iter_mut().enumerate() {
@@ -195,9 +197,8 @@ fn wy_apply_one_col<T: Scalar>(wy: &WyTile<T>, c: &mut [T]) {
     // c -= V z, one streaming axpy per reflector column.
     for (j, &zj) in z.iter().enumerate() {
         let vj = wy.v.col(j);
-        for (ci, &vi) in c.iter_mut().zip(vj.iter()) {
-            *ci -= vi * zj;
-        }
+        // SAFETY: as above — the dispatched backend is available.
+        unsafe { (sk.axpy)(T::ZERO - zj, vj, c) };
     }
 }
 

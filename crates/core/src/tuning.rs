@@ -122,6 +122,14 @@ pub struct MeasuredProfile {
     pub rows: usize,
     /// Calibration matrix width.
     pub cols: usize,
+    /// SIMD backend the calibration ran on (`dense::Backend::name()`).
+    /// A profile measured with one instruction set does not transfer to
+    /// another, so [`MeasuredProfile::load`] rejects mismatches.
+    pub backend: String,
+    /// Microkernel generation the calibration ran against
+    /// ([`dense::simd::KERNEL_VERSION`]); bumping the kernels invalidates
+    /// every persisted profile.
+    pub kernel_version: u32,
     /// Every measured candidate, in sweep order.
     pub points: Vec<MeasuredPoint>,
 }
@@ -152,8 +160,8 @@ impl MeasuredProfile {
     /// Serialize to the profile's JSON form.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\n  \"rows\": {},\n  \"cols\": {},\n  \"points\": [\n",
-            self.rows, self.cols
+            "{{\n  \"rows\": {},\n  \"cols\": {},\n  \"backend\": \"{}\",\n  \"kernel_version\": {},\n  \"points\": [\n",
+            self.rows, self.cols, self.backend, self.kernel_version
         );
         for (i, p) in self.points.iter().enumerate() {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
@@ -185,8 +193,21 @@ impl MeasuredProfile {
                 .unwrap_or(rest.len());
             Some(&rest[..end])
         }
+        fn field_str(obj: &str, key: &str) -> Option<String> {
+            let pat = format!("\"{key}\"");
+            let at = obj.find(&pat)? + pat.len();
+            let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+            let rest = rest.strip_prefix('"')?;
+            Some(rest[..rest.find('"')?].to_string())
+        }
         let rows = field_usize(text, "rows")?;
         let cols = field_usize(text, "cols")?;
+        // Pre-SIMD profiles carry neither tag; parse them as kernel
+        // generation 1 on the scalar backend so `load` retires them the
+        // moment a vectorized build looks (and a scalar build re-measures
+        // because the kernel generation moved on).
+        let backend = field_str(text, "backend").unwrap_or_else(|| "scalar".to_string());
+        let kernel_version = field_usize(text, "kernel_version").unwrap_or(1) as u32;
         let arr_start = text.find("\"points\"")?;
         let arr = &text[text[arr_start..].find('[')? + arr_start + 1..];
         let arr = &arr[..arr.find(']')?];
@@ -201,7 +222,13 @@ impl MeasuredProfile {
                 gflops: field_f64(obj, "gflops")?,
             });
         }
-        Some(MeasuredProfile { rows, cols, points })
+        Some(MeasuredProfile {
+            rows,
+            cols,
+            backend,
+            kernel_version,
+            points,
+        })
     }
 
     /// Persist to `path` (atomically via a sibling temp file).
@@ -214,9 +241,20 @@ impl MeasuredProfile {
         std::fs::rename(&tmp, path)
     }
 
-    /// Load a persisted profile; `None` if the file is absent or malformed.
+    /// Load a persisted profile; `None` if the file is absent, malformed,
+    /// or **stale** — measured on a different SIMD backend or an older
+    /// microkernel generation than this process runs. A stale profile's
+    /// block-size ranking no longer reflects the machine, so callers fall
+    /// back to heuristics (and typically re-run `autotune`) instead of
+    /// trusting it.
     pub fn load(path: &std::path::Path) -> Option<Self> {
-        Self::from_json(&std::fs::read_to_string(path).ok()?)
+        let p = Self::from_json(&std::fs::read_to_string(path).ok()?)?;
+        if p.backend != dense::simd::active().name()
+            || p.kernel_version != dense::simd::KERNEL_VERSION
+        {
+            return None;
+        }
+        Some(p)
     }
 }
 
@@ -290,6 +328,8 @@ pub fn autotune_measured(spec: &DeviceSpec, m: usize, n: usize, reps: usize) -> 
     MeasuredProfile {
         rows: m,
         cols: n,
+        backend: dense::simd::active().name().to_string(),
+        kernel_version: dense::simd::KERNEL_VERSION,
         points,
     }
 }
@@ -429,6 +469,8 @@ mod tests {
         let p = MeasuredProfile {
             rows: 65536,
             cols: 16,
+            backend: "avx2".to_string(),
+            kernel_version: dense::simd::KERNEL_VERSION,
             points: vec![
                 MeasuredPoint {
                     bs: BlockSize { h: 256, w: 16 },
@@ -451,6 +493,53 @@ mod tests {
         // Malformed input degrades to None, never panics.
         assert!(MeasuredProfile::from_json("{\"rows\": oops}").is_none());
         assert!(MeasuredProfile::from_json("").is_none());
+        // A pre-SIMD profile (no tags) parses as kernel generation 1 on the
+        // scalar backend.
+        let legacy =
+            "{\"rows\": 4, \"cols\": 2, \"points\": [\n {\"h\": 8, \"w\": 2, \"gflops\": 1.0}]}";
+        let legacy = MeasuredProfile::from_json(legacy).unwrap();
+        assert_eq!(legacy.backend, "scalar");
+        assert_eq!(legacy.kernel_version, 1);
+    }
+
+    #[test]
+    fn stale_profiles_are_rejected_by_load() {
+        let dir = std::env::temp_dir().join(format!("caqr_tuning_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        let fresh = MeasuredProfile {
+            rows: 512,
+            cols: 8,
+            backend: dense::simd::active().name().to_string(),
+            kernel_version: dense::simd::KERNEL_VERSION,
+            points: vec![MeasuredPoint {
+                bs: BlockSize { h: 128, w: 8 },
+                gflops: 1.0,
+            }],
+        };
+        // Current backend + current kernel generation: accepted.
+        fresh.save(&path).unwrap();
+        assert_eq!(MeasuredProfile::load(&path), Some(fresh.clone()));
+        // Same backend, older kernel generation: rejected.
+        let mut stale = fresh.clone();
+        stale.kernel_version = dense::simd::KERNEL_VERSION - 1;
+        stale.save(&path).unwrap();
+        assert!(MeasuredProfile::load(&path).is_none());
+        // Different backend name: rejected.
+        let mut other = fresh.clone();
+        other.backend = "some-other-isa".to_string();
+        other.save(&path).unwrap();
+        assert!(MeasuredProfile::load(&path).is_none());
+        // Legacy untagged file: rejected unless this process really is the
+        // scalar backend on kernel generation 1 (it is not — the generation
+        // counter moved when the kernels vectorized).
+        std::fs::write(
+            &path,
+            "{\"rows\": 4, \"cols\": 2, \"points\": [\n {\"h\": 8, \"w\": 2, \"gflops\": 1.0}]}",
+        )
+        .unwrap();
+        assert!(MeasuredProfile::load(&path).is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,10 +26,95 @@
 //!   a steady-state miss delta of zero is how the benches verify the
 //!   "no per-launch allocation" claim.
 
+use std::alloc::Layout;
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Byte alignment of every arena buffer: one cache line, and wide enough
+/// for aligned AVX-512 loads on packed micro-panels. `Vec<T>` only
+/// guarantees `align_of::<T>()` (4 or 8), which is why the pool manages
+/// raw allocations instead.
+pub const POOL_ALIGN: usize = 64;
+
+/// An owned, [`POOL_ALIGN`]-aligned, always-initialised buffer — the
+/// arena's storage unit.
+pub struct RawBuf<T> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: RawBuf owns its allocation exclusively, like Vec<T>.
+unsafe impl<T: Send> Send for RawBuf<T> {}
+// SAFETY: shared access only hands out &[T].
+unsafe impl<T: Sync> Sync for RawBuf<T> {}
+
+impl<T> RawBuf<T> {
+    fn layout(len: usize) -> Layout {
+        Layout::array::<T>(len)
+            .and_then(|l| l.align_to(POOL_ALIGN))
+            .expect("arena: buffer layout overflows")
+    }
+
+    /// Allocate an aligned buffer of `len > 0` elements, every element
+    /// initialised to `fill`.
+    fn alloc(len: usize, fill: T) -> Self
+    where
+        T: Copy,
+    {
+        debug_assert!(len > 0);
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, T is f32/f64).
+        let raw = unsafe { std::alloc::alloc(layout) }.cast::<T>();
+        let Some(ptr) = NonNull::new(raw) else {
+            std::alloc::handle_alloc_error(layout)
+        };
+        for i in 0..len {
+            // SAFETY: i < len elements of the fresh allocation.
+            unsafe { ptr.as_ptr().add(i).write(fill) };
+        }
+        Self { ptr, len }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe an owned, initialised allocation (or a
+        // dangling pointer with len == 0, which from_raw_parts permits).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as for `as_slice`, and we hold `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Default for RawBuf<T> {
+    /// An empty buffer with no allocation (dangling, never dereferenced).
+    fn default() -> Self {
+        Self {
+            ptr: NonNull::dangling(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> Drop for RawBuf<T> {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `alloc` with this exact layout.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
 
 /// log2 of the smallest pooled size class, in elements.
 const MIN_CLASS_LOG2: u32 = 5;
@@ -72,7 +157,7 @@ fn local_cap(class: usize) -> usize {
 /// Process-wide buffer pool for one element type. One static instance per
 /// [`PoolScalar`] impl; all threads share it via short critical sections.
 pub struct Pool<T> {
-    shelves: [Mutex<Vec<Vec<T>>>; NUM_CLASSES],
+    shelves: [Mutex<Vec<RawBuf<T>>>; NUM_CLASSES],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -87,17 +172,17 @@ impl<T> Pool<T> {
         }
     }
 
-    fn lock_shelf(&self, class: usize) -> std::sync::MutexGuard<'_, Vec<Vec<T>>> {
+    fn lock_shelf(&self, class: usize) -> std::sync::MutexGuard<'_, Vec<RawBuf<T>>> {
         self.shelves[class]
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn get_global(&self, class: usize) -> Option<Vec<T>> {
+    fn get_global(&self, class: usize) -> Option<RawBuf<T>> {
         self.lock_shelf(class).pop()
     }
 
-    fn put_global(&self, class: usize, buf: Vec<T>) {
+    fn put_global(&self, class: usize, buf: RawBuf<T>) {
         let mut shelf = self.lock_shelf(class);
         if shelf.len() < global_cap(class) {
             shelf.push(buf);
@@ -115,7 +200,7 @@ impl<T> Default for Pool<T> {
 /// A thread's private shelf of cached buffers. Dropping it (thread exit)
 /// donates every cached buffer back to the global [`Pool`].
 pub struct LocalCache<T: PoolScalar> {
-    shelves: [Vec<Vec<T>>; NUM_CLASSES],
+    shelves: [Vec<RawBuf<T>>; NUM_CLASSES],
 }
 
 impl<T: PoolScalar> LocalCache<T> {
@@ -187,7 +272,7 @@ impl_pool_scalar!(f64, POOL_F64, CACHE_F64);
 /// size class and returns to the pool on drop.
 #[must_use = "dropping an ArenaBuf returns it to the pool immediately; bind it for as long as the scratch is needed"]
 pub struct ArenaBuf<T: PoolScalar> {
-    buf: Vec<T>,
+    buf: RawBuf<T>,
     len: usize,
     class: Option<usize>,
 }
@@ -196,21 +281,21 @@ impl<T: PoolScalar> Deref for ArenaBuf<T> {
     type Target = [T];
     #[inline]
     fn deref(&self) -> &[T] {
-        &self.buf[..self.len]
+        &self.buf.as_slice()[..self.len]
     }
 }
 
 impl<T: PoolScalar> DerefMut for ArenaBuf<T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut [T] {
-        &mut self.buf[..self.len]
+        &mut self.buf.as_mut_slice()[..self.len]
     }
 }
 
 impl<T: PoolScalar> Drop for ArenaBuf<T> {
     fn drop(&mut self) {
         let Some(class) = self.class else {
-            return; // one-off allocation; let Vec free it
+            return; // one-off allocation; RawBuf's Drop frees it
         };
         let buf = std::mem::take(&mut self.buf);
         let overflow = T::with_cache(|c| {
@@ -237,7 +322,7 @@ impl<T: PoolScalar> Drop for ArenaBuf<T> {
 pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
     if len == 0 {
         return ArenaBuf {
-            buf: Vec::new(),
+            buf: RawBuf::default(),
             len: 0,
             class: None,
         };
@@ -247,7 +332,7 @@ pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
         // Above the largest class: one-off allocation, counted as a miss.
         pool.misses.fetch_add(1, Ordering::Relaxed);
         return ArenaBuf {
-            buf: vec![T::POOL_ZERO; len],
+            buf: RawBuf::alloc(len, T::POOL_ZERO),
             len,
             class: None,
         };
@@ -260,7 +345,7 @@ pub fn take_dirty<T: PoolScalar>(len: usize) -> ArenaBuf<T> {
         }
         None => {
             pool.misses.fetch_add(1, Ordering::Relaxed);
-            vec![T::POOL_ZERO; class_elems(class)]
+            RawBuf::alloc(class_elems(class), T::POOL_ZERO)
         }
     };
     debug_assert_eq!(buf.len(), class_elems(class));
@@ -313,7 +398,7 @@ pub fn poison_pools<T: PoolScalar>(value: T) {
     let pool = T::pool();
     for class in 0..NUM_CLASSES {
         for buf in pool.lock_shelf(class).iter_mut() {
-            for x in buf.iter_mut() {
+            for x in buf.as_mut_slice() {
                 *x = value;
             }
         }
@@ -321,7 +406,7 @@ pub fn poison_pools<T: PoolScalar>(value: T) {
     T::with_cache(|c| {
         for shelf in c.shelves.iter_mut() {
             for buf in shelf.iter_mut() {
-                for x in buf.iter_mut() {
+                for x in buf.as_mut_slice() {
                     *x = value;
                 }
             }
@@ -411,6 +496,30 @@ mod tests {
         let big_len = (1usize << 22) + 1;
         let big = take_dirty::<f32>(big_len);
         assert_eq!(big.len(), big_len);
+    }
+
+    #[test]
+    fn pool_buffers_stay_aligned_across_reuse() {
+        // Every buffer the arena hands out — pooled classes, oversize
+        // one-offs, and buffers recycled through the local cache and the
+        // global pool — must stay POOL_ALIGN-aligned so packed micro-panels
+        // can use aligned SIMD loads.
+        fn check<T: PoolScalar>(name: &str) {
+            for round in 0..3 {
+                for len in [1usize, 31, 100, 4097, (1 << 22) + 1] {
+                    let b = take_dirty::<T>(len);
+                    assert_eq!(
+                        b.as_ptr() as usize % POOL_ALIGN,
+                        0,
+                        "{name} len {len} round {round} misaligned"
+                    );
+                }
+                // Force the local-cache -> global-pool -> reuse path too.
+                flush_thread_cache::<T>();
+            }
+        }
+        check::<f32>("f32");
+        check::<f64>("f64");
     }
 
     #[test]

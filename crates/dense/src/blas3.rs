@@ -33,27 +33,12 @@ const PAR_MIN_FLOPS: usize = 1 << 18;
 /// saves; fall through to the streaming triple loop.
 const SMALL_FLOPS: usize = 1 << 13;
 
-/// Microkernel register tile: MR x NR accumulators.
-const MR: usize = 8;
-/// Microkernel register tile width.
-const NR: usize = 4;
 /// K-dimension cache block (packed micro-panels of both operands for one
 /// `KC`-deep sweep fit in L1/L2).
 const KC: usize = 256;
 /// M-dimension cache block (the packed `MC x KC` A-block stays L2-resident
 /// while it is reused across every NR-column micro-panel of B).
 const MC: usize = 256;
-
-#[inline(always)]
-fn fmadd<T: Scalar>(a: T, b: T, acc: T) -> T {
-    // `mul_add` is only a win when it lowers to a hardware FMA; without the
-    // target feature it becomes a libm call in the innermost loop.
-    if cfg!(any(target_feature = "fma", target_arch = "aarch64")) {
-        a.mul_add(b, acc)
-    } else {
-        a * b + acc
-    }
-}
 
 /// The `(row_tasks, col_tasks)` grid `gemm` uses to parallelize an
 /// `m x n x k` product. `(1, 1)` means the serial path. Exposed so tests can
@@ -198,33 +183,65 @@ fn gemm_serial<T: Scalar>(
     }
     scale(beta, c.rb_mut());
 
+    // The register tile is per-backend: the packing routines pad to the
+    // active microkernel's MR/NR (see `crate::simd`), so one packed layout
+    // serves scalar 8x4 up to AVX-512 32x8 tiles.
+    let kern = T::gemm_kernel(crate::simd::active());
+    let (mr, nr) = (kern.mr, kern.nr);
+    let ldc = c.ld();
+    let cp = c.as_mut_ptr();
+
     // GotoBLAS loop nest: kc-deep sweeps, each packing one op(B) slab and
     // reusing it against successive packed MC x kc blocks of op(A). Both
     // packing buffers come dirty from the arena — the pack routines
     // overwrite every live lane and explicitly zero the MR/NR pad lanes, so
     // no full-buffer zero-fill happens per call.
     let kc = KC.min(k);
-    let mut ap = arena::take_dirty::<T>(MC.min(m).div_ceil(MR) * MR * kc);
-    let mut bp = arena::take_dirty::<T>(n.div_ceil(NR) * NR * kc);
+    let mut ap = arena::take_dirty::<T>(MC.min(m).div_ceil(mr) * mr * kc);
+    let mut bp = arena::take_dirty::<T>(n.div_ceil(nr) * nr * kc);
     let mut p0 = 0;
     while p0 < k {
         let kb = KC.min(k - p0);
-        pack_b(tb, b, p0, kb, 0, n, &mut bp[..n.div_ceil(NR) * NR * kb]);
+        pack_b(tb, b, p0, kb, 0, n, nr, &mut bp[..n.div_ceil(nr) * nr * kb]);
         let mut i0 = 0;
         while i0 < m {
             let mb = MC.min(m - i0);
-            pack_a(ta, a, i0, mb, p0, kb, &mut ap[..mb.div_ceil(MR) * MR * kb]);
-            let mpanels = mb.div_ceil(MR);
+            pack_a(
+                ta,
+                a,
+                i0,
+                mb,
+                p0,
+                kb,
+                mr,
+                &mut ap[..mb.div_ceil(mr) * mr * kb],
+            );
+            let mpanels = mb.div_ceil(mr);
             let mut j = 0;
             let mut jp = 0;
             while j < n {
-                let w = NR.min(n - j);
-                let bpanel = &bp[jp * NR * kb..(jp + 1) * NR * kb];
+                let w = nr.min(n - j);
+                let bpanel = &bp[jp * nr * kb..(jp + 1) * nr * kb];
                 for ip in 0..mpanels {
-                    let i = ip * MR;
-                    let h = MR.min(mb - i);
-                    let apanel = &ap[ip * MR * kb..(ip + 1) * MR * kb];
-                    microkernel(kb, apanel, bpanel, alpha, c.rb_mut(), i0 + i, j, h, w);
+                    let i = ip * mr;
+                    let h = mr.min(mb - i);
+                    let apanel = &ap[ip * mr * kb..(ip + 1) * mr * kb];
+                    // SAFETY: the packed panels hold kb*mr / kb*nr elements,
+                    // the h x w corner at C(i0+i, j) is in bounds of the
+                    // column-major view behind `cp`/`ldc`, and the kernel
+                    // table only holds backends available on this host.
+                    unsafe {
+                        (kern.ukr)(
+                            kb,
+                            apanel.as_ptr(),
+                            bpanel.as_ptr(),
+                            alpha,
+                            cp.add(j * ldc + i0 + i),
+                            ldc,
+                            h,
+                            w,
+                        );
+                    }
                 }
                 j += w;
                 jp += 1;
@@ -235,13 +252,15 @@ fn gemm_serial<T: Scalar>(
     }
 }
 
-/// Pack the `mb x kb` block of `op(A)` starting at `(i0, p0)` into MR-row
-/// micro-panels: panel `ip` holds rows `[ip*MR, ip*MR+MR)` column-by-column,
-/// zero-padded to a full MR so the microkernel never branches on height.
+/// Pack the `mb x kb` block of `op(A)` starting at `(i0, p0)` into `mr`-row
+/// micro-panels: panel `ip` holds rows `[ip*mr, ip*mr+mr)` column-by-column,
+/// zero-padded to a full `mr` so the microkernel never branches on height.
+/// `mr` is the active backend's register-tile height.
 ///
 /// `ap` may hold stale arena contents: every live lane is overwritten and
 /// the pad lanes of a ragged last panel are zeroed explicitly, so the
 /// caller never has to zero-fill the whole buffer.
+#[allow(clippy::too_many_arguments)]
 fn pack_a<T: Scalar>(
     ta: Trans,
     a: MatRef<'_, T>,
@@ -249,18 +268,19 @@ fn pack_a<T: Scalar>(
     mb: usize,
     p0: usize,
     kb: usize,
+    mr: usize,
     ap: &mut [T],
 ) {
-    debug_assert_eq!(ap.len(), mb.div_ceil(MR) * MR * kb);
+    debug_assert_eq!(ap.len(), mb.div_ceil(mr) * mr * kb);
     let mut i = 0;
     let mut base = 0;
     while i < mb {
-        let h = MR.min(mb - i);
+        let h = mr.min(mb - i);
         match ta {
             Trans::No => {
                 for p in 0..kb {
                     let col = &a.col(p0 + p)[i0 + i..i0 + i + h];
-                    ap[base + p * MR..base + p * MR + h].copy_from_slice(col);
+                    ap[base + p * mr..base + p * mr + h].copy_from_slice(col);
                 }
             }
             Trans::Yes => {
@@ -268,27 +288,29 @@ fn pack_a<T: Scalar>(
                 for r in 0..h {
                     let col = &a.col(i0 + i + r)[p0..p0 + kb];
                     for (p, &v) in col.iter().enumerate() {
-                        ap[base + p * MR + r] = v;
+                        ap[base + p * mr + r] = v;
                     }
                 }
             }
         }
-        if h < MR {
+        if h < mr {
             for p in 0..kb {
-                ap[base + p * MR + h..base + (p + 1) * MR].fill(T::ZERO);
+                ap[base + p * mr + h..base + (p + 1) * mr].fill(T::ZERO);
             }
         }
-        i += MR;
-        base += MR * kb;
+        i += mr;
+        base += mr * kb;
     }
 }
 
-/// Pack the `kb x nb` block of `op(B)` starting at `(p0, j0)` into NR-column
-/// micro-panels, zero-padded to a full NR.
+/// Pack the `kb x nb` block of `op(B)` starting at `(p0, j0)` into
+/// `nr`-column micro-panels, zero-padded to a full `nr` (the active
+/// backend's register-tile width).
 ///
 /// Like [`pack_a`], `bp` may hold stale arena contents; pad lanes of a
 /// ragged last panel are zeroed explicitly instead of zero-filling the
 /// whole buffer up front.
+#[allow(clippy::too_many_arguments)]
 fn pack_b<T: Scalar>(
     tb: Trans,
     b: MatRef<'_, T>,
@@ -296,19 +318,20 @@ fn pack_b<T: Scalar>(
     kb: usize,
     j0: usize,
     nb: usize,
+    nr: usize,
     bp: &mut [T],
 ) {
-    debug_assert_eq!(bp.len(), nb.div_ceil(NR) * NR * kb);
+    debug_assert_eq!(bp.len(), nb.div_ceil(nr) * nr * kb);
     let mut j = 0;
     let mut base = 0;
     while j < nb {
-        let w = NR.min(nb - j);
+        let w = nr.min(nb - j);
         match tb {
             Trans::No => {
                 for jj in 0..w {
                     let col = &b.col(j0 + j + jj)[p0..p0 + kb];
                     for (p, &v) in col.iter().enumerate() {
-                        bp[base + p * NR + jj] = v;
+                        bp[base + p * nr + jj] = v;
                     }
                 }
             }
@@ -317,53 +340,18 @@ fn pack_b<T: Scalar>(
                 for p in 0..kb {
                     let col = &b.col(p0 + p)[j0 + j..j0 + j + w];
                     for (jj, &v) in col.iter().enumerate() {
-                        bp[base + p * NR + jj] = v;
+                        bp[base + p * nr + jj] = v;
                     }
                 }
             }
         }
-        if w < NR {
+        if w < nr {
             for p in 0..kb {
-                bp[base + p * NR + w..base + (p + 1) * NR].fill(T::ZERO);
+                bp[base + p * nr + w..base + (p + 1) * nr].fill(T::ZERO);
             }
         }
-        j += NR;
-        base += NR * kb;
-    }
-}
-
-/// Register-tiled MR x NR microkernel: accumulate
-/// `alpha * apanel * bpanel` over `kb` and add into `C[i.., j..]`
-/// (only the live `h x w` corner is written back).
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn microkernel<T: Scalar>(
-    kb: usize,
-    apanel: &[T],
-    bpanel: &[T],
-    alpha: T,
-    mut c: MatMut<'_, T>,
-    i: usize,
-    j: usize,
-    h: usize,
-    w: usize,
-) {
-    let mut acc = [[T::ZERO; MR]; NR];
-    for p in 0..kb {
-        let av: &[T] = &apanel[p * MR..p * MR + MR];
-        let bv: &[T] = &bpanel[p * NR..p * NR + NR];
-        for (jj, accj) in acc.iter_mut().enumerate() {
-            let bj = bv[jj];
-            for (ii, aij) in accj.iter_mut().enumerate() {
-                *aij = fmadd(av[ii], bj, *aij);
-            }
-        }
-    }
-    for (jj, accj) in acc.iter().take(w).enumerate() {
-        let col = &mut c.col_mut(j + jj)[i..i + h];
-        for (ci, &av) in col.iter_mut().zip(accj.iter()) {
-            *ci = fmadd(alpha, av, *ci);
-        }
+        j += nr;
+        base += nr * kb;
     }
 }
 
@@ -383,6 +371,10 @@ fn gemm_small<T: Scalar>(
         Trans::No => a.cols(),
         Trans::Yes => a.rows(),
     };
+    // Column kernels go through the SIMD dispatch too: axpy is element-wise
+    // fused on every backend (bit-identical to the scalar oracle), dot
+    // reassociates the reduction (tolerance-gated).
+    let sk = T::small_kernels(crate::simd::active());
     for j in 0..n {
         {
             let cj = c.col_mut(j);
@@ -399,11 +391,9 @@ fn gemm_small<T: Scalar>(
                 for l in 0..k {
                     let blj = alpha * b.at(l, j);
                     if blj != T::ZERO {
-                        let acol = a.col(l);
-                        let cj = c.col_mut(j);
-                        for (ci, &ail) in cj.iter_mut().zip(acol) {
-                            *ci = blj.mul_add(ail, *ci);
-                        }
+                        // SAFETY: the kernel table only holds available
+                        // backends; slices carry their lengths.
+                        unsafe { (sk.axpy)(blj, a.col(l), c.col_mut(j)) };
                     }
                 }
             }
@@ -411,11 +401,8 @@ fn gemm_small<T: Scalar>(
                 for l in 0..k {
                     let blj = alpha * b.at(j, l);
                     if blj != T::ZERO {
-                        let acol = a.col(l);
-                        let cj = c.col_mut(j);
-                        for (ci, &ail) in cj.iter_mut().zip(acol) {
-                            *ci = blj.mul_add(ail, *ci);
-                        }
+                        // SAFETY: as above.
+                        unsafe { (sk.axpy)(blj, a.col(l), c.col_mut(j)) };
                     }
                 }
             }
@@ -423,11 +410,8 @@ fn gemm_small<T: Scalar>(
                 // C(i,j) += alpha * dot(A(:,i), B(:,j)) — both columns contiguous.
                 let bj = b.col(j);
                 for i in 0..m {
-                    let ai = a.col(i);
-                    let mut acc = T::ZERO;
-                    for (&x, &y) in ai.iter().zip(bj) {
-                        acc = x.mul_add(y, acc);
-                    }
+                    // SAFETY: as above.
+                    let acc = unsafe { (sk.dot)(a.col(i), bj) };
                     *c.at_mut(i, j) = alpha.mul_add(acc, c.at(i, j));
                 }
             }

@@ -92,12 +92,29 @@ pub fn larft_transposed<T: Scalar>(
     debug_assert!(k <= rows.min(width));
     debug_assert_eq!(at.len(), rows * width);
     let mut gram = crate::arena::take_dirty::<T>(k * k);
+    // Tiered through the runtime SIMD dispatch: the pass autovectorizes, so
+    // compiling it with the active backend's ISA is all it needs. Every
+    // tier is bit-identical (hardware FMA rounds like the libm `fma` of the
+    // default codegen, and the chains are per-pair independent).
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: feature presence checked at runtime; hardware FMA rounds
-        // identically to the libm `fma` call of the default codegen.
-        unsafe { gram_pass_fma(at, rows, width, tri_block, k, &mut gram) };
-        return larft_from_gram(&gram, tau);
+    {
+        // SAFETY: the active backend's features are present on this host by
+        // construction of `crate::simd::active`.
+        match crate::simd::active() {
+            crate::simd::Backend::Avx512 => {
+                unsafe { gram_pass_x86_avx512(at, rows, width, tri_block, k, &mut gram) };
+                return larft_from_gram(&gram, tau);
+            }
+            crate::simd::Backend::Avx2 => {
+                unsafe { gram_pass_x86_avx2(at, rows, width, tri_block, k, &mut gram) };
+                return larft_from_gram(&gram, tau);
+            }
+            crate::simd::Backend::Fma => {
+                unsafe { gram_pass_x86_fma(at, rows, width, tri_block, k, &mut gram) };
+                return larft_from_gram(&gram, tau);
+            }
+            _ => {}
+        }
     }
     gram_pass(at, rows, width, tri_block, k, &mut gram);
     larft_from_gram(&gram, tau)
@@ -111,33 +128,46 @@ pub fn larft_transposed<T: Scalar>(
 pub fn larft_from_gram<T: Scalar>(gram: &[T], tau: &[T]) -> Matrix<T> {
     let k = tau.len();
     debug_assert!(gram.len() >= k * k);
+    // The serial T-assembly chains only benefit from hardware FMA, so any
+    // FMA-capable tier (Fma and up) shares one wrapper. Bit-identical to
+    // the plain path: hardware FMA rounds like the libm `fma`.
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: feature presence checked at runtime; hardware FMA rounds
-        // identically to the libm `fma` of the default codegen.
-        return unsafe { assemble_t_fma(gram, tau, k) };
+    if crate::simd::active() != crate::simd::Backend::Scalar {
+        // SAFETY: every non-scalar x86 backend requires FMA to be available.
+        return unsafe { assemble_t_x86_fma(gram, tau, k) };
     }
     assemble_t(gram, tau, k)
 }
 
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "fma", enable = "avx2")]
-unsafe fn assemble_t_fma<T: Scalar>(gram: &[T], tau: &[T], k: usize) -> Matrix<T> {
+#[target_feature(enable = "fma")]
+unsafe fn assemble_t_x86_fma<T: Scalar>(gram: &[T], tau: &[T], k: usize) -> Matrix<T> {
     assemble_t(gram, tau, k)
 }
 
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "fma", enable = "avx2")]
-unsafe fn gram_pass_fma<T: Scalar>(
-    at: &[T],
-    rows: usize,
-    width: usize,
-    tri_block: usize,
-    k: usize,
-    gram: &mut [T],
-) {
-    gram_pass(at, rows, width, tri_block, k, gram);
+/// Per-tier `#[target_feature]` instantiations of [`gram_pass`]: the body
+/// is `#[inline(always)]`, so each wrapper compiles it with its ISA and the
+/// autovectorizer does the rest.
+macro_rules! gram_pass_tier {
+    ($name:ident, $($feat:literal),+) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature($(enable = $feat),+)]
+        unsafe fn $name<T: Scalar>(
+            at: &[T],
+            rows: usize,
+            width: usize,
+            tri_block: usize,
+            k: usize,
+            gram: &mut [T],
+        ) {
+            gram_pass(at, rows, width, tri_block, k, gram);
+        }
+    };
 }
+
+gram_pass_tier!(gram_pass_x86_fma, "fma");
+gram_pass_tier!(gram_pass_x86_avx2, "avx2", "fma");
+gram_pass_tier!(gram_pass_x86_avx512, "avx512f", "avx2", "fma");
 
 /// One streaming pass building `gram[j * k + i]` (for `j < i`) as the
 /// reference [`larft`] dot chain over columns `j` and `i`.

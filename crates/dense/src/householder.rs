@@ -179,15 +179,7 @@ pub fn geqr2_transposed<T: Scalar>(
     tri_block: usize,
     tau: &mut [T],
 ) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: feature presence checked at runtime. Hardware FMA computes
-        // the same correctly-rounded fused result as the libm `fma` the
-        // default codegen calls, so this is a speed change only.
-        unsafe { factor_transposed_fma::<T, false>(at, rows, width, tri_block, tau, &mut []) };
-        return;
-    }
-    factor_transposed_core::<T, false>(at, rows, width, tri_block, tau, &mut []);
+    factor_transposed_dispatch::<T, false>(at, rows, width, tri_block, tau, &mut []);
 }
 
 /// [`geqr2_transposed`] fused with the `V^T V` Gram accumulation that
@@ -212,18 +204,15 @@ pub fn geqr2_gram_transposed<T: Scalar>(
         gram.len(),
         k * k
     );
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("fma") && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: feature presence checked at runtime (see geqr2_transposed).
-        unsafe { factor_transposed_fma::<T, true>(at, rows, width, tri_block, tau, gram) };
-        return;
-    }
-    factor_transposed_core::<T, true>(at, rows, width, tri_block, tau, gram);
+    factor_transposed_dispatch::<T, true>(at, rows, width, tri_block, tau, gram);
 }
 
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "fma", enable = "avx2")]
-unsafe fn factor_transposed_fma<T: Scalar, const GRAM: bool>(
+/// Fetch the active backend's row-pass kernels once per panel and run the
+/// sweep with them. Every backend's passes are bit-identical to the scalar
+/// oracle (independent per-lane fused chains — see `crate::simd`), so the
+/// dispatch is a speed choice only and the bitwise guarantees documented on
+/// [`geqr2_transposed`] hold for all of them.
+fn factor_transposed_dispatch<T: Scalar, const GRAM: bool>(
     at: &mut [T],
     rows: usize,
     width: usize,
@@ -231,7 +220,8 @@ unsafe fn factor_transposed_fma<T: Scalar, const GRAM: bool>(
     tau: &mut [T],
     gram: &mut [T],
 ) {
-    factor_transposed_core::<T, GRAM>(at, rows, width, tri_block, tau, gram);
+    let kern = T::factor_kernels(crate::simd::active());
+    factor_transposed_core::<T, GRAM>(at, rows, width, tri_block, tau, gram, kern);
 }
 
 /// The fused strategy-4 factor sweep. Per reflector `j` it makes exactly two
@@ -264,6 +254,7 @@ fn factor_transposed_core<T: Scalar, const GRAM: bool>(
     tri_block: usize,
     tau: &mut [T],
     gram: &mut [T],
+    kern: crate::simd::FactorKernels<T>,
 ) {
     assert_eq!(at.len(), rows * width);
     let k = rows.min(width);
@@ -294,7 +285,9 @@ fn factor_transposed_core<T: Scalar, const GRAM: bool>(
             // `larf_left`'s `w` seeds (the pivot row's trailing entries),
             // lanes < j are the Gram chain seeds A(j, jj).
             wacc.copy_from_slice(&at[pivot..pivot + width]);
-            dot_rows(at, width, rows, tri_block, j, col, wacc);
+            // SAFETY: slice shapes satisfy the scalar `dot_rows` contract
+            // and the kernel table only holds available backends.
+            unsafe { (kern.dot_rows)(at, width, rows, tri_block, j, col, wacc) };
             if GRAM {
                 for jj in 0..j {
                     gram[jj * k + j] = wacc[jj];
@@ -313,7 +306,10 @@ fn factor_transposed_core<T: Scalar, const GRAM: bool>(
                 {
                     *cl -= wl;
                 }
-                rank1_rows(at, width, rows, tri_block, j, col, next, &wacc[j + 1..]);
+                // SAFETY: as for the dot pass above.
+                unsafe {
+                    (kern.rank1_rows)(at, width, rows, tri_block, j, col, next, &wacc[j + 1..])
+                };
                 std::mem::swap(&mut col, &mut next);
                 have_col = true;
             }
@@ -326,7 +322,7 @@ fn factor_transposed_core<T: Scalar, const GRAM: bool>(
 /// the practical panel widths to a const-width body so the lane loop is
 /// fully unrolled.
 #[inline(always)]
-fn dot_rows<T: Scalar>(
+pub(crate) fn dot_rows<T: Scalar>(
     at: &mut [T],
     width: usize,
     rows: usize,
@@ -405,7 +401,7 @@ fn dot_rows_w<T: Scalar, const W: usize>(
 /// panel widths (8/16/32).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn rank1_rows<T: Scalar>(
+pub(crate) fn rank1_rows<T: Scalar>(
     at: &mut [T],
     width: usize,
     rows: usize,

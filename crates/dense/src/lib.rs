@@ -37,6 +37,7 @@ pub mod matrix;
 pub mod norms;
 pub mod ptr;
 pub mod scalar;
+pub mod simd;
 pub mod svd;
 
 pub use arena::{ArenaBuf, ArenaStats, PoolScalar};
@@ -44,6 +45,7 @@ pub use error::DenseError;
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use ptr::MatPtr;
 pub use scalar::Scalar;
+pub use simd::{Backend, SimdScalar};
 
 /// Floating-point operation count of the LAPACK `GEQRF` QR factorization of
 /// an `m x n` matrix (`m >= n`): `2 m n^2 - 2/3 n^3` plus lower-order terms.

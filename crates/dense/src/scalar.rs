@@ -32,6 +32,7 @@ pub trait Scalar:
     + DivAssign
     + Sum
     + crate::arena::PoolScalar
+    + crate::simd::SimdScalar
 {
     /// Additive identity.
     const ZERO: Self;
