@@ -83,10 +83,15 @@ pub fn tile_panel(row0: usize, rows: usize, h: usize, w: usize) -> Vec<Tile> {
         r += take;
     }
     // Merge an undersized trailing remainder into its predecessor.
-    if tiles.len() >= 2 && tiles[tiles.len() - 1].rows < w {
-        let last = tiles.pop().unwrap();
-        let prev = tiles.last_mut().unwrap();
-        prev.rows += last.rows;
+    let mut merged = false;
+    if let [.., prev, last] = tiles.as_mut_slice() {
+        if last.rows < w {
+            prev.rows += last.rows;
+            merged = true;
+        }
+    }
+    if merged {
+        tiles.truncate(tiles.len() - 1);
     }
     tiles
 }

@@ -15,13 +15,12 @@
 //! After each panel the grid is redrawn `w` rows lower ("the trailing matrix
 //! becomes both shorter and narrower after each step").
 
+use crate::backend::{drive, DriveConfig, Mode, SimBackend};
 use crate::block::{BlockSize, TreeShape};
 use crate::error::CaqrError;
-use crate::kernels::{PretransposeKernel, THREADS};
+use crate::kernels::THREADS;
 use crate::microkernels::ReductionStrategy;
-use crate::tsqr::{
-    apply_panel_ptr, apply_panel_within, col_blocks, factor_panel_with_tree, PanelFactor,
-};
+use crate::tsqr::{apply_panel_ptr, col_blocks, PanelFactor};
 use dense::blas2::trsv_upper;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
@@ -88,55 +87,23 @@ pub struct Caqr<T: Scalar> {
 
 /// Factor `a` with CAQR on the simulated GPU. Supports any shape (wide
 /// matrices factor the leading `min(m, n)` panels and update the rest).
-pub fn caqr<T: Scalar>(
-    gpu: &Gpu,
-    mut a: Matrix<T>,
-    opts: CaqrOptions,
-) -> Result<Caqr<T>, CaqrError> {
-    opts.bs.validate().map_err(CaqrError::BadShape)?;
-    let (m, n) = a.shape();
-    if m == 0 || n == 0 {
-        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
-    }
-    let w = opts.bs.w;
-    let k = m.min(n);
-
-    // Numerical health check: reject NaN/inf input with a typed error
-    // before any arithmetic (a charged launch, counted in `launches()`).
-    if opts.check_finite {
-        crate::health::check_matrix_finite(gpu, gpu_sim::Exec::Sync, &a, opts.bs, "caqr input")?;
-    }
-
-    // Strategy 4's out-of-place preprocessing: transpose every panel from
-    // column-major to row-major so the register-file kernels coalesce.
-    if opts.strategy.needs_pretranspose() {
-        let tiles = m.div_ceil(opts.bs.h) * n.div_ceil(w);
-        let kernel = PretransposeKernel {
-            blocks: tiles,
-            tile_rows: opts.bs.h,
-            tile_cols: w,
-            spec: gpu.spec(),
-        };
-        gpu.launch::<T>(&kernel)?;
-    }
-
-    let mut panels = Vec::with_capacity(k.div_ceil(w));
-    let mut c = 0;
-    while c < k {
-        let width = w.min(k - c);
-        // Grid redraw: panel p starts at row == its first column.
-        let pf =
-            factor_panel_with_tree(gpu, &mut a, c, c, width, opts.bs, opts.strategy, opts.tree)?;
-        if c + width < n {
-            apply_panel_within(gpu, &mut a, &pf, c + width, n, true)?;
-        }
-        panels.push(pf);
-        c += width;
-    }
-
+///
+/// A thin shim over the generic [`crate::backend::drive`] loop on a
+/// synchronous [`SimBackend`] (DESIGN.md §13) — the Figure-4 pseudocode
+/// lives there now, shared with every other executor.
+pub fn caqr<T: Scalar>(gpu: &Gpu, a: Matrix<T>, opts: CaqrOptions) -> Result<Caqr<T>, CaqrError> {
+    let cfg = DriveConfig {
+        bs: opts.bs,
+        strategy: opts.strategy,
+        tree: opts.tree,
+        check_finite: opts.check_finite,
+        verify_checksums: false,
+        health_context: "caqr input",
+    };
+    let out = drive(&SimBackend::sync(gpu), a, &cfg, Mode::Sync)?;
     Ok(Caqr {
-        a,
-        panels,
+        a: out.a,
+        panels: out.panels,
         opts,
         launch_plan: LaunchPlan::Sync,
     })

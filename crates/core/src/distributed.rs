@@ -37,19 +37,22 @@
 //! [`caqr_cpu`]: crate::multicore::caqr_cpu
 //! [`blockops::factor_tree_group`]: crate::blockops::factor_tree_group
 
+use crate::backend::{drive, CaqrBackend, DriveConfig, Mode};
 use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeGroup, TreePlan, TreeShape};
-use crate::error::CaqrError;
+use crate::error::{checked_bytes, checked_elems, CaqrError};
 use crate::health;
 use crate::kernels::{FactorKernel, FactorTreeKernel};
 use crate::microkernels::ReductionStrategy;
 use crate::multicore::{CpuCaqr, CpuCaqrOptions, CpuPanel};
 use crate::recovery::RecoveryReport;
+use crate::tsqr::PanelFactor;
 use crate::tsqr::{TreeNode, WyTile};
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
 use dense::MatPtr;
 use gpu_sim::{Cluster, StreamId};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Options for [`distributed_tsqr`].
@@ -302,10 +305,11 @@ impl<'c, T: Scalar> Driver<'c, T> {
             elems += tile.rows * self.width;
             self.owner[t] = surv;
         }
-        let _ = self
-            .cluster
-            .device(surv)
-            .transfer_h2d(elems as u64 * T::BYTES);
+        let _ = self.cluster.device(surv).transfer_h2d(checked_bytes(
+            elems,
+            T::BYTES,
+            "failover re-upload",
+        )?);
         // Replay in dependency order: tile factors first, then each tree
         // level. Work executed by still-alive devices is never re-run
         // (`factor_tree_group` overwrites the leader triangle, so a rerun
@@ -331,6 +335,267 @@ impl<'c, T: Scalar> Driver<'c, T> {
         self.cluster.sync_device(surv);
         Ok(())
     }
+
+    /// Run the full distributed schedule: the level-0 factor phase, then
+    /// each tree level. A [`CaqrError::DeviceLost`] mid-phase fails over
+    /// ([`Driver::handle_loss`]) and the phase loop re-derives what is
+    /// still pending from the work ledger.
+    fn factor_all(&mut self, a: &mut Matrix<T>) -> Result<(), CaqrError> {
+        let p = self.cluster.len();
+        // Level 0: every device factors its own tiles.
+        loop {
+            let pending: Vec<(usize, Vec<usize>)> = (0..p)
+                .filter_map(|d| self.pending_tiles(d).map(|v| (d, v)))
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let mut lost = None;
+            for (d, idxs) in pending {
+                match self.factor_tiles_on(a, d, &idxs) {
+                    Ok(()) => {
+                        self.cluster.sync_device(d);
+                    }
+                    Err(CaqrError::DeviceLost { .. }) => {
+                        lost = Some(d);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if let Some(d) = lost {
+                self.handle_loss(a, d)?;
+            }
+        }
+
+        // Tree levels: groups run where their leader tile lives; remote
+        // member triangles arrive over the interconnect inside
+        // `tree_groups_on`.
+        for level in 0..self.plan.levels.len() {
+            loop {
+                let pending: Vec<(usize, Vec<usize>)> = (0..p)
+                    .filter_map(|d| self.pending_groups(d, level).map(|v| (d, v)))
+                    .collect();
+                if pending.is_empty() {
+                    break;
+                }
+                let mut lost = None;
+                for (d, idxs) in pending {
+                    match self.tree_groups_on(a, d, level, &idxs) {
+                        Ok(()) => {
+                            self.cluster.sync_device(d);
+                        }
+                        Err(CaqrError::DeviceLost { .. }) => {
+                            lost = Some(d);
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                if let Some(d) = lost {
+                    self.handle_loss(a, d)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The multi-device cluster executor (DESIGN.md §11): one slot whose
+/// [`factor_panel`](CaqrBackend::factor_panel) runs the whole distributed
+/// phase schedule — level-0 tile factors on their owning devices, tree
+/// levels with interconnect triangle gathers, tier-4 failover on device
+/// loss. The one panel spans every column of the tall-skinny input, so the
+/// generic driver never issues a trailing update through this backend.
+///
+/// Driver state (work ledger, ownership map, recovery counters) lives
+/// behind a [`RefCell`], as [`CaqrBackend`]'s `&self` contract prescribes
+/// for stateful executors; the host control flow is single-threaded.
+pub struct ClusterBackend<'c, T: Scalar> {
+    state: RefCell<Driver<'c, T>>,
+}
+
+impl<'c, T: Scalar> ClusterBackend<'c, T> {
+    /// Partition the tiles of `a` contiguously over `cluster` (tile `t` of
+    /// `ntiles` starts on device `t * P / ntiles`), build the shared
+    /// reduction-tree plan, and set up the completed-work ledger failover
+    /// replays from.
+    fn new(cluster: &'c Cluster, a: &Matrix<T>, opts: DistOptions) -> Result<Self, CaqrError> {
+        let (m, n) = a.shape();
+        let bs = BlockSize {
+            h: opts.tile_rows,
+            w: n,
+        };
+        let p = cluster.len();
+        let tiles = tile_panel(0, m, bs.h, bs.w);
+        if p > tiles.len() {
+            return Err(CaqrError::BadShape(format!(
+                "{p} devices but only {} tiles of {} rows — shrink tile_rows or the cluster",
+                tiles.len(),
+                bs.h
+            )));
+        }
+        checked_elems(m, n, "matrix element count")?;
+        let tri_elems = checked_elems(n, n + 1, "triangle element count")? / 2;
+        let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+        let plan = plan_tree(&starts, opts.tree.arity(bs));
+        let tile_of_start: HashMap<usize, usize> =
+            starts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let ntiles = tiles.len();
+        Ok(ClusterBackend {
+            state: RefCell::new(Driver {
+                cluster,
+                opts,
+                width: n,
+                tile_of_start,
+                owner: (0..ntiles).map(|t| t * p / ntiles).collect(),
+                alive: vec![true; p],
+                streams: (0..p).map(|d| cluster.device(d).create_stream()).collect(),
+                pristine: a.clone(),
+                tri_bytes: checked_bytes(tri_elems, T::BYTES, "reduction triangle")?,
+                report: RecoveryReport::default(),
+                tile_done: vec![false; ntiles],
+                tile_exec: vec![usize::MAX; ntiles],
+                wy0: (0..ntiles).map(|_| None).collect(),
+                level_nodes: plan
+                    .levels
+                    .iter()
+                    .map(|l| l.iter().map(|_| None).collect())
+                    .collect(),
+                level_exec: plan
+                    .levels
+                    .iter()
+                    .map(|l| vec![usize::MAX; l.len()])
+                    .collect(),
+                tiles,
+                plan,
+            }),
+        })
+    }
+
+    /// Tear down into what [`DistTsqr`] reports alongside the factors: the
+    /// recovery counters, the final tile → device ownership map, and the
+    /// device liveness vector.
+    fn finish(self) -> (RecoveryReport, Vec<usize>, Vec<bool>) {
+        let drv = self.state.into_inner();
+        (drv.report, drv.owner, drv.alive)
+    }
+}
+
+impl<'c, T: Scalar> CaqrBackend<T> for ClusterBackend<'c, T> {
+    type Token = ();
+
+    fn slots(&self) -> usize {
+        1
+    }
+
+    fn check_finite(
+        &self,
+        a: &Matrix<T>,
+        _bs: BlockSize,
+        context: &'static str,
+    ) -> Result<usize, CaqrError> {
+        if let Some((row, col)) = health::first_nonfinite(a) {
+            return Err(CaqrError::NonFinite { context, row, col });
+        }
+        Ok(0)
+    }
+
+    fn pretranspose(&self, _m: usize, _n: usize, _bs: BlockSize) -> Result<usize, CaqrError> {
+        // Like the host path, the distributed kernels pack `V` at factor
+        // time; no separate pre-transpose pass is modelled.
+        Ok(0)
+    }
+
+    fn factor_panel(
+        &self,
+        _slot: usize,
+        a: &mut Matrix<T>,
+        row0: usize,
+        col0: usize,
+        width: usize,
+        _cfg: &DriveConfig,
+    ) -> Result<PanelFactor<T>, CaqrError> {
+        let drv = &mut *self.state.borrow_mut();
+        if row0 != 0 || col0 != 0 || width != drv.width {
+            return Err(CaqrError::BadShape(format!(
+                "distributed TSQR factors exactly one full-width panel at (0, 0), \
+                 not a {width}-column panel at ({row0}, {col0})"
+            )));
+        }
+        drv.factor_all(a)?;
+        // The phase loops run until nothing is pending, so every ledger
+        // slot is filled when they return cleanly.
+        let wy0: Vec<WyTile<T>> = drv
+            .wy0
+            .iter_mut()
+            .map(|w| w.take().expect("every tile factored"))
+            .collect();
+        let levels: Vec<Vec<TreeNode<T>>> = drv
+            .level_nodes
+            .iter_mut()
+            .map(|lv| {
+                lv.iter_mut()
+                    .map(|nd| nd.take().expect("every tree group reduced"))
+                    .collect()
+            })
+            .collect();
+        Ok(PanelFactor {
+            row0: 0,
+            col0: 0,
+            width: drv.width,
+            tiles: drv.tiles.clone(),
+            wy0,
+            levels,
+            bs: BlockSize {
+                h: drv.opts.tile_rows,
+                w: drv.width,
+            },
+            strategy: drv.opts.strategy,
+        })
+    }
+
+    fn apply_panel(
+        &self,
+        _slot: usize,
+        _c: MatPtr<T>,
+        _pf: &PanelFactor<T>,
+        _cols: &[(usize, usize)],
+        _transpose: bool,
+    ) -> Result<(), CaqrError> {
+        // Unreachable from `drive`: the single panel spans all `n` columns,
+        // so there is never a trailing block to update.
+        Err(CaqrError::BadShape(
+            "distributed TSQR has no trailing updates to apply".into(),
+        ))
+    }
+
+    fn record(&self, _slot: usize) -> Self::Token {}
+
+    fn wait(&self, _slot: usize, _token: Self::Token) {}
+
+    fn sync(&self) -> Result<(), CaqrError> {
+        // Each phase already resolved its launches through
+        // `Cluster::sync_device`; there is nothing left in flight.
+        Ok(())
+    }
+
+    fn charge_verify(&self, elems: usize) {
+        // Charge the host-side verification pass (one streamed read, two
+        // flops per element) to the device holding the root triangle.
+        let drv = self.state.borrow();
+        let root = drv.cluster.device(drv.owner[0]);
+        let bytes = elems as f64 * T::BYTES as f64;
+        root.host_work(
+            "checksum_verify",
+            bytes / (root.spec().dram_bw_gbs * 1e9),
+            2.0 * elems as f64,
+        );
+    }
+
+    fn note_checksum_checks(&self, n: u64) {
+        self.state.borrow_mut().report.checksum_checks += n;
+    }
 }
 
 /// Factor a tall-skinny `m x n` matrix across the devices of `cluster`,
@@ -351,7 +616,7 @@ impl<'c, T: Scalar> Driver<'c, T> {
 /// lost, [`CaqrError::ChecksumMismatch`] if verification is on and trips.
 pub fn distributed_tsqr<T: Scalar>(
     cluster: &Cluster,
-    mut a: Matrix<T>,
+    a: Matrix<T>,
     opts: DistOptions,
 ) -> Result<DistTsqr<T>, CaqrError> {
     let (m, n) = (a.rows(), a.cols());
@@ -365,170 +630,31 @@ pub fn distributed_tsqr<T: Scalar>(
         w: n,
     };
     bs.validate().map_err(CaqrError::BadShape)?;
-    if let Some((row, col)) = health::first_nonfinite(&a) {
-        return Err(CaqrError::NonFinite {
-            context: "distributed_tsqr input",
-            row,
-            col,
-        });
-    }
-    let p = cluster.len();
-    let tiles = tile_panel(0, m, bs.h, bs.w);
-    if p > tiles.len() {
-        return Err(CaqrError::BadShape(format!(
-            "{p} devices but only {} tiles of {} rows — shrink tile_rows or the cluster",
-            tiles.len(),
-            bs.h
-        )));
-    }
-    let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
-    let plan = plan_tree(&starts, opts.tree.arity(bs));
-    let tile_of_start: HashMap<usize, usize> =
-        starts.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-    let ntiles = tiles.len();
-    let nlevels = plan.levels.len();
-
-    let pre = opts
-        .verify_checksums
-        .then(|| health::panel_col_sumsq(&a, 0, 0, n));
-
-    let mut drv = Driver {
-        cluster,
-        opts,
-        width: n,
-        tile_of_start,
-        owner: (0..ntiles).map(|t| t * p / ntiles).collect(),
-        alive: vec![true; p],
-        streams: (0..p).map(|d| cluster.device(d).create_stream()).collect(),
-        pristine: a.clone(),
-        tri_bytes: (n * (n + 1) / 2) as u64 * T::BYTES,
-        report: RecoveryReport::default(),
-        tile_done: vec![false; ntiles],
-        tile_exec: vec![usize::MAX; ntiles],
-        wy0: (0..ntiles).map(|_| None).collect(),
-        level_nodes: plan
-            .levels
-            .iter()
-            .map(|l| l.iter().map(|_| None).collect())
-            .collect(),
-        level_exec: plan
-            .levels
-            .iter()
-            .map(|l| vec![usize::MAX; l.len()])
-            .collect(),
-        tiles,
-        plan,
-    };
-
-    // Level 0: every device factors its own tiles. A loss mid-phase fails
-    // over and the outer loop re-derives what is still pending.
-    loop {
-        let pending: Vec<(usize, Vec<usize>)> = (0..p)
-            .filter_map(|d| drv.pending_tiles(d).map(|v| (d, v)))
-            .collect();
-        if pending.is_empty() {
-            break;
-        }
-        let mut lost = None;
-        for (d, idxs) in pending {
-            match drv.factor_tiles_on(&mut a, d, &idxs) {
-                Ok(()) => {
-                    cluster.sync_device(d);
-                }
-                Err(CaqrError::DeviceLost { .. }) => {
-                    lost = Some(d);
-                    break;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        if let Some(d) = lost {
-            drv.handle_loss(&mut a, d)?;
-        }
-    }
-
-    // Tree levels: groups run where their leader tile lives; remote member
-    // triangles arrive over the interconnect inside `tree_groups_on`.
-    for level in 0..nlevels {
-        loop {
-            let pending: Vec<(usize, Vec<usize>)> = (0..p)
-                .filter_map(|d| drv.pending_groups(d, level).map(|v| (d, v)))
-                .collect();
-            if pending.is_empty() {
-                break;
-            }
-            let mut lost = None;
-            for (d, idxs) in pending {
-                match drv.tree_groups_on(&mut a, d, level, &idxs) {
-                    Ok(()) => {
-                        cluster.sync_device(d);
-                    }
-                    Err(CaqrError::DeviceLost { .. }) => {
-                        lost = Some(d);
-                        break;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            if let Some(d) = lost {
-                drv.handle_loss(&mut a, d)?;
-            }
-        }
-    }
-
-    let Driver {
-        owner,
-        alive,
-        tiles,
-        wy0,
-        level_nodes,
-        mut report,
-        ..
-    } = drv;
-
-    if let Some(pre) = pre {
-        let post = health::r_col_sumsq(&a, 0, 0, n);
-        report.checksum_checks += n as u64;
-        // Charge the host-side verification pass (one streamed read, two
-        // flops per element) to the device holding the root triangle.
-        let root = cluster.device(owner[0]);
-        let bytes = (m * n) as f64 * T::BYTES as f64;
-        root.host_work(
-            "checksum_verify",
-            bytes / (root.spec().dram_bw_gbs * 1e9),
-            2.0 * (m * n) as f64,
-        );
-        health::verify_factor_checksums::<T>(&pre, &post, m, 0, 0)?;
-    }
-
-    let cpu_opts = CpuCaqrOptions {
-        tile_rows: opts.tile_rows,
-        panel_width: n,
+    let backend = ClusterBackend::new(cluster, &a, opts)?;
+    let cfg = DriveConfig {
+        bs,
+        strategy: opts.strategy,
         tree: opts.tree,
-        verify_checksums: false,
+        check_finite: true,
+        verify_checksums: opts.verify_checksums,
+        health_context: "distributed_tsqr input",
     };
-    let panel = CpuPanel {
-        col0: 0,
-        width: n,
-        tiles,
-        wy0: wy0
-            .into_iter()
-            .map(|w| w.expect("every tile factored"))
-            .collect(),
-        levels: level_nodes
-            .into_iter()
-            .map(|lv| {
-                lv.into_iter()
-                    .map(|nd| nd.expect("every tree group reduced"))
-                    .collect()
-            })
-            .collect(),
-    };
+    // One full-width panel, so `drive` issues exactly one factor_panel call
+    // (the whole phase schedule) and no trailing updates; the launch count
+    // the report carries comes from the backend's own per-phase ledger.
+    let mut out = drive(&backend, a, &cfg, Mode::Sync)?;
+    let (report, owner, alive) = backend.finish();
+    let panel = CpuPanel::from(out.panels.pop().expect("one full-width panel factored"));
     Ok(DistTsqr {
         factored: CpuCaqr {
-            a,
+            a: out.a,
             panels: vec![panel],
-            opts: cpu_opts,
+            opts: CpuCaqrOptions {
+                tile_rows: opts.tile_rows,
+                panel_width: n,
+                tree: opts.tree,
+                verify_checksums: false,
+            },
         },
         report,
         owner,

@@ -174,6 +174,40 @@ impl std::fmt::Display for CaqrError {
 
 impl std::error::Error for CaqrError {}
 
+/// `a * b` as an element count, surfacing overflow on adversarially large
+/// dimensions as a typed [`CaqrError::BadShape`] instead of silently
+/// wrapping (release builds don't trap) or panicking (debug builds do).
+pub fn checked_elems(a: usize, b: usize, what: &str) -> Result<usize, CaqrError> {
+    a.checked_mul(b)
+        .ok_or_else(|| CaqrError::BadShape(format!("{what} overflows: {a} * {b}")))
+}
+
+/// `elems * bytes_per_elem` as a `u64` byte count, with the same overflow
+/// guarantee as [`checked_elems`] — used by the transfer/cost accounting
+/// that feeds byte counts to the interconnect and PCIe models.
+pub fn checked_bytes(elems: usize, bytes_per_elem: u64, what: &str) -> Result<u64, CaqrError> {
+    (elems as u64).checked_mul(bytes_per_elem).ok_or_else(|| {
+        CaqrError::BadShape(format!(
+            "{what} byte size overflows: {elems} * {bytes_per_elem} B"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod size_tests {
+    use super::*;
+
+    #[test]
+    fn checked_size_helpers_accept_sane_and_reject_huge() {
+        assert_eq!(checked_elems(1 << 20, 192, "elems").unwrap(), 192 << 20);
+        assert_eq!(checked_bytes(1 << 20, 8, "bytes").unwrap(), 8 << 20);
+        let e = checked_elems(usize::MAX, 2, "matrix element count");
+        assert!(matches!(e, Err(CaqrError::BadShape(_))), "{e:?}");
+        let e = checked_bytes(usize::MAX, 8, "triangle bytes");
+        assert!(matches!(e, Err(CaqrError::BadShape(_))), "{e:?}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

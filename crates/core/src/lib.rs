@@ -21,7 +21,10 @@
 //!   replay of faulted tasks with a task -> panel -> run escalation ladder,
 //! * [`distributed`] — multi-device TSQR over an interconnect-modelled
 //!   cluster with tier-4 device-loss failover, bit-identical to the
-//!   single-device host path.
+//!   single-device host path,
+//! * [`backend`] — the execution-backend trait behind all of the above:
+//!   one generic CAQR driver ([`backend::drive`]), pluggable executors
+//!   (host multicore, simulator sync/stream-DAG, resilient, cluster).
 //!
 //! ## Quick start
 //!
@@ -38,7 +41,13 @@
 //! ```
 
 #![warn(missing_docs)]
+// Lock in the panic-path sweep: library code must surface `CaqrError`
+// instead of unwrapping. Tests may unwrap freely (the cfg_attr gate), and
+// `expect` stays allowed for provably-infallible invariants whose message
+// says why. CI elevates this to deny via `-D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod backend;
 pub mod block;
 pub mod blockops;
 pub mod bounds;
@@ -55,14 +64,17 @@ pub mod schedule;
 pub mod tsqr;
 pub mod tuning;
 
+pub use backend::{drive, CaqrBackend, CpuBackend, DriveConfig, DriveOutcome, Mode, SimBackend};
 pub use block::{BlockSize, TreeShape};
 pub use caqr::{caqr_qr, Caqr, CaqrOptions, LaunchPlan};
-pub use distributed::{distributed_tsqr, DistOptions, DistTsqr};
-pub use error::CaqrError;
+pub use distributed::{distributed_tsqr, ClusterBackend, DistOptions, DistTsqr};
+pub use error::{checked_bytes, checked_elems, CaqrError};
 pub use health::{check_matrix_finite, first_nonfinite};
 pub use microkernels::ReductionStrategy;
 pub use multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions};
-pub use recovery::{caqr_resilient, RecoveryOptions, RecoveryPolicy, RecoveryReport};
+pub use recovery::{
+    caqr_resilient, drive_resilient, RecoveryOptions, RecoveryPolicy, RecoveryReport,
+};
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};
 pub use tuning::{autotune_measured, MeasuredPoint, MeasuredProfile};

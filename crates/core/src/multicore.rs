@@ -15,10 +15,12 @@
 //! The numerics are shared with the GPU kernels through
 //! [`crate::blockops`], so every correctness guarantee carries over.
 
+use crate::backend::{drive, CpuBackend, DriveConfig, Mode};
 use crate::block::{plan_tree, tile_panel, BlockSize, Tile, TreeShape};
 use crate::blockops;
 use crate::error::CaqrError;
-use crate::tsqr::{col_blocks, TreeNode, WyTile};
+use crate::microkernels::ReductionStrategy;
+use crate::tsqr::{col_blocks, PanelFactor, TreeNode, WyTile};
 use dense::arena;
 use dense::blas2::trsv_upper;
 use dense::matrix::{MatMut, Matrix};
@@ -125,14 +127,20 @@ pub struct CpuPanel<T: Scalar> {
     pub levels: Vec<Vec<TreeNode<T>>>,
 }
 
-fn factor_panel_cpu<T: Scalar>(
+/// Factor one panel with rayon over the level-0 tiles and the groups of
+/// each tree level. This is [`CpuBackend`]'s factor launch: the returned
+/// [`PanelFactor`] carries the same `{tiles, wy0, levels}` payload as the
+/// simulator path, so the generic driver and the conformance suite treat
+/// both uniformly.
+pub(crate) fn factor_panel_host<T: Scalar>(
     a: &mut Matrix<T>,
     row0: usize,
     col0: usize,
     width: usize,
-    opts: &CpuCaqrOptions,
-) -> CpuPanel<T> {
-    let bs = opts.block_size();
+    bs: BlockSize,
+    tree: TreeShape,
+    strategy: ReductionStrategy,
+) -> PanelFactor<T> {
     let tiles = tile_panel(row0, a.rows() - row0, bs.h, bs.w);
     let ptr = MatPtr::new(a);
     // Level 0: all tiles in parallel (disjoint row ranges).
@@ -142,7 +150,7 @@ fn factor_panel_cpu<T: Scalar>(
         .collect();
     // Tree levels: groups within a level in parallel.
     let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
-    let plan = plan_tree(&starts, opts.tree.arity(bs));
+    let plan = plan_tree(&starts, tree.arity(bs));
     let levels: Vec<Vec<TreeNode<T>>> = plan
         .levels
         .iter()
@@ -153,12 +161,27 @@ fn factor_panel_cpu<T: Scalar>(
                 .collect()
         })
         .collect();
-    CpuPanel {
+    PanelFactor {
+        row0,
         col0,
         width,
         tiles,
         wy0,
         levels,
+        bs,
+        strategy,
+    }
+}
+
+impl<T: Scalar> From<PanelFactor<T>> for CpuPanel<T> {
+    fn from(pf: PanelFactor<T>) -> CpuPanel<T> {
+        CpuPanel {
+            col0: pf.col0,
+            width: pf.width,
+            tiles: pf.tiles,
+            wy0: pf.wy0,
+            levels: pf.levels,
+        }
     }
 }
 
@@ -206,13 +229,19 @@ fn wy_apply_one_col<T: Scalar>(wy: &WyTile<T>, c: &mut [T]) {
 /// specialised for the host checksum path: the level-0 applies use
 /// [`wy_apply_one_col`] so the probe costs a sliver of the factorization
 /// it verifies instead of paying the one-column `larfb` GEMM overhead.
-fn q_ones_probe_fast<T: Scalar>(m: usize, panel: &CpuPanel<T>) -> Vec<T> {
+pub(crate) fn q_ones_probe_parts<T: Scalar>(
+    m: usize,
+    tiles: &[Tile],
+    wy0: &[WyTile<T>],
+    levels: &[Vec<TreeNode<T>>],
+    width: usize,
+) -> Vec<T> {
     let mut ones = Matrix::from_fn(m, 1, |_, _| T::ONE);
     {
         let p = MatPtr::new(&mut ones);
-        for nodes in panel.levels.iter().rev() {
+        for nodes in levels.iter().rev() {
             for node in nodes {
-                blockops::apply_tree_node(p, node, panel.width, 0, 1, false);
+                blockops::apply_tree_node(p, node, width, 0, 1, false);
             }
         }
     }
@@ -220,7 +249,7 @@ fn q_ones_probe_fast<T: Scalar>(m: usize, panel: &CpuPanel<T>) -> Vec<T> {
     // passes over one cache-resident V block, and the vendored rayon shim
     // spawns OS threads per call — fan-out would cost more than the work.
     let col = ones.col_mut(0);
-    for (&tile, wy) in panel.tiles.iter().zip(&panel.wy0) {
+    for (&tile, wy) in tiles.iter().zip(wy0) {
         let seg = &mut col[tile.start..tile.start + tile.rows];
         if wy.healthy {
             wy_apply_one_col(wy, seg);
@@ -239,9 +268,15 @@ fn q_ones_probe_fast<T: Scalar>(m: usize, panel: &CpuPanel<T>) -> Vec<T> {
     ones.col(0).to_vec()
 }
 
-fn apply_panel_cpu<T: Scalar>(
+/// Apply a panel's compact-WY factors to the column blocks `cols` with
+/// rayon over the (tile x column-block) grid — [`CpuBackend`]'s apply
+/// launch, shared with the [`CpuCaqr`] method surface below.
+pub(crate) fn apply_panel_parts<T: Scalar>(
     c: MatPtr<T>,
-    panel: &CpuPanel<T>,
+    tiles: &[Tile],
+    wy0: &[WyTile<T>],
+    levels: &[Vec<TreeNode<T>>],
+    width: usize,
     cols: &[(usize, usize)],
     transpose: bool,
 ) {
@@ -250,12 +285,12 @@ fn apply_panel_cpu<T: Scalar>(
     }
     let horizontal = || {
         // (tile x column-block) grid in parallel.
-        let work: Vec<(usize, usize)> = (0..panel.tiles.len())
+        let work: Vec<(usize, usize)> = (0..tiles.len())
             .flat_map(|ti| (0..cols.len()).map(move |cb| (ti, cb)))
             .collect();
         work.par_iter().for_each(|&(ti, cb)| {
             let (c0, wc) = cols[cb];
-            blockops::apply_tile_wy(&panel.wy0[ti], c, panel.tiles[ti], c0, wc, transpose);
+            blockops::apply_tile_wy(&wy0[ti], c, tiles[ti], c0, wc, transpose);
         });
     };
     let tree_level = |nodes: &[TreeNode<T>]| {
@@ -264,81 +299,63 @@ fn apply_panel_cpu<T: Scalar>(
             .collect();
         work.par_iter().for_each(|&(g, cb)| {
             let (c0, wc) = cols[cb];
-            blockops::apply_tree_node(c, &nodes[g], panel.width, c0, wc, transpose);
+            blockops::apply_tree_node(c, &nodes[g], width, c0, wc, transpose);
         });
     };
     if transpose {
         horizontal();
-        for nodes in &panel.levels {
+        for nodes in levels {
             tree_level(nodes);
         }
     } else {
-        for nodes in panel.levels.iter().rev() {
+        for nodes in levels.iter().rev() {
             tree_level(nodes);
         }
         horizontal();
     }
 }
 
-/// Factor `a` with host-multicore CAQR.
-pub fn caqr_cpu<T: Scalar>(
-    mut a: Matrix<T>,
-    opts: CpuCaqrOptions,
-) -> Result<CpuCaqr<T>, CaqrError> {
+fn apply_panel_cpu<T: Scalar>(
+    c: MatPtr<T>,
+    panel: &CpuPanel<T>,
+    cols: &[(usize, usize)],
+    transpose: bool,
+) {
+    apply_panel_parts(
+        c,
+        &panel.tiles,
+        &panel.wy0,
+        &panel.levels,
+        panel.width,
+        cols,
+        transpose,
+    );
+}
+
+/// Factor `a` with host-multicore CAQR — a thin shim over the generic
+/// [`crate::backend::drive`] loop on [`CpuBackend`] (see DESIGN.md §13).
+pub fn caqr_cpu<T: Scalar>(a: Matrix<T>, opts: CpuCaqrOptions) -> Result<CpuCaqr<T>, CaqrError> {
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
     }
-    opts.block_size().validate().map_err(CaqrError::BadShape)?;
-    // Host-side health check (no simulator to charge here): reject NaN/inf
-    // input with the same typed error the GPU drivers produce.
-    if let Some((row, col)) = crate::health::first_nonfinite(&a) {
-        return Err(CaqrError::NonFinite {
-            context: "caqr_cpu input",
-            row,
-            col,
-        });
-    }
-    let w = opts.panel_width;
-    let k = m.min(n);
-    let mut panels = Vec::with_capacity(k.div_ceil(w));
-    let mut c = 0;
-    let mut pidx = 0;
-    while c < k {
-        let width = w.min(k - c);
-        let pre = opts
-            .verify_checksums
-            .then(|| crate::health::panel_col_sumsq(&a, c, c, width));
-        let panel = factor_panel_cpu(&mut a, c, c, width, &opts);
-        if let Some(pre) = &pre {
-            let post = crate::health::r_col_sumsq(&a, c, c, width);
-            crate::health::verify_factor_checksums::<T>(pre, &post, m - c, pidx, c)?;
-        }
-        // The probe doubles as the apply-stage predictor, so it is computed
-        // once and only for panels that have trailing columns to predict —
-        // there its cost is a sliver of the updates it guards. A final
-        // panel's R stays covered by the norm checksum above.
-        let u = (opts.verify_checksums && c + width < n).then(|| q_ones_probe_fast(m, &panel));
-        if let Some(u) = &u {
-            crate::health::verify_probe(u, pidx, c)?;
-        }
-        if c + width < n {
-            let cols = col_blocks(c + width, n, w);
-            let pred = u
-                .as_ref()
-                .map(|u| crate::health::predicted_col_sums(u, &a, &cols));
-            let p = MatPtr::new(&mut a);
-            apply_panel_cpu(p, &panel, &cols, true);
-            if let Some(pred) = pred {
-                let actual = crate::health::actual_col_sums(&a, &cols);
-                crate::health::verify_apply_checksums::<T>(&pred, &actual, &cols, m, pidx)?;
-            }
-        }
-        panels.push(panel);
-        c += width;
-        pidx += 1;
-    }
-    Ok(CpuCaqr { a, panels, opts })
+    let cfg = DriveConfig {
+        bs: opts.block_size(),
+        // Cosmetic on the host: the CPU backend's pre-transpose is a no-op
+        // (the packed per-tile V copy happens at factor time), and strategy
+        // only annotates the stored PanelFactors.
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: opts.tree,
+        check_finite: true,
+        verify_checksums: opts.verify_checksums,
+        health_context: "caqr_cpu input",
+    };
+    let out = drive(&CpuBackend, a, &cfg, Mode::Sync)?;
+    Ok(CpuCaqr {
+        a: out.a,
+        panels: out.panels.into_iter().map(CpuPanel::from).collect(),
+        opts,
+    })
 }
 
 impl<T: Scalar> CpuCaqr<T> {

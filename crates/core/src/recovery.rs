@@ -29,20 +29,19 @@
 //! overhead of resilience is measurable (`wallclock_report
 //! --check-overhead` gates it in CI).
 
+use crate::backend::{CaqrBackend, DagGeometry, DriveConfig, DriveOutcome, PanelStep, SimBackend};
 use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};
-use crate::error::CaqrError;
+use crate::error::{checked_elems, CaqrError};
 use crate::health::{
-    actual_col_sums, check_matrix_finite, panel_col_sumsq, predicted_col_sums, q_ones_probe,
-    r_col_sumsq, verify_apply_checksums, verify_factor_checksums, verify_probe,
+    actual_col_sums, panel_col_sumsq, predicted_col_sums, r_col_sumsq, verify_apply_checksums,
+    verify_factor_checksums, verify_probe,
 };
-use crate::kernels::PretransposeKernel;
-use crate::schedule::{Dag, PanelStep, ScheduleOptions};
-use crate::tsqr::{apply_panel_ptr_on, factor_panel_with_tree_on, PanelFactor};
+use crate::tsqr::PanelFactor;
 use dense::arena;
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
 use dense::MatPtr;
-use gpu_sim::{Exec, Gpu};
+use gpu_sim::Gpu;
 
 /// Replay budgets of the escalation ladder. Each tier's budget is per
 /// scope: `max_task_replays` per task attempt streak, `max_panel_replays`
@@ -141,28 +140,10 @@ fn is_transient(e: &CaqrError) -> bool {
     )
 }
 
-/// Resolve all queued stream work (the recovery schedule uses host-side
-/// barriers between tasks instead of events, so this can never deadlock).
-fn sync_now(gpu: &Gpu) -> Result<(), CaqrError> {
-    gpu.try_synchronize()
-        .map(|_| ())
-        .map_err(|context| CaqrError::Breakdown { context })
-}
-
-/// Charge a host-side checksum pass over `elems` elements (one streamed
-/// read at DRAM bandwidth, two flops per element) to the ledger under
-/// `checksum_verify` — the measurable cost of ABFT detection.
-fn charge_verify<T: Scalar>(gpu: &Gpu, elems: usize) {
-    let bytes = elems as f64 * T::BYTES as f64;
-    gpu.host_work(
-        "checksum_verify",
-        bytes / (gpu.spec().dram_bw_gbs * 1e9),
-        2.0 * elems as f64,
-    );
-}
-
 /// An arena-backed copy of the rows `row0..m` of a set of column ranges —
-/// the input state of one task, restored bit-exactly on replay.
+/// the input state of one task, restored bit-exactly on replay. Snapshot
+/// traffic (a DRAM read + write) is charged through
+/// [`CaqrBackend::charge_snapshot`] under the `snapshot` op.
 struct RegionSnapshot<T: Scalar> {
     row0: usize,
     cols: Vec<(usize, usize)>,
@@ -170,7 +151,12 @@ struct RegionSnapshot<T: Scalar> {
 }
 
 impl<T: Scalar> RegionSnapshot<T> {
-    fn save(gpu: &Gpu, a: &Matrix<T>, row0: usize, cols: &[(usize, usize)]) -> Self {
+    fn save<B: CaqrBackend<T>>(
+        backend: &B,
+        a: &Matrix<T>,
+        row0: usize,
+        cols: &[(usize, usize)],
+    ) -> Self {
         let rows = a.rows() - row0;
         let ncols: usize = cols.iter().map(|&(_, wc)| wc).sum();
         let mut data = arena::take_dirty::<T>(rows * ncols);
@@ -181,7 +167,7 @@ impl<T: Scalar> RegionSnapshot<T> {
                 off += rows;
             }
         }
-        Self::charge(gpu, rows * ncols);
+        backend.charge_snapshot(rows * ncols);
         RegionSnapshot {
             row0,
             cols: cols.to_vec(),
@@ -189,7 +175,7 @@ impl<T: Scalar> RegionSnapshot<T> {
         }
     }
 
-    fn restore(&self, gpu: &Gpu, a: &mut Matrix<T>) {
+    fn restore<B: CaqrBackend<T>>(&self, backend: &B, a: &mut Matrix<T>) {
         let rows = a.rows() - self.row0;
         let mut off = 0;
         for &(c0, wc) in &self.cols {
@@ -198,14 +184,7 @@ impl<T: Scalar> RegionSnapshot<T> {
                 off += rows;
             }
         }
-        Self::charge(gpu, self.data.len());
-    }
-
-    /// Snapshot traffic is a DRAM copy; charge it at device bandwidth
-    /// under the `snapshot` op (read + write).
-    fn charge(gpu: &Gpu, elems: usize) {
-        let bytes = 2.0 * elems as f64 * T::BYTES as f64;
-        gpu.host_work("snapshot", bytes / (gpu.spec().dram_bw_gbs * 1e9), 0.0);
+        backend.charge_snapshot(self.data.len());
     }
 }
 
@@ -214,40 +193,83 @@ impl<T: Scalar> RegionSnapshot<T> {
 /// with the same [`CaqrOptions`] — including runs that recovered from
 /// injected faults. Returns the factorization and a [`RecoveryReport`] of
 /// what the escalation ladder did.
+///
+/// A thin shim over the generic [`drive_resilient`] on a barrier-mode
+/// [`SimBackend`] (DESIGN.md §13): the escalation ladder itself is written
+/// once against [`CaqrBackend`] and works on any executor.
 pub fn caqr_resilient<T: Scalar>(
     gpu: &Gpu,
     a: Matrix<T>,
     opts: RecoveryOptions,
 ) -> Result<(Caqr<T>, RecoveryReport), CaqrError> {
-    let sched = ScheduleOptions {
-        caqr: opts.caqr,
-        streams: opts.streams,
-        lookahead: false,
-    };
+    opts.caqr.bs.validate().map_err(CaqrError::BadShape)?;
     let (m, n) = a.shape();
-    let dag = Dag::new(gpu, m, n, &sched)?;
+    if m == 0 || n == 0 {
+        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+    }
+    let backend = SimBackend::resilient(gpu, opts.streams)?;
+    let cfg = DriveConfig {
+        bs: opts.caqr.bs,
+        strategy: opts.caqr.strategy,
+        tree: opts.caqr.tree,
+        check_finite: opts.caqr.check_finite,
+        verify_checksums: false,
+        health_context: "caqr input",
+    };
+    let (out, report) = drive_resilient(&backend, a, &cfg, &opts.policy)?;
+    Ok((
+        Caqr {
+            a: out.a,
+            panels: out.panels,
+            opts: opts.caqr,
+            launch_plan: LaunchPlan::Dag {
+                launches: out.launches,
+            },
+        },
+        report,
+    ))
+}
+
+/// The generic resilient driver: the barrier-mode DAG schedule of
+/// [`crate::backend::drive`] run task by task on any [`CaqrBackend`], with
+/// ABFT verification of every task and the three-tier snapshot/replay
+/// escalation ladder described in the module docs. Written once against
+/// the trait — the single-device executor ([`caqr_resilient`]) and any
+/// future backend get identical recovery semantics.
+pub fn drive_resilient<T: Scalar, B: CaqrBackend<T>>(
+    backend: &B,
+    pristine: Matrix<T>,
+    cfg: &DriveConfig,
+    policy: &RecoveryPolicy,
+) -> Result<(DriveOutcome<T>, RecoveryReport), CaqrError> {
+    cfg.bs.validate().map_err(CaqrError::BadShape)?;
+    let (m, n) = pristine.shape();
+    if m == 0 || n == 0 {
+        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+    }
+    checked_elems(m, n, "matrix element count")?;
+    let geo = DagGeometry::new(m, n, cfg.bs.w, backend.slots());
     let mut report = RecoveryReport::default();
-    let pristine = a;
     let mut run_attempt = 0u32;
     loop {
-        match run_once(gpu, &dag, &pristine, opts.caqr, &opts.policy, &mut report) {
-            Ok(caqr) => return Ok((caqr, report)),
+        match run_once(backend, &geo, &pristine, cfg, policy, &mut report) {
+            Ok(out) => return Ok((out, report)),
             Err(e) if is_transient(&e) => {
-                sync_now(gpu)?;
-                if run_attempt >= opts.policy.max_run_retries {
+                backend.sync()?;
+                if run_attempt >= policy.max_run_retries {
                     return Err(CaqrError::Unrecoverable {
                         context: format!(
                             "run retry budget ({}) exhausted; last error: {e}",
-                            opts.policy.max_run_retries
+                            policy.max_run_retries
                         ),
                     });
                 }
                 run_attempt += 1;
                 report.run_retries += 1;
-                gpu.note_run_retry();
+                backend.note_run_retry();
             }
             Err(e) => {
-                sync_now(gpu)?;
+                backend.sync()?;
                 return Err(e);
             }
         }
@@ -257,45 +279,45 @@ pub fn caqr_resilient<T: Scalar>(
 /// One full factorization attempt over a fresh copy of the pristine input.
 /// Transient errors bubbling out of here have already exhausted the task
 /// and panel tiers for their panel.
-fn run_once<T: Scalar>(
-    gpu: &Gpu,
-    dag: &Dag,
+fn run_once<T: Scalar, B: CaqrBackend<T>>(
+    backend: &B,
+    geo: &DagGeometry,
     pristine: &Matrix<T>,
-    o: CaqrOptions,
+    cfg: &DriveConfig,
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
-) -> Result<Caqr<T>, CaqrError> {
+) -> Result<DriveOutcome<T>, CaqrError> {
     let mut a = pristine.clone();
     let (m, n) = a.shape();
     let mut launches = 0usize;
 
-    if o.check_finite {
-        check_matrix_finite(gpu, Exec::Sync, &a, o.bs, "caqr input")?;
-        launches += 1;
+    if cfg.check_finite {
+        launches += backend.check_finite(&a, cfg.bs, cfg.health_context)?;
     }
-    if o.strategy.needs_pretranspose() {
-        let kernel = PretransposeKernel {
-            blocks: m.div_ceil(o.bs.h) * n.div_ceil(o.bs.w),
-            tile_rows: o.bs.h,
-            tile_cols: o.bs.w,
-            spec: gpu.spec(),
-        };
-        gpu.launch::<T>(&kernel)?;
-        launches += 1;
+    if cfg.strategy.needs_pretranspose() {
+        launches += backend.pretranspose(m, n, cfg.bs)?;
     }
 
-    let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(dag.steps.len());
-    for step in &dag.steps {
-        let pf = run_panel(gpu, dag, &mut a, step, o, policy, report, &mut launches)?;
+    let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(geo.steps.len());
+    for step in &geo.steps {
+        let pf = run_panel(
+            backend,
+            geo,
+            &mut a,
+            step,
+            cfg,
+            policy,
+            report,
+            &mut launches,
+        )?;
         panels.push(pf);
     }
-    sync_now(gpu)?;
+    backend.sync()?;
     report.launches += launches as u64;
-    Ok(Caqr {
+    Ok(DriveOutcome {
         a,
         panels,
-        opts: o,
-        launch_plan: LaunchPlan::Dag { launches },
+        launches,
     })
 }
 
@@ -304,18 +326,18 @@ fn run_once<T: Scalar>(
 /// inside), and on an escalated task failure roll everything back and
 /// redo the panel — until the panel budget is spent.
 #[allow(clippy::too_many_arguments)]
-fn run_panel<T: Scalar>(
-    gpu: &Gpu,
-    dag: &Dag,
+fn run_panel<T: Scalar, B: CaqrBackend<T>>(
+    backend: &B,
+    geo: &DagGeometry,
     a: &mut Matrix<T>,
     step: &PanelStep,
-    o: CaqrOptions,
+    cfg: &DriveConfig,
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
     launches: &mut usize,
 ) -> Result<PanelFactor<T>, CaqrError> {
-    // Barrier geometry: every trailing block, partitioned by home stream.
-    let groups = dag.groups(step, step.p + 1);
+    // Barrier geometry: every trailing block, partitioned by home slot.
+    let groups = geo.groups(step, step.p + 1);
     let mut panel_attempt = 0u32;
     loop {
         // The factor snapshot doubles as the factor *task's* input snapshot
@@ -324,15 +346,15 @@ fn run_panel<T: Scalar>(
         // each group's first apply. On rollback the union restores the
         // panel-start state exactly: the regions are disjoint and nothing
         // else writes them.
-        let factor_snap = RegionSnapshot::save(gpu, a, step.c, &[(step.c, step.width)]);
+        let factor_snap = RegionSnapshot::save(backend, a, step.c, &[(step.c, step.width)]);
         match run_panel_tasks(
-            gpu,
-            dag,
+            backend,
+            geo,
             a,
             step,
             &groups,
             &factor_snap,
-            o,
+            cfg,
             policy,
             report,
             launches,
@@ -344,11 +366,11 @@ fn run_panel<T: Scalar>(
                 }
                 panel_attempt += 1;
                 report.panel_replays += 1;
-                gpu.note_panel_replay();
-                sync_now(gpu)?;
-                factor_snap.restore(gpu, a);
+                backend.note_panel_replay();
+                backend.sync()?;
+                factor_snap.restore(backend, a);
                 for snap in &group_snaps {
-                    snap.restore(gpu, a);
+                    snap.restore(backend, a);
                 }
             }
             Err((e, _)) => return Err(e),
@@ -363,41 +385,31 @@ type TaskError<T> = (CaqrError, Vec<RegionSnapshot<T>>);
 /// stream (verified by predicted column sums). Errors return the group
 /// snapshots taken so far so the caller can roll the panel back.
 #[allow(clippy::too_many_arguments)]
-fn run_panel_tasks<T: Scalar>(
-    gpu: &Gpu,
-    dag: &Dag,
+fn run_panel_tasks<T: Scalar, B: CaqrBackend<T>>(
+    backend: &B,
+    geo: &DagGeometry,
     a: &mut Matrix<T>,
     step: &PanelStep,
     groups: &[Vec<(usize, usize)>],
     factor_snap: &RegionSnapshot<T>,
-    o: CaqrOptions,
+    cfg: &DriveConfig,
     policy: &RecoveryPolicy,
     report: &mut RecoveryReport,
     launches: &mut usize,
 ) -> Result<PanelFactor<T>, TaskError<T>> {
     let m = a.rows();
     let rows = m - step.c;
-    let sid = dag.stream(step.p);
+    let slot = geo.home(step.p);
     let mut group_snaps: Vec<RegionSnapshot<T>> = Vec::new();
 
     // --- factor task -------------------------------------------------------
     let pre = panel_col_sumsq(a, step.c, step.c, step.width);
-    charge_verify::<T>(gpu, rows * step.width);
+    backend.charge_verify(rows * step.width);
     let mut attempt = 0u32;
     let (pf, u) = loop {
         let result = (|| -> Result<(PanelFactor<T>, Vec<T>), CaqrError> {
-            let pf = factor_panel_with_tree_on(
-                gpu,
-                Exec::Stream(sid),
-                a,
-                step.c,
-                step.c,
-                step.width,
-                o.bs,
-                o.strategy,
-                o.tree,
-            )?;
-            sync_now(gpu)?;
+            let pf = backend.factor_panel(slot, a, step.c, step.c, step.width, cfg)?;
+            backend.sync()?;
             *launches += 1 + pf.levels.len();
             // Column-norm invariance of the surviving R (catches corrupted
             // R elements and corrupted reflectors feeding the tree).
@@ -406,10 +418,10 @@ fn run_panel_tasks<T: Scalar>(
             verify_factor_checksums::<T>(&pre, &post, rows, step.p, step.c)?;
             // Orthogonality probe over the packed factors (catches
             // corrupted V/T/tau copies, which the matrix checks can't see).
-            let u = q_ones_probe(m, step.width, &pf.tiles, &pf.wy0, &pf.levels);
+            let u = backend.q_ones_probe(m, &pf);
             report.checksum_checks += 1;
             verify_probe(&u, step.p, step.c)?;
-            charge_verify::<T>(gpu, rows * step.width + m);
+            backend.charge_verify(rows * step.width + m);
             Ok((pf, u))
         })();
         match result {
@@ -421,36 +433,36 @@ fn run_panel_tasks<T: Scalar>(
                 }
                 attempt += 1;
                 report.task_replays += 1;
-                gpu.note_task_replay();
-                if sync_now(gpu).is_err() {
+                backend.note_task_replay();
+                if backend.sync().is_err() {
                     return Err((e, group_snaps));
                 }
-                factor_snap.restore(gpu, a);
+                factor_snap.restore(backend, a);
             }
             Err(e) => return Err((e, group_snaps)),
         }
     };
 
     // --- apply tasks -------------------------------------------------------
-    // Enqueue every group first (streams overlap in the resolved timeline),
+    // Enqueue every group first (slots overlap in the resolved timeline),
     // then barrier once and verify each group; only a failing group replays.
     let mut preds: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
     for (t, cols) in groups.iter().enumerate() {
         if cols.is_empty() {
             continue;
         }
-        group_snaps.push(RegionSnapshot::save(gpu, a, step.c, cols));
+        group_snaps.push(RegionSnapshot::save(backend, a, step.c, cols));
         let pred = predicted_col_sums(&u, a, cols);
-        charge_verify::<T>(gpu, m * pred.len());
+        backend.charge_verify(m * pred.len());
         preds.push((t, pred));
         let ap = MatPtr::new(a);
-        if let Err(e) = apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, cols, true) {
+        if let Err(e) = backend.apply_panel(t, ap, &pf, cols, true) {
             report.observe(&e);
             return Err((e, group_snaps));
         }
         *launches += 1 + pf.levels.len();
     }
-    if let Err(e) = sync_now(gpu) {
+    if let Err(e) = backend.sync() {
         return Err((e, group_snaps));
     }
     for (si, (t, pred)) in preds.iter().enumerate() {
@@ -459,7 +471,7 @@ fn run_panel_tasks<T: Scalar>(
         loop {
             let actual = actual_col_sums(a, cols);
             report.checksum_checks += pred.len() as u64;
-            charge_verify::<T>(gpu, m * pred.len());
+            backend.charge_verify(m * pred.len());
             let verdict = verify_apply_checksums::<T>(pred, &actual, cols, m, step.p);
             let e = match verdict {
                 Ok(()) => break,
@@ -471,12 +483,12 @@ fn run_panel_tasks<T: Scalar>(
             }
             attempt += 1;
             report.task_replays += 1;
-            gpu.note_task_replay();
-            group_snaps[si].restore(gpu, a);
+            backend.note_task_replay();
+            group_snaps[si].restore(backend, a);
             let ap = MatPtr::new(a);
-            let replay =
-                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[*t]), ap, &pf, cols, true)
-                    .and_then(|()| sync_now(gpu));
+            let replay = backend
+                .apply_panel(*t, ap, &pf, cols, true)
+                .and_then(|()| backend.sync());
             match replay {
                 Ok(()) => *launches += 1 + pf.levels.len(),
                 Err(e) if is_transient(&e) => {
@@ -484,7 +496,7 @@ fn run_panel_tasks<T: Scalar>(
                     // next loop iteration re-verifies the restored-but-stale
                     // region and keeps going until the budget runs out.
                     report.observe(&e);
-                    group_snaps[si].restore(gpu, a);
+                    group_snaps[si].restore(backend, a);
                 }
                 Err(e) => return Err((e, group_snaps)),
             }

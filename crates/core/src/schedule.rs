@@ -22,16 +22,14 @@
 //! independently of how columns are grouped into launches. The equivalence
 //! tests in `tests/stream_scheduling.rs` assert this across shapes.
 
+use crate::backend::{drive, DagGeometry, DriveConfig, Mode, SimBackend};
 use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};
 use crate::error::CaqrError;
-use crate::kernels::PretransposeKernel;
 use crate::model::{
     model_apply_chain_on, model_factor_chain_on, model_health_on, model_pretranspose_on,
 };
-use crate::tsqr::{apply_panel_ptr_on, factor_panel_with_tree_on, PanelFactor};
 use dense::matrix::Matrix;
 use dense::scalar::Scalar;
-use dense::MatPtr;
 use gpu_sim::{EventId, Exec, Gpu, StreamId, Timeline};
 
 /// Options for a stream-scheduled CAQR factorization.
@@ -59,254 +57,73 @@ impl Default for ScheduleOptions {
     }
 }
 
-/// The static shape of one panel step of the DAG — shared by the executing
-/// scheduler, its model-only replay, and the fault-recovery executor
-/// ([`crate::recovery`]) so all three enqueue, event-for-event, the same
-/// schedule.
-pub(crate) struct PanelStep {
-    /// Panel index.
-    pub(crate) p: usize,
-    /// First column (== first row) of the panel.
-    pub(crate) c: usize,
-    /// Panel width.
-    pub(crate) width: usize,
-}
-
-/// Driver-independent schedule geometry.
-pub(crate) struct Dag {
-    w: usize,
-    n: usize,
-    /// Global column-grid block count.
-    pub(crate) nb: usize,
-    /// Panel steps over the leading `min(m, n)` columns.
-    pub(crate) steps: Vec<PanelStep>,
-    pub(crate) streams: Vec<StreamId>,
-}
-
-impl Dag {
-    pub(crate) fn new(
-        gpu: &Gpu,
-        m: usize,
-        n: usize,
-        opts: &ScheduleOptions,
-    ) -> Result<Dag, CaqrError> {
-        opts.caqr.bs.validate().map_err(CaqrError::BadShape)?;
-        if m == 0 || n == 0 {
-            return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
-        }
-        if opts.streams == 0 {
-            return Err(CaqrError::BadShape("streams must be >= 1".into()));
-        }
-        let w = opts.caqr.bs.w;
-        let k = m.min(n);
-        let mut steps = Vec::with_capacity(k.div_ceil(w));
-        let mut c = 0;
-        while c < k {
-            let width = w.min(k - c);
-            steps.push(PanelStep {
-                p: steps.len(),
-                c,
-                width,
-            });
-            c += width;
-        }
-        Ok(Dag {
-            w,
-            n,
-            nb: n.div_ceil(w),
-            steps,
-            streams: (0..opts.streams).map(|_| gpu.create_stream()).collect(),
-        })
-    }
-
-    /// Home stream index of global column block `j`.
-    pub(crate) fn home(&self, j: usize) -> usize {
-        j % self.streams.len()
-    }
-
-    pub(crate) fn stream(&self, j: usize) -> StreamId {
-        self.streams[self.home(j)]
-    }
-
-    /// The fixed-grid column block `j`.
-    pub(crate) fn block(&self, j: usize) -> (usize, usize) {
-        let start = j * self.w;
-        (start, self.w.min(self.n - start))
-    }
-
-    /// The trailing column ranges panel `step` must update, already
-    /// partitioned by home stream: fixed-grid blocks `first_block..nb`, plus
-    /// — for a narrow last panel of a wide matrix — the tail of the panel's
-    /// own block (columns `[c + width, min((p+1)*w, n))`), which stays on
-    /// the panel's stream.
-    pub(crate) fn groups(&self, step: &PanelStep, first_block: usize) -> Vec<Vec<(usize, usize)>> {
-        let s = self.streams.len();
-        let mut groups = vec![Vec::new(); s];
-        let tail_end = ((step.p + 1) * self.w).min(self.n);
-        if step.c + step.width < tail_end {
-            groups[self.home(step.p)].push((step.c + step.width, tail_end - step.c - step.width));
-        }
-        for j in first_block..self.nb {
-            groups[self.home(j)].push(self.block(j));
-        }
-        groups
-    }
-}
-
 /// Factor `a` with stream-scheduled CAQR. The result is numerically
 /// bit-identical to [`crate::caqr::caqr`] with `opts.caqr`; the returned
 /// [`Timeline`] holds the resolved per-stream kernel intervals (its
 /// `makespan` is what [`Gpu::elapsed`] advanced by).
+///
+/// A thin shim over the generic [`crate::backend::drive`] loop in
+/// [`Mode::Dag`] on a streamed [`SimBackend`] (DESIGN.md §13): the schedule
+/// described above lives there now, shared with the model replay below and
+/// the fault-recovery executor.
 pub fn caqr_dag<T: Scalar>(
     gpu: &Gpu,
-    mut a: Matrix<T>,
+    a: Matrix<T>,
     opts: ScheduleOptions,
 ) -> Result<(Caqr<T>, Timeline), CaqrError> {
-    let (m, n) = a.shape();
-    let dag = Dag::new(gpu, m, n, &opts)?;
     let o = opts.caqr;
-    let mut launches = 0usize;
-
-    // Numerical health check, queued first on stream 0 (arithmetic runs
-    // eagerly at enqueue, so a NaN aborts before any factor work is queued).
-    if o.check_finite {
-        crate::health::check_matrix_finite(
-            gpu,
-            Exec::Stream(dag.streams[0]),
-            &a,
-            o.bs,
-            "caqr input",
-        )?;
-        launches += 1;
-    }
-
-    // Strategy 4's out-of-place preprocessing, queued ahead of the first
-    // factor on its stream; every other stream's first op waits (directly or
-    // transitively) on the first factor's event, so no extra event is needed.
-    if o.strategy.needs_pretranspose() {
-        let tiles = m.div_ceil(o.bs.h) * n.div_ceil(o.bs.w);
-        let kernel = PretransposeKernel {
-            blocks: tiles,
-            tile_rows: o.bs.h,
-            tile_cols: o.bs.w,
-            spec: gpu.spec(),
-        };
-        gpu.launch_on::<T>(Exec::Stream(dag.streams[0]), &kernel)?;
-        launches += 1;
-    }
-
-    let npanels = dag.steps.len();
-    let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(npanels);
-    // Barrier mode: apply-completion events the next factor must wait on.
-    let mut pending: Vec<EventId> = Vec::new();
-    // Lookahead mode: the next panel's factor, done ahead of schedule.
-    let mut next: Option<(PanelFactor<T>, EventId)> = None;
-
-    for p in 0..npanels {
-        let step = &dag.steps[p];
-        let (pf, f_ev) = match next.take() {
-            Some(x) => x,
-            None => {
-                let sid = dag.stream(p);
-                for ev in pending.drain(..) {
-                    gpu.wait_event(sid, ev);
-                }
-                let pf = factor_panel_with_tree_on(
-                    gpu,
-                    Exec::Stream(sid),
-                    &mut a,
-                    step.c,
-                    step.c,
-                    step.width,
-                    o.bs,
-                    o.strategy,
-                    o.tree,
-                )?;
-                launches += 1 + pf.levels.len();
-                let ev = gpu.record_event(sid);
-                (pf, ev)
-            }
-        };
-        let chain = 1 + pf.levels.len();
-
-        if opts.lookahead && p + 1 < npanels {
-            // Lookahead: update only the next panel's column block, factor
-            // it immediately, then fan the bulk update out to every stream.
-            let sid_next = dag.stream(p + 1);
-            if dag.home(p + 1) != dag.home(p) {
-                gpu.wait_event(sid_next, f_ev);
-            }
-            let ap = MatPtr::new(&mut a);
-            apply_panel_ptr_on(
-                gpu,
-                Exec::Stream(sid_next),
-                ap,
-                &pf,
-                &[dag.block(p + 1)],
-                true,
-            )?;
-            launches += chain;
-
-            let nstep = &dag.steps[p + 1];
-            let pf2 = factor_panel_with_tree_on(
-                gpu,
-                Exec::Stream(sid_next),
-                &mut a,
-                nstep.c,
-                nstep.c,
-                nstep.width,
-                o.bs,
-                o.strategy,
-                o.tree,
-            )?;
-            launches += 1 + pf2.levels.len();
-            let ev2 = gpu.record_event(sid_next);
-            next = Some((pf2, ev2));
-
-            let ap = MatPtr::new(&mut a);
-            for (t, cols) in dag.groups(step, p + 2).into_iter().enumerate() {
-                if cols.is_empty() {
-                    continue;
-                }
-                if t != dag.home(p) {
-                    gpu.wait_event(dag.streams[t], f_ev);
-                }
-                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, &cols, true)?;
-                launches += chain;
-            }
-        } else {
-            // Barrier mode (and the last panel of either mode): fan the
-            // whole trailing update out, one apply chain per stream.
-            let ap = MatPtr::new(&mut a);
-            for (t, cols) in dag.groups(step, p + 1).into_iter().enumerate() {
-                if cols.is_empty() {
-                    continue;
-                }
-                if t != dag.home(p) {
-                    gpu.wait_event(dag.streams[t], f_ev);
-                }
-                apply_panel_ptr_on(gpu, Exec::Stream(dag.streams[t]), ap, &pf, &cols, true)?;
-                launches += chain;
-                if !opts.lookahead && p + 1 < npanels {
-                    pending.push(gpu.record_event(dag.streams[t]));
-                }
-            }
-        }
-        panels.push(pf);
-    }
-
+    o.bs.validate().map_err(CaqrError::BadShape)?;
+    let backend = SimBackend::streams(gpu, opts.streams)?;
+    let cfg = DriveConfig {
+        bs: o.bs,
+        strategy: o.strategy,
+        tree: o.tree,
+        check_finite: o.check_finite,
+        verify_checksums: false,
+        health_context: "caqr input",
+    };
+    let out = drive(
+        &backend,
+        a,
+        &cfg,
+        Mode::Dag {
+            lookahead: opts.lookahead,
+        },
+    )?;
     let timeline = gpu
         .try_synchronize()
         .map_err(|context| CaqrError::Breakdown { context })?;
     Ok((
         Caqr {
-            a,
-            panels,
+            a: out.a,
+            panels: out.panels,
             opts: o,
-            launch_plan: LaunchPlan::Dag { launches },
+            launch_plan: LaunchPlan::Dag {
+                launches: out.launches,
+            },
         },
         timeline,
     ))
+}
+
+/// Shared validation + geometry + stream creation for the model replay,
+/// mirroring what the executing path's shim and driver do.
+fn model_setup(
+    gpu: &Gpu,
+    m: usize,
+    n: usize,
+    opts: &ScheduleOptions,
+) -> Result<(DagGeometry, Vec<StreamId>), CaqrError> {
+    opts.caqr.bs.validate().map_err(CaqrError::BadShape)?;
+    if m == 0 || n == 0 {
+        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+    }
+    if opts.streams == 0 {
+        return Err(CaqrError::BadShape("streams must be >= 1".into()));
+    }
+    let geo = DagGeometry::new(m, n, opts.caqr.bs.w, opts.streams);
+    let streams = (0..opts.streams).map(|_| gpu.create_stream()).collect();
+    Ok((geo, streams))
 }
 
 /// Model-only replay of [`caqr_dag`] for an `m x n` single-precision matrix:
@@ -332,26 +149,26 @@ pub fn model_caqr_dag_timeline(
     opts: ScheduleOptions,
 ) -> Result<(f64, Timeline), CaqrError> {
     let t0 = gpu.elapsed();
-    let dag = Dag::new(gpu, m, n, &opts)?;
+    let (geo, streams) = model_setup(gpu, m, n, &opts)?;
     let o = opts.caqr;
 
     if o.check_finite {
-        model_health_on(gpu, Exec::Stream(dag.streams[0]), m, n, o.bs)?;
+        model_health_on(gpu, Exec::Stream(streams[0]), m, n, o.bs)?;
     }
     if o.strategy.needs_pretranspose() {
-        model_pretranspose_on(gpu, Exec::Stream(dag.streams[0]), m, n, o.bs)?;
+        model_pretranspose_on(gpu, Exec::Stream(streams[0]), m, n, o.bs)?;
     }
 
-    let npanels = dag.steps.len();
+    let npanels = geo.steps.len();
     let mut pending: Vec<EventId> = Vec::new();
     let mut next: Option<EventId> = None;
 
     for p in 0..npanels {
-        let step = &dag.steps[p];
+        let step = &geo.steps[p];
         let f_ev = match next.take() {
             Some(ev) => ev,
             None => {
-                let sid = dag.stream(p);
+                let sid = streams[geo.home(p)];
                 for ev in pending.drain(..) {
                     gpu.wait_event(sid, ev);
                 }
@@ -370,8 +187,8 @@ pub fn model_caqr_dag_timeline(
         };
 
         if opts.lookahead && p + 1 < npanels {
-            let sid_next = dag.stream(p + 1);
-            if dag.home(p + 1) != dag.home(p) {
+            let sid_next = streams[geo.home(p + 1)];
+            if geo.home(p + 1) != geo.home(p) {
                 gpu.wait_event(sid_next, f_ev);
             }
             model_apply_chain_on(
@@ -380,12 +197,12 @@ pub fn model_caqr_dag_timeline(
                 m,
                 step.c,
                 step.width,
-                &[dag.block(p + 1)],
+                &[geo.block(p + 1)],
                 o.bs,
                 o.strategy,
                 o.tree,
             )?;
-            let nstep = &dag.steps[p + 1];
+            let nstep = &geo.steps[p + 1];
             model_factor_chain_on(
                 gpu,
                 Exec::Stream(sid_next),
@@ -398,16 +215,16 @@ pub fn model_caqr_dag_timeline(
             )?;
             next = Some(gpu.record_event(sid_next));
 
-            for (t, cols) in dag.groups(step, p + 2).into_iter().enumerate() {
+            for (t, cols) in geo.groups(step, p + 2).into_iter().enumerate() {
                 if cols.is_empty() {
                     continue;
                 }
-                if t != dag.home(p) {
-                    gpu.wait_event(dag.streams[t], f_ev);
+                if t != geo.home(p) {
+                    gpu.wait_event(streams[t], f_ev);
                 }
                 model_apply_chain_on(
                     gpu,
-                    Exec::Stream(dag.streams[t]),
+                    Exec::Stream(streams[t]),
                     m,
                     step.c,
                     step.width,
@@ -418,16 +235,16 @@ pub fn model_caqr_dag_timeline(
                 )?;
             }
         } else {
-            for (t, cols) in dag.groups(step, p + 1).into_iter().enumerate() {
+            for (t, cols) in geo.groups(step, p + 1).into_iter().enumerate() {
                 if cols.is_empty() {
                     continue;
                 }
-                if t != dag.home(p) {
-                    gpu.wait_event(dag.streams[t], f_ev);
+                if t != geo.home(p) {
+                    gpu.wait_event(streams[t], f_ev);
                 }
                 model_apply_chain_on(
                     gpu,
-                    Exec::Stream(dag.streams[t]),
+                    Exec::Stream(streams[t]),
                     m,
                     step.c,
                     step.width,
@@ -437,7 +254,7 @@ pub fn model_caqr_dag_timeline(
                     o.tree,
                 )?;
                 if !opts.lookahead && p + 1 < npanels {
-                    pending.push(gpu.record_event(dag.streams[t]));
+                    pending.push(gpu.record_event(streams[t]));
                 }
             }
         }

@@ -49,8 +49,8 @@ pub fn figure7_surface(spec: &DeviceSpec, strategy: ReductionStrategy) -> Vec<Tu
 pub fn autotune(spec: &DeviceSpec, strategy: ReductionStrategy) -> TunedPoint {
     figure7_surface(spec, strategy)
         .into_iter()
-        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
-        .expect("non-empty candidate grid")
+        .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+        .expect("figure7_surface always emits the fixed candidate grid")
 }
 
 /// One scored stream-count candidate for the DAG schedule.
@@ -92,7 +92,7 @@ pub fn tune_streams(
             }
         }
     }
-    out.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap());
+    out.sort_by(|a, b| a.seconds.total_cmp(&b.seconds));
     out
 }
 
@@ -145,7 +145,7 @@ impl MeasuredProfile {
         self.points
             .iter()
             .copied()
-            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
     }
 
     /// The fastest measured candidate with panel width `w`.
@@ -154,7 +154,7 @@ impl MeasuredProfile {
             .iter()
             .copied()
             .filter(|p| p.bs.w == w)
-            .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).unwrap())
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
     }
 
     /// Serialize to the profile's JSON form.
@@ -246,11 +246,15 @@ impl MeasuredProfile {
     /// microkernel generation than this process runs. A stale profile's
     /// block-size ranking no longer reflects the machine, so callers fall
     /// back to heuristics (and typically re-run `autotune`) instead of
-    /// trusting it.
+    /// trusting it. A profile whose tags match but whose candidate grid is
+    /// empty (e.g. a sweep truncated mid-write) is rejected the same way:
+    /// it would make `best()`/`best_for_width()` silently answer `None`
+    /// forever while looking like a valid calibration.
     pub fn load(path: &std::path::Path) -> Option<Self> {
         let p = Self::from_json(&std::fs::read_to_string(path).ok()?)?;
         if p.backend != dense::simd::active().name()
             || p.kernel_version != dense::simd::KERNEL_VERSION
+            || p.points.is_empty()
         {
             return None;
         }
@@ -282,7 +286,7 @@ pub fn measured_grid(spec: &DeviceSpec, n: usize) -> Vec<BlockSize> {
             }
         }
     }
-    grid.sort_by(|a, b| score(*b).partial_cmp(&score(*a)).unwrap());
+    grid.sort_by(|a, b| score(*b).total_cmp(&score(*a)));
     grid
 }
 
@@ -309,8 +313,11 @@ pub fn autotune_measured(spec: &DeviceSpec, m: usize, n: usize, reps: usize) -> 
         // timed region so candidates are ranked on factorization time alone.
         let mut inputs: Vec<_> = (0..reps.max(1) + 1).map(|_| a.clone()).collect();
         let mut run = || {
-            let input = inputs.pop().expect("one input copy per repetition");
-            let f = crate::caqr_cpu(input, opts).expect("calibration factorization");
+            let input = inputs
+                .pop()
+                .expect("one input copy prepared per repetition plus warmup");
+            let f = crate::caqr_cpu(input, opts)
+                .expect("calibration input is finite and the grid shape pre-validated");
             std::hint::black_box(f.a.as_slice().len());
         };
         run(); // warm the arena pools so steady state is what's measured
@@ -538,6 +545,30 @@ mod tests {
             "{\"rows\": 4, \"cols\": 2, \"points\": [\n {\"h\": 8, \"w\": 2, \"gflops\": 1.0}]}",
         )
         .unwrap();
+        assert!(MeasuredProfile::load(&path).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_point_grids_are_rejected_by_load() {
+        let dir =
+            std::env::temp_dir().join(format!("caqr_tuning_empty_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("caqr_tuned.json");
+        // A hand-truncated profile: matching backend + kernel tags, but the
+        // sweep's candidate list is gone. `from_json` parses it fine...
+        let json = format!(
+            "{{\n  \"rows\": 512,\n  \"cols\": 8,\n  \"backend\": \"{}\",\n  \
+             \"kernel_version\": {},\n  \"points\": [\n  ]\n}}\n",
+            dense::simd::active().name(),
+            dense::simd::KERNEL_VERSION
+        );
+        let parsed = MeasuredProfile::from_json(&json).unwrap();
+        assert!(parsed.points.is_empty());
+        assert_eq!(parsed.best(), None);
+        // ...but `load` must refuse it so callers re-calibrate instead of
+        // carrying a permanently useless profile.
+        std::fs::write(&path, &json).unwrap();
         assert!(MeasuredProfile::load(&path).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -315,7 +315,7 @@ pub fn svd_golub_kahan<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
         }
     }
     let mut order: Vec<usize> = (0..nn).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].to_f64().total_cmp(&sigma[i].to_f64()));
     let (u_old, v_old, s_old) = (u.clone(), v.clone(), sigma.clone());
     for (dst, &src) in order.iter().enumerate() {
         sigma[dst] = s_old[src];

@@ -20,6 +20,11 @@
 // Indexed loops over multiple matrices are clearer than iterator zips in
 // numerical kernels; silence the style lint crate-wide.
 #![allow(clippy::needless_range_loop)]
+// Lock in the panic-path sweep: library code must surface `DenseError`
+// instead of unwrapping. Tests may unwrap freely (the cfg_attr gate), and
+// `expect` stays allowed for provably-infallible invariants whose message
+// says why. CI elevates this to deny via `-D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod arena;
 pub mod blas1;

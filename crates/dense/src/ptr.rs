@@ -153,7 +153,7 @@ impl<T: Scalar> MatPtr<T> {
             let src = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src, dst.as_mut_ptr().add(j * nr), nr);
         }
-        (nr * nc) as u64 * T::BYTES
+        nr as u64 * nc as u64 * T::BYTES
     }
 
     /// Copy the `nr x nc` tile at `(r0, c0)` into `dst` **row-major**
@@ -187,7 +187,7 @@ impl<T: Scalar> MatPtr<T> {
                 dst[r * nc + j] = *src.add(r);
             }
         }
-        (nr * nc) as u64 * T::BYTES
+        nr as u64 * nc as u64 * T::BYTES
     }
 
     /// Write `src` (**row-major**, `src[r * nc + j]`) to the tile at
@@ -219,7 +219,7 @@ impl<T: Scalar> MatPtr<T> {
                 *dst.add(r) = src[r * nc + j];
             }
         }
-        (nr * nc) as u64 * T::BYTES
+        nr as u64 * nc as u64 * T::BYTES
     }
 
     /// Write `src` (column-major, leading dimension `nr`) to the tile at
@@ -238,7 +238,7 @@ impl<T: Scalar> MatPtr<T> {
             let dst = self.ptr.add((c0 + j) * self.ld + r0);
             std::ptr::copy_nonoverlapping(src.as_ptr().add(j * nr), dst, nr);
         }
-        (nr * nc) as u64 * T::BYTES
+        nr as u64 * nc as u64 * T::BYTES
     }
 }
 

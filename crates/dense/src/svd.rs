@@ -85,7 +85,7 @@ pub fn svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
 
     // Sort descending (stable selection keeps ties deterministic).
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].to_f64().total_cmp(&sigma[i].to_f64()));
     let need_permute = order.iter().enumerate().any(|(i, &o)| i != o);
     if need_permute {
         let u_old = u.clone();

@@ -108,7 +108,9 @@ impl CostMeter {
     /// consecutive lanes touch consecutive addresses.
     #[inline]
     pub fn gmem(&mut self, words: u64, bytes_per_word: u64, coalesced: bool) {
-        let raw = (words * bytes_per_word) as f64;
+        // f64 multiply: a huge modelled word count must degrade precision,
+        // not wrap a u64 product.
+        let raw = words as f64 * bytes_per_word as f64;
         let eff = if coalesced {
             raw
         } else {

@@ -45,27 +45,8 @@ fn caqr_matches_reference_r_across_shapes() {
     }
 }
 
-#[test]
-fn all_strategies_produce_identical_numerics() {
-    // Strategies only change the cost model; the arithmetic must be
-    // bit-for-bit identical.
-    let a = dense::generate::uniform::<f32>(300, 24, 7);
-    let mut results = Vec::new();
-    for s in ReductionStrategy::ALL {
-        let g = Gpu::new(DeviceSpec::c2050());
-        let o = CaqrOptions {
-            bs: BlockSize { h: 32, w: 8 },
-            strategy: s,
-            tree: caqr::block::TreeShape::DeviceArity,
-            check_finite: true,
-        };
-        let f = caqr::caqr::caqr(&g, a.clone(), o).unwrap();
-        results.push(f.r());
-    }
-    for r in &results[1..] {
-        assert_eq!(r, &results[0], "strategy changed the arithmetic");
-    }
-}
+// Strategy bit-equivalence moved to `backend_conformance.rs`, which checks
+// every strategy against the host reference through the generic driver.
 
 #[test]
 fn single_precision_quality_is_proportional_to_eps() {
