@@ -192,6 +192,7 @@ pub trait CaqrBackend<T: Scalar> {
 }
 
 /// The static shape of one panel step of the schedule.
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct PanelStep {
     /// Panel index.
     pub(crate) p: usize,
@@ -238,6 +239,16 @@ impl DagGeometry {
             slots,
             steps,
         }
+    }
+
+    /// The panel steps of the schedule over the leading `min(m, n)`
+    /// columns — the one grid every executor walks. [`Mode::Sync`] and
+    /// [`Mode::Dag`] iterate it here; the batched `factor_many` fusion of
+    /// [`crate::service`] walks the *same* steps in lockstep across many
+    /// same-shape jobs, which is why a fused run factors panel-for-panel
+    /// exactly what the synchronous loop would.
+    pub(crate) fn panel_steps(m: usize, n: usize, w: usize) -> Vec<PanelStep> {
+        DagGeometry::new(m, n, w, 1).steps
     }
 
     /// Home slot index of global column block `j`.
@@ -311,10 +322,8 @@ pub fn drive<T: Scalar, B: CaqrBackend<T>>(
     let mut panels: Vec<PanelFactor<T>> = Vec::with_capacity(k.div_ceil(w));
     match mode {
         Mode::Sync => {
-            let mut c = 0;
-            let mut pidx = 0;
-            while c < k {
-                let width = w.min(k - c);
+            for step in DagGeometry::panel_steps(m, n, w) {
+                let (pidx, c, width) = (step.p, step.c, step.width);
                 let pre = cfg
                     .verify_checksums
                     .then(|| health::panel_col_sumsq(&a, c, c, width));
@@ -350,8 +359,6 @@ pub fn drive<T: Scalar, B: CaqrBackend<T>>(
                     }
                 }
                 panels.push(pf);
-                c += width;
-                pidx += 1;
             }
         }
         Mode::Dag { lookahead } => {

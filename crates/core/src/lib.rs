@@ -24,7 +24,11 @@
 //!   single-device host path,
 //! * [`backend`] — the execution-backend trait behind all of the above:
 //!   one generic CAQR driver ([`backend::drive`]), pluggable executors
-//!   (host multicore, simulator sync/stream-DAG, resilient, cluster).
+//!   (host multicore, simulator sync/stream-DAG, resilient, cluster),
+//! * [`service`] — the multi-tenant batching service: a bounded admission
+//!   queue with priority classes and deadlines, shape-fused `factor_many`
+//!   batches (bit-identical per matrix to standalone [`caqr_cpu`]), and a
+//!   per-tenant accounting ledger.
 //!
 //! ## Quick start
 //!
@@ -61,6 +65,7 @@ pub mod model;
 pub mod multicore;
 pub mod recovery;
 pub mod schedule;
+pub mod service;
 pub mod tsqr;
 pub mod tuning;
 
@@ -76,5 +81,9 @@ pub use recovery::{
     caqr_resilient, drive_resilient, RecoveryOptions, RecoveryPolicy, RecoveryReport,
 };
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
+pub use service::{
+    factor_many, factor_many_with_stats, BatchStats, JobOutcome, JobSpec, Priority, Service,
+    ServiceConfig, ServiceError, ServiceLedger, SubmitError, TenantCounters, Ticket,
+};
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};
 pub use tuning::{autotune_measured, MeasuredPoint, MeasuredProfile};

@@ -84,10 +84,14 @@ impl CpuCaqrOptions {
     /// Like [`Self::for_width`] but consults the persisted measured profile
     /// at [`crate::tuning::MeasuredProfile::default_path`] first. Absent or
     /// malformed profiles fall back to the static heuristic, so this is
-    /// always safe to call.
+    /// always safe to call. The profile is read through the process-wide
+    /// [`crate::tuning::MeasuredProfile::load_cached`] cache, so per-job
+    /// lookups under mixed-shape service traffic cost a map probe, not a
+    /// file parse.
     pub fn tuned_for_width(width: usize) -> Self {
-        match crate::tuning::MeasuredProfile::load(&crate::tuning::MeasuredProfile::default_path())
-        {
+        match crate::tuning::MeasuredProfile::load_cached(
+            &crate::tuning::MeasuredProfile::default_path(),
+        ) {
             Some(p) => Self::from_measured(&p, width),
             None => Self::for_width(width),
         }

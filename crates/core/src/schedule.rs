@@ -21,6 +21,14 @@
 //! commute exactly, and within the apply kernels each column is processed
 //! independently of how columns are grouped into launches. The equivalence
 //! tests in `tests/stream_scheduling.rs` assert this across shapes.
+//!
+//! This module packs one factorization's tasks across streams; the
+//! [`crate::service`] batcher is the same idea one level up — it packs the
+//! lockstep panel steps of *many independent* factorizations into shared
+//! parallel regions, walking the identical
+//! [`DagGeometry`](crate::backend::DagGeometry) panel grid, with the same
+//! bit-identity argument (tasks of different jobs touch disjoint matrices,
+//! so fusing their launches cannot reorder any job's own arithmetic).
 
 use crate::backend::{drive, DagGeometry, DriveConfig, Mode, SimBackend};
 use crate::caqr::{Caqr, CaqrOptions, LaunchPlan};

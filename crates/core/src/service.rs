@@ -1,0 +1,1184 @@
+//! Batched multi-tenant QR service: a bounded admission queue feeding
+//! worker threads that pack many independent CAQR jobs into **shape-fused
+//! launches** (DESIGN.md §14).
+//!
+//! The paper's design wins by keeping the hardware saturated; production
+//! traffic is not one 65536x16 matrix but thousands of concurrent
+//! small-to-large factorizations. At tall-skinny widths the host path is
+//! launch-bound, not flop-bound — the vendored rayon shim (like a real GPU
+//! at small grid sizes) pays a fixed fan-out cost per parallel region — so
+//! the throughput core here is [`factor_many`]: jobs whose matrices share a
+//! shape class walk the synchronous panel schedule **in lockstep**, with
+//! every per-tile task of every job packed into one parallel region
+//! (per-job offsets into one flat work list). Because each
+//! [`crate::blockops`] task is a pure function of its own job's matrix
+//! region, fusion changes *where* tasks run and nothing about what they
+//! compute: every serviced matrix is bit-identical to a standalone
+//! [`caqr_cpu`] run, which the conformance suite pins.
+//!
+//! On top of the batch engine sits [`Service`]: a bounded, backpressured
+//! admission queue ([`Service::submit`] blocks when full,
+//! [`Service::try_submit`] returns the job), priority classes, optional
+//! per-job deadlines (expired jobs are shed at dispatch — the admission
+//! analogue of the gpu-sim watchdog that kills hung launches), and a
+//! per-tenant [`ServiceLedger`] split out of the global counters, whose
+//! per-tenant sums reconcile exactly against the global row.
+
+use crate::backend::DagGeometry;
+use crate::block::{plan_tree, tile_panel, BlockSize};
+use crate::blockops;
+use crate::error::{checked_elems, CaqrError};
+use crate::health;
+use crate::multicore::{caqr_cpu, CpuCaqr, CpuCaqrOptions, CpuPanel};
+use crate::tsqr::{col_blocks, TreeNode, WyTile};
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Recover a lock even if a holder panicked: the queue and ledger hold
+/// plain data whose invariants are re-established by every transition, so
+/// continuing after a poisoned lock beats deadlocking the service.
+fn lock<'a, S>(m: &'a Mutex<S>) -> MutexGuard<'a, S> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------------
+
+/// Priority class of a service job. Lower is served first when the queue
+/// has a backlog; within a class, admission order wins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: always dispatched ahead of a backlog.
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput traffic that tolerates queueing.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, in dispatch-preference order.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Stable lowercase name (report keys, ledger rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// One factorization request: the matrix, the host options, and the
+/// multi-tenant metadata the scheduler and ledger act on.
+pub struct JobSpec<T: Scalar> {
+    /// The matrix to factor.
+    pub a: Matrix<T>,
+    /// Host CAQR options (tile shape, tree, checksums).
+    pub opts: CpuCaqrOptions,
+    /// Accounting identity the job is charged to.
+    pub tenant: String,
+    /// Dispatch priority class.
+    pub priority: Priority,
+    /// Optional completion deadline, relative to submission. A job still
+    /// queued past its deadline is **shed** at dispatch with
+    /// [`ServiceError::DeadlineExpired`] instead of burning worker time; a
+    /// job that completes late is served but counted as a deadline miss.
+    pub deadline: Option<Duration>,
+}
+
+impl<T: Scalar> JobSpec<T> {
+    /// A default-tenant, standard-priority, deadline-free job.
+    pub fn new(a: Matrix<T>, opts: CpuCaqrOptions) -> JobSpec<T> {
+        JobSpec {
+            a,
+            opts,
+            tenant: "default".to_string(),
+            priority: Priority::Standard,
+            deadline: None,
+        }
+    }
+
+    /// Set the tenant id.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Set the priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the completion deadline (relative to submission).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shape-fused batch engine
+// ---------------------------------------------------------------------------
+
+/// The fusion key: jobs agreeing on all of this factor under one packed
+/// launch sequence. Tree shapes are keyed by their *effective arity* — a
+/// `DeviceArity` tree and an explicit `Arity(h/w)` tree plan identically.
+/// Checksummed jobs never fuse (their verification passes interleave the
+/// panel loop) and fall back to per-job [`caqr_cpu`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct FuseKey {
+    m: usize,
+    n: usize,
+    h: usize,
+    w: usize,
+    arity: usize,
+}
+
+/// Classify one job: `Some(key)` if it can enter a fused group, `None` if
+/// it must run solo (odd/invalid shapes, checksummed jobs). Solo jobs go
+/// through [`caqr_cpu`] untouched, so invalid inputs surface exactly the
+/// typed error a standalone run would produce.
+fn fuse_key<T: Scalar>(a: &Matrix<T>, opts: &CpuCaqrOptions) -> Option<FuseKey> {
+    let (m, n) = a.shape();
+    let bs = BlockSize {
+        h: opts.tile_rows,
+        w: opts.panel_width,
+    };
+    if opts.verify_checksums
+        || m == 0
+        || n == 0
+        || bs.validate().is_err()
+        || checked_elems(m, n, "matrix element count").is_err()
+    {
+        return None;
+    }
+    Some(FuseKey {
+        m,
+        n,
+        h: bs.h,
+        w: bs.w,
+        arity: opts.tree.arity(bs),
+    })
+}
+
+/// What one [`factor_many`] call did, for the ledger and the benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Jobs that ran inside a fused group of two or more.
+    pub fused_jobs: usize,
+    /// Jobs that ran as standalone `caqr_cpu` calls (odd shapes, checksum
+    /// jobs, or the only member of their shape class).
+    pub solo_jobs: usize,
+    /// Fused groups executed.
+    pub fused_groups: usize,
+    /// Parallel regions actually issued by the fused groups — the number a
+    /// one-at-a-time schedule would multiply by the group size.
+    pub fused_launches: usize,
+    /// Sum over jobs of the launch count the synchronous driver would
+    /// report for that job alone ([`crate::DriveOutcome::launches`]).
+    pub logical_launches: usize,
+}
+
+/// The launch count [`crate::backend::drive`] reports for one completed
+/// host factorization: per panel, one level-0 factor launch plus one per
+/// tree level, and the same again for the trailing apply when the panel
+/// has trailing columns. The host health scan issues zero launches.
+pub fn logical_launches<T: Scalar>(f: &CpuCaqr<T>) -> usize {
+    let n = f.a.cols();
+    f.panels
+        .iter()
+        .map(|p| {
+            let chain = 1 + p.levels.len();
+            if p.col0 + p.width < n {
+                2 * chain
+            } else {
+                chain
+            }
+        })
+        .sum()
+}
+
+/// Factor many independent matrices, fusing same-shape jobs into packed
+/// lockstep launches. Returns one result per job, in input order, each
+/// **bit-identical** to `caqr_cpu(a, opts)` on the same input.
+///
+/// Jobs are grouped by [shape class](FuseKey); each group of two or more
+/// walks the synchronous panel schedule in lockstep, with the per-tile
+/// factor tasks, per-group tree reductions, and per-(tile × column-block)
+/// trailing updates of *all* jobs packed into one parallel region per
+/// schedule step (a flat work list with per-job offsets). Odd shapes,
+/// checksummed jobs, and singleton classes fall back to per-job
+/// [`caqr_cpu`] runs. Fusion preserves bit-identity because every packed
+/// task reads and writes only its own job's matrix and the schedule per
+/// job is unchanged — see the conformance proptest in
+/// `tests/service_batching.rs`.
+pub fn factor_many<T: Scalar>(
+    jobs: Vec<(Matrix<T>, CpuCaqrOptions)>,
+) -> Vec<Result<CpuCaqr<T>, CaqrError>> {
+    factor_many_with_stats(jobs).0
+}
+
+/// [`factor_many`] plus the fusion accounting the service ledger records.
+pub fn factor_many_with_stats<T: Scalar>(
+    jobs: Vec<(Matrix<T>, CpuCaqrOptions)>,
+) -> (Vec<Result<CpuCaqr<T>, CaqrError>>, BatchStats) {
+    let njobs = jobs.len();
+    let mut stats = BatchStats::default();
+    let mut mats: Vec<Option<Matrix<T>>> = Vec::with_capacity(njobs);
+    let mut optsv: Vec<CpuCaqrOptions> = Vec::with_capacity(njobs);
+    let mut out: Vec<Option<Result<CpuCaqr<T>, CaqrError>>> = Vec::with_capacity(njobs);
+    let mut groups: BTreeMap<FuseKey, Vec<usize>> = BTreeMap::new();
+    let mut solo: Vec<usize> = Vec::new();
+    for (idx, (a, opts)) in jobs.into_iter().enumerate() {
+        match fuse_key(&a, &opts) {
+            Some(key) => groups.entry(key).or_default().push(idx),
+            None => solo.push(idx),
+        }
+        mats.push(Some(a));
+        optsv.push(opts);
+        out.push(None);
+    }
+
+    for (key, idxs) in groups {
+        if idxs.len() < 2 {
+            solo.extend(idxs);
+            continue;
+        }
+        run_fused_group(&key, &idxs, &mut mats, &optsv, &mut out, &mut stats);
+    }
+    for idx in solo {
+        let a = mats[idx]
+            .take()
+            .expect("solo job matrix consumed exactly once");
+        let res = caqr_cpu(a, optsv[idx]);
+        if let Ok(f) = &res {
+            stats.logical_launches += logical_launches(f);
+        }
+        stats.solo_jobs += 1;
+        out[idx] = Some(res);
+    }
+
+    let results = out
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
+    (results, stats)
+}
+
+/// Run one fused shape class: the synchronous panel schedule, executed in
+/// lockstep across all member jobs with one packed work list per launch.
+fn run_fused_group<T: Scalar>(
+    key: &FuseKey,
+    idxs: &[usize],
+    mats: &mut [Option<Matrix<T>>],
+    optsv: &[CpuCaqrOptions],
+    out: &mut [Option<Result<CpuCaqr<T>, CaqrError>>],
+    stats: &mut BatchStats,
+) {
+    let (m, n) = (key.m, key.n);
+    let bs = BlockSize { h: key.h, w: key.w };
+
+    // Fused health scan: one parallel region over the group, one verdict
+    // per job. A NaN fails only its own job (same typed error, same first
+    // offending coordinate, as a standalone run), and the group shrinks.
+    let scans: Vec<Option<(usize, usize)>> = {
+        let views: Vec<&Matrix<T>> = idxs
+            .iter()
+            .map(|&i| {
+                mats[i]
+                    .as_ref()
+                    .expect("grouped job matrix present until consumed")
+            })
+            .collect();
+        views
+            .par_iter()
+            .map(|a| health::first_nonfinite(a))
+            .collect()
+    };
+    stats.fused_launches += 1;
+    let mut members: Vec<usize> = Vec::with_capacity(idxs.len());
+    for (&idx, scan) in idxs.iter().zip(&scans) {
+        match scan {
+            Some((row, col)) => {
+                out[idx] = Some(Err(CaqrError::NonFinite {
+                    context: "caqr_cpu input",
+                    row: *row,
+                    col: *col,
+                }));
+                mats[idx] = None;
+                stats.solo_jobs += 1;
+            }
+            None => members.push(idx),
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    let g = members.len();
+    let mut owned: Vec<Matrix<T>> = members
+        .iter()
+        .map(|&i| mats[i].take().expect("fused job matrix consumed once"))
+        .collect();
+    // Lifetime-erased per-job matrix handles, shared by every packed task.
+    // Safety contract (as in `factor_panel_host` / `apply_panel_parts`):
+    // each task touches only its own job's disjoint tile / column block,
+    // and `owned` is not accessed through any other path until the fused
+    // loop finishes.
+    let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+
+    let mut pan: Vec<Vec<CpuPanel<T>>> = (0..g).map(|_| Vec::new()).collect();
+    let mut logical = 0usize;
+    for step in DagGeometry::panel_steps(m, n, bs.w) {
+        // Level 0, fused: the (job × tile) grid in one parallel region.
+        // Job j's tasks occupy the packed range [j * nt, (j + 1) * nt).
+        let tiles = tile_panel(step.c, m - step.c, bs.h, bs.w);
+        let nt = tiles.len();
+        let work: Vec<(usize, usize)> = (0..g)
+            .flat_map(|j| (0..nt).map(move |ti| (j, ti)))
+            .collect();
+        let wy_flat: Vec<WyTile<T>> = work
+            .par_iter()
+            .map(|&(j, ti)| blockops::factor_tile(ptrs[j], tiles[ti], step.c, step.width))
+            .collect();
+        stats.fused_launches += 1;
+        let mut wy_it = wy_flat.into_iter();
+        let wy0s: Vec<Vec<WyTile<T>>> = (0..g).map(|_| wy_it.by_ref().take(nt).collect()).collect();
+
+        // Tree levels, fused: the (job × group) grid per level, with a
+        // barrier between levels exactly where the per-job schedule has one.
+        let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+        let plan = plan_tree(&starts, key.arity);
+        let mut lvls: Vec<Vec<Vec<TreeNode<T>>>> = (0..g).map(|_| Vec::new()).collect();
+        for level in &plan.levels {
+            let ng = level.len();
+            let work: Vec<(usize, usize)> = (0..g)
+                .flat_map(|j| (0..ng).map(move |gi| (j, gi)))
+                .collect();
+            let nodes_flat: Vec<TreeNode<T>> = work
+                .par_iter()
+                .map(|&(j, gi)| {
+                    blockops::factor_tree_group(ptrs[j], &level[gi].members, step.c, step.width)
+                })
+                .collect();
+            stats.fused_launches += 1;
+            let mut it = nodes_flat.into_iter();
+            for lv in lvls.iter_mut() {
+                lv.push(it.by_ref().take(ng).collect());
+            }
+        }
+        logical += 1 + plan.levels.len();
+        let lvl_sizes: Vec<usize> = plan.levels.iter().map(|l| l.len()).collect();
+
+        // Trailing update, fused: horizontal (job × tile × column-block),
+        // then each tree level — the same order `apply_panel_parts` uses.
+        if step.c + step.width < n {
+            let cols = col_blocks(step.c + step.width, n, bs.w);
+            let ncb = cols.len();
+            let work: Vec<(usize, usize, usize)> = (0..g)
+                .flat_map(|j| (0..nt).flat_map(move |ti| (0..ncb).map(move |cb| (j, ti, cb))))
+                .collect();
+            work.par_iter().for_each(|&(j, ti, cb)| {
+                let (c0, wc) = cols[cb];
+                blockops::apply_tile_wy(&wy0s[j][ti], ptrs[j], tiles[ti], c0, wc, true);
+            });
+            stats.fused_launches += 1;
+            for (li, ng) in lvl_sizes.iter().copied().enumerate() {
+                let work: Vec<(usize, usize, usize)> = (0..g)
+                    .flat_map(|j| (0..ng).flat_map(move |gi| (0..ncb).map(move |cb| (j, gi, cb))))
+                    .collect();
+                work.par_iter().for_each(|&(j, gi, cb)| {
+                    let (c0, wc) = cols[cb];
+                    blockops::apply_tree_node(ptrs[j], &lvls[j][li][gi], step.width, c0, wc, true);
+                });
+                stats.fused_launches += 1;
+            }
+            logical += 1 + plan.levels.len();
+        }
+
+        for ((p, wy0), lv) in pan.iter_mut().zip(wy0s).zip(lvls) {
+            p.push(CpuPanel {
+                col0: step.c,
+                width: step.width,
+                tiles: tiles.clone(),
+                wy0,
+                levels: lv,
+            });
+        }
+    }
+
+    for ((idx, a), panels) in members.iter().copied().zip(owned).zip(pan) {
+        out[idx] = Some(Ok(CpuCaqr {
+            a,
+            panels,
+            opts: optsv[idx],
+        }));
+    }
+    stats.fused_jobs += g;
+    stats.fused_groups += 1;
+    stats.logical_launches += g * logical;
+}
+
+// ---------------------------------------------------------------------------
+// Per-tenant ledger
+// ---------------------------------------------------------------------------
+
+/// Counters charged to one tenant (and, summed, to the global row of the
+/// [`ServiceLedger`]). Every charge is applied to the tenant's row and the
+/// global row in the same critical section, so the reconciliation invariant
+/// — per-tenant sums equal the global row — holds at every instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TenantCounters {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs factored successfully.
+    pub jobs_completed: u64,
+    /// Jobs that surfaced a [`CaqrError`].
+    pub jobs_failed: u64,
+    /// Jobs shed at dispatch because their deadline had already expired.
+    pub jobs_shed: u64,
+    /// Jobs served past their deadline (completed, but late).
+    pub deadline_misses: u64,
+    /// Panels factored on behalf of the tenant.
+    pub panels: u64,
+    /// Per-job logical launch chains, as the synchronous driver counts them.
+    pub launches: u64,
+    /// Jobs that ran inside a fused group.
+    pub fused_jobs: u64,
+    /// Jobs that ran standalone.
+    pub solo_jobs: u64,
+    /// Useful flops factored (`geqrf` count of each completed job).
+    pub flops: f64,
+    /// Seconds jobs spent queued before dispatch.
+    pub queue_seconds: f64,
+    /// Seconds of batch execution the jobs participated in.
+    pub service_seconds: f64,
+}
+
+impl TenantCounters {
+    fn add(&mut self, o: &TenantCounters) {
+        self.jobs_submitted += o.jobs_submitted;
+        self.jobs_completed += o.jobs_completed;
+        self.jobs_failed += o.jobs_failed;
+        self.jobs_shed += o.jobs_shed;
+        self.deadline_misses += o.deadline_misses;
+        self.panels += o.panels;
+        self.launches += o.launches;
+        self.fused_jobs += o.fused_jobs;
+        self.solo_jobs += o.solo_jobs;
+        self.flops += o.flops;
+        self.queue_seconds += o.queue_seconds;
+        self.service_seconds += o.service_seconds;
+    }
+}
+
+/// Service accounting, split per tenant with a global row — the
+/// multi-tenant analogue of the gpu-sim `CostLedger`.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceLedger {
+    /// Sum over all tenants.
+    pub global: TenantCounters,
+    /// Per-tenant rows, keyed by tenant id.
+    pub tenants: BTreeMap<String, TenantCounters>,
+    /// Batches dispatched (fused or solo).
+    pub batches: u64,
+    /// Parallel regions actually issued by fused execution.
+    pub fused_launches: u64,
+}
+
+impl ServiceLedger {
+    /// Apply one charge to a tenant's row *and* the global row.
+    fn charge(&mut self, tenant: &str, f: impl Fn(&mut TenantCounters)) {
+        f(self.tenants.entry(tenant.to_string()).or_default());
+        f(&mut self.global);
+    }
+
+    /// Verify the split-accounting invariant: summing every per-tenant row
+    /// reproduces the global row (exactly for the integer counters, to a
+    /// 1e-9 relative tolerance for the float accumulators, whose summation
+    /// order differs between the two sides).
+    pub fn reconcile(&self) -> Result<(), String> {
+        let mut sum = TenantCounters::default();
+        for row in self.tenants.values() {
+            sum.add(row);
+        }
+        let ints = [
+            (
+                "jobs_submitted",
+                sum.jobs_submitted,
+                self.global.jobs_submitted,
+            ),
+            (
+                "jobs_completed",
+                sum.jobs_completed,
+                self.global.jobs_completed,
+            ),
+            ("jobs_failed", sum.jobs_failed, self.global.jobs_failed),
+            ("jobs_shed", sum.jobs_shed, self.global.jobs_shed),
+            (
+                "deadline_misses",
+                sum.deadline_misses,
+                self.global.deadline_misses,
+            ),
+            ("panels", sum.panels, self.global.panels),
+            ("launches", sum.launches, self.global.launches),
+            ("fused_jobs", sum.fused_jobs, self.global.fused_jobs),
+            ("solo_jobs", sum.solo_jobs, self.global.solo_jobs),
+        ];
+        for (name, got, want) in ints {
+            if got != want {
+                return Err(format!(
+                    "ledger split broken: tenant {name} sum {got} != global {want}"
+                ));
+            }
+        }
+        let floats = [
+            ("flops", sum.flops, self.global.flops),
+            (
+                "queue_seconds",
+                sum.queue_seconds,
+                self.global.queue_seconds,
+            ),
+            (
+                "service_seconds",
+                sum.service_seconds,
+                self.global.service_seconds,
+            ),
+        ];
+        for (name, got, want) in floats {
+            if (got - want).abs() > 1e-9 * (1.0 + want.abs()) {
+                return Err(format!(
+                    "ledger split broken: tenant {name} sum {got} != global {want}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The admission queue and worker pool
+// ---------------------------------------------------------------------------
+
+/// Service sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads pulling batches off the queue (min 1).
+    pub workers: usize,
+    /// Queue bound: [`Service::submit`] blocks and [`Service::try_submit`]
+    /// rejects once this many jobs are queued (backpressure).
+    pub queue_capacity: usize,
+    /// Largest fused group a worker will gather per dispatch. `1` disables
+    /// fusion (the one-at-a-time baseline of the benches).
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 8,
+        }
+    }
+}
+
+/// Why a submission was not accepted. The job comes back untouched.
+pub enum SubmitError<T: Scalar> {
+    /// The queue is at capacity (only from [`Service::try_submit`]).
+    Full(JobSpec<T>),
+    /// The service is shutting down.
+    Shutdown(JobSpec<T>),
+}
+
+impl<T: Scalar> std::fmt::Debug for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "SubmitError::Full"),
+            SubmitError::Shutdown(_) => write!(f, "SubmitError::Shutdown"),
+        }
+    }
+}
+
+/// Why a serviced job failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The factorization itself failed.
+    Caqr(CaqrError),
+    /// The job was still queued when its deadline passed; it was shed at
+    /// dispatch without factoring (the admission-side analogue of the
+    /// watchdog killing a hung launch).
+    DeadlineExpired {
+        /// How long the job had been queued when it was shed.
+        queued: Duration,
+        /// The deadline it carried.
+        deadline: Duration,
+    },
+    /// The service shut down before the job completed.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Caqr(e) => write!(f, "factorization failed: {e}"),
+            ServiceError::DeadlineExpired { queued, deadline } => write!(
+                f,
+                "deadline expired: queued {:.1} ms against a {:.1} ms deadline",
+                queued.as_secs_f64() * 1e3,
+                deadline.as_secs_f64() * 1e3
+            ),
+            ServiceError::Shutdown => write!(f, "service shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CaqrError> for ServiceError {
+    fn from(e: CaqrError) -> Self {
+        ServiceError::Caqr(e)
+    }
+}
+
+/// What the service hands back for one job.
+pub struct JobOutcome<T: Scalar> {
+    /// The factorization, or the typed failure.
+    pub result: Result<CpuCaqr<T>, ServiceError>,
+    /// Tenant the job was charged to.
+    pub tenant: String,
+    /// Priority class the job ran under.
+    pub priority: Priority,
+    /// Time spent queued before dispatch.
+    pub queue_wait: Duration,
+    /// Submission-to-completion latency.
+    pub latency: Duration,
+    /// Size of the fused group the job ran in (1 = solo).
+    pub fused_with: usize,
+    /// The job completed after its deadline (still served).
+    pub missed_deadline: bool,
+}
+
+/// Claim check for a submitted job.
+pub struct Ticket<T: Scalar> {
+    rx: mpsc::Receiver<JobOutcome<T>>,
+}
+
+impl<T: Scalar> Ticket<T> {
+    /// Block until the job completes (or the service dies with it).
+    pub fn wait(self) -> Result<JobOutcome<T>, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Shutdown)
+    }
+}
+
+struct QueuedJob<T: Scalar> {
+    spec: JobSpec<T>,
+    key: Option<FuseKey>,
+    seq: u64,
+    submitted: Instant,
+    tx: mpsc::Sender<JobOutcome<T>>,
+}
+
+struct QueueState<T: Scalar> {
+    q: VecDeque<QueuedJob<T>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+struct Shared<T: Scalar> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    ledger: Mutex<ServiceLedger>,
+    capacity: usize,
+    max_batch: usize,
+}
+
+impl<T: Scalar> Shared<T> {
+    fn new(cfg: &ServiceConfig) -> Shared<T> {
+        Shared {
+            state: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            ledger: Mutex::new(ServiceLedger::default()),
+            capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+        }
+    }
+
+    fn push(&self, st: &mut QueueState<T>, spec: JobSpec<T>) -> Ticket<T> {
+        let (tx, rx) = mpsc::channel();
+        let key = fuse_key(&spec.a, &spec.opts);
+        lock(&self.ledger).charge(&spec.tenant, |c| c.jobs_submitted += 1);
+        st.q.push_back(QueuedJob {
+            spec,
+            key,
+            seq: st.seq,
+            submitted: Instant::now(),
+            tx,
+        });
+        st.seq += 1;
+        self.not_empty.notify_one();
+        Ticket { rx }
+    }
+
+    /// Non-blocking admission: reject with the job when full or shut down.
+    #[allow(clippy::result_large_err)] // the Err hands the JobSpec back
+    fn try_push(&self, spec: JobSpec<T>) -> Result<Ticket<T>, SubmitError<T>> {
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Err(SubmitError::Shutdown(spec));
+        }
+        if st.q.len() >= self.capacity {
+            return Err(SubmitError::Full(spec));
+        }
+        Ok(self.push(&mut st, spec))
+    }
+
+    /// Blocking admission: wait for queue space (backpressure).
+    #[allow(clippy::result_large_err)] // the Err hands the JobSpec back
+    fn push_blocking(&self, spec: JobSpec<T>) -> Result<Ticket<T>, SubmitError<T>> {
+        let mut st = lock(&self.state);
+        while st.q.len() >= self.capacity && !st.shutdown {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if st.shutdown {
+            return Err(SubmitError::Shutdown(spec));
+        }
+        Ok(self.push(&mut st, spec))
+    }
+
+    /// Pull the next batch: the best-(priority, admission-order) job leads,
+    /// and up to `max_batch - 1` queued jobs of the same shape class ride
+    /// along regardless of their own priority — opportunistic fusion makes
+    /// them near-free. Returns `None` when shut down and drained.
+    fn next_batch(&self) -> Option<Vec<QueuedJob<T>>> {
+        let mut st = lock(&self.state);
+        loop {
+            if !st.q.is_empty() {
+                break;
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let lead =
+            st.q.iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.spec.priority, j.seq))
+                .map(|(i, _)| i)
+                .expect("queue verified non-empty");
+        let lead_key = st.q[lead].key;
+        let mut picks = vec![lead];
+        if let Some(key) = lead_key {
+            for (i, job) in st.q.iter().enumerate() {
+                if picks.len() >= self.max_batch {
+                    break;
+                }
+                if i != lead && job.key == Some(key) {
+                    picks.push(i);
+                }
+            }
+        }
+        // Preserve admission order within the batch; remove back-to-front
+        // so earlier indices stay valid.
+        picks.sort_unstable();
+        let mut batch: Vec<QueuedJob<T>> = Vec::with_capacity(picks.len());
+        for &i in picks.iter().rev() {
+            batch.push(st.q.remove(i).expect("picked index in bounds"));
+        }
+        batch.reverse();
+        drop(st);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Serve one batch: shed expired-deadline jobs, run the rest through
+    /// the fused engine, account everything, and resolve the tickets.
+    fn serve(&self, batch: Vec<QueuedJob<T>>) {
+        let dispatch = Instant::now();
+        let mut live: Vec<QueuedJob<T>> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let queued = dispatch.duration_since(job.submitted);
+            match job.spec.deadline {
+                Some(deadline) if queued > deadline => {
+                    lock(&self.ledger).charge(&job.spec.tenant, |c| {
+                        c.jobs_shed += 1;
+                        c.queue_seconds += queued.as_secs_f64();
+                    });
+                    let _ = job.tx.send(JobOutcome {
+                        result: Err(ServiceError::DeadlineExpired { queued, deadline }),
+                        tenant: job.spec.tenant,
+                        priority: job.spec.priority,
+                        queue_wait: queued,
+                        latency: queued,
+                        fused_with: 1,
+                        missed_deadline: true,
+                    });
+                }
+                _ => live.push(job),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        let inputs: Vec<(Matrix<T>, CpuCaqrOptions)> = live
+            .iter()
+            .map(|j| (j.spec.a.clone(), j.spec.opts))
+            .collect();
+        let (results, stats) = factor_many_with_stats(inputs);
+        let service_secs = dispatch.elapsed().as_secs_f64();
+        let fused_with = if stats.fused_jobs > 0 {
+            stats.fused_jobs
+        } else {
+            1
+        };
+
+        let mut ledger = lock(&self.ledger);
+        ledger.batches += 1;
+        ledger.fused_launches += stats.fused_launches as u64;
+        for (job, result) in live.into_iter().zip(results) {
+            let queued = dispatch.duration_since(job.submitted);
+            let latency = job.submitted.elapsed();
+            let missed = job.spec.deadline.is_some_and(|d| latency > d);
+            let in_fused = stats.fused_jobs > 0 && job.key.is_some();
+            ledger.charge(&job.spec.tenant, |c| {
+                c.queue_seconds += queued.as_secs_f64();
+                c.service_seconds += service_secs;
+                if missed {
+                    c.deadline_misses += 1;
+                }
+                if in_fused {
+                    c.fused_jobs += 1;
+                } else {
+                    c.solo_jobs += 1;
+                }
+                match &result {
+                    Ok(f) => {
+                        c.jobs_completed += 1;
+                        c.panels += f.panels.len() as u64;
+                        c.launches += logical_launches(f) as u64;
+                        let (m, n) = f.a.shape();
+                        c.flops += dense::geqrf_flops(m, n);
+                    }
+                    Err(_) => c.jobs_failed += 1,
+                }
+            });
+            let _ = job.tx.send(JobOutcome {
+                result: result.map_err(ServiceError::from),
+                tenant: job.spec.tenant,
+                priority: job.spec.priority,
+                queue_wait: queued,
+                latency,
+                fused_with: if in_fused { fused_with } else { 1 },
+                missed_deadline: missed,
+            });
+        }
+    }
+}
+
+/// The batched multi-tenant QR service: worker threads over a bounded
+/// admission queue, dispatching shape-fused [`factor_many`] batches.
+///
+/// ```no_run
+/// use caqr::service::{JobSpec, Service, ServiceConfig};
+/// use caqr::CpuCaqrOptions;
+///
+/// let svc = Service::<f64>::start(ServiceConfig::default());
+/// let a = dense::generate::uniform::<f64>(4096, 16, 1);
+/// let ticket = svc
+///     .submit(JobSpec::new(a, CpuCaqrOptions::tuned_for_width(16)).tenant("alice"))
+///     .unwrap_or_else(|_| panic!("service accepting"));
+/// let outcome = ticket.wait().expect("job served");
+/// let f = outcome.result.expect("factorization succeeded");
+/// println!("R is {}x{}", f.r().rows(), f.r().cols());
+/// svc.shutdown();
+/// ```
+pub struct Service<T: Scalar> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Scalar> Service<T> {
+    /// Start the worker pool.
+    pub fn start(cfg: ServiceConfig) -> Service<T> {
+        let shared = Arc::new(Shared::new(&cfg));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("caqr-service-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = shared.next_batch() {
+                            shared.serve(batch);
+                        }
+                    })
+                    .expect("spawn service worker thread")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// Submit a job, blocking while the queue is at capacity
+    /// (backpressure). Fails only once the service is shutting down.
+    // A rejected submit hands the whole `JobSpec` (matrix included) back to
+    // the caller for retry — the large `Err` is the point, not an accident.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, spec: JobSpec<T>) -> Result<Ticket<T>, SubmitError<T>> {
+        self.shared.push_blocking(spec)
+    }
+
+    /// Submit without blocking: a full queue returns the job immediately.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, spec: JobSpec<T>) -> Result<Ticket<T>, SubmitError<T>> {
+        self.shared.try_push(spec)
+    }
+
+    /// Snapshot the per-tenant ledger.
+    pub fn ledger(&self) -> ServiceLedger {
+        lock(&self.shared.ledger).clone()
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything queued, join
+    /// the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<T: Scalar> Drop for Service<T> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::TreeShape;
+
+    fn opts(h: usize, w: usize) -> CpuCaqrOptions {
+        CpuCaqrOptions {
+            tile_rows: h,
+            panel_width: w,
+            tree: TreeShape::DeviceArity,
+            verify_checksums: false,
+        }
+    }
+
+    #[test]
+    fn factor_many_is_bit_identical_to_sequential_runs() {
+        let inputs: Vec<(Matrix<f64>, CpuCaqrOptions)> = vec![
+            (dense::generate::uniform(300, 16, 1), opts(48, 16)),
+            (dense::generate::uniform(300, 16, 2), opts(48, 16)),
+            (dense::generate::uniform(200, 8, 3), opts(32, 8)),
+            (dense::generate::uniform(300, 16, 4), opts(48, 16)),
+            (dense::generate::uniform(127, 5, 5), opts(24, 5)),
+        ];
+        let (results, stats) =
+            factor_many_with_stats(inputs.iter().map(|(a, o)| (a.clone(), *o)).collect());
+        assert_eq!(stats.fused_jobs, 3);
+        assert_eq!(stats.solo_jobs, 2);
+        assert_eq!(stats.fused_groups, 1);
+        for ((a, o), got) in inputs.into_iter().zip(results) {
+            let got = got.unwrap();
+            let want = caqr_cpu(a, o).unwrap();
+            assert_eq!(got.a, want.a);
+            assert_eq!(got.panels.len(), want.panels.len());
+            assert_eq!(logical_launches(&got), logical_launches(&want));
+        }
+    }
+
+    #[test]
+    fn fused_group_spends_fewer_launches_than_one_at_a_time() {
+        let jobs: Vec<(Matrix<f64>, CpuCaqrOptions)> = (0..6)
+            .map(|s| (dense::generate::uniform(400, 16, 100 + s), opts(64, 16)))
+            .collect();
+        let (results, stats) = factor_many_with_stats(jobs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(stats.fused_jobs, 6);
+        // 6 jobs' logical chains were packed into one group's regions (plus
+        // the one fused health scan): the whole point of the batch path.
+        assert!(
+            stats.fused_launches < stats.logical_launches,
+            "fused {} vs logical {}",
+            stats.fused_launches,
+            stats.logical_launches
+        );
+    }
+
+    #[test]
+    fn nonfinite_member_fails_alone_with_the_standalone_error() {
+        let mut bad = dense::generate::uniform::<f64>(300, 16, 7);
+        bad[(17, 3)] = f64::NAN;
+        let good = dense::generate::uniform::<f64>(300, 16, 8);
+        let (results, _) = factor_many_with_stats(vec![
+            (good.clone(), opts(48, 16)),
+            (bad.clone(), opts(48, 16)),
+            (dense::generate::uniform::<f64>(300, 16, 9), opts(48, 16)),
+        ]);
+        let want_err = match caqr_cpu(bad, opts(48, 16)) {
+            Err(e) => e,
+            Ok(_) => panic!("NaN input must fail standalone"),
+        };
+        match &results[1] {
+            Err(e) => assert_eq!(e, &want_err),
+            Ok(_) => panic!("NaN member must fail in the batch too"),
+        }
+        let got = results[0].as_ref().unwrap();
+        let want = caqr_cpu(good, opts(48, 16)).unwrap();
+        assert_eq!(got.a, want.a);
+    }
+
+    #[test]
+    fn checksummed_jobs_run_solo_and_still_match() {
+        let a = dense::generate::uniform::<f64>(256, 8, 11);
+        let mut o = opts(32, 8);
+        o.verify_checksums = true;
+        let (results, stats) = factor_many_with_stats(vec![(a.clone(), o), (a.clone(), o)]);
+        assert_eq!(stats.solo_jobs, 2);
+        assert_eq!(stats.fused_jobs, 0);
+        let want = caqr_cpu(a, o).unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().a, want.a);
+        }
+    }
+
+    #[test]
+    fn service_end_to_end_matches_caqr_cpu_and_reconciles() {
+        let svc = Service::<f64>::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            max_batch: 4,
+        });
+        let tenants = ["alpha", "beta"];
+        let mut expected = Vec::new();
+        let mut tickets = Vec::new();
+        for s in 0..10u64 {
+            let a = dense::generate::uniform::<f64>(240, 12, 20 + s);
+            let o = opts(48, 12);
+            expected.push(caqr_cpu(a.clone(), o).unwrap().a);
+            let spec = JobSpec::new(a, o)
+                .tenant(tenants[(s % 2) as usize])
+                .priority(Priority::ALL[(s % 3) as usize]);
+            tickets.push(svc.submit(spec).unwrap_or_else(|_| panic!("accepting")));
+        }
+        for (ticket, want) in tickets.into_iter().zip(expected) {
+            let out = ticket.wait().expect("served");
+            assert_eq!(out.result.expect("factored").a, want);
+        }
+        let ledger = svc.ledger();
+        assert_eq!(ledger.global.jobs_submitted, 10);
+        assert_eq!(ledger.global.jobs_completed, 10);
+        assert_eq!(ledger.global.fused_jobs + ledger.global.solo_jobs, 10);
+        assert_eq!(ledger.tenants.len(), 2);
+        ledger.reconcile().expect("split accounting holds");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_jobs_are_shed_with_a_typed_error() {
+        let svc = Service::<f64>::start(ServiceConfig::default());
+        let a = dense::generate::uniform::<f64>(200, 8, 31);
+        let ticket = svc
+            .submit(JobSpec::new(a, opts(32, 8)).deadline(Duration::ZERO))
+            .unwrap_or_else(|_| panic!("accepting"));
+        let out = ticket.wait().expect("resolved");
+        match out.result {
+            Err(ServiceError::DeadlineExpired { deadline, .. }) => {
+                assert_eq!(deadline, Duration::ZERO)
+            }
+            other => panic!("expected shed, got {:?}", other.map(|f| f.a.shape())),
+        }
+        let ledger = svc.ledger();
+        assert_eq!(ledger.global.jobs_shed, 1);
+        ledger.reconcile().expect("shed accounting reconciles");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn priority_leads_and_same_shape_followers_fuse() {
+        // Drive the picker directly (no workers) so the batch composition
+        // is deterministic: a later Interactive job must lead, and only
+        // same-shape-class jobs ride along, capped by max_batch.
+        let shared: Shared<f64> = Shared::new(&ServiceConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 3,
+        });
+        let mk = |m: usize, p: Priority| {
+            JobSpec::new(dense::generate::uniform::<f64>(m, 8, m as u64), opts(32, 8)).priority(p)
+        };
+        {
+            let mut st = lock(&shared.state);
+            for spec in [
+                mk(200, Priority::Batch),
+                mk(300, Priority::Batch),
+                mk(300, Priority::Interactive),
+                mk(300, Priority::Batch),
+                mk(300, Priority::Batch),
+            ] {
+                let _ = shared.push(&mut st, spec);
+            }
+        }
+        let batch = shared.next_batch().expect("queue non-empty");
+        assert_eq!(batch.len(), 3, "max_batch caps the gather");
+        assert!(batch
+            .iter()
+            .any(|j| j.spec.priority == Priority::Interactive));
+        assert!(batch.iter().all(|j| j.spec.a.rows() == 300));
+        // The 200-row job and one surplus 300-row job remain queued.
+        assert_eq!(lock(&shared.state).q.len(), 2);
+    }
+
+    #[test]
+    fn try_submit_backpressure_returns_the_job() {
+        let shared: Shared<f64> = Shared::new(&ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 8,
+        });
+        let mk = || JobSpec::new(dense::generate::uniform::<f64>(64, 4, 1), opts(16, 4));
+        assert!(shared.try_push(mk()).is_ok());
+        assert!(shared.try_push(mk()).is_ok());
+        match shared.try_push(mk()) {
+            Err(SubmitError::Full(spec)) => assert_eq!(spec.a.shape(), (64, 4)),
+            other => panic!("expected Full, got {:?}", other.err()),
+        }
+    }
+}

@@ -231,14 +231,18 @@ impl MeasuredProfile {
         })
     }
 
-    /// Persist to `path` (atomically via a sibling temp file).
+    /// Persist to `path` (atomically via a sibling temp file). Drops every
+    /// [`Self::load_cached`] entry so readers in this process observe the
+    /// new calibration immediately.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        Self::invalidate_cache();
+        Ok(())
     }
 
     /// Load a persisted profile; `None` if the file is absent, malformed,
@@ -260,6 +264,47 @@ impl MeasuredProfile {
         }
         Some(p)
     }
+
+    /// [`Self::load`] through a process-wide cache keyed by
+    /// `(path, active SIMD backend)`, so mixed-shape service traffic that
+    /// resolves [`crate::CpuCaqrOptions::tuned_for_width`] per job parses
+    /// `target/caqr_tuned.json` once instead of on every admission. The
+    /// *absence* of a profile is cached too (a missing file costs one probe,
+    /// not one per job); [`Self::save`] and [`Self::invalidate_cache`] drop
+    /// the cache. The backend is part of the key because a
+    /// `CAQR_SIMD`-style override can change the active backend — and hence
+    /// `load`'s staleness verdict — between lookups.
+    pub fn load_cached(path: &std::path::Path) -> Option<std::sync::Arc<MeasuredProfile>> {
+        let key = (path.to_path_buf(), dense::simd::active().name());
+        let mut map = profile_cache()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        map.entry(key)
+            .or_insert_with(|| Self::load(path).map(std::sync::Arc::new))
+            .clone()
+    }
+
+    /// Forget every cached [`Self::load_cached`] profile (positive and
+    /// negative entries). Called by [`Self::save`]; tests and long-lived
+    /// services that expect an external recalibration may call it directly.
+    pub fn invalidate_cache() {
+        profile_cache()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+    }
+}
+
+/// Backing store of [`MeasuredProfile::load_cached`].
+type ProfileCacheMap = std::collections::HashMap<
+    (std::path::PathBuf, &'static str),
+    Option<std::sync::Arc<MeasuredProfile>>,
+>;
+
+fn profile_cache() -> &'static std::sync::Mutex<ProfileCacheMap> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<ProfileCacheMap>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(ProfileCacheMap::new()))
 }
 
 /// Candidate grid of the measured sweep for an `n`-column factorization:
@@ -607,6 +652,40 @@ mod tests {
             fallback.tile_rows,
             crate::CpuCaqrOptions::for_width(5).tile_rows
         );
+    }
+
+    #[test]
+    fn profile_cache_serves_loads_until_invalidated() {
+        let dir = std::env::temp_dir().join(format!("caqr_tuning_cache_{}", std::process::id()));
+        let path = dir.join("cache_probe.json");
+        let _ = std::fs::remove_file(&path);
+        MeasuredProfile::invalidate_cache();
+        // Negative result (missing file) is cached too.
+        assert!(MeasuredProfile::load_cached(&path).is_none());
+        let profile = MeasuredProfile {
+            rows: 256,
+            cols: 8,
+            backend: dense::simd::active().name().to_string(),
+            kernel_version: dense::simd::KERNEL_VERSION,
+            points: vec![MeasuredPoint {
+                bs: BlockSize { h: 64, w: 8 },
+                gflops: 1.5,
+            }],
+        };
+        // `save` drops the cache, so the fresh profile is visible at once.
+        profile.save(&path).unwrap();
+        let first = MeasuredProfile::load_cached(&path).expect("freshly saved profile loads");
+        assert_eq!(*first, profile);
+        // Corrupt the file on disk: the cache must keep serving the parsed
+        // profile (that is the point — no per-job re-read)...
+        std::fs::write(&path, "{ not json").unwrap();
+        let cached = MeasuredProfile::load_cached(&path).expect("cache survives disk changes");
+        assert_eq!(*cached, profile);
+        // ...until explicitly invalidated, after which the corrupt file is
+        // re-read and rejected.
+        MeasuredProfile::invalidate_cache();
+        assert!(MeasuredProfile::load_cached(&path).is_none());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

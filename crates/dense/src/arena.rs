@@ -391,6 +391,28 @@ pub fn reset_stats<T: PoolScalar>() {
     pool.misses.store(0, Ordering::Relaxed);
 }
 
+/// Pre-populate the global pool with up to `count` buffers of the size
+/// class covering `len` elements, without touching the hit/miss counters.
+/// Returns how many buffers were actually donated — capped by the class's
+/// retention limit, and zero for `len == 0` or requests above the largest
+/// pooled class. Benchmarks call this before a measured phase so the
+/// steady-state loop runs allocation-free (zero misses).
+pub fn prewarm<T: PoolScalar>(len: usize, count: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let Some(class) = class_of(len) else {
+        return 0;
+    };
+    let pool = T::pool();
+    let mut shelf = pool.lock_shelf(class);
+    let room = global_cap(class).saturating_sub(shelf.len()).min(count);
+    for _ in 0..room {
+        shelf.push(RawBuf::alloc(class_elems(class), T::POOL_ZERO));
+    }
+    room
+}
+
 /// Overwrite every pooled buffer (global pool and this thread's cache) with
 /// `value`. Test hook: poison with NaN or a sentinel, re-run a kernel, and
 /// any read of stale scratch becomes visible in the output.
@@ -520,6 +542,31 @@ mod tests {
         }
         check::<f32>("f32");
         check::<f64>("f64");
+    }
+
+    #[test]
+    fn prewarm_fills_the_global_pool_without_counting_misses() {
+        // A size class no other test in this module touches, so the shelf
+        // occupancy is predictable.
+        let len = 150_000usize;
+        let class = class_of(len).expect("len fits a pooled class");
+        f32::pool().lock_shelf(class).clear();
+        let s0 = stats::<f32>();
+        assert_eq!(prewarm::<f32>(len, 3), 3);
+        // A second prewarm tops the shelf up to the retention cap, no more.
+        assert_eq!(prewarm::<f32>(len, usize::MAX), global_cap(class) - 3);
+        assert_eq!(prewarm::<f32>(len, 5), 0);
+        // Degenerate requests donate nothing.
+        assert_eq!(prewarm::<f32>(0, 8), 0);
+        assert_eq!(prewarm::<f32>((1 << 22) + 1, 8), 0);
+        // Prewarming never touched the hit/miss counters, and the warmed
+        // shelf serves the next cold request as a hit.
+        let s1 = stats::<f32>();
+        assert_eq!(s0, s1);
+        drop(take_dirty::<f32>(len));
+        assert!(stats::<f32>().hits > s1.hits);
+        // Release the cap-full shelf so the test process does not sit on it.
+        f32::pool().lock_shelf(class).clear();
     }
 
     #[test]

@@ -128,21 +128,65 @@ pub fn larft_transposed<T: Scalar>(
 pub fn larft_from_gram<T: Scalar>(gram: &[T], tau: &[T]) -> Matrix<T> {
     let k = tau.len();
     debug_assert!(gram.len() >= k * k);
-    // The serial T-assembly chains only benefit from hardware FMA, so any
-    // FMA-capable tier (Fma and up) shares one wrapper. Bit-identical to
-    // the plain path: hardware FMA rounds like the libm `fma`.
-    #[cfg(target_arch = "x86_64")]
-    if crate::simd::active() != crate::simd::Backend::Scalar {
-        // SAFETY: every non-scalar x86 backend requires FMA to be available.
-        return unsafe { assemble_t_x86_fma(gram, tau, k) };
+    let backend = crate::simd::active();
+    if backend != crate::simd::Backend::Scalar {
+        return assemble_t_simd(gram, tau, k, backend);
     }
     assemble_t(gram, tau, k)
 }
 
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "fma")]
-unsafe fn assemble_t_x86_fma<T: Scalar>(gram: &[T], tau: &[T], k: usize) -> Matrix<T> {
-    assemble_t(gram, tau, k)
+/// [`assemble_t`] as a **column sweep** through the runtime SIMD dispatch
+/// tables: instead of one serial dot chain per row of `T[0..i, i]`, the
+/// triangular matvec is computed as `i` fused-axpy updates over the
+/// contiguous column-major columns of `T`, each dispatched through
+/// [`crate::simd::SmallKernels::axpy`].
+///
+/// Bit-identical to the scalar oracle: the reference row chain for row `r`
+/// is `acc = fma(T[r, l], s_l, acc)` for `l = r..i` ascending (seeded at
+/// zero, `s_l` the `-tau_i * gram` column seeds). The column sweep visits
+/// `l` ascending and updates rows `0..=l`, so row `r` receives exactly the
+/// updates `l = r..i` in the same order; the fused axpy computes
+/// `fma(s_l, T[r, l], acc)`, whose product commutes bitwise for every
+/// finite value (and hardware FMA rounds like the libm `fma` the default
+/// codegen uses). Columns with `tau == 0` contribute `fma(s_l, 0, acc)`
+/// terms exactly as the oracle's chains do.
+fn assemble_t_simd<T: Scalar>(
+    gram: &[T],
+    tau: &[T],
+    k: usize,
+    backend: crate::simd::Backend,
+) -> Matrix<T> {
+    let sk = T::small_kernels(backend);
+    let mut t = Matrix::<T>::zeros(k, k);
+    // Dirty arena scratch: `seed[..i]` and `acc[..i]` are fully written
+    // before any read in each column pass.
+    let mut scratch = crate::arena::take_dirty::<T>(2 * k);
+    let (seed, acc) = scratch.split_at_mut(k);
+    for i in 0..k {
+        let ti = tau[i];
+        t[(i, i)] = ti;
+        if ti == T::ZERO {
+            continue;
+        }
+        for (j, s) in seed[..i].iter_mut().enumerate() {
+            *s = -ti * gram[j * k + i];
+        }
+        for a in acc[..i].iter_mut() {
+            *a = T::ZERO;
+        }
+        for (l, &sl) in seed[..i].iter().enumerate() {
+            // Column `l` of `T` holds the chain coefficients for rows
+            // `0..l` plus `tau_l` on the diagonal — contiguous in the
+            // column-major storage.
+            let col = &t.col(l)[..=l];
+            // SAFETY: the kernel table came from the caller's backend,
+            // which is available on this CPU by construction.
+            unsafe { (sk.axpy)(sl, col, &mut acc[..=l]) };
+        }
+        let coli = t.col_mut(i);
+        coli[..i].copy_from_slice(&acc[..i]);
+    }
+    t
 }
 
 /// Per-tier `#[target_feature]` instantiations of [`gram_pass`]: the body
@@ -553,6 +597,28 @@ mod tests {
             assert_eq!(larft_transposed(&at, m, n, 0, &tau), t_ref, "{m}x{n} T");
             assert_eq!(larft_from_gram(&gram, &tau), t_ref, "{m}x{n} fused-gram T");
             assert_eq!(extract_v_transposed(&at, m, n, k), v_ref, "{m}x{n} V");
+        }
+    }
+
+    #[test]
+    fn simd_t_assembly_matches_scalar_oracle_bitwise() {
+        // The column-sweep SIMD assembly must reproduce the scalar row-chain
+        // oracle bit for bit on every backend this host exposes, including
+        // columns with a zero tau (skipped reflectors).
+        for &k in &[1usize, 2, 3, 5, 8, 13, 17, 32] {
+            let g = crate::generate::uniform::<f64>(k, k, 0x7a5 + k as u64);
+            let gram: Vec<f64> = (0..k * k).map(|idx| g[(idx / k, idx % k)]).collect();
+            let tv = crate::generate::uniform::<f64>(k, 1, 0x1b3 + k as u64);
+            let mut tau: Vec<f64> = (0..k).map(|i| 1.0 + tv[(i, 0)]).collect();
+            if k > 2 {
+                tau[k / 2] = 0.0;
+                tau[k - 1] = 0.0;
+            }
+            let want = assemble_t(&gram, &tau, k);
+            for backend in crate::simd::Backend::available() {
+                let got = assemble_t_simd(&gram, &tau, k, backend);
+                assert_eq!(got, want, "k={k} backend={}", backend.name());
+            }
         }
     }
 

@@ -1,93 +1,187 @@
-//! Least squares via CAQR — the paper's first motivating workload:
-//! "Least squares matrices may have thousands of rows representing
-//! observations, and only a few tens or hundreds of columns representing
-//! the number of parameters."
+//! Least squares via the multi-tenant CAQR service — the paper's first
+//! motivating workload: "Least squares matrices may have thousands of rows
+//! representing observations, and only a few tens or hundreds of columns
+//! representing the number of parameters."
 //!
-//! Fits a noisy polynomial with a 50,000 x 9 Vandermonde-style design
-//! matrix three ways (CAQR on the simulated GPU, blocked Householder on the
-//! CPU, modified Gram-Schmidt) and shows they agree.
+//! Three tenants each submit two bootstrap replicates of a noisy
+//! polynomial fit (degrees 4, 6, and 8 — tall-skinny Vandermonde design
+//! matrices) through [`caqr::Service`]. Same-shape replicates fuse into
+//! shared batches; every fit is solved from the returned factorization and
+//! **asserted** against a residual bound, the planted coefficients, and
+//! the CPU blocked-Householder reference — so this example doubles as a
+//! tested workload in CI.
 //!
 //! ```text
 //! cargo run --release --example least_squares
 //! ```
 
-use caqr::{caqr::caqr, CaqrOptions};
-use gpu_sim::{DeviceSpec, Gpu};
+use caqr::multicore::CpuCaqrOptions;
+use caqr::{JobSpec, Priority, Service, ServiceConfig, TreeShape};
 use rand::distributions::{Distribution, Uniform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+const M: usize = 20_000;
+const NOISE: f64 = 0.01;
+
+struct Fit {
+    tenant: &'static str,
+    degree: usize,
+    priority: Priority,
+}
+
 fn main() {
-    let m = 50_000usize;
-    let degree = 8usize;
-    let n = degree + 1;
-
-    // True polynomial coefficients.
-    let truth: Vec<f64> = (0..n).map(|k| (k as f64 - 3.5) / 2.0).collect();
-
-    // Design matrix: rows are (1, t, t^2, ..., t^8) at m sample points in
-    // [-1, 1]; observations get uniform noise.
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let noise = Uniform::new(-0.01f64, 0.01);
-    let ts: Vec<f64> = (0..m)
-        .map(|i| 2.0 * i as f64 / (m - 1) as f64 - 1.0)
+    let fits = [
+        Fit {
+            tenant: "observatory",
+            degree: 4,
+            priority: Priority::Interactive,
+        },
+        Fit {
+            tenant: "lab",
+            degree: 6,
+            priority: Priority::Standard,
+        },
+        Fit {
+            tenant: "survey",
+            degree: 8,
+            priority: Priority::Batch,
+        },
+    ];
+    let ts: Vec<f64> = (0..M)
+        .map(|i| 2.0 * i as f64 / (M - 1) as f64 - 1.0)
         .collect();
-    let a = dense::Matrix::from_fn(m, n, |i, j| ts[i].powi(j as i32));
-    let b: Vec<f64> = (0..m)
-        .map(|i| {
-            let mut y = 0.0;
-            for (k, c) in truth.iter().enumerate() {
-                y += c * ts[i].powi(k as i32);
-            }
-            y + noise.sample(&mut rng)
+
+    let svc = Service::<f64>::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 4,
+    });
+
+    // Build every job up front, then submit back to back: replicates of
+    // the same degree share a shape class, so the admission queue can pack
+    // them into fused batches while the workers are busy.
+    let mut jobs = Vec::new();
+    for fit in &fits {
+        let n = fit.degree + 1;
+        let truth: Vec<f64> = (0..n).map(|k| (k as f64 - 3.5) / 2.0).collect();
+        let a = dense::Matrix::from_fn(M, n, |i, j| ts[i].powi(j as i32));
+        for rep in 0..2u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(7 + 13 * fit.degree as u64 + rep);
+            let noise = Uniform::new(-NOISE, NOISE);
+            let b: Vec<f64> = (0..M)
+                .map(|i| {
+                    let mut y = 0.0;
+                    for (k, c) in truth.iter().enumerate() {
+                        y += c * ts[i].powi(k as i32);
+                    }
+                    y + noise.sample(&mut rng)
+                })
+                .collect();
+            jobs.push((fit, a.clone(), truth.clone(), b));
+        }
+    }
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(fit, a, _, _)| {
+            let opts = CpuCaqrOptions {
+                tile_rows: 128,
+                panel_width: a.cols(),
+                tree: TreeShape::DeviceArity,
+                verify_checksums: false,
+            };
+            svc.submit(
+                JobSpec::new(a.clone(), opts)
+                    .tenant(fit.tenant)
+                    .priority(fit.priority),
+            )
+            .expect("admission while running")
         })
         .collect();
 
-    // 1) CAQR on the simulated GPU.
-    let gpu = Gpu::new(DeviceSpec::c2050());
-    let f = caqr(&gpu, a.clone(), CaqrOptions::default()).expect("caqr failed");
-    let x_caqr = f.least_squares(&gpu, &b).expect("solve failed");
-
-    // 2) Blocked Householder on the CPU.
-    let x_cpu = dense::blocked::least_squares(a.clone(), &b);
-
-    // 3) Modified Gram-Schmidt.
-    let x_mgs = dense::gram_schmidt::mgs_least_squares(&a, &b);
-
     println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12}",
-        "coef", "truth", "CAQR", "CPU QR", "MGS"
+        "{:>12} {:>7} {:>12} {:>12} {:>12} {:>10} {:>7}",
+        "tenant", "degree", "coef err", "residual", "vs CPU QR", "wait ms", "fused"
     );
-    for k in 0..n {
-        println!(
-            "{:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
-            k, truth[k], x_caqr[k], x_cpu[k], x_mgs[k]
-        );
-    }
+    for ((fit, a, truth, b), ticket) in jobs.iter().zip(tickets) {
+        let outcome = ticket.wait().expect("service delivers every outcome");
+        let f = outcome.result.expect("fit factorizes");
+        let x = f.least_squares(b).expect("triangular solve");
 
-    let err = |x: &[f64]| -> f64 {
-        x.iter()
-            .zip(&truth)
+        // Residual bound: the planted observations differ from the model
+        // by uniform noise in [-NOISE, NOISE], so the LS residual cannot
+        // exceed the noise vector's own norm bound sqrt(M) * NOISE.
+        let mut residual = 0.0f64;
+        for i in 0..M {
+            let mut pred = 0.0;
+            for (j, xj) in x.iter().enumerate() {
+                pred += a[(i, j)] * xj;
+            }
+            residual += (pred - b[i]) * (pred - b[i]);
+        }
+        let residual = residual.sqrt();
+        let bound = (M as f64).sqrt() * NOISE;
+        assert!(
+            residual <= bound,
+            "{}: residual {residual:.3e} exceeds the noise bound {bound:.3e}",
+            fit.tenant
+        );
+
+        // The recovered coefficients must sit at the noise floor.
+        let coef_err = x
+            .iter()
+            .zip(truth)
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
-            .sqrt()
-    };
-    println!(
-        "\ncoefficient error:  CAQR {:.2e}   CPU {:.2e}   MGS {:.2e}",
-        err(&x_caqr),
-        err(&x_cpu),
-        err(&x_mgs)
-    );
-    println!(
-        "CAQR and CPU QR agree to {:.2e}",
-        x_caqr
+            .sqrt();
+        assert!(
+            coef_err < 1e-2,
+            "{}: coefficient error {coef_err:.3e} above noise floor",
+            fit.tenant
+        );
+
+        // And agree with the blocked-Householder CPU reference.
+        let x_cpu = dense::blocked::least_squares(a.clone(), b);
+        let vs_cpu = x
             .iter()
             .zip(&x_cpu)
             .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-    );
+            .fold(0.0f64, f64::max);
+        assert!(
+            vs_cpu < 1e-8,
+            "{}: service solution diverges from CPU QR by {vs_cpu:.3e}",
+            fit.tenant
+        );
+
+        println!(
+            "{:>12} {:>7} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.3} {:>7}",
+            fit.tenant,
+            fit.degree,
+            coef_err,
+            residual,
+            vs_cpu,
+            outcome.queue_wait.as_secs_f64() * 1e3,
+            outcome.fused_with
+        );
+    }
+
+    let ledger = svc.ledger();
+    svc.shutdown();
+    ledger.reconcile().expect("per-tenant ledger reconciles");
+    assert_eq!(ledger.global.jobs_completed, 6);
     println!(
-        "modelled GPU time for the factorization + solve: {:.3} ms",
-        gpu.elapsed() * 1e3
+        "\n{} jobs over {} batches ({} fused, {} solo); per-tenant GFLOP:",
+        ledger.global.jobs_completed,
+        ledger.batches,
+        ledger.global.fused_jobs,
+        ledger.global.solo_jobs
     );
+    for (tenant, c) in &ledger.tenants {
+        println!(
+            "{tenant:>12}: {:.3} GFLOP, {:.3} ms service time",
+            c.flops / 1e9,
+            c.service_seconds * 1e3
+        );
+    }
+    println!("\nall residual, coefficient, and CPU-agreement bounds hold");
 }
