@@ -117,6 +117,7 @@ fn run_service(plan: &[Planned], label: &'static str, max_batch: usize) -> Servi
         workers: 2,
         queue_capacity: 512,
         max_batch,
+        ..ServiceConfig::default()
     });
     let start = Instant::now();
     let mut tickets = Vec::with_capacity(plan.len());
@@ -468,8 +469,23 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join(", ");
+        let g = &run.ledger.global;
+        let resilience = format!(
+            "{{\"shed_overload\": {}, \"lost\": {}, \"aborted\": {}, \"retry_jobs\": {}, \"retry_attempts\": {}, \"retry_launches\": {}, \"retry_seconds\": {:.6}, \"worker_panics\": {}, \"workers_respawned\": {}, \"breaker_opens\": {}, \"breaker_closes\": {}}}",
+            g.jobs_shed_overload,
+            g.jobs_lost,
+            g.jobs_aborted,
+            g.retry_jobs,
+            g.retry_attempts,
+            g.retry_launches,
+            g.retry_seconds,
+            run.ledger.worker_panics,
+            run.ledger.workers_respawned,
+            run.ledger.breaker_opens,
+            run.ledger.breaker_closes
+        );
         json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"wall_s\": {:.6}, \"gflops\": {:.4}, \"batches\": {}, \"fused_jobs\": {}, \"solo_jobs\": {}, \"shed\": {}, \"failed\": {}, \"classes\": [{classes}], \"tenants\": [{ledger}]}}{}\n",
+            "    {{\"mode\": \"{}\", \"wall_s\": {:.6}, \"gflops\": {:.4}, \"batches\": {}, \"fused_jobs\": {}, \"solo_jobs\": {}, \"shed\": {}, \"failed\": {}, \"resilience\": {resilience}, \"classes\": [{classes}], \"tenants\": [{ledger}]}}{}\n",
             run.label,
             run.wall_s,
             run.gflops,

@@ -331,10 +331,9 @@ pub fn drive<T: Scalar, B: CaqrBackend<T>>(
                 let pf = backend.factor_panel(0, &mut a, c, c, width, cfg)?;
                 launches += 1 + pf.levels.len();
                 if let Some(pre) = &pre {
-                    let post = health::r_col_sumsq(&a, c, c, width);
                     backend.note_checksum_checks(width as u64);
                     backend.charge_verify((m - c) * width);
-                    health::verify_factor_checksums::<T>(pre, &post, m - c, pidx, c)?;
+                    health::factor_norm_check::<T>(&a, pre, m, pidx, c, width)?;
                 }
                 // The probe doubles as the apply-stage predictor, so it is
                 // computed once and only for panels that have trailing
@@ -352,10 +351,9 @@ pub fn drive<T: Scalar, B: CaqrBackend<T>>(
                     backend.apply_panel(0, MatPtr::new(&mut a), &pf, &cols, true)?;
                     launches += 1 + pf.levels.len();
                     if let Some(pred) = pred {
-                        let actual = health::actual_col_sums(&a, &cols);
                         backend.note_checksum_checks(pred.len() as u64);
                         backend.charge_verify(m * pred.len());
-                        health::verify_apply_checksums::<T>(&pred, &actual, &cols, m, pidx)?;
+                        health::apply_sum_check::<T>(&a, &pred, &cols, m, pidx)?;
                     }
                 }
                 panels.push(pf);

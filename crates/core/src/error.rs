@@ -79,6 +79,15 @@ pub enum CaqrError {
         /// What broke down.
         context: String,
     },
+    /// A host-side task driving the computation panicked and the unwind
+    /// was caught at an isolation boundary (a fused-batch member task, a
+    /// service worker, an injected `FaultKind::HostPanic`). The panic is
+    /// converted to a typed error so riders in the same batch — and the
+    /// worker pool itself — survive.
+    Panicked {
+        /// Where the panic was caught, e.g. `"fused factor task"`.
+        context: String,
+    },
 }
 
 impl From<LaunchError> for CaqrError {
@@ -168,6 +177,9 @@ impl std::fmt::Display for CaqrError {
                 write!(f, "unrecoverable after all replay tiers: {context}")
             }
             CaqrError::Breakdown { context } => write!(f, "numerical breakdown: {context}"),
+            CaqrError::Panicked { context } => {
+                write!(f, "task panicked: {context} (unwind caught at isolation boundary)")
+            }
         }
     }
 }
@@ -295,6 +307,18 @@ mod tests {
             context: "panel 1 kept hanging".into(),
         };
         assert!(u.to_string().contains("panel 1 kept hanging"));
+    }
+
+    #[test]
+    fn panicked_renders_its_context() {
+        let p = CaqrError::Panicked {
+            context: "fused factor task".into(),
+        };
+        let s = p.to_string();
+        assert!(
+            s.contains("panicked") && s.contains("fused factor task"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -385,6 +385,39 @@ pub fn verify_apply_checksums<T: Scalar>(
     Ok(())
 }
 
+/// Composite factor-stage verification: read the surviving `R` column
+/// norms at `(c, c)` and check them against the pre-factor checksums
+/// `pre` ([`panel_col_sumsq`] of the same columns). `panel` and `c` locate
+/// the mismatch report; the tolerance scales with the panel height
+/// `m - c`. Shared by the sync driver ([`crate::backend::drive`]) and the
+/// fused-batch verified path so both report identical errors.
+pub fn factor_norm_check<T: Scalar>(
+    a: &Matrix<T>,
+    pre: &[f64],
+    m: usize,
+    panel: usize,
+    c: usize,
+    width: usize,
+) -> Result<(), CaqrError> {
+    let post = r_col_sumsq(a, c, c, width);
+    verify_factor_checksums::<T>(&pre[..width], &post, m - c, panel, c)
+}
+
+/// Composite apply-stage verification: observe the post-update column sums
+/// of `cols` and check them against the predictions `pred`
+/// ([`predicted_col_sums`] over the same blocks). The counterpart of
+/// [`factor_norm_check`] for the trailing update.
+pub fn apply_sum_check<T: Scalar>(
+    a: &Matrix<T>,
+    pred: &[(f64, f64)],
+    cols: &[(usize, usize)],
+    m: usize,
+    panel: usize,
+) -> Result<(), CaqrError> {
+    let actual = actual_col_sums(a, cols);
+    verify_apply_checksums::<T>(pred, &actual, cols, m, panel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

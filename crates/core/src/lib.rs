@@ -26,9 +26,12 @@
 //!   one generic CAQR driver ([`backend::drive`]), pluggable executors
 //!   (host multicore, simulator sync/stream-DAG, resilient, cluster),
 //! * [`service`] — the multi-tenant batching service: a bounded admission
-//!   queue with priority classes and deadlines, shape-fused `factor_many`
-//!   batches (bit-identical per matrix to standalone [`caqr_cpu`]), and a
-//!   per-tenant accounting ledger.
+//!   queue with priority classes, deadlines and per-tenant quotas,
+//!   shape-fused `factor_many` batches (bit-identical per matrix to
+//!   standalone [`caqr_cpu`]), service-tier fault tolerance (fault-isolated
+//!   fused batches with ABFT carve-out, supervised workers, an overload
+//!   circuit breaker, bounded solo retry), and a per-tenant accounting
+//!   ledger that reconciles exactly even mid-chaos.
 //!
 //! ## Quick start
 //!
@@ -82,8 +85,10 @@ pub use recovery::{
 };
 pub use schedule::{caqr_dag, model_caqr_dag_seconds, ScheduleOptions};
 pub use service::{
-    factor_many, factor_many_with_stats, BatchStats, JobOutcome, JobSpec, Priority, Service,
-    ServiceConfig, ServiceError, ServiceLedger, SubmitError, TenantCounters, Ticket,
+    factor_many, factor_many_resilient, factor_many_with_stats, run_solo_resilient,
+    service_retryable, BatchStats, JobOutcome, JobSpec, PlannedFault, Priority, ResilienceConfig,
+    RetryBudget, Service, ServiceConfig, ServiceError, ServiceFaultPlan, ServiceLedger, ShedPolicy,
+    SubmitError, TenantCounters, TenantQuota, Ticket,
 };
 pub use tsqr::{tsqr, PanelFactor, TreeNode, Tsqr};
 pub use tuning::{autotune_measured, MeasuredPoint, MeasuredProfile};

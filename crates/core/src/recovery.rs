@@ -133,7 +133,7 @@ impl RecoveryReport {
 /// is deliberately *not* transient: a dead device answers no retry, so on
 /// a single device the ladder fails fast; recovering from device loss
 /// needs a survivor to fail over to (`distributed::distributed_tsqr`).
-fn is_transient(e: &CaqrError) -> bool {
+pub(crate) fn is_transient(e: &CaqrError) -> bool {
     matches!(
         e,
         CaqrError::Fault { .. } | CaqrError::Timeout { .. } | CaqrError::ChecksumMismatch { .. }

@@ -1,0 +1,1137 @@
+//! The shape-fused batch engine: [`factor_many`] (the plain fast path)
+//! and [`factor_many_resilient`] (the ABFT-verified, fault-isolating
+//! path). Both group same-shape jobs into lockstep fused launches; the
+//! resilient path additionally verifies every member's panel against the
+//! [`crate::health`] checksums, wraps every packed task in
+//! `catch_unwind`, and **carves** a faulted member out of the batch with a
+//! typed [`CaqrError`] while its riders complete bit-identically.
+
+use super::resilience::PlannedFault;
+use crate::backend::DagGeometry;
+use crate::block::{plan_tree, tile_panel, BlockSize};
+use crate::blockops;
+use crate::error::{checked_elems, CaqrError};
+use crate::health;
+use crate::multicore::{caqr_cpu, q_ones_probe_parts, CpuCaqr, CpuCaqrOptions, CpuPanel};
+use crate::recovery::RecoveryPolicy;
+use crate::tsqr::{col_blocks, TreeNode, WyTile};
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::FaultKind;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The fusion key: jobs agreeing on all of this factor under one packed
+/// launch sequence. Tree shapes are keyed by their *effective arity* — a
+/// `DeviceArity` tree and an explicit `Arity(h/w)` tree plan identically.
+/// Checksummed jobs never fuse (their verification passes interleave the
+/// panel loop) and fall back to per-job [`caqr_cpu`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct FuseKey {
+    m: usize,
+    n: usize,
+    h: usize,
+    w: usize,
+    arity: usize,
+}
+
+/// Classify one job: `Some(key)` if it can enter a fused group, `None` if
+/// it must run solo (odd/invalid shapes, checksummed jobs). Solo jobs go
+/// through [`caqr_cpu`] untouched, so invalid inputs surface exactly the
+/// typed error a standalone run would produce.
+pub(crate) fn fuse_key<T: Scalar>(a: &Matrix<T>, opts: &CpuCaqrOptions) -> Option<FuseKey> {
+    let (m, n) = a.shape();
+    let bs = BlockSize {
+        h: opts.tile_rows,
+        w: opts.panel_width,
+    };
+    if opts.verify_checksums
+        || m == 0
+        || n == 0
+        || bs.validate().is_err()
+        || checked_elems(m, n, "matrix element count").is_err()
+    {
+        return None;
+    }
+    Some(FuseKey {
+        m,
+        n,
+        h: bs.h,
+        w: bs.w,
+        arity: opts.tree.arity(bs),
+    })
+}
+
+/// What one [`factor_many`] call did, for the ledger and the benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Jobs that ran inside a fused group of two or more (members carved
+    /// out by a fault still count: they consumed fused launches).
+    pub fused_jobs: usize,
+    /// Jobs that ran as standalone `caqr_cpu` calls (odd shapes, checksum
+    /// jobs, or the only member of their shape class).
+    pub solo_jobs: usize,
+    /// Fused groups executed.
+    pub fused_groups: usize,
+    /// Parallel regions actually issued by the fused groups — the number a
+    /// one-at-a-time schedule would multiply by the group size. Verified
+    /// groups also count their checksum regions here.
+    pub fused_launches: usize,
+    /// Sum over jobs of the launch count the synchronous driver would
+    /// report for that job alone ([`crate::DriveOutcome::launches`]).
+    pub logical_launches: usize,
+}
+
+/// The launch count [`crate::backend::drive`] reports for one completed
+/// host factorization: per panel, one level-0 factor launch plus one per
+/// tree level, and the same again for the trailing apply when the panel
+/// has trailing columns. The host health scan issues zero launches.
+pub fn logical_launches<T: Scalar>(f: &CpuCaqr<T>) -> usize {
+    let n = f.a.cols();
+    f.panels
+        .iter()
+        .map(|p| {
+            let chain = 1 + p.levels.len();
+            if p.col0 + p.width < n {
+                2 * chain
+            } else {
+                chain
+            }
+        })
+        .sum()
+}
+
+/// Factor many independent matrices, fusing same-shape jobs into packed
+/// lockstep launches. Returns one result per job, in input order, each
+/// **bit-identical** to `caqr_cpu(a, opts)` on the same input.
+///
+/// Jobs are grouped by [shape class](FuseKey); each group of two or more
+/// walks the synchronous panel schedule in lockstep, with the per-tile
+/// factor tasks, per-group tree reductions, and per-(tile × column-block)
+/// trailing updates of *all* jobs packed into one parallel region per
+/// schedule step (a flat work list with per-job offsets). Odd shapes,
+/// checksummed jobs, and singleton classes fall back to per-job
+/// [`caqr_cpu`] runs. Fusion preserves bit-identity because every packed
+/// task reads and writes only its own job's matrix and the schedule per
+/// job is unchanged — see the conformance proptest in
+/// `tests/service_batching.rs`.
+pub fn factor_many<T: Scalar>(
+    jobs: Vec<(Matrix<T>, CpuCaqrOptions)>,
+) -> Vec<Result<CpuCaqr<T>, CaqrError>> {
+    factor_many_with_stats(jobs).0
+}
+
+/// [`factor_many`] plus the fusion accounting the service ledger records.
+pub fn factor_many_with_stats<T: Scalar>(
+    jobs: Vec<(Matrix<T>, CpuCaqrOptions)>,
+) -> (Vec<Result<CpuCaqr<T>, CaqrError>>, BatchStats) {
+    let njobs = jobs.len();
+    let mut stats = BatchStats::default();
+    let mut mats: Vec<Option<Matrix<T>>> = Vec::with_capacity(njobs);
+    let mut optsv: Vec<CpuCaqrOptions> = Vec::with_capacity(njobs);
+    let mut out: Vec<Option<Result<CpuCaqr<T>, CaqrError>>> = Vec::with_capacity(njobs);
+    let mut groups: BTreeMap<FuseKey, Vec<usize>> = BTreeMap::new();
+    let mut solo: Vec<usize> = Vec::new();
+    for (idx, (a, opts)) in jobs.into_iter().enumerate() {
+        match fuse_key(&a, &opts) {
+            Some(key) => groups.entry(key).or_default().push(idx),
+            None => solo.push(idx),
+        }
+        mats.push(Some(a));
+        optsv.push(opts);
+        out.push(None);
+    }
+
+    for (key, idxs) in groups {
+        if idxs.len() < 2 {
+            solo.extend(idxs);
+            continue;
+        }
+        run_fused_group(&key, &idxs, &mut mats, &optsv, &mut out, &mut stats);
+    }
+    for idx in solo {
+        let a = mats[idx]
+            .take()
+            .expect("solo job matrix consumed exactly once");
+        let res = caqr_cpu(a, optsv[idx]);
+        if let Ok(f) = &res {
+            stats.logical_launches += logical_launches(f);
+        }
+        stats.solo_jobs += 1;
+        out[idx] = Some(res);
+    }
+
+    let results = out
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
+    (results, stats)
+}
+
+/// [`factor_many`] with fault isolation: the resilient batch engine behind
+/// the service's chaos gate (DESIGN.md §15).
+///
+/// `faults[idx]` optionally schedules one injected fault against job
+/// `idx` (missing / short slices mean "no fault"). `verify` additionally
+/// turns on the ABFT checksums for every fused group and routes solo jobs
+/// through the §10 escalation ladder even without a planned fault.
+///
+/// Semantics per job:
+///
+/// * a **fused member** whose fault fires (or whose packed task panics) is
+///   carved out with a typed [`CaqrError`] — [`CaqrError::Fault`] /
+///   [`CaqrError::Timeout`] / [`CaqrError::DeviceLost`] for admission
+///   faults, [`CaqrError::ChecksumMismatch`] for an SDC caught by
+///   verification, [`CaqrError::Panicked`] for a host panic — while every
+///   rider completes **bit-identical** to its standalone run; the caller
+///   (the service retry loop) re-runs the carved member solo through
+///   [`super::run_solo_resilient`];
+/// * a **solo job** with a planned fault runs the §10 ladder directly via
+///   [`super::run_solo_resilient`], which recovers transient injections
+///   internally — its output is bit-identical to a fault-free run;
+/// * everything else behaves exactly like [`factor_many_with_stats`].
+pub fn factor_many_resilient<T: Scalar>(
+    jobs: Vec<(Matrix<T>, CpuCaqrOptions)>,
+    faults: &[Option<PlannedFault>],
+    verify: bool,
+    policy: &RecoveryPolicy,
+) -> (Vec<Result<CpuCaqr<T>, CaqrError>>, BatchStats) {
+    let fault_at = |idx: usize| faults.get(idx).copied().flatten();
+    let njobs = jobs.len();
+    let mut stats = BatchStats::default();
+    let mut mats: Vec<Option<Matrix<T>>> = Vec::with_capacity(njobs);
+    let mut optsv: Vec<CpuCaqrOptions> = Vec::with_capacity(njobs);
+    let mut out: Vec<Option<Result<CpuCaqr<T>, CaqrError>>> = Vec::with_capacity(njobs);
+    let mut groups: BTreeMap<FuseKey, Vec<usize>> = BTreeMap::new();
+    let mut solo: Vec<usize> = Vec::new();
+    for (idx, (a, opts)) in jobs.into_iter().enumerate() {
+        match fuse_key(&a, &opts) {
+            Some(key) => groups.entry(key).or_default().push(idx),
+            None => solo.push(idx),
+        }
+        mats.push(Some(a));
+        optsv.push(opts);
+        out.push(None);
+    }
+
+    for (key, idxs) in groups {
+        if idxs.len() < 2 {
+            solo.extend(idxs);
+            continue;
+        }
+        if verify || idxs.iter().any(|&i| fault_at(i).is_some()) {
+            run_fused_group_verified(&key, &idxs, faults, &mut mats, &optsv, &mut out, &mut stats);
+        } else {
+            run_fused_group(&key, &idxs, &mut mats, &optsv, &mut out, &mut stats);
+        }
+    }
+    for idx in solo {
+        let a = mats[idx]
+            .take()
+            .expect("solo job matrix consumed exactly once");
+        let fault = fault_at(idx);
+        let res = if fault.is_some() || verify {
+            super::run_solo_resilient(a, optsv[idx], fault, policy).map(|(f, _)| f)
+        } else {
+            caqr_cpu(a, optsv[idx])
+        };
+        if let Ok(f) = &res {
+            stats.logical_launches += logical_launches(f);
+        }
+        stats.solo_jobs += 1;
+        out[idx] = Some(res);
+    }
+
+    let results = out
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
+    (results, stats)
+}
+
+/// Run one fused shape class: the synchronous panel schedule, executed in
+/// lockstep across all member jobs with one packed work list per launch.
+fn run_fused_group<T: Scalar>(
+    key: &FuseKey,
+    idxs: &[usize],
+    mats: &mut [Option<Matrix<T>>],
+    optsv: &[CpuCaqrOptions],
+    out: &mut [Option<Result<CpuCaqr<T>, CaqrError>>],
+    stats: &mut BatchStats,
+) {
+    let (m, n) = (key.m, key.n);
+    let bs = BlockSize { h: key.h, w: key.w };
+
+    // Fused health scan: one parallel region over the group, one verdict
+    // per job. A NaN fails only its own job (same typed error, same first
+    // offending coordinate, as a standalone run), and the group shrinks.
+    let scans: Vec<Option<(usize, usize)>> = {
+        let views: Vec<&Matrix<T>> = idxs
+            .iter()
+            .map(|&i| {
+                mats[i]
+                    .as_ref()
+                    .expect("grouped job matrix present until consumed")
+            })
+            .collect();
+        views
+            .par_iter()
+            .map(|a| health::first_nonfinite(a))
+            .collect()
+    };
+    stats.fused_launches += 1;
+    let mut members: Vec<usize> = Vec::with_capacity(idxs.len());
+    for (&idx, scan) in idxs.iter().zip(&scans) {
+        match scan {
+            Some((row, col)) => {
+                out[idx] = Some(Err(CaqrError::NonFinite {
+                    context: "caqr_cpu input",
+                    row: *row,
+                    col: *col,
+                }));
+                mats[idx] = None;
+                stats.solo_jobs += 1;
+            }
+            None => members.push(idx),
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    let g = members.len();
+    let mut owned: Vec<Matrix<T>> = members
+        .iter()
+        .map(|&i| mats[i].take().expect("fused job matrix consumed once"))
+        .collect();
+    // Lifetime-erased per-job matrix handles, shared by every packed task.
+    // Safety contract (as in `factor_panel_host` / `apply_panel_parts`):
+    // each task touches only its own job's disjoint tile / column block,
+    // and `owned` is not accessed through any other path until the fused
+    // loop finishes.
+    let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+
+    let mut pan: Vec<Vec<CpuPanel<T>>> = (0..g).map(|_| Vec::new()).collect();
+    let mut logical = 0usize;
+    for step in DagGeometry::panel_steps(m, n, bs.w) {
+        // Level 0, fused: the (job × tile) grid in one parallel region.
+        // Job j's tasks occupy the packed range [j * nt, (j + 1) * nt).
+        let tiles = tile_panel(step.c, m - step.c, bs.h, bs.w);
+        let nt = tiles.len();
+        let work: Vec<(usize, usize)> = (0..g)
+            .flat_map(|j| (0..nt).map(move |ti| (j, ti)))
+            .collect();
+        let wy_flat: Vec<WyTile<T>> = work
+            .par_iter()
+            .map(|&(j, ti)| blockops::factor_tile(ptrs[j], tiles[ti], step.c, step.width))
+            .collect();
+        stats.fused_launches += 1;
+        let mut wy_it = wy_flat.into_iter();
+        let wy0s: Vec<Vec<WyTile<T>>> = (0..g).map(|_| wy_it.by_ref().take(nt).collect()).collect();
+
+        // Tree levels, fused: the (job × group) grid per level, with a
+        // barrier between levels exactly where the per-job schedule has one.
+        let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+        let plan = plan_tree(&starts, key.arity);
+        let mut lvls: Vec<Vec<Vec<TreeNode<T>>>> = (0..g).map(|_| Vec::new()).collect();
+        for level in &plan.levels {
+            let ng = level.len();
+            let work: Vec<(usize, usize)> = (0..g)
+                .flat_map(|j| (0..ng).map(move |gi| (j, gi)))
+                .collect();
+            let nodes_flat: Vec<TreeNode<T>> = work
+                .par_iter()
+                .map(|&(j, gi)| {
+                    blockops::factor_tree_group(ptrs[j], &level[gi].members, step.c, step.width)
+                })
+                .collect();
+            stats.fused_launches += 1;
+            let mut it = nodes_flat.into_iter();
+            for lv in lvls.iter_mut() {
+                lv.push(it.by_ref().take(ng).collect());
+            }
+        }
+        logical += 1 + plan.levels.len();
+        let lvl_sizes: Vec<usize> = plan.levels.iter().map(|l| l.len()).collect();
+
+        // Trailing update, fused: horizontal (job × tile × column-block),
+        // then each tree level — the same order `apply_panel_parts` uses.
+        if step.c + step.width < n {
+            let cols = col_blocks(step.c + step.width, n, bs.w);
+            let ncb = cols.len();
+            let work: Vec<(usize, usize, usize)> = (0..g)
+                .flat_map(|j| (0..nt).flat_map(move |ti| (0..ncb).map(move |cb| (j, ti, cb))))
+                .collect();
+            work.par_iter().for_each(|&(j, ti, cb)| {
+                let (c0, wc) = cols[cb];
+                blockops::apply_tile_wy(&wy0s[j][ti], ptrs[j], tiles[ti], c0, wc, true);
+            });
+            stats.fused_launches += 1;
+            for (li, ng) in lvl_sizes.iter().copied().enumerate() {
+                let work: Vec<(usize, usize, usize)> = (0..g)
+                    .flat_map(|j| (0..ng).flat_map(move |gi| (0..ncb).map(move |cb| (j, gi, cb))))
+                    .collect();
+                work.par_iter().for_each(|&(j, gi, cb)| {
+                    let (c0, wc) = cols[cb];
+                    blockops::apply_tree_node(ptrs[j], &lvls[j][li][gi], step.width, c0, wc, true);
+                });
+                stats.fused_launches += 1;
+            }
+            logical += 1 + plan.levels.len();
+        }
+
+        for ((p, wy0), lv) in pan.iter_mut().zip(wy0s).zip(lvls) {
+            p.push(CpuPanel {
+                col0: step.c,
+                width: step.width,
+                tiles: tiles.clone(),
+                wy0,
+                levels: lv,
+            });
+        }
+    }
+
+    for ((idx, a), panels) in members.iter().copied().zip(owned).zip(pan) {
+        out[idx] = Some(Ok(CpuCaqr {
+            a,
+            panels,
+            opts: optsv[idx],
+        }));
+    }
+    stats.fused_jobs += g;
+    stats.fused_groups += 1;
+    stats.logical_launches += g * logical;
+}
+
+/// Does member `j`'s schedule call for a host panic in (`step`, `stage`)?
+fn panics_here(
+    sched: &[Option<(usize, u8, PlannedFault)>],
+    j: usize,
+    step: usize,
+    stage: u8,
+) -> bool {
+    matches!(sched[j], Some((s, st, f)) if s == step && st == stage && f.kind == FaultKind::HostPanic)
+}
+
+/// Mark member `j` dead with a typed error; its riders keep running.
+fn carve<T: Scalar>(
+    out: &mut [Option<Result<CpuCaqr<T>, CaqrError>>],
+    alive: &mut [bool],
+    members: &[usize],
+    j: usize,
+    e: CaqrError,
+) {
+    alive[j] = false;
+    out[members[j]] = Some(Err(e));
+}
+
+/// The verified fused runner: [`run_fused_group`]'s schedule with the
+/// [`crate::health`] checksums interleaved per panel, per-task
+/// `catch_unwind` isolation, and the planned faults of the group's members
+/// injected at their scheduled (panel, stage). A member that faults is
+/// carved out; every surviving member's output is bit-identical to its
+/// standalone run because verification only *reads* and every packed task
+/// touches only its own job's matrix.
+///
+/// Fault steering: a member's [`PlannedFault`] fires at panel
+/// `(payload >> 16) % npanels`, against the apply stage when
+/// `payload & 1 == 1` and the panel has trailing columns, else against the
+/// factor stage. An SDC perturbs a checksummed location (`x → 2x + 1` on
+/// the `R` diagonal for factor, on a trailing column for apply), so ABFT
+/// detection — not luck — catches it.
+/// One member's verification verdict: its index in the fused group, and
+/// either the `Q·1` probe vector (trailing panels reuse it as the apply
+/// predictor; `None` for the last panel) or the failed check's error.
+type ProbeVerdict<T> = (usize, Result<Option<Vec<T>>, CaqrError>);
+
+#[allow(clippy::too_many_arguments)]
+fn run_fused_group_verified<T: Scalar>(
+    key: &FuseKey,
+    idxs: &[usize],
+    faults: &[Option<PlannedFault>],
+    mats: &mut [Option<Matrix<T>>],
+    optsv: &[CpuCaqrOptions],
+    out: &mut [Option<Result<CpuCaqr<T>, CaqrError>>],
+    stats: &mut BatchStats,
+) {
+    let (m, n) = (key.m, key.n);
+    let bs = BlockSize { h: key.h, w: key.w };
+
+    // Fused health scan, as in the plain runner.
+    let scans: Vec<Option<(usize, usize)>> = {
+        let views: Vec<&Matrix<T>> = idxs
+            .iter()
+            .map(|&i| {
+                mats[i]
+                    .as_ref()
+                    .expect("grouped job matrix present until consumed")
+            })
+            .collect();
+        views
+            .par_iter()
+            .map(|a| health::first_nonfinite(a))
+            .collect()
+    };
+    stats.fused_launches += 1;
+    let mut members: Vec<usize> = Vec::with_capacity(idxs.len());
+    for (&idx, scan) in idxs.iter().zip(&scans) {
+        match scan {
+            Some((row, col)) => {
+                out[idx] = Some(Err(CaqrError::NonFinite {
+                    context: "caqr_cpu input",
+                    row: *row,
+                    col: *col,
+                }));
+                mats[idx] = None;
+                stats.solo_jobs += 1;
+            }
+            None => members.push(idx),
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    let g = members.len();
+    let mut owned: Vec<Matrix<T>> = members
+        .iter()
+        .map(|&i| mats[i].take().expect("fused job matrix consumed once"))
+        .collect();
+    let mut alive: Vec<bool> = vec![true; g];
+    let mut pan: Vec<Vec<CpuPanel<T>>> = (0..g).map(|_| Vec::new()).collect();
+
+    let steps = DagGeometry::panel_steps(m, n, bs.w);
+    let nsteps = steps.len() as u64;
+    // Per-member fault schedule: (panel, stage, fault). Stage 1 (apply) is
+    // demoted to 0 (factor) when the chosen panel has no trailing columns.
+    let sched: Vec<Option<(usize, u8, PlannedFault)>> = members
+        .iter()
+        .map(|&idx| {
+            faults.get(idx).copied().flatten().map(|f| {
+                let s = ((f.payload >> 16) % nsteps) as usize;
+                let trailing = steps[s].c + steps[s].width < n;
+                let stage = if trailing { (f.payload & 1) as u8 } else { 0 };
+                (s, stage, f)
+            })
+        })
+        .collect();
+
+    let mut logical = 0usize;
+    for step in &steps {
+        let si = step.p;
+        let tiles = tile_panel(step.c, m - step.c, bs.h, bs.w);
+        let nt = tiles.len();
+        let trailing = step.c + step.width < n;
+
+        // Admission faults against the factor stage fail the member before
+        // any of its tasks are packed, mirroring `gpu_sim::Device::admit`.
+        for j in 0..g {
+            if !alive[j] {
+                continue;
+            }
+            if let Some((s, 0, f)) = sched[j] {
+                if s == si {
+                    match f.kind {
+                        FaultKind::LaunchFail => carve(
+                            out,
+                            &mut alive,
+                            &members,
+                            j,
+                            CaqrError::Fault {
+                                kernel: "fused_factor",
+                                launch_index: f.ordinal,
+                                attempts: 1,
+                            },
+                        ),
+                        FaultKind::Hang => carve(
+                            out,
+                            &mut alive,
+                            &members,
+                            j,
+                            CaqrError::Timeout {
+                                kernel: "fused_factor",
+                                launch_index: f.ordinal,
+                                deadline_us: 1_000,
+                            },
+                        ),
+                        FaultKind::DeviceLoss => carve(
+                            out,
+                            &mut alive,
+                            &members,
+                            j,
+                            CaqrError::DeviceLost {
+                                kernel: "fused_factor",
+                                launch_index: f.ordinal,
+                            },
+                        ),
+                        FaultKind::Sdc | FaultKind::HostPanic => {}
+                    }
+                }
+            }
+        }
+        let live: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+        if live.is_empty() {
+            break;
+        }
+
+        // Pre-factor checksums (read-only, one fused region).
+        let mut pre: Vec<Option<Vec<f64>>> = vec![None; g];
+        let sums: Vec<(usize, Vec<f64>)> = live
+            .par_iter()
+            .map(|&j| {
+                (
+                    j,
+                    health::panel_col_sumsq(&owned[j], step.c, step.c, step.width),
+                )
+            })
+            .collect();
+        stats.fused_launches += 1;
+        for (j, s) in sums {
+            pre[j] = Some(s);
+        }
+
+        // Level 0, fused, each task isolated by catch_unwind so one
+        // member's panic cannot poison its riders' region.
+        let mut wy0s: Vec<Vec<WyTile<T>>> = (0..g).map(|_| Vec::new()).collect();
+        {
+            let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+            let work: Vec<(usize, usize)> = live
+                .iter()
+                .flat_map(|&j| (0..nt).map(move |ti| (j, ti)))
+                .collect();
+            let wy_flat: Vec<Result<WyTile<T>, ()>> = work
+                .par_iter()
+                .map(|&(j, ti)| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if ti == 0 && panics_here(&sched, j, si, 0) {
+                            panic!("injected host panic: fused factor task");
+                        }
+                        blockops::factor_tile(ptrs[j], tiles[ti], step.c, step.width)
+                    }))
+                    .map_err(|_| ())
+                })
+                .collect();
+            stats.fused_launches += 1;
+            let mut it = wy_flat.into_iter();
+            for &j in &live {
+                let mine: Vec<Result<WyTile<T>, ()>> = it.by_ref().take(nt).collect();
+                if mine.iter().any(|r| r.is_err()) {
+                    carve(
+                        out,
+                        &mut alive,
+                        &members,
+                        j,
+                        CaqrError::Panicked {
+                            context: format!("fused factor task of panel {si}"),
+                        },
+                    );
+                } else {
+                    wy0s[j] = mine
+                        .into_iter()
+                        .map(|r| r.expect("absence of Err checked above"))
+                        .collect();
+                }
+            }
+        }
+
+        // Tree levels, fused, with the same per-task isolation.
+        let starts: Vec<usize> = tiles.iter().map(|t| t.start).collect();
+        let plan = plan_tree(&starts, key.arity);
+        let lvl_sizes: Vec<usize> = plan.levels.iter().map(|l| l.len()).collect();
+        let mut lvls: Vec<Vec<Vec<TreeNode<T>>>> = (0..g).map(|_| Vec::new()).collect();
+        for level in &plan.levels {
+            let ng = level.len();
+            let live_now: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+            if live_now.is_empty() {
+                break;
+            }
+            let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+            let work: Vec<(usize, usize)> = live_now
+                .iter()
+                .flat_map(|&j| (0..ng).map(move |gi| (j, gi)))
+                .collect();
+            let nodes_flat: Vec<Result<TreeNode<T>, ()>> = work
+                .par_iter()
+                .map(|&(j, gi)| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        blockops::factor_tree_group(ptrs[j], &level[gi].members, step.c, step.width)
+                    }))
+                    .map_err(|_| ())
+                })
+                .collect();
+            stats.fused_launches += 1;
+            let mut it = nodes_flat.into_iter();
+            for &j in &live_now {
+                let mine: Vec<Result<TreeNode<T>, ()>> = it.by_ref().take(ng).collect();
+                if mine.iter().any(|r| r.is_err()) {
+                    carve(
+                        out,
+                        &mut alive,
+                        &members,
+                        j,
+                        CaqrError::Panicked {
+                            context: format!("fused factor-tree task of panel {si}"),
+                        },
+                    );
+                } else {
+                    lvls[j].push(
+                        mine.into_iter()
+                            .map(|r| r.expect("absence of Err checked above"))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        logical += 1 + plan.levels.len();
+
+        // Injected factor-stage SDC: perturb the member's R diagonal after
+        // the factor chain, inside the column-norm checksum's coverage.
+        for j in 0..g {
+            if !alive[j] {
+                continue;
+            }
+            if let Some((s, 0, f)) = sched[j] {
+                if s == si && f.kind == FaultKind::Sdc {
+                    let r = (f.payload % step.width as u64) as usize;
+                    let x = owned[j][(step.c + r, step.c + r)];
+                    owned[j][(step.c + r, step.c + r)] = x + x + T::ONE;
+                }
+            }
+        }
+
+        // Factor verification: column-norm invariant, plus the Q·1 probe
+        // (which doubles as the apply predictor) for trailing panels.
+        let mut us: Vec<Option<Vec<T>>> = vec![None; g];
+        {
+            let live_now: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+            let verdicts: Vec<ProbeVerdict<T>> = live_now
+                .par_iter()
+                .map(|&j| {
+                    let v = (|| {
+                        let p = pre[j].as_ref().expect("pre sums computed for live member");
+                        health::factor_norm_check::<T>(&owned[j], p, m, si, step.c, step.width)?;
+                        if trailing {
+                            let u = q_ones_probe_parts(m, &tiles, &wy0s[j], &lvls[j], step.width);
+                            health::verify_probe(&u, si, step.c)?;
+                            Ok(Some(u))
+                        } else {
+                            Ok(None)
+                        }
+                    })();
+                    (j, v)
+                })
+                .collect();
+            stats.fused_launches += 1;
+            for (j, v) in verdicts {
+                match v {
+                    Ok(u) => us[j] = u,
+                    Err(e) => carve(out, &mut alive, &members, j, e),
+                }
+            }
+        }
+
+        // Trailing update, fused and verified.
+        if trailing {
+            let cols = col_blocks(step.c + step.width, n, bs.w);
+            let ncb = cols.len();
+
+            // Admission faults against the apply stage.
+            for j in 0..g {
+                if !alive[j] {
+                    continue;
+                }
+                if let Some((s, 1, f)) = sched[j] {
+                    if s == si {
+                        match f.kind {
+                            FaultKind::LaunchFail => carve(
+                                out,
+                                &mut alive,
+                                &members,
+                                j,
+                                CaqrError::Fault {
+                                    kernel: "fused_apply",
+                                    launch_index: f.ordinal,
+                                    attempts: 1,
+                                },
+                            ),
+                            FaultKind::Hang => carve(
+                                out,
+                                &mut alive,
+                                &members,
+                                j,
+                                CaqrError::Timeout {
+                                    kernel: "fused_apply",
+                                    launch_index: f.ordinal,
+                                    deadline_us: 1_000,
+                                },
+                            ),
+                            FaultKind::DeviceLoss => carve(
+                                out,
+                                &mut alive,
+                                &members,
+                                j,
+                                CaqrError::DeviceLost {
+                                    kernel: "fused_apply",
+                                    launch_index: f.ordinal,
+                                },
+                            ),
+                            FaultKind::Sdc | FaultKind::HostPanic => {}
+                        }
+                    }
+                }
+            }
+
+            // Predicted post-update column sums from pre-update data.
+            let mut preds: Vec<Option<Vec<(f64, f64)>>> = vec![None; g];
+            let live_now: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+            if !live_now.is_empty() {
+                let ps: Vec<(usize, Vec<(f64, f64)>)> = live_now
+                    .par_iter()
+                    .map(|&j| {
+                        let u = us[j].as_ref().expect("probe computed for trailing panel");
+                        (j, health::predicted_col_sums(u, &owned[j], &cols))
+                    })
+                    .collect();
+                stats.fused_launches += 1;
+                for (j, p) in ps {
+                    preds[j] = Some(p);
+                }
+
+                // Horizontal applies, isolated per task.
+                {
+                    let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+                    let work: Vec<(usize, usize, usize)> = live_now
+                        .iter()
+                        .flat_map(|&j| {
+                            (0..nt).flat_map(move |ti| (0..ncb).map(move |cb| (j, ti, cb)))
+                        })
+                        .collect();
+                    let results: Vec<Result<(), ()>> = work
+                        .par_iter()
+                        .map(|&(j, ti, cb)| {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                if ti == 0 && cb == 0 && panics_here(&sched, j, si, 1) {
+                                    panic!("injected host panic: fused apply task");
+                                }
+                                let (c0, wc) = cols[cb];
+                                blockops::apply_tile_wy(
+                                    &wy0s[j][ti],
+                                    ptrs[j],
+                                    tiles[ti],
+                                    c0,
+                                    wc,
+                                    true,
+                                );
+                            }))
+                            .map_err(|_| ())
+                        })
+                        .collect();
+                    stats.fused_launches += 1;
+                    let mut it = results.into_iter();
+                    for &j in &live_now {
+                        let bad = it.by_ref().take(nt * ncb).any(|r| r.is_err());
+                        if bad {
+                            carve(
+                                out,
+                                &mut alive,
+                                &members,
+                                j,
+                                CaqrError::Panicked {
+                                    context: format!("fused apply task of panel {si}"),
+                                },
+                            );
+                        }
+                    }
+                }
+
+                // Tree-level applies.
+                for (li, ng) in lvl_sizes.iter().copied().enumerate() {
+                    let live2: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+                    if live2.is_empty() {
+                        break;
+                    }
+                    let ptrs: Vec<MatPtr<T>> = owned.iter_mut().map(MatPtr::new).collect();
+                    let work: Vec<(usize, usize, usize)> = live2
+                        .iter()
+                        .flat_map(|&j| {
+                            (0..ng).flat_map(move |gi| (0..ncb).map(move |cb| (j, gi, cb)))
+                        })
+                        .collect();
+                    let results: Vec<Result<(), ()>> = work
+                        .par_iter()
+                        .map(|&(j, gi, cb)| {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let (c0, wc) = cols[cb];
+                                blockops::apply_tree_node(
+                                    ptrs[j],
+                                    &lvls[j][li][gi],
+                                    step.width,
+                                    c0,
+                                    wc,
+                                    true,
+                                );
+                            }))
+                            .map_err(|_| ())
+                        })
+                        .collect();
+                    stats.fused_launches += 1;
+                    let mut it = results.into_iter();
+                    for &j in &live2 {
+                        let bad = it.by_ref().take(ng * ncb).any(|r| r.is_err());
+                        if bad {
+                            carve(
+                                out,
+                                &mut alive,
+                                &members,
+                                j,
+                                CaqrError::Panicked {
+                                    context: format!("fused apply-tree task of panel {si}"),
+                                },
+                            );
+                        }
+                    }
+                }
+
+                // Injected apply-stage SDC: perturb a trailing column cell
+                // the predicted-sum checksum covers.
+                for j in 0..g {
+                    if !alive[j] {
+                        continue;
+                    }
+                    if let Some((s, 1, f)) = sched[j] {
+                        if s == si && f.kind == FaultKind::Sdc {
+                            let row = tiles[0].start;
+                            let col = cols[0].0;
+                            let x = owned[j][(row, col)];
+                            owned[j][(row, col)] = x + x + T::ONE;
+                        }
+                    }
+                }
+
+                // Apply verification.
+                let live3: Vec<usize> = (0..g).filter(|&j| alive[j]).collect();
+                let verdicts: Vec<(usize, Result<(), CaqrError>)> = live3
+                    .par_iter()
+                    .map(|&j| {
+                        let p = preds[j]
+                            .as_ref()
+                            .expect("predictions computed for live member");
+                        (j, health::apply_sum_check::<T>(&owned[j], p, &cols, m, si))
+                    })
+                    .collect();
+                stats.fused_launches += 1;
+                for (j, v) in verdicts {
+                    if let Err(e) = v {
+                        carve(out, &mut alive, &members, j, e);
+                    }
+                }
+            }
+            logical += 1 + plan.levels.len();
+        }
+
+        for j in 0..g {
+            if !alive[j] {
+                continue;
+            }
+            pan[j].push(CpuPanel {
+                col0: step.c,
+                width: step.width,
+                tiles: tiles.clone(),
+                wy0: std::mem::take(&mut wy0s[j]),
+                levels: std::mem::take(&mut lvls[j]),
+            });
+        }
+    }
+
+    let survivors = alive.iter().filter(|&&x| x).count();
+    for ((j, a), panels) in owned.into_iter().enumerate().zip(pan) {
+        if !alive[j] {
+            continue;
+        }
+        out[members[j]] = Some(Ok(CpuCaqr {
+            a,
+            panels,
+            opts: optsv[members[j]],
+        }));
+    }
+    stats.fused_jobs += g;
+    stats.fused_groups += 1;
+    stats.logical_launches += survivors * logical;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::TreeShape;
+
+    fn opts(h: usize, w: usize) -> CpuCaqrOptions {
+        CpuCaqrOptions {
+            tile_rows: h,
+            panel_width: w,
+            tree: TreeShape::DeviceArity,
+            verify_checksums: false,
+        }
+    }
+
+    #[test]
+    fn factor_many_is_bit_identical_to_sequential_runs() {
+        let inputs: Vec<(Matrix<f64>, CpuCaqrOptions)> = vec![
+            (dense::generate::uniform(300, 16, 1), opts(48, 16)),
+            (dense::generate::uniform(300, 16, 2), opts(48, 16)),
+            (dense::generate::uniform(200, 8, 3), opts(32, 8)),
+            (dense::generate::uniform(300, 16, 4), opts(48, 16)),
+            (dense::generate::uniform(127, 5, 5), opts(24, 5)),
+        ];
+        let (results, stats) =
+            factor_many_with_stats(inputs.iter().map(|(a, o)| (a.clone(), *o)).collect());
+        assert_eq!(stats.fused_jobs, 3);
+        assert_eq!(stats.solo_jobs, 2);
+        assert_eq!(stats.fused_groups, 1);
+        for ((a, o), got) in inputs.into_iter().zip(results) {
+            let got = got.unwrap();
+            let want = caqr_cpu(a, o).unwrap();
+            assert_eq!(got.a, want.a);
+            assert_eq!(got.panels.len(), want.panels.len());
+            assert_eq!(logical_launches(&got), logical_launches(&want));
+        }
+    }
+
+    #[test]
+    fn fused_group_spends_fewer_launches_than_one_at_a_time() {
+        let jobs: Vec<(Matrix<f64>, CpuCaqrOptions)> = (0..6)
+            .map(|s| (dense::generate::uniform(400, 16, 100 + s), opts(64, 16)))
+            .collect();
+        let (results, stats) = factor_many_with_stats(jobs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(stats.fused_jobs, 6);
+        // 6 jobs' logical chains were packed into one group's regions (plus
+        // the one fused health scan): the whole point of the batch path.
+        assert!(
+            stats.fused_launches < stats.logical_launches,
+            "fused {} vs logical {}",
+            stats.fused_launches,
+            stats.logical_launches
+        );
+    }
+
+    #[test]
+    fn nonfinite_member_fails_alone_with_the_standalone_error() {
+        let mut bad = dense::generate::uniform::<f64>(300, 16, 7);
+        bad[(17, 3)] = f64::NAN;
+        let good = dense::generate::uniform::<f64>(300, 16, 8);
+        let (results, _) = factor_many_with_stats(vec![
+            (good.clone(), opts(48, 16)),
+            (bad.clone(), opts(48, 16)),
+            (dense::generate::uniform::<f64>(300, 16, 9), opts(48, 16)),
+        ]);
+        let want_err = match caqr_cpu(bad, opts(48, 16)) {
+            Err(e) => e,
+            Ok(_) => panic!("NaN input must fail standalone"),
+        };
+        match &results[1] {
+            Err(e) => assert_eq!(e, &want_err),
+            Ok(_) => panic!("NaN member must fail in the batch too"),
+        }
+        let got = results[0].as_ref().unwrap();
+        let want = caqr_cpu(good, opts(48, 16)).unwrap();
+        assert_eq!(got.a, want.a);
+    }
+
+    #[test]
+    fn checksummed_jobs_run_solo_and_still_match() {
+        let a = dense::generate::uniform::<f64>(256, 8, 11);
+        let mut o = opts(32, 8);
+        o.verify_checksums = true;
+        let (results, stats) = factor_many_with_stats(vec![(a.clone(), o), (a.clone(), o)]);
+        assert_eq!(stats.solo_jobs, 2);
+        assert_eq!(stats.fused_jobs, 0);
+        let want = caqr_cpu(a, o).unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().a, want.a);
+        }
+    }
+
+    #[test]
+    fn verified_batch_without_faults_is_bit_identical_to_plain() {
+        let jobs: Vec<(Matrix<f64>, CpuCaqrOptions)> = (0..4)
+            .map(|s| (dense::generate::uniform(260, 12, 40 + s), opts(48, 12)))
+            .collect();
+        let faults = vec![None; jobs.len()];
+        let (results, stats) = factor_many_resilient(
+            jobs.iter().map(|(a, o)| (a.clone(), *o)).collect(),
+            &faults,
+            true,
+            &RecoveryPolicy::default(),
+        );
+        assert_eq!(stats.fused_jobs, 4);
+        for ((a, o), got) in jobs.into_iter().zip(results) {
+            let want = caqr_cpu(a, o).unwrap();
+            assert_eq!(got.unwrap().a, want.a, "verified fused must stay bitwise");
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_carves_only_its_member_and_riders_stay_bitwise() {
+        use gpu_sim::FaultKind;
+        let mk = |s: u64| dense::generate::uniform::<f64>(220, 16, 70 + s);
+        let kinds = [
+            (FaultKind::LaunchFail, 0u64),
+            (FaultKind::Hang, 1),
+            (FaultKind::Sdc, 0),       // factor-stage SDC
+            (FaultKind::Sdc, 1),       // apply-stage SDC
+            (FaultKind::HostPanic, 0), // factor-stage panic
+            (FaultKind::HostPanic, 1), // apply-stage panic
+            (FaultKind::DeviceLoss, 0),
+        ];
+        for (kind, stage) in kinds {
+            let jobs: Vec<(Matrix<f64>, CpuCaqrOptions)> =
+                (0..3).map(|s| (mk(s), opts(48, 16))).collect();
+            // Member 1 carries the fault, steered to panel 0 and `stage`.
+            let faults = vec![
+                None,
+                Some(PlannedFault {
+                    kind,
+                    ordinal: 42,
+                    payload: stage,
+                }),
+                None,
+            ];
+            let (results, stats) = factor_many_resilient(
+                jobs.iter().map(|(a, o)| (a.clone(), *o)).collect(),
+                &faults,
+                false,
+                &RecoveryPolicy::default(),
+            );
+            assert_eq!(stats.fused_groups, 1);
+            let e = match &results[1] {
+                Err(e) => e,
+                Ok(_) => panic!("{kind:?}/{stage} member must be carved out"),
+            };
+            match kind {
+                FaultKind::LaunchFail => assert!(matches!(e, CaqrError::Fault { .. }), "{e:?}"),
+                FaultKind::Hang => assert!(matches!(e, CaqrError::Timeout { .. }), "{e:?}"),
+                FaultKind::Sdc => {
+                    assert!(matches!(e, CaqrError::ChecksumMismatch { .. }), "{e:?}")
+                }
+                FaultKind::HostPanic => assert!(matches!(e, CaqrError::Panicked { .. }), "{e:?}"),
+                FaultKind::DeviceLoss => {
+                    assert!(matches!(e, CaqrError::DeviceLost { .. }), "{e:?}")
+                }
+            }
+            // Riders complete bit-identically despite the carved member.
+            for (i, (a, o)) in jobs.into_iter().enumerate() {
+                if i == 1 {
+                    continue;
+                }
+                let want = caqr_cpu(a, o).unwrap();
+                assert_eq!(
+                    results[i].as_ref().unwrap().a,
+                    want.a,
+                    "rider {i} diverged under {kind:?}/{stage}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Service-tier resilience policy (DESIGN.md §15): the planned-fault
+//! plumbing that threads gpu-sim fault injection through the host batch
+//! engine, the solo §10-ladder fallback for carved-out batch members, the
+//! bounded retry budget, the overload circuit-breaker policy, and the
+//! per-tenant admission quotas.
+
+use crate::backend::{CaqrBackend, CpuBackend, DagGeometry, DriveConfig};
+use crate::block::BlockSize;
+use crate::error::CaqrError;
+use crate::microkernels::ReductionStrategy;
+use crate::multicore::{CpuCaqr, CpuCaqrOptions, CpuPanel};
+use crate::recovery::{drive_resilient, is_transient, RecoveryPolicy, RecoveryReport};
+use crate::tsqr::PanelFactor;
+use dense::matrix::Matrix;
+use dense::scalar::Scalar;
+use dense::MatPtr;
+use gpu_sim::{FaultKind, FaultPlan};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// One fault the service plans to inject against one job: drawn from a
+/// [`ServiceFaultPlan`] at dispatch, steered into the batch engine
+/// ([`super::factor_many_resilient`]) or the solo ladder
+/// ([`run_solo_resilient`]) by the `payload` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// The launch ordinal the fault is attributed to in typed errors
+    /// (the job's admission sequence number, service-side).
+    pub ordinal: u64,
+    /// Deterministic steering bits (which panel / stage / element the
+    /// fault hits), from [`gpu_sim::fault::sdc_payload`].
+    pub payload: u64,
+}
+
+/// A seeded fault campaign against the service: which jobs fault (keyed by
+/// admission sequence number through a [`FaultPlan`]), plus an optional
+/// worker-killing cadence for supervision testing.
+#[derive(Clone, Debug)]
+pub struct ServiceFaultPlan {
+    /// Per-job fault draw, keyed by `(job seq, attempt)` exactly like the
+    /// device keys its plan by `(launch ordinal, attempt)` — so retries of
+    /// a faulted job re-draw, and a seeded plan is reproducible end to end.
+    pub plan: FaultPlan,
+    /// Kill the serving worker (panic its thread) on every N-th dispatched
+    /// batch, exercising the supervisor. `None` disables.
+    pub worker_panic_every: Option<u64>,
+}
+
+impl ServiceFaultPlan {
+    /// A fault campaign over `plan`, with worker kills disabled.
+    pub fn new(plan: FaultPlan) -> ServiceFaultPlan {
+        ServiceFaultPlan {
+            plan,
+            worker_panic_every: None,
+        }
+    }
+
+    /// Kill the serving worker on every `every`-th batch.
+    pub fn worker_panic_every(mut self, every: u64) -> ServiceFaultPlan {
+        self.worker_panic_every = Some(every.max(1));
+        self
+    }
+
+    /// Draw the planned fault for job `seq` on retry `attempt` (0 = the
+    /// batch attempt). Deterministic in `(seed, seq, attempt)`.
+    pub fn draw(&self, seq: u64, attempt: u32) -> Option<PlannedFault> {
+        self.plan.fault_kind(seq, attempt).map(|kind| PlannedFault {
+            kind,
+            ordinal: seq,
+            payload: gpu_sim::fault::sdc_payload(seq, attempt),
+        })
+    }
+}
+
+/// Bounded solo-retry budget with exponential backoff: how many times the
+/// service re-runs a job that failed retryably in a batch, and how long it
+/// waits between attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryBudget {
+    /// Solo retries per job after the batch attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryBudget {
+    /// Backoff before retry `attempt` (1-based): `backoff * 2^(attempt-1)`,
+    /// capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+}
+
+/// The overload circuit breaker's thresholds (DESIGN.md §15). The breaker
+/// **opens** when queue depth reaches `open_depth` or the deadline-miss
+/// rate over the last `miss_window` deadline-carrying completions reaches
+/// `open_miss_rate`; while open, `Batch`-priority jobs are shed at
+/// dispatch with [`super::ServiceError::Overloaded`]. It **closes** only
+/// once depth falls to `close_depth` — the hysteresis gap keeps it from
+/// flapping at the threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedPolicy {
+    /// Open when queue depth at dispatch reaches this.
+    pub open_depth: usize,
+    /// Close only when depth has drained to this (must be < `open_depth`).
+    pub close_depth: usize,
+    /// Sliding window of deadline-carrying completions the miss rate is
+    /// measured over (0 disables the miss-rate trigger).
+    pub miss_window: usize,
+    /// Open when the windowed miss rate reaches this fraction. Values
+    /// above 1.0 disable the trigger.
+    pub open_miss_rate: f64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy::disabled()
+    }
+}
+
+impl ShedPolicy {
+    /// No shedding beyond expired deadlines (the pre-resilience behaviour).
+    pub fn disabled() -> ShedPolicy {
+        ShedPolicy {
+            open_depth: usize::MAX,
+            close_depth: 0,
+            miss_window: 0,
+            open_miss_rate: 1.1,
+        }
+    }
+
+    /// A sane policy for a queue of `capacity`: open at 3/4 full or a 50%
+    /// miss rate over 32 completions, close at 1/4 full.
+    pub fn recommended(capacity: usize) -> ShedPolicy {
+        ShedPolicy {
+            open_depth: (capacity * 3 / 4).max(2),
+            close_depth: capacity / 4,
+            miss_window: 32,
+            open_miss_rate: 0.5,
+        }
+    }
+
+    /// Whether any trigger is live.
+    pub fn enabled(&self) -> bool {
+        self.open_depth != usize::MAX || self.open_miss_rate <= 1.0
+    }
+}
+
+/// Per-tenant admission quota: how many jobs one tenant may have queued at
+/// once. Violations are rejected immediately with
+/// [`super::SubmitError::QuotaExceeded`] — never blocked — so a greedy
+/// tenant cannot camp on the backpressure path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TenantQuota {
+    /// No per-tenant cap (the queue bound still applies).
+    #[default]
+    Unlimited,
+    /// A flat per-tenant cap on queued jobs.
+    MaxQueued(usize),
+    /// Fair share: each tenant may queue `capacity / active_tenants`
+    /// (tenants with jobs queued, the submitter included), but never less
+    /// than `min`. The cap tightens as more tenants contend.
+    FairShare {
+        /// Floor below which the fair share never shrinks.
+        min: usize,
+    },
+}
+
+/// The service's resilience configuration. Everything defaults to off: a
+/// default-configured service runs the plain fused engine with no
+/// verification overhead and no retries.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceConfig {
+    /// Run every fused batch through the ABFT-verified engine even without
+    /// planned faults (detection always on, ~the checksum overhead of §9).
+    pub verify_batches: bool,
+    /// Inject a seeded fault campaign (tests, chaos soak).
+    pub faults: Option<ServiceFaultPlan>,
+    /// Solo-retry budget for jobs that fail retryably in a batch.
+    pub retry: RetryBudget,
+    /// §10 escalation-ladder budgets for the solo resilient path.
+    pub recovery: RecoveryPolicy,
+}
+
+impl ResilienceConfig {
+    /// Whether dispatch must route through the resilient engine at all.
+    pub fn active(&self) -> bool {
+        self.verify_batches || self.faults.is_some()
+    }
+}
+
+/// Should the service spend solo-retry budget on this error? Transient
+/// faults (launch faults, hangs, checksum mismatches) retry, as do caught
+/// panics (the worker that died took no state with it — the job's input is
+/// intact in the spec) and `Unrecoverable` (the §10 ladder's budgets may
+/// simply have been exhausted by an unlucky streak; a fresh solo run
+/// re-draws). Deterministic failures — bad shapes, non-finite input,
+/// breakdowns, a lost device — fail fast.
+pub fn service_retryable(e: &CaqrError) -> bool {
+    is_transient(e)
+        || matches!(
+            e,
+            CaqrError::Panicked { .. } | CaqrError::Unrecoverable { .. }
+        )
+}
+
+/// A [`CpuBackend`] that injects one planned fault at a chosen task
+/// ordinal, then behaves honestly forever after — the host-path analogue
+/// of `gpu_sim::Device::admit` drawing from its [`FaultPlan`]. Single
+/// fire: the §10 ladder's replay of the faulted task (or of the whole run)
+/// sees clean execution, so recovery converges and stays bit-identical.
+struct InjectingCpuBackend {
+    inner: CpuBackend,
+    fault: Cell<Option<PlannedFault>>,
+    fire_at: u64,
+    calls: Cell<u64>,
+}
+
+impl InjectingCpuBackend {
+    fn new(fault: Option<PlannedFault>, fire_at: u64) -> InjectingCpuBackend {
+        InjectingCpuBackend {
+            inner: CpuBackend,
+            fault: Cell::new(fault),
+            fire_at,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// Take the armed fault iff this call is the firing ordinal.
+    fn draw(&self) -> Option<PlannedFault> {
+        let ord = self.calls.get();
+        self.calls.set(ord + 1);
+        if ord == self.fire_at {
+            self.fault.take()
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Scalar> CaqrBackend<T> for InjectingCpuBackend {
+    type Token = ();
+
+    fn slots(&self) -> usize {
+        CaqrBackend::<T>::slots(&self.inner)
+    }
+
+    fn check_finite(
+        &self,
+        a: &Matrix<T>,
+        bs: BlockSize,
+        context: &'static str,
+    ) -> Result<usize, CaqrError> {
+        self.inner.check_finite(a, bs, context)
+    }
+
+    fn pretranspose(&self, m: usize, n: usize, bs: BlockSize) -> Result<usize, CaqrError> {
+        CaqrBackend::<T>::pretranspose(&self.inner, m, n, bs)
+    }
+
+    fn factor_panel(
+        &self,
+        slot: usize,
+        a: &mut Matrix<T>,
+        row0: usize,
+        col0: usize,
+        width: usize,
+        cfg: &DriveConfig,
+    ) -> Result<PanelFactor<T>, CaqrError> {
+        match self.draw() {
+            Some(f) => match f.kind {
+                FaultKind::LaunchFail => Err(CaqrError::Fault {
+                    kernel: "factor",
+                    launch_index: f.ordinal,
+                    attempts: 1,
+                }),
+                FaultKind::Hang => Err(CaqrError::Timeout {
+                    kernel: "factor",
+                    launch_index: f.ordinal,
+                    deadline_us: 1_000,
+                }),
+                FaultKind::DeviceLoss => Err(CaqrError::DeviceLost {
+                    kernel: "factor",
+                    launch_index: f.ordinal,
+                }),
+                FaultKind::HostPanic => {
+                    panic!("injected host panic: solo factor task")
+                }
+                FaultKind::Sdc => {
+                    // Factor honestly, then flip an R-diagonal element —
+                    // inside the column-norm checksum's coverage, so the
+                    // ladder detects and replays from the panel snapshot.
+                    let pf = self.inner.factor_panel(slot, a, row0, col0, width, cfg)?;
+                    let r = (f.payload % width as u64) as usize;
+                    let x = a[(col0 + r, col0 + r)];
+                    a[(col0 + r, col0 + r)] = x + x + T::ONE;
+                    Ok(pf)
+                }
+            },
+            None => self.inner.factor_panel(slot, a, row0, col0, width, cfg),
+        }
+    }
+
+    fn apply_panel(
+        &self,
+        slot: usize,
+        c: MatPtr<T>,
+        pf: &PanelFactor<T>,
+        cols: &[(usize, usize)],
+        transpose: bool,
+    ) -> Result<(), CaqrError> {
+        match self.draw() {
+            Some(f) => match f.kind {
+                FaultKind::LaunchFail => Err(CaqrError::Fault {
+                    kernel: "apply",
+                    launch_index: f.ordinal,
+                    attempts: 1,
+                }),
+                FaultKind::Hang => Err(CaqrError::Timeout {
+                    kernel: "apply",
+                    launch_index: f.ordinal,
+                    deadline_us: 1_000,
+                }),
+                FaultKind::DeviceLoss => Err(CaqrError::DeviceLost {
+                    kernel: "apply",
+                    launch_index: f.ordinal,
+                }),
+                FaultKind::HostPanic => {
+                    panic!("injected host panic: solo apply task")
+                }
+                FaultKind::Sdc => {
+                    // Apply honestly, then flip a trailing-column element —
+                    // covered by the predicted column-sum checksum.
+                    self.inner.apply_panel(slot, c, pf, cols, transpose)?;
+                    unsafe {
+                        let (row, col) = (pf.tiles[0].start, cols[0].0);
+                        let x = c.get(row, col);
+                        c.set(row, col, x + x + T::ONE);
+                    }
+                    Ok(())
+                }
+            },
+            None => self.inner.apply_panel(slot, c, pf, cols, transpose),
+        }
+    }
+
+    fn record(&self, slot: usize) -> Self::Token {
+        CaqrBackend::<T>::record(&self.inner, slot)
+    }
+
+    fn wait(&self, slot: usize, token: Self::Token) {
+        CaqrBackend::<T>::wait(&self.inner, slot, token)
+    }
+
+    fn sync(&self) -> Result<(), CaqrError> {
+        CaqrBackend::<T>::sync(&self.inner)
+    }
+
+    fn q_ones_probe(&self, m: usize, pf: &PanelFactor<T>) -> Vec<T> {
+        self.inner.q_ones_probe(m, pf)
+    }
+}
+
+/// Factor one job on the host through the §10 escalation ladder
+/// ([`drive_resilient`] over a [`CpuBackend`]), optionally with one
+/// injected [`PlannedFault`]. This is the service's solo fallback for a
+/// batch member carved out of a fused group, and its chaos-mode solo path.
+///
+/// Transient injections (launch fault, hang, SDC) are recovered *inside*
+/// this call by snapshot/replay, so the returned factorization is
+/// bit-identical to a fault-free [`caqr_cpu`](crate::multicore::caqr_cpu)
+/// run. A host panic is caught at this boundary and surfaced as
+/// [`CaqrError::Panicked`]; device loss stays typed and terminal.
+pub fn run_solo_resilient<T: Scalar>(
+    a: Matrix<T>,
+    opts: CpuCaqrOptions,
+    fault: Option<PlannedFault>,
+    policy: &RecoveryPolicy,
+) -> Result<(CpuCaqr<T>, RecoveryReport), CaqrError> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(CaqrError::BadShape(format!("empty matrix {m}x{n}")));
+    }
+    let bs = BlockSize {
+        h: opts.tile_rows,
+        w: opts.panel_width,
+    };
+    bs.validate().map_err(CaqrError::BadShape)?;
+    let cfg = DriveConfig {
+        bs,
+        strategy: ReductionStrategy::RegisterSerialTransposed,
+        tree: opts.tree,
+        check_finite: true,
+        verify_checksums: false,
+        health_context: "caqr_cpu input",
+    };
+    // Steer the fault to a uniformly chosen task of the fault-free
+    // schedule: per panel one factor_panel call, plus one apply_panel call
+    // when the panel has trailing columns.
+    let total: u64 = DagGeometry::panel_steps(m, n, bs.w)
+        .iter()
+        .map(|s| if s.c + s.width < n { 2 } else { 1 })
+        .sum();
+    let fire_at = fault.map_or(u64::MAX, |f| f.payload % total.max(1));
+    let backend = InjectingCpuBackend::new(fault, fire_at);
+    match catch_unwind(AssertUnwindSafe(|| {
+        drive_resilient(&backend, a, &cfg, policy)
+    })) {
+        Ok(Ok((out, report))) => Ok((
+            CpuCaqr {
+                a: out.a,
+                panels: out.panels.into_iter().map(CpuPanel::from).collect(),
+                opts,
+            },
+            report,
+        )),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(CaqrError::Panicked {
+            context: "resilient solo factorization".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::TreeShape;
+    use crate::multicore::caqr_cpu;
+
+    fn opts() -> CpuCaqrOptions {
+        CpuCaqrOptions {
+            tile_rows: 48,
+            panel_width: 16,
+            tree: TreeShape::DeviceArity,
+            verify_checksums: false,
+        }
+    }
+
+    #[test]
+    fn solo_ladder_recovers_transient_injections_bitwise() {
+        let a = dense::generate::uniform::<f64>(300, 32, 5);
+        let want = caqr_cpu(a.clone(), opts()).unwrap();
+        for (kind, payload) in [
+            (FaultKind::LaunchFail, 0u64),
+            (FaultKind::Hang, 1),
+            (FaultKind::Sdc, 2),
+            (FaultKind::Sdc, 3),
+        ] {
+            let fault = Some(PlannedFault {
+                kind,
+                ordinal: 9,
+                payload,
+            });
+            let (got, report) =
+                run_solo_resilient(a.clone(), opts(), fault, &RecoveryPolicy::default())
+                    .unwrap_or_else(|e| panic!("{kind:?}/{payload} must recover, got {e}"));
+            assert_eq!(got.a, want.a, "{kind:?}/{payload} diverged after recovery");
+            assert!(
+                report.task_replays + report.panel_replays + report.run_retries > 0,
+                "{kind:?}/{payload} recovery must have replayed something"
+            );
+        }
+    }
+
+    #[test]
+    fn solo_host_panic_is_caught_as_a_typed_error() {
+        let a = dense::generate::uniform::<f64>(200, 16, 6);
+        let fault = Some(PlannedFault {
+            kind: FaultKind::HostPanic,
+            ordinal: 1,
+            payload: 0,
+        });
+        match run_solo_resilient(a, opts(), fault, &RecoveryPolicy::default()) {
+            Err(CaqrError::Panicked { context }) => {
+                assert!(context.contains("solo"), "{context}")
+            }
+            other => panic!("expected Panicked, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn solo_device_loss_stays_terminal() {
+        let a = dense::generate::uniform::<f64>(200, 16, 7);
+        let fault = Some(PlannedFault {
+            kind: FaultKind::DeviceLoss,
+            ordinal: 2,
+            payload: 0,
+        });
+        match run_solo_resilient(a, opts(), fault, &RecoveryPolicy::default()) {
+            Err(CaqrError::DeviceLost { .. }) => {}
+            other => panic!("expected DeviceLost, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn no_fault_means_plain_bitwise_output() {
+        let a = dense::generate::uniform::<f64>(256, 16, 8);
+        let want = caqr_cpu(a.clone(), opts()).unwrap();
+        let (got, report) =
+            run_solo_resilient(a, opts(), None, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(got.a, want.a);
+        assert_eq!(report.task_replays, 0);
+        assert_eq!(report.checksum_failures, 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = RetryBudget {
+            max_retries: 5,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(9),
+        };
+        assert_eq!(b.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(b.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(b.backoff_for(3), Duration::from_millis(8));
+        assert_eq!(b.backoff_for(4), Duration::from_millis(9));
+        assert_eq!(b.backoff_for(30), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn shed_policy_enablement() {
+        assert!(!ShedPolicy::disabled().enabled());
+        assert!(ShedPolicy::recommended(64).enabled());
+        let depth_only = ShedPolicy {
+            open_depth: 10,
+            close_depth: 2,
+            miss_window: 0,
+            open_miss_rate: 1.1,
+        };
+        assert!(depth_only.enabled());
+    }
+
+    #[test]
+    fn seeded_service_plan_draws_reproducibly() {
+        let plan = ServiceFaultPlan::new(FaultPlan::seeded_service_mix(42, 0.2, 0.2, 0.1, 0.1));
+        let a: Vec<_> = (0..200).map(|s| plan.draw(s, 0)).collect();
+        let b: Vec<_> = (0..200).map(|s| plan.draw(s, 0)).collect();
+        assert_eq!(a, b, "draws must be deterministic in (seed, seq, attempt)");
+        assert!(
+            a.iter().flatten().count() > 0,
+            "a 60% composite rate over 200 jobs must fault someone"
+        );
+    }
+}

@@ -205,6 +205,15 @@ impl Gpu {
                         overhead + deadline_us * 1.0e-6 + state.policy.backoff_seconds(attempt);
                     self.ledger.lock().record_hang();
                 }
+                Some(FaultKind::HostPanic) => {
+                    // The *host* thread driving this launch dies: unwind
+                    // instead of returning, exactly where a crashed worker
+                    // would take down its submission path. A supervisor
+                    // (e.g. the service worker loop) catches the unwind and
+                    // respawns; launch ordinals keep counting so the plan
+                    // stays aligned for the replay.
+                    panic!("injected host panic: launch #{idx} of kernel `{name}`");
+                }
                 Some(FaultKind::DeviceLoss) => {
                     // The device is gone. Charge any stall spent discovering
                     // earlier hung attempts, mark the device dead, and fail

@@ -59,18 +59,26 @@ pub enum FaultKind {
     /// [`crate::LaunchError::DeviceLost`] and the device stays dead (every
     /// later launch fails too) until [`crate::Gpu::reset`] revives it.
     DeviceLoss,
+    /// The *host* thread driving the launch dies: submitting the launch
+    /// panics instead of returning. Models a crashed worker / driver
+    /// thread rather than a device-side fault; a supervisor that catches
+    /// the unwind can respawn the worker and replay the work (the batch
+    /// carve-out and worker supervision of `caqr::service`).
+    HostPanic,
 }
 
 #[derive(Clone, Debug)]
 enum Mode {
     /// Every `(launch, attempt)` pair draws one uniform variate from
-    /// `seed` and faults `LaunchFail` / `Sdc` / `Hang` when it lands in
-    /// the corresponding probability band — a transient-fault model.
+    /// `seed` and faults `LaunchFail` / `Sdc` / `Hang` / `HostPanic` when
+    /// it lands in the corresponding probability band — a transient-fault
+    /// model.
     Seeded {
         seed: u64,
         launch: f64,
         sdc: f64,
         hang: f64,
+        host_panic: f64,
     },
     /// Exactly these launch ordinals fault with the mapped kind.
     /// `LaunchFail` and `Sdc` fire on the first attempt only (the retry or
@@ -106,12 +114,26 @@ impl FaultPlan {
     /// (each clamped to `[0, 1]`, bands truncated so they sum to at most
     /// 1). The same `(seed, launch, attempt)` always draws the same kind.
     pub fn seeded_mix(seed: u64, launch_rate: f64, sdc_rate: f64, hang_rate: f64) -> Self {
+        Self::seeded_service_mix(seed, launch_rate, sdc_rate, hang_rate, 0.0)
+    }
+
+    /// [`FaultPlan::seeded_mix`] plus a fourth band for
+    /// [`FaultKind::HostPanic`] — the full fault mix the service-tier chaos
+    /// soak injects (launch failures, SDC, hangs, and host-thread deaths).
+    pub fn seeded_service_mix(
+        seed: u64,
+        launch_rate: f64,
+        sdc_rate: f64,
+        hang_rate: f64,
+        host_panic_rate: f64,
+    ) -> Self {
         FaultPlan {
             mode: Mode::Seeded {
                 seed,
                 launch: launch_rate.clamp(0.0, 1.0),
                 sdc: sdc_rate.clamp(0.0, 1.0),
                 hang: hang_rate.clamp(0.0, 1.0),
+                host_panic: host_panic_rate.clamp(0.0, 1.0),
             },
         }
     }
@@ -141,6 +163,12 @@ impl FaultPlan {
         Self::explicit(indices.iter().map(|&i| (i, FaultKind::DeviceLoss)))
     }
 
+    /// Kill the host thread at exactly these launch ordinals (first attempt
+    /// only — the respawned worker's replay draws a fresh attempt).
+    pub fn host_panic_at_launches(indices: &[u64]) -> Self {
+        Self::explicit(indices.iter().map(|&i| (i, FaultKind::HostPanic)))
+    }
+
     /// Explicit plan mapping launch ordinals to fault kinds.
     pub fn explicit(entries: impl IntoIterator<Item = (u64, FaultKind)>) -> Self {
         FaultPlan {
@@ -157,14 +185,15 @@ impl FaultPlan {
                 launch,
                 sdc,
                 hang,
+                host_panic,
             } => {
-                if *launch <= 0.0 && *sdc <= 0.0 && *hang <= 0.0 {
+                if *launch <= 0.0 && *sdc <= 0.0 && *hang <= 0.0 && *host_panic <= 0.0 {
                     return None;
                 }
                 let h = splitmix64(*seed ^ splitmix64(launch_index ^ splitmix64(attempt as u64)));
                 // Map to [0, 1) with 53 bits of the hash, then partition
                 // into bands: [0, launch) ∪ [launch, launch+sdc) ∪
-                // [launch+sdc, launch+sdc+hang).
+                // [launch+sdc, launch+sdc+hang) ∪ [.., ..+host_panic).
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
                 if u < *launch {
                     Some(FaultKind::LaunchFail)
@@ -172,6 +201,8 @@ impl FaultPlan {
                     Some(FaultKind::Sdc)
                 } else if u < *launch + *sdc + *hang {
                     Some(FaultKind::Hang)
+                } else if u < *launch + *sdc + *hang + *host_panic {
+                    Some(FaultKind::HostPanic)
                 } else {
                     None
                 }
@@ -294,8 +325,9 @@ mod tests {
                     Some(FaultKind::LaunchFail) => launch += 1,
                     Some(FaultKind::Sdc) => sdc += 1,
                     Some(FaultKind::Hang) => hang += 1,
-                    // Seeded plans draw only the three transient kinds.
-                    Some(FaultKind::DeviceLoss) | None => {}
+                    // `seeded_mix` requests a zero host-panic band, and
+                    // seeded plans never draw device loss.
+                    Some(FaultKind::HostPanic | FaultKind::DeviceLoss) | None => {}
                 }
             }
         }
@@ -312,6 +344,38 @@ mod tests {
                 matches!(p.fault_kind(i, 0), Some(FaultKind::LaunchFail))
             );
         }
+    }
+
+    #[test]
+    fn service_mix_adds_a_host_panic_band_without_moving_the_others() {
+        let base = FaultPlan::seeded_mix(7, 0.1, 0.1, 0.1);
+        let full = FaultPlan::seeded_service_mix(7, 0.1, 0.1, 0.1, 0.1);
+        let mut panics = 0u32;
+        for i in 0..4000u64 {
+            let b = base.fault_kind(i, 0);
+            let f = full.fault_kind(i, 0);
+            match f {
+                Some(FaultKind::HostPanic) => {
+                    // The panic band sits after the other three: every
+                    // HostPanic draw is a None under the three-band mix.
+                    assert_eq!(b, None, "launch {i}");
+                    panics += 1;
+                }
+                other => assert_eq!(other, b, "launch {i}"),
+            }
+        }
+        assert!(
+            (200..600).contains(&panics),
+            "panic band off: {panics}/4000"
+        );
+        // Explicit host panics fire on the first attempt only.
+        let p = FaultPlan::host_panic_at_launches(&[6]);
+        assert_eq!(p.fault_kind(6, 0), Some(FaultKind::HostPanic));
+        assert_eq!(p.fault_kind(6, 1), None);
+        assert!(
+            !p.should_fault(6, 0),
+            "a host panic is not an admission retry case"
+        );
     }
 
     #[test]

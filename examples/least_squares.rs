@@ -56,6 +56,7 @@ fn main() {
         workers: 2,
         queue_capacity: 64,
         max_batch: 4,
+        ..ServiceConfig::default()
     });
 
     // Build every job up front, then submit back to back: replicates of

@@ -141,9 +141,10 @@ fn seeded_plans_are_pure_functions_of_their_inputs() {
                 Some(FaultKind::LaunchFail) => kinds[0] += 1,
                 Some(FaultKind::Sdc) => kinds[1] += 1,
                 Some(FaultKind::Hang) => kinds[2] += 1,
-                // Seeded plans draw only the three transient kinds; whole-
-                // device loss is explicit-plan-only.
-                Some(FaultKind::DeviceLoss) | None => {}
+                // Plain seeded plans draw only the three transient kinds;
+                // whole-device loss is explicit-plan-only and host panics
+                // come only from `seeded_service_mix`.
+                Some(FaultKind::DeviceLoss | FaultKind::HostPanic) | None => {}
             }
         }
     }

@@ -89,6 +89,7 @@ proptest! {
             workers: 2,
             queue_capacity: 64,
             max_batch: 4,
+            ..ServiceConfig::default()
         });
         let tickets: Vec<_> = bag
             .iter()
